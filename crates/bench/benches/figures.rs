@@ -1,0 +1,65 @@
+//! Criterion benchmarks over the figure pipelines themselves: one
+//! reduced-scale end-to-end regeneration per paper figure, so regressions
+//! in any layer (deployment, selection, routing, aggregation) surface as
+//! a benchmark change. These are *pipeline* benches — the figure numbers
+//! they produce use few runs and are not the reproduction outputs (use
+//! the `figures` binary for those).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use qolsr::eval::{run_experiment, EvalConfig, SelectorKind};
+use qolsr_metrics::{BandwidthMetric, DelayMetric};
+use std::hint::black_box;
+
+/// Reduced-scale pipeline settings: one run over two densities on a
+/// quarter-size field keeps a full pipeline iteration well under a
+/// second, so criterion can sample it meaningfully.
+fn micro_cfg(mut cfg: EvalConfig) -> EvalConfig {
+    cfg.runs = 1;
+    cfg.densities = vec![10.0, 20.0];
+    cfg.field = (500.0, 500.0);
+    cfg.threads = 1;
+    cfg.seed = 0xF16;
+    cfg
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_pipeline");
+    group.sample_size(10);
+    group.bench_function("fig6_fig8_bandwidth_micro", |b| {
+        let cfg = micro_cfg(EvalConfig::paper_bandwidth(0));
+        b.iter(|| {
+            let r = run_experiment::<BandwidthMetric>(&cfg, &SelectorKind::PAPER);
+            black_box((r.ans_size_figure("fig6"), r.overhead_figure("fig8")))
+        });
+    });
+    group.bench_function("fig7_fig9_delay_micro", |b| {
+        let cfg = micro_cfg(EvalConfig::paper_delay(0));
+        b.iter(|| {
+            let r = run_experiment::<DelayMetric>(&cfg, &SelectorKind::PAPER);
+            black_box((r.ans_size_figure("fig7"), r.overhead_figure("fig9")))
+        });
+    });
+    group.finish();
+}
+
+fn bench_single_density_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_density");
+    group.sample_size(10);
+    for density in [10.0, 25.0] {
+        let mut cfg = micro_cfg(EvalConfig::paper_bandwidth(0));
+        cfg.densities = vec![density];
+        group.bench_function(format!("bandwidth_paper_selectors_d{density}"), |b| {
+            b.iter(|| {
+                black_box(run_experiment::<BandwidthMetric>(
+                    &cfg,
+                    &SelectorKind::PAPER,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines, bench_single_density_run);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benchmarks for the live protocol substrate: full
+//! discrete-event OLSR networks (HELLO/TC exchange, MPR flooding) and the
+//! wire codec.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qolsr::policy::SelectorPolicy;
+use qolsr::selector::Fnbp;
+use qolsr_bench::paper_topology;
+use qolsr_graph::NodeId;
+use qolsr_metrics::{BandwidthMetric, LinkQos};
+use qolsr_proto::messages::{Hello, HelloNeighbor, LinkState, Message, Tc};
+use qolsr_proto::network::OlsrNetwork;
+use qolsr_proto::wire;
+use qolsr_sim::SimDuration;
+use std::hint::black_box;
+
+fn bench_network_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("olsr_network");
+    group.sample_size(10);
+    for density in [6.0] {
+        let topo = paper_topology(density, 0x0150);
+        group.bench_with_input(
+            BenchmarkId::new("rfc_policy_10s", format!("n{}", topo.len())),
+            &topo,
+            |b, topo| {
+                b.iter(|| {
+                    let mut net = OlsrNetwork::with_defaults(topo.clone(), 1);
+                    net.run_for(SimDuration::from_secs(10));
+                    black_box(net.total_stats())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fnbp_policy_10s", format!("n{}", topo.len())),
+            &topo,
+            |b, topo| {
+                b.iter(|| {
+                    let mut net = OlsrNetwork::new(
+                        topo.clone(),
+                        qolsr_proto::OlsrConfig::default(),
+                        qolsr_sim::RadioConfig::default(),
+                        1,
+                        |_| SelectorPolicy::new(Fnbp::<BandwidthMetric>::new()),
+                    );
+                    net.run_for(SimDuration::from_secs(10));
+                    black_box(net.total_stats())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    let hello = Message::hello(
+        NodeId(1),
+        7,
+        Hello {
+            neighbors: (0..30)
+                .map(|i| HelloNeighbor {
+                    id: NodeId(i),
+                    state: LinkState::Symmetric,
+                    qos: LinkQos::uniform(u64::from(i) + 1),
+                })
+                .collect(),
+        },
+    );
+    let tc = Message::tc(
+        NodeId(1),
+        9,
+        Tc {
+            ansn: 4,
+            advertised: (0..10)
+                .map(|i| (NodeId(i), LinkQos::uniform(u64::from(i) + 1)))
+                .collect(),
+        },
+    );
+    group.bench_function("encode_hello_30_neighbors", |b| {
+        b.iter(|| black_box(wire::encode(&hello)));
+    });
+    group.bench_function("encode_tc_10_advertised", |b| {
+        b.iter(|| black_box(wire::encode(&tc)));
+    });
+    let hello_bytes: Bytes = wire::encode(&hello);
+    let tc_bytes: Bytes = wire::encode(&tc);
+    group.bench_function("decode_hello_30_neighbors", |b| {
+        b.iter(|| black_box(wire::decode(hello_bytes.clone()).unwrap()));
+    });
+    group.bench_function("decode_tc_10_advertised", |b| {
+        b.iter(|| black_box(wire::decode(tc_bytes.clone()).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_convergence, bench_wire_codec);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the ANS selectors — per-node selection cost
+//! (the quantity a deployment cares about: FNBP's extra Dijkstras vs the
+//! cheap QOLSR greedy) and whole-network advertised-graph construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qolsr::selector::{
+    AnsSelector, ClassicMpr, Fnbp, MprVariant, QolsrMpr, TopologyFiltering,
+};
+use qolsr::advertised::build_advertised;
+use qolsr_bench::{busiest_view, paper_topology};
+use qolsr_metrics::BandwidthMetric;
+use std::hint::black_box;
+
+fn selectors() -> Vec<(&'static str, Box<dyn AnsSelector>)> {
+    vec![
+        ("classic_mpr", Box::new(ClassicMpr::new())),
+        (
+            "qolsr_mpr1",
+            Box::new(QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr1)),
+        ),
+        (
+            "qolsr_mpr2",
+            Box::new(QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr2)),
+        ),
+        (
+            "topology_filtering",
+            Box::new(TopologyFiltering::<BandwidthMetric>::new()),
+        ),
+        ("fnbp", Box::new(Fnbp::<BandwidthMetric>::new())),
+    ]
+}
+
+fn bench_single_node_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_one_node");
+    for density in [10.0, 20.0, 30.0] {
+        let topo = paper_topology(density, 0x5E1);
+        let view = busiest_view(&topo);
+        for (name, sel) in selectors() {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("d{density}_view{}", view.len())),
+                &view,
+                |b, view| {
+                    b.iter(|| black_box(sel.select(view)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_network_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_advertised");
+    group.sample_size(10);
+    let topo = paper_topology(15.0, 0xAD50);
+    for (name, sel) in selectors() {
+        group.bench_with_input(
+            BenchmarkId::new(name, format!("n{}", topo.len())),
+            &topo,
+            |b, topo| {
+                b.iter(|| black_box(build_advertised(topo, sel.as_ref(), 1)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_node_selection, bench_network_selection);
+criterion_main!(benches);

@@ -1,0 +1,268 @@
+//! Figure-regeneration harness: reproduces every evaluation figure of
+//! *"Towards an efficient QoS based selection of neighbors in QOLSR"*
+//! (Khadar, Mitton, Simplot-Ryl — SN/ICDCS 2010).
+//!
+//! ```text
+//! Usage: figures [COMMAND] [OPTIONS]
+//!
+//! Commands:
+//!   fig6        advertised set size, bandwidth metric (densities 10–35)
+//!   fig7        advertised set size, delay metric (densities 5–30)
+//!   fig8        bandwidth overhead vs centralized optimum
+//!   fig9        delay overhead vs centralized optimum
+//!   all         figures 6–9 (two experiment passes)          [default]
+//!   ablations   id-rule delivery, all-selector sweep, routing strategies,
+//!               weight intervals
+//!   robustness  link-failure study with stale advertised sets
+//!
+//! Options:
+//!   --runs N     topologies per density (default 100; paper: 100)
+//!   --seed S     master seed (default 0x51C02010)
+//!   --threads T  worker threads (default: all cores)
+//!   --quick      shorthand for --runs 10
+//!   --out DIR    also write CSV files into DIR (default: results/)
+//!   --no-csv     print to stdout only
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use qolsr::eval::figures::{
+    ablation_all_selectors, ablation_id_rule, ablation_strategies, ablation_weight_intervals,
+    bandwidth_experiment, delay_experiment, FigureOptions,
+};
+use qolsr::report::Figure;
+
+struct Args {
+    command: String,
+    opts: FigureOptions,
+    out_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut command = String::from("all");
+    let mut opts = FigureOptions::default();
+    let mut out_dir = Some(PathBuf::from("results"));
+    let mut it = std::env::args().skip(1);
+    let mut command_set = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--runs" => {
+                let v = it.next().ok_or("--runs needs a value")?;
+                opts.runs = v.parse().map_err(|_| format!("bad --runs value: {v}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = parse_seed(&v).ok_or(format!("bad --seed value: {v}"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                opts.threads = v.parse().map_err(|_| format!("bad --threads value: {v}"))?;
+            }
+            "--quick" => opts.runs = 10,
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                out_dir = Some(PathBuf::from(v));
+            }
+            "--no-csv" => out_dir = None,
+            "--help" | "-h" => {
+                command = "help".into();
+                command_set = true;
+            }
+            c if !c.starts_with('-') && !command_set => {
+                command = c.to_owned();
+                command_set = true;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args {
+        command,
+        opts,
+        out_dir,
+    })
+}
+
+fn parse_seed(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+fn emit(fig: &Figure, slug: &str, out_dir: &Option<PathBuf>) {
+    println!("{}", fig.render_text());
+    if let Some(dir) = out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path: &Path = &dir.join(format!("{slug}.csv"));
+        match std::fs::write(path, fig.render_csv()) {
+            Ok(()) => println!("# wrote {}\n", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\nrun with --help for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = args.opts;
+    println!(
+        "# qolsr-rs figure harness — runs={} seed={:#x} strategy={:?}\n",
+        opts.runs, opts.seed, opts.strategy
+    );
+
+    match args.command.as_str() {
+        "help" => {
+            println!(
+                "commands: fig6 fig7 fig8 fig9 all ablations; \
+                 options: --runs N --seed S --threads T --quick --out DIR --no-csv"
+            );
+        }
+        "fig6" => {
+            let r = bandwidth_experiment(&opts);
+            emit(
+                &r.ans_size_figure("Fig. 6 — advertised set size per node (bandwidth metric)"),
+                "fig6_ans_size_bandwidth",
+                &args.out_dir,
+            );
+        }
+        "fig7" => {
+            let r = delay_experiment(&opts);
+            emit(
+                &r.ans_size_figure("Fig. 7 — advertised set size per node (delay metric)"),
+                "fig7_ans_size_delay",
+                &args.out_dir,
+            );
+        }
+        "fig8" => {
+            let r = bandwidth_experiment(&opts);
+            emit(
+                &r.overhead_figure("Fig. 8 — bandwidth overhead vs centralized optimum"),
+                "fig8_bandwidth_overhead",
+                &args.out_dir,
+            );
+        }
+        "fig9" => {
+            let r = delay_experiment(&opts);
+            emit(
+                &r.overhead_figure("Fig. 9 — delay overhead vs centralized optimum"),
+                "fig9_delay_overhead",
+                &args.out_dir,
+            );
+        }
+        "all" => {
+            let bw = bandwidth_experiment(&opts);
+            emit(
+                &bw.ans_size_figure("Fig. 6 — advertised set size per node (bandwidth metric)"),
+                "fig6_ans_size_bandwidth",
+                &args.out_dir,
+            );
+            emit(
+                &bw.overhead_figure("Fig. 8 — bandwidth overhead vs centralized optimum"),
+                "fig8_bandwidth_overhead",
+                &args.out_dir,
+            );
+            emit(
+                &bw.delivery_figure("Fig. 8b (extra) — delivery rate (bandwidth experiment)"),
+                "fig8b_delivery_bandwidth",
+                &args.out_dir,
+            );
+            let d = delay_experiment(&opts);
+            emit(
+                &d.ans_size_figure("Fig. 7 — advertised set size per node (delay metric)"),
+                "fig7_ans_size_delay",
+                &args.out_dir,
+            );
+            emit(
+                &d.overhead_figure("Fig. 9 — delay overhead vs centralized optimum"),
+                "fig9_delay_overhead",
+                &args.out_dir,
+            );
+        }
+        "ablations" => {
+            let id_rule = ablation_id_rule(&opts);
+            emit(
+                &id_rule.delivery_figure(
+                    "Ablation — delivery rate with/without the smallest-id rule \
+                     (advertised-links-only routing)",
+                ),
+                "ablation_id_rule_delivery",
+                &args.out_dir,
+            );
+            emit(
+                &id_rule.overhead_figure("Ablation — overhead with/without the smallest-id rule"),
+                "ablation_id_rule_overhead",
+                &args.out_dir,
+            );
+            let all = ablation_all_selectors(&opts);
+            emit(
+                &all.ans_size_figure("Ablation — advertised set size, all selector families"),
+                "ablation_all_selectors_size",
+                &args.out_dir,
+            );
+            emit(
+                &all.overhead_figure("Ablation — bandwidth overhead, all selector families"),
+                "ablation_all_selectors_overhead",
+                &args.out_dir,
+            );
+            for (name, r) in ablation_strategies(&opts) {
+                emit(
+                    &r.overhead_figure(&format!("Ablation — FNBP overhead, {name} routing")),
+                    &format!("ablation_strategy_{name}"),
+                    &args.out_dir,
+                );
+            }
+            for (name, bw, delay) in ablation_weight_intervals(&opts) {
+                emit(
+                    &bw.ans_size_figure(&format!(
+                        "Ablation — advertised set size (bandwidth), {name}"
+                    )),
+                    &format!("ablation_{name}_size_bandwidth"),
+                    &args.out_dir,
+                );
+                emit(
+                    &delay.ans_size_figure(&format!(
+                        "Ablation — advertised set size (delay), {name}"
+                    )),
+                    &format!("ablation_{name}_size_delay"),
+                    &args.out_dir,
+                );
+            }
+        }
+        "robustness" => {
+            use qolsr::eval::robustness::{delivery_figure, link_failure_study};
+            use qolsr::eval::{EvalConfig, SelectorKind};
+            let mut cfg = EvalConfig::paper_bandwidth(opts.runs);
+            cfg.seed = opts.seed;
+            let fractions = [0.0, 0.05, 0.1, 0.2, 0.3, 0.4];
+            let results = link_failure_study::<qolsr_metrics::BandwidthMetric>(
+                &cfg,
+                15.0,
+                &fractions,
+                &SelectorKind::PAPER,
+            );
+            emit(
+                &delivery_figure(
+                    &results,
+                    "Robustness — delivery with stale advertised sets under link failures (δ=15)",
+                ),
+                "robustness_link_failures",
+                &args.out_dir,
+            );
+        }
+        other => {
+            eprintln!("error: unknown command {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,62 @@
+//! Shared workload builders for the `qolsr-bench` benchmarks and the
+//! figure-regeneration binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use qolsr_graph::deploy::{deploy, Deployment, UniformWeights};
+use qolsr_graph::{LocalView, NodeId, Topology};
+use qolsr_sim::SimRng;
+
+/// Deploys a paper-style topology (`1000×1000`, `R = 100`) at the given
+/// density with a fixed seed.
+pub fn paper_topology(density: f64, seed: u64) -> Topology {
+    let mut rng = SimRng::seed_from_u64(seed);
+    deploy(
+        &Deployment::paper_defaults(density),
+        &UniformWeights::paper_defaults(),
+        &mut rng,
+    )
+}
+
+/// Picks the node with the largest 2-hop neighborhood — a representative
+/// "busy" node for selector micro-benchmarks.
+pub fn busiest_view(topo: &Topology) -> LocalView {
+    let mut best: Option<(usize, LocalView)> = None;
+    for u in topo.nodes() {
+        let view = LocalView::extract(topo, u);
+        let size = view.len();
+        if best.as_ref().is_none_or(|(s, _)| size > *s) {
+            best = Some((size, view));
+        }
+    }
+    best.expect("non-empty topology").1
+}
+
+/// A deterministic connected source/destination pair for routing
+/// benchmarks (first pair found in the largest component, maximizing hop
+/// spread via node-id distance).
+pub fn sample_route_pair(topo: &Topology) -> Option<(NodeId, NodeId)> {
+    let components = qolsr_graph::connectivity::Components::compute(topo);
+    let largest = components.largest()?;
+    let members = components.members(largest);
+    if members.len() < 2 {
+        return None;
+    }
+    Some((members[0], *members.last().expect("len >= 2")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_usable_workloads() {
+        let topo = paper_topology(8.0, 1);
+        assert!(topo.len() > 50);
+        let view = busiest_view(&topo);
+        assert!(view.one_hop().count() >= 1);
+        let (s, t) = sample_route_pair(&topo).unwrap();
+        assert_ne!(s, t);
+    }
+}

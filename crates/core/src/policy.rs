@@ -1,0 +1,71 @@
+//! Bridges selectors into the live OLSR protocol: any [`AnsSelector`]
+//! becomes an [`AdvertisePolicy`] for `qolsr-proto` nodes, so the same
+//! selection logic drives both the analytic experiments and the full
+//! discrete-event simulation.
+
+use qolsr_graph::{LocalView, NodeId};
+use qolsr_proto::AdvertisePolicy;
+
+use crate::selector::AnsSelector;
+
+/// Wraps an [`AnsSelector`] as a TC advertise policy.
+///
+/// Per the dual-set design the paper adopts from topology filtering, the
+/// MPR (flooding) set stays classical inside `qolsr-proto`; only the TC
+/// *content* — the routing set — comes from the selector.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr::policy::SelectorPolicy;
+/// use qolsr::selector::Fnbp;
+/// use qolsr_metrics::BandwidthMetric;
+/// use qolsr_proto::AdvertisePolicy;
+///
+/// let mut policy = SelectorPolicy::new(Fnbp::<BandwidthMetric>::new());
+/// assert_eq!(policy.name(), "fnbp");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SelectorPolicy<S> {
+    selector: S,
+}
+
+impl<S: AnsSelector> SelectorPolicy<S> {
+    /// Wraps `selector`.
+    pub fn new(selector: S) -> Self {
+        Self { selector }
+    }
+
+    /// The wrapped selector.
+    pub fn selector(&self) -> &S {
+        &self.selector
+    }
+}
+
+impl<S: AnsSelector> AdvertisePolicy for SelectorPolicy<S> {
+    fn name(&self) -> &'static str {
+        self.selector.name()
+    }
+
+    fn advertised_set(&mut self, view: &LocalView, _mpr_selectors: &[NodeId]) -> Vec<NodeId> {
+        self.selector.select(view).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::Fnbp;
+    use qolsr_graph::fixtures;
+    use qolsr_metrics::BandwidthMetric;
+
+    #[test]
+    fn policy_matches_direct_selection() {
+        let f = fixtures::fig2();
+        let view = LocalView::extract(&f.topo, f.u);
+        let selector = Fnbp::<BandwidthMetric>::new();
+        let direct: Vec<NodeId> = selector.select(&view).into_iter().collect();
+        let mut policy = SelectorPolicy::new(selector);
+        assert_eq!(policy.advertised_set(&view, &[]), direct);
+    }
+}

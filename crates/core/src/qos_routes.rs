@@ -1,0 +1,224 @@
+//! QoS routing tables: the per-destination next-hop tables a QOLSR node
+//! installs from its knowledge (own links + local view + TC-advertised
+//! links).
+//!
+//! This is the operational counterpart of the analytic evaluators in
+//! [`routing`](crate::routing): where `route()` walks a packet across the
+//! whole network for measurement, `QosRoutingTable` is what one node
+//! would actually compute and forward with — best QoS value per
+//! destination, fewest hops among ties (QOLSR's shortest-widest /
+//! shortest-fastest rule), one resolved next hop.
+
+use qolsr_graph::paths::{best_paths, best_route};
+use qolsr_graph::{CompactGraph, NodeId, Topology};
+use qolsr_metrics::Metric;
+
+/// One installed route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QosRoute<M: Metric> {
+    /// Destination node.
+    pub dest: NodeId,
+    /// The neighbor to forward to.
+    pub next_hop: NodeId,
+    /// QoS value of the installed path.
+    pub value: M::Value,
+    /// Hop count of the installed path.
+    pub hops: u32,
+}
+
+/// A node's QoS routing table under metric `M`.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr::advertised::build_advertised;
+/// use qolsr::qos_routes::QosRoutingTable;
+/// use qolsr::selector::Fnbp;
+/// use qolsr_graph::fixtures;
+/// use qolsr_metrics::{Bandwidth, BandwidthMetric};
+///
+/// let fig = fixtures::fig1();
+/// let adv = build_advertised(&fig.topo, &Fnbp::<BandwidthMetric>::new(), 1);
+/// let table = QosRoutingTable::<BandwidthMetric>::compute(&fig.topo, adv.graph(), fig.v[0]);
+///
+/// // v1's installed route to v3 achieves the network-wide widest value.
+/// let route = table.route(fig.v[2]).unwrap();
+/// assert_eq!(route.value, Bandwidth(10));
+/// assert_eq!(route.next_hop, fig.v[5]); // v6, towards v1 v6 v5 v4 v3
+/// ```
+#[derive(Debug, Clone)]
+pub struct QosRoutingTable<M: Metric> {
+    owner: NodeId,
+    routes: Vec<Option<QosRoute<M>>>,
+}
+
+impl<M: Metric> QosRoutingTable<M> {
+    /// Computes the table of node `x` from its OLSR knowledge: the
+    /// advertised link set plus `x`'s local 2-hop view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not a node of `topo`.
+    pub fn compute(topo: &Topology, advertised: &CompactGraph, x: NodeId) -> Self {
+        assert!(x.index() < topo.len(), "owner not in topology");
+        // Knowledge graph: advertised ∪ E_x.
+        let mut k = advertised.clone();
+        for (v, _) in topo.neighbors(x) {
+            for &(w, qos) in topo.graph().neighbors(v.0) {
+                k.add_undirected(v.0, w, qos);
+            }
+        }
+        Self::compute_from_knowledge(&k, x)
+    }
+
+    /// Computes the table directly from an assembled knowledge graph
+    /// (e.g. a live protocol node's topology base).
+    pub fn compute_from_knowledge(knowledge: &CompactGraph, x: NodeId) -> Self {
+        let bp = best_paths::<M>(knowledge, x.0);
+        let routes = (0..knowledge.len() as u32)
+            .map(|dest| {
+                if dest == x.0 || !bp.reachable(dest) {
+                    return None;
+                }
+                // Resolve the hop-minimal optimal path for the next hop;
+                // `best_route` recomputes values, which keeps this simple
+                // and exact (table computation is not a hot path).
+                let (value, path) = best_route::<M>(knowledge, x.0, dest)?;
+                Some(QosRoute {
+                    dest: NodeId(dest),
+                    next_hop: NodeId(path[1]),
+                    value,
+                    hops: (path.len() - 1) as u32,
+                })
+            })
+            .collect();
+        Self { owner: x, routes }
+    }
+
+    /// The table owner.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// The installed route towards `dest`, if any.
+    pub fn route(&self, dest: NodeId) -> Option<&QosRoute<M>> {
+        self.routes.get(dest.index()).and_then(|r| r.as_ref())
+    }
+
+    /// Next hop towards `dest`, if routable.
+    pub fn next_hop(&self, dest: NodeId) -> Option<NodeId> {
+        self.route(dest).map(|r| r.next_hop)
+    }
+
+    /// Number of reachable destinations.
+    pub fn len(&self) -> usize {
+        self.routes.iter().flatten().count()
+    }
+
+    /// Returns `true` if no destination is reachable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over installed routes in destination order.
+    pub fn iter(&self) -> impl Iterator<Item = &QosRoute<M>> {
+        self.routes.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advertised::build_advertised;
+    use crate::selector::{Fnbp, QolsrMpr, MprVariant};
+    use qolsr_graph::fixtures;
+    use qolsr_metrics::{Bandwidth, BandwidthMetric, Delay, DelayMetric};
+
+    #[test]
+    fn fig1_fnbp_table_installs_widest_routes() {
+        let f = fixtures::fig1();
+        let adv = build_advertised(&f.topo, &Fnbp::<BandwidthMetric>::new(), 1);
+        let table = QosRoutingTable::<BandwidthMetric>::compute(&f.topo, adv.graph(), f.v[0]);
+        assert_eq!(table.owner(), f.v[0]);
+        let r = table.route(f.v[2]).expect("route to v3");
+        assert_eq!(r.value, Bandwidth(10));
+        assert_eq!(r.hops, 4);
+        // Every node of the component is routable.
+        assert_eq!(table.len(), f.topo.len() - 1);
+    }
+
+    #[test]
+    fn next_hops_are_neighbors() {
+        let f = fixtures::fig2();
+        let adv = build_advertised(&f.topo, &Fnbp::<DelayMetric>::new(), 1);
+        for x in f.topo.nodes() {
+            let table = QosRoutingTable::<DelayMetric>::compute(&f.topo, adv.graph(), x);
+            for r in table.iter() {
+                assert!(
+                    f.topo.has_link(x, r.next_hop),
+                    "{x}: next hop {} is not a neighbor",
+                    r.next_hop
+                );
+                assert!(r.hops >= 1);
+                assert_ne!(r.dest, x);
+            }
+        }
+    }
+
+    #[test]
+    fn hop_by_hop_follows_tables_consistently_on_fig1() {
+        // Following per-node tables from v1 to v3 terminates and matches
+        // the installed value at the source (knowledge is identical at
+        // all nodes up to their local views; fig1 is small enough that
+        // every node sees everything).
+        let f = fixtures::fig1();
+        let adv = build_advertised(&f.topo, &Fnbp::<BandwidthMetric>::new(), 1);
+        let mut cur = f.v[0];
+        let mut hops = 0;
+        while cur != f.v[2] {
+            let table = QosRoutingTable::<BandwidthMetric>::compute(&f.topo, adv.graph(), cur);
+            cur = table.next_hop(f.v[2]).expect("routable");
+            hops += 1;
+            assert!(hops <= f.topo.len(), "loop");
+        }
+        assert_eq!(hops, 4);
+    }
+
+    #[test]
+    fn unreachable_and_self_routes_absent() {
+        let mut b = qolsr_graph::TopologyBuilder::abstract_nodes(4);
+        b.link(NodeId(0), NodeId(1), qolsr_metrics::LinkQos::uniform(5))
+            .unwrap();
+        b.link(NodeId(2), NodeId(3), qolsr_metrics::LinkQos::uniform(5))
+            .unwrap();
+        let topo = b.build();
+        let adv = build_advertised(&topo, &Fnbp::<BandwidthMetric>::new(), 1);
+        let table = QosRoutingTable::<BandwidthMetric>::compute(&topo, adv.graph(), NodeId(0));
+        assert!(table.route(NodeId(0)).is_none());
+        assert!(table.route(NodeId(2)).is_none());
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn table_values_never_beat_centralized_optimum() {
+        let f = fixtures::fig2();
+        let adv = build_advertised(
+            &f.topo,
+            &QolsrMpr::<DelayMetric>::new(MprVariant::Mpr2),
+            1,
+        );
+        let table = QosRoutingTable::<DelayMetric>::compute(&f.topo, adv.graph(), f.u);
+        for r in table.iter() {
+            let opt = crate::routing::optimal_value::<DelayMetric>(&f.topo, f.u, r.dest)
+                .expect("reachable");
+            assert!(
+                !DelayMetric::better(r.value, opt),
+                "installed {:?} beats optimum {:?}",
+                r.value,
+                opt
+            );
+            assert!(r.value >= Delay(1));
+        }
+    }
+}

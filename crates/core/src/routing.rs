@@ -1,0 +1,328 @@
+//! Routing evaluators: how a packet actually travels given a selector's
+//! advertised topology.
+//!
+//! OLSR routes hop by hop: each node combines its own partial view `G_x`
+//! with the network-wide advertised links learned from TCs, computes the
+//! best QoS route and forwards to its first hop. [`RouteStrategy`] offers
+//! that model plus two ablations (see `DESIGN.md` for the rationale):
+//!
+//! * [`HopByHop`](RouteStrategy::HopByHop) — recompute at every hop
+//!   (default; the model behind the paper's Figures 8–9);
+//! * [`SourceRoute`](RouteStrategy::SourceRoute) — the source pins the
+//!   whole path from its own knowledge;
+//! * [`AdvertisedOnly`](RouteStrategy::AdvertisedOnly) — nodes know only
+//!   the advertised links plus their own direct links (no 2-hop HELLO
+//!   knowledge), the model under which the paper's Fig. 4 pathology is
+//!   visible end-to-end.
+
+use qolsr_graph::paths::{best_paths, best_route, enumerate::evaluate_path};
+use qolsr_graph::{CompactGraph, NodeId, Topology};
+use qolsr_metrics::Metric;
+
+/// Which knowledge a forwarding node uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteStrategy {
+    /// Recompute the best route at every hop from `G_x ∪ advertised`.
+    HopByHop,
+    /// Compute the route once at the source from `G_s ∪ advertised`.
+    SourceRoute,
+    /// Hop-by-hop over `advertised ∪ {own direct links}` only.
+    AdvertisedOnly,
+}
+
+/// A successful routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// The traversed node sequence (source first, destination last).
+    pub path: Vec<NodeId>,
+}
+
+impl RouteOutcome {
+    /// Number of hops travelled.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// The path's QoS value measured on ground-truth link labels.
+    pub fn qos<M: Metric>(&self, topo: &Topology) -> M::Value {
+        let indices: Vec<u32> = self.path.iter().map(|n| n.0).collect();
+        evaluate_path::<M>(topo.graph(), &indices)
+    }
+}
+
+/// A failed routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteFailure {
+    /// The current node had no route to the destination.
+    NoRoute(NodeId),
+    /// The next hop was already visited (forwarding loop).
+    Loop(NodeId),
+    /// The hop budget (network size) was exhausted.
+    HopLimit,
+}
+
+impl std::fmt::Display for RouteFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteFailure::NoRoute(n) => write!(f, "no route at {n}"),
+            RouteFailure::Loop(n) => write!(f, "forwarding loop at {n}"),
+            RouteFailure::HopLimit => write!(f, "hop limit exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RouteFailure {}
+
+/// Routes a packet from `s` to `t` under the given strategy and metric.
+///
+/// `advertised` is the union of advertised links (from
+/// [`build_advertised`](crate::advertised::build_advertised) or a live
+/// protocol run); knowledge graphs are assembled per hop as documented on
+/// [`RouteStrategy`].
+///
+/// # Errors
+///
+/// Returns a [`RouteFailure`] if forwarding gets stuck, loops, or runs
+/// out of hops.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` are not nodes of `topo`.
+pub fn route<M: Metric>(
+    topo: &Topology,
+    advertised: &CompactGraph,
+    s: NodeId,
+    t: NodeId,
+    strategy: RouteStrategy,
+) -> Result<RouteOutcome, RouteFailure> {
+    assert!(s.index() < topo.len() && t.index() < topo.len());
+    if s == t {
+        return Ok(RouteOutcome { path: vec![s] });
+    }
+
+    match strategy {
+        RouteStrategy::SourceRoute => {
+            let k = knowledge(topo, advertised, s, true);
+            let Some((_, path)) = best_route::<M>(&k, s.0, t.0) else {
+                return Err(RouteFailure::NoRoute(s));
+            };
+            Ok(RouteOutcome {
+                path: path.into_iter().map(NodeId).collect(),
+            })
+        }
+        RouteStrategy::HopByHop | RouteStrategy::AdvertisedOnly => {
+            let with_local_view = strategy == RouteStrategy::HopByHop;
+            let mut visited = vec![false; topo.len()];
+            let mut path = vec![s];
+            visited[s.index()] = true;
+            let mut cur = s;
+            while cur != t {
+                if path.len() > topo.len() {
+                    return Err(RouteFailure::HopLimit);
+                }
+                let k = knowledge(topo, advertised, cur, with_local_view);
+                let Some((_, route_nodes)) = best_route::<M>(&k, cur.0, t.0) else {
+                    return Err(RouteFailure::NoRoute(cur));
+                };
+                let next = NodeId(route_nodes[1]);
+                debug_assert!(
+                    topo.has_link(cur, next),
+                    "knowledge graphs contain only real links"
+                );
+                if visited[next.index()] {
+                    return Err(RouteFailure::Loop(next));
+                }
+                visited[next.index()] = true;
+                path.push(next);
+                cur = next;
+            }
+            Ok(RouteOutcome { path })
+        }
+    }
+}
+
+/// Assembles node `x`'s knowledge graph: the advertised links plus either
+/// its full 2-hop HELLO knowledge (`with_local_view`) or only its own
+/// direct links.
+fn knowledge(
+    topo: &Topology,
+    advertised: &CompactGraph,
+    x: NodeId,
+    with_local_view: bool,
+) -> CompactGraph {
+    let mut k = advertised.clone();
+    if with_local_view {
+        // E_x: every link incident to a neighbor of x (all endpoints are
+        // within 2 hops of x by construction).
+        for (v, _) in topo.neighbors(x) {
+            for &(w, qos) in topo.graph().neighbors(v.0) {
+                k.add_undirected(v.0, w, qos);
+            }
+        }
+    } else {
+        for (v, qos) in topo.neighbors(x) {
+            k.add_undirected(x.0, v.0, qos);
+        }
+    }
+    k
+}
+
+/// The centralized optimum the paper compares against: the best QoS value
+/// between `s` and `t` over the full ground-truth graph (Dijkstra /
+/// widest-path Dijkstra).
+pub fn optimal_value<M: Metric>(topo: &Topology, s: NodeId, t: NodeId) -> Option<M::Value> {
+    let bp = best_paths::<M>(topo.graph(), s.0);
+    bp.reachable(t.0).then(|| bp.value(t.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advertised::build_advertised;
+    use crate::selector::{ClassicMpr, Fnbp, MprVariant, QolsrMpr};
+    use qolsr_graph::fixtures;
+    use qolsr_metrics::{Bandwidth, BandwidthMetric};
+
+    #[test]
+    fn fig1_qolsr_routes_v1_v3_at_bandwidth_6() {
+        // Paper Fig. 1: under QOLSR, v1 reaches v3 through v2 with
+        // bandwidth 6 even though a bandwidth-10 path exists.
+        let f = fixtures::fig1();
+        let sel = QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr2);
+        let adv = build_advertised(&f.topo, &sel, 1);
+        let out = route::<BandwidthMetric>(
+            &f.topo,
+            adv.graph(),
+            f.v[0],
+            f.v[2],
+            RouteStrategy::SourceRoute,
+        )
+        .unwrap();
+        assert_eq!(out.qos::<BandwidthMetric>(&f.topo), Bandwidth(6));
+        assert_eq!(out.path, vec![f.v[0], f.v[1], f.v[2]]); // v1 v2 v3
+    }
+
+    #[test]
+    fn fig1_hop_by_hop_recovery_beats_source_route() {
+        // An interesting real-OLSR effect the paper's model abstracts
+        // away: hop-by-hop forwarding re-plans at every node, so v2 (which
+        // locally sees the strong v5—v4—v3 corridor) rescues part of the
+        // bandwidth QOLSR's source route forgoes.
+        let f = fixtures::fig1();
+        let sel = QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr2);
+        let adv = build_advertised(&f.topo, &sel, 1);
+        let hop = route::<BandwidthMetric>(
+            &f.topo,
+            adv.graph(),
+            f.v[0],
+            f.v[2],
+            RouteStrategy::HopByHop,
+        )
+        .unwrap();
+        assert!(hop.qos::<BandwidthMetric>(&f.topo) >= Bandwidth(6));
+    }
+
+    #[test]
+    fn fig1_fnbp_achieves_the_widest_path() {
+        let f = fixtures::fig1();
+        let adv = build_advertised(&f.topo, &Fnbp::<BandwidthMetric>::new(), 1);
+        let out = route::<BandwidthMetric>(
+            &f.topo,
+            adv.graph(),
+            f.v[0],
+            f.v[2],
+            RouteStrategy::HopByHop,
+        )
+        .unwrap();
+        assert_eq!(out.qos::<BandwidthMetric>(&f.topo), Bandwidth(10));
+        assert_eq!(
+            optimal_value::<BandwidthMetric>(&f.topo, f.v[0], f.v[2]),
+            Some(Bandwidth(10))
+        );
+        // v1 v6 v5 v4 v3
+        assert_eq!(out.path, vec![f.v[0], f.v[5], f.v[4], f.v[3], f.v[2]]);
+    }
+
+    #[test]
+    fn trivial_and_direct_routes() {
+        let f = fixtures::fig1();
+        let adv = build_advertised(&f.topo, &ClassicMpr::new(), 1);
+        let same = route::<BandwidthMetric>(
+            &f.topo,
+            adv.graph(),
+            f.v[0],
+            f.v[0],
+            RouteStrategy::HopByHop,
+        )
+        .unwrap();
+        assert_eq!(same.hops(), 0);
+    }
+
+    #[test]
+    fn source_route_equals_hop_by_hop_on_consistent_knowledge() {
+        let f = fixtures::fig1();
+        let adv = build_advertised(&f.topo, &Fnbp::<BandwidthMetric>::new(), 1);
+        let a = route::<BandwidthMetric>(
+            &f.topo,
+            adv.graph(),
+            f.v[0],
+            f.v[2],
+            RouteStrategy::SourceRoute,
+        )
+        .unwrap();
+        let b = route::<BandwidthMetric>(
+            &f.topo,
+            adv.graph(),
+            f.v[0],
+            f.v[2],
+            RouteStrategy::HopByHop,
+        )
+        .unwrap();
+        assert_eq!(a.qos::<BandwidthMetric>(&f.topo), b.qos::<BandwidthMetric>(&f.topo));
+    }
+
+    #[test]
+    fn unreachable_destination_fails_cleanly() {
+        // Two disconnected pairs.
+        let mut b = qolsr_graph::TopologyBuilder::abstract_nodes(4);
+        b.link(NodeId(0), NodeId(1), qolsr_metrics::LinkQos::uniform(1))
+            .unwrap();
+        b.link(NodeId(2), NodeId(3), qolsr_metrics::LinkQos::uniform(1))
+            .unwrap();
+        let t = b.build();
+        let adv = build_advertised(&t, &ClassicMpr::new(), 1);
+        let r = route::<BandwidthMetric>(
+            &t,
+            adv.graph(),
+            NodeId(0),
+            NodeId(3),
+            RouteStrategy::HopByHop,
+        );
+        assert_eq!(r, Err(RouteFailure::NoRoute(NodeId(0))));
+    }
+
+    #[test]
+    fn advertised_only_uses_less_knowledge() {
+        // Fig. 2: u's 2-hop view knows v5—v10; with AdvertisedOnly, u can
+        // still deliver if the advertised graph connects, otherwise fails.
+        let f = fixtures::fig2();
+        let adv = build_advertised(&f.topo, &Fnbp::<BandwidthMetric>::new(), 1);
+        let hop = route::<BandwidthMetric>(
+            &f.topo,
+            adv.graph(),
+            f.u,
+            f.v[9],
+            RouteStrategy::HopByHop,
+        );
+        assert!(hop.is_ok(), "hop-by-hop must deliver: {hop:?}");
+    }
+
+    #[test]
+    fn failure_display() {
+        assert_eq!(
+            RouteFailure::NoRoute(NodeId(3)).to_string(),
+            "no route at n3"
+        );
+        assert_eq!(RouteFailure::HopLimit.to_string(), "hop limit exhausted");
+    }
+}

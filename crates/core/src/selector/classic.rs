@@ -1,0 +1,63 @@
+//! The original OLSR baseline: the advertised set *is* the classic MPR
+//! set (link quality is ignored entirely).
+
+use std::collections::BTreeSet;
+
+use qolsr_graph::{LocalView, NodeId};
+use qolsr_proto::mpr::select_mprs;
+
+use super::AnsSelector;
+
+/// Plain RFC 3626 behaviour as an [`AnsSelector`]: advertise the
+/// link-quality-agnostic MPR set.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr::selector::{AnsSelector, ClassicMpr};
+/// use qolsr_graph::{fixtures, LocalView};
+///
+/// let fig = fixtures::fig2();
+/// let view = LocalView::extract(&fig.topo, fig.u);
+/// let mprs = ClassicMpr::new().select(&view);
+/// assert!(!mprs.is_empty());
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClassicMpr;
+
+impl ClassicMpr {
+    /// Creates the selector.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl AnsSelector for ClassicMpr {
+    fn name(&self) -> &'static str {
+        "classic-olsr"
+    }
+
+    fn select(&self, view: &LocalView) -> BTreeSet<NodeId> {
+        select_mprs(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qolsr_graph::fixtures;
+    use qolsr_proto::mpr::uncovered_two_hop;
+
+    #[test]
+    fn covers_all_two_hop_neighbors() {
+        let f = fixtures::fig5();
+        let view = LocalView::extract(&f.topo, f.u);
+        let mprs = ClassicMpr::new().select(&view);
+        assert!(uncovered_two_hop(&view, &mprs).is_empty());
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(ClassicMpr::new().name(), "classic-olsr");
+    }
+}

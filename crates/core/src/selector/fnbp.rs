@@ -1,0 +1,239 @@
+//! **FNBP** — *first node on best path* QANS selection: the paper's
+//! contribution (Algorithms 1 and 2, unified over the metric).
+//!
+//! For each 1-hop and 2-hop neighbor `v` of the center `u`, FNBP computes
+//! the exact first-hop set `fP(u, v)` of all QoS-optimal simple paths in
+//! `G_u` and advertises:
+//!
+//! * **Step 1 (1-hop `v`)** — nothing if the direct link is itself on an
+//!   optimal path (`v ∈ fP(u,v)`) or if an already-selected ANS member
+//!   lies on an optimal path; otherwise the first hop with the best
+//!   direct link (`max≺BW` / `min≺D`).
+//! * **Step 2 (2-hop `v`)** — the best-direct-link first hop if no ANS
+//!   member lies on an optimal path. If `v` is already covered *and* `u`
+//!   has a smaller id than every node of `fP(u,v)`, the **smallest-id
+//!   rule** additionally selects a first hop `w` with a real 2-hop path
+//!   `u w v` — repairing the "last link is a limiting QoS link"
+//!   unreachability of the paper's Fig. 4.
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+use qolsr_graph::paths::first_hop_table;
+use qolsr_graph::{LocalView, NodeId};
+use qolsr_metrics::Metric;
+
+use super::{best_by_direct_link, AnsSelector};
+
+/// The FNBP selector, generic over the QoS metric (Algorithm 1 with
+/// [`BandwidthMetric`](qolsr_metrics::BandwidthMetric), Algorithm 2 with
+/// [`DelayMetric`](qolsr_metrics::DelayMetric); any other [`Metric`]
+/// works identically).
+///
+/// # Examples
+///
+/// ```
+/// use qolsr::selector::{AnsSelector, Fnbp};
+/// use qolsr_graph::{fixtures, LocalView};
+/// use qolsr_metrics::BandwidthMetric;
+///
+/// let fig = fixtures::fig4();
+/// let view = LocalView::extract(&fig.topo, fig.a);
+/// // With the smallest-id rule, A selects D in addition to B.
+/// let ans = Fnbp::<BandwidthMetric>::new().select(&view);
+/// assert!(ans.contains(&fig.d));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fnbp<M> {
+    id_rule: bool,
+    _metric: PhantomData<M>,
+}
+
+impl<M> Default for Fnbp<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Fnbp<M> {
+    /// FNBP as published: smallest-id rule enabled.
+    pub fn new() -> Self {
+        Self {
+            id_rule: true,
+            _metric: PhantomData,
+        }
+    }
+
+    /// Ablation variant without the smallest-id rule (the "plain"
+    /// algorithm whose reachability hole Fig. 4 exhibits).
+    pub fn without_id_rule() -> Self {
+        Self {
+            id_rule: false,
+            _metric: PhantomData,
+        }
+    }
+
+    /// Whether the smallest-id rule is active.
+    pub fn id_rule(&self) -> bool {
+        self.id_rule
+    }
+}
+
+impl<M: Metric> AnsSelector for Fnbp<M> {
+    fn name(&self) -> &'static str {
+        if self.id_rule {
+            "fnbp"
+        } else {
+            "fnbp-no-id-rule"
+        }
+    }
+
+    fn select(&self, view: &LocalView) -> BTreeSet<NodeId> {
+        let u = view.center_local();
+        let table = first_hop_table::<M>(view.graph(), u);
+        let mut ans: BTreeSet<u32> = BTreeSet::new();
+
+        // Step 1: ANS for 1-hop neighbors (Alg. 1/2 lines 1–7). Iteration
+        // is in ascending id order (the paper leaves it open; id order is
+        // the deterministic choice consistent with its tie-breaking).
+        for v in view.one_hop_local() {
+            let fp = table.first_hops(v);
+            if fp.iter().any(|w| ans.contains(w)) {
+                continue; // covered through an existing ANS member
+            }
+            if table.direct_link_is_optimal(v) {
+                continue; // the direct link is a best path: nothing to add
+            }
+            if let Some(w) = best_by_direct_link::<M>(view, fp.iter().copied()) {
+                ans.insert(w);
+            }
+        }
+
+        // Step 2: ANS for 2-hop neighbors (lines 8–17).
+        for v in view.two_hop_local() {
+            let fp = table.first_hops(v);
+            if fp.is_empty() {
+                continue; // transiently uncovered in learned views
+            }
+            if !fp.iter().any(|w| ans.contains(w)) {
+                if let Some(w) = best_by_direct_link::<M>(view, fp.iter().copied()) {
+                    ans.insert(w);
+                }
+            } else if self.id_rule {
+                // Smallest-id rule: if u precedes every node on the
+                // QoS-optimal paths, make sure some advertised first hop
+                // has a real 2-hop path u-w-v (prose of §III.B; the
+                // listing's `∩ N(u)` is vacuous since fP ⊆ N(u), see
+                // DESIGN.md).
+                let min_fp_id = fp
+                    .iter()
+                    .map(|&w| view.global_id(w))
+                    .min()
+                    .expect("non-empty first-hop set");
+                if min_fp_id > view.center() {
+                    let relays = fp.iter().copied().filter(|&w| view.graph().has_edge(w, v));
+                    if let Some(w) = best_by_direct_link::<M>(view, relays) {
+                        ans.insert(w);
+                    }
+                }
+            }
+        }
+
+        ans.into_iter().map(|w| view.global_id(w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qolsr_graph::fixtures;
+    use qolsr_metrics::{BandwidthMetric, DelayMetric};
+
+    #[test]
+    fn fig2_selects_v1_v6_v7() {
+        let f = fixtures::fig2();
+        let view = LocalView::extract(&f.topo, f.u);
+        let ans = Fnbp::<BandwidthMetric>::new().select(&view);
+        assert_eq!(
+            ans.into_iter().collect::<Vec<_>>(),
+            vec![f.v[0], f.v[5], f.v[6]], // v1, v6, v7
+        );
+    }
+
+    #[test]
+    fn fig4_id_rule_adds_d_at_a() {
+        let f = fixtures::fig4();
+        let view = LocalView::extract(&f.topo, f.a);
+
+        let plain = Fnbp::<BandwidthMetric>::without_id_rule().select(&view);
+        assert_eq!(plain.into_iter().collect::<Vec<_>>(), vec![f.b]);
+
+        let fixed = Fnbp::<BandwidthMetric>::new().select(&view);
+        assert_eq!(fixed.into_iter().collect::<Vec<_>>(), vec![f.b, f.d]);
+    }
+
+    #[test]
+    fn direct_optimal_links_add_nothing() {
+        // Star: every neighbor reached optimally by its direct link and
+        // no 2-hop neighbors exist.
+        let mut b = qolsr_graph::TopologyBuilder::abstract_nodes(4);
+        for i in 1..4 {
+            b.link(NodeId(0), NodeId(i), qolsr_metrics::LinkQos::uniform(5))
+                .unwrap();
+        }
+        let t = b.build();
+        let view = LocalView::extract(&t, NodeId(0));
+        assert!(Fnbp::<BandwidthMetric>::new().select(&view).is_empty());
+    }
+
+    #[test]
+    fn coverage_invariant_every_target_touched() {
+        // For every 1-/2-hop neighbor v: either the direct link is
+        // optimal, or some ANS member is on an optimal path, or (2-hop,
+        // covered) the id rule added a relay.
+        let f = fixtures::fig2();
+        let view = LocalView::extract(&f.topo, f.u);
+        let ans = Fnbp::<BandwidthMetric>::new().select(&view);
+        let ans_local: BTreeSet<u32> =
+            ans.iter().map(|&n| view.local_index(n).unwrap()).collect();
+        let table = first_hop_table::<BandwidthMetric>(view.graph(), view.center_local());
+        for v in view.one_hop_local() {
+            let fp = table.first_hops(v);
+            assert!(
+                table.direct_link_is_optimal(v) || fp.iter().any(|w| ans_local.contains(w)),
+                "1-hop {v} uncovered"
+            );
+        }
+        for v in view.two_hop_local() {
+            let fp = table.first_hops(v);
+            assert!(
+                fp.iter().any(|w| ans_local.contains(w)),
+                "2-hop {v} uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_variant_runs_on_fig2() {
+        let f = fixtures::fig2();
+        let view = LocalView::extract(&f.topo, f.u);
+        let ans = Fnbp::<DelayMetric>::new().select(&view);
+        // Fixture delays are 11 − bandwidth, so the good-bandwidth links
+        // are also the fast links and the selection stays small.
+        assert!(!ans.is_empty() && ans.len() <= 4);
+        for n in &ans {
+            assert!(view.one_hop().any(|m| m == *n));
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(Fnbp::<BandwidthMetric>::new().id_rule());
+        assert!(!Fnbp::<BandwidthMetric>::without_id_rule().id_rule());
+        assert_eq!(Fnbp::<BandwidthMetric>::new().name(), "fnbp");
+        assert_eq!(
+            Fnbp::<BandwidthMetric>::without_id_rule().name(),
+            "fnbp-no-id-rule"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Advertised-neighbor-set selectors: the paper's contribution (FNBP) and
+//! every comparator it is evaluated against.
+
+use std::collections::BTreeSet;
+
+use qolsr_graph::{LocalView, NodeId};
+use qolsr_metrics::{best_by_preference, Metric};
+
+mod classic;
+mod fnbp;
+mod qolsr_mpr;
+mod topology_filtering;
+
+pub use classic::ClassicMpr;
+pub use fnbp::Fnbp;
+pub use qolsr_mpr::{MprVariant, QolsrMpr};
+pub use topology_filtering::TopologyFiltering;
+
+/// A strategy choosing which neighbors a node advertises in TC messages
+/// for *routing* purposes (the paper's ANS / QANS).
+///
+/// Implementations are pure functions of the node's partial view `G_u`,
+/// which makes them usable both analytically (directly on extracted
+/// views, as the experiment harness does) and inside the live protocol
+/// (via [`policy::SelectorPolicy`](crate::policy::SelectorPolicy)).
+pub trait AnsSelector: Send + Sync {
+    /// Display name used in figures and reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes the advertised set for the view's center. The result is
+    /// always a subset of the center's 1-hop neighbors.
+    fn select(&self, view: &LocalView) -> BTreeSet<NodeId>;
+}
+
+/// Selects the most-preferred candidate under the paper's `≺u` order —
+/// best direct-link QoS from the center, ties to the smallest id — among
+/// `candidates` (local indices of 1-hop neighbors). Returns a local index.
+pub(crate) fn best_by_direct_link<M: Metric>(
+    view: &LocalView,
+    candidates: impl IntoIterator<Item = u32>,
+) -> Option<u32> {
+    let scored = candidates.into_iter().map(|w| {
+        let qos = view
+            .direct_qos(w)
+            .expect("candidate must be a 1-hop neighbor");
+        (M::link_value(&qos), view.global_id(w))
+    });
+    let (_, id) = best_by_preference::<M, NodeId>(scored)?;
+    view.local_index(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qolsr_graph::{fixtures, LocalView};
+    use qolsr_metrics::BandwidthMetric;
+
+    #[test]
+    fn best_by_direct_link_prefers_wider_then_smaller_id() {
+        let f = fixtures::fig2();
+        let view = LocalView::extract(&f.topo, f.u);
+        let v1 = view.local_index(f.v[0]).unwrap();
+        let v2 = view.local_index(f.v[1]).unwrap();
+        let v6 = view.local_index(f.v[5]).unwrap();
+        // BW(u,v6)=6 beats BW(u,v2)=5.
+        assert_eq!(
+            best_by_direct_link::<BandwidthMetric>(&view, [v2, v6]),
+            Some(v6)
+        );
+        // Tie BW(u,v1)=BW(u,v2)=5: smaller id wins.
+        assert_eq!(
+            best_by_direct_link::<BandwidthMetric>(&view, [v2, v1]),
+            Some(v1)
+        );
+        assert_eq!(best_by_direct_link::<BandwidthMetric>(&view, []), None);
+    }
+
+    /// Common invariant: every selector returns a subset of N(u).
+    #[test]
+    fn selectors_return_one_hop_subsets() {
+        let f = fixtures::fig2();
+        let view = LocalView::extract(&f.topo, f.u);
+        let one_hop: BTreeSet<NodeId> = view.one_hop().collect();
+        let selectors: Vec<Box<dyn AnsSelector>> = vec![
+            Box::new(ClassicMpr::new()),
+            Box::new(QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr1)),
+            Box::new(QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr2)),
+            Box::new(TopologyFiltering::<BandwidthMetric>::new()),
+            Box::new(Fnbp::<BandwidthMetric>::new()),
+        ];
+        for s in &selectors {
+            let ans = s.select(&view);
+            assert!(
+                ans.is_subset(&one_hop),
+                "{} selected a non-neighbor",
+                s.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The topology-filtering QANS of Moraru & Simplot-Ryl ([7] in the
+//! paper, as summarized in its §II): reduce the local view with a
+//! QoS-weighted relative neighborhood graph, then advertise **every**
+//! first node of every best path to each 1-hop and 2-hop neighbor.
+//!
+//! The present paper keeps this scheme's path quality but criticizes its
+//! set size ("as they will all be selected as advertised neighbors, the
+//! cardinality of the set is still quite higher than the one of the
+//! optimal solution") — which is exactly what Figures 6–9 measure.
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+use qolsr_graph::paths::first_hop_table;
+use qolsr_graph::reduction::rng_reduce;
+use qolsr_graph::{LocalView, NodeId};
+use qolsr_metrics::Metric;
+
+use super::AnsSelector;
+
+/// The topology-filtering selector, generic over the QoS metric.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr::selector::{AnsSelector, Fnbp, TopologyFiltering};
+/// use qolsr_graph::{fixtures, LocalView};
+/// use qolsr_metrics::BandwidthMetric;
+///
+/// let fig = fixtures::fig5();
+/// let view = LocalView::extract(&fig.topo, fig.u);
+/// let tf = TopologyFiltering::<BandwidthMetric>::new().select(&view);
+/// let fnbp = Fnbp::<BandwidthMetric>::new().select(&view);
+/// // FNBP never advertises more than topology filtering.
+/// assert!(fnbp.len() <= tf.len());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TopologyFiltering<M> {
+    _metric: PhantomData<M>,
+}
+
+impl<M> Default for TopologyFiltering<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> TopologyFiltering<M> {
+    /// Creates the selector.
+    pub fn new() -> Self {
+        Self {
+            _metric: PhantomData,
+        }
+    }
+}
+
+impl<M: Metric> AnsSelector for TopologyFiltering<M> {
+    fn name(&self) -> &'static str {
+        "topology-filtering"
+    }
+
+    fn select(&self, view: &LocalView) -> BTreeSet<NodeId> {
+        let u = view.center_local();
+        let reduced = rng_reduce::<M>(view.graph());
+
+        // "A node is in the QANS set if it maximizes (minimizes)
+        // bandwidth (delay) to a 2-hop neighbor *in the reduced graph*":
+        // targets are the nodes at hop distance exactly 2 after
+        // filtering. A 1-hop neighbor whose weak direct link was filtered
+        // becomes such a target — this is how "a two-hop path can be used
+        // for reaching a one-hop neighbor if it offers better QoS".
+        let targets = nodes_at_reduced_distance_two(&reduced, u);
+
+        let table = first_hop_table::<M>(&reduced, u);
+        let mut ans: BTreeSet<u32> = BTreeSet::new();
+        for v in targets {
+            // *Every* first node of every best path is selected — the
+            // set-size drawback the paper's Figs. 6–7 quantify.
+            ans.extend(table.first_hops(v).iter().copied());
+        }
+
+        ans.into_iter().map(|w| view.global_id(w)).collect()
+    }
+}
+
+/// Nodes at hop distance exactly 2 from `u` in `g`.
+fn nodes_at_reduced_distance_two(g: &qolsr_graph::CompactGraph, u: u32) -> Vec<u32> {
+    let mut dist1 = vec![false; g.len()];
+    for &(v, _) in g.neighbors(u) {
+        dist1[v as usize] = true;
+    }
+    let mut out = Vec::new();
+    let mut seen = vec![false; g.len()];
+    for &(v, _) in g.neighbors(u) {
+        for &(w, _) in g.neighbors(v) {
+            if w != u && !dist1[w as usize] && !seen[w as usize] {
+                seen[w as usize] = true;
+                out.push(w);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qolsr_graph::fixtures;
+    use qolsr_metrics::{BandwidthMetric, DelayMetric};
+
+    #[test]
+    fn ties_select_all_first_hops() {
+        // Square 0-1-2-3-0 with equal weights: both 1 and 3 are first
+        // hops of best paths to the opposite corner 2 — TF advertises
+        // both, FNBP would keep one.
+        let mut b = qolsr_graph::TopologyBuilder::abstract_nodes(4);
+        let q = qolsr_metrics::LinkQos::uniform(5);
+        for (x, y) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            b.link(NodeId(x), NodeId(y), q).unwrap();
+        }
+        let t = b.build();
+        let view = LocalView::extract(&t, NodeId(0));
+        let ans = TopologyFiltering::<BandwidthMetric>::new().select(&view);
+        assert_eq!(
+            ans.into_iter().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn two_hop_detour_for_one_hop_neighbor() {
+        // Weak direct link 0-2, strong detour via 1: the reduction drops
+        // the direct link, and TF must advertise 1 to cover neighbor 2.
+        let mut b = qolsr_graph::TopologyBuilder::abstract_nodes(3);
+        let q = |w| qolsr_metrics::LinkQos::uniform(w);
+        b.link(NodeId(0), NodeId(1), q(9)).unwrap();
+        b.link(NodeId(1), NodeId(2), q(9)).unwrap();
+        b.link(NodeId(0), NodeId(2), q(1)).unwrap();
+        let t = b.build();
+        let view = LocalView::extract(&t, NodeId(0));
+        let ans = TopologyFiltering::<BandwidthMetric>::new().select(&view);
+        assert_eq!(ans.into_iter().collect::<Vec<_>>(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn covers_all_reduced_two_hop_targets() {
+        // Invariant: for every node at reduced-graph distance 2, *all*
+        // first hops of its best paths are advertised, and the reduction
+        // never disconnects it.
+        use qolsr_graph::paths::first_hop_table;
+        use qolsr_graph::reduction::rng_reduce;
+
+        let f = fixtures::fig2();
+        let view = LocalView::extract(&f.topo, f.u);
+
+        fn check<M: qolsr_metrics::Metric>(view: &LocalView) {
+            let ans = TopologyFiltering::<M>::new().select(view);
+            let reduced = rng_reduce::<M>(view.graph());
+            let table = first_hop_table::<M>(&reduced, view.center_local());
+            for v in super::nodes_at_reduced_distance_two(&reduced, view.center_local()) {
+                let fp = table.first_hops(v);
+                assert!(!fp.is_empty(), "RNG reduction must not disconnect {v}");
+                for &w in fp {
+                    assert!(
+                        ans.contains(&view.global_id(w)),
+                        "first hop {w} of target {v} not advertised"
+                    );
+                }
+            }
+        }
+        check::<BandwidthMetric>(&view);
+        check::<DelayMetric>(&view);
+    }
+
+    #[test]
+    fn fig2_fnbp_is_no_larger_than_tf() {
+        use crate::selector::Fnbp;
+        let f = fixtures::fig2();
+        let view = LocalView::extract(&f.topo, f.u);
+        let tf = TopologyFiltering::<BandwidthMetric>::new().select(&view);
+        let fnbp = Fnbp::<BandwidthMetric>::new().select(&view);
+        assert!(fnbp.len() <= tf.len());
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(
+            TopologyFiltering::<BandwidthMetric>::new().name(),
+            "topology-filtering"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests for the selector invariants on random unit-disk
+//! topologies.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use qolsr::selector::{
+    AnsSelector, ClassicMpr, Fnbp, MprVariant, QolsrMpr, TopologyFiltering,
+};
+use qolsr_graph::paths::first_hop_table;
+use qolsr_graph::{LocalView, NodeId, Topology, TopologyBuilder};
+use qolsr_metrics::{BandwidthMetric, DelayMetric, LinkQos, Metric};
+
+/// Random connected-ish topology: `n ∈ [4, 14]` nodes, random edges with
+/// weights in `[1, 10]`.
+fn random_topology() -> impl Strategy<Value = Topology> {
+    (4usize..=14).prop_flat_map(|n| {
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|a| ((a + 1)..n as u32).map(move |b| (a, b)))
+            .collect();
+        let m = pairs.len();
+        (
+            Just(n),
+            Just(pairs),
+            proptest::collection::vec(proptest::option::weighted(0.4, 1u64..=10), m),
+        )
+            .prop_map(|(n, pairs, weights)| {
+                let mut b = TopologyBuilder::abstract_nodes(n);
+                for ((x, y), w) in pairs.into_iter().zip(weights) {
+                    if let Some(w) = w {
+                        b.link(NodeId(x), NodeId(y), LinkQos::uniform(w)).unwrap();
+                    }
+                }
+                b.build()
+            })
+    })
+}
+
+fn all_selectors() -> Vec<Box<dyn AnsSelector>> {
+    vec![
+        Box::new(ClassicMpr::new()),
+        Box::new(QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr1)),
+        Box::new(QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr2)),
+        Box::new(QolsrMpr::<DelayMetric>::new(MprVariant::Mpr2)),
+        Box::new(TopologyFiltering::<BandwidthMetric>::new()),
+        Box::new(TopologyFiltering::<DelayMetric>::new()),
+        Box::new(Fnbp::<BandwidthMetric>::new()),
+        Box::new(Fnbp::<BandwidthMetric>::without_id_rule()),
+        Box::new(Fnbp::<DelayMetric>::new()),
+    ]
+}
+
+/// FNBP coverage invariant under metric `M` (the paper's correctness
+/// core): after selection, every 1-hop neighbor is reached by an optimal
+/// direct link or through an advertised first hop, and every reachable
+/// 2-hop neighbor has an advertised first hop on some optimal path.
+fn check_fnbp_coverage<M: Metric>(topo: &Topology, u: NodeId) -> Result<(), TestCaseError> {
+    let view = LocalView::extract(topo, u);
+    let ans = Fnbp::<M>::new().select(&view);
+    let ans_local: BTreeSet<u32> = ans
+        .iter()
+        .map(|&n| view.local_index(n).expect("ANS within view"))
+        .collect();
+    let table = first_hop_table::<M>(view.graph(), view.center_local());
+    for v in view.one_hop_local() {
+        let fp = table.first_hops(v);
+        prop_assert!(
+            table.direct_link_is_optimal(v) || fp.iter().any(|w| ans_local.contains(w)),
+            "1-hop {v} uncovered at {u}"
+        );
+    }
+    for v in view.two_hop_local() {
+        let fp = table.first_hops(v);
+        if fp.is_empty() {
+            continue;
+        }
+        prop_assert!(
+            fp.iter().any(|w| ans_local.contains(w)),
+            "2-hop {v} uncovered at {u}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_selector_returns_one_hop_subsets(topo in random_topology()) {
+        for u in topo.nodes() {
+            let view = LocalView::extract(&topo, u);
+            let one_hop: BTreeSet<NodeId> = view.one_hop().collect();
+            for sel in all_selectors() {
+                let ans = sel.select(&view);
+                prop_assert!(
+                    ans.is_subset(&one_hop),
+                    "{} selected outside N({u})",
+                    sel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fnbp_covers_everything_bandwidth(topo in random_topology()) {
+        for u in topo.nodes() {
+            check_fnbp_coverage::<BandwidthMetric>(&topo, u)?;
+        }
+    }
+
+    #[test]
+    fn fnbp_covers_everything_delay(topo in random_topology()) {
+        for u in topo.nodes() {
+            check_fnbp_coverage::<DelayMetric>(&topo, u)?;
+        }
+    }
+
+    #[test]
+    fn id_rule_only_adds_nodes(topo in random_topology()) {
+        for u in topo.nodes() {
+            let view = LocalView::extract(&topo, u);
+            let with = Fnbp::<BandwidthMetric>::new().select(&view);
+            let without = Fnbp::<BandwidthMetric>::without_id_rule().select(&view);
+            prop_assert!(
+                without.is_subset(&with),
+                "id rule removed nodes at {u}: {without:?} ⊄ {with:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn classic_and_qolsr_mprs_cover_two_hop(topo in random_topology()) {
+        for u in topo.nodes() {
+            let view = LocalView::extract(&topo, u);
+            for sel in [
+                Box::new(ClassicMpr::new()) as Box<dyn AnsSelector>,
+                Box::new(QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr1)),
+                Box::new(QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr2)),
+            ] {
+                let mprs = sel.select(&view);
+                let uncovered = qolsr_proto::mpr::uncovered_two_hop(&view, &mprs);
+                prop_assert!(
+                    uncovered.is_empty(),
+                    "{} left {uncovered:?} uncovered at {u}",
+                    sel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic(topo in random_topology()) {
+        for u in topo.nodes() {
+            let view = LocalView::extract(&topo, u);
+            for sel in all_selectors() {
+                prop_assert_eq!(sel.select(&view), sel.select(&view));
+            }
+        }
+    }
+
+    #[test]
+    fn advertised_graph_uses_real_links(topo in random_topology()) {
+        let adv = qolsr::advertised::build_advertised(
+            &topo,
+            &Fnbp::<BandwidthMetric>::new(),
+            1,
+        );
+        for (a, b, qos) in adv.graph().edges() {
+            prop_assert_eq!(topo.link_qos(NodeId(a), NodeId(b)), Some(qos));
+        }
+    }
+}

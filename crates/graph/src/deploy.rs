@@ -1,0 +1,319 @@
+//! Random deployments matching the paper's simulation settings (§IV.A):
+//! nodes dropped in a `1000 × 1000` square by a Poisson point process of
+//! intensity `λ = δ/(πR²)` (so `δ` is the expected node degree), a common
+//! communication radius `R = 100`, and link QoS values drawn uniformly at
+//! random in a fixed interval.
+
+use std::f64::consts::PI;
+
+use qolsr_metrics::{Bandwidth, Delay, Energy, LinkQos};
+use rand::{Rng, RngExt};
+
+use crate::geometry::Point2;
+use crate::topology::{Topology, TopologyBuilder};
+
+/// Deployment parameters.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_graph::deploy::Deployment;
+///
+/// let d = Deployment::paper_defaults(20.0);
+/// assert_eq!(d.radius, 100.0);
+/// // λ = δ / (π R²)
+/// assert!((d.intensity() - 20.0 / (std::f64::consts::PI * 10_000.0)).abs() < 1e-12);
+/// // ≈ 637 expected nodes at δ = 20.
+/// assert!((d.expected_nodes() - 636.6).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deployment {
+    /// Field width.
+    pub width: f64,
+    /// Field height.
+    pub height: f64,
+    /// Communication radius `R`.
+    pub radius: f64,
+    /// Target mean node degree `δ` (the paper's "network density").
+    pub mean_degree: f64,
+}
+
+impl Deployment {
+    /// The paper's settings: `1000 × 1000` field, `R = 100`, given density.
+    pub fn paper_defaults(mean_degree: f64) -> Self {
+        Self {
+            width: 1000.0,
+            height: 1000.0,
+            radius: 100.0,
+            mean_degree,
+        }
+    }
+
+    /// Poisson intensity `λ = δ/(πR²)`.
+    pub fn intensity(&self) -> f64 {
+        self.mean_degree / (PI * self.radius * self.radius)
+    }
+
+    /// Expected number of nodes `λ · area`.
+    pub fn expected_nodes(&self) -> f64 {
+        self.intensity() * self.width * self.height
+    }
+}
+
+/// Uniform integer QoS weight sampler over the inclusive range
+/// `[min, max]`; bandwidth, delay and energy are drawn independently, so a
+/// single topology supports all metrics.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_graph::deploy::UniformWeights;
+///
+/// let w = UniformWeights::paper_defaults();
+/// assert_eq!((w.min, w.max), (1, 10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformWeights {
+    /// Inclusive lower bound.
+    pub min: u64,
+    /// Inclusive upper bound.
+    pub max: u64,
+}
+
+impl UniformWeights {
+    /// Creates a sampler over `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or `min == 0` (a zero weight means "no link"
+    /// under concave metrics).
+    pub fn new(min: u64, max: u64) -> Self {
+        assert!(min <= max, "min must not exceed max");
+        assert!(min > 0, "weights must be positive");
+        Self { min, max }
+    }
+
+    /// The paper-scale default `[1, 10]` (matches the magnitudes of the
+    /// paper's worked figures; the exact interval is unspecified in §IV.A).
+    pub fn paper_defaults() -> Self {
+        Self { min: 1, max: 10 }
+    }
+
+    /// Draws one link label.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> LinkQos {
+        LinkQos::with_energy(
+            Bandwidth(rng.random_range(self.min..=self.max)),
+            Delay(rng.random_range(self.min..=self.max)),
+            Energy(rng.random_range(self.min..=self.max)),
+        )
+    }
+}
+
+/// Draws a Poisson-distributed count of the given `mean` by summing unit
+/// exponentials (exact, O(mean) draws — robust for the large means the
+/// paper's densities produce, unlike Knuth's product method which
+/// underflows).
+pub fn sample_poisson_count<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> usize {
+    assert!(mean >= 0.0, "mean must be non-negative");
+    let mut acc = 0.0f64;
+    let mut count = 0usize;
+    loop {
+        // Exp(1) via inverse transform; `1 - u` avoids ln(0).
+        let u: f64 = rng.random();
+        acc += -(1.0 - u).ln();
+        if acc > mean {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+/// Samples a Poisson point process deployment and connects every pair of
+/// nodes within `cfg.radius`, labelling each link from `weights`.
+///
+/// Uses a cell grid of side `R` so construction is near-linear in the
+/// number of node pairs actually in range.
+pub fn deploy<R: Rng + ?Sized>(
+    cfg: &Deployment,
+    weights: &UniformWeights,
+    rng: &mut R,
+) -> Topology {
+    let n = sample_poisson_count(cfg.expected_nodes(), rng);
+    let positions: Vec<Point2> = (0..n)
+        .map(|_| {
+            Point2::new(
+                rng.random_range(0.0..cfg.width),
+                rng.random_range(0.0..cfg.height),
+            )
+        })
+        .collect();
+    deploy_at(cfg, weights, positions, rng)
+}
+
+/// Builds the unit-disk topology over the given positions (used by
+/// [`deploy`] and by tests that need deterministic layouts).
+pub fn deploy_at<R: Rng + ?Sized>(
+    cfg: &Deployment,
+    weights: &UniformWeights,
+    positions: Vec<Point2>,
+    rng: &mut R,
+) -> Topology {
+    let mut builder = TopologyBuilder::new(cfg.radius);
+    let ids: Vec<_> = positions.iter().map(|&p| builder.add_node(p)).collect();
+
+    // Cell grid of side R: a node only needs to check the 3×3 block of
+    // cells around its own.
+    let r = cfg.radius;
+    let r_sq = r * r;
+    let cols = (cfg.width / r).ceil().max(1.0) as i64;
+    let rows = (cfg.height / r).ceil().max(1.0) as i64;
+    let cell_of = |p: Point2| -> (i64, i64) {
+        (
+            ((p.x / r) as i64).clamp(0, cols - 1),
+            ((p.y / r) as i64).clamp(0, rows - 1),
+        )
+    };
+    let mut grid: Vec<Vec<usize>> = vec![Vec::new(); (cols * rows) as usize];
+    for (i, &p) in positions.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        grid[(cy * cols + cx) as usize].push(i);
+    }
+
+    for (i, &p) in positions.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                let (nx, ny) = (cx + dx, cy + dy);
+                if nx < 0 || ny < 0 || nx >= cols || ny >= rows {
+                    continue;
+                }
+                for &j in &grid[(ny * cols + nx) as usize] {
+                    // Each unordered pair once.
+                    if j <= i {
+                        continue;
+                    }
+                    if p.distance_sq(positions[j]) <= r_sq {
+                        let qos = weights.sample(rng);
+                        builder
+                            .link(ids[i], ids[j], qos)
+                            .expect("grid produced valid node ids");
+                    }
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_count_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean = 200.0;
+        let samples = 300;
+        let total: usize = (0..samples)
+            .map(|_| sample_poisson_count(mean, &mut rng))
+            .sum();
+        let empirical = total as f64 / samples as f64;
+        // std-error ≈ sqrt(200/300) ≈ 0.8; allow 5σ.
+        assert!(
+            (empirical - mean).abs() < 5.0,
+            "empirical mean {empirical} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn poisson_count_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_poisson_count(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn deploy_links_respect_radius() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let cfg = Deployment::paper_defaults(15.0);
+        let topo = deploy(&cfg, &UniformWeights::paper_defaults(), &mut rng);
+        for a in topo.nodes() {
+            for (b, _) in topo.neighbors(a) {
+                let d = topo.position(a).distance(topo.position(b));
+                assert!(d <= cfg.radius + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deploy_degree_is_near_target() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = Deployment::paper_defaults(20.0);
+        // Average over several deployments; border effects lower the mean
+        // degree slightly (nodes near the edge see a clipped disk).
+        let mut total = 0.0;
+        let runs = 5;
+        for _ in 0..runs {
+            let topo = deploy(&cfg, &UniformWeights::paper_defaults(), &mut rng);
+            total += topo.average_degree();
+        }
+        let avg = total / runs as f64;
+        assert!(
+            (12.0..=21.0).contains(&avg),
+            "average degree {avg} implausible for δ=20"
+        );
+    }
+
+    #[test]
+    fn weights_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = UniformWeights::new(2, 5);
+        for _ in 0..100 {
+            let qos = w.sample(&mut rng);
+            assert!((2..=5).contains(&qos.bandwidth.value()));
+            assert!((2..=5).contains(&qos.delay.value()));
+            assert!((2..=5).contains(&qos.energy.value()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_rejected() {
+        let _ = UniformWeights::new(0, 5);
+    }
+
+    #[test]
+    fn grid_matches_bruteforce_linking() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = Deployment {
+            width: 300.0,
+            height: 300.0,
+            radius: 60.0,
+            mean_degree: 8.0,
+        };
+        let topo = deploy(&cfg, &UniformWeights::paper_defaults(), &mut rng);
+        // Recheck every pair exhaustively.
+        let n = topo.len();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                let a = crate::NodeId(i);
+                let b = crate::NodeId(j);
+                let within =
+                    topo.position(a).distance_sq(topo.position(b)) <= cfg.radius * cfg.radius;
+                assert_eq!(topo.has_link(a, b), within, "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = Deployment::paper_defaults(10.0);
+        let w = UniformWeights::paper_defaults();
+        let t1 = deploy(&cfg, &w, &mut StdRng::seed_from_u64(5));
+        let t2 = deploy(&cfg, &w, &mut StdRng::seed_from_u64(5));
+        assert_eq!(t1.len(), t2.len());
+        assert_eq!(t1.link_count(), t2.link_count());
+        assert_eq!(t1.graph(), t2.graph());
+    }
+}

@@ -1,0 +1,315 @@
+//! The paper's worked example graphs (Figures 1, 2, 4 and 5).
+//!
+//! The source scan does not give machine-readable edge lists, so each
+//! fixture is *reconstructed from the claims the paper makes about it*;
+//! every documented claim is asserted by `tests/paper_examples.rs` in the
+//! workspace root. Where the stated claims over-constrain each other (see
+//! the Fig. 2 note below) the fixture preserves the claim the paper
+//! actually computes with, and the deviation is documented here and in
+//! `DESIGN.md`.
+//!
+//! Only the bandwidth values matter for these figures; each link's delay is
+//! set to `11 − bandwidth` so the same fixtures exercise additive-metric
+//! code paths with the preference order inverted.
+
+use qolsr_metrics::{Bandwidth, Delay, LinkQos};
+
+use crate::ids::NodeId;
+use crate::topology::{Topology, TopologyBuilder};
+
+/// Builds the link label used by all fixtures: bandwidth `w`, delay
+/// `11 − w` (so "good" bandwidth links are also "fast" links).
+fn weight(w: u64) -> LinkQos {
+    LinkQos::new(Bandwidth(w), Delay(11 - w))
+}
+
+fn build(n: usize, edges: &[(u32, u32, u64)]) -> Topology {
+    let mut b = TopologyBuilder::abstract_nodes(n);
+    for &(x, y, w) in edges {
+        b.link(NodeId(x), NodeId(y), weight(w))
+            .expect("fixture edges are valid");
+    }
+    b.build()
+}
+
+/// Fig. 1 — QOLSR's heuristic misses the widest path.
+///
+/// Claims preserved (all asserted in `tests/paper_examples.rs`):
+///
+/// * the network-wide MPR set under the QOLSR heuristics is `{v2, v5}`;
+/// * `v1` routes to `v3` through its MPR `v2` with path bandwidth **6**;
+/// * the widest `v1 → v3` path is `v1 v6 v5 v4 v3` with bandwidth **10**,
+///   and no MPR-advertised route achieves it.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// The six-node topology.
+    pub topo: Topology,
+    /// `v[i]` is the paper's `v_{i+1}`.
+    pub v: [NodeId; 6],
+}
+
+/// Builds the Fig. 1 fixture.
+pub fn fig1() -> Fig1 {
+    // v1..v6 = ids 0..5.
+    let topo = build(
+        6,
+        &[
+            (0, 1, 7),  // v1—v2
+            (1, 2, 6),  // v2—v3
+            (0, 5, 10), // v1—v6
+            (5, 4, 10), // v6—v5
+            (4, 3, 10), // v5—v4
+            (3, 2, 10), // v4—v3
+            (0, 4, 4),  // v1—v5
+            (4, 2, 4),  // v5—v3
+            (1, 3, 1),  // v2—v4
+            (1, 4, 10), // v2—v5
+        ],
+    );
+    Fig1 {
+        topo,
+        v: [NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)],
+    }
+}
+
+/// Fig. 2 — the paper's running local-view example around node `u`.
+///
+/// Claims preserved (asserted in `tests/paper_examples.rs`):
+///
+/// * `N(u) = {v1, v2, v4, v5, v6, v7}`,
+///   `N²(u) = {v3, v8, v9, v10, v11}`;
+/// * `fPBW(u, v3) = {v1, v2}` with `B̃W(u, v3) = 4` via `u v1 v3` and
+///   `u v2 v3`;
+/// * `BW(u, v1) = BW(u, v2) = 5 > BW(u, v5) = 1`;
+/// * `u` reaches `v4` best via the 3-hop path `u v1 v5 v4` (bandwidth 5,
+///   direct link only 3);
+/// * the direct link to `v7` is optimal, so no ANS is selected for it;
+/// * the link `(v8, v9)` joins two 2-hop neighbors and is invisible in
+///   `G_u`: locally `u` only reaches `v9` at bandwidth 3 via `v7` although
+///   a bandwidth-5 path `u v6 v8 v9` exists globally (the paper's
+///   localized-knowledge limit);
+/// * `v10` is covered through the already-selected `v1`; `v11` is covered
+///   through `v6`, whose direct link (6) beats `v2`'s (5).
+///
+/// **Deviation:** in the scan, `v11`'s coverage is narrated as a tie
+/// between `v2` and `v6` broken by direct-link bandwidth. A tie is
+/// geometrically incompatible with `fPBW(u, v3) = {v1, v2}` (any
+/// bandwidth-preserving `v6 ↔ v2` corridor through `v11` would add `v6` to
+/// `fPBW(u, v3)`), so here `v6`'s path to `v11` strictly dominates `v2`'s —
+/// `u` still "chooses v6 instead of v2 for covering v11 as the link (u,v6)
+/// offers a better bandwidth".
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// The twelve-node topology.
+    pub topo: Topology,
+    /// The center node `u`.
+    pub u: NodeId,
+    /// `v[i]` is the paper's `v_{i+1}`.
+    pub v: [NodeId; 11],
+}
+
+/// Builds the Fig. 2 fixture.
+pub fn fig2() -> Fig2 {
+    // u = 0, v1..v11 = ids 1..11.
+    let topo = build(
+        12,
+        &[
+            (0, 1, 5),  // u—v1
+            (0, 2, 5),  // u—v2
+            (0, 4, 3),  // u—v4
+            (0, 5, 1),  // u—v5
+            (0, 6, 6),  // u—v6
+            (0, 7, 3),  // u—v7
+            (1, 3, 4),  // v1—v3
+            (2, 3, 4),  // v2—v3
+            (1, 5, 5),  // v1—v5
+            (4, 5, 5),  // v4—v5
+            (5, 10, 5), // v5—v10
+            (2, 11, 2), // v2—v11
+            (6, 11, 3), // v6—v11
+            (6, 8, 5),  // v6—v8
+            (7, 9, 3),  // v7—v9
+            (8, 9, 5),  // v8—v9 (hidden from u: joins two 2-hop nodes)
+        ],
+    );
+    let mut v = [NodeId(0); 11];
+    for (i, slot) in v.iter_mut().enumerate() {
+        *slot = NodeId(i as u32 + 1);
+    }
+    Fig2 {
+        topo,
+        u: NodeId(0),
+        v,
+    }
+}
+
+/// Fig. 4 — the "last link is a limiting QoS link" pathology that
+/// motivates the smallest-id rule of Algorithms 1 and 2.
+///
+/// Claims preserved (asserted in `tests/paper_examples.rs`):
+///
+/// * `B` covers `D` through `A` (link `BA` = 4 beats `BC` = 3);
+/// * every optimal `A → E` path bottlenecks on the last link `DE` = 1, so
+///   `fPBW(A, E) = {B, D}` and, having already selected `B` (to cover
+///   `C`), plain FNBP adds nothing for `E`;
+/// * the smallest-id rule makes `A` additionally select `D` — the only
+///   first hop `w` with a real 2-hop path `A w E`.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// The five-node topology.
+    pub topo: Topology,
+    /// Node `A` (smallest id).
+    pub a: NodeId,
+    /// Node `B`.
+    pub b: NodeId,
+    /// Node `C`.
+    pub c: NodeId,
+    /// Node `D`.
+    pub d: NodeId,
+    /// Node `E` (reachable only through `D`).
+    pub e: NodeId,
+}
+
+/// Builds the Fig. 4 fixture.
+pub fn fig4() -> Fig4 {
+    let topo = build(
+        5,
+        &[
+            (0, 1, 4), // A—B
+            (1, 2, 3), // B—C
+            (2, 3, 2), // C—D
+            (0, 3, 3), // A—D
+            (3, 4, 1), // D—E (the limiting last link)
+        ],
+    );
+    Fig4 {
+        topo,
+        a: NodeId(0),
+        b: NodeId(1),
+        c: NodeId(2),
+        d: NodeId(3),
+        e: NodeId(4),
+    }
+}
+
+/// Fig. 5 — a nine-node neighborhood on which the three advertised sets
+/// (classical MPR, topology-filtering QANS, FNBP QANS) visibly differ.
+///
+/// The paper's drawing is not fully recoverable from the scan; this
+/// fixture reproduces its *purpose*: around the center `u`, the classical
+/// MPR set is larger than the topology-filtering QANS, which is in turn no
+/// smaller than the FNBP QANS (asserted in `tests/paper_examples.rs`).
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// The nine-node topology.
+    pub topo: Topology,
+    /// The center node `u`.
+    pub u: NodeId,
+    /// One-hop neighbors `v1..v5`.
+    pub v: [NodeId; 5],
+    /// Two-hop neighbors `w1..w3`.
+    pub w: [NodeId; 3],
+}
+
+/// Builds the Fig. 5 fixture.
+pub fn fig5() -> Fig5 {
+    // u = 0, v1..v5 = 1..5, w1..w3 = 6..8.
+    let topo = build(
+        9,
+        &[
+            (0, 1, 4), // u—v1
+            (0, 2, 2), // u—v2
+            (0, 3, 3), // u—v3
+            (0, 4, 5), // u—v4
+            (0, 5, 4), // u—v5
+            (1, 2, 4), // v1—v2
+            (2, 3, 4), // v2—v3
+            (3, 4, 3), // v3—v4
+            (4, 5, 2), // v4—v5
+            (1, 6, 4), // v1—w1
+            (2, 6, 3), // v2—w1
+            (3, 7, 5), // v3—w2
+            (4, 8, 4), // v4—w3
+            (5, 8, 3), // v5—w3
+        ],
+    );
+    Fig5 {
+        topo,
+        u: NodeId(0),
+        v: [NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)],
+        w: [NodeId(6), NodeId(7), NodeId(8)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::{best_paths, first_hop_table};
+    use crate::view::LocalView;
+    use qolsr_metrics::BandwidthMetric;
+
+    #[test]
+    fn fig1_widest_path_is_ten_via_the_long_route() {
+        let f = fig1();
+        let bp = best_paths::<BandwidthMetric>(f.topo.graph(), f.v[0].0);
+        assert_eq!(bp.value(f.v[2].0), Bandwidth(10));
+        // v1 v6 v5 v4 v3
+        assert_eq!(
+            bp.path_to(f.v[2].0),
+            Some(vec![f.v[0].0, f.v[5].0, f.v[4].0, f.v[3].0, f.v[2].0])
+        );
+    }
+
+    #[test]
+    fn fig2_neighborhood_classes() {
+        let f = fig2();
+        let view = LocalView::extract(&f.topo, f.u);
+        let one: Vec<NodeId> = view.one_hop().collect();
+        assert_eq!(one, vec![f.v[0], f.v[1], f.v[3], f.v[4], f.v[5], f.v[6]]);
+        let two: Vec<NodeId> = view.two_hop().collect();
+        assert_eq!(two, vec![f.v[2], f.v[7], f.v[8], f.v[9], f.v[10]]);
+    }
+
+    #[test]
+    fn fig2_first_hops_to_v3() {
+        let f = fig2();
+        let view = LocalView::extract(&f.topo, f.u);
+        let t = first_hop_table::<BandwidthMetric>(view.graph(), view.center_local());
+        let v3 = view.local_index(f.v[2]).unwrap();
+        assert_eq!(t.best_value(v3), Bandwidth(4));
+        let hops: Vec<NodeId> = t.first_hops(v3).iter().map(|&h| view.global_id(h)).collect();
+        assert_eq!(hops, vec![f.v[0], f.v[1]]);
+    }
+
+    #[test]
+    fn fig2_hidden_link_limits_local_knowledge() {
+        let f = fig2();
+        let view = LocalView::extract(&f.topo, f.u);
+        // Locally: bandwidth 3 to v9.
+        let t = first_hop_table::<BandwidthMetric>(view.graph(), view.center_local());
+        let v9 = view.local_index(f.v[8]).unwrap();
+        assert_eq!(t.best_value(v9), Bandwidth(3));
+        // Globally: bandwidth 5 via u v6 v8 v9.
+        let bp = best_paths::<BandwidthMetric>(f.topo.graph(), f.u.0);
+        assert_eq!(bp.value(f.v[8].0), Bandwidth(5));
+    }
+
+    #[test]
+    fn fig4_first_hops_to_e_are_b_and_d() {
+        let f = fig4();
+        let view = LocalView::extract(&f.topo, f.a);
+        let t = first_hop_table::<BandwidthMetric>(view.graph(), view.center_local());
+        let e = view.local_index(f.e).unwrap();
+        assert_eq!(t.best_value(e), Bandwidth(1));
+        let hops: Vec<NodeId> = t.first_hops(e).iter().map(|&h| view.global_id(h)).collect();
+        assert_eq!(hops, vec![f.b, f.d]);
+    }
+
+    #[test]
+    fn fig5_shape() {
+        let f = fig5();
+        let view = LocalView::extract(&f.topo, f.u);
+        assert_eq!(view.one_hop().count(), 5);
+        assert_eq!(view.two_hop().count(), 3);
+    }
+}

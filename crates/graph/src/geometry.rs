@@ -1,0 +1,75 @@
+//! Minimal 2-D geometry for unit-disk deployments.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the deployment plane.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_graph::Point2;
+///
+/// let a = Point2::new(0.0, 0.0);
+/// let b = Point2::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point from its coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons against a squared radius are needed).
+    pub fn distance_sq(self, other: Self) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Self) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(4.0, 6.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point2::new(-1.5, 0.25);
+        let b = Point2::new(2.0, -3.0);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn display_formats_coordinates() {
+        assert_eq!(Point2::new(1.0, 2.5).to_string(), "(1.00, 2.50)");
+    }
+}

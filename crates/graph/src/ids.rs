@@ -1,0 +1,75 @@
+//! Node identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A network-wide node identifier.
+///
+/// The paper relies on identifiers being totally ordered (all tie-breaking
+/// rules and the smallest-id reachability rule of Algorithm 1/2 compare
+/// ids), so `NodeId` derives [`Ord`]. Within a [`Topology`](crate::Topology)
+/// ids are dense: `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_graph::NodeId;
+///
+/// let a = NodeId(3);
+/// let b = NodeId(7);
+/// assert!(a < b);
+/// assert_eq!(a.to_string(), "n3");
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the identifier as a `usize` index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(v: NodeId) -> u32 {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(5), NodeId(5));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(u32::from(NodeId(9)), 9);
+        assert_eq!(NodeId::from(4u32), NodeId(4));
+        assert_eq!(NodeId(6).index(), 6usize);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId(12).to_string(), "n12");
+    }
+}

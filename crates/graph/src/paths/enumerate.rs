@@ -1,0 +1,181 @@
+//! Brute-force simple-path enumeration, used as a correctness oracle for
+//! the Dijkstra and first-hop implementations in tests and property tests.
+//!
+//! Exponential in the number of nodes; intended for graphs of roughly a
+//! dozen nodes.
+
+use qolsr_metrics::{path_value, Metric};
+
+use crate::compact::CompactGraph;
+
+/// Upper bound on graph size accepted by the enumerator.
+pub const MAX_NODES: usize = 16;
+
+/// Enumerates every simple path from `src` to `dst` and returns each as a
+/// node-index sequence (inclusive of both endpoints).
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`MAX_NODES`] nodes (the enumeration
+/// is exponential) or if `src`/`dst` are out of range.
+pub fn all_simple_paths(g: &CompactGraph, src: u32, dst: u32) -> Vec<Vec<u32>> {
+    assert!(
+        g.len() <= MAX_NODES,
+        "enumeration limited to {MAX_NODES} nodes"
+    );
+    assert!((src as usize) < g.len() && (dst as usize) < g.len());
+    let mut out = Vec::new();
+    let mut stack = vec![src];
+    let mut on_path = vec![false; g.len()];
+    on_path[src as usize] = true;
+    dfs(g, dst, &mut stack, &mut on_path, &mut out);
+    out
+}
+
+fn dfs(
+    g: &CompactGraph,
+    dst: u32,
+    stack: &mut Vec<u32>,
+    on_path: &mut [bool],
+    out: &mut Vec<Vec<u32>>,
+) {
+    let cur = *stack.last().expect("non-empty path stack");
+    if cur == dst {
+        out.push(stack.clone());
+        return;
+    }
+    for &(next, _) in g.neighbors(cur) {
+        if on_path[next as usize] {
+            continue;
+        }
+        on_path[next as usize] = true;
+        stack.push(next);
+        dfs(g, dst, stack, on_path, out);
+        stack.pop();
+        on_path[next as usize] = false;
+    }
+}
+
+/// Evaluates a node-index path under metric `M`.
+///
+/// # Panics
+///
+/// Panics if consecutive nodes are not linked in `g` or the path is empty.
+pub fn evaluate_path<M: Metric>(g: &CompactGraph, path: &[u32]) -> M::Value {
+    assert!(!path.is_empty(), "empty path");
+    path_value::<M>(path.windows(2).map(|pair| {
+        let qos = g
+            .qos(pair[0], pair[1])
+            .expect("consecutive path nodes must be linked");
+        M::link_value(&qos)
+    }))
+}
+
+/// Brute-force reference for best value and first-hop set: enumerates all
+/// simple `src → dst` paths, keeps the optimal ones and collects the set of
+/// second nodes. Returns `None` when `dst` is unreachable. For `src == dst`
+/// returns `(empty_path, [])`.
+///
+/// # Panics
+///
+/// Same limits as [`all_simple_paths`].
+pub fn brute_force_first_hops<M: Metric>(
+    g: &CompactGraph,
+    src: u32,
+    dst: u32,
+) -> Option<(M::Value, Vec<u32>)> {
+    if src == dst {
+        return Some((M::empty_path(), Vec::new()));
+    }
+    let paths = all_simple_paths(g, src, dst);
+    let mut best: Option<M::Value> = None;
+    for p in &paths {
+        let v = evaluate_path::<M>(g, p);
+        if !M::is_reachable(v) {
+            continue;
+        }
+        best = Some(match best {
+            None => v,
+            Some(b) if M::better(v, b) => v,
+            Some(b) => b,
+        });
+    }
+    let best = best?;
+    let mut hops: Vec<u32> = paths
+        .iter()
+        .filter(|p| {
+            let v = evaluate_path::<M>(g, p);
+            M::is_reachable(v) && !M::better(best, v)
+        })
+        .map(|p| p[1])
+        .collect();
+    hops.sort_unstable();
+    hops.dedup();
+    Some((best, hops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qolsr_metrics::{Bandwidth, BandwidthMetric, DelayMetric, LinkQos};
+
+    fn triangle() -> CompactGraph {
+        let mut g = CompactGraph::with_nodes(3);
+        g.add_undirected(0, 1, LinkQos::uniform(5));
+        g.add_undirected(1, 2, LinkQos::uniform(5));
+        g.add_undirected(0, 2, LinkQos::uniform(2));
+        g
+    }
+
+    #[test]
+    fn enumerates_all_simple_paths() {
+        let g = triangle();
+        let mut paths = all_simple_paths(&g, 0, 2);
+        paths.sort();
+        assert_eq!(paths, vec![vec![0, 1, 2], vec![0, 2]]);
+    }
+
+    #[test]
+    fn evaluate_under_both_metrics() {
+        let g = triangle();
+        assert_eq!(
+            evaluate_path::<BandwidthMetric>(&g, &[0, 1, 2]),
+            Bandwidth(5)
+        );
+        assert_eq!(
+            evaluate_path::<DelayMetric>(&g, &[0, 1, 2]),
+            qolsr_metrics::Delay(10)
+        );
+    }
+
+    #[test]
+    fn brute_force_matches_expectation() {
+        let g = triangle();
+        let (best, hops) = brute_force_first_hops::<BandwidthMetric>(&g, 0, 2).unwrap();
+        assert_eq!(best, Bandwidth(5));
+        assert_eq!(hops, vec![1]);
+    }
+
+    #[test]
+    fn unreachable_destination() {
+        let mut g = CompactGraph::with_nodes(3);
+        g.add_undirected(0, 1, LinkQos::uniform(5));
+        assert!(brute_force_first_hops::<BandwidthMetric>(&g, 0, 2).is_none());
+        assert!(all_simple_paths(&g, 0, 2).is_empty());
+    }
+
+    #[test]
+    fn source_equals_destination() {
+        let g = triangle();
+        let (best, hops) = brute_force_first_hops::<BandwidthMetric>(&g, 1, 1).unwrap();
+        assert_eq!(best, Bandwidth::MAX);
+        assert!(hops.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "enumeration limited")]
+    fn rejects_large_graphs() {
+        let g = CompactGraph::with_nodes(MAX_NODES + 1);
+        let _ = all_simple_paths(&g, 0, 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Exact first-hop sets — the paper's `fP_BW(u, v)` / `fP_D(u, v)`.
+//!
+//! For every target `v`, the first-hop set is the set of neighbors `w` of
+//! the center `u` such that *some optimal simple path* from `u` to `v`
+//! starts with the link `(u, w)`.
+//!
+//! Computing this correctly for concave metrics needs care: prefixes of
+//! optimal bottleneck paths are not necessarily optimal, so propagating
+//! predecessor sets along the Dijkstra DAG under-approximates the set. We
+//! instead use the exact per-neighbor decomposition: every simple path
+//! `u → v` is the link `(u, w)` followed by a simple `w → v` path that
+//! avoids `u`, hence
+//!
+//! ```text
+//! best(u, v)  = opt_w  extend( qos(u, w), best_{G − u}(w, v) )
+//! fP(u, v)    = { w : extend( qos(u, w), best_{G − u}(w, v) ) = best(u, v) }
+//! ```
+//!
+//! which costs one Dijkstra per neighbor of `u` — cheap on the 2-hop local
+//! views where the paper's algorithms run, and verified against brute-force
+//! path enumeration in the property tests.
+
+use qolsr_metrics::Metric;
+
+use crate::compact::CompactGraph;
+use crate::paths::dijkstra::best_paths_avoiding;
+
+/// First-hop sets and best values from a center node to every other node
+/// of a [`CompactGraph`].
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_graph::{paths, CompactGraph};
+/// use qolsr_metrics::{Bandwidth, BandwidthMetric, LinkQos};
+///
+/// // Triangle where the two-hop detour 0-1-2 (bottleneck 5) beats the
+/// // direct link 0-2 (bandwidth 2).
+/// let mut g = CompactGraph::with_nodes(3);
+/// g.add_undirected(0, 1, LinkQos::uniform(5));
+/// g.add_undirected(1, 2, LinkQos::uniform(5));
+/// g.add_undirected(0, 2, LinkQos::uniform(2));
+///
+/// let t = paths::first_hop_table::<BandwidthMetric>(&g, 0);
+/// assert_eq!(t.best_value(2), Bandwidth(5));
+/// assert_eq!(t.first_hops(2), &[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirstHopTable<M: Metric> {
+    center: u32,
+    best: Vec<M::Value>,
+    hops: Vec<Vec<u32>>,
+}
+
+impl<M: Metric> FirstHopTable<M> {
+    /// The center node `u` the table was computed for.
+    pub fn center(&self) -> u32 {
+        self.center
+    }
+
+    /// Best path value from the center to `v`; [`Metric::no_path`] when
+    /// unreachable, [`Metric::empty_path`] for the center itself.
+    pub fn best_value(&self, v: u32) -> M::Value {
+        self.best[v as usize]
+    }
+
+    /// The first-hop set `fP(u, v)`, sorted ascending. Empty for the
+    /// center itself and for unreachable targets.
+    pub fn first_hops(&self, v: u32) -> &[u32] {
+        &self.hops[v as usize]
+    }
+
+    /// Returns `true` if `v` is reachable from the center.
+    pub fn reachable(&self, v: u32) -> bool {
+        !self.hops[v as usize].is_empty()
+    }
+
+    /// Returns `true` if the direct link `(u, v)` lies on an optimal path,
+    /// i.e. `v ∈ fP(u, v)` — the paper's criterion for *not* selecting an
+    /// extra advertised neighbor for a 1-hop neighbor.
+    pub fn direct_link_is_optimal(&self, v: u32) -> bool {
+        self.hops[v as usize].binary_search(&v).is_ok()
+    }
+}
+
+/// Computes the [`FirstHopTable`] of node `u` over graph `g` under metric
+/// `M`.
+///
+/// # Panics
+///
+/// Panics if `u` is out of range.
+pub fn first_hop_table<M: Metric>(g: &CompactGraph, u: u32) -> FirstHopTable<M> {
+    assert!((u as usize) < g.len(), "center out of range");
+    let n = g.len();
+    let mut best = vec![M::no_path(); n];
+    let mut hops: Vec<Vec<u32>> = vec![Vec::new(); n];
+    best[u as usize] = M::empty_path();
+
+    // Candidate values via each neighbor w: qos(u,w) extended by the best
+    // path w → v in G − u.
+    for &(w, qos) in g.neighbors(u) {
+        let link = M::link_value(&qos);
+        if !M::is_reachable(link) {
+            continue;
+        }
+        let sub = best_paths_avoiding::<M>(g, w, Some(u));
+        for v in 0..n as u32 {
+            if v == u || !sub.reachable(v) {
+                continue;
+            }
+            let cand = M::extend(link, sub.value(v));
+            if !M::is_reachable(cand) {
+                continue;
+            }
+            let slot = &mut best[v as usize];
+            if M::better(cand, *slot) {
+                *slot = cand;
+                hops[v as usize].clear();
+                hops[v as usize].push(w);
+            } else if !M::better(*slot, cand) {
+                // Tie: w is the first hop of another optimal path.
+                hops[v as usize].push(w);
+            }
+        }
+    }
+
+    // Neighbor iteration order is ascending, so each `hops[v]` is sorted.
+    debug_assert!(hops.iter().all(|h| h.windows(2).all(|w| w[0] < w[1])));
+
+    FirstHopTable {
+        center: u,
+        best,
+        hops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qolsr_metrics::{Bandwidth, BandwidthMetric, Delay, DelayMetric, LinkQos};
+
+    fn bw(w: u64) -> LinkQos {
+        LinkQos::uniform(w)
+    }
+
+    /// The square 0-1-2-3-0 with a weak diagonal 0-2.
+    fn square() -> CompactGraph {
+        let mut g = CompactGraph::with_nodes(4);
+        g.add_undirected(0, 1, bw(10));
+        g.add_undirected(1, 2, bw(10));
+        g.add_undirected(2, 3, bw(10));
+        g.add_undirected(3, 0, bw(10));
+        g.add_undirected(0, 2, bw(1));
+        g
+    }
+
+    #[test]
+    fn both_sides_of_a_tie_are_reported() {
+        let g = square();
+        let t = first_hop_table::<BandwidthMetric>(&g, 0);
+        // Optimal bandwidth to node 2 is 10, via 1 or via 3.
+        assert_eq!(t.best_value(2), Bandwidth(10));
+        assert_eq!(t.first_hops(2), &[1, 3]);
+        assert!(!t.direct_link_is_optimal(2));
+    }
+
+    #[test]
+    fn direct_link_detection() {
+        let g = square();
+        let t = first_hop_table::<BandwidthMetric>(&g, 0);
+        // The direct link to 1 is optimal, but so is the detour via 3
+        // (equal bottleneck of 10): both are first hops.
+        assert!(t.direct_link_is_optimal(1));
+        assert_eq!(t.first_hops(1), &[1, 3]);
+        assert!(t.direct_link_is_optimal(3));
+    }
+
+    #[test]
+    fn additive_metric_first_hops() {
+        let mut g = CompactGraph::with_nodes(4);
+        g.add_undirected(0, 1, LinkQos::new(Bandwidth(1), Delay(1)));
+        g.add_undirected(1, 3, LinkQos::new(Bandwidth(1), Delay(1)));
+        g.add_undirected(0, 2, LinkQos::new(Bandwidth(1), Delay(1)));
+        g.add_undirected(2, 3, LinkQos::new(Bandwidth(1), Delay(1)));
+        let t = first_hop_table::<DelayMetric>(&g, 0);
+        assert_eq!(t.best_value(3), Delay(2));
+        assert_eq!(t.first_hops(3), &[1, 2]);
+    }
+
+    #[test]
+    fn center_and_unreachable() {
+        let mut g = CompactGraph::with_nodes(3);
+        g.add_undirected(0, 1, bw(5));
+        let t = first_hop_table::<BandwidthMetric>(&g, 0);
+        assert_eq!(t.center(), 0);
+        assert_eq!(t.first_hops(0), &[] as &[u32]);
+        assert!(!t.reachable(2));
+        assert_eq!(t.best_value(2), Bandwidth(0));
+    }
+
+    #[test]
+    fn longer_detour_beats_direct_and_two_hop() {
+        // Paper Fig. 2 situation in miniature: u(0)-v(3) direct has bw 3,
+        // u-1-2-3 has bottleneck 5.
+        let mut g = CompactGraph::with_nodes(4);
+        g.add_undirected(0, 3, bw(3));
+        g.add_undirected(0, 1, bw(5));
+        g.add_undirected(1, 2, bw(5));
+        g.add_undirected(2, 3, bw(5));
+        let t = first_hop_table::<BandwidthMetric>(&g, 0);
+        assert_eq!(t.best_value(3), Bandwidth(5));
+        assert_eq!(t.first_hops(3), &[1]);
+        assert!(!t.direct_link_is_optimal(3));
+    }
+
+    #[test]
+    fn paths_may_not_revisit_center() {
+        // Best w→v path must avoid u: 0-1 (bw 9), 0-2 (bw 9), 1-2 absent.
+        // Without the ban, 1 would "reach" 2 through 0 and claim a path
+        // u-1-u-2, which is not simple.
+        let mut g = CompactGraph::with_nodes(3);
+        g.add_undirected(0, 1, bw(9));
+        g.add_undirected(0, 2, bw(9));
+        let t = first_hop_table::<BandwidthMetric>(&g, 0);
+        assert_eq!(t.first_hops(2), &[2]);
+        assert_eq!(t.best_value(2), Bandwidth(9));
+        assert_eq!(t.first_hops(1), &[1]);
+    }
+}

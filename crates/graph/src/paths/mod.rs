@@ -1,0 +1,16 @@
+//! Metric-generic path algorithms.
+//!
+//! * [`best_paths`] / [`best_paths_avoiding`] — single-source best-path
+//!   Dijkstra, valid for both additive metrics (classical shortest paths)
+//!   and concave metrics (widest / bottleneck paths);
+//! * [`first_hop_table`] — the paper's `fP(u,v)`: the exact set of first
+//!   nodes over **all optimal simple paths** from `u` to each target;
+//! * [`enumerate`] — a brute-force simple-path enumerator used as a
+//!   correctness oracle in tests.
+
+mod dijkstra;
+pub mod enumerate;
+mod first_hops;
+
+pub use dijkstra::{best_paths, best_paths_avoiding, best_route, BestPaths};
+pub use first_hops::{first_hop_table, FirstHopTable};

@@ -1,0 +1,180 @@
+//! QoS-weighted relative neighborhood graph (RNG) reduction.
+//!
+//! The topology-filtering comparator of Moraru & Simplot-Ryl ([7] in the
+//! paper) advertises neighbors selected on a *reduced* local view: the
+//! relative neighborhood graph (Toussaint, [10]) with the QoS metric as
+//! weight function. Toussaint's witness rule — drop `(v, w)` iff some
+//! common neighbor `z` satisfies `max(d(v,z), d(z,w)) < d(v,w)` — becomes,
+//! with a general QoS order, "**both** witness links are strictly better
+//! than the direct edge":
+//!
+//! * bandwidth: drop `(v, w)` iff ∃`z`:
+//!   `bw(v,z) > bw(v,w)` **and** `bw(z,w) > bw(v,w)`
+//!   (equivalently `min(bw(v,z), bw(z,w)) > bw(v,w)`);
+//! * delay: drop `(v, w)` iff ∃`z`:
+//!   `d(v,z) < d(v,w)` **and** `d(z,w) < d(v,w)`
+//!   (equivalently `max(d(v,z), d(z,w)) < d(v,w)` — the classical rule;
+//!   note this is *not* `d(v,z) + d(z,w) < d(v,w)`, which would barely
+//!   ever fire and defeat the filtering).
+
+use qolsr_metrics::Metric;
+
+use crate::compact::CompactGraph;
+
+/// Computes the QoS-weighted RNG reduction of `g` under metric `M`.
+///
+/// The reduction is applied simultaneously (witness checks run against the
+/// *original* graph, as in the classical RNG definition), so the result is
+/// independent of edge processing order.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_graph::{reduction, CompactGraph};
+/// use qolsr_metrics::{BandwidthMetric, LinkQos};
+///
+/// let mut g = CompactGraph::with_nodes(3);
+/// g.add_undirected(0, 1, LinkQos::uniform(10));
+/// g.add_undirected(1, 2, LinkQos::uniform(10));
+/// g.add_undirected(0, 2, LinkQos::uniform(1)); // weak direct edge
+///
+/// let reduced = reduction::rng_reduce::<BandwidthMetric>(&g);
+/// assert!(!reduced.has_edge(0, 2)); // filtered: detour via 1 is wider
+/// assert!(reduced.has_edge(0, 1));
+/// ```
+pub fn rng_reduce<M: Metric>(g: &CompactGraph) -> CompactGraph {
+    let mut out = CompactGraph::with_nodes(g.len());
+    for (a, b, qos) in g.edges() {
+        if !has_better_witness::<M>(g, a, b, &qos) {
+            out.add_undirected(a, b, qos);
+        }
+    }
+    out
+}
+
+/// Returns `true` if some common neighbor `z` of `a` and `b` has *both*
+/// links strictly better than the direct edge (Toussaint's rule under the
+/// metric's order).
+fn has_better_witness<M: Metric>(
+    g: &CompactGraph,
+    a: u32,
+    b: u32,
+    direct: &qolsr_metrics::LinkQos,
+) -> bool {
+    let direct_value = M::link_value(direct);
+    // Merge-intersect the two sorted adjacency lists.
+    let (mut i, mut j) = (0, 0);
+    let na = g.neighbors(a);
+    let nb = g.neighbors(b);
+    while i < na.len() && j < nb.len() {
+        let (za, qa) = na[i];
+        let (zb, qb) = nb[j];
+        match za.cmp(&zb) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if M::better(M::link_value(&qa), direct_value)
+                    && M::better(M::link_value(&qb), direct_value)
+                {
+                    return true;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qolsr_metrics::{Bandwidth, BandwidthMetric, Delay, DelayMetric, LinkQos};
+
+    fn link(bw: u64, d: u64) -> LinkQos {
+        LinkQos::new(Bandwidth(bw), Delay(d))
+    }
+
+    #[test]
+    fn keeps_edges_without_witness() {
+        let mut g = CompactGraph::with_nodes(3);
+        g.add_undirected(0, 1, link(5, 1));
+        g.add_undirected(1, 2, link(5, 1));
+        let r = rng_reduce::<BandwidthMetric>(&g);
+        assert_eq!(r.edge_count(), 2);
+    }
+
+    #[test]
+    fn bandwidth_drops_dominated_edge() {
+        let mut g = CompactGraph::with_nodes(3);
+        g.add_undirected(0, 1, link(10, 1));
+        g.add_undirected(1, 2, link(10, 1));
+        g.add_undirected(0, 2, link(2, 1));
+        let r = rng_reduce::<BandwidthMetric>(&g);
+        assert!(!r.has_edge(0, 2));
+        assert!(r.has_edge(0, 1));
+        assert!(r.has_edge(1, 2));
+    }
+
+    #[test]
+    fn delay_drops_slow_edge() {
+        let mut g = CompactGraph::with_nodes(3);
+        g.add_undirected(0, 1, link(1, 2));
+        g.add_undirected(1, 2, link(1, 2));
+        g.add_undirected(0, 2, link(1, 10)); // 10 > 2 + 2: dropped
+        let r = rng_reduce::<DelayMetric>(&g);
+        assert!(!r.has_edge(0, 2));
+        assert_eq!(r.edge_count(), 2);
+    }
+
+    #[test]
+    fn ties_are_kept() {
+        // A witness link exactly equal to the direct edge is not strictly
+        // better: classical RNG keeps the edge.
+        let mut g = CompactGraph::with_nodes(3);
+        g.add_undirected(0, 1, link(5, 2));
+        g.add_undirected(1, 2, link(5, 2));
+        g.add_undirected(0, 2, link(5, 2));
+        assert!(rng_reduce::<BandwidthMetric>(&g).has_edge(0, 2));
+        assert!(rng_reduce::<DelayMetric>(&g).has_edge(0, 2));
+    }
+
+    #[test]
+    fn delay_uses_max_not_sum_witness() {
+        // Toussaint's rule: both witness links faster than the direct
+        // edge drop it, even though their *sum* exceeds it.
+        let mut g = CompactGraph::with_nodes(3);
+        g.add_undirected(0, 1, link(1, 3));
+        g.add_undirected(1, 2, link(1, 3));
+        g.add_undirected(0, 2, link(1, 4)); // 3 + 3 > 4 but max(3,3) < 4
+        assert!(!rng_reduce::<DelayMetric>(&g).has_edge(0, 2));
+    }
+
+    #[test]
+    fn reduction_differs_per_metric() {
+        // Edge weak in bandwidth but fast in delay: dropped under
+        // bandwidth, kept under delay.
+        let mut g = CompactGraph::with_nodes(3);
+        g.add_undirected(0, 1, link(10, 5));
+        g.add_undirected(1, 2, link(10, 5));
+        g.add_undirected(0, 2, link(1, 1));
+        assert!(!rng_reduce::<BandwidthMetric>(&g).has_edge(0, 2));
+        assert!(rng_reduce::<DelayMetric>(&g).has_edge(0, 2));
+    }
+
+    #[test]
+    fn simultaneous_removal_keeps_best_structure() {
+        // A 4-cycle of strong edges with two weak chords: both chords are
+        // dropped, the cycle survives.
+        let mut g = CompactGraph::with_nodes(4);
+        g.add_undirected(0, 1, link(10, 1));
+        g.add_undirected(1, 2, link(10, 1));
+        g.add_undirected(2, 3, link(10, 1));
+        g.add_undirected(3, 0, link(10, 1));
+        g.add_undirected(0, 2, link(1, 9));
+        g.add_undirected(1, 3, link(1, 9));
+        let r = rng_reduce::<BandwidthMetric>(&g);
+        assert_eq!(r.edge_count(), 4);
+        assert!(r.has_edge(0, 1) && r.has_edge(1, 2) && r.has_edge(2, 3) && r.has_edge(3, 0));
+    }
+}

@@ -1,0 +1,275 @@
+//! Whole-network topologies: node positions plus a QoS-labelled unit-disk
+//! graph.
+
+use std::fmt;
+
+use qolsr_metrics::LinkQos;
+
+use crate::compact::CompactGraph;
+use crate::geometry::Point2;
+use crate::ids::NodeId;
+
+/// Error produced while building a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An edge referenced a node id that was never added.
+    UnknownNode(NodeId),
+    /// An edge connected a node to itself.
+    SelfLoop(NodeId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TopologyError::SelfLoop(n) => write!(f, "self loop on node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A wireless network: node positions and the bidirectional QoS-labelled
+/// links between them.
+///
+/// Per the paper's model (§III.A): nodes share one communication radius
+/// `R`, `(u,v) ∈ E ⇔ |uv| ≤ R`, and all links are bidirectional with
+/// symmetric QoS. Manually-built topologies (fixtures) may declare links
+/// freely — the radius is advisory there.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_graph::{NodeId, Point2, TopologyBuilder};
+/// use qolsr_metrics::LinkQos;
+///
+/// let mut b = TopologyBuilder::new(100.0);
+/// let a = b.add_node(Point2::new(0.0, 0.0));
+/// let c = b.add_node(Point2::new(50.0, 0.0));
+/// b.link(a, c, LinkQos::uniform(5))?;
+/// let topo = b.build();
+/// assert_eq!(topo.len(), 2);
+/// assert!(topo.has_link(a, c));
+/// # Ok::<(), qolsr_graph::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    graph: CompactGraph,
+    positions: Vec<Point2>,
+    radius: f64,
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Returns `true` if the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// The communication radius used (or assumed) when the topology was
+    /// built.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The underlying dense adjacency graph; node `i` of the graph is
+    /// `NodeId(i)`.
+    pub fn graph(&self) -> &CompactGraph {
+        &self.graph
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.graph.len() as u32).map(NodeId)
+    }
+
+    /// Position of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn position(&self, n: NodeId) -> Point2 {
+        self.positions[n.index()]
+    }
+
+    /// Neighbors of `n` with their link QoS, sorted by id.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (NodeId, LinkQos)> + '_ {
+        self.graph
+            .neighbors(n.0)
+            .iter()
+            .map(|&(m, qos)| (NodeId(m), qos))
+    }
+
+    /// Degree of node `n`.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.graph.degree(n.0)
+    }
+
+    /// Average node degree.
+    pub fn average_degree(&self) -> f64 {
+        self.graph.average_degree()
+    }
+
+    /// QoS label of the link `a—b`, if it exists.
+    pub fn link_qos(&self, a: NodeId, b: NodeId) -> Option<LinkQos> {
+        self.graph.qos(a.0, b.0)
+    }
+
+    /// Returns `true` if the link `a—b` exists.
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.graph.has_edge(a.0, b.0)
+    }
+
+    /// Number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+/// Incremental builder for [`Topology`] (fixtures and deployments).
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    graph_edges: Vec<(NodeId, NodeId, LinkQos)>,
+    positions: Vec<Point2>,
+    radius: f64,
+}
+
+impl TopologyBuilder {
+    /// Creates a builder with the given communication radius.
+    pub fn new(radius: f64) -> Self {
+        Self {
+            graph_edges: Vec::new(),
+            positions: Vec::new(),
+            radius,
+        }
+    }
+
+    /// Creates a builder pre-populated with `n` abstract nodes laid out on
+    /// a line; used by fixture graphs where geometry is irrelevant.
+    pub fn abstract_nodes(n: usize) -> Self {
+        let mut b = Self::new(1.0);
+        for i in 0..n {
+            b.add_node(Point2::new(i as f64, 0.0));
+        }
+        b
+    }
+
+    /// Adds a node at `pos` and returns its id.
+    pub fn add_node(&mut self, pos: Point2) -> NodeId {
+        let id = NodeId(self.positions.len() as u32);
+        self.positions.push(pos);
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` if no nodes were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Declares the bidirectional link `a—b` with label `qos`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownNode`] if either endpoint was not
+    /// added, or [`TopologyError::SelfLoop`] if `a == b`.
+    pub fn link(&mut self, a: NodeId, b: NodeId, qos: LinkQos) -> Result<(), TopologyError> {
+        if a == b {
+            return Err(TopologyError::SelfLoop(a));
+        }
+        let n = self.positions.len();
+        for &e in &[a, b] {
+            if e.index() >= n {
+                return Err(TopologyError::UnknownNode(e));
+            }
+        }
+        self.graph_edges.push((a, b, qos));
+        Ok(())
+    }
+
+    /// Finalizes the topology.
+    pub fn build(self) -> Topology {
+        let mut graph = CompactGraph::with_nodes(self.positions.len());
+        for (a, b, qos) in self.graph_edges {
+            graph.add_undirected(a.0, b.0, qos);
+        }
+        Topology {
+            graph,
+            positions: self.positions,
+            radius: self.radius,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qolsr_metrics::{Bandwidth, Delay};
+
+    #[test]
+    fn build_simple_topology() {
+        let mut b = TopologyBuilder::new(10.0);
+        let n0 = b.add_node(Point2::new(0.0, 0.0));
+        let n1 = b.add_node(Point2::new(5.0, 0.0));
+        let n2 = b.add_node(Point2::new(9.0, 0.0));
+        b.link(n0, n1, LinkQos::new(Bandwidth(4), Delay(2))).unwrap();
+        b.link(n1, n2, LinkQos::new(Bandwidth(7), Delay(1))).unwrap();
+        let t = b.build();
+
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.link_count(), 2);
+        assert_eq!(t.radius(), 10.0);
+        assert_eq!(t.degree(n1), 2);
+        assert!(t.has_link(n2, n1));
+        assert!(!t.has_link(n0, n2));
+        assert_eq!(
+            t.link_qos(n0, n1),
+            Some(LinkQos::new(Bandwidth(4), Delay(2)))
+        );
+        assert_eq!(t.position(n2), Point2::new(9.0, 0.0));
+    }
+
+    #[test]
+    fn link_validation() {
+        let mut b = TopologyBuilder::abstract_nodes(2);
+        assert_eq!(
+            b.link(NodeId(0), NodeId(0), LinkQos::uniform(1)),
+            Err(TopologyError::SelfLoop(NodeId(0)))
+        );
+        assert_eq!(
+            b.link(NodeId(0), NodeId(5), LinkQos::uniform(1)),
+            Err(TopologyError::UnknownNode(NodeId(5)))
+        );
+    }
+
+    #[test]
+    fn neighbors_sorted_by_id() {
+        let mut b = TopologyBuilder::abstract_nodes(4);
+        b.link(NodeId(2), NodeId(3), LinkQos::uniform(1)).unwrap();
+        b.link(NodeId(2), NodeId(0), LinkQos::uniform(1)).unwrap();
+        b.link(NodeId(2), NodeId(1), LinkQos::uniform(1)).unwrap();
+        let t = b.build();
+        let order: Vec<NodeId> = t.neighbors(NodeId(2)).map(|(n, _)| n).collect();
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            TopologyError::UnknownNode(NodeId(7)).to_string(),
+            "unknown node n7"
+        );
+        assert_eq!(
+            TopologyError::SelfLoop(NodeId(1)).to_string(),
+            "self loop on node n1"
+        );
+    }
+}

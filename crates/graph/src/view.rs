@@ -1,0 +1,409 @@
+//! The local view `G_u = (V_u, E_u)` of a node — the partial topology
+//! knowledge OLSR nodes obtain by piggybacking neighbor tables on HELLO
+//! messages (§III.A of the paper):
+//!
+//! ```text
+//! V_u = {u} ∪ N(u) ∪ N²(u)
+//! E_u = {(v, w) | v ∈ N(u) ∧ w ∈ V_u}
+//! ```
+//!
+//! Notably, links between two 2-hop neighbors are *not* part of `E_u`
+//! (the paper's Fig. 2 link `(v8, v9)` example), which is what makes the
+//! algorithms genuinely localized.
+
+use std::collections::HashMap;
+
+use qolsr_metrics::LinkQos;
+
+use crate::compact::CompactGraph;
+use crate::ids::NodeId;
+use crate::topology::Topology;
+
+/// Classification of a node inside a [`LocalView`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeighborClass {
+    /// The view's center `u`.
+    Center,
+    /// A 1-hop neighbor (`N(u)`).
+    OneHop,
+    /// A strict 2-hop neighbor (`N²(u)`).
+    TwoHop,
+}
+
+/// The 2-hop partial view of a node over a [`Topology`], re-indexed onto a
+/// dense [`CompactGraph`] so the generic path algorithms run on it
+/// directly.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_graph::{fixtures, LocalView, NeighborClass};
+///
+/// let fig = fixtures::fig2();
+/// let view = LocalView::extract(&fig.topo, fig.u);
+/// assert_eq!(view.class_of(fig.u), Some(NeighborClass::Center));
+/// // v3 is a two-hop neighbor of u in Fig. 2.
+/// assert_eq!(view.class_of(fig.v[2]), Some(NeighborClass::TwoHop));
+/// // The hidden link (v8, v9) connects two 2-hop neighbors: not in E_u.
+/// let v8 = view.local_index(fig.v[7]).unwrap();
+/// let v9 = view.local_index(fig.v[8]).unwrap();
+/// assert!(!view.graph().has_edge(v8, v9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalView {
+    center: NodeId,
+    center_local: u32,
+    nodes: Vec<NodeId>,
+    class: Vec<NeighborClass>,
+    index: HashMap<NodeId, u32>,
+    graph: CompactGraph,
+}
+
+impl LocalView {
+    /// Extracts the local view of `u` from the ground-truth topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a node of `topo`.
+    pub fn extract(topo: &Topology, u: NodeId) -> Self {
+        assert!(u.index() < topo.len(), "center not in topology");
+
+        // V_u, sorted ascending by global id.
+        let mut one_hop: Vec<NodeId> = topo.neighbors(u).map(|(n, _)| n).collect();
+        one_hop.sort_unstable();
+        let mut two_hop: Vec<NodeId> = Vec::new();
+        {
+            let mut is_one_hop = vec![false; topo.len()];
+            for &n in &one_hop {
+                is_one_hop[n.index()] = true;
+            }
+            let mut seen = vec![false; topo.len()];
+            for &v in &one_hop {
+                for (w, _) in topo.neighbors(v) {
+                    if w != u && !is_one_hop[w.index()] && !seen[w.index()] {
+                        seen[w.index()] = true;
+                        two_hop.push(w);
+                    }
+                }
+            }
+        }
+        two_hop.sort_unstable();
+
+        let mut nodes = Vec::with_capacity(1 + one_hop.len() + two_hop.len());
+        nodes.push(u);
+        nodes.extend(one_hop.iter().copied());
+        nodes.extend(two_hop.iter().copied());
+        nodes.sort_unstable();
+
+        let index: HashMap<NodeId, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u32))
+            .collect();
+        let mut class = vec![NeighborClass::TwoHop; nodes.len()];
+        class[index[&u] as usize] = NeighborClass::Center;
+        for n in &one_hop {
+            class[index[n] as usize] = NeighborClass::OneHop;
+        }
+
+        // E_u: every topology edge incident to a 1-hop neighbor whose other
+        // endpoint lies in V_u. `add_undirected` dedups re-insertions.
+        let mut graph = CompactGraph::with_nodes(nodes.len());
+        for &v in &one_hop {
+            let lv = index[&v];
+            for (w, qos) in topo.neighbors(v) {
+                if let Some(&lw) = index.get(&w) {
+                    graph.add_undirected(lv, lw, qos);
+                }
+            }
+        }
+
+        let center_local = index[&u];
+        Self {
+            center: u,
+            center_local,
+            nodes,
+            class,
+            index,
+            graph,
+        }
+    }
+
+    /// Builds a local view directly from a node's *learned* knowledge: its
+    /// direct links and the links its neighbors reported (e.g. from OLSR
+    /// HELLO exchanges), rather than from ground truth.
+    ///
+    /// `direct` lists `(v, qos)` for each 1-hop neighbor; `reported` lists
+    /// `(v, w, qos)` links announced by 1-hop neighbors `v`. Reported links
+    /// whose `v` endpoint is not a known 1-hop neighbor are ignored, as are
+    /// self-referential reports (`w == center`), which are already covered
+    /// by `direct`.
+    pub fn from_parts(
+        center: NodeId,
+        direct: &[(NodeId, LinkQos)],
+        reported: &[(NodeId, NodeId, LinkQos)],
+    ) -> Self {
+        use std::collections::BTreeSet;
+
+        let one_hop_set: BTreeSet<NodeId> = direct.iter().map(|&(v, _)| v).collect();
+        let mut nodes: BTreeSet<NodeId> = one_hop_set.clone();
+        nodes.insert(center);
+        for &(v, w, _) in reported {
+            if one_hop_set.contains(&v) && w != center {
+                nodes.insert(w);
+            }
+        }
+        let nodes: Vec<NodeId> = nodes.into_iter().collect();
+        let index: HashMap<NodeId, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u32))
+            .collect();
+        let mut class = vec![NeighborClass::TwoHop; nodes.len()];
+        class[index[&center] as usize] = NeighborClass::Center;
+        for v in &one_hop_set {
+            class[index[v] as usize] = NeighborClass::OneHop;
+        }
+
+        let mut graph = CompactGraph::with_nodes(nodes.len());
+        for &(v, qos) in direct {
+            graph.add_undirected(index[&center], index[&v], qos);
+        }
+        for &(v, w, qos) in reported {
+            if !one_hop_set.contains(&v) || w == center {
+                continue;
+            }
+            graph.add_undirected(index[&v], index[&w], qos);
+        }
+
+        let center_local = index[&center];
+        Self {
+            center,
+            center_local,
+            nodes,
+            class,
+            index,
+            graph,
+        }
+    }
+
+    /// The center node's global id.
+    pub fn center(&self) -> NodeId {
+        self.center
+    }
+
+    /// The center node's local index in [`graph`](Self::graph).
+    pub fn center_local(&self) -> u32 {
+        self.center_local
+    }
+
+    /// Number of nodes in `V_u`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the view contains only the center.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The local adjacency graph (`E_u`), over local indices.
+    pub fn graph(&self) -> &CompactGraph {
+        &self.graph
+    }
+
+    /// Translates a local index back to the global [`NodeId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    pub fn global_id(&self, local: u32) -> NodeId {
+        self.nodes[local as usize]
+    }
+
+    /// Translates a global id to this view's local index, if present.
+    pub fn local_index(&self, n: NodeId) -> Option<u32> {
+        self.index.get(&n).copied()
+    }
+
+    /// The classification of local index `local`.
+    pub fn class(&self, local: u32) -> NeighborClass {
+        self.class[local as usize]
+    }
+
+    /// The classification of a global id, if it is in the view.
+    pub fn class_of(&self, n: NodeId) -> Option<NeighborClass> {
+        self.local_index(n).map(|l| self.class(l))
+    }
+
+    /// Local indices of the 1-hop neighbors `N(u)`, ascending (local index
+    /// order coincides with global id order).
+    pub fn one_hop_local(&self) -> impl Iterator<Item = u32> + '_ {
+        self.class
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == NeighborClass::OneHop)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Local indices of the strict 2-hop neighbors `N²(u)`, ascending.
+    pub fn two_hop_local(&self) -> impl Iterator<Item = u32> + '_ {
+        self.class
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == NeighborClass::TwoHop)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Global ids of the 1-hop neighbors, ascending.
+    pub fn one_hop(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.one_hop_local().map(|l| self.global_id(l))
+    }
+
+    /// Global ids of the strict 2-hop neighbors, ascending.
+    pub fn two_hop(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.two_hop_local().map(|l| self.global_id(l))
+    }
+
+    /// QoS of the direct link from the center to local index `v`, if `v`
+    /// is a 1-hop neighbor.
+    pub fn direct_qos(&self, v: u32) -> Option<LinkQos> {
+        self.graph.qos(self.center_local, v)
+    }
+
+    /// Returns `true` if two views encode exactly the same knowledge: same
+    /// center, same node set with identical classifications, and the same
+    /// edges with the same QoS labels. Used by convergence tests comparing
+    /// protocol-learned views against ground truth.
+    pub fn same_knowledge(&self, other: &LocalView) -> bool {
+        if self.center != other.center || self.nodes != other.nodes {
+            return false;
+        }
+        if self.class != other.class {
+            return false;
+        }
+        let mine: Vec<_> = self.graph.edges().collect();
+        let theirs: Vec<_> = other.graph.edges().collect();
+        mine == theirs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    /// Chain 0—1—2—3 plus a 1—4 branch: from node 0, N = {1},
+    /// N² = {2, 4}, and node 3 is invisible.
+    fn chain_with_branch() -> Topology {
+        let mut b = TopologyBuilder::abstract_nodes(5);
+        for (a, c, w) in [(0, 1, 5), (1, 2, 4), (2, 3, 3), (1, 4, 2)] {
+            b.link(NodeId(a), NodeId(c), LinkQos::uniform(w)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn classifies_neighborhoods() {
+        let t = chain_with_branch();
+        let v = LocalView::extract(&t, NodeId(0));
+        assert_eq!(v.center(), NodeId(0));
+        assert_eq!(v.class_of(NodeId(0)), Some(NeighborClass::Center));
+        assert_eq!(v.class_of(NodeId(1)), Some(NeighborClass::OneHop));
+        assert_eq!(v.class_of(NodeId(2)), Some(NeighborClass::TwoHop));
+        assert_eq!(v.class_of(NodeId(4)), Some(NeighborClass::TwoHop));
+        assert_eq!(v.class_of(NodeId(3)), None);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn one_and_two_hop_iterators() {
+        let t = chain_with_branch();
+        let v = LocalView::extract(&t, NodeId(0));
+        assert_eq!(v.one_hop().collect::<Vec<_>>(), vec![NodeId(1)]);
+        assert_eq!(v.two_hop().collect::<Vec<_>>(), vec![NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
+    fn two_hop_to_two_hop_links_are_hidden() {
+        // Square 0-1, 0-2, 1-3, 2-3 plus hidden 3-4 and visible 1-2.
+        let mut b = TopologyBuilder::abstract_nodes(5);
+        for (a, c) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 2)] {
+            b.link(NodeId(a), NodeId(c), LinkQos::uniform(1)).unwrap();
+        }
+        let t = b.build();
+        let v = LocalView::extract(&t, NodeId(0));
+        // 4 is three hops away: not in the view at all.
+        assert_eq!(v.class_of(NodeId(4)), None);
+        // Links between 1-hop neighbors are visible.
+        let l1 = v.local_index(NodeId(1)).unwrap();
+        let l2 = v.local_index(NodeId(2)).unwrap();
+        assert!(v.graph().has_edge(l1, l2));
+    }
+
+    #[test]
+    fn direct_qos_only_for_one_hop() {
+        let t = chain_with_branch();
+        let v = LocalView::extract(&t, NodeId(0));
+        let n1 = v.local_index(NodeId(1)).unwrap();
+        let n2 = v.local_index(NodeId(2)).unwrap();
+        assert_eq!(v.direct_qos(n1), Some(LinkQos::uniform(5)));
+        assert_eq!(v.direct_qos(n2), None);
+    }
+
+    #[test]
+    fn isolated_center() {
+        let b = TopologyBuilder::abstract_nodes(1);
+        let t = b.build();
+        let v = LocalView::extract(&t, NodeId(0));
+        assert!(v.is_empty());
+        assert_eq!(v.one_hop().count(), 0);
+        assert_eq!(v.two_hop().count(), 0);
+    }
+
+    #[test]
+    fn local_graph_edge_counts() {
+        let t = chain_with_branch();
+        let v = LocalView::extract(&t, NodeId(0));
+        // Edges in E_0: (0,1), (1,2), (1,4). Edge (2,3) leaves V_0.
+        assert_eq!(v.graph().edge_count(), 3);
+    }
+
+    #[test]
+    fn from_parts_matches_extract() {
+        let t = chain_with_branch();
+        let extracted = LocalView::extract(&t, NodeId(0));
+        // Knowledge node 0 would learn from HELLOs: direct link to 1, and
+        // node 1 reporting its links to 0, 2 and 4.
+        let direct = vec![(NodeId(1), LinkQos::uniform(5))];
+        let reported = vec![
+            (NodeId(1), NodeId(0), LinkQos::uniform(5)),
+            (NodeId(1), NodeId(2), LinkQos::uniform(4)),
+            (NodeId(1), NodeId(4), LinkQos::uniform(2)),
+        ];
+        let built = LocalView::from_parts(NodeId(0), &direct, &reported);
+        assert!(built.same_knowledge(&extracted));
+    }
+
+    #[test]
+    fn from_parts_ignores_unknown_reporters() {
+        let direct = vec![(NodeId(1), LinkQos::uniform(5))];
+        let reported = vec![
+            // Node 9 is not a 1-hop neighbor: its report must be dropped.
+            (NodeId(9), NodeId(3), LinkQos::uniform(4)),
+        ];
+        let v = LocalView::from_parts(NodeId(0), &direct, &reported);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.class_of(NodeId(3)), None);
+        assert_eq!(v.class_of(NodeId(9)), None);
+    }
+
+    #[test]
+    fn same_knowledge_detects_differences() {
+        let t = chain_with_branch();
+        let a = LocalView::extract(&t, NodeId(0));
+        let b = LocalView::extract(&t, NodeId(1));
+        assert!(!a.same_knowledge(&b));
+        assert!(a.same_knowledge(&a));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests: Dijkstra and first-hop sets against brute-force simple
+//! path enumeration on random small graphs.
+
+use proptest::prelude::*;
+use qolsr_graph::paths::{best_paths, enumerate, first_hop_table};
+use qolsr_graph::CompactGraph;
+use qolsr_metrics::{BandwidthMetric, DelayMetric, LinkQos, Metric};
+
+/// Strategy: a random graph over `n ∈ [2, 8]` nodes with random integer
+/// weights in `[1, 10]` on a random subset of edges.
+fn random_graph() -> impl Strategy<Value = CompactGraph> {
+    (2usize..=8).prop_flat_map(|n| {
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|a| ((a + 1)..n as u32).map(move |b| (a, b)))
+            .collect();
+        let m = pairs.len();
+        (
+            Just(n),
+            Just(pairs),
+            proptest::collection::vec(proptest::option::weighted(0.55, 1u64..=10), m),
+        )
+            .prop_map(|(n, pairs, weights)| {
+                let mut g = CompactGraph::with_nodes(n);
+                for ((a, b), w) in pairs.into_iter().zip(weights) {
+                    if let Some(w) = w {
+                        g.add_undirected(a, b, LinkQos::uniform(w));
+                    }
+                }
+                g
+            })
+    })
+}
+
+fn check_best_paths_against_enumeration<M: Metric>(g: &CompactGraph) -> Result<(), TestCaseError>
+where
+    M::Value: std::fmt::Debug,
+{
+    let bp = best_paths::<M>(g, 0);
+    for v in 1..g.len() as u32 {
+        let brute = enumerate::brute_force_first_hops::<M>(g, 0, v);
+        match brute {
+            None => prop_assert!(!bp.reachable(v), "node {v} should be unreachable"),
+            Some((best, _)) => {
+                prop_assert!(bp.reachable(v));
+                prop_assert_eq!(bp.value(v), best, "best value mismatch at {}", v);
+                // The reconstructed path must achieve the claimed value.
+                let path = bp.path_to(v).unwrap();
+                let achieved = enumerate::evaluate_path::<M>(g, &path);
+                prop_assert_eq!(achieved, best, "reconstructed path suboptimal at {}", v);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_first_hops_against_enumeration<M: Metric>(g: &CompactGraph) -> Result<(), TestCaseError>
+where
+    M::Value: std::fmt::Debug,
+{
+    let t = first_hop_table::<M>(g, 0);
+    for v in 1..g.len() as u32 {
+        let brute = enumerate::brute_force_first_hops::<M>(g, 0, v);
+        match brute {
+            None => prop_assert!(!t.reachable(v)),
+            Some((best, hops)) => {
+                prop_assert_eq!(t.best_value(v), best, "value mismatch at {}", v);
+                prop_assert_eq!(t.first_hops(v), hops.as_slice(), "fP mismatch at {}", v);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn widest_paths_match_enumeration(g in random_graph()) {
+        check_best_paths_against_enumeration::<BandwidthMetric>(&g)?;
+    }
+
+    #[test]
+    fn min_delay_paths_match_enumeration(g in random_graph()) {
+        check_best_paths_against_enumeration::<DelayMetric>(&g)?;
+    }
+
+    #[test]
+    fn bandwidth_first_hops_match_enumeration(g in random_graph()) {
+        check_first_hops_against_enumeration::<BandwidthMetric>(&g)?;
+    }
+
+    #[test]
+    fn delay_first_hops_match_enumeration(g in random_graph()) {
+        check_first_hops_against_enumeration::<DelayMetric>(&g)?;
+    }
+
+    #[test]
+    fn rng_reduction_is_sound(g in random_graph()) {
+        // Reduced graph is a subgraph, and every surviving edge kept its
+        // label; every removed edge has a strictly better 2-hop detour in
+        // the original graph.
+        let r = qolsr_graph::reduction::rng_reduce::<BandwidthMetric>(&g);
+        prop_assert_eq!(r.len(), g.len());
+        for (a, b, qos) in r.edges() {
+            prop_assert_eq!(g.qos(a, b), Some(qos));
+        }
+        for (a, b, qos) in g.edges() {
+            if !r.has_edge(a, b) {
+                let direct = BandwidthMetric::link_value(&qos);
+                let witness = g.neighbors(a).iter().any(|&(z, qa)| {
+                    g.qos(z, b).is_some_and(|qb| {
+                        let detour = BandwidthMetric::extend(
+                            BandwidthMetric::link_value(&qa),
+                            BandwidthMetric::link_value(&qb),
+                        );
+                        BandwidthMetric::better(detour, direct)
+                    })
+                });
+                prop_assert!(witness, "edge ({a},{b}) removed without witness");
+            }
+        }
+    }
+
+    #[test]
+    fn local_view_never_sees_two_hop_to_two_hop_links(
+        g in random_graph(),
+    ) {
+        // Build a Topology from the random graph and check the E_u rule.
+        use qolsr_graph::{LocalView, NodeId, TopologyBuilder, NeighborClass};
+        let mut b = TopologyBuilder::abstract_nodes(g.len());
+        for (x, y, qos) in g.edges() {
+            b.link(NodeId(x), NodeId(y), qos).unwrap();
+        }
+        let topo = b.build();
+        let view = LocalView::extract(&topo, NodeId(0));
+        for (la, lb, _) in view.graph().edges() {
+            let ca = view.class(la);
+            let cb = view.class(lb);
+            prop_assert!(
+                ca == NeighborClass::OneHop || cb == NeighborClass::OneHop,
+                "E_u edge must touch a 1-hop neighbor"
+            );
+            // And it must exist in the ground truth.
+            prop_assert!(topo.has_link(view.global_id(la), view.global_id(lb)));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Lexicographic metric composition — the paper's future-work direction
+//! ("multi-criterion metrics, for example minimizing energy-consumption
+//! while providing good bandwidth").
+
+use std::marker::PhantomData;
+
+use crate::link::LinkQos;
+use crate::metric::{Metric, MetricKind};
+
+/// Lexicographic composition of two metrics: `A` is the primary criterion,
+/// `B` breaks ties.
+///
+/// A path is better under `Lex2<A, B>` iff it is strictly better under `A`,
+/// or equal under `A` and strictly better under `B`. Both components extend
+/// independently, so the composite is again a well-formed [`Metric`].
+///
+/// Note the usual caveat of multi-criteria routing: lexicographic optima are
+/// optimal in `A` but only conditionally optimal in `B`. This matches the
+/// paper's informal future-work framing rather than full Pareto routing.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_metrics::{
+///     Bandwidth, Energy, Lex2, LinkQos, Metric, ResidualEnergyMetric, BandwidthMetric,
+/// };
+///
+/// type EnergyThenBandwidth = Lex2<ResidualEnergyMetric, BandwidthMetric>;
+///
+/// let a = (Energy(5), Bandwidth(2));
+/// let b = (Energy(5), Bandwidth(9));
+/// // Equal energy: the wider path wins.
+/// assert!(EnergyThenBandwidth::better(b, a));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lex2<A, B>(PhantomData<(A, B)>);
+
+impl<A, B> Default for Lex2<A, B> {
+    fn default() -> Self {
+        Self(PhantomData)
+    }
+}
+
+impl<A: Metric, B: Metric> Metric for Lex2<A, B> {
+    type Value = (A::Value, B::Value);
+
+    const NAME: &'static str = "lexicographic";
+
+    fn kind() -> MetricKind {
+        MetricKind::Composite
+    }
+
+    fn empty_path() -> Self::Value {
+        (A::empty_path(), B::empty_path())
+    }
+
+    fn no_path() -> Self::Value {
+        (A::no_path(), B::no_path())
+    }
+
+    fn extend(path: Self::Value, link: Self::Value) -> Self::Value {
+        (A::extend(path.0, link.0), B::extend(path.1, link.1))
+    }
+
+    fn better(a: Self::Value, b: Self::Value) -> bool {
+        if A::better(a.0, b.0) {
+            true
+        } else if A::better(b.0, a.0) {
+            false
+        } else {
+            B::better(a.1, b.1)
+        }
+    }
+
+    fn link_value(qos: &LinkQos) -> Self::Value {
+        (A::link_value(qos), B::link_value(qos))
+    }
+
+    fn is_reachable(v: Self::Value) -> bool {
+        A::is_reachable(v.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{path_value, BandwidthMetric, DelayMetric, ResidualEnergyMetric};
+    use crate::value::{Bandwidth, Delay, Energy};
+
+    type EnergyThenBw = Lex2<ResidualEnergyMetric, BandwidthMetric>;
+    type BwThenDelay = Lex2<BandwidthMetric, DelayMetric>;
+
+    #[test]
+    fn primary_dominates() {
+        let a = (Energy(9), Bandwidth(1));
+        let b = (Energy(3), Bandwidth(100));
+        assert!(EnergyThenBw::better(a, b));
+    }
+
+    #[test]
+    fn secondary_breaks_ties() {
+        let a = (Bandwidth(4), Delay(10));
+        let b = (Bandwidth(4), Delay(3));
+        assert!(BwThenDelay::better(b, a));
+        assert!(!BwThenDelay::better(a, b));
+    }
+
+    #[test]
+    fn extend_is_componentwise() {
+        let p = path_value::<BwThenDelay>([
+            (Bandwidth(10), Delay(1)),
+            (Bandwidth(4), Delay(2)),
+        ]);
+        assert_eq!(p, (Bandwidth(4), Delay(3)));
+    }
+
+    #[test]
+    fn empty_and_no_path() {
+        assert_eq!(
+            BwThenDelay::empty_path(),
+            (Bandwidth::MAX, Delay::ZERO)
+        );
+        assert!(!BwThenDelay::is_reachable(BwThenDelay::no_path()));
+        assert!(BwThenDelay::is_reachable((Bandwidth(1), Delay(5))));
+    }
+
+    #[test]
+    fn link_value_extracts_both() {
+        let qos = LinkQos::with_energy(Bandwidth(3), Delay(4), Energy(5));
+        assert_eq!(BwThenDelay::link_value(&qos), (Bandwidth(3), Delay(4)));
+        assert_eq!(EnergyThenBw::link_value(&qos), (Energy(5), Bandwidth(3)));
+    }
+
+    #[test]
+    fn kind_is_composite() {
+        assert_eq!(BwThenDelay::kind(), MetricKind::Composite);
+    }
+}

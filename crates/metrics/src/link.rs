@@ -1,0 +1,100 @@
+//! The QoS label attached to every link of a wireless topology.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::{Bandwidth, Delay, Energy};
+
+/// QoS annotation of a (bidirectional) wireless link.
+///
+/// The paper treats the *computation* of these quantities as out of scope
+/// (citing Munaretto & Fonseca for measurement techniques); simulations draw
+/// them uniformly at random. One record carries all supported metrics so a
+/// single topology can be evaluated under any [`Metric`](crate::Metric)
+/// without re-sampling.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_metrics::{Bandwidth, Delay, LinkQos};
+///
+/// let qos = LinkQos::new(Bandwidth(10), Delay(3));
+/// assert_eq!(qos.bandwidth, Bandwidth(10));
+/// assert_eq!(qos.delay, Delay(3));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkQos {
+    /// Available bandwidth on the link.
+    pub bandwidth: Bandwidth,
+    /// Transmission delay of the link.
+    pub delay: Delay,
+    /// Residual energy associated with the link (minimum of the two
+    /// endpoints' batteries in the energy-aware extension).
+    pub energy: Energy,
+}
+
+impl LinkQos {
+    /// Creates a link label from bandwidth and delay, with maximal energy.
+    pub fn new(bandwidth: Bandwidth, delay: Delay) -> Self {
+        Self {
+            bandwidth,
+            delay,
+            energy: Energy::MAX,
+        }
+    }
+
+    /// Creates a link label carrying all three supported metrics.
+    pub fn with_energy(bandwidth: Bandwidth, delay: Delay, energy: Energy) -> Self {
+        Self {
+            bandwidth,
+            delay,
+            energy,
+        }
+    }
+
+    /// Convenience constructor used by fixtures: a link whose bandwidth is
+    /// `w` and whose delay is also `w` (the paper's worked figures label
+    /// each link with a single weight interpreted under the active metric).
+    pub fn uniform(w: u64) -> Self {
+        Self {
+            bandwidth: Bandwidth(w),
+            delay: Delay(w),
+            energy: Energy(w),
+        }
+    }
+}
+
+impl fmt::Display for LinkQos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bw={} delay={} energy={}",
+            self.bandwidth, self.delay, self.energy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_defaults_energy_to_max() {
+        let qos = LinkQos::new(Bandwidth(5), Delay(2));
+        assert_eq!(qos.energy, Energy::MAX);
+    }
+
+    #[test]
+    fn uniform_sets_all_fields() {
+        let qos = LinkQos::uniform(4);
+        assert_eq!(qos.bandwidth, Bandwidth(4));
+        assert_eq!(qos.delay, Delay(4));
+        assert_eq!(qos.energy, Energy(4));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!LinkQos::uniform(1).to_string().is_empty());
+    }
+}

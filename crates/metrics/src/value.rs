@@ -1,0 +1,140 @@
+//! Scalar QoS value newtypes.
+//!
+//! All values are unsigned integers in abstract units: the paper draws link
+//! weights "uniformly at random in a fixed interval" without naming units,
+//! and all reported quantities (set sizes, overhead ratios) are scale-free.
+//! Integer values give total ordering, hashing and exact arithmetic, which
+//! the deterministic algorithms and tests rely on.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! qos_value {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Zero value.
+            pub const ZERO: Self = Self(0);
+            /// Maximum representable value.
+            pub const MAX: Self = Self(u64::MAX);
+
+            /// Returns the raw integer value.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// # use qolsr_metrics::*;
+            #[doc = concat!("assert_eq!(", stringify!($name), "(7).value(), 7);")]
+            /// ```
+            pub const fn value(self) -> u64 {
+                self.0
+            }
+
+            /// Saturating addition; saturates at [`Self::MAX`].
+            pub const fn saturating_add(self, rhs: Self) -> Self {
+                Self(self.0.saturating_add(rhs.0))
+            }
+
+            /// Minimum of two values.
+            pub fn min(self, rhs: Self) -> Self {
+                Self(self.0.min(rhs.0))
+            }
+
+            /// Maximum of two values.
+            pub fn max(self, rhs: Self) -> Self {
+                Self(self.0.max(rhs.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.0 == u64::MAX {
+                    write!(f, "∞")
+                } else {
+                    write!(f, "{}", self.0)
+                }
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(v: $name) -> u64 {
+                v.0
+            }
+        }
+    };
+}
+
+qos_value! {
+    /// Link or path bandwidth in abstract units (a **concave** quantity: the
+    /// bandwidth of a path is the minimum over its links).
+    Bandwidth
+}
+
+qos_value! {
+    /// Link or path delay in abstract units (an **additive** quantity: the
+    /// delay of a path is the sum over its links).
+    Delay
+}
+
+qos_value! {
+    /// Residual energy in abstract units, modelling the paper's future-work
+    /// direction of energy-aware selection (a **concave** quantity: the
+    /// residual energy of a path is the minimum over its links).
+    Energy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        assert_eq!(Bandwidth::from(9).value(), 9);
+        assert_eq!(u64::from(Delay(3)), 3);
+        assert_eq!(Energy(5).value(), 5);
+    }
+
+    #[test]
+    fn saturating_add_saturates() {
+        assert_eq!(Delay::MAX.saturating_add(Delay(1)), Delay::MAX);
+        assert_eq!(Delay(2).saturating_add(Delay(3)), Delay(5));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Bandwidth(3).min(Bandwidth(8)), Bandwidth(3));
+        assert_eq!(Bandwidth(3).max(Bandwidth(8)), Bandwidth(8));
+    }
+
+    #[test]
+    fn display_finite_and_infinite() {
+        assert_eq!(Bandwidth(42).to_string(), "42");
+        assert_eq!(Delay::MAX.to_string(), "∞");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Bandwidth(2) < Bandwidth(10));
+        assert!(Delay(2) < Delay(10));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Bandwidth::default(), Bandwidth::ZERO);
+        assert_eq!(Delay::default(), Delay::ZERO);
+        assert_eq!(Energy::default(), Energy::ZERO);
+    }
+}

@@ -1,0 +1,82 @@
+//! Protocol timing parameters.
+
+use qolsr_sim::SimDuration;
+
+/// OLSR timing configuration (RFC 3626 §18 defaults).
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_proto::OlsrConfig;
+/// use qolsr_sim::SimDuration;
+///
+/// let cfg = OlsrConfig::default();
+/// assert_eq!(cfg.hello_interval, SimDuration::from_secs(2));
+/// assert_eq!(cfg.neighbor_hold_time(), SimDuration::from_secs(6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OlsrConfig {
+    /// HELLO emission interval (RFC default 2 s).
+    pub hello_interval: SimDuration,
+    /// TC emission interval (RFC default 5 s).
+    pub tc_interval: SimDuration,
+    /// Validity multiplier: a tuple learned from a message is held for
+    /// `multiplier × interval` (RFC default 3).
+    pub validity_multiplier: u64,
+    /// Maximum uniform jitter subtracted from each emission interval, as
+    /// per RFC 3626 §18.1 (`MAXJITTER = interval / 4` by default).
+    pub max_jitter: SimDuration,
+    /// Interval of the table-expiry sweep.
+    pub sweep_interval: SimDuration,
+}
+
+impl Default for OlsrConfig {
+    fn default() -> Self {
+        Self {
+            hello_interval: SimDuration::from_secs(2),
+            tc_interval: SimDuration::from_secs(5),
+            validity_multiplier: 3,
+            max_jitter: SimDuration::from_millis(500),
+            sweep_interval: SimDuration::from_secs(1),
+        }
+    }
+}
+
+impl OlsrConfig {
+    /// How long neighbor/link/2-hop tuples learned from HELLOs stay valid.
+    pub fn neighbor_hold_time(&self) -> SimDuration {
+        self.hello_interval.saturating_mul(self.validity_multiplier)
+    }
+
+    /// How long topology tuples learned from TCs stay valid.
+    pub fn topology_hold_time(&self) -> SimDuration {
+        self.tc_interval.saturating_mul(self.validity_multiplier)
+    }
+
+    /// How long duplicate-set entries are retained (RFC default 30 s).
+    pub fn duplicate_hold_time(&self) -> SimDuration {
+        SimDuration::from_secs(30)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_rfc() {
+        let c = OlsrConfig::default();
+        assert_eq!(c.tc_interval, SimDuration::from_secs(5));
+        assert_eq!(c.topology_hold_time(), SimDuration::from_secs(15));
+        assert_eq!(c.duplicate_hold_time(), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn hold_times_scale_with_multiplier() {
+        let c = OlsrConfig {
+            validity_multiplier: 5,
+            ..OlsrConfig::default()
+        };
+        assert_eq!(c.neighbor_hold_time(), SimDuration::from_secs(10));
+    }
+}

@@ -1,0 +1,61 @@
+//! OLSR protocol substrate (RFC 3626 style, with the QoS extensions the
+//! paper's QOLSR variants assume) for the `qolsr-rs` reproduction of
+//! *"Towards an efficient QoS based selection of neighbors in QOLSR"*
+//! (Khadar, Mitton, Simplot-Ryl — SN/ICDCS 2010).
+//!
+//! The crate implements the full proactive machinery the paper builds on:
+//!
+//! * [`messages`] — HELLO and TC messages carrying per-link QoS (the
+//!   paper's "piggybacking neighborhood table in Hello messages"), plus a
+//!   binary [`wire`] codec used on the simulated radio;
+//! * [`tables`] — link sensing with validity times, the neighbor and
+//!   2-hop neighbor sets, MPR-selector set, topology base (ANSN
+//!   sequencing) and duplicate set;
+//! * [`mpr`] — the classical RFC 3626 greedy MPR heuristic (the flooding
+//!   set every variant keeps);
+//! * [`routing`] — RFC-style hop-count routing-table calculation from
+//!   local links plus TC-learned topology;
+//! * [`node`] — [`OlsrNode`]: the protocol state machine as a
+//!   [`qolsr_sim::Actor`], generic over an [`AdvertisePolicy`] so the core
+//!   crate can plug in QANS selection (FNBP, topology filtering, QOLSR
+//!   MPR variants) without forking the protocol;
+//! * [`network`] — a harness that runs a whole OLSR network over
+//!   `qolsr-sim` and extracts converged state.
+//!
+//! # Examples
+//!
+//! Run a three-node line network until HELLO/TC convergence and inspect
+//! symmetric neighbors:
+//!
+//! ```
+//! use qolsr_graph::{NodeId, Point2, TopologyBuilder};
+//! use qolsr_metrics::LinkQos;
+//! use qolsr_proto::{network::OlsrNetwork, OlsrConfig};
+//! use qolsr_sim::SimDuration;
+//!
+//! let mut b = TopologyBuilder::new(10.0);
+//! let n0 = b.add_node(Point2::new(0.0, 0.0));
+//! let n1 = b.add_node(Point2::new(5.0, 0.0));
+//! let n2 = b.add_node(Point2::new(10.0, 0.0));
+//! b.link(n0, n1, LinkQos::uniform(5)).unwrap();
+//! b.link(n1, n2, LinkQos::uniform(7)).unwrap();
+//!
+//! let mut net = OlsrNetwork::with_defaults(b.build(), 42);
+//! net.run_for(SimDuration::from_secs(12));
+//! assert_eq!(net.symmetric_neighbors(n1), vec![n0, n2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod messages;
+pub mod mpr;
+pub mod network;
+pub mod node;
+pub mod routing;
+pub mod tables;
+pub mod wire;
+
+pub use config::OlsrConfig;
+pub use node::{AdvertisePolicy, MprSelectorPolicy, OlsrNode};

@@ -1,0 +1,153 @@
+//! OLSR control messages with the QoS extension.
+//!
+//! Shapes follow RFC 3626 (HELLO link codes, TC with ANSN) restricted to
+//! what the simulation exercises, and extended with per-link QoS labels:
+//! every advertised neighbor carries the announcing node's measured
+//! [`LinkQos`] for that link — the "piggybacked neighborhood table" the
+//! paper relies on for building `G_u`.
+
+use qolsr_graph::NodeId;
+use qolsr_metrics::LinkQos;
+
+/// How the announcing node currently classifies a listed neighbor
+/// (condensed RFC 3626 link code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkState {
+    /// Link heard but not yet known bidirectional.
+    Asymmetric,
+    /// Link verified bidirectional.
+    Symmetric,
+    /// Symmetric neighbor additionally selected as MPR by the announcer.
+    Mpr,
+}
+
+impl LinkState {
+    /// Returns `true` for codes that imply a symmetric link.
+    pub fn is_symmetric(self) -> bool {
+        matches!(self, LinkState::Symmetric | LinkState::Mpr)
+    }
+}
+
+/// One neighbor entry in a HELLO message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloNeighbor {
+    /// The listed neighbor.
+    pub id: NodeId,
+    /// The announcer's classification of the link.
+    pub state: LinkState,
+    /// QoS of the announcer→neighbor link (QOLSR extension).
+    pub qos: LinkQos,
+}
+
+/// A HELLO message: the announcer's current neighbor table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Hello {
+    /// All links the announcer currently tracks.
+    pub neighbors: Vec<HelloNeighbor>,
+}
+
+impl Hello {
+    /// Returns the entry for `id`, if listed.
+    pub fn entry(&self, id: NodeId) -> Option<&HelloNeighbor> {
+        self.neighbors.iter().find(|n| n.id == id)
+    }
+}
+
+/// A TC (topology control) message: the announcer's advertised neighbor
+/// set with link QoS, guarded by the ANSN sequence number.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Tc {
+    /// Advertised-neighbor sequence number (monotonically increasing per
+    /// originator; receivers discard stale sets).
+    pub ansn: u16,
+    /// The advertised neighbors with the originator→neighbor link QoS.
+    pub advertised: Vec<(NodeId, LinkQos)>,
+}
+
+/// Message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Body {
+    /// Link-sensing / neighborhood discovery (never forwarded).
+    Hello(Hello),
+    /// Topology control (flooded through MPRs).
+    Tc(Tc),
+}
+
+/// A full OLSR message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The node that created the message.
+    pub originator: NodeId,
+    /// Per-originator message sequence number (duplicate detection).
+    pub seq: u16,
+    /// Remaining hops the message may travel.
+    pub ttl: u8,
+    /// Hops travelled so far.
+    pub hop_count: u8,
+    /// Payload.
+    pub body: Body,
+}
+
+impl Message {
+    /// Creates a HELLO message (TTL 1: HELLOs are never forwarded).
+    pub fn hello(originator: NodeId, seq: u16, hello: Hello) -> Self {
+        Self {
+            originator,
+            seq,
+            ttl: 1,
+            hop_count: 0,
+            body: Body::Hello(hello),
+        }
+    }
+
+    /// Creates a TC message with the RFC default TTL of 255.
+    pub fn tc(originator: NodeId, seq: u16, tc: Tc) -> Self {
+        Self {
+            originator,
+            seq,
+            ttl: 255,
+            hop_count: 0,
+            body: Body::Tc(tc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qolsr_metrics::{Bandwidth, Delay};
+
+    fn qos() -> LinkQos {
+        LinkQos::new(Bandwidth(5), Delay(2))
+    }
+
+    #[test]
+    fn link_state_symmetry() {
+        assert!(!LinkState::Asymmetric.is_symmetric());
+        assert!(LinkState::Symmetric.is_symmetric());
+        assert!(LinkState::Mpr.is_symmetric());
+    }
+
+    #[test]
+    fn hello_entry_lookup() {
+        let h = Hello {
+            neighbors: vec![HelloNeighbor {
+                id: NodeId(3),
+                state: LinkState::Symmetric,
+                qos: qos(),
+            }],
+        };
+        assert!(h.entry(NodeId(3)).is_some());
+        assert!(h.entry(NodeId(4)).is_none());
+    }
+
+    #[test]
+    fn constructors_set_ttl() {
+        let h = Message::hello(NodeId(1), 7, Hello::default());
+        assert_eq!(h.ttl, 1);
+        assert_eq!(h.hop_count, 0);
+        let t = Message::tc(NodeId(1), 8, Tc::default());
+        assert_eq!(t.ttl, 255);
+        assert_eq!(t.seq, 8);
+    }
+}

@@ -1,0 +1,188 @@
+//! The classical RFC 3626 MPR selection heuristic.
+//!
+//! This is the link-quality-agnostic two-phase greedy the paper describes
+//! in §II: first take the 1-hop neighbors that are the *only* cover of
+//! some 2-hop neighbor, then repeatedly take the neighbor covering the
+//! most still-uncovered 2-hop neighbors. It is kept by every QoS variant
+//! as the *flooding* set; the QoS selectors in the `qolsr` core crate
+//! replace only the *routing* (advertised) set.
+
+use std::collections::BTreeSet;
+
+use qolsr_graph::{LocalView, NodeId};
+
+/// Computes the MPR set of the view's center using the RFC 3626 greedy
+/// heuristic.
+///
+/// Determinism: ties on coverage are broken by total 2-hop reachability,
+/// then by smallest node id (the RFC leaves this open; the paper's
+/// analysis in [3] notes ~75% of MPRs come from the mandatory first
+/// phase, so tie-breaking barely matters — but it must be stable for
+/// reproducible experiments).
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_graph::{fixtures, LocalView};
+/// use qolsr_proto::mpr::select_mprs;
+///
+/// let fig = fixtures::fig2();
+/// let view = LocalView::extract(&fig.topo, fig.u);
+/// let mprs = select_mprs(&view);
+/// // Every 2-hop neighbor of u is covered by some selected MPR.
+/// for w in view.two_hop_local() {
+///     assert!(view.graph().neighbors(w).iter().any(|&(v, _)| {
+///         mprs.contains(&view.global_id(v))
+///     }));
+/// }
+/// ```
+pub fn select_mprs(view: &LocalView) -> BTreeSet<NodeId> {
+    let g = view.graph();
+    let one_hop: Vec<u32> = view.one_hop_local().collect();
+    let two_hop: Vec<u32> = view.two_hop_local().collect();
+
+    let mut mprs: BTreeSet<u32> = BTreeSet::new();
+    let mut uncovered: BTreeSet<u32> = two_hop.iter().copied().collect();
+
+    // Coverage relation: neighbor v covers 2-hop node w iff (v, w) ∈ E_u.
+    let covers = |v: u32, w: u32| g.has_edge(v, w);
+
+    // Phase 1: neighbors that are the sole cover of some 2-hop node.
+    for &w in &two_hop {
+        let coverers: Vec<u32> = one_hop.iter().copied().filter(|&v| covers(v, w)).collect();
+        if coverers.len() == 1 {
+            mprs.insert(coverers[0]);
+        }
+    }
+    uncovered.retain(|&w| !one_hop.iter().any(|&v| mprs.contains(&v) && covers(v, w)));
+
+    // Phase 2: greedy by newly-covered count; ties by total reachability,
+    // then smallest global id.
+    while !uncovered.is_empty() {
+        let best = one_hop
+            .iter()
+            .copied()
+            .filter(|v| !mprs.contains(v))
+            .map(|v| {
+                let newly = uncovered.iter().filter(|&&w| covers(v, w)).count();
+                let total = two_hop.iter().filter(|&&w| covers(v, w)).count();
+                (newly, total, v)
+            })
+            .filter(|&(newly, _, _)| newly > 0)
+            // Max newly covered, then max total, then *smallest* id.
+            .max_by(|a, b| {
+                (a.0, a.1, std::cmp::Reverse(view.global_id(a.2)))
+                    .cmp(&(b.0, b.1, std::cmp::Reverse(view.global_id(b.2))))
+            });
+        match best {
+            Some((_, _, v)) => {
+                mprs.insert(v);
+                uncovered.retain(|&w| !covers(v, w));
+            }
+            // Uncoverable 2-hop nodes cannot exist in well-formed views,
+            // but learned views may transiently contain them.
+            None => break,
+        }
+    }
+
+    mprs.into_iter().map(|v| view.global_id(v)).collect()
+}
+
+/// Checks the MPR coverage invariant: every 2-hop neighbor of the center
+/// is adjacent to at least one selected MPR. Returns the uncovered 2-hop
+/// neighbors (empty means the invariant holds).
+pub fn uncovered_two_hop(view: &LocalView, mprs: &BTreeSet<NodeId>) -> Vec<NodeId> {
+    let g = view.graph();
+    view.two_hop_local()
+        .filter(|&w| {
+            !g.neighbors(w)
+                .iter()
+                .any(|&(v, _)| mprs.contains(&view.global_id(v)))
+        })
+        .map(|w| view.global_id(w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qolsr_graph::{fixtures, TopologyBuilder};
+    use qolsr_metrics::LinkQos;
+
+    fn view_of(topo: &qolsr_graph::Topology, u: NodeId) -> LocalView {
+        LocalView::extract(topo, u)
+    }
+
+    #[test]
+    fn sole_cover_is_mandatory() {
+        // 0 — 1 — 2: node 1 is the only cover of 2.
+        let mut b = TopologyBuilder::abstract_nodes(3);
+        b.link(NodeId(0), NodeId(1), LinkQos::uniform(1)).unwrap();
+        b.link(NodeId(1), NodeId(2), LinkQos::uniform(1)).unwrap();
+        let t = b.build();
+        let mprs = select_mprs(&view_of(&t, NodeId(0)));
+        assert_eq!(mprs.into_iter().collect::<Vec<_>>(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn greedy_prefers_bigger_cover() {
+        // Center 0 with neighbors 1 and 2; 1 covers {3,4,5}, 2 covers {3}.
+        let mut b = TopologyBuilder::abstract_nodes(6);
+        for (x, y) in [(0, 1), (0, 2), (1, 3), (1, 4), (1, 5), (2, 3)] {
+            b.link(NodeId(x), NodeId(y), LinkQos::uniform(1)).unwrap();
+        }
+        let t = b.build();
+        let mprs = select_mprs(&view_of(&t, NodeId(0)));
+        assert_eq!(mprs.into_iter().collect::<Vec<_>>(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn no_two_hop_means_no_mprs() {
+        // A triangle: every neighbor's neighbor is already 1-hop.
+        let mut b = TopologyBuilder::abstract_nodes(3);
+        for (x, y) in [(0, 1), (0, 2), (1, 2)] {
+            b.link(NodeId(x), NodeId(y), LinkQos::uniform(1)).unwrap();
+        }
+        let t = b.build();
+        assert!(select_mprs(&view_of(&t, NodeId(0))).is_empty());
+    }
+
+    #[test]
+    fn coverage_invariant_on_fig2() {
+        let f = fixtures::fig2();
+        let view = view_of(&f.topo, f.u);
+        let mprs = select_mprs(&view);
+        assert!(uncovered_two_hop(&view, &mprs).is_empty());
+    }
+
+    #[test]
+    fn fig1_classic_mprs_cover_everything() {
+        // The paper's "only v2 and v5" claim holds for the *QOLSR* QoS
+        // heuristics (asserted in the core crate); the classic
+        // link-quality-agnostic greedy may additionally pick v1 on a tie.
+        // Here we assert the coverage invariant and that v5 carries the
+        // network (selected by v3, v4 and v6).
+        let f = fixtures::fig1();
+        let mut all: BTreeSet<NodeId> = BTreeSet::new();
+        for u in f.topo.nodes() {
+            let view = view_of(&f.topo, u);
+            let mprs = select_mprs(&view);
+            assert!(uncovered_two_hop(&view, &mprs).is_empty(), "at {u}");
+            all.extend(mprs);
+        }
+        assert!(all.contains(&f.v[4])); // v5
+        assert!(all.contains(&f.v[1])); // v2
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Neighbors 1 and 2 both cover exactly {3}: smallest id wins.
+        let mut b = TopologyBuilder::abstract_nodes(4);
+        for (x, y) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            b.link(NodeId(x), NodeId(y), LinkQos::uniform(1)).unwrap();
+        }
+        let t = b.build();
+        let mprs = select_mprs(&view_of(&t, NodeId(0)));
+        assert_eq!(mprs.into_iter().collect::<Vec<_>>(), vec![NodeId(1)]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Whole-network harness: run an OLSR network over the discrete-event
+//! engine and extract converged protocol state.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use qolsr_graph::{LocalView, NodeId, Topology};
+use qolsr_metrics::LinkQos;
+use qolsr_sim::{RadioConfig, SimDuration, SimTime, Simulator};
+
+use crate::config::OlsrConfig;
+use crate::node::{AdvertisePolicy, MprSelectorPolicy, NodeStats, OlsrNode};
+
+/// An OLSR network simulation: one [`OlsrNode`] per topology node.
+pub struct OlsrNetwork<P: AdvertisePolicy> {
+    sim: Simulator<OlsrNode<P>>,
+}
+
+impl OlsrNetwork<MprSelectorPolicy> {
+    /// Builds a network with RFC-default timing and the RFC advertise
+    /// policy.
+    pub fn with_defaults(topology: Topology, seed: u64) -> Self {
+        Self::new(
+            topology,
+            OlsrConfig::default(),
+            RadioConfig::default(),
+            seed,
+            |_| MprSelectorPolicy,
+        )
+    }
+}
+
+impl<P: AdvertisePolicy> OlsrNetwork<P> {
+    /// Builds a network with explicit configuration; `policy` constructs
+    /// each node's [`AdvertisePolicy`].
+    pub fn new(
+        topology: Topology,
+        config: OlsrConfig,
+        radio: RadioConfig,
+        seed: u64,
+        mut policy: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        // Hand every node its measured incident-link QoS (the paper scopes
+        // measurement out; the simulator provides ground truth).
+        let incidents: Vec<BTreeMap<NodeId, LinkQos>> = topology
+            .nodes()
+            .map(|n| topology.neighbors(n).collect())
+            .collect();
+        let sim = Simulator::new(topology, radio, seed, |id| {
+            OlsrNode::new(id, incidents[id.index()].clone(), config, policy(id))
+        });
+        Self { sim }
+    }
+
+    /// Advances the simulation by `d`.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &Simulator<OlsrNode<P>> {
+        &self.sim
+    }
+
+    /// The simulated ground-truth topology.
+    pub fn topology(&self) -> &Topology {
+        self.sim.topology()
+    }
+
+    /// The protocol node of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn node(&self, n: NodeId) -> &OlsrNode<P> {
+        self.sim.actor(n)
+    }
+
+    /// Symmetric neighbors of `n` at the current time, ascending.
+    pub fn symmetric_neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        self.node(n).symmetric_neighbors(self.now())
+    }
+
+    /// The current learned partial view `G_n`.
+    pub fn local_view(&self, n: NodeId) -> LocalView {
+        self.node(n).local_view(self.now())
+    }
+
+    /// Union of all nodes' currently-advertised links, as
+    /// `(advertiser, neighbor, qos)` — the network-wide advertised
+    /// topology remote nodes route over.
+    pub fn advertised_topology(&self) -> Vec<(NodeId, NodeId, LinkQos)> {
+        let mut links = Vec::new();
+        for (id, node) in self.sim.actors() {
+            for &(n, qos) in node.advertised() {
+                links.push((id, n, qos));
+            }
+        }
+        links
+    }
+
+    /// Sum of per-node statistics.
+    pub fn total_stats(&self) -> NodeStats {
+        let mut total = NodeStats::default();
+        for (_, node) in self.sim.actors() {
+            let s = node.stats();
+            total.hello_sent += s.hello_sent;
+            total.tc_sent += s.tc_sent;
+            total.tc_forwarded += s.tc_forwarded;
+            total.hello_received += s.hello_received;
+            total.tc_received += s.tc_received;
+            total.bytes_sent += s.bytes_sent;
+            total.decode_errors += s.decode_errors;
+        }
+        total
+    }
+}
+
+// `Bytes` is the message type; re-assert it so the harness fails to
+// compile if the node's Actor impl drifts.
+const _: fn() = || {
+    fn assert_actor<A: qolsr_sim::Actor<Msg = Bytes>>() {}
+    assert_actor::<OlsrNode<MprSelectorPolicy>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qolsr_graph::{LocalView as GraphView, Point2, TopologyBuilder};
+
+    /// 5-node line topology with distinct QoS per link.
+    fn line5() -> Topology {
+        let mut b = TopologyBuilder::new(15.0);
+        let ids: Vec<NodeId> = (0..5)
+            .map(|i| b.add_node(Point2::new(10.0 * i as f64, 0.0)))
+            .collect();
+        for w in ids.windows(2) {
+            b.link(w[0], w[1], LinkQos::uniform((w[0].0 + 2) as u64))
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn neighbors_converge_to_ground_truth() {
+        let topo = line5();
+        let mut net = OlsrNetwork::with_defaults(topo, 7);
+        net.run_for(SimDuration::from_secs(10));
+        assert_eq!(net.symmetric_neighbors(NodeId(0)), vec![NodeId(1)]);
+        assert_eq!(
+            net.symmetric_neighbors(NodeId(2)),
+            vec![NodeId(1), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn local_views_converge_to_extracted_views() {
+        let topo = line5();
+        let mut net = OlsrNetwork::with_defaults(topo.clone(), 7);
+        net.run_for(SimDuration::from_secs(12));
+        for n in topo.nodes() {
+            let learned = net.local_view(n);
+            let truth = GraphView::extract(&topo, n);
+            assert!(
+                learned.same_knowledge(&truth),
+                "node {n} learned view differs from ground truth"
+            );
+        }
+    }
+
+    #[test]
+    fn tc_flooding_reaches_everyone() {
+        let topo = line5();
+        let mut net = OlsrNetwork::with_defaults(topo.clone(), 9);
+        net.run_for(SimDuration::from_secs(20));
+        // Node 0 must know a route to node 4 (4 hops away).
+        let routes = net.node(NodeId(0)).routes(net.now());
+        let r = routes.get(&NodeId(4)).expect("route to far node");
+        assert_eq!(r.hops, 4);
+        assert_eq!(r.next_hop, NodeId(1));
+        assert_eq!(net.total_stats().decode_errors, 0);
+    }
+
+    #[test]
+    fn middle_nodes_become_mprs_on_a_line() {
+        let topo = line5();
+        let mut net = OlsrNetwork::with_defaults(topo, 11);
+        net.run_for(SimDuration::from_secs(10));
+        // On a line, each interior node must be an MPR of its neighbors.
+        let sel1 = net.node(NodeId(1)).mpr_selectors(net.now());
+        assert!(sel1.contains(&NodeId(0)) && sel1.contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net = OlsrNetwork::with_defaults(line5(), seed);
+            net.run_for(SimDuration::from_secs(15));
+            (net.total_stats(), net.advertised_topology())
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

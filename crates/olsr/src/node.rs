@@ -1,0 +1,390 @@
+//! The OLSR protocol state machine as a simulation actor.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bytes::Bytes;
+use qolsr_graph::{LocalView, NodeId};
+use qolsr_metrics::LinkQos;
+use qolsr_sim::{Actor, Context, SimDuration, SimTime, TimerId};
+
+use crate::config::OlsrConfig;
+use crate::messages::{Body, Hello, HelloNeighbor, LinkState, Message, Tc};
+use crate::mpr::select_mprs;
+use crate::routing::{compute_routes, RouteEntry};
+use crate::tables::{DuplicateSet, NeighborTables, TopologyBase};
+use crate::wire;
+
+const HELLO_TIMER: TimerId = TimerId(1);
+const TC_TIMER: TimerId = TimerId(2);
+const SWEEP_TIMER: TimerId = TimerId(3);
+
+/// Strategy deciding which neighbors a node advertises in its TC messages
+/// (the paper's ANS / QANS).
+///
+/// The RFC behaviour is [`MprSelectorPolicy`]; the `qolsr` core crate
+/// plugs in the QoS selectors (FNBP, topology filtering, QOLSR MPR
+/// variants) through this trait.
+pub trait AdvertisePolicy: Send {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes the advertised set from the node's current partial view
+    /// `G_u` and the neighbors currently selecting it as MPR.
+    fn advertised_set(&mut self, view: &LocalView, mpr_selectors: &[NodeId]) -> Vec<NodeId>;
+}
+
+/// RFC 3626 default: advertise the MPR-selector set.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MprSelectorPolicy;
+
+impl AdvertisePolicy for MprSelectorPolicy {
+    fn name(&self) -> &'static str {
+        "mpr-selectors"
+    }
+
+    fn advertised_set(&mut self, _view: &LocalView, mpr_selectors: &[NodeId]) -> Vec<NodeId> {
+        mpr_selectors.to_vec()
+    }
+}
+
+/// Per-node protocol statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStats {
+    /// HELLO messages emitted.
+    pub hello_sent: u64,
+    /// TC messages originated.
+    pub tc_sent: u64,
+    /// TC messages forwarded (MPR flooding).
+    pub tc_forwarded: u64,
+    /// HELLO messages received.
+    pub hello_received: u64,
+    /// TC messages received (including duplicates).
+    pub tc_received: u64,
+    /// Total control bytes transmitted (originated + forwarded).
+    pub bytes_sent: u64,
+    /// Messages that failed to decode.
+    pub decode_errors: u64,
+}
+
+/// An OLSR node: link sensing, MPR selection, MPR flooding of TCs, and a
+/// pluggable [`AdvertisePolicy`] for the TC content.
+///
+/// Link QoS is provided through the `incident` map at construction —
+/// standing in for the measurement machinery the paper scopes out
+/// ("the computation of these metrics is out of the scope of this
+/// paper").
+#[derive(Debug)]
+pub struct OlsrNode<P> {
+    id: NodeId,
+    config: OlsrConfig,
+    incident: BTreeMap<NodeId, LinkQos>,
+    neighbors: NeighborTables,
+    topology: TopologyBase,
+    duplicates: DuplicateSet,
+    mprs: BTreeSet<NodeId>,
+    last_ans: Vec<(NodeId, LinkQos)>,
+    ansn: u16,
+    msg_seq: u16,
+    policy: P,
+    stats: NodeStats,
+}
+
+impl<P: AdvertisePolicy> OlsrNode<P> {
+    /// Creates a node with the given identity, measured incident link QoS
+    /// and advertise policy.
+    pub fn new(
+        id: NodeId,
+        incident: BTreeMap<NodeId, LinkQos>,
+        config: OlsrConfig,
+        policy: P,
+    ) -> Self {
+        Self {
+            id,
+            config,
+            incident,
+            neighbors: NeighborTables::new(),
+            topology: TopologyBase::new(),
+            duplicates: DuplicateSet::new(),
+            mprs: BTreeSet::new(),
+            last_ans: Vec::new(),
+            ansn: 0,
+            msg_seq: 0,
+            policy,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Protocol statistics.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// The advertise policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// The node's current partial view `G_u`, built from its tables.
+    pub fn local_view(&self, now: SimTime) -> LocalView {
+        self.neighbors.local_view(self.id, now)
+    }
+
+    /// Current symmetric neighbors.
+    pub fn symmetric_neighbors(&self, now: SimTime) -> Vec<NodeId> {
+        self.neighbors
+            .symmetric_neighbors(now)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// The most recently computed MPR (flooding) set.
+    pub fn mpr_set(&self) -> &BTreeSet<NodeId> {
+        &self.mprs
+    }
+
+    /// The most recently advertised neighbor set (TC content).
+    pub fn advertised(&self) -> &[(NodeId, LinkQos)] {
+        &self.last_ans
+    }
+
+    /// Neighbors currently selecting this node as MPR.
+    pub fn mpr_selectors(&self, now: SimTime) -> Vec<NodeId> {
+        self.neighbors.mpr_selectors(now)
+    }
+
+    /// Advertised links this node has learned from TC flooding.
+    pub fn topology_links(&self, now: SimTime) -> Vec<(NodeId, NodeId, LinkQos)> {
+        self.topology.links(now)
+    }
+
+    /// Hop-count routing table from current knowledge (RFC 3626 §10).
+    pub fn routes(&self, now: SimTime) -> BTreeMap<NodeId, RouteEntry> {
+        compute_routes(
+            self.id,
+            &self.neighbors.symmetric_neighbors(now),
+            &self.neighbors.reported_links(now),
+            &self.topology.links(now),
+        )
+    }
+
+    fn next_seq(&mut self) -> u16 {
+        self.msg_seq = self.msg_seq.wrapping_add(1);
+        self.msg_seq
+    }
+
+    fn jittered(&self, interval: SimDuration, ctx: &mut Context<'_, Bytes>) -> SimDuration {
+        let max = self.config.max_jitter.as_micros().min(interval.as_micros());
+        if max == 0 {
+            return interval;
+        }
+        let jitter = ctx.rng().next_below(max);
+        SimDuration::from_micros(interval.as_micros() - jitter)
+    }
+
+    fn transmit(&mut self, ctx: &mut Context<'_, Bytes>, msg: &Message) {
+        let bytes = wire::encode(msg);
+        self.stats.bytes_sent += bytes.len() as u64;
+        ctx.broadcast(bytes);
+    }
+
+    fn emit_hello(&mut self, ctx: &mut Context<'_, Bytes>) {
+        let now = ctx.now();
+        self.neighbors.sweep(now);
+        let view = self.neighbors.local_view(self.id, now);
+        self.mprs = select_mprs(&view);
+
+        let mut neighbors = Vec::new();
+        for (n, qos) in self.neighbors.symmetric_neighbors(now) {
+            let state = if self.mprs.contains(&n) {
+                LinkState::Mpr
+            } else {
+                LinkState::Symmetric
+            };
+            neighbors.push(HelloNeighbor { id: n, state, qos });
+        }
+        // Heard-but-unconfirmed links are announced as asymmetric so the
+        // other side can complete the symmetry handshake.
+        for (n, qos) in self.neighbors.asymmetric_neighbors(now) {
+            neighbors.push(HelloNeighbor {
+                id: n,
+                state: LinkState::Asymmetric,
+                qos,
+            });
+        }
+
+        let seq = self.next_seq();
+        let msg = Message::hello(self.id, seq, Hello { neighbors });
+        self.stats.hello_sent += 1;
+        self.transmit(ctx, &msg);
+    }
+
+    fn emit_tc(&mut self, ctx: &mut Context<'_, Bytes>) {
+        let now = ctx.now();
+        self.neighbors.sweep(now);
+        let view = self.neighbors.local_view(self.id, now);
+        let selectors = self.neighbors.mpr_selectors(now);
+        let ans = self.policy.advertised_set(&view, &selectors);
+
+        let mut advertised: Vec<(NodeId, LinkQos)> = Vec::with_capacity(ans.len());
+        for n in ans {
+            // ANS members are 1-hop neighbors; their link QoS is measured.
+            if let Some(&qos) = self.incident.get(&n) {
+                advertised.push((n, qos));
+            }
+        }
+        advertised.sort_by_key(|&(n, _)| n);
+        advertised.dedup_by_key(|&mut (n, _)| n);
+
+        if advertised != self.last_ans {
+            self.ansn = self.ansn.wrapping_add(1);
+            self.last_ans = advertised.clone();
+        }
+
+        let seq = self.next_seq();
+        let msg = Message::tc(
+            self.id,
+            seq,
+            Tc {
+                ansn: self.ansn,
+                advertised,
+            },
+        );
+        self.stats.tc_sent += 1;
+        self.transmit(ctx, &msg);
+    }
+
+    fn handle_message(&mut self, ctx: &mut Context<'_, Bytes>, from: NodeId, msg: Message) {
+        let now = ctx.now();
+        match &msg.body {
+            Body::Hello(hello) => {
+                self.stats.hello_received += 1;
+                let Some(&qos) = self.incident.get(&from) else {
+                    return; // not a radio neighbor: cannot measure the link
+                };
+                let hold = now + self.config.neighbor_hold_time();
+                self.neighbors
+                    .process_hello(self.id, from, qos, hello, now, hold);
+            }
+            Body::Tc(tc) => {
+                self.stats.tc_received += 1;
+                if msg.originator == self.id {
+                    return;
+                }
+                // RFC: process/forward only messages arriving over a
+                // symmetric link.
+                if !self
+                    .neighbors
+                    .symmetric_neighbors(now)
+                    .iter()
+                    .any(|&(n, _)| n == from)
+                {
+                    return;
+                }
+                let dup_hold = now + self.config.duplicate_hold_time();
+                if self.duplicates.fresh(msg.originator, msg.seq, dup_hold) {
+                    let hold = now + self.config.topology_hold_time();
+                    self.topology
+                        .process_tc(msg.originator, tc.ansn, &tc.advertised, hold);
+                }
+                // MPR forwarding rule: retransmit iff the sender selected
+                // us as MPR and we have not forwarded this message yet.
+                let selectors = self.neighbors.mpr_selectors(now);
+                if msg.ttl > 1
+                    && selectors.contains(&from)
+                    && self.duplicates.mark_forwarded(msg.originator, msg.seq, dup_hold)
+                {
+                    let fwd = Message {
+                        ttl: msg.ttl - 1,
+                        hop_count: msg.hop_count + 1,
+                        body: msg.body.clone(),
+                        ..msg
+                    };
+                    self.stats.tc_forwarded += 1;
+                    self.transmit(ctx, &fwd);
+                }
+            }
+        }
+    }
+}
+
+impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
+    type Msg = Bytes;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Bytes>) {
+        // Stagger first emissions uniformly across one interval to avoid
+        // lock-step synchronization.
+        let hello_at =
+            SimDuration::from_micros(ctx.rng().next_below(self.config.hello_interval.as_micros()));
+        let tc_at =
+            SimDuration::from_micros(ctx.rng().next_below(self.config.tc_interval.as_micros()));
+        ctx.set_timer(hello_at, HELLO_TIMER);
+        ctx.set_timer(tc_at, TC_TIMER);
+        ctx.set_timer(self.config.sweep_interval, SWEEP_TIMER);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Bytes>, timer: TimerId) {
+        match timer {
+            HELLO_TIMER => {
+                self.emit_hello(ctx);
+                let next = self.jittered(self.config.hello_interval, ctx);
+                ctx.set_timer(next, HELLO_TIMER);
+            }
+            TC_TIMER => {
+                self.emit_tc(ctx);
+                let next = self.jittered(self.config.tc_interval, ctx);
+                ctx.set_timer(next, TC_TIMER);
+            }
+            SWEEP_TIMER => {
+                let now = ctx.now();
+                self.neighbors.sweep(now);
+                self.topology.sweep(now);
+                self.duplicates.sweep(now);
+                ctx.set_timer(self.config.sweep_interval, SWEEP_TIMER);
+            }
+            other => debug_assert!(false, "unknown timer {other:?}"),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Bytes>, from: NodeId, bytes: Bytes) {
+        match wire::decode(bytes) {
+            Ok(msg) => self.handle_message(ctx, from, msg),
+            Err(_) => {
+                self.stats.decode_errors += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpr_selector_policy_echoes_selectors() {
+        let mut p = MprSelectorPolicy;
+        let view = LocalView::from_parts(NodeId(0), &[], &[]);
+        let sel = vec![NodeId(3), NodeId(5)];
+        assert_eq!(p.advertised_set(&view, &sel), sel);
+        assert_eq!(p.name(), "mpr-selectors");
+    }
+
+    #[test]
+    fn node_construction() {
+        let node = OlsrNode::new(
+            NodeId(4),
+            BTreeMap::new(),
+            OlsrConfig::default(),
+            MprSelectorPolicy,
+        );
+        assert_eq!(node.id(), NodeId(4));
+        assert!(node.mpr_set().is_empty());
+        assert!(node.advertised().is_empty());
+        assert_eq!(node.stats(), NodeStats::default());
+    }
+}

@@ -1,0 +1,144 @@
+//! RFC 3626 §10-style routing-table calculation: hop-count shortest paths
+//! over the node's symmetric links, 2-hop knowledge and TC-learned
+//! topology links (treated bidirectionally, per the paper's link model).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use qolsr_graph::NodeId;
+use qolsr_metrics::LinkQos;
+
+/// One routing-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// Destination node.
+    pub dest: NodeId,
+    /// The symmetric neighbor to forward to.
+    pub next_hop: NodeId,
+    /// Hop count of the route.
+    pub hops: u32,
+}
+
+/// Computes hop-count routes from `me` given its symmetric neighbors, the
+/// links its neighbors reported, and the advertised links learned from
+/// TCs. Returns a map keyed by destination.
+///
+/// Determinism: BFS over adjacency sorted by node id, so equal-length
+/// routes resolve to the smallest-id next hop.
+pub fn compute_routes(
+    me: NodeId,
+    sym_neighbors: &[(NodeId, LinkQos)],
+    reported_links: &[(NodeId, NodeId, LinkQos)],
+    advertised_links: &[(NodeId, NodeId, LinkQos)],
+) -> BTreeMap<NodeId, RouteEntry> {
+    // Assemble the known graph.
+    let mut adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+    let mut add = |a: NodeId, b: NodeId| {
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default().push(a);
+    };
+    for &(n, _) in sym_neighbors {
+        add(me, n);
+    }
+    for &(a, b, _) in reported_links {
+        add(a, b);
+    }
+    for &(a, b, _) in advertised_links {
+        add(a, b);
+    }
+    for list in adj.values_mut() {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    // BFS from me, remembering the first hop.
+    let mut routes: BTreeMap<NodeId, RouteEntry> = BTreeMap::new();
+    let mut dist: BTreeMap<NodeId, (u32, NodeId)> = BTreeMap::new(); // (hops, next)
+    dist.insert(me, (0, me));
+    let mut queue = VecDeque::from([me]);
+    while let Some(x) = queue.pop_front() {
+        let (d, nh) = dist[&x];
+        let Some(nbrs) = adj.get(&x) else { continue };
+        for &y in nbrs {
+            if dist.contains_key(&y) {
+                continue;
+            }
+            let next_hop = if x == me { y } else { nh };
+            dist.insert(y, (d + 1, next_hop));
+            routes.insert(
+                y,
+                RouteEntry {
+                    dest: y,
+                    next_hop,
+                    hops: d + 1,
+                },
+            );
+            queue.push_back(y);
+        }
+    }
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> LinkQos {
+        LinkQos::uniform(1)
+    }
+
+    #[test]
+    fn one_hop_routes() {
+        let routes = compute_routes(NodeId(0), &[(NodeId(1), q()), (NodeId(2), q())], &[], &[]);
+        assert_eq!(routes[&NodeId(1)].hops, 1);
+        assert_eq!(routes[&NodeId(1)].next_hop, NodeId(1));
+        assert_eq!(routes.len(), 2);
+    }
+
+    #[test]
+    fn two_hop_via_reported_links() {
+        let routes = compute_routes(
+            NodeId(0),
+            &[(NodeId(1), q())],
+            &[(NodeId(1), NodeId(2), q())],
+            &[],
+        );
+        let r = routes[&NodeId(2)];
+        assert_eq!((r.hops, r.next_hop), (2, NodeId(1)));
+    }
+
+    #[test]
+    fn multi_hop_via_advertised_links() {
+        let routes = compute_routes(
+            NodeId(0),
+            &[(NodeId(1), q())],
+            &[(NodeId(1), NodeId(2), q())],
+            &[(NodeId(2), NodeId(3), q()), (NodeId(3), NodeId(4), q())],
+        );
+        assert_eq!(routes[&NodeId(4)].hops, 4);
+        assert_eq!(routes[&NodeId(4)].next_hop, NodeId(1));
+    }
+
+    #[test]
+    fn unknown_destination_absent() {
+        let routes = compute_routes(NodeId(0), &[(NodeId(1), q())], &[], &[]);
+        assert!(!routes.contains_key(&NodeId(9)));
+    }
+
+    #[test]
+    fn tie_breaks_to_smallest_next_hop() {
+        // Two equal 2-hop routes to 3: via 1 and via 2.
+        let routes = compute_routes(
+            NodeId(0),
+            &[(NodeId(1), q()), (NodeId(2), q())],
+            &[(NodeId(1), NodeId(3), q()), (NodeId(2), NodeId(3), q())],
+            &[],
+        );
+        assert_eq!(routes[&NodeId(3)].next_hop, NodeId(1));
+    }
+
+    #[test]
+    fn self_is_not_a_destination() {
+        let routes = compute_routes(NodeId(0), &[(NodeId(1), q())], &[], &[]);
+        assert!(!routes.contains_key(&NodeId(0)));
+    }
+}

@@ -1,0 +1,433 @@
+//! Protocol information bases: link set, neighbor set, 2-hop set,
+//! MPR-selector set, topology base and duplicate set — all with RFC-style
+//! validity times.
+
+use std::collections::BTreeMap;
+
+use qolsr_graph::{LocalView, NodeId};
+use qolsr_metrics::LinkQos;
+use qolsr_sim::SimTime;
+
+use crate::messages::Hello;
+
+/// One sensed link (RFC 3626 link tuple, condensed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTuple {
+    /// The neighbor on the other end.
+    pub neighbor: NodeId,
+    /// Measured link QoS.
+    pub qos: LinkQos,
+    /// The link is heard (asymmetric) until this time.
+    pub asym_until: SimTime,
+    /// The link is verified bidirectional until this time.
+    pub sym_until: SimTime,
+}
+
+impl LinkTuple {
+    /// Returns `true` if the link currently counts as symmetric.
+    pub fn is_symmetric(&self, now: SimTime) -> bool {
+        self.sym_until > now
+    }
+
+    /// Returns `true` if the tuple is still alive at all.
+    pub fn is_alive(&self, now: SimTime) -> bool {
+        self.asym_until > now || self.sym_until > now
+    }
+}
+
+/// Link sensing plus neighborhood knowledge learned from HELLOs.
+#[derive(Debug, Default, Clone)]
+pub struct NeighborTables {
+    links: BTreeMap<NodeId, LinkTuple>,
+    /// `(via, node) → (qos(via,node), expiry)` for links reported by
+    /// symmetric neighbors.
+    reported: BTreeMap<(NodeId, NodeId), (LinkQos, SimTime)>,
+    /// Neighbors that currently select us as MPR.
+    mpr_selectors: BTreeMap<NodeId, SimTime>,
+}
+
+impl NeighborTables {
+    /// Creates empty tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Integrates a HELLO received from `from` over a link measured at
+    /// `measured_qos`.
+    ///
+    /// Implements RFC 3626 link sensing: hearing the HELLO refreshes the
+    /// asymmetric lifetime; seeing ourselves (`me`) listed refreshes the
+    /// symmetric lifetime; being listed with the MPR code refreshes the
+    /// MPR-selector tuple. Links the announcer reports as symmetric are
+    /// recorded for 2-hop neighborhood and `G_u` construction.
+    pub fn process_hello(
+        &mut self,
+        me: NodeId,
+        from: NodeId,
+        measured_qos: LinkQos,
+        hello: &Hello,
+        now: SimTime,
+        hold_until: SimTime,
+    ) {
+        let tuple = self.links.entry(from).or_insert(LinkTuple {
+            neighbor: from,
+            qos: measured_qos,
+            asym_until: hold_until,
+            sym_until: now,
+        });
+        tuple.qos = measured_qos;
+        tuple.asym_until = hold_until;
+        if let Some(entry) = hello.entry(me) {
+            // The neighbor hears us: the link is bidirectional.
+            tuple.sym_until = hold_until;
+            if entry.state == crate::messages::LinkState::Mpr {
+                self.mpr_selectors.insert(from, hold_until);
+            }
+        }
+        for n in &hello.neighbors {
+            if n.state.is_symmetric() && n.id != me {
+                self.reported.insert((from, n.id), (n.qos, hold_until));
+            }
+        }
+    }
+
+    /// Discards every tuple that expired at `now`.
+    pub fn sweep(&mut self, now: SimTime) {
+        self.links.retain(|_, t| t.is_alive(now));
+        // Reported links are only meaningful while the reporter is a live
+        // symmetric neighbor.
+        let live: Vec<NodeId> = self
+            .links
+            .values()
+            .filter(|t| t.is_symmetric(now))
+            .map(|t| t.neighbor)
+            .collect();
+        self.reported
+            .retain(|(via, _), (_, until)| *until > now && live.contains(via));
+        self.mpr_selectors.retain(|_, until| *until > now);
+    }
+
+    /// Current symmetric neighbors with link QoS, ascending by id.
+    pub fn symmetric_neighbors(&self, now: SimTime) -> Vec<(NodeId, LinkQos)> {
+        self.links
+            .values()
+            .filter(|t| t.is_symmetric(now))
+            .map(|t| (t.neighbor, t.qos))
+            .collect()
+    }
+
+    /// Neighbors heard but not (yet) verified bidirectional, ascending by
+    /// id. These must be announced with the asymmetric link code so the
+    /// other side can complete the symmetry handshake.
+    pub fn asymmetric_neighbors(&self, now: SimTime) -> Vec<(NodeId, LinkQos)> {
+        self.links
+            .values()
+            .filter(|t| t.is_alive(now) && !t.is_symmetric(now))
+            .map(|t| (t.neighbor, t.qos))
+            .collect()
+    }
+
+    /// Links reported by current symmetric neighbors, as
+    /// `(reporter, other end, qos)`.
+    pub fn reported_links(&self, now: SimTime) -> Vec<(NodeId, NodeId, LinkQos)> {
+        self.reported
+            .iter()
+            .filter(|(_, (_, until))| *until > now)
+            .filter(|((via, _), _)| {
+                self.links.get(via).is_some_and(|t| t.is_symmetric(now))
+            })
+            .map(|(&(via, node), &(qos, _))| (via, node, qos))
+            .collect()
+    }
+
+    /// Neighbors currently selecting us as MPR, ascending.
+    pub fn mpr_selectors(&self, now: SimTime) -> Vec<NodeId> {
+        self.mpr_selectors
+            .iter()
+            .filter(|(_, until)| **until > now)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Builds the node's current partial view `G_u` from its tables.
+    pub fn local_view(&self, me: NodeId, now: SimTime) -> LocalView {
+        LocalView::from_parts(
+            me,
+            &self.symmetric_neighbors(now),
+            &self.reported_links(now),
+        )
+    }
+}
+
+/// Returns `true` if `a` is a newer 16-bit sequence number than `b`
+/// (RFC 3626 §19 wraparound comparison).
+pub fn seq_newer(a: u16, b: u16) -> bool {
+    a != b && a.wrapping_sub(b) < 0x8000
+}
+
+/// Topology knowledge learned from flooded TCs.
+#[derive(Debug, Default, Clone)]
+pub struct TopologyBase {
+    /// `(originator, advertised) → (qos, expiry)`.
+    tuples: BTreeMap<(NodeId, NodeId), (LinkQos, SimTime)>,
+    /// Latest ANSN seen per originator.
+    ansn: BTreeMap<NodeId, u16>,
+}
+
+impl TopologyBase {
+    /// Creates an empty base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Integrates a TC from `originator`. Per RFC 3626 §9.5: discard if
+    /// older than the recorded ANSN; otherwise replace the originator's
+    /// advertised set. Returns `true` if the message updated the base.
+    pub fn process_tc(
+        &mut self,
+        originator: NodeId,
+        ansn: u16,
+        advertised: &[(NodeId, LinkQos)],
+        hold_until: SimTime,
+    ) -> bool {
+        if let Some(&stored) = self.ansn.get(&originator) {
+            if seq_newer(stored, ansn) {
+                return false; // stale
+            }
+        }
+        self.ansn.insert(originator, ansn);
+        self.tuples.retain(|(orig, _), _| *orig != originator);
+        for &(adv, qos) in advertised {
+            self.tuples.insert((originator, adv), (qos, hold_until));
+        }
+        true
+    }
+
+    /// Discards expired tuples.
+    pub fn sweep(&mut self, now: SimTime) {
+        self.tuples.retain(|_, (_, until)| *until > now);
+    }
+
+    /// All live advertised links as `(originator, advertised, qos)`.
+    pub fn links(&self, now: SimTime) -> Vec<(NodeId, NodeId, LinkQos)> {
+        self.tuples
+            .iter()
+            .filter(|(_, (_, until))| *until > now)
+            .map(|(&(a, b), &(qos, _))| (a, b, qos))
+            .collect()
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Returns `true` when no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// Duplicate suppression for flooded messages (RFC 3626 §3.4).
+#[derive(Debug, Default, Clone)]
+pub struct DuplicateSet {
+    seen: BTreeMap<(NodeId, u16), (SimTime, bool)>,
+}
+
+impl DuplicateSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `(originator, seq)`; returns `true` if it was not already
+    /// known (i.e. the message content should be processed).
+    pub fn fresh(&mut self, originator: NodeId, seq: u16, hold_until: SimTime) -> bool {
+        match self.seen.entry((originator, seq)) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                e.get_mut().0 = hold_until;
+                false
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert((hold_until, false));
+                true
+            }
+        }
+    }
+
+    /// Marks `(originator, seq)` as forwarded; returns `true` if it had
+    /// not been forwarded before (i.e. this node should retransmit now).
+    pub fn mark_forwarded(&mut self, originator: NodeId, seq: u16, hold_until: SimTime) -> bool {
+        let entry = self
+            .seen
+            .entry((originator, seq))
+            .or_insert((hold_until, false));
+        let first = !entry.1;
+        entry.1 = true;
+        first
+    }
+
+    /// Discards expired entries.
+    pub fn sweep(&mut self, now: SimTime) {
+        self.seen.retain(|_, (until, _)| *until > now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{HelloNeighbor, LinkState};
+    use qolsr_sim::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn hello_listing(ids: &[(u32, LinkState)]) -> Hello {
+        Hello {
+            neighbors: ids
+                .iter()
+                .map(|&(id, state)| HelloNeighbor {
+                    id: NodeId(id),
+                    state,
+                    qos: LinkQos::uniform(3),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn link_becomes_symmetric_when_heard_back() {
+        let mut nt = NeighborTables::new();
+        let me = NodeId(0);
+        // First hello from 1 does not list us: asymmetric.
+        nt.process_hello(me, NodeId(1), LinkQos::uniform(5), &hello_listing(&[]), t(0), t(6));
+        assert!(nt.symmetric_neighbors(t(1)).is_empty());
+        // Second hello lists us: symmetric.
+        nt.process_hello(
+            me,
+            NodeId(1),
+            LinkQos::uniform(5),
+            &hello_listing(&[(0, LinkState::Asymmetric)]),
+            t(2),
+            t(8),
+        );
+        assert_eq!(
+            nt.symmetric_neighbors(t(3)),
+            vec![(NodeId(1), LinkQos::uniform(5))]
+        );
+    }
+
+    #[test]
+    fn links_expire() {
+        let mut nt = NeighborTables::new();
+        let me = NodeId(0);
+        nt.process_hello(
+            me,
+            NodeId(1),
+            LinkQos::uniform(5),
+            &hello_listing(&[(0, LinkState::Symmetric)]),
+            t(0),
+            t(6),
+        );
+        assert_eq!(nt.symmetric_neighbors(t(5)).len(), 1);
+        assert!(nt.symmetric_neighbors(t(7)).is_empty());
+        nt.sweep(t(7));
+        assert!(nt.reported_links(t(7)).is_empty());
+    }
+
+    #[test]
+    fn mpr_selector_tracking() {
+        let mut nt = NeighborTables::new();
+        let me = NodeId(0);
+        nt.process_hello(
+            me,
+            NodeId(2),
+            LinkQos::uniform(5),
+            &hello_listing(&[(0, LinkState::Mpr)]),
+            t(0),
+            t(6),
+        );
+        assert_eq!(nt.mpr_selectors(t(1)), vec![NodeId(2)]);
+        assert!(nt.mpr_selectors(t(7)).is_empty());
+    }
+
+    #[test]
+    fn reported_links_feed_local_view() {
+        let mut nt = NeighborTables::new();
+        let me = NodeId(0);
+        nt.process_hello(
+            me,
+            NodeId(1),
+            LinkQos::uniform(5),
+            &hello_listing(&[(0, LinkState::Symmetric), (2, LinkState::Symmetric)]),
+            t(0),
+            t(6),
+        );
+        let view = nt.local_view(me, t(1));
+        assert_eq!(view.one_hop().collect::<Vec<_>>(), vec![NodeId(1)]);
+        assert_eq!(view.two_hop().collect::<Vec<_>>(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn asymmetric_reported_links_are_ignored() {
+        let mut nt = NeighborTables::new();
+        let me = NodeId(0);
+        nt.process_hello(
+            me,
+            NodeId(1),
+            LinkQos::uniform(5),
+            &hello_listing(&[(0, LinkState::Symmetric), (3, LinkState::Asymmetric)]),
+            t(0),
+            t(6),
+        );
+        let view = nt.local_view(me, t(1));
+        assert_eq!(view.two_hop().count(), 0);
+    }
+
+    #[test]
+    fn seq_newer_wraps() {
+        assert!(seq_newer(1, 0));
+        assert!(!seq_newer(0, 1));
+        assert!(seq_newer(0, u16::MAX)); // wraparound
+        assert!(!seq_newer(u16::MAX, 0));
+        assert!(!seq_newer(5, 5));
+    }
+
+    #[test]
+    fn topology_base_ansn_ordering() {
+        let mut tb = TopologyBase::new();
+        let adv1 = [(NodeId(2), LinkQos::uniform(1))];
+        let adv2 = [(NodeId(3), LinkQos::uniform(2))];
+        assert!(tb.process_tc(NodeId(1), 5, &adv1, t(10)));
+        // Stale ANSN rejected.
+        assert!(!tb.process_tc(NodeId(1), 4, &adv2, t(10)));
+        assert_eq!(tb.links(t(0)).len(), 1);
+        // Newer ANSN replaces the whole set.
+        assert!(tb.process_tc(NodeId(1), 6, &adv2, t(10)));
+        let links = tb.links(t(0));
+        assert_eq!(links, vec![(NodeId(1), NodeId(3), LinkQos::uniform(2))]);
+    }
+
+    #[test]
+    fn topology_base_expiry() {
+        let mut tb = TopologyBase::new();
+        tb.process_tc(NodeId(1), 1, &[(NodeId(2), LinkQos::uniform(1))], t(5));
+        assert_eq!(tb.links(t(4)).len(), 1);
+        assert!(tb.links(t(6)).is_empty());
+        tb.sweep(t(6));
+        assert!(tb.is_empty());
+    }
+
+    #[test]
+    fn duplicate_set_freshness_and_forwarding() {
+        let mut ds = DuplicateSet::new();
+        assert!(ds.fresh(NodeId(1), 10, t(30)));
+        assert!(!ds.fresh(NodeId(1), 10, t(30)));
+        assert!(ds.fresh(NodeId(1), 11, t(30)));
+        assert!(ds.mark_forwarded(NodeId(1), 10, t(30)));
+        assert!(!ds.mark_forwarded(NodeId(1), 10, t(30)));
+        ds.sweep(t(31));
+        assert!(ds.fresh(NodeId(1), 10, t(60)));
+    }
+}

@@ -1,0 +1,286 @@
+//! Binary wire codec for OLSR messages.
+//!
+//! A compact little-endian layout in the spirit of RFC 3626's packet
+//! format. Encoding is exercised on every simulated transmission, which
+//! also yields the *control-traffic byte counts* that motivate the paper:
+//! a smaller advertised neighbor set means smaller TC messages.
+//!
+//! Layout (`u16`/`u64` little-endian):
+//!
+//! ```text
+//! message   := kind:u8 originator:u32 seq:u16 ttl:u8 hop_count:u8 body
+//! hello     := count:u16 { id:u32 state:u8 qos }*
+//! tc        := ansn:u16 count:u16 { id:u32 qos }*
+//! qos       := bandwidth:u64 delay:u64 energy:u64
+//! ```
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use qolsr_graph::NodeId;
+use qolsr_metrics::{Bandwidth, Delay, Energy, LinkQos};
+
+use crate::messages::{Body, Hello, HelloNeighbor, LinkState, Message, Tc};
+
+const KIND_HELLO: u8 = 1;
+const KIND_TC: u8 = 2;
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the message was complete.
+    Truncated,
+    /// Unknown message kind byte.
+    UnknownKind(u8),
+    /// Unknown link-state byte in a HELLO entry.
+    UnknownLinkState(u8),
+    /// Trailing bytes after a complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::UnknownLinkState(s) => write!(f, "unknown link state {s}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a message to bytes.
+pub fn encode(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(msg));
+    let kind = match msg.body {
+        Body::Hello(_) => KIND_HELLO,
+        Body::Tc(_) => KIND_TC,
+    };
+    buf.put_u8(kind);
+    buf.put_u32_le(msg.originator.0);
+    buf.put_u16_le(msg.seq);
+    buf.put_u8(msg.ttl);
+    buf.put_u8(msg.hop_count);
+    match &msg.body {
+        Body::Hello(h) => {
+            buf.put_u16_le(h.neighbors.len() as u16);
+            for n in &h.neighbors {
+                buf.put_u32_le(n.id.0);
+                buf.put_u8(match n.state {
+                    LinkState::Asymmetric => 0,
+                    LinkState::Symmetric => 1,
+                    LinkState::Mpr => 2,
+                });
+                put_qos(&mut buf, &n.qos);
+            }
+        }
+        Body::Tc(t) => {
+            buf.put_u16_le(t.ansn);
+            buf.put_u16_le(t.advertised.len() as u16);
+            for (id, qos) in &t.advertised {
+                buf.put_u32_le(id.0);
+                put_qos(&mut buf, qos);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Exact encoded size in bytes (used for control-overhead accounting
+/// without materializing the buffer).
+pub fn encoded_len(msg: &Message) -> usize {
+    const HEADER: usize = 1 + 4 + 2 + 1 + 1;
+    const QOS: usize = 24;
+    match &msg.body {
+        Body::Hello(h) => HEADER + 2 + h.neighbors.len() * (4 + 1 + QOS),
+        Body::Tc(t) => HEADER + 2 + 2 + t.advertised.len() * (4 + QOS),
+    }
+}
+
+/// Decodes a message from bytes.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation, unknown discriminants, or
+/// trailing bytes.
+pub fn decode(mut bytes: Bytes) -> Result<Message, WireError> {
+    let msg = decode_inner(&mut bytes)?;
+    if bytes.has_remaining() {
+        return Err(WireError::TrailingBytes(bytes.remaining()));
+    }
+    Ok(msg)
+}
+
+fn decode_inner(buf: &mut Bytes) -> Result<Message, WireError> {
+    if buf.remaining() < 9 {
+        return Err(WireError::Truncated);
+    }
+    let kind = buf.get_u8();
+    let originator = NodeId(buf.get_u32_le());
+    let seq = buf.get_u16_le();
+    let ttl = buf.get_u8();
+    let hop_count = buf.get_u8();
+    let body = match kind {
+        KIND_HELLO => {
+            if buf.remaining() < 2 {
+                return Err(WireError::Truncated);
+            }
+            let count = buf.get_u16_le() as usize;
+            let mut neighbors = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                if buf.remaining() < 4 + 1 + 24 {
+                    return Err(WireError::Truncated);
+                }
+                let id = NodeId(buf.get_u32_le());
+                let state = match buf.get_u8() {
+                    0 => LinkState::Asymmetric,
+                    1 => LinkState::Symmetric,
+                    2 => LinkState::Mpr,
+                    other => return Err(WireError::UnknownLinkState(other)),
+                };
+                let qos = get_qos(buf);
+                neighbors.push(HelloNeighbor { id, state, qos });
+            }
+            Body::Hello(Hello { neighbors })
+        }
+        KIND_TC => {
+            if buf.remaining() < 4 {
+                return Err(WireError::Truncated);
+            }
+            let ansn = buf.get_u16_le();
+            let count = buf.get_u16_le() as usize;
+            let mut advertised = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                if buf.remaining() < 4 + 24 {
+                    return Err(WireError::Truncated);
+                }
+                let id = NodeId(buf.get_u32_le());
+                let qos = get_qos(buf);
+                advertised.push((id, qos));
+            }
+            Body::Tc(Tc { ansn, advertised })
+        }
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    Ok(Message {
+        originator,
+        seq,
+        ttl,
+        hop_count,
+        body,
+    })
+}
+
+fn put_qos(buf: &mut BytesMut, qos: &LinkQos) {
+    buf.put_u64_le(qos.bandwidth.value());
+    buf.put_u64_le(qos.delay.value());
+    buf.put_u64_le(qos.energy.value());
+}
+
+fn get_qos(buf: &mut Bytes) -> LinkQos {
+    LinkQos::with_energy(
+        Bandwidth(buf.get_u64_le()),
+        Delay(buf.get_u64_le()),
+        Energy(buf.get_u64_le()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_hello() -> Message {
+        Message::hello(
+            NodeId(7),
+            42,
+            Hello {
+                neighbors: vec![
+                    HelloNeighbor {
+                        id: NodeId(1),
+                        state: LinkState::Symmetric,
+                        qos: LinkQos::uniform(5),
+                    },
+                    HelloNeighbor {
+                        id: NodeId(2),
+                        state: LinkState::Mpr,
+                        qos: LinkQos::uniform(9),
+                    },
+                ],
+            },
+        )
+    }
+
+    fn sample_tc() -> Message {
+        Message::tc(
+            NodeId(3),
+            11,
+            Tc {
+                ansn: 99,
+                advertised: vec![(NodeId(4), LinkQos::uniform(2))],
+            },
+        )
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let msg = sample_hello();
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), encoded_len(&msg));
+        assert_eq!(decode(bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn tc_roundtrip() {
+        let msg = sample_tc();
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), encoded_len(&msg));
+        assert_eq!(decode(bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode(&sample_tc());
+        for cut in 0..bytes.len() {
+            let r = decode(bytes.slice(..cut));
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(99);
+        raw.put_slice(&[0; 8]);
+        assert_eq!(decode(raw.freeze()), Err(WireError::UnknownKind(99)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut raw = BytesMut::from(encode(&sample_hello()).as_ref());
+        raw.put_u8(0);
+        assert!(matches!(
+            decode(raw.freeze()),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn tc_size_grows_with_advertised_set() {
+        let small = Message::tc(NodeId(1), 0, Tc { ansn: 0, advertised: vec![] });
+        let mut adv = Vec::new();
+        for i in 0..10 {
+            adv.push((NodeId(i), LinkQos::uniform(1)));
+        }
+        let big = Message::tc(NodeId(1), 0, Tc { ansn: 0, advertised: adv });
+        assert!(encoded_len(&big) > encoded_len(&small));
+        assert_eq!(encoded_len(&big) - encoded_len(&small), 10 * 28);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(WireError::Truncated.to_string(), "truncated message");
+        assert!(WireError::UnknownLinkState(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the wire codec: arbitrary messages roundtrip, and
+//! arbitrary byte noise never panics the decoder.
+
+use proptest::prelude::*;
+use qolsr_graph::NodeId;
+use qolsr_metrics::{Bandwidth, Delay, Energy, LinkQos};
+use qolsr_proto::messages::{Body, Hello, HelloNeighbor, LinkState, Message, Tc};
+use qolsr_proto::wire;
+
+fn arb_qos() -> impl Strategy<Value = LinkQos> {
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(b, d, e)| {
+        LinkQos::with_energy(Bandwidth(b), Delay(d), Energy(e))
+    })
+}
+
+fn arb_link_state() -> impl Strategy<Value = LinkState> {
+    prop_oneof![
+        Just(LinkState::Asymmetric),
+        Just(LinkState::Symmetric),
+        Just(LinkState::Mpr),
+    ]
+}
+
+fn arb_hello() -> impl Strategy<Value = Hello> {
+    proptest::collection::vec((any::<u32>(), arb_link_state(), arb_qos()), 0..20).prop_map(
+        |entries| Hello {
+            neighbors: entries
+                .into_iter()
+                .map(|(id, state, qos)| HelloNeighbor {
+                    id: NodeId(id),
+                    state,
+                    qos,
+                })
+                .collect(),
+        },
+    )
+}
+
+fn arb_tc() -> impl Strategy<Value = Tc> {
+    (
+        any::<u16>(),
+        proptest::collection::vec((any::<u32>(), arb_qos()), 0..20),
+    )
+        .prop_map(|(ansn, advertised)| Tc {
+            ansn,
+            advertised: advertised
+                .into_iter()
+                .map(|(id, qos)| (NodeId(id), qos))
+                .collect(),
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u32>(),
+        any::<u16>(),
+        any::<u8>(),
+        any::<u8>(),
+        prop_oneof![
+            arb_hello().prop_map(Body::Hello),
+            arb_tc().prop_map(Body::Tc)
+        ],
+    )
+        .prop_map(|(orig, seq, ttl, hop_count, body)| Message {
+            originator: NodeId(orig),
+            seq,
+            ttl,
+            hop_count,
+            body,
+        })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(msg in arb_message()) {
+        let bytes = wire::encode(&msg);
+        prop_assert_eq!(bytes.len(), wire::encoded_len(&msg));
+        let decoded = wire::decode(bytes).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any result is fine; panicking is not.
+        let _ = wire::decode(bytes::Bytes::from(noise));
+    }
+
+    #[test]
+    fn truncated_prefixes_fail_cleanly(msg in arb_message(), cut_fraction in 0.0f64..1.0) {
+        let bytes = wire::encode(&msg);
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        if cut < bytes.len() {
+            prop_assert!(wire::decode(bytes.slice(..cut)).is_err());
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! The actor-based discrete-event engine and its ideal-MAC radio model.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use qolsr_graph::{NodeId, Topology};
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
+
+/// Identifier a protocol uses to distinguish its timers (opaque to the
+/// engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub u32);
+
+/// A per-node protocol state machine driven by the [`Simulator`].
+///
+/// Handlers interact with the world exclusively through the [`Context`]:
+/// broadcasting/unicasting messages over the radio, arming timers and
+/// drawing deterministic randomness.
+pub trait Actor {
+    /// The message payload exchanged between nodes. `Clone` because a
+    /// broadcast fans out to every radio neighbor.
+    type Msg: Clone;
+
+    /// Called once at simulation start (time 0), in node-id order.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called when a timer armed via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, timer: TimerId);
+
+    /// Called when a message transmitted by a radio neighbor arrives.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+}
+
+/// Ideal-MAC radio parameters: every transmission reaches its
+/// destination(s) after `latency` plus a uniform jitter in `[0, jitter)`;
+/// there is no loss, interference or collision (per the paper's §IV.A
+/// simulation assumptions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RadioConfig {
+    /// Fixed per-hop latency.
+    pub latency: SimDuration,
+    /// Upper bound (exclusive) of the uniform per-delivery jitter; zero
+    /// disables jitter and makes delivery order a pure function of send
+    /// order.
+    pub jitter: SimDuration,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        Self {
+            latency: SimDuration::from_millis(1),
+            jitter: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Effects an actor can request during a handler invocation.
+enum Effect<M> {
+    Broadcast(M),
+    Unicast(NodeId, M),
+    Timer(SimDuration, TimerId),
+}
+
+/// Handler-side interface to the engine.
+pub struct Context<'a, M> {
+    now: SimTime,
+    node: NodeId,
+    rng: &'a mut SimRng,
+    effects: &'a mut Vec<Effect<M>>,
+    stop: &'a mut bool,
+}
+
+impl<M> Context<'_, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node this handler runs on.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// This node's private deterministic random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Transmits `msg` to every current radio neighbor.
+    pub fn broadcast(&mut self, msg: M) {
+        self.effects.push(Effect::Broadcast(msg));
+    }
+
+    /// Transmits `msg` to `to`. Delivered only if `to` is a radio neighbor
+    /// when the effect is applied; otherwise it is counted as a dropped
+    /// unicast in [`SimStats`].
+    pub fn unicast(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Unicast(to, msg));
+    }
+
+    /// Arms a timer that fires `after` from now with the given id. Timers
+    /// are one-shot; re-arm from the handler for periodic behaviour.
+    pub fn set_timer(&mut self, after: SimDuration, timer: TimerId) {
+        self.effects.push(Effect::Timer(after, timer));
+    }
+
+    /// Requests the simulation to stop after this handler returns.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+enum EventKind<M> {
+    Start,
+    Timer(TimerId),
+    Deliver { from: NodeId, msg: M },
+}
+
+struct Scheduled<M> {
+    time: SimTime,
+    seq: u64,
+    node: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap via Reverse at the call sites: order by (time, seq).
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Engine statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events dispatched (start + timer + delivery).
+    pub events: u64,
+    /// Broadcast transmissions requested.
+    pub broadcasts: u64,
+    /// Unicast transmissions requested.
+    pub unicasts: u64,
+    /// Point-to-point deliveries performed (a broadcast to `k` neighbors
+    /// counts `k`).
+    pub deliveries: u64,
+    /// Unicasts dropped because the destination was not a neighbor.
+    pub dropped_unicasts: u64,
+    /// Timer firings.
+    pub timers: u64,
+}
+
+/// The discrete-event simulator: one [`Actor`] per topology node, an
+/// event queue ordered by `(time, sequence)`, and the ideal-MAC radio.
+///
+/// Determinism: all randomness flows from the construction seed (each node
+/// receives a split stream), and simultaneous events dispatch in schedule
+/// order, so identical inputs yield identical executions.
+pub struct Simulator<A: Actor> {
+    topology: Topology,
+    radio: RadioConfig,
+    actors: Vec<A>,
+    rngs: Vec<SimRng>,
+    engine_rng: SimRng,
+    queue: BinaryHeap<std::cmp::Reverse<Scheduled<A::Msg>>>,
+    now: SimTime,
+    seq: u64,
+    stats: SimStats,
+    stop: bool,
+    trace: Option<TraceBuffer>,
+}
+
+impl<A: Actor> Simulator<A> {
+    /// Creates a simulator over `topology`, building one actor per node
+    /// with `build`, and schedules every actor's start event at time 0.
+    pub fn new(
+        topology: Topology,
+        radio: RadioConfig,
+        seed: u64,
+        mut build: impl FnMut(NodeId) -> A,
+    ) -> Self {
+        let mut engine_rng = SimRng::seed_from_u64(seed);
+        let n = topology.len();
+        let actors: Vec<A> = topology.nodes().map(&mut build).collect();
+        let rngs: Vec<SimRng> = (0..n).map(|_| engine_rng.split()).collect();
+        let mut sim = Self {
+            topology,
+            radio,
+            actors,
+            rngs,
+            engine_rng,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            stats: SimStats::default(),
+            stop: false,
+            trace: None,
+        };
+        for node in sim.topology.nodes() {
+            sim.push(SimTime::ZERO, node, EventKind::Start);
+        }
+        sim
+    }
+
+    fn push(&mut self, time: SimTime, node: NodeId, kind: EventKind<A::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue
+            .push(std::cmp::Reverse(Scheduled { time, seq, node, kind }));
+    }
+
+    /// Enables event tracing with the given ring-buffer capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceBuffer::new(capacity));
+    }
+
+    /// The trace buffer, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Engine statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The simulated topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Immutable access to the actor of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn actor(&self, n: NodeId) -> &A {
+        &self.actors[n.index()]
+    }
+
+    /// Mutable access to the actor of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn actor_mut(&mut self, n: NodeId) -> &mut A {
+        &mut self.actors[n.index()]
+    }
+
+    /// Iterates over `(id, actor)` pairs.
+    pub fn actors(&self) -> impl Iterator<Item = (NodeId, &A)> {
+        self.actors
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (NodeId(i as u32), a))
+    }
+
+    /// Dispatches the next event. Returns `false` when the queue is empty
+    /// or a handler requested a stop.
+    pub fn step(&mut self) -> bool {
+        if self.stop {
+            return false;
+        }
+        let Some(std::cmp::Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time must be monotone");
+        self.now = ev.time;
+        self.stats.events += 1;
+
+        let node = ev.node;
+        let mut effects: Vec<Effect<A::Msg>> = Vec::new();
+        {
+            let mut ctx = Context {
+                now: self.now,
+                node,
+                rng: &mut self.rngs[node.index()],
+                effects: &mut effects,
+                stop: &mut self.stop,
+            };
+            let actor = &mut self.actors[node.index()];
+            match ev.kind {
+                EventKind::Start => {
+                    actor.on_start(&mut ctx);
+                }
+                EventKind::Timer(t) => {
+                    self.stats.timers += 1;
+                    actor.on_timer(&mut ctx, t);
+                }
+                EventKind::Deliver { from, msg } => {
+                    self.stats.deliveries += 1;
+                    actor.on_message(&mut ctx, from, msg);
+                }
+            }
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent {
+                time: self.now,
+                node,
+                kind: TraceKind::Dispatched,
+            });
+        }
+        self.apply_effects(node, effects);
+        true
+    }
+
+    fn delivery_delay(&mut self) -> SimDuration {
+        let jitter_us = self.radio.jitter.as_micros();
+        if jitter_us == 0 {
+            self.radio.latency
+        } else {
+            self.radio.latency + SimDuration::from_micros(self.engine_rng.next_below(jitter_us))
+        }
+    }
+
+    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect<A::Msg>>) {
+        for effect in effects {
+            match effect {
+                Effect::Broadcast(msg) => {
+                    self.stats.broadcasts += 1;
+                    let neighbors: Vec<NodeId> =
+                        self.topology.neighbors(node).map(|(n, _)| n).collect();
+                    for to in neighbors {
+                        let delay = self.delivery_delay();
+                        let at = self.now + delay;
+                        self.push(
+                            at,
+                            to,
+                            EventKind::Deliver {
+                                from: node,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
+                }
+                Effect::Unicast(to, msg) => {
+                    self.stats.unicasts += 1;
+                    if self.topology.has_link(node, to) {
+                        let delay = self.delivery_delay();
+                        let at = self.now + delay;
+                        self.push(at, to, EventKind::Deliver { from: node, msg });
+                    } else {
+                        self.stats.dropped_unicasts += 1;
+                    }
+                }
+                Effect::Timer(after, timer) => {
+                    let at = self.now + after;
+                    self.push(at, node, EventKind::Timer(timer));
+                }
+            }
+        }
+    }
+
+    /// Runs until the queue drains, a handler stops the simulation, or
+    /// virtual time would exceed `deadline`; afterwards `now() ==
+    /// deadline` unless stopped early.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(std::cmp::Reverse(ev)) if ev.time <= deadline => {
+                    if !self.step() {
+                        return;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if !self.stop {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `d` of virtual time from the current instant.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qolsr_graph::{Point2, TopologyBuilder};
+    use qolsr_metrics::LinkQos;
+
+    /// Three nodes in a line: 0—1—2.
+    fn line3() -> Topology {
+        let mut b = TopologyBuilder::new(10.0);
+        let n0 = b.add_node(Point2::new(0.0, 0.0));
+        let n1 = b.add_node(Point2::new(5.0, 0.0));
+        let n2 = b.add_node(Point2::new(10.0, 0.0));
+        b.link(n0, n1, LinkQos::uniform(1)).unwrap();
+        b.link(n1, n2, LinkQos::uniform(1)).unwrap();
+        b.build()
+    }
+
+    #[derive(Default)]
+    struct Flood {
+        seen: bool,
+        heard_from: Vec<NodeId>,
+    }
+
+    impl Actor for Flood {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+            if ctx.node_id() == NodeId(0) {
+                self.seen = true;
+                ctx.broadcast(());
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, _t: TimerId) {}
+
+        fn on_message(&mut self, ctx: &mut Context<'_, ()>, from: NodeId, _msg: ()) {
+            self.heard_from.push(from);
+            if !self.seen {
+                self.seen = true;
+                ctx.broadcast(());
+            }
+        }
+    }
+
+    #[test]
+    fn flood_reaches_all_nodes() {
+        let mut sim = Simulator::new(line3(), RadioConfig::default(), 1, |_| Flood::default());
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        for (_, a) in sim.actors() {
+            assert!(a.seen);
+        }
+        // Node 1 hears the original from 0 and the re-broadcast echo from 2.
+        assert_eq!(sim.actor(NodeId(1)).heard_from, vec![NodeId(0), NodeId(2)]);
+        let stats = sim.stats();
+        assert_eq!(stats.broadcasts, 3); // all three nodes broadcast once
+        assert!(stats.deliveries >= 4);
+    }
+
+    #[test]
+    fn messages_take_latency_to_arrive() {
+        struct Once;
+        impl Actor for Once {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                if ctx.node_id() == NodeId(0) {
+                    ctx.broadcast(());
+                }
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, _t: TimerId) {}
+            fn on_message(&mut self, ctx: &mut Context<'_, ()>, _f: NodeId, _m: ()) {
+                assert_eq!(ctx.now(), SimTime::from_micros(1_000));
+                ctx.stop();
+            }
+        }
+        let mut sim = Simulator::new(line3(), RadioConfig::default(), 1, |_| Once);
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(sim.now(), SimTime::from_micros(1_000));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Timers {
+            fired: Vec<u32>,
+        }
+        impl Actor for Timers {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                if ctx.node_id() == NodeId(0) {
+                    ctx.set_timer(SimDuration::from_millis(20), TimerId(2));
+                    ctx.set_timer(SimDuration::from_millis(10), TimerId(1));
+                    ctx.set_timer(SimDuration::from_millis(30), TimerId(3));
+                }
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, t: TimerId) {
+                self.fired.push(t.0);
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, ()>, _f: NodeId, _m: ()) {}
+        }
+        let mut sim = Simulator::new(line3(), RadioConfig::default(), 1, |_| Timers {
+            fired: Vec::new(),
+        });
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.actor(NodeId(0)).fired, vec![1, 2, 3]);
+        assert_eq!(sim.stats().timers, 3);
+    }
+
+    #[test]
+    fn unicast_to_non_neighbor_is_dropped() {
+        struct Uni;
+        impl Actor for Uni {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                if ctx.node_id() == NodeId(0) {
+                    ctx.unicast(NodeId(2), ()); // not a neighbor of 0
+                    ctx.unicast(NodeId(1), ()); // neighbor
+                }
+            }
+            fn on_timer(&mut self, _c: &mut Context<'_, ()>, _t: TimerId) {}
+            fn on_message(&mut self, _c: &mut Context<'_, ()>, _f: NodeId, _m: ()) {}
+        }
+        let mut sim = Simulator::new(line3(), RadioConfig::default(), 1, |_| Uni);
+        sim.run_for(SimDuration::from_secs(1));
+        let stats = sim.stats();
+        assert_eq!(stats.unicasts, 2);
+        assert_eq!(stats.dropped_unicasts, 1);
+        assert_eq!(stats.deliveries, 1);
+    }
+
+    #[test]
+    fn identical_seeds_identical_executions() {
+        let run = |seed: u64| {
+            let mut sim =
+                Simulator::new(line3(), RadioConfig::default(), seed, |_| Flood::default());
+            sim.run_for(SimDuration::from_secs(1));
+            (sim.stats(), sim.now())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn jitter_stays_deterministic_per_seed() {
+        let radio = RadioConfig {
+            latency: SimDuration::from_millis(1),
+            jitter: SimDuration::from_millis(5),
+        };
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(line3(), radio, seed, |_| Flood::default());
+            sim.run_for(SimDuration::from_secs(1));
+            sim.stats()
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn trace_records_dispatches() {
+        let mut sim = Simulator::new(line3(), RadioConfig::default(), 1, |_| Flood::default());
+        sim.enable_trace(16);
+        sim.run_for(SimDuration::from_secs(1));
+        let trace = sim.trace().unwrap();
+        assert!(trace.total_recorded() > 0);
+        assert!(trace.iter().next().is_some());
+    }
+}

@@ -1,0 +1,338 @@
+//! Measurement utilities: online scalar statistics and log-scale
+//! histograms, used by the experiment harness to aggregate per-run
+//! observations.
+
+use std::fmt;
+
+/// Online mean/variance accumulator (Welford's algorithm) with min/max
+/// tracking.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_sim::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_stddev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0 when fewer than 2 observations).
+    pub fn population_stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Sample standard deviation (0 when fewer than 2 observations).
+    pub fn sample_stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Standard error of the mean (0 when fewer than 2 observations).
+    pub fn std_error(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.sample_stddev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the ~95% normal confidence interval for the mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel aggregation).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} ±{:.4} (95% CI), min={:.4}, max={:.4}",
+            self.count,
+            self.mean(),
+            self.ci95_half_width(),
+            self.min().unwrap_or(f64::NAN),
+            self.max().unwrap_or(f64::NAN),
+        )
+    }
+}
+
+/// A histogram over `u64` observations with power-of-two buckets
+/// (bucket `k` holds values whose bit length is `k`).
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_sim::stats::Log2Histogram;
+///
+/// let mut h = Log2Histogram::new();
+/// for v in [1, 2, 3, 4, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.mean() > 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, v: u64) {
+        let bucket = (64 - v.leading_zeros()) as usize; // bit length, 0..=64
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`); `None` when empty.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0)) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if k >= 64 { u64::MAX } else { (1u64 << k) - 1 });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        s.push(1.0);
+        s.push(3.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert!((s.sample_stddev() - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs = [1.0, 5.0, 2.5, 7.25, -3.0, 0.0, 9.0];
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..3] {
+            left.push(x);
+        }
+        for &x in &xs[3..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-12);
+        assert!((left.sample_stddev() - all.sample_stddev()).abs() < 1e-12);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        b.push(4.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 4.0);
+        let empty = OnlineStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut few = OnlineStats::new();
+        let mut many = OnlineStats::new();
+        for i in 0..4 {
+            few.push((i % 2) as f64);
+        }
+        for i in 0..400 {
+            many.push((i % 2) as f64);
+        }
+        assert!(many.ci95_half_width() < few.ci95_half_width());
+    }
+
+    #[test]
+    fn histogram_counts_and_mean() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 1, 2, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.mean() - (0 + 1 + 1 + 2 + 8 + 1024) as f64 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Log2Histogram::new();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.quantile_bound(0.5), Some(1));
+        assert!(h.quantile_bound(1.0).unwrap() >= 1_000_000);
+        assert_eq!(Log2Histogram::new().quantile_bound(0.5), None);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(1);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        assert!(!s.to_string().is_empty());
+    }
+}

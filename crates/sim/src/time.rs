@@ -1,0 +1,179 @@
+//! Virtual time: microsecond-resolution instants and durations.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A duration of virtual time (microsecond resolution).
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_sim::SimDuration;
+///
+/// let d = SimDuration::from_millis(1500);
+/// assert_eq!(d.as_micros(), 1_500_000);
+/// assert_eq!(d, SimDuration::from_secs(1) + SimDuration::from_millis(500));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s * 1_000_000)
+    }
+
+    /// The duration in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Multiplies the duration by an integer factor (saturating).
+    pub const fn saturating_mul(self, k: u64) -> Self {
+        Self(self.0.saturating_mul(k))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// An instant of virtual time, measured from simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(2);
+/// assert_eq!(t.as_micros(), 2_000_000);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_secs(2));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates an instant from microseconds since start.
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us)
+    }
+
+    /// Microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.as_micros())
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.as_micros();
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration::from_micros(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDuration::from_secs(1).as_micros(), 1_000_000);
+        assert_eq!(SimDuration::from_millis(2).as_micros(), 2_000);
+        assert_eq!(SimDuration::from_micros(7).as_micros(), 7);
+        assert_eq!(SimTime::from_micros(5).as_micros(), 5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_millis(1);
+        let t2 = t + SimDuration::from_millis(2);
+        assert_eq!(t2 - t, SimDuration::from_millis(2));
+        let mut t3 = t2;
+        t3 += SimDuration::from_micros(1);
+        assert_eq!(t3.as_micros(), 3_001);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::from_micros(1));
+        assert!(SimDuration::from_secs(1) > SimDuration::from_millis(999));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_micros(1_500_000).to_string(), "t=1.500000s");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "0.250000s");
+    }
+
+    #[test]
+    fn saturating_mul() {
+        assert_eq!(
+            SimDuration::from_secs(1).saturating_mul(3),
+            SimDuration::from_secs(3)
+        );
+        assert_eq!(
+            SimDuration::from_micros(u64::MAX).saturating_mul(2),
+            SimDuration::from_micros(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn seconds_float() {
+        assert!((SimDuration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((SimTime::from_micros(500_000).as_secs_f64() - 0.5).abs() < 1e-12);
+    }
+}

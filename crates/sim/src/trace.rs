@@ -1,0 +1,132 @@
+//! Bounded event tracing for protocol debugging.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use qolsr_graph::NodeId;
+
+use crate::time::SimTime;
+
+/// What happened in a traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// An event (start, timer or delivery) was dispatched to a node.
+    Dispatched,
+}
+
+/// One traced engine event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// The node the event was dispatched to.
+    pub node: NodeId,
+    /// The event kind.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} {:?}", self.time, self.node, self.kind)
+    }
+}
+
+/// A fixed-capacity ring buffer of [`TraceEvent`]s: keeps the most recent
+/// `capacity` events while counting everything ever recorded.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_graph::NodeId;
+/// use qolsr_sim::trace::{TraceBuffer, TraceEvent, TraceKind};
+/// use qolsr_sim::SimTime;
+///
+/// let mut buf = TraceBuffer::new(2);
+/// for i in 0..3 {
+///     buf.record(TraceEvent {
+///         time: SimTime::from_micros(i),
+///         node: NodeId(0),
+///         kind: TraceKind::Dispatched,
+///     });
+/// }
+/// assert_eq!(buf.total_recorded(), 3);
+/// assert_eq!(buf.iter().count(), 2); // oldest event evicted
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    total: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            total: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest if at capacity.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
+        self.total += 1;
+    }
+
+    /// Number of events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates over the retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_micros(t),
+            node: NodeId(1),
+            kind: TraceKind::Dispatched,
+        }
+    }
+
+    #[test]
+    fn keeps_most_recent() {
+        let mut buf = TraceBuffer::new(3);
+        for t in 0..5 {
+            buf.record(ev(t));
+        }
+        let times: Vec<u64> = buf.iter().map(|e| e.time.as_micros()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(buf.total_recorded(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TraceBuffer::new(0);
+    }
+
+    #[test]
+    fn display_contains_time_and_node() {
+        let s = ev(1_000_000).to_string();
+        assert!(s.contains("t=1.000000s"));
+        assert!(s.contains("n1"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Walks through the paper's worked examples (Figs. 1, 2, 4, 5),
+//! printing each computation the text describes.
+//!
+//! ```sh
+//! cargo run --example paper_walkthrough
+//! ```
+
+use qolsr::advertised::build_advertised;
+use qolsr::routing::{optimal_value, route, RouteStrategy};
+use qolsr::selector::{
+    AnsSelector, ClassicMpr, Fnbp, MprVariant, QolsrMpr, TopologyFiltering,
+};
+use qolsr_graph::paths::first_hop_table;
+use qolsr_graph::{fixtures, LocalView, NodeId};
+use qolsr_metrics::BandwidthMetric;
+
+fn names(ids: impl IntoIterator<Item = NodeId>, base: u32) -> Vec<String> {
+    ids.into_iter().map(|n| format!("v{}", n.0 - base + 1)).collect()
+}
+
+fn main() {
+    fig1();
+    fig2();
+    fig4();
+    fig5();
+}
+
+fn fig1() {
+    println!("== Fig. 1 — QOLSR misses the widest path ==");
+    let f = fixtures::fig1();
+    let sel = QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr2);
+    let mut mprs = std::collections::BTreeSet::new();
+    for u in f.topo.nodes() {
+        mprs.extend(sel.select(&LocalView::extract(&f.topo, u)));
+    }
+    println!("  network-wide QOLSR MPRs: {:?}", names(mprs, 0));
+
+    let adv = build_advertised(&f.topo, &sel, 1);
+    let qolsr = route::<BandwidthMetric>(
+        &f.topo, adv.graph(), f.v[0], f.v[2], RouteStrategy::SourceRoute,
+    )
+    .unwrap();
+    println!(
+        "  QOLSR route v1->v3: {:?} bandwidth {}",
+        names(qolsr.path.clone(), 0),
+        qolsr.qos::<BandwidthMetric>(&f.topo)
+    );
+
+    let adv = build_advertised(&f.topo, &Fnbp::<BandwidthMetric>::new(), 1);
+    let fnbp = route::<BandwidthMetric>(
+        &f.topo, adv.graph(), f.v[0], f.v[2], RouteStrategy::SourceRoute,
+    )
+    .unwrap();
+    println!(
+        "  FNBP route  v1->v3: {:?} bandwidth {} (optimum {})\n",
+        names(fnbp.path.clone(), 0),
+        fnbp.qos::<BandwidthMetric>(&f.topo),
+        optimal_value::<BandwidthMetric>(&f.topo, f.v[0], f.v[2]).unwrap()
+    );
+}
+
+fn fig2() {
+    println!("== Fig. 2 — local view of u, first hops, FNBP selection ==");
+    let f = fixtures::fig2();
+    let view = LocalView::extract(&f.topo, f.u);
+    println!(
+        "  N(u)  = {:?}",
+        names(view.one_hop(), 1)
+    );
+    println!(
+        "  N2(u) = {:?}",
+        names(view.two_hop(), 1)
+    );
+
+    let t = first_hop_table::<BandwidthMetric>(view.graph(), view.center_local());
+    for (label, target) in [("v3", f.v[2]), ("v4", f.v[3]), ("v9", f.v[8]), ("v11", f.v[10])] {
+        let local = view.local_index(target).unwrap();
+        let hops: Vec<String> = t
+            .first_hops(local)
+            .iter()
+            .map(|&w| format!("v{}", view.global_id(w).0))
+            .collect();
+        println!(
+            "  fPBW(u, {label}) = {:?}, B~W = {}",
+            hops,
+            t.best_value(local)
+        );
+    }
+    let ans = Fnbp::<BandwidthMetric>::new().select(&view);
+    println!("  FNBP ANS(u) = {:?}\n", names(ans, 1));
+}
+
+fn fig4() {
+    println!("== Fig. 4 — the limiting last link and the smallest-id rule ==");
+    let f = fixtures::fig4();
+    let view = LocalView::extract(&f.topo, f.a);
+    let plain = Fnbp::<BandwidthMetric>::without_id_rule().select(&view);
+    let fixed = Fnbp::<BandwidthMetric>::new().select(&view);
+    let label = |set: std::collections::BTreeSet<NodeId>| -> Vec<char> {
+        set.into_iter().map(|n| (b'A' + n.0 as u8) as char).collect()
+    };
+    println!("  ANS(A) without id rule: {:?}", label(plain));
+    println!("  ANS(A) with id rule:    {:?}", label(fixed));
+    let adv = build_advertised(&f.topo, &Fnbp::<BandwidthMetric>::new(), 1);
+    let r = route::<BandwidthMetric>(
+        &f.topo, adv.graph(), f.b, f.e, RouteStrategy::AdvertisedOnly,
+    );
+    println!("  B -> E over advertised links: {r:?}\n");
+}
+
+fn fig5() {
+    println!("== Fig. 5 — the three advertised sets around u ==");
+    let f = fixtures::fig5();
+    let view = LocalView::extract(&f.topo, f.u);
+    let selectors: Vec<(&str, Box<dyn AnsSelector>)> = vec![
+        ("classic MPR       ", Box::new(ClassicMpr::new())),
+        (
+            "topology filtering",
+            Box::new(TopologyFiltering::<BandwidthMetric>::new()),
+        ),
+        ("FNBP              ", Box::new(Fnbp::<BandwidthMetric>::new())),
+    ];
+    for (name, sel) in selectors {
+        let set = sel.select(&view);
+        println!("  {name}: {:?} ({} nodes)", set, set.len());
+    }
+}

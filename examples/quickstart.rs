@@ -1,0 +1,63 @@
+//! Quickstart: deploy a random sensor field, run FNBP at every node,
+//! and route a packet along a QoS-optimal path.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use qolsr::advertised::build_advertised;
+use qolsr::routing::{optimal_value, route, RouteStrategy};
+use qolsr::selector::Fnbp;
+use qolsr_graph::connectivity::Components;
+use qolsr_graph::deploy::{deploy, Deployment, UniformWeights};
+use qolsr_metrics::BandwidthMetric;
+use qolsr_sim::SimRng;
+
+fn main() {
+    // 1. Deploy: Poisson field in 1000×1000, radius 100, mean degree 15,
+    //    link bandwidth/delay uniform in [1, 100].
+    let mut rng = SimRng::seed_from_u64(2010);
+    let topo = deploy(
+        &Deployment::paper_defaults(15.0),
+        &UniformWeights::new(1, 100),
+        &mut rng,
+    );
+    println!(
+        "deployed {} nodes, {} links, mean degree {:.1}",
+        topo.len(),
+        topo.link_count(),
+        topo.average_degree()
+    );
+
+    // 2. Every node selects its QoS advertised neighbor set with FNBP
+    //    (first node on best path) under the bandwidth metric.
+    let selector = Fnbp::<BandwidthMetric>::new();
+    let advertised = build_advertised(&topo, &selector, 1);
+    println!(
+        "FNBP advertises {:.2} neighbors per node ({} advertised links)",
+        advertised.mean_size(),
+        advertised.link_count()
+    );
+
+    // 3. Route between the two farthest-id nodes of the largest component
+    //    using only the advertised links (what TC flooding tells everyone).
+    let components = Components::compute(&topo);
+    let largest = components.largest().expect("non-empty network");
+    let members = components.members(largest);
+    let (s, t) = (members[0], *members.last().unwrap());
+
+    let outcome = route::<BandwidthMetric>(
+        &topo,
+        advertised.graph(),
+        s,
+        t,
+        RouteStrategy::AdvertisedOnly,
+    )
+    .expect("FNBP advertised topology delivers");
+    let achieved = outcome.qos::<BandwidthMetric>(&topo);
+    let optimal = optimal_value::<BandwidthMetric>(&topo, s, t).expect("connected");
+    println!(
+        "routed {s} -> {t} over {} hops: bandwidth {achieved} (centralized optimum {optimal})",
+        outcome.hops()
+    );
+}

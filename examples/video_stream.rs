@@ -1,0 +1,96 @@
+//! Bandwidth-constrained streaming scenario: a mobile camera streams
+//! video across a mesh to an uplink gateway. The stream needs the widest
+//! available path; the delay metric matters for the control channel.
+//! This example shows the same network selected under *both* metrics and
+//! under the paper's future-work lexicographic composite
+//! (energy-then-bandwidth).
+//!
+//! ```sh
+//! cargo run --release --example video_stream
+//! ```
+
+use qolsr::advertised::build_advertised;
+use qolsr::routing::{optimal_value, route, RouteStrategy};
+use qolsr::selector::Fnbp;
+use qolsr_graph::connectivity::Components;
+use qolsr_graph::deploy::{deploy, Deployment, UniformWeights};
+use qolsr_metrics::{BandwidthMetric, DelayMetric, Lex2, ResidualEnergyMetric};
+use qolsr_sim::SimRng;
+
+type EnergyThenBandwidth = Lex2<ResidualEnergyMetric, BandwidthMetric>;
+
+fn main() {
+    let mut rng = SimRng::seed_from_u64(4242);
+    let topo = deploy(
+        &Deployment::paper_defaults(14.0),
+        &UniformWeights::new(1, 100),
+        &mut rng,
+    );
+    let components = Components::compute(&topo);
+    let members = components.members(components.largest().unwrap());
+    let camera = members[members.len() / 2];
+    let gateway = *members.last().unwrap();
+    println!(
+        "mesh: {} nodes; camera {} -> gateway {}\n",
+        topo.len(),
+        camera,
+        gateway
+    );
+
+    // Video plane: widest path via the bandwidth-metric FNBP QANS.
+    let adv_bw = build_advertised(&topo, &Fnbp::<BandwidthMetric>::new(), 1);
+    let stream = route::<BandwidthMetric>(
+        &topo,
+        adv_bw.graph(),
+        camera,
+        gateway,
+        RouteStrategy::AdvertisedOnly,
+    )
+    .expect("stream route");
+    println!(
+        "video stream : {} hops, bandwidth {} (optimum {}), ANS/node {:.2}",
+        stream.hops(),
+        stream.qos::<BandwidthMetric>(&topo),
+        optimal_value::<BandwidthMetric>(&topo, camera, gateway).unwrap(),
+        adv_bw.mean_size(),
+    );
+
+    // Control plane: fastest path via the delay-metric FNBP QANS
+    // (Algorithm 2).
+    let adv_d = build_advertised(&topo, &Fnbp::<DelayMetric>::new(), 1);
+    let control = route::<DelayMetric>(
+        &topo,
+        adv_d.graph(),
+        camera,
+        gateway,
+        RouteStrategy::AdvertisedOnly,
+    )
+    .expect("control route");
+    println!(
+        "control plane: {} hops, delay {} (optimum {}), ANS/node {:.2}",
+        control.hops(),
+        control.qos::<DelayMetric>(&topo),
+        optimal_value::<DelayMetric>(&topo, camera, gateway).unwrap(),
+        adv_d.mean_size(),
+    );
+
+    // Future-work composite: protect weak batteries first, then maximize
+    // bandwidth (the paper's multi-criterion outlook, §V).
+    let adv_e = build_advertised(&topo, &Fnbp::<EnergyThenBandwidth>::new(), 1);
+    let eco = route::<EnergyThenBandwidth>(
+        &topo,
+        adv_e.graph(),
+        camera,
+        gateway,
+        RouteStrategy::AdvertisedOnly,
+    )
+    .expect("energy-aware route");
+    let (energy, bandwidth) = eco.qos::<EnergyThenBandwidth>(&topo);
+    println!(
+        "eco stream   : {} hops, min residual energy {}, bandwidth {}, ANS/node {:.2}",
+        eco.hops(),
+        energy,
+        bandwidth,
+        adv_e.mean_size(),
+    );
+}

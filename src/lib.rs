@@ -1,0 +1,21 @@
+//! `qolsr-repro` — the workspace umbrella for the `qolsr-rs` reproduction
+//! of *"Towards an efficient QoS based selection of neighbors in QOLSR"*
+//! (Khadar, Mitton, Simplot-Ryl — SN/ICDCS 2010).
+//!
+//! This crate only hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the library surface lives in
+//! the member crates, re-exported here for convenience:
+//!
+//! * [`qolsr`] — the paper's contribution (selectors, routing, eval);
+//! * [`qolsr_graph`] — topologies, local views, path algorithms;
+//! * [`qolsr_metrics`] — QoS metric framework;
+//! * [`qolsr_proto`] — OLSR protocol substrate;
+//! * [`qolsr_sim`] — discrete-event engine.
+
+#![forbid(unsafe_code)]
+
+pub use qolsr;
+pub use qolsr_graph;
+pub use qolsr_metrics;
+pub use qolsr_proto;
+pub use qolsr_sim;

@@ -1,0 +1,144 @@
+//! Cross-crate integration: the live discrete-event OLSR protocol
+//! (HELLO/TC exchange over the ideal-MAC radio) must converge to exactly
+//! the state the analytic pipeline computes from ground truth — views,
+//! selections and advertised topology.
+
+use std::collections::BTreeSet;
+
+use qolsr::policy::SelectorPolicy;
+use qolsr::selector::{AnsSelector, Fnbp, TopologyFiltering};
+use qolsr_graph::deploy::{deploy, Deployment, UniformWeights};
+use qolsr_graph::{LocalView, NodeId, Topology};
+use qolsr_metrics::BandwidthMetric;
+use qolsr_proto::network::OlsrNetwork;
+use qolsr_proto::{OlsrConfig};
+use qolsr_sim::{RadioConfig, SimDuration, SimRng};
+
+fn small_random_topology(seed: u64) -> Topology {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let cfg = Deployment {
+        width: 400.0,
+        height: 400.0,
+        radius: 100.0,
+        mean_degree: 8.0,
+    };
+    deploy(&cfg, &UniformWeights::paper_defaults(), &mut rng)
+}
+
+#[test]
+fn learned_views_match_ground_truth() {
+    let topo = small_random_topology(21);
+    let mut net = OlsrNetwork::with_defaults(topo.clone(), 5);
+    net.run_for(SimDuration::from_secs(15));
+    for n in topo.nodes() {
+        let learned = net.local_view(n);
+        let truth = LocalView::extract(&topo, n);
+        assert!(
+            learned.same_knowledge(&truth),
+            "node {n}: learned view diverges from ground truth"
+        );
+    }
+}
+
+#[test]
+fn fnbp_policy_advertises_analytic_selection() {
+    let topo = small_random_topology(22);
+    let mut net = OlsrNetwork::new(
+        topo.clone(),
+        OlsrConfig::default(),
+        RadioConfig::default(),
+        7,
+        |_| SelectorPolicy::new(Fnbp::<BandwidthMetric>::new()),
+    );
+    net.run_for(SimDuration::from_secs(30));
+
+    let selector = Fnbp::<BandwidthMetric>::new();
+    for n in topo.nodes() {
+        let expected: Vec<NodeId> = selector
+            .select(&LocalView::extract(&topo, n))
+            .into_iter()
+            .collect();
+        let advertised: Vec<NodeId> =
+            net.node(n).advertised().iter().map(|&(m, _)| m).collect();
+        assert_eq!(advertised, expected, "node {n} advertised set diverges");
+    }
+}
+
+#[test]
+fn advertised_topology_matches_analytic_union() {
+    let topo = small_random_topology(23);
+    let mut net = OlsrNetwork::new(
+        topo.clone(),
+        OlsrConfig::default(),
+        RadioConfig::default(),
+        9,
+        |_| SelectorPolicy::new(TopologyFiltering::<BandwidthMetric>::new()),
+    );
+    net.run_for(SimDuration::from_secs(30));
+
+    let analytic = qolsr::advertised::build_advertised(
+        &topo,
+        &TopologyFiltering::<BandwidthMetric>::new(),
+        1,
+    );
+    let mut live: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for (a, b, _) in net.advertised_topology() {
+        live.insert((a.0.min(b.0), a.0.max(b.0)));
+    }
+    let expected: BTreeSet<(u32, u32)> =
+        analytic.graph().edges().map(|(a, b, _)| (a, b)).collect();
+    assert_eq!(live, expected);
+}
+
+#[test]
+fn every_node_learns_routes_to_every_other_node() {
+    // A connected line guarantees full reachability; after TC flooding
+    // every node must hold a route to every destination.
+    let mut b = qolsr_graph::TopologyBuilder::new(15.0);
+    let ids: Vec<NodeId> = (0..8)
+        .map(|i| b.add_node(qolsr_graph::Point2::new(10.0 * i as f64, 0.0)))
+        .collect();
+    for w in ids.windows(2) {
+        b.link(w[0], w[1], qolsr_metrics::LinkQos::uniform(3)).unwrap();
+    }
+    let topo = b.build();
+    let mut net = OlsrNetwork::with_defaults(topo.clone(), 3);
+    net.run_for(SimDuration::from_secs(30));
+    for s in topo.nodes() {
+        let routes = net.node(s).routes(net.now());
+        for t in topo.nodes() {
+            if s == t {
+                continue;
+            }
+            assert!(routes.contains_key(&t), "{s} lacks a route to {t}");
+        }
+    }
+    assert_eq!(net.total_stats().decode_errors, 0);
+}
+
+#[test]
+fn protocol_keeps_converged_state_over_time() {
+    // State must be stable (not oscillating) once converged: compare the
+    // advertised topology at 30 s and 45 s.
+    let topo = small_random_topology(24);
+    let mut net = OlsrNetwork::new(
+        topo,
+        OlsrConfig::default(),
+        RadioConfig::default(),
+        11,
+        |_| SelectorPolicy::new(Fnbp::<BandwidthMetric>::new()),
+    );
+    net.run_for(SimDuration::from_secs(30));
+    let at30: BTreeSet<(NodeId, NodeId)> = net
+        .advertised_topology()
+        .into_iter()
+        .map(|(a, b, _)| (a, b))
+        .collect();
+    net.run_for(SimDuration::from_secs(15));
+    let at45: BTreeSet<(NodeId, NodeId)> = net
+        .advertised_topology()
+        .into_iter()
+        .map(|(a, b, _)| (a, b))
+        .collect();
+    assert_eq!(at30, at45);
+}

@@ -1,0 +1,173 @@
+//! Delivery and loop-freedom of the routing evaluators across random
+//! topologies, selectors, metrics and knowledge models.
+
+use qolsr::advertised::build_advertised;
+use qolsr::routing::{optimal_value, route, RouteStrategy};
+use qolsr::selector::{AnsSelector, ClassicMpr, Fnbp, MprVariant, QolsrMpr, TopologyFiltering};
+use qolsr_graph::connectivity::Components;
+use qolsr_graph::deploy::{deploy, Deployment, UniformWeights};
+use qolsr_graph::Topology;
+use qolsr_metrics::{BandwidthMetric, DelayMetric, Metric};
+use qolsr_sim::SimRng;
+
+fn topology(seed: u64, degree: f64) -> Topology {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let cfg = Deployment {
+        width: 500.0,
+        height: 500.0,
+        radius: 100.0,
+        mean_degree: degree,
+    };
+    deploy(&cfg, &UniformWeights::new(1, 100), &mut rng)
+}
+
+fn check_all_pairs_delivered<M: Metric>(
+    topo: &Topology,
+    selector: &dyn AnsSelector,
+    strategy: RouteStrategy,
+) -> (usize, usize) {
+    let adv = build_advertised(topo, selector, 1);
+    let components = Components::compute(topo);
+    let mut delivered = 0;
+    let mut total = 0;
+    for s in topo.nodes() {
+        for t in topo.nodes() {
+            if s >= t || !components.connected(s, t) {
+                continue;
+            }
+            total += 1;
+            if let Ok(out) = route::<M>(topo, adv.graph(), s, t, strategy) {
+                // Sanity: the path is simple and starts/ends correctly.
+                assert_eq!(out.path.first(), Some(&s));
+                assert_eq!(out.path.last(), Some(&t));
+                let mut seen = std::collections::BTreeSet::new();
+                assert!(out.path.iter().all(|n| seen.insert(*n)), "loop in path");
+                delivered += 1;
+            }
+        }
+    }
+    (delivered, total)
+}
+
+#[test]
+fn hop_by_hop_delivery_is_high_and_loop_free() {
+    // Hop-by-hop re-planning over *heterogeneous* knowledge (each node
+    // mixes the shared advertised graph with its private 2-hop view) is
+    // not loop-free in general — two nodes can disagree about the best
+    // corridor and bounce a packet. The evaluator must detect this and
+    // fail cleanly (checked inside `check_all_pairs_delivered`), and the
+    // rate must stay high.
+    let topo = topology(31, 8.0);
+    for selector in [
+        Box::new(ClassicMpr::new()) as Box<dyn AnsSelector>,
+        Box::new(QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr2)),
+        Box::new(TopologyFiltering::<BandwidthMetric>::new()),
+        Box::new(Fnbp::<BandwidthMetric>::new()),
+    ] {
+        let (delivered, total) = check_all_pairs_delivered::<BandwidthMetric>(
+            &topo,
+            selector.as_ref(),
+            RouteStrategy::HopByHop,
+        );
+        let rate = delivered as f64 / total as f64;
+        assert!(
+            rate > 0.9,
+            "{}: hop-by-hop delivery rate {rate} too low ({delivered}/{total})",
+            selector.name()
+        );
+    }
+}
+
+#[test]
+fn advertised_only_with_id_rule_delivers_everything() {
+    for seed in [41, 42, 43] {
+        let topo = topology(seed, 10.0);
+        let (delivered, total) = check_all_pairs_delivered::<BandwidthMetric>(
+            &topo,
+            &Fnbp::<BandwidthMetric>::new(),
+            RouteStrategy::AdvertisedOnly,
+        );
+        assert_eq!(delivered, total, "seed {seed}: FNBP+id-rule dropped pairs");
+    }
+}
+
+#[test]
+fn delay_metric_delivery() {
+    let topo = topology(51, 9.0);
+    for strategy in [RouteStrategy::SourceRoute, RouteStrategy::AdvertisedOnly] {
+        let (delivered, total) = check_all_pairs_delivered::<DelayMetric>(
+            &topo,
+            &Fnbp::<DelayMetric>::new(),
+            strategy,
+        );
+        assert_eq!(delivered, total, "{strategy:?} dropped pairs");
+    }
+}
+
+#[test]
+fn routes_never_beat_the_centralized_optimum() {
+    let topo = topology(61, 9.0);
+    let adv = build_advertised(&topo, &Fnbp::<BandwidthMetric>::new(), 1);
+    let components = Components::compute(&topo);
+    for s in topo.nodes() {
+        for t in topo.nodes() {
+            if s >= t || !components.connected(s, t) {
+                continue;
+            }
+            let opt = optimal_value::<BandwidthMetric>(&topo, s, t).unwrap();
+            if let Ok(out) =
+                route::<BandwidthMetric>(&topo, adv.graph(), s, t, RouteStrategy::SourceRoute)
+            {
+                let got = out.qos::<BandwidthMetric>(&topo);
+                assert!(
+                    !BandwidthMetric::better(got, opt),
+                    "{s}->{t}: routed {got:?} beats 'optimal' {opt:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn source_route_delivers_whenever_advertised_graph_connects() {
+    // SourceRoute never loops (one consistent plan) and its knowledge is
+    // a superset of the advertised graph, so connectivity in the
+    // advertised graph alone guarantees delivery.
+    let topo = topology(71, 9.0);
+    let adv = build_advertised(&topo, &QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr2), 1);
+    // Connectivity of the advertised graph itself.
+    let mut reach = vec![u32::MAX; topo.len()];
+    for start in 0..topo.len() as u32 {
+        if reach[start as usize] != u32::MAX {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::from([start]);
+        reach[start as usize] = start;
+        while let Some(v) = queue.pop_front() {
+            for &(w, _) in adv.graph().neighbors(v) {
+                if reach[w as usize] == u32::MAX {
+                    reach[w as usize] = start;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    let components = Components::compute(&topo);
+    for s in topo.nodes() {
+        for t in topo.nodes() {
+            if s >= t || !components.connected(s, t) {
+                continue;
+            }
+            if reach[s.index()] == reach[t.index()] && adv.graph().degree(s.0) > 0 {
+                let r = route::<BandwidthMetric>(
+                    &topo,
+                    adv.graph(),
+                    s,
+                    t,
+                    RouteStrategy::SourceRoute,
+                );
+                assert!(r.is_ok(), "{s}->{t}: source route failed: {r:?}");
+            }
+        }
+    }
+}

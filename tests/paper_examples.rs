@@ -1,0 +1,210 @@
+//! Integration tests asserting every documented claim of the paper's
+//! worked example figures (Figs. 1, 2, 4 and 5) against the full stack:
+//! fixtures → local views → first-hop sets → selectors → advertised
+//! graphs → routing.
+
+use qolsr::advertised::build_advertised;
+use qolsr::routing::{optimal_value, route, RouteStrategy};
+use qolsr::selector::{
+    AnsSelector, ClassicMpr, Fnbp, MprVariant, QolsrMpr, TopologyFiltering,
+};
+use qolsr_graph::paths::{best_paths, first_hop_table};
+use qolsr_graph::{fixtures, LocalView, NodeId};
+use qolsr_metrics::{Bandwidth, BandwidthMetric};
+
+/// Fig. 1 (caption): "Only nodes v2 and v5 are selected as MPRs" under
+/// the QOLSR heuristic.
+#[test]
+fn fig1_qolsr_selects_only_v2_and_v5() {
+    let f = fixtures::fig1();
+    let sel = QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr2);
+    let mut all = std::collections::BTreeSet::new();
+    for u in f.topo.nodes() {
+        all.extend(sel.select(&LocalView::extract(&f.topo, u)));
+    }
+    assert_eq!(all.into_iter().collect::<Vec<_>>(), vec![f.v[1], f.v[4]]);
+}
+
+/// Fig. 1: "when v1 wants to reach v3, it uses v2 as relay. The bandwidth
+/// associated to this path is 6."
+#[test]
+fn fig1_qolsr_route_bandwidth_is_6() {
+    let f = fixtures::fig1();
+    let sel = QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr2);
+    let adv = build_advertised(&f.topo, &sel, 1);
+    let out = route::<BandwidthMetric>(
+        &f.topo,
+        adv.graph(),
+        f.v[0],
+        f.v[2],
+        RouteStrategy::SourceRoute,
+    )
+    .expect("delivered");
+    assert_eq!(out.path, vec![f.v[0], f.v[1], f.v[2]]);
+    assert_eq!(out.qos::<BandwidthMetric>(&f.topo), Bandwidth(6));
+}
+
+/// Fig. 1: "the optimal path v1 v6 v5 v4 v3, which associated bandwidth is
+/// 10, will not be used" by QOLSR — but FNBP's advertised set recovers it.
+#[test]
+fn fig1_fnbp_recovers_the_widest_path() {
+    let f = fixtures::fig1();
+    assert_eq!(
+        optimal_value::<BandwidthMetric>(&f.topo, f.v[0], f.v[2]),
+        Some(Bandwidth(10))
+    );
+    let adv = build_advertised(&f.topo, &Fnbp::<BandwidthMetric>::new(), 1);
+    let out = route::<BandwidthMetric>(
+        &f.topo,
+        adv.graph(),
+        f.v[0],
+        f.v[2],
+        RouteStrategy::SourceRoute,
+    )
+    .expect("delivered");
+    assert_eq!(out.qos::<BandwidthMetric>(&f.topo), Bandwidth(10));
+    assert_eq!(
+        out.path,
+        vec![f.v[0], f.v[5], f.v[4], f.v[3], f.v[2]] // v1 v6 v5 v4 v3
+    );
+}
+
+/// Fig. 2 (§III.A): "PBW(u, v3) = {uv2v3, uv1v3} of bandwidth value
+/// B̃W(u, v3) = 4 and fPBW(u, v3) = {v2, v1}".
+#[test]
+fn fig2_first_hop_set_of_v3() {
+    let f = fixtures::fig2();
+    let view = LocalView::extract(&f.topo, f.u);
+    let t = first_hop_table::<BandwidthMetric>(view.graph(), view.center_local());
+    let v3 = view.local_index(f.v[2]).unwrap();
+    assert_eq!(t.best_value(v3), Bandwidth(4));
+    let hops: Vec<NodeId> = t.first_hops(v3).iter().map(|&w| view.global_id(w)).collect();
+    assert_eq!(hops, vec![f.v[0], f.v[1]]);
+}
+
+/// Fig. 2 (§III.B): "u must be able to choose path u v1 v5 v4 to reach
+/// v4, achieving a bandwidth of 5, rather than the direct link of
+/// bandwidth 3."
+#[test]
+fn fig2_three_hop_path_beats_direct_link() {
+    let f = fixtures::fig2();
+    let view = LocalView::extract(&f.topo, f.u);
+    let t = first_hop_table::<BandwidthMetric>(view.graph(), view.center_local());
+    let v4 = view.local_index(f.v[3]).unwrap();
+    assert_eq!(t.best_value(v4), Bandwidth(5));
+    assert!(!t.direct_link_is_optimal(v4));
+    let hops: Vec<NodeId> = t.first_hops(v4).iter().map(|&w| view.global_id(w)).collect();
+    assert_eq!(hops, vec![f.v[0]]); // via v1
+
+    // And the FNBP advertised graph really routes u→v4 at bandwidth 5.
+    let adv = build_advertised(&f.topo, &Fnbp::<BandwidthMetric>::new(), 1);
+    let out = route::<BandwidthMetric>(
+        &f.topo,
+        adv.graph(),
+        f.u,
+        f.v[3],
+        RouteStrategy::SourceRoute,
+    )
+    .expect("delivered");
+    assert_eq!(out.qos::<BandwidthMetric>(&f.topo), Bandwidth(5));
+}
+
+/// Fig. 2 (§III.B): "node u will therefore not select another ANS for
+/// reaching node v7 as the direct link (u v7) provides the best
+/// bandwidth"; and "No additional node will be selected for reaching v3
+/// as v1 is already in ANS(u)".
+#[test]
+fn fig2_fnbp_selection_is_v1_v6_v7() {
+    let f = fixtures::fig2();
+    let view = LocalView::extract(&f.topo, f.u);
+    let ans = Fnbp::<BandwidthMetric>::new().select(&view);
+    assert_eq!(
+        ans.into_iter().collect::<Vec<_>>(),
+        vec![f.v[0], f.v[5], f.v[6]] // v1, v6, v7
+    );
+}
+
+/// Fig. 2 (§III.B): the localized-knowledge limit — "node u is not aware
+/// of link (v8 v9). It will thus choose path u v7 v9 with bandwidth of 3
+/// to reach v9 while path u v6 v8 v9 with a bandwidth of 5 exists."
+#[test]
+fn fig2_localized_knowledge_limit_on_v9() {
+    let f = fixtures::fig2();
+    let view = LocalView::extract(&f.topo, f.u);
+
+    // The hidden link joins two 2-hop neighbors: not in E_u.
+    let v8 = view.local_index(f.v[7]).unwrap();
+    let v9 = view.local_index(f.v[8]).unwrap();
+    assert!(f.topo.has_link(f.v[7], f.v[8]));
+    assert!(!view.graph().has_edge(v8, v9));
+
+    // Locally the best u→v9 value is 3 (via v7)…
+    let t = first_hop_table::<BandwidthMetric>(view.graph(), view.center_local());
+    assert_eq!(t.best_value(v9), Bandwidth(3));
+    // …while the centralized optimum is 5.
+    let bp = best_paths::<BandwidthMetric>(f.topo.graph(), f.u.0);
+    assert_eq!(bp.value(f.v[8].0), Bandwidth(5));
+}
+
+/// Fig. 4 (§III.B): plain FNBP leaves `A` covering `E` only through `B`;
+/// the smallest-id rule makes `A` additionally select `D` ("A will have
+/// to select D to reach E").
+#[test]
+fn fig4_smallest_id_rule_selects_d() {
+    let f = fixtures::fig4();
+    let view = LocalView::extract(&f.topo, f.a);
+
+    let plain = Fnbp::<BandwidthMetric>::without_id_rule().select(&view);
+    assert_eq!(plain.into_iter().collect::<Vec<_>>(), vec![f.b]);
+
+    let full = Fnbp::<BandwidthMetric>::new().select(&view);
+    assert_eq!(full.into_iter().collect::<Vec<_>>(), vec![f.b, f.d]);
+}
+
+/// Fig. 4: "B will select A for reaching E (link (BA) provides a better
+/// bandwidth than link (BC) and will have to be selected anyway to cover
+/// D)."
+#[test]
+fn fig4_b_covers_d_through_a() {
+    let f = fixtures::fig4();
+    let view = LocalView::extract(&f.topo, f.b);
+    let ans = Fnbp::<BandwidthMetric>::new().select(&view);
+    assert!(ans.contains(&f.a));
+    let t = first_hop_table::<BandwidthMetric>(view.graph(), view.center_local());
+    let d = view.local_index(f.d).unwrap();
+    let hops: Vec<NodeId> = t.first_hops(d).iter().map(|&w| view.global_id(w)).collect();
+    assert_eq!(hops, vec![f.a]);
+}
+
+/// Fig. 4: with the id rule, the advertised-links-only routing (the model
+/// under which the pathology matters) delivers from every node to E.
+#[test]
+fn fig4_id_rule_keeps_e_reachable_over_advertised_links() {
+    let f = fixtures::fig4();
+    let adv = build_advertised(&f.topo, &Fnbp::<BandwidthMetric>::new(), 1);
+    for src in [f.a, f.b, f.c] {
+        let r = route::<BandwidthMetric>(
+            &f.topo,
+            adv.graph(),
+            src,
+            f.e,
+            RouteStrategy::AdvertisedOnly,
+        );
+        assert!(r.is_ok(), "{src} must reach E over advertised links: {r:?}");
+    }
+}
+
+/// Fig. 5: the three families produce visibly different sets around `u`,
+/// with FNBP never larger than topology filtering and both no larger than
+/// the MPR set on this neighborhood.
+#[test]
+fn fig5_set_size_ordering() {
+    let f = fixtures::fig5();
+    let view = LocalView::extract(&f.topo, f.u);
+    let mpr = ClassicMpr::new().select(&view);
+    let tf = TopologyFiltering::<BandwidthMetric>::new().select(&view);
+    let fnbp = Fnbp::<BandwidthMetric>::new().select(&view);
+    assert!(fnbp.len() <= tf.len(), "FNBP {fnbp:?} vs TF {tf:?}");
+    assert!(tf.len() <= mpr.len().max(tf.len()));
+    assert!(!mpr.is_empty());
+}
