@@ -18,7 +18,7 @@ use std::hint::black_box;
 fn bench_network_convergence(c: &mut Criterion) {
     let mut group = c.benchmark_group("olsr_network");
     group.sample_size(10);
-    for density in [6.0] {
+    for density in [6.0, 10.0] {
         let topo = paper_topology(density, 0x0150);
         group.bench_with_input(
             BenchmarkId::new("rfc_policy_10s", format!("n{}", topo.len())),

@@ -3,10 +3,8 @@
 //! cheap QOLSR greedy) and whole-network advertised-graph construction.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qolsr::selector::{
-    AnsSelector, ClassicMpr, Fnbp, MprVariant, QolsrMpr, TopologyFiltering,
-};
 use qolsr::advertised::build_advertised;
+use qolsr::selector::{AnsSelector, ClassicMpr, Fnbp, MprVariant, QolsrMpr, TopologyFiltering};
 use qolsr_bench::{busiest_view, paper_topology};
 use qolsr_metrics::BandwidthMetric;
 use std::hint::black_box;
@@ -64,5 +62,9 @@ fn bench_network_selection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_node_selection, bench_network_selection);
+criterion_group!(
+    benches,
+    bench_single_node_selection,
+    bench_network_selection
+);
 criterion_main!(benches);

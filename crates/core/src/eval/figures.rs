@@ -80,8 +80,7 @@ pub fn fig7(opts: &FigureOptions) -> Figure {
 /// **Fig. 8** — bandwidth overhead `(b* − b)/b*` vs the centralized
 /// optimum.
 pub fn fig8(opts: &FigureOptions) -> Figure {
-    bandwidth_experiment(opts)
-        .overhead_figure("Fig. 8 — bandwidth overhead vs centralized optimum")
+    bandwidth_experiment(opts).overhead_figure("Fig. 8 — bandwidth overhead vs centralized optimum")
 }
 
 /// **Fig. 9** — delay overhead `(d − d*)/d*` vs the centralized optimum.
@@ -97,10 +96,7 @@ pub fn ablation_id_rule(opts: &FigureOptions) -> ExperimentResult {
     cfg.seed = opts.seed;
     cfg.threads = opts.threads;
     cfg.strategy = RouteStrategy::AdvertisedOnly;
-    run_experiment::<BandwidthMetric>(
-        &cfg,
-        &[SelectorKind::Fnbp, SelectorKind::FnbpNoIdRule],
-    )
+    run_experiment::<BandwidthMetric>(&cfg, &[SelectorKind::Fnbp, SelectorKind::FnbpNoIdRule])
 }
 
 /// Ablation: every selector family under the bandwidth metric, including

@@ -16,9 +16,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use qolsr_graph::connectivity::Components;
 use qolsr_graph::deploy::{deploy, Deployment, UniformWeights};
 use qolsr_graph::{LocalView, NodeId, Topology};
-use qolsr_metrics::{
-    BandwidthMetric, DelayMetric, Metric, MetricKind, ResidualEnergyMetric,
-};
+use qolsr_metrics::{BandwidthMetric, DelayMetric, Metric, MetricKind, ResidualEnergyMetric};
 use qolsr_sim::stats::OnlineStats;
 use qolsr_sim::SimRng;
 
@@ -316,14 +314,9 @@ fn derive_seed(seed: u64, density_index: usize, run: u32) -> u64 {
 /// Figs. 8–9). Runs are distributed over worker threads; aggregation is
 /// order-independent, and per-run randomness is derived from
 /// `(seed, density, run)` alone, so results are reproducible.
-pub fn run_experiment<M: EvalMetric>(
-    cfg: &EvalConfig,
-    kinds: &[SelectorKind],
-) -> ExperimentResult {
-    let selectors: Vec<(SelectorKind, Box<dyn AnsSelector>)> = kinds
-        .iter()
-        .map(|&k| (k, k.instantiate::<M>()))
-        .collect();
+pub fn run_experiment<M: EvalMetric>(cfg: &EvalConfig, kinds: &[SelectorKind]) -> ExperimentResult {
+    let selectors: Vec<(SelectorKind, Box<dyn AnsSelector>)> =
+        kinds.iter().map(|&k| (k, k.instantiate::<M>())).collect();
 
     let mut result = ExperimentResult {
         metric: M::NAME,
@@ -340,8 +333,9 @@ pub fn run_experiment<M: EvalMetric>(
         // One result slot per run so aggregation happens in run order —
         // floating-point merges are order-sensitive, and determinism must
         // not depend on thread scheduling.
-        let per_run: Vec<parking_lot::Mutex<Option<Vec<DensityMeasures>>>> =
-            (0..cfg.runs).map(|_| parking_lot::Mutex::new(None)).collect();
+        let per_run: Vec<parking_lot::Mutex<Option<Vec<DensityMeasures>>>> = (0..cfg.runs)
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
         let next_run = AtomicU32::new(0);
         let workers = cfg.worker_threads().min(cfg.runs.max(1) as usize);
 
@@ -420,10 +414,8 @@ fn single_run<M: EvalMetric>(
             .iter()
             .map(|_| qolsr_graph::CompactGraph::with_nodes(topo.len()))
             .collect();
-        let mut sizes: Vec<Vec<usize>> = selectors
-            .iter()
-            .map(|_| vec![0usize; topo.len()])
-            .collect();
+        let mut sizes: Vec<Vec<usize>> =
+            selectors.iter().map(|_| vec![0usize; topo.len()]).collect();
         for u in topo.nodes() {
             let view = LocalView::extract(&topo, u);
             for (si, (_, sel)) in selectors.iter().enumerate() {
@@ -447,8 +439,7 @@ fn single_run<M: EvalMetric>(
     let Some((s, t)) = sample_pair(&topo, &mut rng) else {
         return;
     };
-    let optimal =
-        optimal_value::<M>(&topo, s, t).expect("pair sampled within one component");
+    let optimal = optimal_value::<M>(&topo, s, t).expect("pair sampled within one component");
 
     for (si, _) in selectors.iter().enumerate() {
         match route::<M>(&topo, advertised[si].graph(), s, t, cfg.strategy) {

@@ -104,8 +104,7 @@ pub fn link_failure_study<M: EvalMetric>(
                 let optimal = optimal_value::<M>(&degraded, s, t).expect("connected pair");
                 for (si, _) in selectors.iter().enumerate() {
                     let (_, delivery, overhead) = &mut out[si].per_fraction[fi];
-                    match route::<M>(&degraded, &stale[si], s, t, RouteStrategy::AdvertisedOnly)
-                    {
+                    match route::<M>(&degraded, &stale[si], s, t, RouteStrategy::AdvertisedOnly) {
                         Ok(outcome) => {
                             delivery.push(1.0);
                             overhead.push(M::overhead(optimal, outcome.qos::<M>(&degraded)));
@@ -217,12 +216,8 @@ mod tests {
     #[test]
     fn delivery_degrades_with_failures() {
         let cfg = tiny_cfg();
-        let results = link_failure_study::<BandwidthMetric>(
-            &cfg,
-            10.0,
-            &[0.0, 0.4],
-            &[SelectorKind::Fnbp],
-        );
+        let results =
+            link_failure_study::<BandwidthMetric>(&cfg, 10.0, &[0.0, 0.4], &[SelectorKind::Fnbp]);
         let r = &results[0];
         let intact = r.per_fraction[0].1.mean();
         let degraded = r.per_fraction[1].1.mean();
@@ -235,12 +230,8 @@ mod tests {
     #[test]
     fn figure_renders() {
         let cfg = tiny_cfg();
-        let results = link_failure_study::<BandwidthMetric>(
-            &cfg,
-            8.0,
-            &[0.0, 0.2],
-            &[SelectorKind::Fnbp],
-        );
+        let results =
+            link_failure_study::<BandwidthMetric>(&cfg, 8.0, &[0.0, 0.2], &[SelectorKind::Fnbp]);
         let fig = delivery_figure(&results, "robustness");
         assert_eq!(fig.series.len(), 1);
         assert_eq!(fig.series[0].points.len(), 2);

@@ -130,7 +130,7 @@ impl<M: Metric> QosRoutingTable<M> {
 mod tests {
     use super::*;
     use crate::advertised::build_advertised;
-    use crate::selector::{Fnbp, QolsrMpr, MprVariant};
+    use crate::selector::{Fnbp, MprVariant, QolsrMpr};
     use qolsr_graph::fixtures;
     use qolsr_metrics::{Bandwidth, BandwidthMetric, Delay, DelayMetric};
 
@@ -203,11 +203,7 @@ mod tests {
     #[test]
     fn table_values_never_beat_centralized_optimum() {
         let f = fixtures::fig2();
-        let adv = build_advertised(
-            &f.topo,
-            &QolsrMpr::<DelayMetric>::new(MprVariant::Mpr2),
-            1,
-        );
+        let adv = build_advertised(&f.topo, &QolsrMpr::<DelayMetric>::new(MprVariant::Mpr2), 1);
         let table = QosRoutingTable::<DelayMetric>::compute(&f.topo, adv.graph(), f.u);
         for r in table.iter() {
             let opt = crate::routing::optimal_value::<DelayMetric>(&f.topo, f.u, r.dest)

@@ -121,13 +121,28 @@ mod tests {
                 Series {
                     label: "fnbp".into(),
                     points: vec![
-                        Point { x: 10.0, mean: 2.5, ci95: 0.1, n: 100 },
-                        Point { x: 20.0, mean: 2.6, ci95: 0.1, n: 100 },
+                        Point {
+                            x: 10.0,
+                            mean: 2.5,
+                            ci95: 0.1,
+                            n: 100,
+                        },
+                        Point {
+                            x: 20.0,
+                            mean: 2.6,
+                            ci95: 0.1,
+                            n: 100,
+                        },
                     ],
                 },
                 Series {
                     label: "qolsr".into(),
-                    points: vec![Point { x: 10.0, mean: 8.0, ci95: 0.4, n: 100 }],
+                    points: vec![Point {
+                        x: 10.0,
+                        mean: 8.0,
+                        ci95: 0.4,
+                        n: 100,
+                    }],
                 },
             ],
         }

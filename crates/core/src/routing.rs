@@ -278,7 +278,10 @@ mod tests {
             RouteStrategy::HopByHop,
         )
         .unwrap();
-        assert_eq!(a.qos::<BandwidthMetric>(&f.topo), b.qos::<BandwidthMetric>(&f.topo));
+        assert_eq!(
+            a.qos::<BandwidthMetric>(&f.topo),
+            b.qos::<BandwidthMetric>(&f.topo)
+        );
     }
 
     #[test]
@@ -307,13 +310,8 @@ mod tests {
         // still deliver if the advertised graph connects, otherwise fails.
         let f = fixtures::fig2();
         let adv = build_advertised(&f.topo, &Fnbp::<BandwidthMetric>::new(), 1);
-        let hop = route::<BandwidthMetric>(
-            &f.topo,
-            adv.graph(),
-            f.u,
-            f.v[9],
-            RouteStrategy::HopByHop,
-        );
+        let hop =
+            route::<BandwidthMetric>(&f.topo, adv.graph(), f.u, f.v[9], RouteStrategy::HopByHop);
         assert!(hop.is_ok(), "hop-by-hop must deliver: {hop:?}");
     }
 

@@ -194,8 +194,7 @@ mod tests {
         let f = fixtures::fig2();
         let view = LocalView::extract(&f.topo, f.u);
         let ans = Fnbp::<BandwidthMetric>::new().select(&view);
-        let ans_local: BTreeSet<u32> =
-            ans.iter().map(|&n| view.local_index(n).unwrap()).collect();
+        let ans_local: BTreeSet<u32> = ans.iter().map(|&n| view.local_index(n).unwrap()).collect();
         let table = first_hop_table::<BandwidthMetric>(view.graph(), view.center_local());
         for v in view.one_hop_local() {
             let fp = table.first_hops(v);

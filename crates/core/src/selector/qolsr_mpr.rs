@@ -85,8 +85,7 @@ impl<M: Metric> AnsSelector for QolsrMpr<M> {
 
         // Phase 1: mandatory sole covers (identical to RFC).
         for &w in &two_hop {
-            let coverers: Vec<u32> =
-                one_hop.iter().copied().filter(|&v| covers(v, w)).collect();
+            let coverers: Vec<u32> = one_hop.iter().copied().filter(|&v| covers(v, w)).collect();
             if coverers.len() == 1 {
                 mprs.insert(coverers[0]);
             }
@@ -116,9 +115,7 @@ impl<M: Metric> AnsSelector for QolsrMpr<M> {
                             .map(|&(v, _)| v),
                     )
                 }
-                MprVariant::Mpr2 => {
-                    best_by_direct_link::<M>(view, useful.iter().map(|&(v, _)| v))
-                }
+                MprVariant::Mpr2 => best_by_direct_link::<M>(view, useful.iter().map(|&(v, _)| v)),
             }
             .expect("useful set is non-empty");
             mprs.insert(chosen);

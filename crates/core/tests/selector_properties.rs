@@ -4,9 +4,7 @@
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
-use qolsr::selector::{
-    AnsSelector, ClassicMpr, Fnbp, MprVariant, QolsrMpr, TopologyFiltering,
-};
+use qolsr::selector::{AnsSelector, ClassicMpr, Fnbp, MprVariant, QolsrMpr, TopologyFiltering};
 use qolsr_graph::paths::first_hop_table;
 use qolsr_graph::{LocalView, NodeId, Topology, TopologyBuilder};
 use qolsr_metrics::{BandwidthMetric, DelayMetric, LinkQos, Metric};

@@ -214,10 +214,7 @@ mod tests {
         g.add_undirected(1, 2, qos(2));
         g.add_undirected(0, 2, qos(3));
         let edges: Vec<_> = g.edges().collect();
-        assert_eq!(
-            edges,
-            vec![(0, 1, qos(1)), (0, 2, qos(3)), (1, 2, qos(2))]
-        );
+        assert_eq!(edges, vec![(0, 1, qos(1)), (0, 2, qos(3)), (1, 2, qos(2))]);
     }
 
     #[test]

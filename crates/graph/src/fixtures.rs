@@ -68,7 +68,14 @@ pub fn fig1() -> Fig1 {
     );
     Fig1 {
         topo,
-        v: [NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)],
+        v: [
+            NodeId(0),
+            NodeId(1),
+            NodeId(2),
+            NodeId(3),
+            NodeId(4),
+            NodeId(5),
+        ],
     }
 }
 
@@ -277,7 +284,11 @@ mod tests {
         let t = first_hop_table::<BandwidthMetric>(view.graph(), view.center_local());
         let v3 = view.local_index(f.v[2]).unwrap();
         assert_eq!(t.best_value(v3), Bandwidth(4));
-        let hops: Vec<NodeId> = t.first_hops(v3).iter().map(|&h| view.global_id(h)).collect();
+        let hops: Vec<NodeId> = t
+            .first_hops(v3)
+            .iter()
+            .map(|&h| view.global_id(h))
+            .collect();
         assert_eq!(hops, vec![f.v[0], f.v[1]]);
     }
 
@@ -311,5 +322,50 @@ mod tests {
         let view = LocalView::extract(&f.topo, f.u);
         assert_eq!(view.one_hop().count(), 5);
         assert_eq!(view.two_hop().count(), 3);
+    }
+
+    /// Cross-checks every `fP(u, v)` of the Fig. 2 local view against the
+    /// brute-force simple-path enumerator under metric `M`, so the
+    /// paper's worked example anchors both path engines at once.
+    fn check_fig2_first_hops_against_enumeration<M: qolsr_metrics::Metric>()
+    where
+        M::Value: std::fmt::Debug,
+    {
+        let f = fig2();
+        let view = LocalView::extract(&f.topo, f.u);
+        let g = view.graph();
+        let table = first_hop_table::<M>(g, view.center_local());
+        for v in 0..g.len() as u32 {
+            if v == view.center_local() {
+                continue;
+            }
+            let brute =
+                crate::paths::enumerate::brute_force_first_hops::<M>(g, view.center_local(), v);
+            let (best, hops) =
+                brute.unwrap_or_else(|| panic!("fig2 view is connected, {v} must be reachable"));
+            assert!(table.reachable(v));
+            assert_eq!(
+                table.best_value(v),
+                best,
+                "best value mismatch at local {v} ({})",
+                view.global_id(v)
+            );
+            assert_eq!(
+                table.first_hops(v),
+                hops.as_slice(),
+                "fP mismatch at local {v} ({})",
+                view.global_id(v)
+            );
+        }
+    }
+
+    #[test]
+    fn fig2_first_hops_match_enumeration_concave_bandwidth() {
+        check_fig2_first_hops_against_enumeration::<BandwidthMetric>();
+    }
+
+    #[test]
+    fn fig2_first_hops_match_enumeration_additive_delay() {
+        check_fig2_first_hops_against_enumeration::<qolsr_metrics::DelayMetric>();
     }
 }

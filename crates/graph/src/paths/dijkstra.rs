@@ -174,7 +174,12 @@ pub fn best_paths_avoiding<M: Metric>(
     // Dijkstra over the lexicographic cost (QoS value, hop count): both
     // components are monotone non-improving under extension, so the
     // greedy settle-best argument still applies.
-    while let Some(HeapEntry { value: v, hops: h, node }) = heap.pop() {
+    while let Some(HeapEntry {
+        value: v,
+        hops: h,
+        node,
+    }) = heap.pop()
+    {
         if settled[node as usize] {
             continue; // stale lazy-deletion entry
         }
@@ -191,8 +196,7 @@ pub fn best_paths_avoiding<M: Metric>(
             let slot = &mut value[next as usize];
             let tie = !M::better(*slot, cand) && !M::better(cand, *slot);
             let better = M::better(cand, *slot)
-                || (tie
-                    && (cand_hops, node) < (hops[next as usize], parent[next as usize]));
+                || (tie && (cand_hops, node) < (hops[next as usize], parent[next as usize]));
             if better {
                 *slot = cand;
                 hops[next as usize] = cand_hops;
@@ -226,11 +230,7 @@ pub fn best_paths_avoiding<M: Metric>(
 /// an intermediate node may hijack reconstruction), so the hop count is
 /// minimized by a BFS restricted to links that sustain the optimal
 /// bottleneck. Composite metrics fall back to an arbitrary optimal path.
-pub fn best_route<M: Metric>(
-    g: &CompactGraph,
-    src: u32,
-    dst: u32,
-) -> Option<(M::Value, Vec<u32>)> {
+pub fn best_route<M: Metric>(g: &CompactGraph, src: u32, dst: u32) -> Option<(M::Value, Vec<u32>)> {
     if src == dst {
         return Some((M::empty_path(), vec![src]));
     }

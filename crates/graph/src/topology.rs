@@ -220,8 +220,10 @@ mod tests {
         let n0 = b.add_node(Point2::new(0.0, 0.0));
         let n1 = b.add_node(Point2::new(5.0, 0.0));
         let n2 = b.add_node(Point2::new(9.0, 0.0));
-        b.link(n0, n1, LinkQos::new(Bandwidth(4), Delay(2))).unwrap();
-        b.link(n1, n2, LinkQos::new(Bandwidth(7), Delay(1))).unwrap();
+        b.link(n0, n1, LinkQos::new(Bandwidth(4), Delay(2)))
+            .unwrap();
+        b.link(n1, n2, LinkQos::new(Bandwidth(7), Delay(1)))
+            .unwrap();
         let t = b.build();
 
         assert_eq!(t.len(), 3);

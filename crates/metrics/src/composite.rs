@@ -107,19 +107,13 @@ mod tests {
 
     #[test]
     fn extend_is_componentwise() {
-        let p = path_value::<BwThenDelay>([
-            (Bandwidth(10), Delay(1)),
-            (Bandwidth(4), Delay(2)),
-        ]);
+        let p = path_value::<BwThenDelay>([(Bandwidth(10), Delay(1)), (Bandwidth(4), Delay(2))]);
         assert_eq!(p, (Bandwidth(4), Delay(3)));
     }
 
     #[test]
     fn empty_and_no_path() {
-        assert_eq!(
-            BwThenDelay::empty_path(),
-            (Bandwidth::MAX, Delay::ZERO)
-        );
+        assert_eq!(BwThenDelay::empty_path(), (Bandwidth::MAX, Delay::ZERO));
         assert!(!BwThenDelay::is_reachable(BwThenDelay::no_path()));
         assert!(BwThenDelay::is_reachable((Bandwidth(1), Delay(5))));
     }

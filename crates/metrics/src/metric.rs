@@ -282,8 +282,14 @@ mod tests {
 
     #[test]
     fn best_prefers_first_on_tie() {
-        assert_eq!(BandwidthMetric::best(Bandwidth(5), Bandwidth(5)), Bandwidth(5));
-        assert_eq!(BandwidthMetric::best(Bandwidth(2), Bandwidth(7)), Bandwidth(7));
+        assert_eq!(
+            BandwidthMetric::best(Bandwidth(5), Bandwidth(5)),
+            Bandwidth(5)
+        );
+        assert_eq!(
+            BandwidthMetric::best(Bandwidth(2), Bandwidth(7)),
+            Bandwidth(7)
+        );
     }
 
     #[test]

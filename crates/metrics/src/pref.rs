@@ -49,17 +49,13 @@ impl<M: Metric, I: Ord + Copy> Preference<M, I> {
     /// Returns `true` if `self` is strictly preferred over `other`
     /// (better link value, or equal value and smaller id).
     pub fn is_preferred_over(&self, other: &Self) -> bool {
-        compare_preference::<M, I>((self.value, self.id), (other.value, other.id))
-            == Ordering::Less
+        compare_preference::<M, I>((self.value, self.id), (other.value, other.id)) == Ordering::Less
     }
 }
 
 /// Compares two `(link value, id)` pairs under `≺u`: [`Ordering::Less`]
 /// means the first is preferred.
-pub fn compare_preference<M: Metric, I: Ord>(
-    a: (M::Value, I),
-    b: (M::Value, I),
-) -> Ordering {
+pub fn compare_preference<M: Metric, I: Ord>(a: (M::Value, I), b: (M::Value, I)) -> Ordering {
     if M::better(a.0, b.0) {
         Ordering::Less
     } else if M::better(b.0, a.0) {
@@ -107,17 +103,14 @@ mod tests {
 
     #[test]
     fn bandwidth_prefers_wider_link() {
-        let got = best_by_preference::<BandwidthMetric, u32>([
-            (Bandwidth(5), 1),
-            (Bandwidth(10), 9),
-        ]);
+        let got =
+            best_by_preference::<BandwidthMetric, u32>([(Bandwidth(5), 1), (Bandwidth(10), 9)]);
         assert_eq!(got, Some((Bandwidth(10), 9)));
     }
 
     #[test]
     fn delay_prefers_faster_link() {
-        let got =
-            best_by_preference::<DelayMetric, u32>([(Delay(5), 1), (Delay(2), 9)]);
+        let got = best_by_preference::<DelayMetric, u32>([(Delay(5), 1), (Delay(2), 9)]);
         assert_eq!(got, Some((Delay(2), 9)));
     }
 

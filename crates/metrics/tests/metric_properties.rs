@@ -3,8 +3,7 @@
 
 use proptest::prelude::*;
 use qolsr_metrics::{
-    path_value, Bandwidth, BandwidthMetric, Delay, DelayMetric, Lex2, Metric,
-    ResidualEnergyMetric,
+    path_value, Bandwidth, BandwidthMetric, Delay, DelayMetric, Lex2, Metric, ResidualEnergyMetric,
 };
 
 proptest! {

@@ -71,8 +71,11 @@ pub fn select_mprs(view: &LocalView) -> BTreeSet<NodeId> {
             .filter(|&(newly, _, _)| newly > 0)
             // Max newly covered, then max total, then *smallest* id.
             .max_by(|a, b| {
-                (a.0, a.1, std::cmp::Reverse(view.global_id(a.2)))
-                    .cmp(&(b.0, b.1, std::cmp::Reverse(view.global_id(b.2))))
+                (a.0, a.1, std::cmp::Reverse(view.global_id(a.2))).cmp(&(
+                    b.0,
+                    b.1,
+                    std::cmp::Reverse(view.global_id(b.2)),
+                ))
             });
         match best {
             Some((_, _, v)) => {

@@ -297,7 +297,9 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
                 let selectors = self.neighbors.mpr_selectors(now);
                 if msg.ttl > 1
                     && selectors.contains(&from)
-                    && self.duplicates.mark_forwarded(msg.originator, msg.seq, dup_hold)
+                    && self
+                        .duplicates
+                        .mark_forwarded(msg.originator, msg.seq, dup_hold)
                 {
                     let fwd = Message {
                         ttl: msg.ttl - 1,

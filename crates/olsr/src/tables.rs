@@ -133,9 +133,7 @@ impl NeighborTables {
         self.reported
             .iter()
             .filter(|(_, (_, until))| *until > now)
-            .filter(|((via, _), _)| {
-                self.links.get(via).is_some_and(|t| t.is_symmetric(now))
-            })
+            .filter(|((via, _), _)| self.links.get(via).is_some_and(|t| t.is_symmetric(now)))
             .map(|(&(via, node), &(qos, _))| (via, node, qos))
             .collect()
     }
@@ -301,7 +299,14 @@ mod tests {
         let mut nt = NeighborTables::new();
         let me = NodeId(0);
         // First hello from 1 does not list us: asymmetric.
-        nt.process_hello(me, NodeId(1), LinkQos::uniform(5), &hello_listing(&[]), t(0), t(6));
+        nt.process_hello(
+            me,
+            NodeId(1),
+            LinkQos::uniform(5),
+            &hello_listing(&[]),
+            t(0),
+            t(6),
+        );
         assert!(nt.symmetric_neighbors(t(1)).is_empty());
         // Second hello lists us: symmetric.
         nt.process_hello(

@@ -268,12 +268,26 @@ mod tests {
 
     #[test]
     fn tc_size_grows_with_advertised_set() {
-        let small = Message::tc(NodeId(1), 0, Tc { ansn: 0, advertised: vec![] });
+        let small = Message::tc(
+            NodeId(1),
+            0,
+            Tc {
+                ansn: 0,
+                advertised: vec![],
+            },
+        );
         let mut adv = Vec::new();
         for i in 0..10 {
             adv.push((NodeId(i), LinkQos::uniform(1)));
         }
-        let big = Message::tc(NodeId(1), 0, Tc { ansn: 0, advertised: adv });
+        let big = Message::tc(
+            NodeId(1),
+            0,
+            Tc {
+                ansn: 0,
+                advertised: adv,
+            },
+        );
         assert!(encoded_len(&big) > encoded_len(&small));
         assert_eq!(encoded_len(&big) - encoded_len(&small), 10 * 28);
     }

@@ -219,8 +219,12 @@ impl<A: Actor> Simulator<A> {
     fn push(&mut self, time: SimTime, node: NodeId, kind: EventKind<A::Msg>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue
-            .push(std::cmp::Reverse(Scheduled { time, seq, node, kind }));
+        self.queue.push(std::cmp::Reverse(Scheduled {
+            time,
+            seq,
+            node,
+            kind,
+        }));
     }
 
     /// Enables event tracing with the given ring-buffer capacity.

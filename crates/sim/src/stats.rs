@@ -303,7 +303,7 @@ mod tests {
             h.record(v);
         }
         assert_eq!(h.count(), 6);
-        assert!((h.mean() - (0 + 1 + 1 + 2 + 8 + 1024) as f64 / 6.0).abs() < 1e-12);
+        assert!((h.mean() - (1 + 1 + 2 + 8 + 1024) as f64 / 6.0).abs() < 1e-12);
     }
 
     #[test]

@@ -7,15 +7,15 @@
 
 use qolsr::advertised::build_advertised;
 use qolsr::routing::{optimal_value, route, RouteStrategy};
-use qolsr::selector::{
-    AnsSelector, ClassicMpr, Fnbp, MprVariant, QolsrMpr, TopologyFiltering,
-};
+use qolsr::selector::{AnsSelector, ClassicMpr, Fnbp, MprVariant, QolsrMpr, TopologyFiltering};
 use qolsr_graph::paths::first_hop_table;
 use qolsr_graph::{fixtures, LocalView, NodeId};
 use qolsr_metrics::BandwidthMetric;
 
 fn names(ids: impl IntoIterator<Item = NodeId>, base: u32) -> Vec<String> {
-    ids.into_iter().map(|n| format!("v{}", n.0 - base + 1)).collect()
+    ids.into_iter()
+        .map(|n| format!("v{}", n.0 - base + 1))
+        .collect()
 }
 
 fn main() {
@@ -37,7 +37,11 @@ fn fig1() {
 
     let adv = build_advertised(&f.topo, &sel, 1);
     let qolsr = route::<BandwidthMetric>(
-        &f.topo, adv.graph(), f.v[0], f.v[2], RouteStrategy::SourceRoute,
+        &f.topo,
+        adv.graph(),
+        f.v[0],
+        f.v[2],
+        RouteStrategy::SourceRoute,
     )
     .unwrap();
     println!(
@@ -48,7 +52,11 @@ fn fig1() {
 
     let adv = build_advertised(&f.topo, &Fnbp::<BandwidthMetric>::new(), 1);
     let fnbp = route::<BandwidthMetric>(
-        &f.topo, adv.graph(), f.v[0], f.v[2], RouteStrategy::SourceRoute,
+        &f.topo,
+        adv.graph(),
+        f.v[0],
+        f.v[2],
+        RouteStrategy::SourceRoute,
     )
     .unwrap();
     println!(
@@ -63,17 +71,16 @@ fn fig2() {
     println!("== Fig. 2 — local view of u, first hops, FNBP selection ==");
     let f = fixtures::fig2();
     let view = LocalView::extract(&f.topo, f.u);
-    println!(
-        "  N(u)  = {:?}",
-        names(view.one_hop(), 1)
-    );
-    println!(
-        "  N2(u) = {:?}",
-        names(view.two_hop(), 1)
-    );
+    println!("  N(u)  = {:?}", names(view.one_hop(), 1));
+    println!("  N2(u) = {:?}", names(view.two_hop(), 1));
 
     let t = first_hop_table::<BandwidthMetric>(view.graph(), view.center_local());
-    for (label, target) in [("v3", f.v[2]), ("v4", f.v[3]), ("v9", f.v[8]), ("v11", f.v[10])] {
+    for (label, target) in [
+        ("v3", f.v[2]),
+        ("v4", f.v[3]),
+        ("v9", f.v[8]),
+        ("v11", f.v[10]),
+    ] {
         let local = view.local_index(target).unwrap();
         let hops: Vec<String> = t
             .first_hops(local)
@@ -97,13 +104,19 @@ fn fig4() {
     let plain = Fnbp::<BandwidthMetric>::without_id_rule().select(&view);
     let fixed = Fnbp::<BandwidthMetric>::new().select(&view);
     let label = |set: std::collections::BTreeSet<NodeId>| -> Vec<char> {
-        set.into_iter().map(|n| (b'A' + n.0 as u8) as char).collect()
+        set.into_iter()
+            .map(|n| (b'A' + n.0 as u8) as char)
+            .collect()
     };
     println!("  ANS(A) without id rule: {:?}", label(plain));
     println!("  ANS(A) with id rule:    {:?}", label(fixed));
     let adv = build_advertised(&f.topo, &Fnbp::<BandwidthMetric>::new(), 1);
     let r = route::<BandwidthMetric>(
-        &f.topo, adv.graph(), f.b, f.e, RouteStrategy::AdvertisedOnly,
+        &f.topo,
+        adv.graph(),
+        f.b,
+        f.e,
+        RouteStrategy::AdvertisedOnly,
     );
     println!("  B -> E over advertised links: {r:?}\n");
 }
@@ -118,7 +131,10 @@ fn fig5() {
             "topology filtering",
             Box::new(TopologyFiltering::<BandwidthMetric>::new()),
         ),
-        ("FNBP              ", Box::new(Fnbp::<BandwidthMetric>::new())),
+        (
+            "FNBP              ",
+            Box::new(Fnbp::<BandwidthMetric>::new()),
+        ),
     ];
     for (name, sel) in selectors {
         let set = sel.select(&view);

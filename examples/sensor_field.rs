@@ -71,8 +71,7 @@ fn main() {
                 continue;
             }
             sensors += 1;
-            let optimal =
-                optimal_value::<BandwidthMetric>(&topo, sensor, sink).expect("connected");
+            let optimal = optimal_value::<BandwidthMetric>(&topo, sensor, sink).expect("connected");
             if let Ok(out) = route::<BandwidthMetric>(
                 &topo,
                 adv.graph(),

@@ -1,0 +1,75 @@
+//! Shared testkit for the root integration suites: seeded paper-default
+//! deployments, fixture views and scaled-down experiment configs, so the
+//! suites agree on one topology vocabulary instead of each rolling its
+//! own.
+//!
+//! Not every suite uses every helper; that is the point of a shared kit.
+#![allow(dead_code)]
+
+use qolsr::eval::EvalConfig;
+use qolsr_graph::deploy::{deploy, Deployment, UniformWeights};
+use qolsr_graph::{fixtures, LocalView, NodeId, Point2, Topology, TopologyBuilder};
+use qolsr_metrics::LinkQos;
+use qolsr_sim::SimRng;
+
+/// Deploys a seeded Poisson field with the paper's radius (`R = 100`) in
+/// a `side × side` square at the given mean degree, link weights drawn
+/// from `weights`.
+pub fn seeded_topology(
+    seed: u64,
+    side: f64,
+    mean_degree: f64,
+    weights: UniformWeights,
+) -> Topology {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let cfg = Deployment {
+        width: side,
+        height: side,
+        radius: 100.0,
+        mean_degree,
+    };
+    deploy(&cfg, &weights, &mut rng)
+}
+
+/// A small (`400 × 400`, `δ = 8`) field with the paper's `[1, 10]`
+/// weights — compact enough for full protocol convergence runs.
+pub fn small_random_topology(seed: u64) -> Topology {
+    seeded_topology(seed, 400.0, 8.0, UniformWeights::paper_defaults())
+}
+
+/// A medium (`500 × 500`) field with wide-spread `[1, 100]` weights —
+/// enough weight diversity for routing-quality comparisons.
+pub fn medium_topology(seed: u64, mean_degree: f64) -> Topology {
+    seeded_topology(seed, 500.0, mean_degree, UniformWeights::new(1, 100))
+}
+
+/// An `n`-node line with uniform link QoS — guarantees a connected,
+/// fully-predictable route structure.
+pub fn line_topology(n: usize, qos: u64) -> Topology {
+    let mut b = TopologyBuilder::new(15.0);
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| b.add_node(Point2::new(10.0 * i as f64, 0.0)))
+        .collect();
+    for w in ids.windows(2) {
+        b.link(w[0], w[1], LinkQos::uniform(qos)).unwrap();
+    }
+    b.build()
+}
+
+/// Scales an experiment config down to CI size: 6 runs over three
+/// densities on a small field with two worker threads.
+pub fn smoke_config(mut cfg: EvalConfig) -> EvalConfig {
+    cfg.runs = 6;
+    cfg.densities = vec![10.0, 20.0, 30.0];
+    cfg.field = (600.0, 600.0);
+    cfg.threads = 2;
+    cfg
+}
+
+/// The paper's Fig. 2 worked example together with `u`'s extracted local
+/// view (the object every Fig. 2 claim is stated over).
+pub fn fig2_view() -> (fixtures::Fig2, LocalView) {
+    let f = fixtures::fig2();
+    let view = LocalView::extract(&f.topo, f.u);
+    (f, view)
+}

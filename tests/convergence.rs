@@ -3,27 +3,18 @@
 //! the state the analytic pipeline computes from ground truth — views,
 //! selections and advertised topology.
 
+mod common;
+
 use std::collections::BTreeSet;
 
+use common::{line_topology, small_random_topology};
 use qolsr::policy::SelectorPolicy;
 use qolsr::selector::{AnsSelector, Fnbp, TopologyFiltering};
-use qolsr_graph::deploy::{deploy, Deployment, UniformWeights};
-use qolsr_graph::{LocalView, NodeId, Topology};
+use qolsr_graph::{LocalView, NodeId};
 use qolsr_metrics::BandwidthMetric;
 use qolsr_proto::network::OlsrNetwork;
-use qolsr_proto::{OlsrConfig};
-use qolsr_sim::{RadioConfig, SimDuration, SimRng};
-
-fn small_random_topology(seed: u64) -> Topology {
-    let mut rng = SimRng::seed_from_u64(seed);
-    let cfg = Deployment {
-        width: 400.0,
-        height: 400.0,
-        radius: 100.0,
-        mean_degree: 8.0,
-    };
-    deploy(&cfg, &UniformWeights::paper_defaults(), &mut rng)
-}
+use qolsr_proto::OlsrConfig;
+use qolsr_sim::{RadioConfig, SimDuration};
 
 #[test]
 fn learned_views_match_ground_truth() {
@@ -58,8 +49,7 @@ fn fnbp_policy_advertises_analytic_selection() {
             .select(&LocalView::extract(&topo, n))
             .into_iter()
             .collect();
-        let advertised: Vec<NodeId> =
-            net.node(n).advertised().iter().map(|&(m, _)| m).collect();
+        let advertised: Vec<NodeId> = net.node(n).advertised().iter().map(|&(m, _)| m).collect();
         assert_eq!(advertised, expected, "node {n} advertised set diverges");
     }
 }
@@ -76,17 +66,13 @@ fn advertised_topology_matches_analytic_union() {
     );
     net.run_for(SimDuration::from_secs(30));
 
-    let analytic = qolsr::advertised::build_advertised(
-        &topo,
-        &TopologyFiltering::<BandwidthMetric>::new(),
-        1,
-    );
+    let analytic =
+        qolsr::advertised::build_advertised(&topo, &TopologyFiltering::<BandwidthMetric>::new(), 1);
     let mut live: BTreeSet<(u32, u32)> = BTreeSet::new();
     for (a, b, _) in net.advertised_topology() {
         live.insert((a.0.min(b.0), a.0.max(b.0)));
     }
-    let expected: BTreeSet<(u32, u32)> =
-        analytic.graph().edges().map(|(a, b, _)| (a, b)).collect();
+    let expected: BTreeSet<(u32, u32)> = analytic.graph().edges().map(|(a, b, _)| (a, b)).collect();
     assert_eq!(live, expected);
 }
 
@@ -94,14 +80,7 @@ fn advertised_topology_matches_analytic_union() {
 fn every_node_learns_routes_to_every_other_node() {
     // A connected line guarantees full reachability; after TC flooding
     // every node must hold a route to every destination.
-    let mut b = qolsr_graph::TopologyBuilder::new(15.0);
-    let ids: Vec<NodeId> = (0..8)
-        .map(|i| b.add_node(qolsr_graph::Point2::new(10.0 * i as f64, 0.0)))
-        .collect();
-    for w in ids.windows(2) {
-        b.link(w[0], w[1], qolsr_metrics::LinkQos::uniform(3)).unwrap();
-    }
-    let topo = b.build();
+    let topo = line_topology(8, 3);
     let mut net = OlsrNetwork::with_defaults(topo.clone(), 3);
     net.run_for(SimDuration::from_secs(30));
     for s in topo.nodes() {

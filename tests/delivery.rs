@@ -1,25 +1,15 @@
 //! Delivery and loop-freedom of the routing evaluators across random
 //! topologies, selectors, metrics and knowledge models.
 
+mod common;
+
+use common::medium_topology as topology;
 use qolsr::advertised::build_advertised;
 use qolsr::routing::{optimal_value, route, RouteStrategy};
 use qolsr::selector::{AnsSelector, ClassicMpr, Fnbp, MprVariant, QolsrMpr, TopologyFiltering};
 use qolsr_graph::connectivity::Components;
-use qolsr_graph::deploy::{deploy, Deployment, UniformWeights};
 use qolsr_graph::Topology;
 use qolsr_metrics::{BandwidthMetric, DelayMetric, Metric};
-use qolsr_sim::SimRng;
-
-fn topology(seed: u64, degree: f64) -> Topology {
-    let mut rng = SimRng::seed_from_u64(seed);
-    let cfg = Deployment {
-        width: 500.0,
-        height: 500.0,
-        radius: 100.0,
-        mean_degree: degree,
-    };
-    deploy(&cfg, &UniformWeights::new(1, 100), &mut rng)
-}
 
 fn check_all_pairs_delivered<M: Metric>(
     topo: &Topology,
@@ -95,11 +85,8 @@ fn advertised_only_with_id_rule_delivers_everything() {
 fn delay_metric_delivery() {
     let topo = topology(51, 9.0);
     for strategy in [RouteStrategy::SourceRoute, RouteStrategy::AdvertisedOnly] {
-        let (delivered, total) = check_all_pairs_delivered::<DelayMetric>(
-            &topo,
-            &Fnbp::<DelayMetric>::new(),
-            strategy,
-        );
+        let (delivered, total) =
+            check_all_pairs_delivered::<DelayMetric>(&topo, &Fnbp::<DelayMetric>::new(), strategy);
         assert_eq!(delivered, total, "{strategy:?} dropped pairs");
     }
 }
@@ -134,7 +121,11 @@ fn source_route_delivers_whenever_advertised_graph_connects() {
     // a superset of the advertised graph, so connectivity in the
     // advertised graph alone guarantees delivery.
     let topo = topology(71, 9.0);
-    let adv = build_advertised(&topo, &QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr2), 1);
+    let adv = build_advertised(
+        &topo,
+        &QolsrMpr::<BandwidthMetric>::new(MprVariant::Mpr2),
+        1,
+    );
     // Connectivity of the advertised graph itself.
     let mut reach = vec![u32::MAX; topo.len()];
     for start in 0..topo.len() as u32 {
@@ -159,13 +150,8 @@ fn source_route_delivers_whenever_advertised_graph_connects() {
                 continue;
             }
             if reach[s.index()] == reach[t.index()] && adv.graph().degree(s.0) > 0 {
-                let r = route::<BandwidthMetric>(
-                    &topo,
-                    adv.graph(),
-                    s,
-                    t,
-                    RouteStrategy::SourceRoute,
-                );
+                let r =
+                    route::<BandwidthMetric>(&topo, adv.graph(), s, t, RouteStrategy::SourceRoute);
                 assert!(r.is_ok(), "{s}->{t}: source route failed: {r:?}");
             }
         }

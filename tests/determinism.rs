@@ -1,0 +1,58 @@
+//! Determinism guards: identical seeds must yield identical worlds, at
+//! every density the experiments sweep. Future parallelization or
+//! deployment-speed work must keep these invariants.
+
+mod common;
+
+use qolsr_graph::deploy::{deploy, Deployment, UniformWeights};
+use qolsr_sim::SimRng;
+
+/// Two `deploy()` runs from equal `SimRng` seeds must produce identical
+/// topologies: same nodes, same positions, same links, same QoS labels.
+#[test]
+fn deploy_is_deterministic_per_seed() {
+    for density in [5.0, 10.0, 20.0] {
+        for seed in [0, 1, 0x51C0_2010] {
+            let cfg = Deployment::paper_defaults(density);
+            let weights = UniformWeights::paper_defaults();
+            let a = deploy(&cfg, &weights, &mut SimRng::seed_from_u64(seed));
+            let b = deploy(&cfg, &weights, &mut SimRng::seed_from_u64(seed));
+
+            assert_eq!(a.len(), b.len(), "node count differs (seed {seed})");
+            assert_eq!(
+                a.link_count(),
+                b.link_count(),
+                "link count differs (seed {seed})"
+            );
+            for n in a.nodes() {
+                assert_eq!(a.position(n), b.position(n), "position of {n} differs");
+            }
+            assert_eq!(a.graph(), b.graph(), "link graph differs (seed {seed})");
+        }
+    }
+}
+
+/// Different seeds must not collapse onto the same world (a degenerate
+/// generator would trivially pass the test above).
+#[test]
+fn different_seeds_differ() {
+    let a = common::small_random_topology(1);
+    let b = common::small_random_topology(2);
+    assert!(
+        a.len() != b.len() || a.link_count() != b.link_count() || a.graph() != b.graph(),
+        "seeds 1 and 2 produced identical topologies"
+    );
+}
+
+/// The shared-testkit topology builders are themselves stable across
+/// calls — suites may cache or rebuild them interchangeably.
+#[test]
+fn testkit_builders_are_reproducible() {
+    let a = common::medium_topology(31, 8.0);
+    let b = common::medium_topology(31, 8.0);
+    assert_eq!(a.graph(), b.graph());
+
+    let line = common::line_topology(8, 3);
+    assert_eq!(line.len(), 8);
+    assert_eq!(line.link_count(), 7);
+}

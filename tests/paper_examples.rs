@@ -3,11 +3,12 @@
 //! fixtures → local views → first-hop sets → selectors → advertised
 //! graphs → routing.
 
+mod common;
+
+use common::fig2_view;
 use qolsr::advertised::build_advertised;
 use qolsr::routing::{optimal_value, route, RouteStrategy};
-use qolsr::selector::{
-    AnsSelector, ClassicMpr, Fnbp, MprVariant, QolsrMpr, TopologyFiltering,
-};
+use qolsr::selector::{AnsSelector, ClassicMpr, Fnbp, MprVariant, QolsrMpr, TopologyFiltering};
 use qolsr_graph::paths::{best_paths, first_hop_table};
 use qolsr_graph::{fixtures, LocalView, NodeId};
 use qolsr_metrics::{Bandwidth, BandwidthMetric};
@@ -73,12 +74,15 @@ fn fig1_fnbp_recovers_the_widest_path() {
 /// B̃W(u, v3) = 4 and fPBW(u, v3) = {v2, v1}".
 #[test]
 fn fig2_first_hop_set_of_v3() {
-    let f = fixtures::fig2();
-    let view = LocalView::extract(&f.topo, f.u);
+    let (f, view) = fig2_view();
     let t = first_hop_table::<BandwidthMetric>(view.graph(), view.center_local());
     let v3 = view.local_index(f.v[2]).unwrap();
     assert_eq!(t.best_value(v3), Bandwidth(4));
-    let hops: Vec<NodeId> = t.first_hops(v3).iter().map(|&w| view.global_id(w)).collect();
+    let hops: Vec<NodeId> = t
+        .first_hops(v3)
+        .iter()
+        .map(|&w| view.global_id(w))
+        .collect();
     assert_eq!(hops, vec![f.v[0], f.v[1]]);
 }
 
@@ -87,13 +91,16 @@ fn fig2_first_hop_set_of_v3() {
 /// bandwidth 3."
 #[test]
 fn fig2_three_hop_path_beats_direct_link() {
-    let f = fixtures::fig2();
-    let view = LocalView::extract(&f.topo, f.u);
+    let (f, view) = fig2_view();
     let t = first_hop_table::<BandwidthMetric>(view.graph(), view.center_local());
     let v4 = view.local_index(f.v[3]).unwrap();
     assert_eq!(t.best_value(v4), Bandwidth(5));
     assert!(!t.direct_link_is_optimal(v4));
-    let hops: Vec<NodeId> = t.first_hops(v4).iter().map(|&w| view.global_id(w)).collect();
+    let hops: Vec<NodeId> = t
+        .first_hops(v4)
+        .iter()
+        .map(|&w| view.global_id(w))
+        .collect();
     assert_eq!(hops, vec![f.v[0]]); // via v1
 
     // And the FNBP advertised graph really routes u→v4 at bandwidth 5.
@@ -115,8 +122,7 @@ fn fig2_three_hop_path_beats_direct_link() {
 /// as v1 is already in ANS(u)".
 #[test]
 fn fig2_fnbp_selection_is_v1_v6_v7() {
-    let f = fixtures::fig2();
-    let view = LocalView::extract(&f.topo, f.u);
+    let (f, view) = fig2_view();
     let ans = Fnbp::<BandwidthMetric>::new().select(&view);
     assert_eq!(
         ans.into_iter().collect::<Vec<_>>(),
@@ -129,8 +135,7 @@ fn fig2_fnbp_selection_is_v1_v6_v7() {
 /// to reach v9 while path u v6 v8 v9 with a bandwidth of 5 exists."
 #[test]
 fn fig2_localized_knowledge_limit_on_v9() {
-    let f = fixtures::fig2();
-    let view = LocalView::extract(&f.topo, f.u);
+    let (f, view) = fig2_view();
 
     // The hidden link joins two 2-hop neighbors: not in E_u.
     let v8 = view.local_index(f.v[7]).unwrap();

@@ -1,0 +1,183 @@
+//! In-tree stub for the `criterion` crate (the build environment has no
+//! registry access). Provides the macro and builder surface the
+//! workspace's benches use — [`criterion_group!`]/[`criterion_main!`],
+//! benchmark groups, [`BenchmarkId`] and [`Bencher::iter`] — backed by a
+//! simple wall-clock timer: a short warm-up, then a fixed sample of
+//! timed iterations with the mean per-iteration time printed.
+//!
+//! It is a measurement harness, not a statistics engine: no outlier
+//! analysis, no plots, no saved baselines. Swapping in real criterion
+//! requires no source changes in the benches.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function_id: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: u32,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: a warm-up pass, then `samples` timed iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.last_mean = start.elapsed() / self.samples;
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        let sample_size = self.sample_size;
+        run_one("", sample_size, &id.to_string(), f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u32,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        run_one(&self.name, self.sample_size, &id.to_string(), f);
+    }
+
+    /// Runs a benchmark that borrows a setup input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&self.name, self.sample_size, &id.to_string(), |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, samples: u32, id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        samples,
+        last_mean: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!(
+        "bench: {label:<60} {:>12.3?}/iter ({samples} samples)",
+        bencher.last_mean
+    );
+}
+
+/// Declares a group function running each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench forwards harness flags like `--bench`; this stub
+            // has no options, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run_their_closures() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("f", 1), &41u32, |b, &x| {
+                b.iter(|| x + 1);
+                runs += 1;
+            });
+            g.bench_function("plain", |b| b.iter(|| 2 + 2));
+            g.finish();
+        }
+        c.bench_function("standalone", |b| b.iter(|| 1));
+        assert_eq!(runs, 1);
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+    }
+}

@@ -1,0 +1,49 @@
+//! Option strategies (`proptest::option::weighted`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Some(value)` with probability `probability` and
+/// `None` otherwise.
+pub fn weighted<S: Strategy>(probability: f64, inner: S) -> Weighted<S> {
+    assert!(
+        (0.0..=1.0).contains(&probability),
+        "probability must be in [0, 1]"
+    );
+    Weighted { probability, inner }
+}
+
+/// Strategy returned by [`weighted`].
+#[derive(Debug, Clone)]
+pub struct Weighted<S> {
+    probability: f64,
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Weighted<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_f64() < self.probability {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_is_roughly_respected() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let strat = weighted(0.25, 0u8..10);
+        let some = (0..4_000)
+            .filter(|_| strat.generate(&mut rng).is_some())
+            .count();
+        // 4000 draws at p = 0.25: expect ~1000, allow ±150 (>5σ).
+        assert!((850..=1150).contains(&some), "saw {some} Somes");
+    }
+}

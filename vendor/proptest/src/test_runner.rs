@@ -1,0 +1,165 @@
+//! Deterministic case generation and failure reporting.
+
+use std::fmt;
+use std::path::Path;
+
+/// Why a property case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self(reason.into())
+    }
+
+    /// An input the property cannot evaluate (treated as failure by this
+    /// stub, which never generates rejectable inputs).
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The harness generator: xoshiro256** seeded via SplitMix64 (same
+/// construction as `qolsr_sim::SimRng`, carried here so the stub has no
+/// dependencies).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        if s == [0; 4] {
+            Self { s: [1, 2, 3, 4] }
+        } else {
+            Self { s }
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, bound)` without modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Derives the seed for one case of one property: FNV-1a over the test id
+/// mixed with the case index, so every test walks its own deterministic
+/// input sequence.
+pub fn case_seed(test_id: &str, case: u32) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in test_id.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= u64::from(case);
+    h.wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// Loads seeds pinned under `<manifest_dir>/proptest-regressions/`.
+///
+/// `source_file` is the test's `file!()`; its stem selects the regression
+/// file (`tests/wire_properties.rs` → `proptest-regressions/
+/// wire_properties.txt`). Lines have real proptest's `cc <hex-seed> ...`
+/// shape; the first 16 hex digits are the case seed. Missing or
+/// unparseable files yield no seeds.
+pub fn persisted_seeds(manifest_dir: &str, source_file: &str) -> Vec<u64> {
+    let stem = match Path::new(source_file).file_stem().and_then(|s| s.to_str()) {
+        Some(s) => s,
+        None => return Vec::new(),
+    };
+    let path = Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"));
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+            if hex.is_empty() {
+                return None;
+            }
+            u64::from_str_radix(&hex[..hex.len().min(16)], 16).ok()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_differ_per_test_and_case() {
+        let a = case_seed("crate::tests::a", 0);
+        let b = case_seed("crate::tests::b", 0);
+        let a1 = case_seed("crate::tests::a", 1);
+        assert_ne!(a, b);
+        assert_ne!(a, a1);
+        assert_eq!(a, case_seed("crate::tests::a", 0));
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seed_from_u64(7);
+        let mut b = TestRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn missing_regression_file_is_empty() {
+        assert!(persisted_seeds("/nonexistent", "tests/foo.rs").is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! End-to-end check that pinned seeds under `proptest-regressions/` are
+//! actually loaded and replayed by the `proptest!` harness.
+
+use proptest::prelude::*;
+use proptest::test_runner::persisted_seeds;
+
+const PINNED_SEED: u64 = 0x00DB_81C5_EE5E_ED01;
+
+#[test]
+fn regression_file_parses_to_the_pinned_seed() {
+    assert_eq!(
+        persisted_seeds(env!("CARGO_MANIFEST_DIR"), "tests/replay.rs"),
+        vec![PINNED_SEED]
+    );
+}
+
+proptest! {
+    // With zero generated cases, the body below runs *only* for the seed
+    // pinned in `proptest-regressions/replay.txt` — and must see exactly
+    // the value that seed derives.
+    #![proptest_config(ProptestConfig::with_cases(0))]
+
+    #[test]
+    fn pinned_seed_is_replayed_with_its_exact_value(x in 0u64..1_000_000) {
+        let mut rng = TestRng::seed_from_u64(PINNED_SEED);
+        let expected = (0u64..1_000_000).generate(&mut rng);
+        prop_assert_eq!(x, expected);
+    }
+}

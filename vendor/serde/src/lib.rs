@@ -1,0 +1,15 @@
+//! In-tree stub for the `serde` crate (the build environment has no
+//! registry access). The workspace only derives `Serialize`/`Deserialize`
+//! on plain data types as forward-looking annotations; no serializer is
+//! wired up yet, so marker traits and no-op derives suffice. Replacing
+//! this stub with real serde requires no source changes in the workspace.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,18 @@
+//! In-tree stub for `serde_derive` (the build environment has no registry
+//! access). The workspace only uses `#[derive(Serialize, Deserialize)]`
+//! as annotations — nothing is actually serialized — so the derives
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
