@@ -14,6 +14,9 @@
 //!   ablations   id-rule delivery, all-selector sweep, routing strategies,
 //!               weight intervals
 //!   robustness  link-failure study with stale advertised sets
+//!   churn       live-protocol churn robustness: route validity and
+//!               advertised staleness over time under random-waypoint
+//!               motion + Poisson churn + weight drift
 //!
 //! Options:
 //!   --runs N     topologies per density (default 100; paper: 100)
@@ -123,7 +126,7 @@ fn main() -> ExitCode {
     match args.command.as_str() {
         "help" => {
             println!(
-                "commands: fig6 fig7 fig8 fig9 all ablations; \
+                "commands: fig6 fig7 fig8 fig9 all ablations robustness churn; \
                  options: --runs N --seed S --threads T --quick --out DIR --no-csv"
             );
         }
@@ -256,6 +259,41 @@ fn main() -> ExitCode {
                     "Robustness — delivery with stale advertised sets under link failures (δ=15)",
                 ),
                 "robustness_link_failures",
+                &args.out_dir,
+            );
+        }
+        "churn" => {
+            use qolsr::eval::churn::{
+                churn_experiment, drift_figure, staleness_figure, validity_figure, ChurnConfig,
+            };
+            use qolsr::eval::SelectorKind;
+            let mut cfg = ChurnConfig::new(opts.runs);
+            cfg.seed = opts.seed;
+            cfg.threads = opts.threads;
+            let results =
+                churn_experiment::<qolsr_metrics::BandwidthMetric>(&cfg, &SelectorKind::PAPER);
+            emit(
+                &validity_figure(
+                    &results,
+                    "Churn — route validity over time (waypoint + churn + drift, δ=10)",
+                ),
+                "churn_route_validity",
+                &args.out_dir,
+            );
+            emit(
+                &staleness_figure(
+                    &results,
+                    "Churn — advertised-set staleness over time (δ=10)",
+                ),
+                "churn_advertised_staleness",
+                &args.out_dir,
+            );
+            emit(
+                &drift_figure(
+                    &results,
+                    "Churn — selection drift vs current ground truth (δ=10)",
+                ),
+                "churn_selection_drift",
                 &args.out_dir,
             );
         }

@@ -1,0 +1,548 @@
+//! Churn-robustness experiment: live OLSR protocol under mobility and
+//! node churn, per selector.
+//!
+//! Where [`robustness`](crate::eval::robustness) studies a single
+//! stale-snapshot instant analytically, this experiment runs the *full
+//! discrete-event protocol* against a dynamic world: after a static
+//! warm-up, a seeded scenario (random-waypoint motion + Poisson node
+//! churn + optional Gauss–Markov weight drift) rewrites the topology
+//! while HELLO/TC exchange keeps running. At fixed sample instants two
+//! time curves are measured per selector:
+//!
+//! * **route validity** — the fraction of probe pairs whose packets reach
+//!   the destination when forwarded hop by hop over the nodes' *current*
+//!   routing tables across the *current* ground truth (dead next-hop
+//!   links drop the packet);
+//! * **advertised staleness** — the fraction of links in nodes' last
+//!   advertised sets (TC content) that no longer exist in ground truth;
+//! * **selection drift** — how far each node's advertised set has
+//!   diverged from what its selector would choose on the *current*
+//!   ground-truth view (Jaccard distance), computed over the world's
+//!   epoch-cached `LocalView`s.
+//!
+//! Every selector replays the *same* deployments and the same world
+//! evolution (scenario generation is independent of the protocol), so
+//! curves differ only by selection policy. Runs are sharded across the
+//! crossbeam worker loops of the figure harness; per-run aggregation is
+//! ordered, making results independent of thread count.
+
+use std::collections::BTreeMap;
+
+use qolsr_graph::connectivity::Components;
+use qolsr_graph::deploy::{deploy, Deployment, UniformWeights};
+use qolsr_graph::{NodeId, Topology};
+use qolsr_proto::network::OlsrNetwork;
+use qolsr_proto::{AdvertisePolicy, OlsrConfig};
+use qolsr_sim::scenario::{GaussMarkovDrift, PoissonChurn, RandomWaypoint, ScenarioBuilder};
+use qolsr_sim::stats::OnlineStats;
+use qolsr_sim::{RadioConfig, Scenario, SimDuration, SimRng, SimTime};
+
+use crate::eval::{derive_seed, resolve_workers, sharded_runs, EvalMetric, SelectorKind};
+use crate::policy::SelectorPolicy;
+use crate::report::{Figure, Point, Series};
+use crate::selector::AnsSelector;
+
+/// Scenario intensity knobs of the churn experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnScenario {
+    /// Node speed range (distance units per second).
+    pub speed: (f64, f64),
+    /// Pause at each waypoint.
+    pub pause: SimDuration,
+    /// Motion / link-recomputation tick.
+    pub tick: SimDuration,
+    /// Network-wide node departures per second.
+    pub leave_rate: f64,
+    /// Mean downtime of a departed node.
+    pub mean_downtime: SimDuration,
+    /// Optional Gauss–Markov weight drift `(alpha, sigma)`.
+    pub drift: Option<(f64, f64)>,
+}
+
+impl Default for ChurnScenario {
+    fn default() -> Self {
+        Self {
+            // Pedestrian-to-vehicle speeds relative to R = 100.
+            speed: (2.0, 10.0),
+            pause: SimDuration::from_secs(4),
+            tick: SimDuration::from_secs(1),
+            leave_rate: 0.1,
+            mean_downtime: SimDuration::from_secs(10),
+            drift: Some((0.9, 1.0)),
+        }
+    }
+}
+
+/// Configuration of the churn experiment.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Mean node degree of the deployment.
+    pub density: f64,
+    /// Independent worlds.
+    pub runs: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Link-weight interval (initial labels, rejoin labels, drift clamp).
+    pub weights: UniformWeights,
+    /// Field width and height.
+    pub field: (f64, f64),
+    /// Communication radius `R`.
+    pub radius: f64,
+    /// Static warm-up before the scenario starts (protocol convergence).
+    pub warmup: SimDuration,
+    /// Dynamic phase length (scenario horizon).
+    pub dynamic: SimDuration,
+    /// Interval between measurement samples.
+    pub sample_every: SimDuration,
+    /// Probe source/destination pairs per world.
+    pub probes: usize,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Scenario intensity.
+    pub scenario: ChurnScenario,
+}
+
+impl ChurnConfig {
+    /// Defaults: a `500 × 500` field at density 10 (≈ 80 nodes), 30 s
+    /// warm-up, 60 s of dynamics sampled every 5 s.
+    pub fn new(runs: u32) -> Self {
+        Self {
+            density: 10.0,
+            runs,
+            seed: 0x51C0_2010,
+            weights: UniformWeights::new(1, 100),
+            field: (500.0, 500.0),
+            radius: 100.0,
+            warmup: SimDuration::from_secs(30),
+            dynamic: SimDuration::from_secs(60),
+            sample_every: SimDuration::from_secs(5),
+            probes: 8,
+            threads: 0,
+            scenario: ChurnScenario::default(),
+        }
+    }
+
+    /// Sample instants (absolute virtual time), warm-up end included.
+    fn sample_times(&self) -> Vec<SimTime> {
+        let mut times = Vec::new();
+        let mut t = SimTime::ZERO + self.warmup;
+        let end = SimTime::ZERO + self.warmup + self.dynamic;
+        while t <= end {
+            times.push(t);
+            t += self.sample_every;
+        }
+        times
+    }
+
+    fn build_scenario(&self, topo: &Topology, seed: u64) -> Scenario {
+        let mut builder = ScenarioBuilder::new(topo, seed)
+            .with(RandomWaypoint::new(
+                self.field,
+                self.scenario.tick,
+                self.scenario.speed,
+                self.scenario.pause,
+                self.weights,
+            ))
+            .with(PoissonChurn::new(
+                self.scenario.leave_rate,
+                self.scenario.mean_downtime,
+                self.weights,
+            ));
+        if let Some((alpha, sigma)) = self.scenario.drift {
+            builder = builder.with(GaussMarkovDrift::new(
+                self.scenario.tick,
+                alpha,
+                (self.weights.min, self.weights.max),
+                sigma,
+            ));
+        }
+        builder.generate(self.dynamic)
+    }
+}
+
+/// Aggregates of one sample instant.
+#[derive(Debug, Clone)]
+pub struct ChurnSample {
+    /// Seconds since simulation start.
+    pub at_secs: f64,
+    /// Route validity over the probe pairs.
+    pub validity: OnlineStats,
+    /// Stale advertised-link fraction over the nodes.
+    pub staleness: OnlineStats,
+    /// Selection drift: Jaccard distance between each node's advertised
+    /// set and its selector's choice on current ground truth.
+    pub drift: OnlineStats,
+}
+
+/// Time curves of one selector.
+#[derive(Debug, Clone)]
+pub struct ChurnMeasures {
+    /// Which selector.
+    pub kind: SelectorKind,
+    /// One aggregate per sample instant.
+    pub per_sample: Vec<ChurnSample>,
+}
+
+impl ChurnMeasures {
+    fn empty(kind: SelectorKind, times: &[SimTime]) -> Self {
+        Self {
+            kind,
+            per_sample: times
+                .iter()
+                .map(|t| ChurnSample {
+                    at_secs: t.as_secs_f64(),
+                    validity: OnlineStats::new(),
+                    staleness: OnlineStats::new(),
+                    drift: OnlineStats::new(),
+                })
+                .collect(),
+        }
+    }
+
+    fn merge(&mut self, other: &ChurnMeasures) {
+        for (mine, theirs) in self.per_sample.iter_mut().zip(&other.per_sample) {
+            mine.validity.merge(&theirs.validity);
+            mine.staleness.merge(&theirs.staleness);
+            mine.drift.merge(&theirs.drift);
+        }
+    }
+}
+
+/// Runs the churn experiment under metric `M` for the given selectors.
+///
+/// Per run: one Poisson deployment, one scenario (identical for every
+/// selector), one live OLSR network per selector, probed at the sample
+/// instants. Runs shard over worker threads; per-run results merge in run
+/// order, so output is independent of thread count.
+pub fn churn_experiment<M: EvalMetric>(
+    cfg: &ChurnConfig,
+    kinds: &[SelectorKind],
+) -> Vec<ChurnMeasures> {
+    let times = cfg.sample_times();
+    let per_run = sharded_runs(cfg.runs, resolve_workers(cfg.threads), |run| {
+        let mut local: Vec<ChurnMeasures> = kinds
+            .iter()
+            .map(|&k| ChurnMeasures::empty(k, &times))
+            .collect();
+        single_churn_run::<M>(cfg, derive_seed(cfg.seed, 0, run), kinds, &mut local);
+        local
+    });
+
+    let mut totals: Vec<ChurnMeasures> = kinds
+        .iter()
+        .map(|&k| ChurnMeasures::empty(k, &times))
+        .collect();
+    for run_measures in per_run {
+        for (total, m) in totals.iter_mut().zip(&run_measures) {
+            total.merge(m);
+        }
+    }
+    totals
+}
+
+fn single_churn_run<M: EvalMetric>(
+    cfg: &ChurnConfig,
+    seed: u64,
+    kinds: &[SelectorKind],
+    accum: &mut [ChurnMeasures],
+) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let deployment = Deployment {
+        width: cfg.field.0,
+        height: cfg.field.1,
+        radius: cfg.radius,
+        mean_degree: cfg.density,
+    };
+    let topo = deploy(&deployment, &cfg.weights, &mut rng);
+    if topo.len() < 4 {
+        return;
+    }
+    // One scenario per world, shared verbatim by every selector.
+    let scenario = cfg.build_scenario(&topo, seed ^ 0xD1A5_0CE2);
+    let probes = sample_probe_pairs(&topo, cfg.probes, &mut rng);
+    if probes.is_empty() {
+        return;
+    }
+    let times = cfg.sample_times();
+
+    for (si, &kind) in kinds.iter().enumerate() {
+        let mut net = OlsrNetwork::new(
+            topo.clone(),
+            OlsrConfig::default(),
+            RadioConfig::default(),
+            seed,
+            |_| SelectorPolicy::new(kind.instantiate::<M>()),
+        );
+        // The world stays static through warm-up; dynamics start after.
+        net.install_scenario_at(&scenario, SimTime::ZERO + cfg.warmup);
+
+        for (ti, &at) in times.iter().enumerate() {
+            net.run_until(at);
+            sample_network(&net, &probes, &mut accum[si].per_sample[ti]);
+        }
+    }
+}
+
+/// Probes and aggregates one network at the current instant.
+fn sample_network(
+    net: &OlsrNetwork<SelectorPolicy<Box<dyn AnsSelector>>>,
+    probes: &[(NodeId, NodeId)],
+    sample: &mut ChurnSample,
+) {
+    let world = net.world();
+    let mut route_cache = RouteCache::new();
+    for &(s, t) in probes {
+        match probe_route_cached(net, s, t, &mut route_cache) {
+            ProbeOutcome::Delivered(_) => sample.validity.push(1.0),
+            ProbeOutcome::Dropped => sample.validity.push(0.0),
+            // An endpoint is powered off: not a routing failure.
+            ProbeOutcome::EndpointDown => {}
+        }
+    }
+    for u in world.nodes() {
+        if !world.is_active(u) {
+            continue;
+        }
+        let node = net.node(u);
+        let advertised = node.advertised();
+        if !advertised.is_empty() {
+            let stale = advertised
+                .iter()
+                .filter(|&&(w, _)| !world.has_link(u, w))
+                .count();
+            sample
+                .staleness
+                .push(stale as f64 / advertised.len() as f64);
+        }
+        // Selection drift: what the selector would advertise on current
+        // ground truth vs what the node last advertised. Ground-truth
+        // views come from the world's epoch cache, so quiet stretches
+        // (warm-up, waypoint pauses) re-use extractions across samples.
+        let ideal = node.policy().selector().select(&world.local_view(u));
+        let current: std::collections::BTreeSet<NodeId> =
+            advertised.iter().map(|&(w, _)| w).collect();
+        let union = ideal.union(&current).count();
+        if union > 0 {
+            let common = ideal.intersection(&current).count();
+            sample.drift.push((union - common) as f64 / union as f64);
+        }
+    }
+}
+
+/// Outcome of forwarding one packet hop by hop over the nodes' current
+/// routing tables across the current ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Reached the destination in this many hops.
+    Delivered(u32),
+    /// Dropped: a node had no route, its next-hop link is dead, or
+    /// forwarding looped.
+    Dropped,
+    /// Source or destination is currently powered off.
+    EndpointDown,
+}
+
+type RouteCache = BTreeMap<NodeId, BTreeMap<NodeId, qolsr_proto::RouteEntry>>;
+
+/// Forwards one packet `s → t` hop by hop: each traversed node consults
+/// its *own* current routing table, and every hop must exist in ground
+/// truth. This is the route-validity semantics shared by the churn
+/// experiment and the examples.
+pub fn probe_route<P: AdvertisePolicy>(net: &OlsrNetwork<P>, s: NodeId, t: NodeId) -> ProbeOutcome {
+    probe_route_cached(net, s, t, &mut RouteCache::new())
+}
+
+fn probe_route_cached<P: AdvertisePolicy>(
+    net: &OlsrNetwork<P>,
+    s: NodeId,
+    t: NodeId,
+    cache: &mut RouteCache,
+) -> ProbeOutcome {
+    let world = net.world();
+    if !world.is_active(s) || !world.is_active(t) {
+        return ProbeOutcome::EndpointDown;
+    }
+    let now = net.now();
+    let mut cur = s;
+    let mut hops = 0u32;
+    while cur != t {
+        hops += 1;
+        if hops as usize > world.len() {
+            return ProbeOutcome::Dropped; // forwarding loop
+        }
+        let routes = cache
+            .entry(cur)
+            .or_insert_with(|| net.node(cur).routes(now));
+        let Some(entry) = routes.get(&t) else {
+            return ProbeOutcome::Dropped; // no route known
+        };
+        if !world.has_link(cur, entry.next_hop) {
+            return ProbeOutcome::Dropped; // next hop died under the table
+        }
+        cur = entry.next_hop;
+    }
+    ProbeOutcome::Delivered(hops)
+}
+
+/// Uniform connected probe pairs from the initial topology.
+fn sample_probe_pairs(topo: &Topology, count: usize, rng: &mut SimRng) -> Vec<(NodeId, NodeId)> {
+    let components = Components::compute(topo);
+    let n = topo.len() as u64;
+    let mut pairs = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while pairs.len() < count && attempts < 4096 {
+        attempts += 1;
+        let s = NodeId(rng.next_below(n) as u32);
+        let t = NodeId(rng.next_below(n) as u32);
+        if s != t && components.connected(s, t) {
+            pairs.push((s, t));
+        }
+    }
+    pairs
+}
+
+fn curve_figure(
+    results: &[ChurnMeasures],
+    title: &str,
+    ylabel: &str,
+    extract: impl Fn(&ChurnSample) -> &OnlineStats,
+) -> Figure {
+    Figure {
+        title: title.to_owned(),
+        xlabel: "time (s)".to_owned(),
+        ylabel: ylabel.to_owned(),
+        series: results
+            .iter()
+            .map(|r| Series {
+                label: r.kind.label().to_owned(),
+                points: r
+                    .per_sample
+                    .iter()
+                    .map(|sample| {
+                        let s = extract(sample);
+                        Point {
+                            x: sample.at_secs,
+                            mean: s.mean(),
+                            ci95: s.ci95_half_width(),
+                            n: s.count(),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Route-validity-over-time figure.
+pub fn validity_figure(results: &[ChurnMeasures], title: &str) -> Figure {
+    curve_figure(
+        results,
+        title,
+        "route validity (hop-by-hop delivery)",
+        |s| &s.validity,
+    )
+}
+
+/// Advertised-staleness-over-time figure.
+pub fn staleness_figure(results: &[ChurnMeasures], title: &str) -> Figure {
+    curve_figure(results, title, "stale advertised-link fraction", |s| {
+        &s.staleness
+    })
+}
+
+/// Selection-drift-over-time figure.
+pub fn drift_figure(results: &[ChurnMeasures], title: &str) -> Figure {
+    curve_figure(
+        results,
+        title,
+        "selection drift vs current ground truth (Jaccard)",
+        |s| &s.drift,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qolsr_metrics::BandwidthMetric;
+
+    fn tiny_cfg() -> ChurnConfig {
+        ChurnConfig {
+            density: 8.0,
+            field: (300.0, 300.0),
+            warmup: SimDuration::from_secs(15),
+            dynamic: SimDuration::from_secs(20),
+            sample_every: SimDuration::from_secs(5),
+            probes: 4,
+            threads: 2,
+            seed: 3,
+            ..ChurnConfig::new(2)
+        }
+    }
+
+    #[test]
+    fn produces_curves_for_every_selector_and_sample() {
+        let cfg = tiny_cfg();
+        let kinds = [SelectorKind::Fnbp, SelectorKind::QolsrMpr2];
+        let results = churn_experiment::<BandwidthMetric>(&cfg, &kinds);
+        assert_eq!(results.len(), 2);
+        let expected_samples = cfg.sample_times().len();
+        for r in &results {
+            assert_eq!(r.per_sample.len(), expected_samples);
+            let first = &r.per_sample[0];
+            assert_eq!(first.at_secs, cfg.warmup.as_secs_f64());
+            assert!(first.validity.count() > 0, "{:?} sampled no probes", r.kind);
+            assert!(first.drift.count() > 0, "{:?} sampled no drift", r.kind);
+        }
+    }
+
+    #[test]
+    fn warmup_sample_is_converged_and_valid() {
+        let cfg = tiny_cfg();
+        let results = churn_experiment::<BandwidthMetric>(&cfg, &[SelectorKind::Fnbp]);
+        let first = &results[0].per_sample[0];
+        // Before any world change, routes must deliver and nothing is
+        // stale.
+        assert!(
+            first.validity.mean() > 0.95,
+            "warm-up validity {} too low",
+            first.validity.mean()
+        );
+        assert!(
+            first.staleness.mean() < 0.05,
+            "warm-up staleness {} too high",
+            first.staleness.mean()
+        );
+        assert!(
+            first.drift.mean() < 0.1,
+            "warm-up selection drift {} too high",
+            first.drift.mean()
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let mut one = tiny_cfg();
+        one.threads = 1;
+        let mut many = tiny_cfg();
+        many.threads = 3;
+        let a = churn_experiment::<BandwidthMetric>(&one, &[SelectorKind::Fnbp]);
+        let b = churn_experiment::<BandwidthMetric>(&many, &[SelectorKind::Fnbp]);
+        for (x, y) in a[0].per_sample.iter().zip(&b[0].per_sample) {
+            assert_eq!(x.validity.count(), y.validity.count());
+            assert_eq!(x.validity.mean(), y.validity.mean());
+            assert_eq!(x.staleness.mean(), y.staleness.mean());
+            assert_eq!(x.drift.mean(), y.drift.mean());
+        }
+    }
+
+    #[test]
+    fn figures_render() {
+        let cfg = tiny_cfg();
+        let results = churn_experiment::<BandwidthMetric>(&cfg, &[SelectorKind::Fnbp]);
+        let v = validity_figure(&results, "churn validity");
+        let s = staleness_figure(&results, "churn staleness");
+        assert_eq!(v.series.len(), 1);
+        assert!(v.render_text().contains("churn validity"));
+        assert!(s.render_csv().lines().count() >= 2);
+    }
+}

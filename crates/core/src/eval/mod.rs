@@ -8,6 +8,7 @@
 //! approach on the *same* topology and compared against the centralized
 //! Dijkstra optimum.
 
+pub mod churn;
 pub mod figures;
 pub mod robustness;
 
@@ -182,14 +183,52 @@ impl EvalConfig {
     }
 
     fn worker_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
+        resolve_workers(self.threads)
     }
+}
+
+/// Resolves a `threads` config value (0 = all available cores).
+pub(crate) fn resolve_workers(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Runs `per_run` for every run index on `workers` crossbeam-scoped
+/// threads and returns the results **in run order**, regardless of
+/// scheduling — the sharding scaffold shared by the figure and churn
+/// experiments. Keeping aggregation in run order is what makes results
+/// independent of thread count (floating-point merges are
+/// order-sensitive).
+pub(crate) fn sharded_runs<T: Send>(
+    runs: u32,
+    workers: usize,
+    per_run: impl Fn(u32) -> T + Sync,
+) -> Vec<T> {
+    let slots: Vec<parking_lot::Mutex<Option<T>>> =
+        (0..runs).map(|_| parking_lot::Mutex::new(None)).collect();
+    let next_run = AtomicU32::new(0);
+    let workers = workers.min(runs.max(1) as usize);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let run = next_run.fetch_add(1, Ordering::Relaxed);
+                if run >= runs {
+                    break;
+                }
+                *slots[run as usize].lock() = Some(per_run(run));
+            });
+        }
+    })
+    .expect("experiment workers do not panic");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every run index is processed"))
+        .collect()
 }
 
 /// Aggregated measurements of one selector at one density.
@@ -330,41 +369,23 @@ pub fn run_experiment<M: EvalMetric>(cfg: &EvalConfig, kinds: &[SelectorKind]) -
     };
 
     for (di, &density) in cfg.densities.iter().enumerate() {
-        // One result slot per run so aggregation happens in run order —
-        // floating-point merges are order-sensitive, and determinism must
-        // not depend on thread scheduling.
-        let per_run: Vec<parking_lot::Mutex<Option<Vec<DensityMeasures>>>> = (0..cfg.runs)
-            .map(|_| parking_lot::Mutex::new(None))
-            .collect();
-        let next_run = AtomicU32::new(0);
-        let workers = cfg.worker_threads().min(cfg.runs.max(1) as usize);
-
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let run = next_run.fetch_add(1, Ordering::Relaxed);
-                    if run >= cfg.runs {
-                        break;
-                    }
-                    let mut local: Vec<DensityMeasures> = kinds
-                        .iter()
-                        .map(|_| DensityMeasures {
-                            density,
-                            ..DensityMeasures::default()
-                        })
-                        .collect();
-                    single_run::<M>(
-                        cfg,
-                        density,
-                        derive_seed(cfg.seed, di, run),
-                        &selectors,
-                        &mut local,
-                    );
-                    *per_run[run as usize].lock() = Some(local);
-                });
-            }
-        })
-        .expect("experiment workers do not panic");
+        let per_run = sharded_runs(cfg.runs, cfg.worker_threads(), |run| {
+            let mut local: Vec<DensityMeasures> = kinds
+                .iter()
+                .map(|_| DensityMeasures {
+                    density,
+                    ..DensityMeasures::default()
+                })
+                .collect();
+            single_run::<M>(
+                cfg,
+                density,
+                derive_seed(cfg.seed, di, run),
+                &selectors,
+                &mut local,
+            );
+            local
+        });
 
         let mut totals: Vec<DensityMeasures> = kinds
             .iter()
@@ -373,8 +394,7 @@ pub fn run_experiment<M: EvalMetric>(cfg: &EvalConfig, kinds: &[SelectorKind]) -
                 ..DensityMeasures::default()
             })
             .collect();
-        for slot in per_run {
-            let run_measures = slot.into_inner().expect("every run index is processed");
+        for run_measures in per_run {
             for (total, m) in totals.iter_mut().zip(&run_measures) {
                 total.merge(m);
             }

@@ -32,6 +32,16 @@ pub trait AnsSelector: Send + Sync {
     fn select(&self, view: &LocalView) -> BTreeSet<NodeId>;
 }
 
+impl AnsSelector for Box<dyn AnsSelector> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn select(&self, view: &LocalView) -> BTreeSet<NodeId> {
+        (**self).select(view)
+    }
+}
+
 /// Selects the most-preferred candidate under the paper's `≺u` order —
 /// best direct-link QoS from the center, ties to the smallest id — among
 /// `candidates` (local indices of 1-hop neighbors). Returns a local index.

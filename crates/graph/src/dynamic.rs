@@ -1,0 +1,521 @@
+//! Mutable, epoch-versioned topologies for dynamic-scenario simulation.
+//!
+//! The paper evaluates neighbor selection on static Poisson deployments,
+//! but QOLSR exists for mobile ad-hoc networks where links appear and die
+//! under motion. [`DynamicTopology`] is the mutable world the simulation
+//! engine runs against: it applies [`WorldEvent`]s (link up/down, QoS
+//! drift, node motion, join/leave), bumps an epoch counter on every
+//! change, and serves per-node [`LocalView`]s from an epoch-keyed cache so
+//! repeated extraction between world changes stays cheap on the hot path.
+//!
+//! The node-id space is fixed at construction: nodes never disappear from
+//! the index range, they only toggle between active and inactive (an
+//! inactive node has no links and takes no part in the radio). This keeps
+//! dense per-node arrays — actors, RNG streams, routing tables — valid
+//! across arbitrary churn.
+//!
+//! # Examples
+//!
+//! ```
+//! use qolsr_graph::{DynamicTopology, NodeId, Point2, TopologyBuilder, WorldEvent};
+//! use qolsr_metrics::LinkQos;
+//!
+//! let mut b = TopologyBuilder::new(10.0);
+//! let a = b.add_node(Point2::new(0.0, 0.0));
+//! let c = b.add_node(Point2::new(5.0, 0.0));
+//! b.link(a, c, LinkQos::uniform(3))?;
+//! let mut world = DynamicTopology::new(&b.build());
+//!
+//! let e0 = world.epoch();
+//! assert!(world.apply(&WorldEvent::LinkDown { a, b: c }));
+//! assert!(!world.has_link(a, c));
+//! assert!(world.epoch() > e0);
+//!
+//! // Snapshots rebuild an immutable `Topology` from the surviving state.
+//! assert_eq!(world.snapshot().link_count(), 0);
+//! # Ok::<(), qolsr_graph::TopologyError>(())
+//! ```
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::Arc;
+
+use qolsr_metrics::LinkQos;
+
+use crate::compact::CompactGraph;
+use crate::geometry::Point2;
+use crate::ids::NodeId;
+use crate::topology::{Topology, TopologyBuilder};
+use crate::view::LocalView;
+
+/// One atomic change to the simulated world.
+///
+/// Events are self-contained (a `LinkUp` carries its QoS label, a `Move`
+/// its destination) so a schedule of events fully determines the world's
+/// evolution — the basis of scenario determinism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorldEvent {
+    /// The link `a—b` comes up with the given label. Ignored if either
+    /// endpoint is inactive, if `a == b`, or if the link already exists
+    /// (existing labels are *not* overwritten; use [`WorldEvent::QosChange`]).
+    LinkUp {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Label of the new link.
+        qos: LinkQos,
+    },
+    /// The link `a—b` goes down. Ignored if absent.
+    LinkDown {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The label of the existing link `a—b` changes (weight drift).
+    /// Ignored if the link does not exist.
+    QosChange {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// The new label.
+        qos: LinkQos,
+    },
+    /// Node `node` moves to `to`. Position-only: connectivity follows via
+    /// explicit link events (scenario models recompute radius links).
+    Move {
+        /// The moving node.
+        node: NodeId,
+        /// Its new position.
+        to: Point2,
+    },
+    /// Node `node` (re)joins the network. It comes back isolated; the
+    /// scenario emits `LinkUp`s for everything in radio range.
+    Join {
+        /// The joining node.
+        node: NodeId,
+    },
+    /// Node `node` leaves the network; all its incident links go down.
+    Leave {
+        /// The leaving node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for WorldEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldEvent::LinkUp { a, b, .. } => write!(f, "link-up {a}—{b}"),
+            WorldEvent::LinkDown { a, b } => write!(f, "link-down {a}—{b}"),
+            WorldEvent::QosChange { a, b, .. } => write!(f, "qos-change {a}—{b}"),
+            WorldEvent::Move { node, to } => write!(f, "move {node} -> {to}"),
+            WorldEvent::Join { node } => write!(f, "join {node}"),
+            WorldEvent::Leave { node } => write!(f, "leave {node}"),
+        }
+    }
+}
+
+type CachedView = Option<(u64, Arc<LocalView>)>;
+
+/// An epoch-versioned mutable topology (see the [module docs](self)).
+#[derive(Debug)]
+pub struct DynamicTopology {
+    graph: CompactGraph,
+    positions: Vec<Point2>,
+    active: Vec<bool>,
+    radius: f64,
+    epoch: u64,
+    views: RefCell<Vec<CachedView>>,
+}
+
+impl Clone for DynamicTopology {
+    fn clone(&self) -> Self {
+        Self {
+            graph: self.graph.clone(),
+            positions: self.positions.clone(),
+            active: self.active.clone(),
+            radius: self.radius,
+            epoch: self.epoch,
+            views: RefCell::new(vec![None; self.positions.len()]),
+        }
+    }
+}
+
+impl DynamicTopology {
+    /// Creates a dynamic world from an initial (static) topology; every
+    /// node starts active.
+    pub fn new(initial: &Topology) -> Self {
+        let n = initial.len();
+        Self {
+            graph: initial.graph().clone(),
+            positions: (0..n).map(|i| initial.position(NodeId(i as u32))).collect(),
+            active: vec![true; n],
+            radius: initial.radius(),
+            epoch: 0,
+            views: RefCell::new(vec![None; n]),
+        }
+    }
+
+    /// Number of node slots (active or not).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` if the world has no node slots.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The communication radius the world was deployed with.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The current epoch; bumped by every applied [`WorldEvent`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Iterates over all node ids (active or not).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.positions.len() as u32).map(NodeId)
+    }
+
+    /// Returns `true` if `n` is currently part of the network.
+    pub fn is_active(&self, n: NodeId) -> bool {
+        self.active[n.index()]
+    }
+
+    /// Number of currently active nodes.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Current position of `n` (tracked even while inactive).
+    pub fn position(&self, n: NodeId) -> Point2 {
+        self.positions[n.index()]
+    }
+
+    /// The current adjacency graph; node `i` is `NodeId(i)`.
+    pub fn graph(&self) -> &CompactGraph {
+        &self.graph
+    }
+
+    /// Current neighbors of `n` with link QoS, ascending by id.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (NodeId, LinkQos)> + '_ {
+        self.graph
+            .neighbors(n.0)
+            .iter()
+            .map(|&(m, qos)| (NodeId(m), qos))
+    }
+
+    /// Current degree of `n`.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.graph.degree(n.0)
+    }
+
+    /// QoS label of the link `a—b`, if it currently exists.
+    pub fn link_qos(&self, a: NodeId, b: NodeId) -> Option<LinkQos> {
+        self.graph.qos(a.0, b.0)
+    }
+
+    /// Returns `true` if the link `a—b` currently exists.
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.graph.has_edge(a.0, b.0)
+    }
+
+    /// Current number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Applies one event. Returns `true` if the world actually changed
+    /// (and the epoch advanced); no-op events — duplicate link-ups,
+    /// removals of absent links, joins of active nodes — return `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event references a node id outside the world.
+    pub fn apply(&mut self, ev: &WorldEvent) -> bool {
+        let changed = match *ev {
+            WorldEvent::LinkUp { a, b, qos } => {
+                if a == b
+                    || !self.active[a.index()]
+                    || !self.active[b.index()]
+                    || self.graph.has_edge(a.0, b.0)
+                {
+                    false
+                } else {
+                    self.graph.add_undirected(a.0, b.0, qos);
+                    true
+                }
+            }
+            WorldEvent::LinkDown { a, b } => self.graph.remove_undirected(a.0, b.0).is_some(),
+            WorldEvent::QosChange { a, b, qos } => {
+                if self.graph.qos(a.0, b.0).is_some_and(|old| old != qos) {
+                    self.graph.add_undirected(a.0, b.0, qos);
+                    true
+                } else {
+                    false
+                }
+            }
+            WorldEvent::Move { node, to } => {
+                let slot = &mut self.positions[node.index()];
+                if *slot == to {
+                    false
+                } else {
+                    *slot = to;
+                    true
+                }
+            }
+            WorldEvent::Join { node } => {
+                let slot = &mut self.active[node.index()];
+                if *slot {
+                    false
+                } else {
+                    *slot = true;
+                    true
+                }
+            }
+            WorldEvent::Leave { node } => {
+                if !self.active[node.index()] {
+                    false
+                } else {
+                    self.active[node.index()] = false;
+                    let incident: Vec<u32> = self
+                        .graph
+                        .neighbors(node.0)
+                        .iter()
+                        .map(|&(m, _)| m)
+                        .collect();
+                    for m in incident {
+                        self.graph.remove_undirected(node.0, m);
+                    }
+                    true
+                }
+            }
+        };
+        if changed {
+            self.epoch += 1;
+        }
+        changed
+    }
+
+    /// Applies a batch of events; returns how many changed the world.
+    pub fn apply_all<'a>(&mut self, events: impl IntoIterator<Item = &'a WorldEvent>) -> usize {
+        events.into_iter().filter(|ev| self.apply(ev)).count()
+    }
+
+    /// The current local view `G_u` of node `u`, extracted from ground
+    /// truth and cached per `(node, epoch)`: repeated calls between world
+    /// changes return the same `Arc` without re-extraction.
+    pub fn local_view(&self, u: NodeId) -> Arc<LocalView> {
+        let mut views = self.views.borrow_mut();
+        let slot = &mut views[u.index()];
+        if let Some((epoch, view)) = slot {
+            if *epoch == self.epoch {
+                return Arc::clone(view);
+            }
+        }
+        let view = Arc::new(LocalView::extract_graph(&self.graph, u));
+        *slot = Some((self.epoch, Arc::clone(&view)));
+        view
+    }
+
+    /// Rebuilds an immutable [`Topology`] from the current state. Inactive
+    /// nodes keep their id slot but are isolated, so node ids line up with
+    /// the dynamic world's.
+    pub fn snapshot(&self) -> Topology {
+        let mut b = TopologyBuilder::new(self.radius);
+        for &p in &self.positions {
+            b.add_node(p);
+        }
+        for (a, c, qos) in self.graph.edges() {
+            b.link(NodeId(a), NodeId(c), qos)
+                .expect("dynamic world edges reference valid nodes");
+        }
+        b.build()
+    }
+}
+
+impl From<Topology> for DynamicTopology {
+    fn from(topo: Topology) -> Self {
+        Self::new(&topo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qos(w: u64) -> LinkQos {
+        LinkQos::uniform(w)
+    }
+
+    /// Triangle 0—1—2—0 with radius 10.
+    fn triangle() -> DynamicTopology {
+        let mut b = TopologyBuilder::new(10.0);
+        let n0 = b.add_node(Point2::new(0.0, 0.0));
+        let n1 = b.add_node(Point2::new(5.0, 0.0));
+        let n2 = b.add_node(Point2::new(0.0, 5.0));
+        b.link(n0, n1, qos(1)).unwrap();
+        b.link(n1, n2, qos(2)).unwrap();
+        b.link(n2, n0, qos(3)).unwrap();
+        DynamicTopology::new(&b.build())
+    }
+
+    #[test]
+    fn starts_identical_to_initial_topology() {
+        let world = triangle();
+        assert_eq!(world.len(), 3);
+        assert_eq!(world.link_count(), 3);
+        assert_eq!(world.active_count(), 3);
+        assert_eq!(world.epoch(), 0);
+        assert_eq!(world.link_qos(NodeId(1), NodeId(2)), Some(qos(2)));
+    }
+
+    #[test]
+    fn link_events_mutate_and_bump_epoch() {
+        let mut world = triangle();
+        assert!(world.apply(&WorldEvent::LinkDown {
+            a: NodeId(0),
+            b: NodeId(1)
+        }));
+        assert_eq!(world.epoch(), 1);
+        assert!(!world.has_link(NodeId(0), NodeId(1)));
+        // Removing again is a no-op.
+        assert!(!world.apply(&WorldEvent::LinkDown {
+            a: NodeId(0),
+            b: NodeId(1)
+        }));
+        assert_eq!(world.epoch(), 1);
+        // Bring it back with a new label.
+        assert!(world.apply(&WorldEvent::LinkUp {
+            a: NodeId(0),
+            b: NodeId(1),
+            qos: qos(9)
+        }));
+        assert_eq!(world.link_qos(NodeId(0), NodeId(1)), Some(qos(9)));
+    }
+
+    #[test]
+    fn link_up_never_overwrites_existing_labels() {
+        let mut world = triangle();
+        assert!(!world.apply(&WorldEvent::LinkUp {
+            a: NodeId(0),
+            b: NodeId(1),
+            qos: qos(7)
+        }));
+        assert_eq!(world.link_qos(NodeId(0), NodeId(1)), Some(qos(1)));
+        assert!(world.apply(&WorldEvent::QosChange {
+            a: NodeId(0),
+            b: NodeId(1),
+            qos: qos(7)
+        }));
+        assert_eq!(world.link_qos(NodeId(0), NodeId(1)), Some(qos(7)));
+        // QosChange on a missing link is ignored.
+        world.apply(&WorldEvent::LinkDown {
+            a: NodeId(1),
+            b: NodeId(2),
+        });
+        assert!(!world.apply(&WorldEvent::QosChange {
+            a: NodeId(1),
+            b: NodeId(2),
+            qos: qos(7)
+        }));
+        assert!(!world.has_link(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn leave_drops_incident_links_join_restores_isolated() {
+        let mut world = triangle();
+        assert!(world.apply(&WorldEvent::Leave { node: NodeId(1) }));
+        assert!(!world.is_active(NodeId(1)));
+        assert_eq!(world.link_count(), 1); // only 0—2 survives
+        assert_eq!(world.degree(NodeId(1)), 0);
+        // Link-ups touching a dead node are ignored.
+        assert!(!world.apply(&WorldEvent::LinkUp {
+            a: NodeId(0),
+            b: NodeId(1),
+            qos: qos(1)
+        }));
+        assert!(world.apply(&WorldEvent::Join { node: NodeId(1) }));
+        assert!(world.is_active(NodeId(1)));
+        assert_eq!(world.degree(NodeId(1)), 0, "rejoin must come back isolated");
+        assert!(world.apply(&WorldEvent::LinkUp {
+            a: NodeId(0),
+            b: NodeId(1),
+            qos: qos(4)
+        }));
+        assert_eq!(world.link_count(), 2);
+    }
+
+    #[test]
+    fn moves_update_positions_only() {
+        let mut world = triangle();
+        let links = world.link_count();
+        assert!(world.apply(&WorldEvent::Move {
+            node: NodeId(0),
+            to: Point2::new(100.0, 100.0)
+        }));
+        assert_eq!(world.position(NodeId(0)), Point2::new(100.0, 100.0));
+        assert_eq!(world.link_count(), links, "moves never touch links");
+        // Moving to the same spot is a no-op.
+        assert!(!world.apply(&WorldEvent::Move {
+            node: NodeId(0),
+            to: Point2::new(100.0, 100.0)
+        }));
+    }
+
+    #[test]
+    fn local_views_are_cached_per_epoch() {
+        let mut world = triangle();
+        let v1 = world.local_view(NodeId(0));
+        let v2 = world.local_view(NodeId(0));
+        assert!(Arc::ptr_eq(&v1, &v2), "same epoch must share the view");
+        world.apply(&WorldEvent::LinkDown {
+            a: NodeId(0),
+            b: NodeId(1),
+        });
+        let v3 = world.local_view(NodeId(0));
+        assert!(!Arc::ptr_eq(&v1, &v3), "epoch bump must invalidate");
+        assert_eq!(v3.one_hop().collect::<Vec<_>>(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn views_match_snapshot_extraction() {
+        let mut world = triangle();
+        world.apply(&WorldEvent::LinkDown {
+            a: NodeId(1),
+            b: NodeId(2),
+        });
+        let snap = world.snapshot();
+        for n in world.nodes() {
+            let dynamic = world.local_view(n);
+            let fresh = LocalView::extract(&snap, n);
+            assert!(dynamic.same_knowledge(&fresh), "node {n} view diverges");
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let world = triangle();
+        let snap = world.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.graph(), world.graph());
+        assert_eq!(snap.radius(), world.radius());
+        assert_eq!(snap.position(NodeId(2)), world.position(NodeId(2)));
+    }
+
+    #[test]
+    fn display_names_events() {
+        let ev = WorldEvent::LinkDown {
+            a: NodeId(0),
+            b: NodeId(1),
+        };
+        assert_eq!(ev.to_string(), "link-down n0—n1");
+        assert_eq!(WorldEvent::Join { node: NodeId(3) }.to_string(), "join n3");
+    }
+}

@@ -11,6 +11,9 @@
 //!   weights;
 //! * [`LocalView`] — the partial graph `G_u = (V_u, E_u)` a node learns
 //!   from HELLO exchanges (its 1-hop and 2-hop neighborhood);
+//! * [`DynamicTopology`] — the epoch-versioned mutable world behind
+//!   mobility/churn scenarios, mutated by [`WorldEvent`]s and serving
+//!   epoch-cached local views;
 //! * [`paths`] — metric-generic best-path Dijkstra (additive *and*
 //!   concave/bottleneck), **exact first-hop sets** `fP(u,v)` over simple
 //!   paths, and a brute-force enumerator used to cross-check them;
@@ -43,6 +46,7 @@
 mod compact;
 pub mod connectivity;
 pub mod deploy;
+pub mod dynamic;
 pub mod fixtures;
 mod geometry;
 mod ids;
@@ -52,6 +56,7 @@ mod topology;
 mod view;
 
 pub use compact::CompactGraph;
+pub use dynamic::{DynamicTopology, WorldEvent};
 pub use geometry::Point2;
 pub use ids::NodeId;
 pub use topology::{Topology, TopologyBuilder, TopologyError};

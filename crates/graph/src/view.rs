@@ -66,20 +66,38 @@ impl LocalView {
     ///
     /// Panics if `u` is not a node of `topo`.
     pub fn extract(topo: &Topology, u: NodeId) -> Self {
-        assert!(u.index() < topo.len(), "center not in topology");
+        Self::extract_graph(topo.graph(), u)
+    }
+
+    /// Extracts the local view of `u` from a whole-network adjacency graph
+    /// whose dense indices *are* the global node ids (as in
+    /// [`Topology::graph`] and
+    /// [`DynamicTopology::graph`](crate::DynamicTopology::graph)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a node of `graph`.
+    pub fn extract_graph(graph: &CompactGraph, u: NodeId) -> Self {
+        assert!(u.index() < graph.len(), "center not in topology");
+        let nbrs = |n: NodeId| {
+            graph
+                .neighbors(n.0)
+                .iter()
+                .map(|&(m, qos)| (NodeId(m), qos))
+        };
 
         // V_u, sorted ascending by global id.
-        let mut one_hop: Vec<NodeId> = topo.neighbors(u).map(|(n, _)| n).collect();
+        let mut one_hop: Vec<NodeId> = nbrs(u).map(|(n, _)| n).collect();
         one_hop.sort_unstable();
         let mut two_hop: Vec<NodeId> = Vec::new();
         {
-            let mut is_one_hop = vec![false; topo.len()];
+            let mut is_one_hop = vec![false; graph.len()];
             for &n in &one_hop {
                 is_one_hop[n.index()] = true;
             }
-            let mut seen = vec![false; topo.len()];
+            let mut seen = vec![false; graph.len()];
             for &v in &one_hop {
-                for (w, _) in topo.neighbors(v) {
+                for (w, _) in nbrs(v) {
                     if w != u && !is_one_hop[w.index()] && !seen[w.index()] {
                         seen[w.index()] = true;
                         two_hop.push(w);
@@ -108,12 +126,12 @@ impl LocalView {
 
         // E_u: every topology edge incident to a 1-hop neighbor whose other
         // endpoint lies in V_u. `add_undirected` dedups re-insertions.
-        let mut graph = CompactGraph::with_nodes(nodes.len());
+        let mut local = CompactGraph::with_nodes(nodes.len());
         for &v in &one_hop {
             let lv = index[&v];
-            for (w, qos) in topo.neighbors(v) {
+            for (w, qos) in nbrs(v) {
                 if let Some(&lw) = index.get(&w) {
-                    graph.add_undirected(lv, lw, qos);
+                    local.add_undirected(lv, lw, qos);
                 }
             }
         }
@@ -125,7 +143,7 @@ impl LocalView {
             nodes,
             class,
             index,
-            graph,
+            graph: local,
         }
     }
 

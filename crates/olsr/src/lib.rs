@@ -59,3 +59,4 @@ pub mod wire;
 
 pub use config::OlsrConfig;
 pub use node::{AdvertisePolicy, MprSelectorPolicy, OlsrNode};
+pub use routing::RouteEntry;

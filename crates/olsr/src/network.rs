@@ -1,12 +1,11 @@
 //! Whole-network harness: run an OLSR network over the discrete-event
-//! engine and extract converged protocol state.
-
-use std::collections::BTreeMap;
+//! engine — optionally under a mobility/churn scenario — and extract
+//! converged protocol state.
 
 use bytes::Bytes;
-use qolsr_graph::{LocalView, NodeId, Topology};
+use qolsr_graph::{DynamicTopology, LocalView, NodeId, Topology};
 use qolsr_metrics::LinkQos;
-use qolsr_sim::{RadioConfig, SimDuration, SimTime, Simulator};
+use qolsr_sim::{RadioConfig, Scenario, SimDuration, SimTime, Simulator};
 
 use crate::config::OlsrConfig;
 use crate::node::{AdvertisePolicy, MprSelectorPolicy, NodeStats, OlsrNode};
@@ -32,7 +31,10 @@ impl OlsrNetwork<MprSelectorPolicy> {
 
 impl<P: AdvertisePolicy> OlsrNetwork<P> {
     /// Builds a network with explicit configuration; `policy` constructs
-    /// each node's [`AdvertisePolicy`].
+    /// each node's [`AdvertisePolicy`]. Nodes measure link QoS per
+    /// received HELLO through the engine, so no out-of-band QoS
+    /// configuration is needed — and none goes stale when the world
+    /// changes.
     pub fn new(
         topology: Topology,
         config: OlsrConfig,
@@ -40,21 +42,32 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
         seed: u64,
         mut policy: impl FnMut(NodeId) -> P,
     ) -> Self {
-        // Hand every node its measured incident-link QoS (the paper scopes
-        // measurement out; the simulator provides ground truth).
-        let incidents: Vec<BTreeMap<NodeId, LinkQos>> = topology
-            .nodes()
-            .map(|n| topology.neighbors(n).collect())
-            .collect();
         let sim = Simulator::new(topology, radio, seed, |id| {
-            OlsrNode::new(id, incidents[id.index()].clone(), config, policy(id))
+            OlsrNode::new(id, config, policy(id))
         });
         Self { sim }
+    }
+
+    /// Schedules a generated mobility/churn scenario into the engine's
+    /// world-event stream, starting at virtual time zero.
+    pub fn install_scenario(&mut self, scenario: &Scenario) {
+        scenario.install(&mut self.sim);
+    }
+
+    /// Schedules a scenario shifted to begin at `start` (warm up the
+    /// protocol on the static world first, then let it move).
+    pub fn install_scenario_at(&mut self, scenario: &Scenario, start: SimTime) {
+        scenario.install_at(&mut self.sim, start);
     }
 
     /// Advances the simulation by `d`.
     pub fn run_for(&mut self, d: SimDuration) {
         self.sim.run_for(d);
+    }
+
+    /// Advances the simulation up to the absolute instant `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
     }
 
     /// Current virtual time.
@@ -67,9 +80,20 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
         &self.sim
     }
 
-    /// The simulated ground-truth topology.
-    pub fn topology(&self) -> &Topology {
-        self.sim.topology()
+    /// Mutable access to the underlying simulator (e.g. to schedule world
+    /// events directly).
+    pub fn sim_mut(&mut self) -> &mut Simulator<OlsrNode<P>> {
+        &mut self.sim
+    }
+
+    /// The current ground-truth world.
+    pub fn world(&self) -> &DynamicTopology {
+        self.sim.world()
+    }
+
+    /// An immutable snapshot of the current ground-truth topology.
+    pub fn topology(&self) -> Topology {
+        self.sim.world().snapshot()
     }
 
     /// The protocol node of `n`.
@@ -194,6 +218,69 @@ mod tests {
         // On a line, each interior node must be an MPR of its neighbors.
         let sel1 = net.node(NodeId(1)).mpr_selectors(net.now());
         assert!(sel1.contains(&NodeId(0)) && sel1.contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn routes_reconverge_after_scheduled_link_break() {
+        use qolsr_graph::WorldEvent;
+
+        // Line 0—1—2—3—4 plus a detour link 1—3, so traffic 0→4 can
+        // reroute when 2 fails out of the path.
+        let mut b = TopologyBuilder::new(25.0);
+        let ids: Vec<NodeId> = (0..5)
+            .map(|i| b.add_node(Point2::new(10.0 * i as f64, 0.0)))
+            .collect();
+        for w in ids.windows(2) {
+            b.link(w[0], w[1], LinkQos::uniform(2)).unwrap();
+        }
+        b.link(ids[1], ids[3], LinkQos::uniform(1)).unwrap();
+        let mut net = OlsrNetwork::with_defaults(b.build(), 13);
+
+        net.run_for(SimDuration::from_secs(20));
+        let routes = net.node(NodeId(0)).routes(net.now());
+        assert_eq!(routes.get(&NodeId(4)).expect("route").hops, 3); // 0-1-3-4
+
+        // The detour dies: routing must fall back to the 4-hop line.
+        net.sim.schedule_world(
+            net.now(),
+            WorldEvent::LinkDown {
+                a: NodeId(1),
+                b: NodeId(3),
+            },
+        );
+        net.run_for(SimDuration::from_secs(20));
+        let routes = net.node(NodeId(0)).routes(net.now());
+        let r = routes.get(&NodeId(4)).expect("route after re-convergence");
+        assert_eq!(r.hops, 4, "must re-converge onto the line");
+        assert!(!net.world().has_link(NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn new_links_are_measured_and_used() {
+        use qolsr_graph::WorldEvent;
+
+        // Disconnected pair comes into range mid-run: the nodes must
+        // discover each other purely through receive-time measurement.
+        let mut b = TopologyBuilder::new(15.0);
+        let a = b.add_node(Point2::new(0.0, 0.0));
+        let c = b.add_node(Point2::new(100.0, 0.0));
+        let mut net = OlsrNetwork::with_defaults(b.build(), 17);
+        net.run_for(SimDuration::from_secs(5));
+        assert!(net.symmetric_neighbors(a).is_empty());
+
+        net.sim.schedule_world(
+            net.now(),
+            WorldEvent::LinkUp {
+                a,
+                b: c,
+                qos: LinkQos::uniform(6),
+            },
+        );
+        net.run_for(SimDuration::from_secs(10));
+        assert_eq!(net.symmetric_neighbors(a), vec![c]);
+        let view = net.local_view(a);
+        let lc = view.local_index(c).expect("c in view");
+        assert_eq!(view.direct_qos(lc), Some(LinkQos::uniform(6)));
     }
 
     #[test]

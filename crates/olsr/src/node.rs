@@ -69,15 +69,16 @@ pub struct NodeStats {
 /// An OLSR node: link sensing, MPR selection, MPR flooding of TCs, and a
 /// pluggable [`AdvertisePolicy`] for the TC content.
 ///
-/// Link QoS is provided through the `incident` map at construction —
-/// standing in for the measurement machinery the paper scopes out
-/// ("the computation of these metrics is out of the scope of this
-/// paper").
+/// Link QoS is *measured at receive time* through
+/// [`Context::link_qos`] — the engine's stand-in for the measurement
+/// machinery the paper scopes out ("the computation of these metrics is
+/// out of the scope of this paper"). Because measurement happens per
+/// HELLO, nodes track QoS drift and newly appearing links in dynamic
+/// scenarios without any out-of-band configuration.
 #[derive(Debug)]
 pub struct OlsrNode<P> {
     id: NodeId,
     config: OlsrConfig,
-    incident: BTreeMap<NodeId, LinkQos>,
     neighbors: NeighborTables,
     topology: TopologyBase,
     duplicates: DuplicateSet,
@@ -90,18 +91,11 @@ pub struct OlsrNode<P> {
 }
 
 impl<P: AdvertisePolicy> OlsrNode<P> {
-    /// Creates a node with the given identity, measured incident link QoS
-    /// and advertise policy.
-    pub fn new(
-        id: NodeId,
-        incident: BTreeMap<NodeId, LinkQos>,
-        config: OlsrConfig,
-        policy: P,
-    ) -> Self {
+    /// Creates a node with the given identity and advertise policy.
+    pub fn new(id: NodeId, config: OlsrConfig, policy: P) -> Self {
         Self {
             id,
             config,
-            incident,
             neighbors: NeighborTables::new(),
             topology: TopologyBase::new(),
             duplicates: DuplicateSet::new(),
@@ -231,10 +225,16 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
         let selectors = self.neighbors.mpr_selectors(now);
         let ans = self.policy.advertised_set(&view, &selectors);
 
+        // ANS members are 1-hop neighbors; advertise the QoS most recently
+        // measured for them (from the link tuples HELLOs refresh).
+        let measured: BTreeMap<NodeId, LinkQos> = self
+            .neighbors
+            .symmetric_neighbors(now)
+            .into_iter()
+            .collect();
         let mut advertised: Vec<(NodeId, LinkQos)> = Vec::with_capacity(ans.len());
         for n in ans {
-            // ANS members are 1-hop neighbors; their link QoS is measured.
-            if let Some(&qos) = self.incident.get(&n) {
+            if let Some(&qos) = measured.get(&n) {
                 advertised.push((n, qos));
             }
         }
@@ -259,13 +259,21 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
         self.transmit(ctx, &msg);
     }
 
-    fn handle_message(&mut self, ctx: &mut Context<'_, Bytes>, from: NodeId, msg: Message) {
+    fn handle_message(
+        &mut self,
+        ctx: &mut Context<'_, Bytes>,
+        from: NodeId,
+        raw: &Bytes,
+        msg: Message,
+    ) {
         let now = ctx.now();
         match &msg.body {
             Body::Hello(hello) => {
                 self.stats.hello_received += 1;
-                let Some(&qos) = self.incident.get(&from) else {
-                    return; // not a radio neighbor: cannot measure the link
+                // Measure the link at receive time; a frame that was
+                // in flight when its link died is not a measurement.
+                let Some(qos) = ctx.link_qos(from) else {
+                    return; // not a radio neighbor right now
                 };
                 let hold = now + self.config.neighbor_hold_time();
                 self.neighbors
@@ -294,6 +302,8 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
                 }
                 // MPR forwarding rule: retransmit iff the sender selected
                 // us as MPR and we have not forwarded this message yet.
+                // The retransmission patches the received buffer (ttl−1,
+                // hops+1) instead of re-encoding the whole body.
                 let selectors = self.neighbors.mpr_selectors(now);
                 if msg.ttl > 1
                     && selectors.contains(&from)
@@ -301,14 +311,11 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
                         .duplicates
                         .mark_forwarded(msg.originator, msg.seq, dup_hold)
                 {
-                    let fwd = Message {
-                        ttl: msg.ttl - 1,
-                        hop_count: msg.hop_count + 1,
-                        body: msg.body.clone(),
-                        ..msg
-                    };
-                    self.stats.tc_forwarded += 1;
-                    self.transmit(ctx, &fwd);
+                    if let Some(fwd) = wire::forward(raw) {
+                        self.stats.tc_forwarded += 1;
+                        self.stats.bytes_sent += fwd.len() as u64;
+                        ctx.broadcast(fwd);
+                    }
                 }
             }
         }
@@ -354,12 +361,24 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Bytes>, from: NodeId, bytes: Bytes) {
-        match wire::decode(bytes) {
-            Ok(msg) => self.handle_message(ctx, from, msg),
+        match wire::decode(bytes.clone()) {
+            Ok(msg) => self.handle_message(ctx, from, &bytes, msg),
             Err(_) => {
                 self.stats.decode_errors += 1;
             }
         }
+    }
+
+    fn on_reset(&mut self) {
+        // The node rebooted (scenario leave/rejoin): all protocol state
+        // is gone. `msg_seq` and `ansn` survive so peers holding
+        // duplicate-set or ANSN entries from the previous life do not
+        // discard the new one's messages; `stats` stays cumulative.
+        self.neighbors = NeighborTables::new();
+        self.topology = TopologyBase::new();
+        self.duplicates = DuplicateSet::new();
+        self.mprs = BTreeSet::new();
+        self.last_ans = Vec::new();
     }
 }
 
@@ -378,15 +397,24 @@ mod tests {
 
     #[test]
     fn node_construction() {
-        let node = OlsrNode::new(
-            NodeId(4),
-            BTreeMap::new(),
-            OlsrConfig::default(),
-            MprSelectorPolicy,
-        );
+        let node = OlsrNode::new(NodeId(4), OlsrConfig::default(), MprSelectorPolicy);
         assert_eq!(node.id(), NodeId(4));
         assert!(node.mpr_set().is_empty());
         assert!(node.advertised().is_empty());
         assert_eq!(node.stats(), NodeStats::default());
+    }
+
+    #[test]
+    fn reset_clears_protocol_state_but_keeps_sequence_numbers() {
+        let mut node = OlsrNode::new(NodeId(1), OlsrConfig::default(), MprSelectorPolicy);
+        node.msg_seq = 41;
+        node.ansn = 7;
+        node.mprs.insert(NodeId(2));
+        node.last_ans.push((NodeId(2), LinkQos::uniform(1)));
+        node.on_reset();
+        assert!(node.mpr_set().is_empty());
+        assert!(node.advertised().is_empty());
+        assert_eq!(node.next_seq(), 42, "msg_seq survives reboot");
+        assert_eq!(node.ansn, 7, "ansn survives reboot");
     }
 }

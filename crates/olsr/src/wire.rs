@@ -99,6 +99,33 @@ pub fn encoded_len(msg: &Message) -> usize {
     }
 }
 
+/// Byte offset of `ttl` in the fixed header (`kind + originator + seq`).
+const TTL_OFFSET: usize = 1 + 4 + 2;
+/// Byte offset of `hop_count` (directly after `ttl`).
+const HOP_OFFSET: usize = TTL_OFFSET + 1;
+
+/// Produces the forwarded copy of an already-encoded message: one buffer
+/// copy with `ttl` decremented and `hop_count` incremented in place.
+///
+/// This is the flooding hot path: an MPR retransmits the *same* body it
+/// received, so re-encoding the whole message (the old path:
+/// decode → clone body → encode) is pure waste — only two header bytes
+/// change. Returns `None` when the TTL is exhausted (`ttl <= 1`) or the
+/// buffer is too short to be a message.
+pub fn forward(bytes: &Bytes) -> Option<Bytes> {
+    if bytes.len() <= HOP_OFFSET {
+        return None;
+    }
+    let ttl = bytes[TTL_OFFSET];
+    if ttl <= 1 {
+        return None;
+    }
+    let mut copy = BytesMut::from(bytes.as_ref());
+    copy[TTL_OFFSET] = ttl - 1;
+    copy[HOP_OFFSET] = copy[HOP_OFFSET].saturating_add(1);
+    Some(copy.freeze())
+}
+
 /// Decodes a message from bytes.
 ///
 /// # Errors
@@ -237,6 +264,35 @@ mod tests {
         let bytes = encode(&msg);
         assert_eq!(bytes.len(), encoded_len(&msg));
         assert_eq!(decode(bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn forward_patches_only_ttl_and_hops() {
+        let msg = sample_tc();
+        let bytes = encode(&msg);
+        let fwd = forward(&bytes).expect("ttl 255 is forwardable");
+        let decoded = decode(fwd).unwrap();
+        assert_eq!(decoded.ttl, msg.ttl - 1);
+        assert_eq!(decoded.hop_count, msg.hop_count + 1);
+        assert_eq!(decoded.originator, msg.originator);
+        assert_eq!(decoded.seq, msg.seq);
+        assert_eq!(decoded.body, msg.body);
+        // Matches the slow path exactly.
+        let slow = Message {
+            ttl: msg.ttl - 1,
+            hop_count: msg.hop_count + 1,
+            body: msg.body.clone(),
+            ..msg
+        };
+        assert_eq!(forward(&bytes).unwrap(), encode(&slow));
+    }
+
+    #[test]
+    fn forward_stops_at_ttl_one() {
+        let mut msg = sample_tc();
+        msg.ttl = 1;
+        assert_eq!(forward(&encode(&msg)), None);
+        assert_eq!(forward(&Bytes::from(&[1u8, 2][..])), None);
     }
 
     #[test]

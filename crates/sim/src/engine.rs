@@ -1,9 +1,16 @@
 //! The actor-based discrete-event engine and its ideal-MAC radio model.
+//!
+//! The engine runs against a *mutable* world: a scheduled stream of
+//! [`WorldEvent`]s (link up/down, QoS drift, motion, node churn) is
+//! interleaved with actor events in the same `(time, sequence)` order, so
+//! a scenario's topology dynamics and the protocol's reaction to them
+//! replay identically from a seed.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use qolsr_graph::{NodeId, Topology};
+use qolsr_graph::{DynamicTopology, NodeId, Topology, WorldEvent};
+use qolsr_metrics::LinkQos;
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -34,6 +41,13 @@ pub trait Actor {
 
     /// Called when a message transmitted by a radio neighbor arrives.
     fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when the node rejoins the network after a scenario
+    /// [`WorldEvent::Leave`] (which models power-off: all pending timers
+    /// and in-flight deliveries of the previous life are cancelled).
+    /// Implementations should drop protocol state here; [`Actor::on_start`]
+    /// runs again immediately afterwards.
+    fn on_reset(&mut self) {}
 }
 
 /// Ideal-MAC radio parameters: every transmission reaches its
@@ -70,6 +84,7 @@ enum Effect<M> {
 pub struct Context<'a, M> {
     now: SimTime,
     node: NodeId,
+    world: &'a DynamicTopology,
     rng: &'a mut SimRng,
     effects: &'a mut Vec<Effect<M>>,
     stop: &'a mut bool,
@@ -84,6 +99,22 @@ impl<M> Context<'_, M> {
     /// The id of the node this handler runs on.
     pub fn node_id(&self) -> NodeId {
         self.node
+    }
+
+    /// Measures the current QoS of the link from this node to `to`, or
+    /// `None` if no such link exists right now. This is the radio-layer
+    /// link measurement the paper scopes out ("the computation of these
+    /// metrics is out of the scope of this paper"): the simulator provides
+    /// ground truth at the instant of the call, so protocols see QoS drift
+    /// and link churn as they would through a real measurement module.
+    pub fn link_qos(&self, to: NodeId) -> Option<LinkQos> {
+        self.world.link_qos(self.node, to)
+    }
+
+    /// Current radio neighbors of this node with measured link QoS,
+    /// ascending by id.
+    pub fn radio_neighbors(&self) -> Vec<(NodeId, LinkQos)> {
+        self.world.neighbors(self.node).collect()
     }
 
     /// This node's private deterministic random stream.
@@ -119,12 +150,17 @@ enum EventKind<M> {
     Start,
     Timer(TimerId),
     Deliver { from: NodeId, msg: M },
+    World(WorldEvent),
 }
 
 struct Scheduled<M> {
     time: SimTime,
     seq: u64,
     node: NodeId,
+    /// The node generation this event belongs to; events from a previous
+    /// life (before a `Leave`) are dropped at dispatch. World events
+    /// always dispatch (`u32::MAX` sentinel, never compared).
+    generation: u32,
     kind: EventKind<M>,
 }
 
@@ -149,7 +185,7 @@ impl<M> Ord for Scheduled<M> {
 /// Engine statistics.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SimStats {
-    /// Events dispatched (start + timer + delivery).
+    /// Events dispatched (start + timer + delivery + world).
     pub events: u64,
     /// Broadcast transmissions requested.
     pub broadcasts: u64,
@@ -162,18 +198,30 @@ pub struct SimStats {
     pub dropped_unicasts: u64,
     /// Timer firings.
     pub timers: u64,
+    /// World events applied that actually changed the topology.
+    pub world_changes: u64,
+    /// Actor events dropped because the node left the network in the
+    /// meantime (stale timers and in-flight deliveries of a previous
+    /// life).
+    pub stale_dropped: u64,
 }
 
 /// The discrete-event simulator: one [`Actor`] per topology node, an
-/// event queue ordered by `(time, sequence)`, and the ideal-MAC radio.
+/// event queue ordered by `(time, sequence)` interleaving actor events
+/// with scheduled [`WorldEvent`]s, and the ideal-MAC radio over the
+/// resulting [`DynamicTopology`].
 ///
 /// Determinism: all randomness flows from the construction seed (each node
-/// receives a split stream), and simultaneous events dispatch in schedule
-/// order, so identical inputs yield identical executions.
+/// receives a split stream), world events are applied at fixed scheduled
+/// instants, and simultaneous events dispatch in schedule order, so
+/// identical inputs yield identical executions.
 pub struct Simulator<A: Actor> {
-    topology: Topology,
+    world: DynamicTopology,
     radio: RadioConfig,
     actors: Vec<A>,
+    /// Per-node lifetime counter; bumped when the node leaves the network
+    /// so pending events of the old life are dropped at dispatch.
+    generations: Vec<u32>,
     rngs: Vec<SimRng>,
     engine_rng: SimRng,
     queue: BinaryHeap<std::cmp::Reverse<Scheduled<A::Msg>>>,
@@ -198,9 +246,10 @@ impl<A: Actor> Simulator<A> {
         let actors: Vec<A> = topology.nodes().map(&mut build).collect();
         let rngs: Vec<SimRng> = (0..n).map(|_| engine_rng.split()).collect();
         let mut sim = Self {
-            topology,
+            world: DynamicTopology::new(&topology),
             radio,
             actors,
+            generations: vec![0; n],
             rngs,
             engine_rng,
             queue: BinaryHeap::new(),
@@ -210,21 +259,45 @@ impl<A: Actor> Simulator<A> {
             stop: false,
             trace: None,
         };
-        for node in sim.topology.nodes() {
+        for node in sim.world.nodes() {
             sim.push(SimTime::ZERO, node, EventKind::Start);
         }
         sim
     }
 
     fn push(&mut self, time: SimTime, node: NodeId, kind: EventKind<A::Msg>) {
+        let generation = match kind {
+            EventKind::World(_) => u32::MAX,
+            _ => self.generations[node.index()],
+        };
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(std::cmp::Reverse(Scheduled {
             time,
             seq,
             node,
+            generation,
             kind,
         }));
+    }
+
+    /// Schedules a world event for application at virtual time `at`
+    /// (clamped to now). Events scheduled for the same instant apply in
+    /// scheduling order, interleaved with actor events by `(time, seq)`.
+    pub fn schedule_world(&mut self, at: SimTime, event: WorldEvent) {
+        let at = at.max(self.now);
+        self.push(at, NodeId(0), EventKind::World(event));
+    }
+
+    /// Schedules a whole stream of timed world events (e.g. a generated
+    /// scenario schedule).
+    pub fn schedule_world_events(
+        &mut self,
+        events: impl IntoIterator<Item = (SimTime, WorldEvent)>,
+    ) {
+        for (at, ev) in events {
+            self.schedule_world(at, ev);
+        }
     }
 
     /// Enables event tracing with the given ring-buffer capacity.
@@ -247,9 +320,17 @@ impl<A: Actor> Simulator<A> {
         self.stats
     }
 
-    /// The simulated topology.
-    pub fn topology(&self) -> &Topology {
-        &self.topology
+    /// The simulated world (current ground truth).
+    pub fn world(&self) -> &DynamicTopology {
+        &self.world
+    }
+
+    /// Mutable access to the world, for out-of-band mutation between
+    /// `run_*` calls (scheduled [`WorldEvent`]s via
+    /// [`Simulator::schedule_world`] are the deterministic way to change
+    /// the world mid-run).
+    pub fn world_mut(&mut self) -> &mut DynamicTopology {
+        &mut self.world
     }
 
     /// Immutable access to the actor of node `n`.
@@ -292,11 +373,24 @@ impl<A: Actor> Simulator<A> {
         self.stats.events += 1;
 
         let node = ev.node;
+        if let EventKind::World(world_event) = ev.kind {
+            self.apply_world_event(world_event);
+            return true;
+        }
+        // Events of a previous node life (armed before a `Leave`) are
+        // dropped: the node's timers died with it, and in-flight frames
+        // have no receiver.
+        if ev.generation != self.generations[node.index()] {
+            self.stats.stale_dropped += 1;
+            return true;
+        }
+
         let mut effects: Vec<Effect<A::Msg>> = Vec::new();
         {
             let mut ctx = Context {
                 now: self.now,
                 node,
+                world: &self.world,
                 rng: &mut self.rngs[node.index()],
                 effects: &mut effects,
                 stop: &mut self.stop,
@@ -314,6 +408,7 @@ impl<A: Actor> Simulator<A> {
                     self.stats.deliveries += 1;
                     actor.on_message(&mut ctx, from, msg);
                 }
+                EventKind::World(_) => unreachable!("world events dispatch above"),
             }
         }
         if let Some(trace) = &mut self.trace {
@@ -325,6 +420,41 @@ impl<A: Actor> Simulator<A> {
         }
         self.apply_effects(node, effects);
         true
+    }
+
+    fn apply_world_event(&mut self, event: WorldEvent) {
+        let changed = self.world.apply(&event);
+        if changed {
+            self.stats.world_changes += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent {
+                    time: self.now,
+                    node: match event {
+                        WorldEvent::LinkUp { a, .. }
+                        | WorldEvent::LinkDown { a, .. }
+                        | WorldEvent::QosChange { a, .. } => a,
+                        WorldEvent::Move { node, .. }
+                        | WorldEvent::Join { node }
+                        | WorldEvent::Leave { node } => node,
+                    },
+                    kind: TraceKind::WorldChanged,
+                });
+            }
+        }
+        match event {
+            WorldEvent::Leave { node } if changed => {
+                // Cancel the old life's pending timers and deliveries.
+                self.generations[node.index()] += 1;
+            }
+            WorldEvent::Join { node } if changed => {
+                // The node boots fresh: protocol state resets and the
+                // start handler runs again (in the *current* generation,
+                // so its new timers are live).
+                self.actors[node.index()].on_reset();
+                self.push(self.now, node, EventKind::Start);
+            }
+            _ => {}
+        }
     }
 
     fn delivery_delay(&mut self) -> SimDuration {
@@ -342,7 +472,7 @@ impl<A: Actor> Simulator<A> {
                 Effect::Broadcast(msg) => {
                     self.stats.broadcasts += 1;
                     let neighbors: Vec<NodeId> =
-                        self.topology.neighbors(node).map(|(n, _)| n).collect();
+                        self.world.neighbors(node).map(|(n, _)| n).collect();
                     for to in neighbors {
                         let delay = self.delivery_delay();
                         let at = self.now + delay;
@@ -358,7 +488,7 @@ impl<A: Actor> Simulator<A> {
                 }
                 Effect::Unicast(to, msg) => {
                     self.stats.unicasts += 1;
-                    if self.topology.has_link(node, to) {
+                    if self.world.has_link(node, to) {
                         let delay = self.delivery_delay();
                         let at = self.now + delay;
                         self.push(at, to, EventKind::Deliver { from: node, msg });
@@ -376,8 +506,10 @@ impl<A: Actor> Simulator<A> {
 
     /// Runs until the queue drains, a handler stops the simulation, or
     /// virtual time would exceed `deadline`; afterwards `now() ==
-    /// deadline` unless stopped early.
+    /// deadline` unless stopped early. A deadline already in the past is
+    /// a no-op — virtual time never rewinds.
     pub fn run_until(&mut self, deadline: SimTime) {
+        let deadline = deadline.max(self.now);
         loop {
             match self.queue.peek() {
                 Some(std::cmp::Reverse(ev)) if ev.time <= deadline => {
@@ -551,6 +683,147 @@ mod tests {
             sim.stats()
         };
         assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn scheduled_link_down_stops_delivery() {
+        // Flood at t=0 crosses 0—1; a link-down at t=500ms prevents a
+        // second flood wave started at t=1s from crossing it.
+        struct Waves {
+            got: u32,
+        }
+        impl Actor for Waves {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                if ctx.node_id() == NodeId(0) {
+                    ctx.broadcast(());
+                    ctx.set_timer(SimDuration::from_secs(1), TimerId(1));
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_, ()>, _t: TimerId) {
+                ctx.broadcast(());
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, ()>, _f: NodeId, _m: ()) {
+                self.got += 1;
+            }
+        }
+        let mut sim = Simulator::new(line3(), RadioConfig::default(), 1, |_| Waves { got: 0 });
+        sim.schedule_world(
+            SimTime::from_micros(500_000),
+            WorldEvent::LinkDown {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+        );
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(sim.actor(NodeId(1)).got, 1, "second wave must not cross");
+        assert_eq!(sim.stats().world_changes, 1);
+        assert!(!sim.world().has_link(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn leave_cancels_timers_and_join_restarts() {
+        struct Ticker {
+            started: u32,
+            ticks: u32,
+            reset: u32,
+        }
+        impl Actor for Ticker {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                self.started += 1;
+                ctx.set_timer(SimDuration::from_millis(100), TimerId(1));
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_, ()>, _t: TimerId) {
+                self.ticks += 1;
+                ctx.set_timer(SimDuration::from_millis(100), TimerId(1));
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, ()>, _f: NodeId, _m: ()) {}
+            fn on_reset(&mut self) {
+                self.reset += 1;
+                self.ticks = 0;
+            }
+        }
+        let mut sim = Simulator::new(line3(), RadioConfig::default(), 1, |_| Ticker {
+            started: 0,
+            ticks: 0,
+            reset: 0,
+        });
+        // Node 2 leaves at 250 ms and rejoins at 1 s.
+        sim.schedule_world(
+            SimTime::from_micros(250_000),
+            WorldEvent::Leave { node: NodeId(2) },
+        );
+        sim.schedule_world(
+            SimTime::from_micros(1_000_000),
+            WorldEvent::Join { node: NodeId(2) },
+        );
+        sim.run_for(SimDuration::from_secs(2));
+
+        let t = sim.actor(NodeId(2));
+        assert_eq!(t.reset, 1, "rejoin must reset the actor");
+        assert_eq!(t.started, 2, "on_start runs again after rejoin");
+        // Second life ran from 1 s to 2 s: 10 ticks; the first life's
+        // pending timer was cancelled (ticks was zeroed by on_reset).
+        assert_eq!(t.ticks, 10);
+        assert!(sim.stats().stale_dropped >= 1);
+        // The world dropped 1—2 on leave; rejoin comes back isolated.
+        assert!(!sim.world().has_link(NodeId(1), NodeId(2)));
+        assert!(sim.world().is_active(NodeId(2)));
+    }
+
+    #[test]
+    fn context_measures_current_link_qos() {
+        struct Probe;
+        impl Actor for Probe {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                if ctx.node_id() == NodeId(1) {
+                    assert_eq!(ctx.link_qos(NodeId(0)), Some(LinkQos::uniform(1)));
+                    assert_eq!(ctx.link_qos(NodeId(1)), None);
+                    assert_eq!(ctx.radio_neighbors().len(), 2);
+                }
+            }
+            fn on_timer(&mut self, _c: &mut Context<'_, ()>, _t: TimerId) {}
+            fn on_message(&mut self, _c: &mut Context<'_, ()>, _f: NodeId, _m: ()) {}
+        }
+        let mut sim = Simulator::new(line3(), RadioConfig::default(), 1, |_| Probe);
+        sim.run_for(SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn world_events_replay_identically() {
+        let run = |seed: u64| {
+            let mut sim =
+                Simulator::new(line3(), RadioConfig::default(), seed, |_| Flood::default());
+            sim.schedule_world(
+                SimTime::from_micros(100),
+                WorldEvent::LinkDown {
+                    a: NodeId(1),
+                    b: NodeId(2),
+                },
+            );
+            sim.schedule_world(
+                SimTime::from_micros(200),
+                WorldEvent::LinkUp {
+                    a: NodeId(0),
+                    b: NodeId(2),
+                    qos: LinkQos::uniform(2),
+                },
+            );
+            sim.run_for(SimDuration::from_secs(1));
+            (sim.stats(), sim.world().link_count())
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn run_until_never_rewinds_time() {
+        let mut sim = Simulator::new(line3(), RadioConfig::default(), 1, |_| Flood::default());
+        sim.run_for(SimDuration::from_secs(10));
+        let now = sim.now();
+        sim.run_until(SimTime::from_micros(5));
+        assert_eq!(sim.now(), now, "past deadline must be a no-op");
     }
 
     #[test]

@@ -4,17 +4,27 @@
 //!
 //! The paper evaluates with "our own C simulator that assumes an ideal MAC
 //! layer, i.e. no interferences and no packet collisions". This crate is
-//! the Rust equivalent:
+//! the Rust equivalent, extended with the dynamic-topology machinery the
+//! paper's MANET motivation calls for:
 //!
 //! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time;
 //! * [`SimRng`] — a seedable xoshiro256\*\* generator with stream
 //!   splitting, so every run is exactly reproducible independent of
 //!   external crate versions;
-//! * [`Simulator`] — an actor-per-node event loop: actors receive timers
-//!   and messages, and emit effects through a [`Context`];
+//! * [`Simulator`] — an actor-per-node event loop over a *mutable world*
+//!   (`qolsr_graph::DynamicTopology`): actors receive timers and
+//!   messages and emit effects through a [`Context`]; scheduled
+//!   `WorldEvent`s (link up/down, QoS drift, motion, node churn)
+//!   interleave with actor events in the same deterministic
+//!   `(time, sequence)` order. A node that leaves the network loses its
+//!   pending timers and in-flight frames; on rejoin its actor is reset
+//!   ([`Actor::on_reset`]) and restarted;
+//! * [`scenario`] — reusable mobility/churn models (random waypoint,
+//!   Poisson churn, Gauss–Markov weight drift) that pre-generate a
+//!   seed-deterministic world-event schedule for the engine;
 //! * [`RadioConfig`] — the ideal-MAC radio: every transmission reaches all
-//!   (or one of) the sender's unit-disk neighbors after a configurable
-//!   per-hop latency plus deterministic jitter, with no loss;
+//!   (or one of) the sender's *current* unit-disk neighbors after a
+//!   configurable per-hop latency plus deterministic jitter, with no loss;
 //! * [`stats`] / [`trace`] — counters, histograms and an event trace ring
 //!   buffer for debugging protocol behaviour.
 //!
@@ -60,10 +70,12 @@
 
 mod engine;
 mod rng;
+pub mod scenario;
 pub mod stats;
 mod time;
 pub mod trace;
 
 pub use engine::{Actor, Context, RadioConfig, SimStats, Simulator, TimerId};
 pub use rng::SimRng;
+pub use scenario::{MobilityModel, Scenario, ScenarioBuilder};
 pub use time::{SimDuration, SimTime};

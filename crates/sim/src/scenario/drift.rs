@@ -1,0 +1,158 @@
+//! Gauss–Markov link-weight drift.
+
+use qolsr_graph::{DynamicTopology, NodeId, WorldEvent};
+use qolsr_metrics::{Bandwidth, Delay, Energy, LinkQos};
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+use super::{sample_standard_normal, MobilityModel};
+
+/// First-order Gauss–Markov drift of every live link's QoS components:
+/// per tick, each of bandwidth, delay and energy moves as
+///
+/// ```text
+/// w' = α·w + (1 − α)·μ + σ·√(1 − α²)·z,   z ~ N(0, 1)
+/// ```
+///
+/// with `μ` the midpoint of `bounds` and the result rounded and clamped
+/// into `bounds`. `α` close to 1 gives slowly wandering weights (temporal
+/// correlation), `α = 0` gives memoryless redraws around `μ`.
+#[derive(Debug, Clone)]
+pub struct GaussMarkovDrift {
+    tick: SimDuration,
+    alpha: f64,
+    bounds: (u64, u64),
+    sigma: f64,
+    next: SimTime,
+}
+
+impl GaussMarkovDrift {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tick is zero, `alpha` is outside `[0, 1]`, or the
+    /// bounds are empty or start at zero (a zero weight means "no link"
+    /// under concave metrics).
+    pub fn new(tick: SimDuration, alpha: f64, bounds: (u64, u64), sigma: f64) -> Self {
+        assert!(tick > SimDuration::ZERO, "tick must be positive");
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        assert!(
+            bounds.0 > 0 && bounds.0 <= bounds.1,
+            "bounds must be positive and ordered"
+        );
+        Self {
+            tick,
+            alpha,
+            bounds,
+            sigma,
+            next: SimTime::ZERO,
+        }
+    }
+
+    fn drift_component(&self, w: u64, rng: &mut SimRng) -> u64 {
+        let mu = (self.bounds.0 + self.bounds.1) as f64 / 2.0;
+        let z = sample_standard_normal(rng);
+        let drifted = self.alpha * w as f64
+            + (1.0 - self.alpha) * mu
+            + self.sigma * (1.0 - self.alpha * self.alpha).sqrt() * z;
+        (drifted.round() as i64).clamp(self.bounds.0 as i64, self.bounds.1 as i64) as u64
+    }
+}
+
+impl MobilityModel for GaussMarkovDrift {
+    fn name(&self) -> &'static str {
+        "gauss-markov-drift"
+    }
+
+    fn init(&mut self, _world: &DynamicTopology, _rng: &mut SimRng) {
+        self.next = SimTime::ZERO + self.tick;
+    }
+
+    fn next_activation(&self) -> Option<SimTime> {
+        Some(self.next)
+    }
+
+    fn activate(
+        &mut self,
+        now: SimTime,
+        world: &DynamicTopology,
+        rng: &mut SimRng,
+    ) -> Vec<WorldEvent> {
+        let mut events = Vec::new();
+        for (a, b, qos) in world.graph().edges() {
+            let drifted = LinkQos::with_energy(
+                Bandwidth(self.drift_component(qos.bandwidth.value(), rng)),
+                Delay(self.drift_component(qos.delay.value(), rng)),
+                Energy(self.drift_component(qos.energy.value(), rng)),
+            );
+            if drifted != qos {
+                events.push(WorldEvent::QosChange {
+                    a: NodeId(a),
+                    b: NodeId(b),
+                    qos: drifted,
+                });
+            }
+        }
+        self.next = now + self.tick;
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use qolsr_graph::{Point2, TopologyBuilder};
+
+    fn line3() -> qolsr_graph::Topology {
+        let mut b = TopologyBuilder::new(10.0);
+        let n0 = b.add_node(Point2::new(0.0, 0.0));
+        let n1 = b.add_node(Point2::new(5.0, 0.0));
+        let n2 = b.add_node(Point2::new(10.0, 0.0));
+        b.link(n0, n1, LinkQos::uniform(5)).unwrap();
+        b.link(n1, n2, LinkQos::uniform(5)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn drift_changes_weights_within_bounds() {
+        let s = ScenarioBuilder::new(&line3(), 7)
+            .with(GaussMarkovDrift::new(
+                SimDuration::from_secs(1),
+                0.7,
+                (1, 10),
+                2.0,
+            ))
+            .generate(SimDuration::from_secs(30));
+        let summary = s.summary();
+        assert!(summary.qos_changes > 0, "no drift happened");
+        assert_eq!(summary.link_ups + summary.link_downs, 0, "drift only");
+        for te in s.events() {
+            if let WorldEvent::QosChange { qos, .. } = te.event {
+                for v in [qos.bandwidth.value(), qos.delay.value(), qos.energy.value()] {
+                    assert!((1..=10).contains(&v), "component {v} out of bounds");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_one_freezes_weights() {
+        // α = 1 keeps w' = w: no events at all.
+        let s = ScenarioBuilder::new(&line3(), 8)
+            .with(GaussMarkovDrift::new(
+                SimDuration::from_secs(1),
+                1.0,
+                (1, 10),
+                5.0,
+            ))
+            .generate(SimDuration::from_secs(10));
+        assert!(
+            s.is_empty(),
+            "alpha=1 must freeze weights: {:?}",
+            s.summary()
+        );
+    }
+}

@@ -12,6 +12,9 @@ use crate::time::SimTime;
 pub enum TraceKind {
     /// An event (start, timer or delivery) was dispatched to a node.
     Dispatched,
+    /// A scheduled world event changed the topology (the recorded node is
+    /// one affected endpoint).
+    WorldChanged,
 }
 
 /// One traced engine event.

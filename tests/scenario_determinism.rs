@@ -1,0 +1,176 @@
+//! Determinism guards for the dynamic-topology scenario engine: equal
+//! `SimRng` seeds must produce identical world-event traces and identical
+//! final protocol state — under random-waypoint motion and Poisson churn,
+//! and regardless of how many worker threads an experiment spreads runs
+//! over. Future parallelization work must keep these invariants.
+
+mod common;
+
+use std::collections::BTreeMap;
+
+use qolsr::eval::churn::{churn_experiment, ChurnConfig};
+use qolsr::eval::SelectorKind;
+use qolsr::policy::SelectorPolicy;
+use qolsr::selector::Fnbp;
+use qolsr_graph::deploy::UniformWeights;
+use qolsr_graph::{NodeId, Topology};
+use qolsr_metrics::BandwidthMetric;
+use qolsr_proto::network::OlsrNetwork;
+use qolsr_proto::{OlsrConfig, RouteEntry};
+use qolsr_sim::scenario::{PoissonChurn, RandomWaypoint, Scenario, ScenarioBuilder};
+use qolsr_sim::{RadioConfig, SimDuration};
+
+fn weights() -> UniformWeights {
+    UniformWeights::paper_defaults()
+}
+
+fn world() -> Topology {
+    common::medium_topology(41, 7.0)
+}
+
+fn scenario(topo: &Topology, seed: u64) -> Scenario {
+    ScenarioBuilder::new(topo, seed)
+        .with(RandomWaypoint::new(
+            (400.0, 400.0),
+            SimDuration::from_secs(1),
+            (2.0, 10.0),
+            SimDuration::from_secs(3),
+            weights(),
+        ))
+        .with(PoissonChurn::new(0.2, SimDuration::from_secs(5), weights()))
+        .generate(SimDuration::from_secs(30))
+}
+
+/// Equal seeds must yield byte-identical world-event traces.
+#[test]
+fn scenario_event_traces_replay_per_seed() {
+    let topo = world();
+    for seed in [0, 1, 0x51C0_2010] {
+        let a = scenario(&topo, seed);
+        let b = scenario(&topo, seed);
+        assert_eq!(a.events(), b.events(), "trace differs (seed {seed})");
+        assert_eq!(a.summary(), b.summary());
+    }
+    assert_ne!(
+        scenario(&topo, 1).events(),
+        scenario(&topo, 2).events(),
+        "different seeds must explore different worlds"
+    );
+}
+
+/// A full protocol run under motion + churn must replay identically:
+/// same engine statistics, same final world, same routing tables at
+/// every node.
+#[test]
+fn protocol_under_scenario_replays_per_seed() {
+    let run = |seed: u64| {
+        let topo = world();
+        let s = scenario(&topo, seed);
+        let mut net = OlsrNetwork::new(
+            topo,
+            OlsrConfig::default(),
+            RadioConfig::default(),
+            seed,
+            |_| SelectorPolicy::new(Fnbp::<BandwidthMetric>::new()),
+        );
+        net.install_scenario(&s);
+        net.run_for(SimDuration::from_secs(45));
+
+        let routes: Vec<BTreeMap<NodeId, RouteEntry>> = net
+            .world()
+            .nodes()
+            .map(|n| net.node(n).routes(net.now()))
+            .collect();
+        (
+            net.sim().stats(),
+            net.world().link_count(),
+            net.world().active_count(),
+            net.world().epoch(),
+            routes,
+        )
+    };
+    assert_eq!(run(9), run(9));
+}
+
+/// The churn experiment must aggregate identically whether runs execute
+/// on one worker thread or several (per-run slots merge in run order).
+#[test]
+fn churn_experiment_is_thread_count_invariant() {
+    let cfg = |threads: usize| ChurnConfig {
+        density: 7.0,
+        field: (300.0, 300.0),
+        warmup: SimDuration::from_secs(12),
+        dynamic: SimDuration::from_secs(15),
+        sample_every: SimDuration::from_secs(5),
+        probes: 4,
+        threads,
+        seed: 11,
+        ..ChurnConfig::new(3)
+    };
+    let kinds = [SelectorKind::Fnbp, SelectorKind::TopologyFiltering];
+    let a = churn_experiment::<BandwidthMetric>(&cfg(1), &kinds);
+    let b = churn_experiment::<BandwidthMetric>(&cfg(4), &kinds);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.kind, y.kind);
+        for (sx, sy) in x.per_sample.iter().zip(&y.per_sample) {
+            assert_eq!(sx.at_secs, sy.at_secs, "sample instants differ");
+            assert_eq!(
+                sx.validity.count(),
+                sy.validity.count(),
+                "validity counts differ"
+            );
+            assert_eq!(sx.validity.mean(), sy.validity.mean(), "validity differs");
+            assert_eq!(
+                sx.staleness.mean(),
+                sy.staleness.mean(),
+                "staleness differs"
+            );
+            assert_eq!(sx.drift.mean(), sy.drift.mean(), "drift differs");
+        }
+    }
+}
+
+/// A seeded waypoint + churn run visibly rewrites the topology mid-flight
+/// (links both appear and disappear) while the protocol keeps a usable
+/// view: the acceptance scenario of the dynamic-topology subsystem.
+#[test]
+fn seeded_run_changes_topology_and_reconverges() {
+    let topo = world();
+    let initial_links = topo.link_count();
+    let s = scenario(&topo, 23);
+    let summary = s.summary();
+    assert!(summary.link_ups > 0, "scenario must add links");
+    assert!(summary.link_downs > 0, "scenario must remove links");
+
+    let mut net = OlsrNetwork::new(
+        topo,
+        OlsrConfig::default(),
+        RadioConfig::default(),
+        23,
+        |_| SelectorPolicy::new(Fnbp::<BandwidthMetric>::new()),
+    );
+    // Warm up statically, then let the world churn, then allow
+    // re-convergence (hold times) before checking protocol state.
+    net.install_scenario_at(&s, qolsr_sim::SimTime::ZERO + SimDuration::from_secs(15));
+    net.run_for(SimDuration::from_secs(60));
+    let stats = net.sim().stats();
+    assert!(stats.world_changes > 0, "world must have changed");
+    assert_ne!(
+        net.world().link_count(),
+        initial_links,
+        "final topology should differ from the initial one"
+    );
+
+    // After the dynamics settle (scenario horizon 30 s ends at t=45,
+    // hold times are ≤ 15 s), every symmetric neighbor a node believes in
+    // must be a real current link: the timeout machinery caught up.
+    let world = net.world();
+    for u in world.nodes().filter(|&u| world.is_active(u)) {
+        for v in net.symmetric_neighbors(u) {
+            assert!(
+                world.has_link(u, v),
+                "{u} still believes in dead link to {v}"
+            );
+        }
+    }
+}

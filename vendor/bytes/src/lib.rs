@@ -168,6 +168,19 @@ impl AsRef<[u8]> for BytesMut {
     }
 }
 
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
 /// Cursor-style reads from a byte buffer (little-endian accessors).
 pub trait Buf {
     /// Bytes left to read.
