@@ -17,11 +17,16 @@
 //!   churn       live-protocol churn robustness: route validity and
 //!               advertised staleness over time under random-waypoint
 //!               motion + Poisson churn + weight drift
+//!   scale       wall-clock scale sweep over n ∈ {250, 1000, 4000}
+//!               nodes: waypoint tick cost (SpatialGrid path) and
+//!               whole-network selection cost per world (--runs is
+//!               capped at 10 — timing, not statistics)
 //!
 //! Options:
 //!   --runs N     topologies per density (default 100; paper: 100)
 //!   --seed S     master seed (default 0x51C02010)
 //!   --threads T  worker threads (default: all cores)
+//!   --metric M   churn metric: bandwidth (default) or delay
 //!   --quick      shorthand for --runs 10
 //!   --out DIR    also write CSV files into DIR (default: results/)
 //!   --no-csv     print to stdout only
@@ -39,12 +44,15 @@ use qolsr::report::Figure;
 struct Args {
     command: String,
     opts: FigureOptions,
+    metric: qolsr::eval::churn::ChurnMetric,
     out_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut command = String::from("all");
     let mut opts = FigureOptions::default();
+    let mut metric = qolsr::eval::churn::ChurnMetric::default();
+    let mut metric_set = false;
     let mut out_dir = Some(PathBuf::from("results"));
     let mut it = std::env::args().skip(1);
     let mut command_set = false;
@@ -53,6 +61,11 @@ fn parse_args() -> Result<Args, String> {
             "--runs" => {
                 let v = it.next().ok_or("--runs needs a value")?;
                 opts.runs = v.parse().map_err(|_| format!("bad --runs value: {v}"))?;
+            }
+            "--metric" => {
+                let v = it.next().ok_or("--metric needs a value")?;
+                metric = v.parse()?;
+                metric_set = true;
             }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
@@ -79,9 +92,15 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
+    // Only the churn experiment is metric-parameterized; silently
+    // ignoring the flag elsewhere would mislabel results.
+    if metric_set && command != "churn" {
+        return Err(format!("--metric only applies to churn, not {command}"));
+    }
     Ok(Args {
         command,
         opts,
+        metric,
         out_dir,
     })
 }
@@ -126,8 +145,9 @@ fn main() -> ExitCode {
     match args.command.as_str() {
         "help" => {
             println!(
-                "commands: fig6 fig7 fig8 fig9 all ablations robustness churn; \
-                 options: --runs N --seed S --threads T --quick --out DIR --no-csv"
+                "commands: fig6 fig7 fig8 fig9 all ablations robustness churn scale; \
+                 options: --runs N --seed S --threads T --metric bandwidth|delay \
+                 --quick --out DIR --no-csv"
             );
         }
         "fig6" => {
@@ -264,36 +284,79 @@ fn main() -> ExitCode {
         }
         "churn" => {
             use qolsr::eval::churn::{
-                churn_experiment, drift_figure, staleness_figure, validity_figure, ChurnConfig,
+                churn_experiment_with, drift_figure, staleness_figure, validity_figure, ChurnConfig,
             };
             use qolsr::eval::SelectorKind;
             let mut cfg = ChurnConfig::new(opts.runs);
             cfg.seed = opts.seed;
             cfg.threads = opts.threads;
-            let results =
-                churn_experiment::<qolsr_metrics::BandwidthMetric>(&cfg, &SelectorKind::PAPER);
+            let metric = args.metric;
+            let results = churn_experiment_with(metric, &cfg, &SelectorKind::PAPER);
+            let m = metric.name();
             emit(
                 &validity_figure(
                     &results,
-                    "Churn — route validity over time (waypoint + churn + drift, δ=10)",
+                    &format!(
+                        "Churn — route validity over time \
+                         (waypoint + churn + drift, δ=10, {m} metric)"
+                    ),
                 ),
-                "churn_route_validity",
+                &format!("churn_route_validity_{m}"),
                 &args.out_dir,
             );
             emit(
                 &staleness_figure(
                     &results,
-                    "Churn — advertised-set staleness over time (δ=10)",
+                    &format!("Churn — advertised-set staleness over time (δ=10, {m} metric)"),
                 ),
-                "churn_advertised_staleness",
+                &format!("churn_advertised_staleness_{m}"),
                 &args.out_dir,
             );
             emit(
                 &drift_figure(
                     &results,
-                    "Churn — selection drift vs current ground truth (δ=10)",
+                    &format!("Churn — selection drift vs current ground truth (δ=10, {m} metric)"),
                 ),
-                "churn_selection_drift",
+                &format!("churn_selection_drift_{m}"),
+                &args.out_dir,
+            );
+        }
+        "scale" => {
+            use qolsr::eval::scale::{scale_figure, scale_sweep, ScaleConfig};
+            let mut cfg = ScaleConfig::new(opts.runs.min(10));
+            cfg.seed = opts.seed;
+            cfg.threads = opts.threads;
+            let points = scale_sweep(&cfg);
+            for p in &points {
+                println!(
+                    "# n={:5}  side={:7.1}  waypoint {:8.3} ms/simulated-second  \
+                     selection {:8.3} ms/world  events/run {:9.0}",
+                    p.nodes,
+                    p.side,
+                    p.tick_ms.mean(),
+                    p.select_ms.mean(),
+                    p.events.mean(),
+                );
+            }
+            if points.len() >= 2 {
+                let base = &points[0];
+                for p in &points[1..] {
+                    let node_ratio = p.nodes as f64 / base.nodes as f64;
+                    let time_ratio = p.tick_ms.mean() / base.tick_ms.mean().max(1e-9);
+                    println!(
+                        "# n×{node_ratio:.1}: waypoint tick cost ×{time_ratio:.2} \
+                         (quadratic would be ×{:.1})",
+                        node_ratio * node_ratio
+                    );
+                }
+            }
+            println!();
+            emit(
+                &scale_figure(
+                    &points,
+                    "Scale sweep — wall-clock per simulated second vs node count",
+                ),
+                "scale_sweep",
                 &args.out_dir,
             );
         }

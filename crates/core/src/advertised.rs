@@ -2,6 +2,10 @@
 //! collect the union of advertised links — what TC flooding makes known
 //! to every node in the network.
 
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
 use qolsr_graph::{CompactGraph, LocalView, NodeId, Topology};
 
 use crate::selector::AnsSelector;
@@ -85,38 +89,87 @@ fn select_all(
     topo: &Topology,
     selector: &dyn AnsSelector,
     threads: usize,
-) -> Vec<(NodeId, std::collections::BTreeSet<NodeId>)> {
-    let n = topo.len();
-    let run_one = |u: NodeId| {
-        let view = LocalView::extract(topo, u);
-        (u, selector.select(&view))
-    };
+) -> Vec<(NodeId, BTreeSet<NodeId>)> {
+    let selectors = [selector];
+    select_all_multi(topo, &selectors, threads)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut per_sel)| (NodeId(i as u32), per_sel.swap_remove(0)))
+        .collect()
+}
 
+/// The generic per-node fan-out behind [`select_all`], the experiment
+/// harness and the scale sweep: runs *every* selector at *every* node
+/// (views extracted once per node and shared across selectors), spread
+/// over `threads` crossbeam-scoped workers, returning `[node][selector]`
+/// selections in node order — deterministic regardless of thread count.
+pub(crate) fn select_all_multi(
+    topo: &Topology,
+    selectors: &[&dyn AnsSelector],
+    threads: usize,
+) -> Vec<Vec<BTreeSet<NodeId>>> {
+    let n = topo.len();
+    let run_one = |u: NodeId| -> Vec<BTreeSet<NodeId>> {
+        let view = LocalView::extract(topo, u);
+        selectors.iter().map(|sel| sel.select(&view)).collect()
+    };
+    run_indexed(n, threads, run_one)
+}
+
+/// Runs `selector` over pre-extracted per-node views on `threads`
+/// workers, results in job order. The single-large-world path of the
+/// churn experiment uses this to fan its selection-drift measurement out
+/// without re-extracting the world's epoch-cached views.
+pub(crate) fn select_on_views(
+    selector: &dyn AnsSelector,
+    views: &[Arc<LocalView>],
+    threads: usize,
+) -> Vec<BTreeSet<NodeId>> {
+    run_indexed(views.len(), threads, |u| selector.select(&views[u.index()]))
+}
+
+/// Shared indexed fan-out: computes `run_one(NodeId(i))` for `i < n` on
+/// up to `threads` workers (sequentially for small inputs, where spawn
+/// overhead dominates) and returns results in index order.
+fn run_indexed<T: Send>(n: usize, threads: usize, run_one: impl Fn(NodeId) -> T + Sync) -> Vec<T> {
     if threads <= 1 || n < 64 {
-        return topo.nodes().map(run_one).collect();
+        return (0..n).map(|i| run_one(NodeId(i as u32))).collect();
     }
 
-    let next = std::sync::atomic::AtomicU32::new(0);
-    let results = parking_lot::Mutex::new(Vec::with_capacity(n));
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|_| {
-                let mut local = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i as usize >= n {
-                        break;
+    let next = &AtomicU32::new(0);
+    let run_one = &run_one;
+    let buckets: Vec<Vec<(u32, T)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i as usize >= n {
+                            break;
+                        }
+                        local.push((i, run_one(NodeId(i))));
                     }
-                    local.push(run_one(NodeId(i)));
-                }
-                results.lock().extend(local);
-            });
-        }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("selection workers do not panic"))
+            .collect()
     })
     .expect("selection workers do not panic");
-    let mut out = results.into_inner();
-    out.sort_by_key(|&(u, _)| u);
-    out
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for bucket in buckets {
+        for (i, result) in bucket {
+            slots[i as usize] = Some(result);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every node index is processed"))
+        .collect()
 }
 
 #[cfg(test)]

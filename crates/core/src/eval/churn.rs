@@ -27,20 +27,57 @@
 //! ordered, making results independent of thread count.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use qolsr_graph::connectivity::Components;
 use qolsr_graph::deploy::{deploy, Deployment, UniformWeights};
-use qolsr_graph::{NodeId, Topology};
+use qolsr_graph::{LocalView, NodeId, Topology};
+use qolsr_metrics::{BandwidthMetric, DelayMetric};
 use qolsr_proto::network::OlsrNetwork;
 use qolsr_proto::{AdvertisePolicy, OlsrConfig};
 use qolsr_sim::scenario::{GaussMarkovDrift, PoissonChurn, RandomWaypoint, ScenarioBuilder};
 use qolsr_sim::stats::OnlineStats;
 use qolsr_sim::{RadioConfig, Scenario, SimDuration, SimRng, SimTime};
 
-use crate::eval::{derive_seed, resolve_workers, sharded_runs, EvalMetric, SelectorKind};
+use crate::advertised::select_on_views;
+use crate::eval::{derive_seed, sharded_runs, EvalMetric, SelectorKind, ShardPlan};
 use crate::policy::SelectorPolicy;
 use crate::report::{Figure, Point, Series};
 use crate::selector::AnsSelector;
+
+/// The QoS metric a churn experiment selects under, as a runtime value —
+/// what the `figures churn --metric` flag parses into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChurnMetric {
+    /// Concave bottleneck bandwidth (the default, matching the static
+    /// bandwidth figures).
+    #[default]
+    Bandwidth,
+    /// Additive end-to-end delay (the ROADMAP follow-on).
+    Delay,
+}
+
+impl ChurnMetric {
+    /// Lower-case name used in figure slugs and CLI parsing.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChurnMetric::Bandwidth => "bandwidth",
+            ChurnMetric::Delay => "delay",
+        }
+    }
+}
+
+impl std::str::FromStr for ChurnMetric {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "bandwidth" => Ok(ChurnMetric::Bandwidth),
+            "delay" => Ok(ChurnMetric::Delay),
+            other => Err(format!("unknown metric: {other} (bandwidth|delay)")),
+        }
+    }
+}
 
 /// Scenario intensity knobs of the churn experiment.
 #[derive(Debug, Clone, Copy)]
@@ -219,12 +256,19 @@ pub fn churn_experiment<M: EvalMetric>(
     kinds: &[SelectorKind],
 ) -> Vec<ChurnMeasures> {
     let times = cfg.sample_times();
-    let per_run = sharded_runs(cfg.runs, resolve_workers(cfg.threads), |run| {
+    let plan = ShardPlan::new(cfg.threads, cfg.runs);
+    let per_run = sharded_runs(cfg.runs, plan.workers, |run| {
         let mut local: Vec<ChurnMeasures> = kinds
             .iter()
             .map(|&k| ChurnMeasures::empty(k, &times))
             .collect();
-        single_churn_run::<M>(cfg, derive_seed(cfg.seed, 0, run), kinds, &mut local);
+        single_churn_run::<M>(
+            cfg,
+            derive_seed(cfg.seed, 0, run),
+            kinds,
+            plan.inner,
+            &mut local,
+        );
         local
     });
 
@@ -240,10 +284,24 @@ pub fn churn_experiment<M: EvalMetric>(
     totals
 }
 
+/// Runs the churn experiment with the metric chosen at runtime — the
+/// dispatch point behind the `figures churn --metric` flag.
+pub fn churn_experiment_with(
+    metric: ChurnMetric,
+    cfg: &ChurnConfig,
+    kinds: &[SelectorKind],
+) -> Vec<ChurnMeasures> {
+    match metric {
+        ChurnMetric::Bandwidth => churn_experiment::<BandwidthMetric>(cfg, kinds),
+        ChurnMetric::Delay => churn_experiment::<DelayMetric>(cfg, kinds),
+    }
+}
+
 fn single_churn_run<M: EvalMetric>(
     cfg: &ChurnConfig,
     seed: u64,
     kinds: &[SelectorKind],
+    inner_threads: usize,
     accum: &mut [ChurnMeasures],
 ) {
     let mut rng = SimRng::seed_from_u64(seed);
@@ -278,15 +336,22 @@ fn single_churn_run<M: EvalMetric>(
 
         for (ti, &at) in times.iter().enumerate() {
             net.run_until(at);
-            sample_network(&net, &probes, &mut accum[si].per_sample[ti]);
+            sample_network(&net, &probes, inner_threads, &mut accum[si].per_sample[ti]);
         }
     }
 }
 
 /// Probes and aggregates one network at the current instant.
+///
+/// The selection-drift measurement — one selector run per active node —
+/// is the sample's hot loop; it fans out over `inner_threads` workers
+/// when run-level sharding leaves threads to spare (few large worlds).
+/// Aggregation walks nodes in ascending order either way, so results are
+/// independent of the fan-out.
 fn sample_network(
     net: &OlsrNetwork<SelectorPolicy<Box<dyn AnsSelector>>>,
     probes: &[(NodeId, NodeId)],
+    inner_threads: usize,
     sample: &mut ChurnSample,
 ) {
     let world = net.world();
@@ -299,12 +364,23 @@ fn sample_network(
             ProbeOutcome::EndpointDown => {}
         }
     }
-    for u in world.nodes() {
-        if !world.is_active(u) {
-            continue;
-        }
-        let node = net.node(u);
-        let advertised = node.advertised();
+
+    // Ground-truth views come from the world's epoch cache, so quiet
+    // stretches (warm-up, waypoint pauses) re-use extractions across
+    // samples; the per-node selector runs fan out over the views.
+    let active: Vec<NodeId> = world.nodes().filter(|&u| world.is_active(u)).collect();
+    let views: Vec<Arc<LocalView>> = active.iter().map(|&u| world.local_view(u)).collect();
+    // Selectors are pure functions of the view and every node of a churn
+    // network is built with the same kind, so one node's instance stands
+    // in for all of them.
+    let selector = net
+        .node(*active.first().unwrap_or(&NodeId(0)))
+        .policy()
+        .selector();
+    let ideals = select_on_views(selector.as_ref(), &views, inner_threads);
+
+    for (&u, ideal) in active.iter().zip(&ideals) {
+        let advertised = net.node(u).advertised();
         if !advertised.is_empty() {
             let stale = advertised
                 .iter()
@@ -315,10 +391,7 @@ fn sample_network(
                 .push(stale as f64 / advertised.len() as f64);
         }
         // Selection drift: what the selector would advertise on current
-        // ground truth vs what the node last advertised. Ground-truth
-        // views come from the world's epoch cache, so quiet stretches
-        // (warm-up, waypoint pauses) re-use extractions across samples.
-        let ideal = node.policy().selector().select(&world.local_view(u));
+        // ground truth vs what the node last advertised.
         let current: std::collections::BTreeSet<NodeId> =
             advertised.iter().map(|&(w, _)| w).collect();
         let union = ideal.union(&current).count();

@@ -11,12 +11,13 @@
 pub mod churn;
 pub mod figures;
 pub mod robustness;
+pub mod scale;
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use qolsr_graph::connectivity::Components;
 use qolsr_graph::deploy::{deploy, Deployment, UniformWeights};
-use qolsr_graph::{LocalView, NodeId, Topology};
+use qolsr_graph::{NodeId, Topology};
 use qolsr_metrics::{BandwidthMetric, DelayMetric, Metric, MetricKind, ResidualEnergyMetric};
 use qolsr_sim::stats::OnlineStats;
 use qolsr_sim::SimRng;
@@ -181,10 +182,6 @@ impl EvalConfig {
             threads: 0,
         }
     }
-
-    fn worker_threads(&self) -> usize {
-        resolve_workers(self.threads)
-    }
 }
 
 /// Resolves a `threads` config value (0 = all available cores).
@@ -198,36 +195,86 @@ pub(crate) fn resolve_workers(threads: usize) -> usize {
     }
 }
 
+/// How an experiment splits its thread budget: `workers` run-level
+/// shards, each of which may fan per-node selection out over `inner`
+/// further threads.
+///
+/// With many runs (the paper's sweeps) every thread shards across runs
+/// and `inner == 1` — the historical behavior. With fewer runs than
+/// threads (one large world, e.g. the scale sweep) the spare threads go
+/// *inside* each run, where per-node selection is the dominant cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ShardPlan {
+    /// Run-level worker threads, clamped to the run count.
+    pub workers: usize,
+    /// Per-run selection fan-out threads.
+    pub inner: usize,
+}
+
+impl ShardPlan {
+    pub fn new(threads: usize, runs: u32) -> Self {
+        let total = resolve_workers(threads);
+        let workers = total.min(runs.max(1) as usize).max(1);
+        Self {
+            workers,
+            inner: (total / workers).max(1),
+        }
+    }
+}
+
 /// Runs `per_run` for every run index on `workers` crossbeam-scoped
 /// threads and returns the results **in run order**, regardless of
 /// scheduling — the sharding scaffold shared by the figure and churn
 /// experiments. Keeping aggregation in run order is what makes results
 /// independent of thread count (floating-point merges are
 /// order-sensitive).
+///
+/// All worker state — the spawned threads and their result buckets — is
+/// sized by the *clamped* worker count `min(workers, runs)`: configuring
+/// more threads than runs must not allocate anything for the phantom
+/// workers.
 pub(crate) fn sharded_runs<T: Send>(
     runs: u32,
     workers: usize,
     per_run: impl Fn(u32) -> T + Sync,
 ) -> Vec<T> {
-    let slots: Vec<parking_lot::Mutex<Option<T>>> =
-        (0..runs).map(|_| parking_lot::Mutex::new(None)).collect();
-    let next_run = AtomicU32::new(0);
-    let workers = workers.min(runs.max(1) as usize);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let run = next_run.fetch_add(1, Ordering::Relaxed);
-                if run >= runs {
-                    break;
-                }
-                *slots[run as usize].lock() = Some(per_run(run));
-            });
-        }
+    let workers = workers.min(runs.max(1) as usize).max(1);
+    if workers == 1 {
+        return (0..runs).map(per_run).collect();
+    }
+    let next_run = &AtomicU32::new(0);
+    let per_run = &per_run;
+    let buckets: Vec<Vec<(u32, T)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let run = next_run.fetch_add(1, Ordering::Relaxed);
+                        if run >= runs {
+                            break;
+                        }
+                        local.push((run, per_run(run)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment workers do not panic"))
+            .collect()
     })
     .expect("experiment workers do not panic");
+    let mut slots: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+    for bucket in buckets {
+        for (run, result) in bucket {
+            slots[run as usize] = Some(result);
+        }
+    }
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every run index is processed"))
+        .map(|slot| slot.expect("every run index is processed"))
         .collect()
 }
 
@@ -368,8 +415,9 @@ pub fn run_experiment<M: EvalMetric>(cfg: &EvalConfig, kinds: &[SelectorKind]) -
             .collect(),
     };
 
+    let plan = ShardPlan::new(cfg.threads, cfg.runs);
     for (di, &density) in cfg.densities.iter().enumerate() {
-        let per_run = sharded_runs(cfg.runs, cfg.worker_threads(), |run| {
+        let per_run = sharded_runs(cfg.runs, plan.workers, |run| {
             let mut local: Vec<DensityMeasures> = kinds
                 .iter()
                 .map(|_| DensityMeasures {
@@ -382,6 +430,7 @@ pub fn run_experiment<M: EvalMetric>(cfg: &EvalConfig, kinds: &[SelectorKind]) -
                 density,
                 derive_seed(cfg.seed, di, run),
                 &selectors,
+                plan.inner,
                 &mut local,
             );
             local
@@ -408,11 +457,17 @@ pub fn run_experiment<M: EvalMetric>(cfg: &EvalConfig, kinds: &[SelectorKind]) -
 
 /// One topology: measure ANS sizes for every selector and route one
 /// random pair per selector.
+///
+/// Per-node selection fans out over `inner_threads` workers when the
+/// run-level sharding leaves threads to spare (one large world);
+/// aggregation always walks nodes in ascending order, so results are
+/// identical to the sequential path.
 fn single_run<M: EvalMetric>(
     cfg: &EvalConfig,
     density: f64,
     seed: u64,
     selectors: &[(SelectorKind, Box<dyn AnsSelector>)],
+    inner_threads: usize,
     accum: &mut [DensityMeasures],
 ) {
     let mut rng = SimRng::seed_from_u64(seed);
@@ -427,9 +482,12 @@ fn single_run<M: EvalMetric>(
         return;
     }
 
-    // Per-node selections; views are extracted once and shared.
+    // Per-node selections; views are extracted once and shared across
+    // selectors, nodes spread across the inner fan-out.
     let mut advertised: Vec<AdvertisedTopology> = Vec::with_capacity(selectors.len());
     {
+        let refs: Vec<&dyn AnsSelector> = selectors.iter().map(|(_, sel)| sel.as_ref()).collect();
+        let selections = crate::advertised::select_all_multi(&topo, &refs, inner_threads);
         let mut graphs: Vec<qolsr_graph::CompactGraph> = selectors
             .iter()
             .map(|_| qolsr_graph::CompactGraph::with_nodes(topo.len()))
@@ -437,12 +495,10 @@ fn single_run<M: EvalMetric>(
         let mut sizes: Vec<Vec<usize>> =
             selectors.iter().map(|_| vec![0usize; topo.len()]).collect();
         for u in topo.nodes() {
-            let view = LocalView::extract(&topo, u);
-            for (si, (_, sel)) in selectors.iter().enumerate() {
-                let ans = sel.select(&view);
+            for (si, ans) in selections[u.index()].iter().enumerate() {
                 sizes[si][u.index()] = ans.len();
                 accum[si].ans_size.push(ans.len() as f64);
-                for w in &ans {
+                for w in ans {
                     let qos = topo.link_qos(u, *w).expect("ANS members are neighbors");
                     graphs[si].add_undirected(u.0, w.0, qos);
                 }
@@ -558,6 +614,82 @@ mod tests {
         assert_eq!(fig.series[0].points.len(), 1);
         assert!(fig.render_text().contains("FNBP"));
         assert!(r.overhead_figure("t").render_csv().lines().count() >= 2);
+    }
+
+    #[test]
+    fn shard_plan_splits_thread_budget() {
+        // Few runs, many threads: spares fan out inside each run.
+        assert_eq!(
+            ShardPlan::new(8, 2),
+            ShardPlan {
+                workers: 2,
+                inner: 4
+            }
+        );
+        // Many runs: all threads shard across runs (historical behavior).
+        assert_eq!(
+            ShardPlan::new(4, 100),
+            ShardPlan {
+                workers: 4,
+                inner: 1
+            }
+        );
+        // Zero runs must not divide by zero.
+        assert_eq!(
+            ShardPlan::new(3, 0),
+            ShardPlan {
+                workers: 1,
+                inner: 3
+            }
+        );
+    }
+
+    #[test]
+    fn sharded_runs_clamp_keeps_run_order() {
+        // 16 configured workers, 5 runs: state sizes by the clamped
+        // count and results still come back in run order.
+        let out = sharded_runs(5, 16, |run| run * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+        assert_eq!(sharded_runs(0, 4, |run| run), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn inner_fanout_matches_sequential_results() {
+        // One large world (n ≈ 115 > the sequential-fallback threshold):
+        // with runs=1 every spare thread fans out per-node selection
+        // inside the run, and results must match the 1-thread path bit
+        // for bit.
+        let base = EvalConfig {
+            densities: vec![10.0],
+            runs: 1,
+            seed: 21,
+            weights: UniformWeights::paper_defaults(),
+            field: (600.0, 600.0),
+            radius: 100.0,
+            strategy: RouteStrategy::HopByHop,
+            threads: 1,
+        };
+        let mut fanned = base.clone();
+        fanned.threads = 4;
+        // And the nested split: 2 runs over 8 threads = 2 run-level
+        // workers, each fanning selection out over 4 inner threads.
+        let mut nested_base = base.clone();
+        nested_base.runs = 2;
+        let mut nested = nested_base.clone();
+        nested.threads = 8;
+        let kinds = [SelectorKind::Fnbp, SelectorKind::QolsrMpr2];
+        for (seq, par) in [(base, fanned), (nested_base, nested)] {
+            let a = run_experiment::<BandwidthMetric>(&seq, &kinds);
+            let b = run_experiment::<BandwidthMetric>(&par, &kinds);
+            for (x, y) in a.selectors.iter().zip(&b.selectors) {
+                for (dx, dy) in x.per_density.iter().zip(&y.per_density) {
+                    assert_eq!(dx.ans_size.count(), dy.ans_size.count());
+                    assert_eq!(dx.ans_size.mean(), dy.ans_size.mean());
+                    assert_eq!(dx.overhead.mean(), dy.overhead.mean());
+                    assert_eq!(dx.hops.mean(), dy.hops.mean());
+                }
+            }
+        }
     }
 
     #[test]

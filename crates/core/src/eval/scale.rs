@@ -1,0 +1,214 @@
+//! Scale sweep: wall-clock cost of the two single-world hot paths —
+//! waypoint link recomputation (per tick) and whole-network advertised
+//! selection (per world) — as the node count grows.
+//!
+//! The sweep holds the paper's density and radius fixed and grows the
+//! field with `n`, so per-node work is constant and any super-linear
+//! growth in the totals is pure algorithmic overhead. With the
+//! [`SpatialGrid`] neighbor index a waypoint tick is O(moved · k); the
+//! acceptance gate of the grid PR is that per-tick cost grows
+//! sub-quadratically (n=4000 under 4× the n=1000 cost).
+//!
+//! Unlike the figure experiments, runs execute *sequentially* — timing is
+//! the measurand, and concurrent runs would contend for cores. The
+//! configured thread budget instead fans out per-node selection inside
+//! each world, which is exactly the single-large-world regime the
+//! [`ShardPlan`](crate::eval) split was built for.
+//!
+//! [`SpatialGrid`]: qolsr_graph::SpatialGrid
+
+use std::f64::consts::PI;
+use std::time::Instant;
+
+use qolsr_graph::deploy::{deploy_at, Deployment, UniformWeights};
+use qolsr_graph::Point2;
+use qolsr_metrics::BandwidthMetric;
+use qolsr_sim::scenario::{RandomWaypoint, ScenarioBuilder};
+use qolsr_sim::{SimDuration, SimRng};
+
+use crate::advertised::build_advertised;
+use crate::eval::{derive_seed, resolve_workers};
+use crate::report::{Figure, Point, Series};
+use crate::selector::Fnbp;
+use qolsr_sim::stats::OnlineStats;
+
+/// Configuration of the scale sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Node counts to sweep.
+    pub sizes: Vec<usize>,
+    /// Timed repetitions per size.
+    pub runs: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Mean node degree, held constant across sizes (the field grows).
+    pub density: f64,
+    /// Communication radius `R`.
+    pub radius: f64,
+    /// Link-weight interval.
+    pub weights: UniformWeights,
+    /// Simulated seconds of waypoint motion per run (= ticks at the 1 s
+    /// tick).
+    pub sim_seconds: u64,
+    /// Threads for the per-world selection fan-out (0 = all cores).
+    pub threads: usize,
+}
+
+impl ScaleConfig {
+    /// The acceptance sweep: n ∈ {250, 1000, 4000} at the paper's
+    /// density 10 and radius 100.
+    pub fn new(runs: u32) -> Self {
+        Self {
+            sizes: vec![250, 1000, 4000],
+            runs,
+            seed: 0x51C0_2010,
+            density: 10.0,
+            radius: 100.0,
+            weights: UniformWeights::new(1, 100),
+            sim_seconds: 10,
+            threads: 0,
+        }
+    }
+
+    /// Field side holding `n` nodes at the configured density:
+    /// `area = n · πR²/δ`.
+    pub fn side_for(&self, n: usize) -> f64 {
+        (n as f64 * PI * self.radius * self.radius / self.density).sqrt()
+    }
+}
+
+/// Measurements of one sweep size.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Field side used.
+    pub side: f64,
+    /// Wall-clock milliseconds per waypoint tick (scenario generation
+    /// time / ticks), across runs.
+    pub tick_ms: OnlineStats,
+    /// Wall-clock milliseconds for one whole-network advertised-set
+    /// selection (FNBP, bandwidth metric), across runs.
+    pub select_ms: OnlineStats,
+    /// World events generated per run (sanity: the worlds really move).
+    pub events: OnlineStats,
+}
+
+/// Runs the sweep; points come back in `sizes` order.
+pub fn scale_sweep(cfg: &ScaleConfig) -> Vec<ScalePoint> {
+    let threads = resolve_workers(cfg.threads);
+    let selector = Fnbp::<BandwidthMetric>::new();
+    cfg.sizes
+        .iter()
+        .enumerate()
+        .map(|(si, &n)| {
+            let side = cfg.side_for(n);
+            let mut point = ScalePoint {
+                nodes: n,
+                side,
+                tick_ms: OnlineStats::new(),
+                select_ms: OnlineStats::new(),
+                events: OnlineStats::new(),
+            };
+            for run in 0..cfg.runs {
+                let mut rng = SimRng::seed_from_u64(derive_seed(cfg.seed, si, run));
+                let positions: Vec<Point2> = (0..n)
+                    .map(|_| Point2::new(rng.next_f64() * side, rng.next_f64() * side))
+                    .collect();
+                let deployment = Deployment {
+                    width: side,
+                    height: side,
+                    radius: cfg.radius,
+                    mean_degree: cfg.density,
+                };
+                let topo = deploy_at(&deployment, &cfg.weights, positions, &mut rng);
+
+                let started = Instant::now();
+                let scenario = ScenarioBuilder::new(&topo, cfg.seed ^ run as u64)
+                    .with(RandomWaypoint::new(
+                        (side, side),
+                        SimDuration::from_secs(1),
+                        (2.0, 10.0),
+                        SimDuration::from_secs(2),
+                        cfg.weights,
+                    ))
+                    .generate(SimDuration::from_secs(cfg.sim_seconds));
+                let gen_ms = started.elapsed().as_secs_f64() * 1e3;
+                point.tick_ms.push(gen_ms / cfg.sim_seconds as f64);
+                point.events.push(scenario.len() as f64);
+
+                let started = Instant::now();
+                let adv = build_advertised(&topo, &selector, threads);
+                let select_ms = started.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(adv.sizes().len(), n);
+                point.select_ms.push(select_ms);
+            }
+            point
+        })
+        .collect()
+}
+
+/// Renders the sweep as a two-series figure (x = node count).
+pub fn scale_figure(points: &[ScalePoint], title: &str) -> Figure {
+    let series = |label: &str, extract: fn(&ScalePoint) -> &OnlineStats| Series {
+        label: label.to_owned(),
+        points: points
+            .iter()
+            .map(|p| {
+                let s = extract(p);
+                Point {
+                    x: p.nodes as f64,
+                    mean: s.mean(),
+                    ci95: s.ci95_half_width(),
+                    n: s.count(),
+                }
+            })
+            .collect(),
+    };
+    Figure {
+        title: title.to_owned(),
+        xlabel: "nodes".to_owned(),
+        ylabel: "wall-clock ms".to_owned(),
+        series: vec![
+            series("waypoint ms per simulated second", |p| &p.tick_ms),
+            series("full-network selection ms (FNBP)", |p| &p.select_ms),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_a_point_per_size() {
+        let cfg = ScaleConfig {
+            sizes: vec![60, 120],
+            sim_seconds: 3,
+            threads: 2,
+            ..ScaleConfig::new(1)
+        };
+        let points = scale_sweep(&cfg);
+        assert_eq!(points.len(), 2);
+        for (p, &n) in points.iter().zip(&cfg.sizes) {
+            assert_eq!(p.nodes, n);
+            assert_eq!(p.tick_ms.count(), 1);
+            assert!(p.tick_ms.mean() >= 0.0);
+            assert!(p.events.mean() > 0.0, "world must move at n={n}");
+        }
+        let fig = scale_figure(&points, "scale");
+        assert_eq!(fig.series.len(), 2);
+        assert_eq!(fig.series[0].points.len(), 2);
+        assert!(fig.render_text().contains("scale"));
+    }
+
+    #[test]
+    fn field_grows_with_sqrt_n() {
+        let cfg = ScaleConfig::new(1);
+        let s1 = cfg.side_for(1000);
+        let s4 = cfg.side_for(4000);
+        assert!((s4 / s1 - 2.0).abs() < 1e-9, "4× nodes → 2× side");
+        // δ = 10, R = 100 ⇒ ~560 m side at n = 100.
+        assert!((cfg.side_for(100) - 560.5).abs() < 1.0);
+    }
+}

@@ -10,6 +10,7 @@ use qolsr_metrics::{Bandwidth, Delay, Energy, LinkQos};
 use rand::{Rng, RngExt};
 
 use crate::geometry::Point2;
+use crate::spatial::SpatialGrid;
 use crate::topology::{Topology, TopologyBuilder};
 
 /// Deployment parameters.
@@ -131,8 +132,8 @@ pub fn sample_poisson_count<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> usize {
 /// Samples a Poisson point process deployment and connects every pair of
 /// nodes within `cfg.radius`, labelling each link from `weights`.
 ///
-/// Uses a cell grid of side `R` so construction is near-linear in the
-/// number of node pairs actually in range.
+/// Uses a [`SpatialGrid`] with cells of side `R` so construction is
+/// near-linear in the number of node pairs actually in range.
 pub fn deploy<R: Rng + ?Sized>(
     cfg: &Deployment,
     weights: &UniformWeights,
@@ -161,44 +162,19 @@ pub fn deploy_at<R: Rng + ?Sized>(
     let mut builder = TopologyBuilder::new(cfg.radius);
     let ids: Vec<_> = positions.iter().map(|&p| builder.add_node(p)).collect();
 
-    // Cell grid of side R: a node only needs to check the 3×3 block of
-    // cells around its own.
-    let r = cfg.radius;
-    let r_sq = r * r;
-    let cols = (cfg.width / r).ceil().max(1.0) as i64;
-    let rows = (cfg.height / r).ceil().max(1.0) as i64;
-    let cell_of = |p: Point2| -> (i64, i64) {
-        (
-            ((p.x / r) as i64).clamp(0, cols - 1),
-            ((p.y / r) as i64).clamp(0, rows - 1),
-        )
-    };
-    let mut grid: Vec<Vec<usize>> = vec![Vec::new(); (cols * rows) as usize];
+    let grid = SpatialGrid::from_positions(cfg.width, cfg.height, cfg.radius, &positions);
+    let mut in_range = Vec::new();
     for (i, &p) in positions.iter().enumerate() {
-        let (cx, cy) = cell_of(p);
-        grid[(cy * cols + cx) as usize].push(i);
-    }
-
-    for (i, &p) in positions.iter().enumerate() {
-        let (cx, cy) = cell_of(p);
-        for dy in -1..=1 {
-            for dx in -1..=1 {
-                let (nx, ny) = (cx + dx, cy + dy);
-                if nx < 0 || ny < 0 || nx >= cols || ny >= rows {
-                    continue;
-                }
-                for &j in &grid[(ny * cols + nx) as usize] {
-                    // Each unordered pair once.
-                    if j <= i {
-                        continue;
-                    }
-                    if p.distance_sq(positions[j]) <= r_sq {
-                        let qos = weights.sample(rng);
-                        builder
-                            .link(ids[i], ids[j], qos)
-                            .expect("grid produced valid node ids");
-                    }
-                }
+        grid.neighbors_within_into(p, cfg.radius, &mut in_range);
+        // Queries come back sorted by id: taking j > i links each
+        // unordered pair once, in ascending (i, j) order — the link-label
+        // draw order is part of the seeded-deployment contract.
+        for &j in &in_range {
+            if j.index() > i {
+                let qos = weights.sample(rng);
+                builder
+                    .link(ids[i], ids[j.index()], qos)
+                    .expect("grid produced valid node ids");
             }
         }
     }

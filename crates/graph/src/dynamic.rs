@@ -45,6 +45,7 @@ use qolsr_metrics::LinkQos;
 use crate::compact::CompactGraph;
 use crate::geometry::Point2;
 use crate::ids::NodeId;
+use crate::spatial::SpatialGrid;
 use crate::topology::{Topology, TopologyBuilder};
 use crate::view::LocalView;
 
@@ -128,6 +129,16 @@ pub struct DynamicTopology {
     radius: f64,
     epoch: u64,
     views: RefCell<Vec<CachedView>>,
+    /// Spatial index over `positions` (inactive nodes included — they
+    /// keep travelling while powered off). Maintained incrementally by
+    /// `Move` events so every scenario model shares one up-to-date grid
+    /// instead of rebuilding its own per tick.
+    grid: SpatialGrid,
+    /// Per node: the epoch of its last applied `Move` (0 = never moved).
+    /// Lets incremental consumers (the waypoint model's dirty tracking)
+    /// detect position changes made by *other* actors between their
+    /// activations.
+    position_epochs: Vec<u64>,
 }
 
 impl Clone for DynamicTopology {
@@ -139,8 +150,27 @@ impl Clone for DynamicTopology {
             radius: self.radius,
             epoch: self.epoch,
             views: RefCell::new(vec![None; self.positions.len()]),
+            grid: self.grid.clone(),
+            position_epochs: self.position_epochs.clone(),
         }
     }
+}
+
+/// Builds the world's spatial index: cells of side `radius` over the
+/// bounding box of the initial positions (clamping keeps queries exact
+/// if nodes later roam past it).
+fn build_grid(positions: &[Point2], radius: f64) -> SpatialGrid {
+    let cell = if radius.is_finite() && radius > 0.0 {
+        radius
+    } else {
+        1.0
+    };
+    let (mut w, mut h) = (cell, cell);
+    for p in positions {
+        w = w.max(p.x);
+        h = h.max(p.y);
+    }
+    SpatialGrid::from_positions(w, h, cell, positions)
 }
 
 impl DynamicTopology {
@@ -148,13 +178,17 @@ impl DynamicTopology {
     /// node starts active.
     pub fn new(initial: &Topology) -> Self {
         let n = initial.len();
+        let positions: Vec<Point2> = (0..n).map(|i| initial.position(NodeId(i as u32))).collect();
+        let grid = build_grid(&positions, initial.radius());
         Self {
             graph: initial.graph().clone(),
-            positions: (0..n).map(|i| initial.position(NodeId(i as u32))).collect(),
+            positions,
             active: vec![true; n],
             radius: initial.radius(),
             epoch: 0,
             views: RefCell::new(vec![None; n]),
+            grid,
+            position_epochs: vec![0; n],
         }
     }
 
@@ -196,6 +230,31 @@ impl DynamicTopology {
     /// Current position of `n` (tracked even while inactive).
     pub fn position(&self, n: NodeId) -> Point2 {
         self.positions[n.index()]
+    }
+
+    /// The epoch at which `n` last changed position (0 if it never
+    /// moved). Incremental consumers compare this against a stored
+    /// snapshot to detect moves applied by other actors since their
+    /// last activation.
+    pub fn position_epoch(&self, n: NodeId) -> u64 {
+        self.position_epochs[n.index()]
+    }
+
+    /// All node slots (active or not) within `radius` of `center`,
+    /// ascending by id — served by the world's incremental
+    /// [`SpatialGrid`] rather than a scan over all positions. A node
+    /// exactly at `center` is included; callers asking for the neighbors
+    /// *of* a node filter it out, and callers that only care about the
+    /// radio filter on [`DynamicTopology::is_active`].
+    pub fn nodes_within(&self, center: Point2, radius: f64) -> Vec<NodeId> {
+        self.grid.neighbors_within(center, radius)
+    }
+
+    /// [`DynamicTopology::nodes_within`] writing into a caller-provided
+    /// buffer (cleared first), for per-tick loops that reuse one
+    /// allocation.
+    pub fn nodes_within_into(&self, center: Point2, radius: f64, out: &mut Vec<NodeId>) {
+        self.grid.neighbors_within_into(center, radius, out);
     }
 
     /// The current adjacency graph; node `i` is `NodeId(i)`.
@@ -267,6 +326,10 @@ impl DynamicTopology {
                     false
                 } else {
                     *slot = to;
+                    self.grid.move_node(node, to);
+                    // `epoch` is incremented below; the new value marks
+                    // this move.
+                    self.position_epochs[node.index()] = self.epoch + 1;
                     true
                 }
             }
@@ -450,6 +513,29 @@ mod tests {
             qos: qos(4)
         }));
         assert_eq!(world.link_count(), 2);
+    }
+
+    #[test]
+    fn nodes_within_tracks_moves() {
+        let mut world = triangle();
+        assert_eq!(
+            world.nodes_within(Point2::new(0.0, 0.0), 6.0),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+        world.apply(&WorldEvent::Move {
+            node: NodeId(1),
+            to: Point2::new(50.0, 50.0),
+        });
+        assert_eq!(
+            world.nodes_within(Point2::new(0.0, 0.0), 6.0),
+            vec![NodeId(0), NodeId(2)]
+        );
+        // Inactive nodes stay indexed: they keep travelling.
+        world.apply(&WorldEvent::Leave { node: NodeId(2) });
+        assert_eq!(
+            world.nodes_within(Point2::new(0.0, 0.0), 6.0),
+            vec![NodeId(0), NodeId(2)]
+        );
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`DynamicTopology`] — the epoch-versioned mutable world behind
 //!   mobility/churn scenarios, mutated by [`WorldEvent`]s and serving
 //!   epoch-cached local views;
+//! * [`SpatialGrid`] — the uniform-cell spatial index behind every
+//!   radius-based neighbor query (deployment linking, waypoint link
+//!   recomputation, churn relinking), incremental and provably exact;
 //! * [`paths`] — metric-generic best-path Dijkstra (additive *and*
 //!   concave/bottleneck), **exact first-hop sets** `fP(u,v)` over simple
 //!   paths, and a brute-force enumerator used to cross-check them;
@@ -52,6 +55,7 @@ mod geometry;
 mod ids;
 pub mod paths;
 pub mod reduction;
+mod spatial;
 mod topology;
 mod view;
 
@@ -59,5 +63,6 @@ pub use compact::CompactGraph;
 pub use dynamic::{DynamicTopology, WorldEvent};
 pub use geometry::Point2;
 pub use ids::NodeId;
+pub use spatial::SpatialGrid;
 pub use topology::{Topology, TopologyBuilder, TopologyError};
 pub use view::{LocalView, NeighborClass};

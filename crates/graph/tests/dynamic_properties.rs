@@ -199,4 +199,25 @@ proptest! {
             }
         }
     }
+
+    /// The world's incremental spatial index must answer radius queries
+    /// exactly like a brute-force scan over the positions it tracks,
+    /// after any event sequence (moves migrate grid cells; join/leave
+    /// never evict travellers).
+    #[test]
+    fn nodes_within_equals_position_scan((n, links, events) in world_and_events()) {
+        let mut world = make_world(n, &links);
+        for (i, ev) in events.iter().enumerate() {
+            world.apply(ev);
+            let center = world.position(NodeId(i as u32 % n));
+            for radius in [0.0, 3.0, 25.0, 80.0] {
+                let got = world.nodes_within(center, radius);
+                let want: Vec<NodeId> = world
+                    .nodes()
+                    .filter(|&m| center.distance_sq(world.position(m)) <= radius * radius)
+                    .collect();
+                prop_assert_eq!(got, want, "query after {} (r={}) diverges", ev, radius);
+            }
+        }
+    }
 }

@@ -1,0 +1,128 @@
+//! Differential property tests for [`SpatialGrid`]: after *any* history
+//! of inserts, moves and removals, `neighbors_within` must return exactly
+//! the nodes a brute-force O(n) distance scan over the live set finds —
+//! same membership, same ascending-id order — for arbitrary query centers
+//! and radii, including centers and positions outside the grid's nominal
+//! bounds.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use qolsr_graph::{NodeId, Point2, SpatialGrid};
+
+const FIELD: f64 = 300.0;
+
+/// One mutation of the indexed point set. Node ids are drawn from a small
+/// range so inserts/removes/moves collide often.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u32, Point2),
+    MoveTo(u32, Point2),
+    Remove(u32),
+}
+
+/// Positions roam well past the grid bounds on every side so clamping is
+/// exercised, not just tolerated.
+fn point() -> impl Strategy<Value = Point2> {
+    (-150.0..450.0f64, -150.0..450.0f64).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+fn op(ids: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..ids, point()).prop_map(|(n, p)| Op::Insert(n, p)),
+        (0..ids, point()).prop_map(|(n, p)| Op::MoveTo(n, p)),
+        (0..ids).prop_map(Op::Remove),
+    ]
+}
+
+/// Applies `ops` to both the grid and a naive reference map, skipping
+/// operations that are invalid for the current state (double insert,
+/// move/remove of an absent node) — the reference stays authoritative.
+fn replay(ops: &[Op], cell: f64) -> (SpatialGrid, BTreeMap<u32, Point2>) {
+    let mut grid = SpatialGrid::new(FIELD, FIELD, cell);
+    let mut reference: BTreeMap<u32, Point2> = BTreeMap::new();
+    for &op in ops {
+        match op {
+            Op::Insert(n, p) => {
+                if let std::collections::btree_map::Entry::Vacant(slot) = reference.entry(n) {
+                    grid.insert(NodeId(n), p);
+                    slot.insert(p);
+                }
+            }
+            Op::MoveTo(n, p) => {
+                if reference.contains_key(&n) {
+                    grid.move_node(NodeId(n), p);
+                    reference.insert(n, p);
+                }
+            }
+            Op::Remove(n) => {
+                if reference.remove(&n).is_some() {
+                    grid.remove(NodeId(n));
+                }
+            }
+        }
+    }
+    (grid, reference)
+}
+
+/// The brute-force answer: every live node within `r` of `center`,
+/// ascending by id (BTreeMap iteration order).
+fn brute_force(reference: &BTreeMap<u32, Point2>, center: Point2, r: f64) -> Vec<NodeId> {
+    reference
+        .iter()
+        .filter(|&(_, &p)| center.distance_sq(p) <= r * r)
+        .map(|(&n, _)| NodeId(n))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Grid queries ≡ brute force after arbitrary mutation histories,
+    /// for arbitrary centers, radii and cell sizes.
+    #[test]
+    fn neighbors_within_equals_brute_force(
+        ops in proptest::collection::vec(op(24), 40),
+        queries in proptest::collection::vec((point(), 0.0..250.0f64), 8),
+        cell in 20.0..160.0f64,
+    ) {
+        let (grid, reference) = replay(&ops, cell);
+        prop_assert_eq!(grid.len(), reference.len());
+        for (center, r) in queries {
+            let got = grid.neighbors_within(center, r);
+            let want = brute_force(&reference, center, r);
+            prop_assert_eq!(got, want,
+                "query at {} r={} diverges (cell {})", center, r, cell);
+        }
+    }
+
+    /// Positions survive round trips through moves and are queryable at
+    /// radius zero (exact-match lookups).
+    #[test]
+    fn positions_track_moves(
+        ops in proptest::collection::vec(op(12), 30),
+    ) {
+        let (grid, reference) = replay(&ops, 50.0);
+        for (&n, &p) in &reference {
+            prop_assert_eq!(grid.position(NodeId(n)), Some(p));
+            let hits = grid.neighbors_within(p, 0.0);
+            prop_assert!(hits.contains(&NodeId(n)),
+                "node {} invisible at its own position", n);
+        }
+    }
+
+    /// A degenerate one-cell grid (cell far larger than the field) must
+    /// still be exact — every query scans the single bucket.
+    #[test]
+    fn single_cell_grid_is_exact(
+        ops in proptest::collection::vec(op(16), 30),
+        center in point(),
+        r in 0.0..400.0f64,
+    ) {
+        let (grid, reference) = replay(&ops, 10_000.0);
+        prop_assert_eq!(
+            grid.neighbors_within(center, r),
+            brute_force(&reference, center, r)
+        );
+    }
+}

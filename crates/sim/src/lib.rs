@@ -77,5 +77,5 @@ pub mod trace;
 
 pub use engine::{Actor, Context, RadioConfig, SimStats, Simulator, TimerId};
 pub use rng::SimRng;
-pub use scenario::{MobilityModel, Scenario, ScenarioBuilder};
+pub use scenario::{apply_recorded, MobilityModel, NeighborScan, Scenario, ScenarioBuilder};
 pub use time::{SimDuration, SimTime};

@@ -8,18 +8,23 @@ use qolsr_graph::{DynamicTopology, NodeId, WorldEvent};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
-use super::{sample_exponential, MobilityModel};
+use super::{apply_recorded, sample_exponential, MobilityModel, NeighborScan};
 
 /// Node churn as a Poisson process: departures arrive network-wide at
 /// `leave_rate` per second (each hitting a uniformly random active node),
 /// and a departed node rejoins after an exponential downtime with mean
 /// `mean_downtime`. On rejoin the node reconnects to every active node
-/// within the communication radius, with freshly drawn link labels.
+/// within the communication radius — discovered through the world's
+/// shared [`SpatialGrid`] index by default — with freshly drawn link
+/// labels.
+///
+/// [`SpatialGrid`]: qolsr_graph::SpatialGrid
 #[derive(Debug, Clone)]
 pub struct PoissonChurn {
     leave_rate: f64,
     mean_downtime: SimDuration,
     weights: UniformWeights,
+    scan: NeighborScan,
     next_leave: Option<SimTime>,
     /// Pending rejoins: `time -> nodes` (BTreeMap keeps them ordered).
     rejoins: BTreeMap<SimTime, Vec<NodeId>>,
@@ -42,9 +47,17 @@ impl PoissonChurn {
             leave_rate,
             mean_downtime,
             weights,
+            scan: NeighborScan::Grid,
             next_leave: None,
             rejoins: BTreeMap::new(),
         }
+    }
+
+    /// Selects the rejoin-relink discovery path (default: the grid; the
+    /// naive path exists for differential tests).
+    pub fn with_scan(mut self, scan: NeighborScan) -> Self {
+        self.scan = scan;
+        self
     }
 
     fn mean_interarrival(&self) -> SimDuration {
@@ -72,45 +85,53 @@ impl MobilityModel for PoissonChurn {
     fn activate(
         &mut self,
         now: SimTime,
-        world: &DynamicTopology,
+        world: &mut DynamicTopology,
         rng: &mut SimRng,
     ) -> Vec<WorldEvent> {
         let mut events = Vec::new();
 
-        // Rejoins due at this instant: join plus radius links. The Join
-        // events of this batch are not applied to `world` until activate
-        // returns, so nodes rejoining together must see each other as
-        // active or same-instant pairs would come back mutually unlinked.
+        // Rejoins due at this instant: join plus radius links. Each Join
+        // applies to `world` immediately, so nodes rejoining at the same
+        // instant see each other as active and link up. Both discovery
+        // paths visit candidates in ascending id order, so they draw
+        // link labels in the same sequence (grid ≡ naive traces).
         if let Some(nodes) = self.rejoins.remove(&now) {
-            let r_sq = world.radius() * world.radius();
-            // Batch members whose Join already precedes this point in the
-            // event stream; links to them apply cleanly.
-            let mut joined: Vec<NodeId> = Vec::new();
+            let r = world.radius();
+            let r_sq = r * r;
             for node in nodes {
-                events.push(WorldEvent::Join { node });
+                apply_recorded(world, &mut events, WorldEvent::Join { node });
                 let here = world.position(node);
-                for other in world.nodes() {
-                    if other != node
-                        && (world.is_active(other) || joined.contains(&other))
-                        && here.distance_sq(world.position(other)) <= r_sq
-                    {
-                        events.push(WorldEvent::LinkUp {
-                            a: node,
-                            b: other,
-                            qos: self.weights.sample(rng),
-                        });
+                let candidates: Vec<NodeId> = match self.scan {
+                    NeighborScan::Naive => world
+                        .nodes()
+                        .filter(|&other| here.distance_sq(world.position(other)) <= r_sq)
+                        .collect(),
+                    NeighborScan::Grid => world.nodes_within(here, r),
+                };
+                for other in candidates {
+                    if other != node && world.is_active(other) {
+                        let qos = self.weights.sample(rng);
+                        apply_recorded(
+                            world,
+                            &mut events,
+                            WorldEvent::LinkUp {
+                                a: node,
+                                b: other,
+                                qos,
+                            },
+                        );
                     }
                 }
-                joined.push(node);
             }
         }
 
-        // A departure due at this instant hits a uniform active node.
+        // A departure due at this instant hits a uniform active node
+        // (same-instant rejoiners are back in the draw).
         if self.next_leave == Some(now) {
             let active: Vec<NodeId> = world.nodes().filter(|&n| world.is_active(n)).collect();
             if !active.is_empty() {
                 let victim = active[rng.next_below(active.len() as u64) as usize];
-                events.push(WorldEvent::Leave { node: victim });
+                apply_recorded(world, &mut events, WorldEvent::Leave { node: victim });
                 let back = now + sample_exponential(self.mean_downtime, rng);
                 self.rejoins.entry(back).or_default().push(victim);
             }
@@ -201,10 +222,8 @@ mod tests {
         model.next_leave = Some(SimTime::ZERO + SimDuration::from_secs(1_000));
 
         let mut rng = SimRng::seed_from_u64(1);
-        let events = model.activate(at, &world, &mut rng);
-        for ev in &events {
-            world.apply(ev);
-        }
+        let events = model.activate(at, &mut world, &mut rng);
+        assert!(!events.is_empty(), "rejoins must produce events");
         assert!(world.is_active(NodeId(0)) && world.is_active(NodeId(1)));
         assert!(
             world.has_link(NodeId(0), NodeId(1)),

@@ -6,7 +6,7 @@ use qolsr_metrics::{Bandwidth, Delay, Energy, LinkQos};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
-use super::{sample_standard_normal, MobilityModel};
+use super::{apply_recorded, sample_standard_normal, MobilityModel};
 
 /// First-order Gauss–Markov drift of every live link's QoS components:
 /// per tick, each of bandwidth, delay and energy moves as
@@ -25,6 +25,10 @@ pub struct GaussMarkovDrift {
     bounds: (u64, u64),
     sigma: f64,
     next: SimTime,
+    /// Edge snapshot reused across ticks (capacity retained) — drifting
+    /// mutates the world's labels mid-iteration, so each tick works from
+    /// a copy.
+    edges: Vec<(u32, u32, LinkQos)>,
 }
 
 impl GaussMarkovDrift {
@@ -48,6 +52,7 @@ impl GaussMarkovDrift {
             bounds,
             sigma,
             next: SimTime::ZERO,
+            edges: Vec::new(),
         }
     }
 
@@ -77,24 +82,32 @@ impl MobilityModel for GaussMarkovDrift {
     fn activate(
         &mut self,
         now: SimTime,
-        world: &DynamicTopology,
+        world: &mut DynamicTopology,
         rng: &mut SimRng,
     ) -> Vec<WorldEvent> {
         let mut events = Vec::new();
-        for (a, b, qos) in world.graph().edges() {
+        let mut edges = std::mem::take(&mut self.edges);
+        edges.clear();
+        edges.extend(world.graph().edges());
+        for &(a, b, qos) in &edges {
             let drifted = LinkQos::with_energy(
                 Bandwidth(self.drift_component(qos.bandwidth.value(), rng)),
                 Delay(self.drift_component(qos.delay.value(), rng)),
                 Energy(self.drift_component(qos.energy.value(), rng)),
             );
             if drifted != qos {
-                events.push(WorldEvent::QosChange {
-                    a: NodeId(a),
-                    b: NodeId(b),
-                    qos: drifted,
-                });
+                apply_recorded(
+                    world,
+                    &mut events,
+                    WorldEvent::QosChange {
+                        a: NodeId(a),
+                        b: NodeId(b),
+                        qos: drifted,
+                    },
+                );
             }
         }
+        self.edges = edges;
         self.next = now + self.tick;
         events
     }

@@ -58,7 +58,7 @@ mod waypoint;
 
 pub use churn::PoissonChurn;
 pub use drift::GaussMarkovDrift;
-pub use waypoint::RandomWaypoint;
+pub use waypoint::{RandomWaypoint, WaypointSampling};
 
 use qolsr_graph::{DynamicTopology, Topology, WorldEvent};
 
@@ -150,13 +150,34 @@ impl Scenario {
     }
 }
 
+/// How a scenario model discovers the nodes within radio radius of a
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NeighborScan {
+    /// Query the world's incremental [`SpatialGrid`] — O(k) per query
+    /// for `k` nodes in range; the default and the only path that scales
+    /// past a few thousand nodes.
+    ///
+    /// [`SpatialGrid`]: qolsr_graph::SpatialGrid
+    #[default]
+    Grid,
+    /// Brute-force scan over all candidate pairs — the O(n²) reference
+    /// implementation the grid path is differentially tested against
+    /// (`tests/scenario_determinism.rs` asserts byte-identical event
+    /// traces). Keep for tests; never for large worlds.
+    Naive,
+}
+
 /// A generator of world events, driven by the [`ScenarioBuilder`].
 ///
 /// Models are *activated* at the times they announce; on activation they
-/// inspect the evolving scratch world (positions, links, activity) and
-/// return the events happening at that instant. The builder applies the
-/// events to the scratch world immediately, so later activations — of the
-/// same model or of others — see their effects.
+/// inspect the evolving scratch world (positions, links, activity),
+/// apply the events happening at that instant directly to it (via
+/// [`apply_recorded`], which drops no-ops), and return the applied
+/// events for the schedule. Applying immediately is what lets models
+/// query the world's spatial index against *current* positions, and
+/// later activations — of the same model or of others — see their
+/// effects.
 pub trait MobilityModel {
     /// Short name for reports.
     fn name(&self) -> &'static str;
@@ -169,23 +190,38 @@ pub trait MobilityModel {
     /// The time of this model's next activation, or `None` when done.
     fn next_activation(&self) -> Option<SimTime>;
 
-    /// Produces this model's events at time `now` and advances its
-    /// internal clock. Must only be called at the announced activation
-    /// time.
+    /// Applies this model's events at time `now` to `world`, returns
+    /// them in application order, and advances the model's internal
+    /// clock. Must only be called at the announced activation time, and
+    /// must only return events that actually changed the world.
     fn activate(
         &mut self,
         now: SimTime,
-        world: &DynamicTopology,
+        world: &mut DynamicTopology,
         rng: &mut SimRng,
     ) -> Vec<WorldEvent>;
+}
+
+/// Applies `ev` to `world`; if it changed anything, records it in
+/// `events`. The one helper every [`MobilityModel`] — in-tree or
+/// external — routes its output through, so "returned ⇔ applied and not
+/// a no-op" holds by construction. Events returned from
+/// [`MobilityModel::activate`] without having been applied corrupt the
+/// scratch world (the builder does **not** apply them again).
+pub fn apply_recorded(world: &mut DynamicTopology, events: &mut Vec<WorldEvent>, ev: WorldEvent) {
+    if world.apply(&ev) {
+        events.push(ev);
+    }
 }
 
 /// Composes [`MobilityModel`]s into a deterministic [`Scenario`].
 ///
 /// Generation is a discrete-event loop of its own: the earliest-activating
-/// model runs (ties resolve in registration order), its events apply to a
-/// scratch copy of the world, and the loop repeats until the horizon.
-/// No-op events (e.g. a link-up the world already has) are filtered out.
+/// model runs (ties resolve in registration order), applies its events to
+/// a scratch copy of the world — which keeps the world's spatial index
+/// current for the model's own radius queries — and the loop repeats
+/// until the horizon. No-op events (e.g. a link-up the world already has)
+/// never enter the schedule.
 pub struct ScenarioBuilder {
     world: DynamicTopology,
     models: Vec<Box<dyn MobilityModel>>,
@@ -227,12 +263,8 @@ impl ScenarioBuilder {
             if at > end {
                 break;
             }
-            let produced = self.models[idx].activate(at, &self.world, &mut self.rng);
-            for event in produced {
-                if self.world.apply(&event) {
-                    events.push(TimedEvent { at, event });
-                }
-            }
+            let produced = self.models[idx].activate(at, &mut self.world, &mut self.rng);
+            events.extend(produced.into_iter().map(|event| TimedEvent { at, event }));
         }
         Scenario { events, horizon }
     }

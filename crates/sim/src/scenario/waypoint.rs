@@ -6,7 +6,7 @@ use qolsr_graph::{DynamicTopology, NodeId, Point2, WorldEvent};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
-use super::MobilityModel;
+use super::{apply_recorded, MobilityModel, NeighborScan};
 
 #[derive(Debug, Clone, Copy)]
 struct NodeMotion {
@@ -16,14 +16,40 @@ struct NodeMotion {
     pause_until: SimTime,
 }
 
-/// The classic random-waypoint model: every node picks a uniform waypoint
-/// in the field and a uniform speed, travels there in straight-line steps
-/// of one `tick`, pauses, and repeats. After each tick the unit-disk link
-/// set is recomputed from the new positions: links that left the radius go
-/// down, pairs that entered it come up with freshly drawn QoS labels
-/// (links that persist keep theirs — drift is [`GaussMarkovDrift`]'s job).
+/// How waypoints are drawn from the field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WaypointSampling {
+    /// The classic model: waypoints uniform over the field. Straight
+    /// legs between uniform waypoints cross the middle of the field
+    /// disproportionately often, so the time-averaged node density peaks
+    /// at the center — the well-known RWP center-density bias.
+    #[default]
+    Uniform,
+    /// Border-aware rejection sampling that damps the center bias: a
+    /// uniform candidate at Chebyshev border-closeness `c ∈ [0, 1]`
+    /// (0 at the field center, 1 on the border) is accepted with
+    /// probability `c`, pushing waypoints — and with them the legs that
+    /// would otherwise pile up mid-field — outward. Draws stay inside
+    /// the field, so field containment is unchanged.
+    BorderAware,
+}
+
+/// The classic random-waypoint model: every node picks a waypoint in the
+/// field (see [`WaypointSampling`]) and a uniform speed, travels there in
+/// straight-line steps of one `tick`, pauses, and repeats. After each
+/// tick the unit-disk link set is re-synced against the new positions:
+/// links that left the radius go down, pairs that entered it come up with
+/// freshly drawn QoS labels (links that persist keep theirs — drift is
+/// [`GaussMarkovDrift`]'s job).
+///
+/// Link re-sync runs per *dirty* node — nodes that moved this tick or
+/// became active since the last one — through the world's shared
+/// [`SpatialGrid`] index, O(moved · k) instead of the all-pairs O(n²)
+/// scan, which [`NeighborScan::Naive`] keeps available as the reference
+/// the grid path is differentially tested against.
 ///
 /// [`GaussMarkovDrift`]: super::GaussMarkovDrift
+/// [`SpatialGrid`]: qolsr_graph::SpatialGrid
 #[derive(Debug, Clone)]
 pub struct RandomWaypoint {
     field: (f64, f64),
@@ -31,9 +57,28 @@ pub struct RandomWaypoint {
     speed: (f64, f64),
     pause: SimDuration,
     weights: UniformWeights,
+    sampling: WaypointSampling,
+    scan: NeighborScan,
     next: SimTime,
     motion: Vec<NodeMotion>,
-    positions: Vec<Point2>,
+    /// Activity as of the last activation; a false→true flip marks the
+    /// node dirty so a rejoin by a model that did not relink it still
+    /// gets its radius links re-synced.
+    active: Vec<bool>,
+    /// `DynamicTopology::position_epoch` per node as of the end of the
+    /// last activation; a change marks the node dirty, so moves applied
+    /// by *other* composed models between activations get their radius
+    /// links re-synced too (the grid path's consistency invariant does
+    /// not depend on this model being the only mover).
+    pos_epochs: Vec<u64>,
+    /// The first activation re-syncs every pair (the initial topology is
+    /// not required to match the radius relation); later ticks only look
+    /// at dirty nodes.
+    full_sync: bool,
+    /// Per-min-endpoint candidate-pair buckets, kept across ticks so the
+    /// grid path allocates nothing in steady state. Always left empty
+    /// between activations (capacity retained).
+    buckets: Vec<Vec<u32>>,
 }
 
 impl RandomWaypoint {
@@ -69,18 +114,73 @@ impl RandomWaypoint {
             speed,
             pause,
             weights,
+            sampling: WaypointSampling::Uniform,
+            scan: NeighborScan::Grid,
             next: SimTime::ZERO,
             motion: Vec::new(),
-            positions: Vec::new(),
+            active: Vec::new(),
+            pos_epochs: Vec::new(),
+            full_sync: true,
+            buckets: Vec::new(),
         }
     }
 
+    /// Selects the waypoint distribution (default: uniform).
+    pub fn with_sampling(mut self, sampling: WaypointSampling) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Selects the link re-sync path (default: the grid; the naive path
+    /// exists for differential tests).
+    pub fn with_scan(mut self, scan: NeighborScan) -> Self {
+        self.scan = scan;
+        self
+    }
+
     fn draw_waypoint(&self, rng: &mut SimRng) -> Point2 {
-        Point2::new(rng.next_f64() * self.field.0, rng.next_f64() * self.field.1)
+        let (w, h) = self.field;
+        let mut p = Point2::new(rng.next_f64() * w, rng.next_f64() * h);
+        if self.sampling == WaypointSampling::BorderAware {
+            // Mean acceptance is E[max(|U|,|V|)] = 2/3, so 16 rounds
+            // leave a < 10⁻⁷ residue of uniform draws — bounded work per
+            // waypoint.
+            for _ in 0..16 {
+                let cx = (2.0 * p.x / w - 1.0).abs();
+                let cy = (2.0 * p.y / h - 1.0).abs();
+                if rng.next_f64() <= cx.max(cy) {
+                    break;
+                }
+                p = Point2::new(rng.next_f64() * w, rng.next_f64() * h);
+            }
+        }
+        p
     }
 
     fn draw_speed(&self, rng: &mut SimRng) -> f64 {
         self.speed.0 + rng.next_f64() * (self.speed.1 - self.speed.0)
+    }
+
+    /// Brings the link state of the active pair `a—b` in line with the
+    /// radius relation, drawing a fresh label if the pair just came into
+    /// range.
+    fn sync_pair(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        r_sq: f64,
+        world: &mut DynamicTopology,
+        events: &mut Vec<WorldEvent>,
+        rng: &mut SimRng,
+    ) {
+        let in_range = world.position(a).distance_sq(world.position(b)) <= r_sq;
+        let linked = world.has_link(a, b);
+        if in_range && !linked {
+            let qos = self.weights.sample(rng);
+            apply_recorded(world, events, WorldEvent::LinkUp { a, b, qos });
+        } else if !in_range && linked {
+            apply_recorded(world, events, WorldEvent::LinkDown { a, b });
+        }
     }
 }
 
@@ -90,7 +190,6 @@ impl MobilityModel for RandomWaypoint {
     }
 
     fn init(&mut self, world: &DynamicTopology, rng: &mut SimRng) {
-        self.positions = world.nodes().map(|n| world.position(n)).collect();
         self.motion = (0..world.len())
             .map(|_| NodeMotion {
                 target: self.draw_waypoint(rng),
@@ -98,6 +197,15 @@ impl MobilityModel for RandomWaypoint {
                 pause_until: SimTime::ZERO,
             })
             .collect();
+        self.active = world.nodes().map(|n| world.is_active(n)).collect();
+        self.pos_epochs = world.nodes().map(|n| world.position_epoch(n)).collect();
+        self.full_sync = true;
+        // The grid path tags bucketed node ids with two origin bits.
+        assert!(
+            world.len() < (1 << 30),
+            "grid scan packs node ids into 30 bits"
+        );
+        self.buckets = vec![Vec::new(); world.len()];
         // First motion step one tick in.
         self.next = SimTime::ZERO + self.tick;
     }
@@ -109,67 +217,158 @@ impl MobilityModel for RandomWaypoint {
     fn activate(
         &mut self,
         now: SimTime,
-        world: &DynamicTopology,
+        world: &mut DynamicTopology,
         rng: &mut SimRng,
     ) -> Vec<WorldEvent> {
         let mut events = Vec::new();
         let dt = self.tick.as_secs_f64();
+        let n = world.len();
+
+        // Nodes whose radius relations may have changed this tick.
+        let mut dirty: Vec<u32> = Vec::new();
+        if self.full_sync {
+            self.full_sync = false;
+            dirty.extend(0..n as u32);
+        }
 
         // Move every node (including inactive ones: a powered-off device
         // keeps travelling) toward its waypoint.
-        for (i, motion) in self.motion.iter_mut().enumerate() {
-            if now < motion.pause_until {
+        for i in 0..n {
+            let node = NodeId(i as u32);
+            let active_now = world.is_active(node);
+            if active_now && !self.active[i] {
+                dirty.push(i as u32);
+            }
+            self.active[i] = active_now;
+            // Moved by another composed model since our last activation.
+            if world.position_epoch(node) != self.pos_epochs[i] {
+                dirty.push(i as u32);
+            }
+
+            let mut m = self.motion[i];
+            if now < m.pause_until {
                 continue;
             }
-            let pos = self.positions[i];
-            let step = motion.speed * dt;
-            let dist = pos.distance(motion.target);
+            let pos = world.position(node);
+            let step = m.speed * dt;
+            let dist = pos.distance(m.target);
             let new_pos = if dist <= step {
                 // Arrived: pause here, then head for a fresh waypoint.
-                motion.pause_until = now + self.pause;
-                let arrived = motion.target;
-                motion.target =
-                    Point2::new(rng.next_f64() * self.field.0, rng.next_f64() * self.field.1);
-                motion.speed = self.speed.0 + rng.next_f64() * (self.speed.1 - self.speed.0);
+                m.pause_until = now + self.pause;
+                let arrived = m.target;
+                m.target = self.draw_waypoint(rng);
+                m.speed = self.draw_speed(rng);
                 arrived
             } else {
                 Point2::new(
-                    pos.x + (motion.target.x - pos.x) / dist * step,
-                    pos.y + (motion.target.y - pos.y) / dist * step,
+                    pos.x + (m.target.x - pos.x) / dist * step,
+                    pos.y + (m.target.y - pos.y) / dist * step,
                 )
             };
+            self.motion[i] = m;
             if new_pos != pos {
-                self.positions[i] = new_pos;
-                events.push(WorldEvent::Move {
-                    node: NodeId(i as u32),
-                    to: new_pos,
-                });
+                apply_recorded(world, &mut events, WorldEvent::Move { node, to: new_pos });
+                dirty.push(i as u32);
             }
         }
+        // Snapshot after our own moves: only *later* external moves
+        // count as dirty next tick.
+        for (i, slot) in self.pos_epochs.iter_mut().enumerate() {
+            *slot = world.position_epoch(NodeId(i as u32));
+        }
 
-        // Recompute the unit-disk link set over the new positions.
-        let r_sq = world.radius() * world.radius();
-        let n = self.positions.len();
-        for a in 0..n {
-            let na = NodeId(a as u32);
-            if !world.is_active(na) {
-                continue;
-            }
-            for b in (a + 1)..n {
-                let nb = NodeId(b as u32);
-                if !world.is_active(nb) {
-                    continue;
+        // Re-sync the unit-disk link set over the new positions. Both
+        // paths visit candidate pairs in ascending (a, b) order, so they
+        // draw link labels in the same sequence — the basis of the
+        // grid ≡ naive trace equality the test suite pins.
+        let r = world.radius();
+        let r_sq = r * r;
+        match self.scan {
+            NeighborScan::Naive => {
+                for a in 0..n {
+                    let na = NodeId(a as u32);
+                    if !world.is_active(na) {
+                        continue;
+                    }
+                    for b in (a + 1)..n {
+                        let nb = NodeId(b as u32);
+                        if !world.is_active(nb) {
+                            continue;
+                        }
+                        self.sync_pair(na, nb, r_sq, world, &mut events, rng);
+                    }
                 }
-                let in_range = self.positions[a].distance_sq(self.positions[b]) <= r_sq;
-                let linked = world.has_link(na, nb);
-                if in_range && !linked {
-                    events.push(WorldEvent::LinkUp {
-                        a: na,
-                        b: nb,
-                        qos: self.weights.sample(rng),
-                    });
-                } else if !in_range && linked {
-                    events.push(WorldEvent::LinkDown { a: na, b: nb });
+            }
+            NeighborScan::Grid => {
+                // Only pairs touching a dirty node can have changed:
+                // every other active pair was radius-consistent after the
+                // previous sync and neither endpoint moved since.
+                //
+                // Candidate pairs bucket under their smaller endpoint,
+                // tagged with where they came from: the adjacency pass
+                // (LINKED — potential downs) or the grid pass (IN_RANGE —
+                // potential ups). After a per-bucket sort, merged flags
+                // decide each pair's event with no further lookups —
+                // stable pairs (both flags) cost nothing beyond the
+                // merge. Walking buckets in ascending order keeps the
+                // label-draw sequence identical to the naive scan.
+                const LINKED: u32 = 1;
+                const IN_RANGE: u32 = 2;
+                let mut in_range = Vec::new();
+                for &d in &dirty {
+                    let nd = NodeId(d);
+                    for (m, _) in world.neighbors(nd) {
+                        let (a, b) = (d.min(m.0), d.max(m.0));
+                        self.buckets[a as usize].push(b << 2 | LINKED);
+                    }
+                    world.nodes_within_into(world.position(nd), r, &mut in_range);
+                    for &m in &in_range {
+                        if m != nd {
+                            let (a, b) = (d.min(m.0), d.max(m.0));
+                            self.buckets[a as usize].push(b << 2 | IN_RANGE);
+                        }
+                    }
+                }
+                for a in 0..n {
+                    if self.buckets[a].is_empty() {
+                        continue;
+                    }
+                    let mut bucket = std::mem::take(&mut self.buckets[a]);
+                    let na = NodeId(a as u32);
+                    if world.is_active(na) {
+                        bucket.sort_unstable();
+                        let mut i = 0;
+                        while i < bucket.len() {
+                            let b = bucket[i] >> 2;
+                            let mut flags = bucket[i] & 3;
+                            i += 1;
+                            while i < bucket.len() && bucket[i] >> 2 == b {
+                                flags |= bucket[i] & 3;
+                                i += 1;
+                            }
+                            let nb = NodeId(b);
+                            if !world.is_active(nb) {
+                                continue;
+                            }
+                            if flags == IN_RANGE {
+                                let qos = self.weights.sample(rng);
+                                apply_recorded(
+                                    world,
+                                    &mut events,
+                                    WorldEvent::LinkUp { a: na, b: nb, qos },
+                                );
+                            } else if flags == LINKED {
+                                apply_recorded(
+                                    world,
+                                    &mut events,
+                                    WorldEvent::LinkDown { a: na, b: nb },
+                                );
+                            }
+                            // Both flags: linked and still in range.
+                        }
+                    }
+                    bucket.clear();
+                    self.buckets[a] = bucket;
                 }
             }
         }
@@ -232,6 +431,117 @@ mod tests {
         let s = ScenarioBuilder::new(&topo, 6)
             .with(model())
             .generate(SimDuration::from_secs(20));
+        for te in s.events() {
+            if let WorldEvent::Move { to, .. } = te.event {
+                assert!((0.0..=200.0).contains(&to.x), "x out of field: {to}");
+                assert!((0.0..=200.0).contains(&to.y), "y out of field: {to}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_and_naive_scans_agree() {
+        let topo = world();
+        for seed in [3, 17, 99] {
+            let grid = ScenarioBuilder::new(&topo, seed)
+                .with(model())
+                .generate(SimDuration::from_secs(25));
+            let naive = ScenarioBuilder::new(&topo, seed)
+                .with(model().with_scan(NeighborScan::Naive))
+                .generate(SimDuration::from_secs(25));
+            assert_eq!(
+                grid.events(),
+                naive.events(),
+                "grid and naive scans diverge (seed {seed})"
+            );
+        }
+    }
+
+    /// A minimal *external* mover: teleports one node every 3 s without
+    /// touching any links — exactly the kind of composed model whose
+    /// moves the waypoint's dirty tracking must pick up via the world's
+    /// position epochs.
+    struct Teleporter {
+        next: SimTime,
+    }
+
+    impl MobilityModel for Teleporter {
+        fn name(&self) -> &'static str {
+            "teleporter"
+        }
+
+        fn next_activation(&self) -> Option<SimTime> {
+            Some(self.next)
+        }
+
+        fn activate(
+            &mut self,
+            now: SimTime,
+            world: &mut DynamicTopology,
+            rng: &mut SimRng,
+        ) -> Vec<WorldEvent> {
+            let mut events = Vec::new();
+            let to = Point2::new(rng.next_f64() * 200.0, rng.next_f64() * 200.0);
+            apply_recorded(
+                world,
+                &mut events,
+                WorldEvent::Move {
+                    node: NodeId(0),
+                    to,
+                },
+            );
+            self.next = now + SimDuration::from_secs(3);
+            events
+        }
+    }
+
+    /// Moves applied by *another* composed model must get their radius
+    /// links re-synced by the grid path exactly like the naive full
+    /// scan does.
+    #[test]
+    fn grid_scan_tracks_external_movers() {
+        let topo = world();
+        if topo.is_empty() {
+            return;
+        }
+        for seed in [5, 41] {
+            let build = |scan: NeighborScan| {
+                // Fast legs + long pauses: nodes mostly sit still, so a
+                // teleported node's only position change is the external
+                // one — the epoch-tracking path, not self-moves, must
+                // mark it dirty.
+                let waypoint = RandomWaypoint::new(
+                    (200.0, 200.0),
+                    SimDuration::from_secs(1),
+                    (80.0, 90.0),
+                    SimDuration::from_secs(12),
+                    UniformWeights::paper_defaults(),
+                )
+                .with_scan(scan);
+                ScenarioBuilder::new(&topo, seed)
+                    .with(Teleporter {
+                        next: SimTime::ZERO + SimDuration::from_secs(3),
+                    })
+                    .with(waypoint)
+                    .generate(SimDuration::from_secs(25))
+            };
+            let grid = build(NeighborScan::Grid);
+            let naive = build(NeighborScan::Naive);
+            assert_eq!(
+                grid.events(),
+                naive.events(),
+                "external moves break grid/naive equality (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn border_aware_sampling_stays_in_field() {
+        let topo = world();
+        let s = ScenarioBuilder::new(&topo, 8)
+            .with(model().with_sampling(WaypointSampling::BorderAware))
+            .generate(SimDuration::from_secs(40));
+        assert!(s.summary().moves > 0);
         for te in s.events() {
             if let WorldEvent::Move { to, .. } = te.event {
                 assert!((0.0..=200.0).contains(&to.x), "x out of field: {to}");

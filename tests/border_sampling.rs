@@ -1,0 +1,132 @@
+//! Long-run statistical guards for the border-aware waypoint sampler:
+//! it must measurably damp the classic random-waypoint center-density
+//! bias versus uniform sampling, while never pushing a node out of the
+//! field.
+
+mod common;
+
+use qolsr_graph::deploy::UniformWeights;
+use qolsr_graph::{Point2, WorldEvent};
+use qolsr_sim::scenario::{RandomWaypoint, Scenario, ScenarioBuilder, WaypointSampling};
+use qolsr_sim::SimDuration;
+
+const SIDE: f64 = 400.0;
+
+/// A seeded ~50-node world inside the test field.
+fn world() -> qolsr_graph::Topology {
+    common::seeded_topology(17, SIDE, 10.0, UniformWeights::paper_defaults())
+}
+
+fn long_run(sampling: WaypointSampling, seed: u64) -> Scenario {
+    ScenarioBuilder::new(&world(), seed)
+        .with(
+            RandomWaypoint::new(
+                (SIDE, SIDE),
+                SimDuration::from_secs(1),
+                (5.0, 15.0),
+                SimDuration::from_secs(1),
+                UniformWeights::paper_defaults(),
+            )
+            .with_sampling(sampling),
+        )
+        .generate(SimDuration::from_secs(400))
+}
+
+/// Fraction of time-sampled positions (one per node per motion tick)
+/// landing in the center cell — the middle third × middle third of the
+/// field, 1/9 of its area. Under a spatially uniform long-run density
+/// this would be ≈ 1/9; classic RWP concentrates well above it.
+fn center_fraction(s: &Scenario) -> f64 {
+    let lo = SIDE / 3.0;
+    let hi = 2.0 * SIDE / 3.0;
+    let mut total = 0u64;
+    let mut center = 0u64;
+    for te in s.events() {
+        if let WorldEvent::Move { to, .. } = te.event {
+            total += 1;
+            if (lo..hi).contains(&to.x) && (lo..hi).contains(&to.y) {
+                center += 1;
+            }
+        }
+    }
+    assert!(total > 5_000, "long run must sample many positions");
+    center as f64 / total as f64
+}
+
+/// The center-cell density excess over uniform-area occupancy must drop
+/// under border-aware sampling, consistently across seeds.
+#[test]
+fn border_aware_sampling_damps_center_density() {
+    for seed in [3, 21] {
+        let uniform = center_fraction(&long_run(WaypointSampling::Uniform, seed));
+        let border = center_fraction(&long_run(WaypointSampling::BorderAware, seed));
+        let area_share = 1.0 / 9.0;
+        assert!(
+            uniform > area_share,
+            "seed {seed}: classic RWP should over-occupy the center \
+             ({uniform:.4} vs area share {area_share:.4})"
+        );
+        let uniform_excess = uniform - area_share;
+        let border_excess = border - area_share;
+        assert!(
+            border_excess < uniform_excess * 0.8,
+            "seed {seed}: border-aware sampling should cut the center excess by >20%: \
+             uniform {uniform:.4} (excess {uniform_excess:.4}) vs \
+             border-aware {border:.4} (excess {border_excess:.4})"
+        );
+    }
+}
+
+/// Every position the border-aware sampler ever produces stays inside
+/// the field — rejection sampling must not leak out-of-range waypoints.
+#[test]
+fn border_aware_sampling_contains_positions() {
+    let s = long_run(WaypointSampling::BorderAware, 5);
+    for te in s.events() {
+        if let WorldEvent::Move { to, .. } = te.event {
+            assert!(
+                (0.0..=SIDE).contains(&to.x) && (0.0..=SIDE).contains(&to.y),
+                "position out of field: {to}"
+            );
+        }
+    }
+}
+
+/// Border-aware waypoints concentrate toward the border by construction:
+/// the mean Chebyshev distance from the field center over sampled
+/// positions must exceed the uniform run's.
+#[test]
+fn border_aware_sampling_shifts_mass_outward() {
+    let mean_closeness = |s: &Scenario| {
+        let (mut total, mut count) = (0.0f64, 0u64);
+        for te in s.events() {
+            if let WorldEvent::Move { to, .. } = te.event {
+                let cx = (2.0 * to.x / SIDE - 1.0).abs();
+                let cy = (2.0 * to.y / SIDE - 1.0).abs();
+                total += cx.max(cy);
+                count += 1;
+            }
+        }
+        total / count as f64
+    };
+    let uniform = mean_closeness(&long_run(WaypointSampling::Uniform, 11));
+    let border = mean_closeness(&long_run(WaypointSampling::BorderAware, 11));
+    assert!(
+        border > uniform + 0.01,
+        "border-aware mass should sit farther out: {border:.4} vs {uniform:.4}"
+    );
+}
+
+fn center_positions_of(p: Point2) -> bool {
+    let lo = SIDE / 3.0;
+    let hi = 2.0 * SIDE / 3.0;
+    (lo..hi).contains(&p.x) && (lo..hi).contains(&p.y)
+}
+
+/// Sanity for the helper itself.
+#[test]
+fn center_cell_predicate_matches_bounds() {
+    assert!(center_positions_of(Point2::new(150.0, 150.0)));
+    assert!(!center_positions_of(Point2::new(10.0, 150.0)));
+    assert!(!center_positions_of(Point2::new(150.0, 290.0)));
+}

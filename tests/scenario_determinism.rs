@@ -18,7 +18,7 @@ use qolsr_metrics::BandwidthMetric;
 use qolsr_proto::network::OlsrNetwork;
 use qolsr_proto::{OlsrConfig, RouteEntry};
 use qolsr_sim::scenario::{PoissonChurn, RandomWaypoint, Scenario, ScenarioBuilder};
-use qolsr_sim::{RadioConfig, SimDuration};
+use qolsr_sim::{NeighborScan, RadioConfig, SimDuration};
 
 fn weights() -> UniformWeights {
     UniformWeights::paper_defaults()
@@ -28,17 +28,24 @@ fn world() -> Topology {
     common::medium_topology(41, 7.0)
 }
 
-fn scenario(topo: &Topology, seed: u64) -> Scenario {
+fn scenario_with(topo: &Topology, seed: u64, scan: NeighborScan) -> Scenario {
     ScenarioBuilder::new(topo, seed)
-        .with(RandomWaypoint::new(
-            (400.0, 400.0),
-            SimDuration::from_secs(1),
-            (2.0, 10.0),
-            SimDuration::from_secs(3),
-            weights(),
-        ))
-        .with(PoissonChurn::new(0.2, SimDuration::from_secs(5), weights()))
+        .with(
+            RandomWaypoint::new(
+                (400.0, 400.0),
+                SimDuration::from_secs(1),
+                (2.0, 10.0),
+                SimDuration::from_secs(3),
+                weights(),
+            )
+            .with_scan(scan),
+        )
+        .with(PoissonChurn::new(0.2, SimDuration::from_secs(5), weights()).with_scan(scan))
         .generate(SimDuration::from_secs(30))
+}
+
+fn scenario(topo: &Topology, seed: u64) -> Scenario {
+    scenario_with(topo, seed, NeighborScan::Grid)
 }
 
 /// Equal seeds must yield byte-identical world-event traces.
@@ -56,6 +63,54 @@ fn scenario_event_traces_replay_per_seed() {
         scenario(&topo, 2).events(),
         "different seeds must explore different worlds"
     );
+}
+
+/// The differential acceptance test of the spatial-grid subsystem: a
+/// full random-waypoint + Poisson-churn scenario discovered through the
+/// world's `SpatialGrid` must produce a **byte-identical** event trace —
+/// same events, same order, same drawn link labels — as the brute-force
+/// O(n²) reference scan, across seeds and densities.
+#[test]
+fn grid_scan_replays_naive_scan_exactly() {
+    for (topo_seed, density) in [(41, 7.0), (42, 10.0), (7, 4.0)] {
+        let topo = common::medium_topology(topo_seed, density);
+        for seed in [0, 1, 9, 0x51C0_2010] {
+            let grid = scenario_with(&topo, seed, NeighborScan::Grid);
+            let naive = scenario_with(&topo, seed, NeighborScan::Naive);
+            assert_eq!(
+                grid.events(),
+                naive.events(),
+                "grid trace diverges from naive (topo seed {topo_seed}, seed {seed})"
+            );
+            assert_eq!(grid.summary(), naive.summary());
+        }
+    }
+}
+
+/// Grid ≡ naive must also survive the protocol: identical traces mean
+/// identical OLSR end states whichever scan generated the scenario.
+#[test]
+fn protocol_state_is_scan_independent() {
+    let run = |scan: NeighborScan| {
+        let topo = world();
+        let s = scenario_with(&topo, 31, scan);
+        let mut net = OlsrNetwork::new(
+            topo,
+            OlsrConfig::default(),
+            RadioConfig::default(),
+            31,
+            |_| SelectorPolicy::new(Fnbp::<BandwidthMetric>::new()),
+        );
+        net.install_scenario(&s);
+        net.run_for(SimDuration::from_secs(40));
+        let routes: Vec<BTreeMap<NodeId, RouteEntry>> = net
+            .world()
+            .nodes()
+            .map(|n| net.node(n).routes(net.now()))
+            .collect();
+        (net.sim().stats(), net.world().epoch(), routes)
+    };
+    assert_eq!(run(NeighborScan::Grid), run(NeighborScan::Naive));
 }
 
 /// A full protocol run under motion + churn must replay identically:
