@@ -1,6 +1,9 @@
 //! Criterion benchmarks for the live protocol substrate: full
-//! discrete-event OLSR networks (HELLO/TC exchange, MPR flooding) and the
-//! wire codec.
+//! discrete-event OLSR networks (HELLO/TC exchange, MPR flooding), the
+//! wire codec, the routing-table hot path (from-scratch interned BFS vs
+//! the `BTreeMap` reference vs the incremental cache), HELLO/TC table
+//! integration throughput, and the event-queue scheduler (timer wheel vs
+//! binary heap) under a HELLO/TC-like timer mix.
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -11,8 +14,12 @@ use qolsr_graph::NodeId;
 use qolsr_metrics::{BandwidthMetric, LinkQos};
 use qolsr_proto::messages::{Hello, HelloNeighbor, LinkState, Message, Tc};
 use qolsr_proto::network::OlsrNetwork;
+use qolsr_proto::routing::{compute_routes, compute_routes_keys_into, reference_routes};
+use qolsr_proto::tables::{NeighborTables, TopologyBase};
 use qolsr_proto::wire;
-use qolsr_sim::SimDuration;
+use qolsr_proto::{RouteCache, RouteScratch};
+use qolsr_sim::queue::{EventQueue, QueueItem, SchedulerKind};
+use qolsr_sim::{SimDuration, SimRng, SimTime};
 use std::hint::black_box;
 
 fn bench_network_convergence(c: &mut Criterion) {
@@ -94,5 +101,264 @@ fn bench_wire_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_network_convergence, bench_wire_codec);
+/// Synthetic route inputs shaped like a converged node's knowledge at
+/// density ~10: `deg` symmetric neighbors, their reported 2-hop links,
+/// and a TC-learned advertised topology spanning all `n` nodes.
+#[allow(clippy::type_complexity)]
+fn route_inputs(
+    n: u32,
+    deg: u32,
+    seed: u64,
+) -> (
+    Vec<(NodeId, LinkQos)>,
+    Vec<(NodeId, NodeId, LinkQos)>,
+    Vec<(NodeId, NodeId, LinkQos)>,
+) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let q = LinkQos::uniform(1);
+    let sym: Vec<(NodeId, LinkQos)> = (1..=deg).map(|i| (NodeId(i), q)).collect();
+    let mut reported = Vec::new();
+    for &(v, _) in &sym {
+        for _ in 0..deg {
+            reported.push((v, NodeId(rng.next_below(u64::from(n)) as u32), q));
+        }
+    }
+    // Advertised links: a connected ring over all nodes plus random
+    // chords, approximating TC-learned topology at mean degree ~4.
+    let mut advertised = Vec::new();
+    for i in 0..n {
+        advertised.push((NodeId(i), NodeId((i + 1) % n), q));
+    }
+    for _ in 0..n {
+        let a = NodeId(rng.next_below(u64::from(n)) as u32);
+        let b = NodeId(rng.next_below(u64::from(n)) as u32);
+        advertised.push((a, b, q));
+    }
+    (sym, reported, advertised)
+}
+
+fn bench_compute_routes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_routes");
+    group.sample_size(10);
+    for n in [1000u32, 4000] {
+        let (sym, reported, advertised) = route_inputs(n, 10, 0x0150);
+        let sym_keys: Vec<NodeId> = sym.iter().map(|&(v, _)| v).collect();
+        let rep_keys: Vec<(NodeId, NodeId)> = reported.iter().map(|&(a, b, _)| (a, b)).collect();
+        let adv_keys: Vec<(NodeId, NodeId)> = advertised.iter().map(|&(a, b, _)| (a, b)).collect();
+        group.bench_with_input(BenchmarkId::new("reference_btreemap", n), &n, |b, _| {
+            b.iter(|| black_box(reference_routes(NodeId(0), &sym, &reported, &advertised)));
+        });
+        group.bench_with_input(BenchmarkId::new("interned_alloc", n), &n, |b, _| {
+            b.iter(|| black_box(compute_routes(NodeId(0), &sym, &reported, &advertised)));
+        });
+        group.bench_with_input(BenchmarkId::new("interned_scratch", n), &n, |b, _| {
+            let mut scratch = RouteScratch::new();
+            let mut out = Vec::new();
+            b.iter(|| {
+                compute_routes_keys_into(
+                    NodeId(0),
+                    &sym_keys,
+                    &rep_keys,
+                    &adv_keys,
+                    &mut scratch,
+                    &mut out,
+                );
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Tables primed with `n`-node knowledge for cache/process benches.
+fn primed_tables(n: u32, deg: u32) -> (NeighborTables, TopologyBase, SimTime) {
+    let (sym, reported, advertised) = route_inputs(n, deg, 0x0151);
+    let mut nt = NeighborTables::new();
+    let now = SimTime::ZERO;
+    let hold = now + SimDuration::from_secs(6);
+    for &(v, qos) in &sym {
+        let mut neighbors = vec![HelloNeighbor {
+            id: NodeId(0),
+            state: LinkState::Symmetric,
+            qos,
+        }];
+        neighbors.extend(
+            reported
+                .iter()
+                .filter(|&&(via, _, _)| via == v)
+                .map(|&(_, w, qos)| HelloNeighbor {
+                    id: w,
+                    state: LinkState::Symmetric,
+                    qos,
+                }),
+        );
+        nt.process_hello(NodeId(0), v, qos, &Hello { neighbors }, now, hold);
+    }
+    let mut tb = TopologyBase::new();
+    let t_hold = now + SimDuration::from_secs(15);
+    for chunk in advertised.chunks(4) {
+        let orig = chunk[0].0;
+        let adv: Vec<(NodeId, LinkQos)> = chunk.iter().map(|&(_, b, q)| (b, q)).collect();
+        tb.process_tc_tracked(orig, 1, &adv, now, t_hold);
+    }
+    (nt, tb, now)
+}
+
+fn bench_route_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_cache");
+    group.sample_size(10);
+    for n in [1000u32, 4000] {
+        let (nt, tb, now) = primed_tables(n, 10);
+        let query_at = now + SimDuration::from_secs(1);
+        group.bench_with_input(BenchmarkId::new("recompute_every_query", n), &n, |b, _| {
+            let mut cache = RouteCache::new();
+            b.iter(|| {
+                cache.invalidate();
+                cache.ensure(NodeId(0), &nt, &tb, query_at);
+                black_box(cache.entries().len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cached_query", n), &n, |b, _| {
+            let mut cache = RouteCache::new();
+            cache.ensure(NodeId(0), &nt, &tb, query_at);
+            b.iter(|| {
+                cache.ensure(NodeId(0), &nt, &tb, query_at);
+                black_box(cache.entries().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_integration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_integration");
+    // HELLO integration: steady-state refresh from a 30-neighbor sender.
+    let hello = Hello {
+        neighbors: (0..30)
+            .map(|i| HelloNeighbor {
+                id: NodeId(i),
+                state: LinkState::Symmetric,
+                qos: LinkQos::uniform(u64::from(i) + 1),
+            })
+            .collect(),
+    };
+    group.bench_function("process_hello_30_neighbors", |b| {
+        let mut nt = NeighborTables::new();
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now += SimDuration::from_micros(10);
+            black_box(nt.process_hello(
+                NodeId(0),
+                NodeId(31),
+                LinkQos::uniform(5),
+                &hello,
+                now,
+                now + SimDuration::from_secs(6),
+            ))
+        });
+    });
+    // TC integration: steady-state refresh of a 10-link advertised set.
+    let advertised: Vec<(NodeId, LinkQos)> = (0..10)
+        .map(|i| (NodeId(i), LinkQos::uniform(u64::from(i) + 1)))
+        .collect();
+    group.bench_function("process_tc_10_advertised", |b| {
+        let mut tb = TopologyBase::new();
+        let mut now = SimTime::ZERO;
+        let mut ansn = 0u16;
+        b.iter(|| {
+            now += SimDuration::from_micros(10);
+            ansn = ansn.wrapping_add(1);
+            black_box(tb.process_tc_tracked(
+                NodeId(42),
+                ansn,
+                &advertised,
+                now,
+                now + SimDuration::from_secs(15),
+            ))
+        });
+    });
+    group.finish();
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
+struct BenchEvent {
+    time: u64,
+    seq: u64,
+}
+
+impl QueueItem for BenchEvent {
+    fn due_micros(&self) -> u64 {
+        self.time
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    // A HELLO/TC-like mix: per pop, re-arm a periodic timer (2 s or 5 s
+    // ahead) and push a burst of deliveries (1 ms ahead), mirroring the
+    // engine's event profile during a live-protocol run.
+    for (label, kind) in [
+        ("wheel", SchedulerKind::TimerWheel),
+        ("heap", SchedulerKind::BinaryHeap),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("hello_tc_mix_n1000", label),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut q: EventQueue<BenchEvent> = EventQueue::new(kind);
+                    let mut seq = 0u64;
+                    for i in 0..1000u64 {
+                        q.push(BenchEvent {
+                            time: i * 2_000,
+                            seq,
+                        });
+                        seq += 1;
+                    }
+                    let mut popped = 0u64;
+                    for _ in 0..20_000 {
+                        let ev = q.pop().expect("queue stays loaded");
+                        popped += 1;
+                        // Re-arm: alternate HELLO (2 s) / TC (5 s).
+                        let period = if ev.seq.is_multiple_of(5) {
+                            5_000_000
+                        } else {
+                            2_000_000
+                        };
+                        q.push(BenchEvent {
+                            time: ev.time + period,
+                            seq,
+                        });
+                        seq += 1;
+                        // Delivery fan-out: three frames 1 ms out.
+                        for k in 0..3 {
+                            q.push(BenchEvent {
+                                time: ev.time + 1_000 + k,
+                                seq,
+                            });
+                            seq += 1;
+                        }
+                        // Drain the deliveries to keep the queue bounded.
+                        for _ in 0..3 {
+                            q.pop();
+                            popped += 1;
+                        }
+                    }
+                    black_box(popped)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_network_convergence,
+    bench_wire_codec,
+    bench_compute_routes,
+    bench_route_cache,
+    bench_table_integration,
+    bench_scheduler
+);
 criterion_main!(benches);

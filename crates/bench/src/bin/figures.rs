@@ -20,13 +20,20 @@
 //!   scale       wall-clock scale sweep over n ∈ {250, 1000, 4000}
 //!               nodes: waypoint tick cost (SpatialGrid path) and
 //!               whole-network selection cost per world (--runs is
-//!               capped at 10 — timing, not statistics)
+//!               capped at 10 — timing, not statistics); with --live,
+//!               runs the full HELLO/TC protocol at each size instead
+//!               and reports wall-clock per simulated second plus
+//!               engine/routing-cache counters
 //!
 //! Options:
 //!   --runs N     topologies per density (default 100; paper: 100)
 //!   --seed S     master seed (default 0x51C02010)
 //!   --threads T  worker threads (default: all cores)
 //!   --metric M   churn metric: bandwidth (default) or delay
+//!   --live       scale only: live-protocol phase (--runs capped at 5)
+//!   --sizes L    scale only: comma-separated node counts
+//!                (default 250,1000,4000; lets CI smoke at small n —
+//!                the n=4000 live phase needs ~5 GB and ~25 min/run)
 //!   --quick      shorthand for --runs 10
 //!   --out DIR    also write CSV files into DIR (default: results/)
 //!   --no-csv     print to stdout only
@@ -45,6 +52,8 @@ struct Args {
     command: String,
     opts: FigureOptions,
     metric: qolsr::eval::churn::ChurnMetric,
+    live: bool,
+    sizes: Option<Vec<usize>>,
     out_dir: Option<PathBuf>,
 }
 
@@ -53,6 +62,8 @@ fn parse_args() -> Result<Args, String> {
     let mut opts = FigureOptions::default();
     let mut metric = qolsr::eval::churn::ChurnMetric::default();
     let mut metric_set = false;
+    let mut live = false;
+    let mut sizes: Option<Vec<usize>> = None;
     let mut out_dir = Some(PathBuf::from("results"));
     let mut it = std::env::args().skip(1);
     let mut command_set = false;
@@ -74,6 +85,17 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 opts.threads = v.parse().map_err(|_| format!("bad --threads value: {v}"))?;
+            }
+            "--live" => live = true,
+            "--sizes" => {
+                let v = it.next().ok_or("--sizes needs a value")?;
+                let parsed: Result<Vec<usize>, _> =
+                    v.split(',').map(|s| s.trim().parse()).collect();
+                let parsed = parsed.map_err(|_| format!("bad --sizes value: {v}"))?;
+                if parsed.is_empty() {
+                    return Err("--sizes needs at least one node count".into());
+                }
+                sizes = Some(parsed);
             }
             "--quick" => opts.runs = 10,
             "--out" => {
@@ -97,10 +119,18 @@ fn parse_args() -> Result<Args, String> {
     if metric_set && command != "churn" {
         return Err(format!("--metric only applies to churn, not {command}"));
     }
+    if live && command != "scale" {
+        return Err(format!("--live only applies to scale, not {command}"));
+    }
+    if sizes.is_some() && command != "scale" {
+        return Err(format!("--sizes only applies to scale, not {command}"));
+    }
     Ok(Args {
         command,
         opts,
         metric,
+        live,
+        sizes,
         out_dir,
     })
 }
@@ -147,7 +177,7 @@ fn main() -> ExitCode {
             println!(
                 "commands: fig6 fig7 fig8 fig9 all ablations robustness churn scale; \
                  options: --runs N --seed S --threads T --metric bandwidth|delay \
-                 --quick --out DIR --no-csv"
+                 --live --sizes L --quick --out DIR --no-csv"
             );
         }
         "fig6" => {
@@ -321,11 +351,61 @@ fn main() -> ExitCode {
                 &args.out_dir,
             );
         }
+        "scale" if args.live => {
+            use qolsr::eval::scale::{live_figure, live_sweep, LiveConfig};
+            let mut cfg = LiveConfig::new(opts.runs.min(5));
+            cfg.seed = opts.seed;
+            if let Some(sizes) = args.sizes.clone() {
+                cfg.sizes = sizes;
+            }
+            let points = live_sweep(&cfg);
+            println!(
+                "# live protocol: {} s warm-up (unmeasured) + {} s measured, \
+                 {} probe nodes sampled per simulated second\n",
+                cfg.warmup_seconds, cfg.sim_seconds, cfg.probes
+            );
+            println!(
+                "# {:>5}  {:>10}  {:>12}  {:>12}  {:>12}  {:>10}  {:>10}  {:>8}",
+                "n",
+                "ms/sim-s",
+                "events",
+                "timers",
+                "deliveries",
+                "recomputes",
+                "cache-hits",
+                "hit-rate"
+            );
+            for p in &points {
+                println!(
+                    "# {:>5}  {:>10.1}  {:>12.0}  {:>12.0}  {:>12.0}  {:>10.1}  {:>10.1}  {:>7.1}%",
+                    p.nodes,
+                    p.wall_ms_per_sim_s.mean(),
+                    p.events.mean(),
+                    p.timers.mean(),
+                    p.deliveries.mean(),
+                    p.routes_recomputed.mean(),
+                    p.route_cache_hits.mean(),
+                    p.totals.route_cache_hit_rate() * 100.0,
+                );
+            }
+            println!();
+            emit(
+                &live_figure(
+                    &points,
+                    "Scale sweep (live) — full-protocol wall-clock per simulated second",
+                ),
+                "scale_live",
+                &args.out_dir,
+            );
+        }
         "scale" => {
             use qolsr::eval::scale::{scale_figure, scale_sweep, ScaleConfig};
             let mut cfg = ScaleConfig::new(opts.runs.min(10));
             cfg.seed = opts.seed;
             cfg.threads = opts.threads;
+            if let Some(sizes) = args.sizes.clone() {
+                cfg.sizes = sizes;
+            }
             let points = scale_sweep(&cfg);
             for p in &points {
                 println!(

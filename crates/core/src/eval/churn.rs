@@ -26,7 +26,6 @@
 //! crossbeam worker loops of the figure harness; per-run aggregation is
 //! ordered, making results independent of thread count.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use qolsr_graph::connectivity::Components;
@@ -355,9 +354,8 @@ fn sample_network(
     sample: &mut ChurnSample,
 ) {
     let world = net.world();
-    let mut route_cache = RouteCache::new();
     for &(s, t) in probes {
-        match probe_route_cached(net, s, t, &mut route_cache) {
+        match probe_route(net, s, t) {
             ProbeOutcome::Delivered(_) => sample.validity.push(1.0),
             ProbeOutcome::Dropped => sample.validity.push(0.0),
             // An endpoint is powered off: not a routing failure.
@@ -415,22 +413,16 @@ pub enum ProbeOutcome {
     EndpointDown,
 }
 
-type RouteCache = BTreeMap<NodeId, BTreeMap<NodeId, qolsr_proto::RouteEntry>>;
-
 /// Forwards one packet `s → t` hop by hop: each traversed node consults
 /// its *own* current routing table, and every hop must exist in ground
 /// truth. This is the route-validity semantics shared by the churn
 /// experiment and the examples.
+///
+/// Per-hop lookups go through each node's incremental route cache
+/// ([`qolsr_proto::OlsrNode::route_to`]), so probing many pairs over the
+/// same quiet network costs one table compute per traversed node, total,
+/// with no per-probe allocation.
 pub fn probe_route<P: AdvertisePolicy>(net: &OlsrNetwork<P>, s: NodeId, t: NodeId) -> ProbeOutcome {
-    probe_route_cached(net, s, t, &mut RouteCache::new())
-}
-
-fn probe_route_cached<P: AdvertisePolicy>(
-    net: &OlsrNetwork<P>,
-    s: NodeId,
-    t: NodeId,
-    cache: &mut RouteCache,
-) -> ProbeOutcome {
     let world = net.world();
     if !world.is_active(s) || !world.is_active(t) {
         return ProbeOutcome::EndpointDown;
@@ -443,10 +435,7 @@ fn probe_route_cached<P: AdvertisePolicy>(
         if hops as usize > world.len() {
             return ProbeOutcome::Dropped; // forwarding loop
         }
-        let routes = cache
-            .entry(cur)
-            .or_insert_with(|| net.node(cur).routes(now));
-        let Some(entry) = routes.get(&t) else {
+        let Some(entry) = net.node(cur).route_to(t, now) else {
             return ProbeOutcome::Dropped; // no route known
         };
         if !world.has_link(cur, entry.next_hop) {

@@ -1,6 +1,8 @@
-//! Scale sweep: wall-clock cost of the two single-world hot paths —
-//! waypoint link recomputation (per tick) and whole-network advertised
-//! selection (per world) — as the node count grows.
+//! Scale sweep: wall-clock cost of the single-world hot paths —
+//! waypoint link recomputation (per tick), whole-network advertised
+//! selection (per world), and the **live protocol** (full HELLO/TC
+//! traffic through the engine, [`live_sweep`]) — as the node count
+//! grows.
 //!
 //! The sweep holds the paper's density and radius fixed and grows the
 //! field with `n`, so per-node work is constant and any super-linear
@@ -21,16 +23,19 @@ use std::f64::consts::PI;
 use std::time::Instant;
 
 use qolsr_graph::deploy::{deploy_at, Deployment, UniformWeights};
-use qolsr_graph::Point2;
+use qolsr_graph::{NodeId, Point2, Topology};
 use qolsr_metrics::BandwidthMetric;
+use qolsr_proto::network::OlsrNetwork;
+use qolsr_proto::OlsrConfig;
 use qolsr_sim::scenario::{RandomWaypoint, ScenarioBuilder};
-use qolsr_sim::{SimDuration, SimRng};
+use qolsr_sim::stats::{HotPathCounters, OnlineStats};
+use qolsr_sim::{RadioConfig, SimDuration, SimRng};
 
 use crate::advertised::build_advertised;
 use crate::eval::{derive_seed, resolve_workers};
+use crate::policy::SelectorPolicy;
 use crate::report::{Figure, Point, Series};
 use crate::selector::Fnbp;
-use qolsr_sim::stats::OnlineStats;
 
 /// Configuration of the scale sweep.
 #[derive(Debug, Clone)]
@@ -73,8 +78,38 @@ impl ScaleConfig {
     /// Field side holding `n` nodes at the configured density:
     /// `area = n · πR²/δ`.
     pub fn side_for(&self, n: usize) -> f64 {
-        (n as f64 * PI * self.radius * self.radius / self.density).sqrt()
+        field_side(n, self.radius, self.density)
     }
+}
+
+/// Field side holding `n` nodes at mean degree `density` with
+/// communication radius `radius`: `area = n · πR²/δ`. Shared by both
+/// sweep phases so the paper's field model has one definition.
+fn field_side(n: usize, radius: f64, density: f64) -> f64 {
+    (n as f64 * PI * radius * radius / density).sqrt()
+}
+
+/// Seed-deterministic uniform deployment in a `side × side` field —
+/// the shared topology construction of both sweep phases.
+fn deploy_field(
+    n: usize,
+    side: f64,
+    radius: f64,
+    density: f64,
+    weights: &UniformWeights,
+    seed: u64,
+) -> Topology {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let positions: Vec<Point2> = (0..n)
+        .map(|_| Point2::new(rng.next_f64() * side, rng.next_f64() * side))
+        .collect();
+    let deployment = Deployment {
+        width: side,
+        height: side,
+        radius,
+        mean_degree: density,
+    };
+    deploy_at(&deployment, weights, positions, &mut rng)
 }
 
 /// Measurements of one sweep size.
@@ -111,17 +146,14 @@ pub fn scale_sweep(cfg: &ScaleConfig) -> Vec<ScalePoint> {
                 events: OnlineStats::new(),
             };
             for run in 0..cfg.runs {
-                let mut rng = SimRng::seed_from_u64(derive_seed(cfg.seed, si, run));
-                let positions: Vec<Point2> = (0..n)
-                    .map(|_| Point2::new(rng.next_f64() * side, rng.next_f64() * side))
-                    .collect();
-                let deployment = Deployment {
-                    width: side,
-                    height: side,
-                    radius: cfg.radius,
-                    mean_degree: cfg.density,
-                };
-                let topo = deploy_at(&deployment, &cfg.weights, positions, &mut rng);
+                let topo = deploy_field(
+                    n,
+                    side,
+                    cfg.radius,
+                    cfg.density,
+                    &cfg.weights,
+                    derive_seed(cfg.seed, si, run),
+                );
 
                 let started = Instant::now();
                 let scenario = ScenarioBuilder::new(&topo, cfg.seed ^ run as u64)
@@ -176,6 +208,180 @@ pub fn scale_figure(points: &[ScalePoint], title: &str) -> Figure {
     }
 }
 
+/// Configuration of the live-protocol scale sweep: full HELLO/TC
+/// traffic (FNBP advertise policy, MPR flooding, routing) on a static
+/// deployment, timed per simulated second.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Node counts to sweep.
+    pub sizes: Vec<usize>,
+    /// Timed repetitions per size.
+    pub runs: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Mean node degree, held constant across sizes (the field grows).
+    pub density: f64,
+    /// Communication radius `R`.
+    pub radius: f64,
+    /// Link-weight interval.
+    pub weights: UniformWeights,
+    /// Unmeasured protocol warm-up (convergence) before timing starts.
+    pub warmup_seconds: u64,
+    /// Measured simulated seconds of live traffic.
+    pub sim_seconds: u64,
+    /// Nodes whose routing tables are queried after every simulated
+    /// second (exercises the incremental route cache under load).
+    pub probes: usize,
+}
+
+impl LiveConfig {
+    /// The acceptance sweep: n ∈ {250, 1000, 4000} at the paper's
+    /// density 10 and radius 100, 15 s warm-up (past HELLO/TC
+    /// convergence, so the measured window shows steady-state cache
+    /// behaviour) + 10 s measured.
+    pub fn new(runs: u32) -> Self {
+        Self {
+            sizes: vec![250, 1000, 4000],
+            runs,
+            seed: 0x51C0_2010,
+            density: 10.0,
+            radius: 100.0,
+            weights: UniformWeights::new(1, 100),
+            warmup_seconds: 15,
+            sim_seconds: 10,
+            probes: 64,
+        }
+    }
+
+    /// Field side holding `n` nodes at the configured density.
+    pub fn side_for(&self, n: usize) -> f64 {
+        field_side(n, self.radius, self.density)
+    }
+}
+
+/// Measurements of one live-protocol sweep size.
+#[derive(Debug, Clone)]
+pub struct LivePoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Field side used.
+    pub side: f64,
+    /// Wall-clock milliseconds per simulated second of live protocol
+    /// (HELLO/TC exchange, flooding, per-second route sampling).
+    pub wall_ms_per_sim_s: OnlineStats,
+    /// Engine events dispatched per measured run.
+    pub events: OnlineStats,
+    /// Timer firings per measured run.
+    pub timers: OnlineStats,
+    /// Radio deliveries per measured run.
+    pub deliveries: OnlineStats,
+    /// Routing tables recomputed per measured run (probed nodes).
+    pub routes_recomputed: OnlineStats,
+    /// Route queries served from cache per measured run.
+    pub route_cache_hits: OnlineStats,
+    /// Counter totals over all runs of this size.
+    pub totals: HotPathCounters,
+}
+
+/// Runs the live-protocol sweep; points come back in `sizes` order.
+///
+/// Runs execute sequentially (timing is the measurand). Each run warms
+/// the protocol up unmeasured, then times `sim_seconds` of live traffic;
+/// after every simulated second the routing tables of the first
+/// `probes` nodes are queried, so the reported cache counters show how
+/// many of those queries the incremental cache absorbed between
+/// topology changes.
+pub fn live_sweep(cfg: &LiveConfig) -> Vec<LivePoint> {
+    cfg.sizes
+        .iter()
+        .enumerate()
+        .map(|(si, &n)| {
+            let side = cfg.side_for(n);
+            let mut point = LivePoint {
+                nodes: n,
+                side,
+                wall_ms_per_sim_s: OnlineStats::new(),
+                events: OnlineStats::new(),
+                timers: OnlineStats::new(),
+                deliveries: OnlineStats::new(),
+                routes_recomputed: OnlineStats::new(),
+                route_cache_hits: OnlineStats::new(),
+                totals: HotPathCounters::default(),
+            };
+            for run in 0..cfg.runs {
+                let seed = derive_seed(cfg.seed ^ 0x11FE, si, run);
+                let topo = deploy_field(n, side, cfg.radius, cfg.density, &cfg.weights, seed);
+                let mut net = OlsrNetwork::new(
+                    topo,
+                    OlsrConfig::default(),
+                    RadioConfig::default(),
+                    seed,
+                    |_| SelectorPolicy::new(Fnbp::<BandwidthMetric>::new()),
+                );
+                net.run_for(SimDuration::from_secs(cfg.warmup_seconds));
+                let engine0 = net.sim().stats();
+                let nodes0 = net.total_stats();
+
+                let started = Instant::now();
+                for _ in 0..cfg.sim_seconds {
+                    net.run_for(SimDuration::from_secs(1));
+                    let now = net.now();
+                    for p in 0..cfg.probes.min(n) {
+                        net.node(NodeId(p as u32)).route_count(now);
+                    }
+                }
+                let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                point
+                    .wall_ms_per_sim_s
+                    .push(elapsed_ms / cfg.sim_seconds as f64);
+
+                let engine = net.sim().stats();
+                let nodes = net.total_stats();
+                let counters = HotPathCounters {
+                    events_popped: engine.events - engine0.events,
+                    timers_fired: engine.timers - engine0.timers,
+                    routes_recomputed: nodes.routes_recomputed - nodes0.routes_recomputed,
+                    route_cache_hits: nodes.route_cache_hits - nodes0.route_cache_hits,
+                };
+                point.events.push(counters.events_popped as f64);
+                point.timers.push(counters.timers_fired as f64);
+                point
+                    .deliveries
+                    .push((engine.deliveries - engine0.deliveries) as f64);
+                point
+                    .routes_recomputed
+                    .push(counters.routes_recomputed as f64);
+                point
+                    .route_cache_hits
+                    .push(counters.route_cache_hits as f64);
+                point.totals.merge(&counters);
+            }
+            point
+        })
+        .collect()
+}
+
+/// Renders the live sweep as a figure (x = node count).
+pub fn live_figure(points: &[LivePoint], title: &str) -> Figure {
+    Figure {
+        title: title.to_owned(),
+        xlabel: "nodes".to_owned(),
+        ylabel: "wall-clock ms per simulated second".to_owned(),
+        series: vec![Series {
+            label: "live protocol ms per simulated second".to_owned(),
+            points: points
+                .iter()
+                .map(|p| Point {
+                    x: p.nodes as f64,
+                    mean: p.wall_ms_per_sim_s.mean(),
+                    ci95: p.wall_ms_per_sim_s.ci95_half_width(),
+                    n: p.wall_ms_per_sim_s.count(),
+                })
+                .collect(),
+        }],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +406,57 @@ mod tests {
         assert_eq!(fig.series.len(), 2);
         assert_eq!(fig.series[0].points.len(), 2);
         assert!(fig.render_text().contains("scale"));
+    }
+
+    #[test]
+    fn live_sweep_runs_protocol_and_hits_route_cache() {
+        let cfg = LiveConfig {
+            sizes: vec![40, 80],
+            // Past convergence: knowledge stops changing, so repeated
+            // samples must be absorbed by the route cache.
+            warmup_seconds: 15,
+            sim_seconds: 4,
+            probes: 8,
+            ..LiveConfig::new(1)
+        };
+        let points = live_sweep(&cfg);
+        assert_eq!(points.len(), 2);
+        for (p, &n) in points.iter().zip(&cfg.sizes) {
+            assert_eq!(p.nodes, n);
+            assert!(p.wall_ms_per_sim_s.mean() >= 0.0);
+            assert!(p.events.mean() > 0.0, "protocol must generate events");
+            assert!(p.timers.mean() > 0.0);
+            let totals = p.totals;
+            let queries = totals.routes_recomputed + totals.route_cache_hits;
+            assert_eq!(
+                queries,
+                (cfg.sim_seconds * cfg.probes.min(n) as u64),
+                "every probe query is counted"
+            );
+            assert!(
+                totals.route_cache_hits > 0,
+                "static world: repeated samples must hit the cache (n={n})"
+            );
+        }
+        let fig = live_figure(&points, "live");
+        assert_eq!(fig.series.len(), 1);
+        assert_eq!(fig.series[0].points.len(), 2);
+    }
+
+    #[test]
+    fn live_sweep_is_deterministic_in_counters() {
+        let cfg = LiveConfig {
+            sizes: vec![30],
+            warmup_seconds: 2,
+            sim_seconds: 2,
+            probes: 4,
+            ..LiveConfig::new(1)
+        };
+        let a = live_sweep(&cfg);
+        let b = live_sweep(&cfg);
+        assert_eq!(a[0].totals, b[0].totals);
+        assert_eq!(a[0].events.mean(), b[0].events.mean());
+        assert_eq!(a[0].deliveries.mean(), b[0].deliveries.mean());
     }
 
     #[test]

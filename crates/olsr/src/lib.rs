@@ -58,5 +58,5 @@ pub mod tables;
 pub mod wire;
 
 pub use config::OlsrConfig;
-pub use node::{AdvertisePolicy, MprSelectorPolicy, OlsrNode};
-pub use routing::RouteEntry;
+pub use node::{AdvertisePolicy, MprSelectorPolicy, NodeStats, OlsrNode};
+pub use routing::{RouteCache, RouteEntry, RouteScratch};

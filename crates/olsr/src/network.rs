@@ -5,7 +5,7 @@
 use bytes::Bytes;
 use qolsr_graph::{DynamicTopology, LocalView, NodeId, Topology};
 use qolsr_metrics::LinkQos;
-use qolsr_sim::{RadioConfig, Scenario, SimDuration, SimTime, Simulator};
+use qolsr_sim::{RadioConfig, Scenario, SchedulerKind, SimDuration, SimTime, Simulator};
 
 use crate::config::OlsrConfig;
 use crate::node::{AdvertisePolicy, MprSelectorPolicy, NodeStats, OlsrNode};
@@ -40,9 +40,30 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
         config: OlsrConfig,
         radio: RadioConfig,
         seed: u64,
+        policy: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        Self::with_scheduler(
+            topology,
+            config,
+            radio,
+            seed,
+            SchedulerKind::default(),
+            policy,
+        )
+    }
+
+    /// Like [`OlsrNetwork::new`], but with an explicit engine scheduler.
+    /// The timer wheel (default) and the reference binary heap replay
+    /// identically; the differential suites run both.
+    pub fn with_scheduler(
+        topology: Topology,
+        config: OlsrConfig,
+        radio: RadioConfig,
+        seed: u64,
+        scheduler: SchedulerKind,
         mut policy: impl FnMut(NodeId) -> P,
     ) -> Self {
-        let sim = Simulator::new(topology, radio, seed, |id| {
+        let sim = Simulator::with_scheduler(topology, radio, seed, scheduler, |id| {
             OlsrNode::new(id, config, policy(id))
         });
         Self { sim }
@@ -140,6 +161,8 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
             total.tc_received += s.tc_received;
             total.bytes_sent += s.bytes_sent;
             total.decode_errors += s.decode_errors;
+            total.routes_recomputed += s.routes_recomputed;
+            total.route_cache_hits += s.route_cache_hits;
         }
         total
     }

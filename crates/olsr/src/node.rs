@@ -1,6 +1,7 @@
 //! The OLSR protocol state machine as a simulation actor.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use bytes::Bytes;
 use qolsr_graph::{LocalView, NodeId};
@@ -10,7 +11,7 @@ use qolsr_sim::{Actor, Context, SimDuration, SimTime, TimerId};
 use crate::config::OlsrConfig;
 use crate::messages::{Body, Hello, HelloNeighbor, LinkState, Message, Tc};
 use crate::mpr::select_mprs;
-use crate::routing::{compute_routes, RouteEntry};
+use crate::routing::{reference_routes, RouteCache, RouteEntry};
 use crate::tables::{DuplicateSet, NeighborTables, TopologyBase};
 use crate::wire;
 
@@ -64,6 +65,10 @@ pub struct NodeStats {
     pub bytes_sent: u64,
     /// Messages that failed to decode.
     pub decode_errors: u64,
+    /// Routing tables recomputed from scratch (cache miss).
+    pub routes_recomputed: u64,
+    /// Routing-table queries served from the incremental cache.
+    pub route_cache_hits: u64,
 }
 
 /// An OLSR node: link sensing, MPR selection, MPR flooding of TCs, and a
@@ -75,6 +80,12 @@ pub struct NodeStats {
 /// out of the scope of this paper"). Because measurement happens per
 /// HELLO, nodes track QoS drift and newly appearing links in dynamic
 /// scenarios without any out-of-band configuration.
+///
+/// The node's hot paths are allocation-lean: HELLO/TC payload assembly
+/// reuses node-owned scratch buffers across ticks, per-delivery checks
+/// are binary-search point queries on the flat tables, and the routing
+/// table lives in a dirty-flagged [`RouteCache`] that recomputes only
+/// when the route-relevant table content actually changed.
 #[derive(Debug)]
 pub struct OlsrNode<P> {
     id: NodeId,
@@ -88,6 +99,19 @@ pub struct OlsrNode<P> {
     msg_seq: u16,
     policy: P,
     stats: NodeStats,
+    /// Incremental routing cache. Behind a mutex (not a `RefCell`) so
+    /// `&OlsrNode` accessors stay shareable across threads; the lock is
+    /// uncontended in the single-threaded engine and the `&mut`
+    /// protocol paths bypass it via `get_mut`.
+    routes: Mutex<RouteCache>,
+    // Scratch buffers reused across emissions (no steady-state
+    // allocation on the periodic HELLO/TC path).
+    sym_buf: Vec<(NodeId, LinkQos)>,
+    asym_buf: Vec<(NodeId, LinkQos)>,
+    reported_buf: Vec<(NodeId, NodeId, LinkQos)>,
+    selectors_buf: Vec<NodeId>,
+    hello_buf: Vec<HelloNeighbor>,
+    adv_buf: Vec<(NodeId, LinkQos)>,
 }
 
 impl<P: AdvertisePolicy> OlsrNode<P> {
@@ -105,6 +129,13 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
             msg_seq: 0,
             policy,
             stats: NodeStats::default(),
+            routes: Mutex::new(RouteCache::new()),
+            sym_buf: Vec::new(),
+            asym_buf: Vec::new(),
+            reported_buf: Vec::new(),
+            selectors_buf: Vec::new(),
+            hello_buf: Vec::new(),
+            adv_buf: Vec::new(),
         }
     }
 
@@ -113,9 +144,13 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
         self.id
     }
 
-    /// Protocol statistics.
+    /// Protocol statistics (including routing-cache counters).
     pub fn stats(&self) -> NodeStats {
-        self.stats
+        let mut stats = self.stats;
+        let (recomputes, hits) = self.route_cache().counters();
+        stats.routes_recomputed = recomputes;
+        stats.route_cache_hits = hits;
+        stats
     }
 
     /// The advertise policy.
@@ -157,14 +192,56 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
         self.topology.links(now)
     }
 
+    fn route_cache(&self) -> MutexGuard<'_, RouteCache> {
+        self.routes.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Hop-count routing table from current knowledge (RFC 3626 §10).
+    ///
+    /// Served from the node's incremental [`RouteCache`]: the BFS reruns
+    /// only when the symmetric-link set, the reported links or the
+    /// TC-learned topology actually changed since the last query;
+    /// otherwise the cached table answers (see
+    /// [`NodeStats::route_cache_hits`]).
     pub fn routes(&self, now: SimTime) -> BTreeMap<NodeId, RouteEntry> {
-        compute_routes(
+        let mut cache = self.route_cache();
+        cache.ensure(self.id, &self.neighbors, &self.topology, now);
+        cache.entries().iter().map(|&e| (e.dest, e)).collect()
+    }
+
+    /// The cached route to `dest`, if one exists — the allocation-free
+    /// single-destination variant of [`OlsrNode::routes`].
+    pub fn route_to(&self, dest: NodeId, now: SimTime) -> Option<RouteEntry> {
+        let mut cache = self.route_cache();
+        cache.ensure(self.id, &self.neighbors, &self.topology, now);
+        cache.lookup(dest)
+    }
+
+    /// Number of destinations currently routable, through the cache.
+    pub fn route_count(&self, now: SimTime) -> usize {
+        let mut cache = self.route_cache();
+        cache.ensure(self.id, &self.neighbors, &self.topology, now);
+        cache.entries().len()
+    }
+
+    /// Recomputes the routing table from scratch through the *reference*
+    /// formulation, bypassing the cache and the interned BFS entirely.
+    /// The differential suites pin `routes() ≡ routes_uncached()` after
+    /// arbitrary protocol histories.
+    pub fn routes_uncached(&self, now: SimTime) -> BTreeMap<NodeId, RouteEntry> {
+        reference_routes(
             self.id,
             &self.neighbors.symmetric_neighbors(now),
             &self.neighbors.reported_links(now),
             &self.topology.links(now),
         )
+    }
+
+    fn invalidate_routes(&mut self) {
+        self.routes
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .invalidate();
     }
 
     fn next_seq(&mut self) -> u16 {
@@ -190,22 +267,25 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
     fn emit_hello(&mut self, ctx: &mut Context<'_, Bytes>) {
         let now = ctx.now();
         self.neighbors.sweep(now);
-        let view = self.neighbors.local_view(self.id, now);
+        self.neighbors.symmetric_into(now, &mut self.sym_buf);
+        self.neighbors.reported_into(now, &mut self.reported_buf);
+        let view = LocalView::from_parts(self.id, &self.sym_buf, &self.reported_buf);
         self.mprs = select_mprs(&view);
 
-        let mut neighbors = Vec::new();
-        for (n, qos) in self.neighbors.symmetric_neighbors(now) {
+        self.hello_buf.clear();
+        for &(n, qos) in &self.sym_buf {
             let state = if self.mprs.contains(&n) {
                 LinkState::Mpr
             } else {
                 LinkState::Symmetric
             };
-            neighbors.push(HelloNeighbor { id: n, state, qos });
+            self.hello_buf.push(HelloNeighbor { id: n, state, qos });
         }
         // Heard-but-unconfirmed links are announced as asymmetric so the
         // other side can complete the symmetry handshake.
-        for (n, qos) in self.neighbors.asymmetric_neighbors(now) {
-            neighbors.push(HelloNeighbor {
+        self.neighbors.asymmetric_into(now, &mut self.asym_buf);
+        for &(n, qos) in &self.asym_buf {
+            self.hello_buf.push(HelloNeighbor {
                 id: n,
                 state: LinkState::Asymmetric,
                 qos,
@@ -213,40 +293,45 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
         }
 
         let seq = self.next_seq();
+        let neighbors = std::mem::take(&mut self.hello_buf);
         let msg = Message::hello(self.id, seq, Hello { neighbors });
         self.stats.hello_sent += 1;
         self.transmit(ctx, &msg);
+        // Reclaim the payload buffer (and its capacity) for the next tick.
+        if let Body::Hello(hello) = msg.body {
+            self.hello_buf = hello.neighbors;
+        }
     }
 
     fn emit_tc(&mut self, ctx: &mut Context<'_, Bytes>) {
         let now = ctx.now();
         self.neighbors.sweep(now);
-        let view = self.neighbors.local_view(self.id, now);
-        let selectors = self.neighbors.mpr_selectors(now);
-        let ans = self.policy.advertised_set(&view, &selectors);
+        self.neighbors.symmetric_into(now, &mut self.sym_buf);
+        self.neighbors.reported_into(now, &mut self.reported_buf);
+        self.neighbors.selectors_into(now, &mut self.selectors_buf);
+        let view = LocalView::from_parts(self.id, &self.sym_buf, &self.reported_buf);
+        let ans = self.policy.advertised_set(&view, &self.selectors_buf);
 
         // ANS members are 1-hop neighbors; advertise the QoS most recently
         // measured for them (from the link tuples HELLOs refresh).
-        let measured: BTreeMap<NodeId, LinkQos> = self
-            .neighbors
-            .symmetric_neighbors(now)
-            .into_iter()
-            .collect();
-        let mut advertised: Vec<(NodeId, LinkQos)> = Vec::with_capacity(ans.len());
+        // `sym_buf` is ascending by id, so the lookup is a binary search.
+        self.adv_buf.clear();
         for n in ans {
-            if let Some(&qos) = measured.get(&n) {
-                advertised.push((n, qos));
+            if let Ok(i) = self.sym_buf.binary_search_by_key(&n, |&(m, _)| m) {
+                self.adv_buf.push((n, self.sym_buf[i].1));
             }
         }
-        advertised.sort_by_key(|&(n, _)| n);
-        advertised.dedup_by_key(|&mut (n, _)| n);
+        self.adv_buf.sort_by_key(|&(n, _)| n);
+        self.adv_buf.dedup_by_key(|&mut (n, _)| n);
 
-        if advertised != self.last_ans {
+        if self.adv_buf != self.last_ans {
             self.ansn = self.ansn.wrapping_add(1);
-            self.last_ans = advertised.clone();
+            self.last_ans.clear();
+            self.last_ans.extend_from_slice(&self.adv_buf);
         }
 
         let seq = self.next_seq();
+        let advertised = std::mem::take(&mut self.adv_buf);
         let msg = Message::tc(
             self.id,
             seq,
@@ -257,6 +342,9 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
         );
         self.stats.tc_sent += 1;
         self.transmit(ctx, &msg);
+        if let Body::Tc(tc) = msg.body {
+            self.adv_buf = tc.advertised;
+        }
     }
 
     fn handle_message(
@@ -276,8 +364,12 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
                     return; // not a radio neighbor right now
                 };
                 let hold = now + self.config.neighbor_hold_time();
-                self.neighbors
-                    .process_hello(self.id, from, qos, hello, now, hold);
+                if self
+                    .neighbors
+                    .process_hello(self.id, from, qos, hello, now, hold)
+                {
+                    self.invalidate_routes();
+                }
             }
             Body::Tc(tc) => {
                 self.stats.tc_received += 1;
@@ -286,27 +378,29 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
                 }
                 // RFC: process/forward only messages arriving over a
                 // symmetric link.
-                if !self
-                    .neighbors
-                    .symmetric_neighbors(now)
-                    .iter()
-                    .any(|&(n, _)| n == from)
-                {
+                if !self.neighbors.is_symmetric(from, now) {
                     return;
                 }
                 let dup_hold = now + self.config.duplicate_hold_time();
                 if self.duplicates.fresh(msg.originator, msg.seq, dup_hold) {
                     let hold = now + self.config.topology_hold_time();
-                    self.topology
-                        .process_tc(msg.originator, tc.ansn, &tc.advertised, hold);
+                    let update = self.topology.process_tc_tracked(
+                        msg.originator,
+                        tc.ansn,
+                        &tc.advertised,
+                        now,
+                        hold,
+                    );
+                    if update.links_changed {
+                        self.invalidate_routes();
+                    }
                 }
                 // MPR forwarding rule: retransmit iff the sender selected
                 // us as MPR and we have not forwarded this message yet.
                 // The retransmission patches the received buffer (ttl−1,
                 // hops+1) instead of re-encoding the whole body.
-                let selectors = self.neighbors.mpr_selectors(now);
                 if msg.ttl > 1
-                    && selectors.contains(&from)
+                    && self.neighbors.is_mpr_selector(from, now)
                     && self
                         .duplicates
                         .mark_forwarded(msg.originator, msg.seq, dup_hold)
@@ -351,6 +445,9 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
             }
             SWEEP_TIMER => {
                 let now = ctx.now();
+                // Sweeps only evict tuples that already expired — the
+                // route cache's validity horizon covers those, so no
+                // invalidation is needed here.
                 self.neighbors.sweep(now);
                 self.topology.sweep(now);
                 self.duplicates.sweep(now);
@@ -373,12 +470,14 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
         // The node rebooted (scenario leave/rejoin): all protocol state
         // is gone. `msg_seq` and `ansn` survive so peers holding
         // duplicate-set or ANSN entries from the previous life do not
-        // discard the new one's messages; `stats` stays cumulative.
+        // discard the new one's messages; `stats` stays cumulative (and
+        // so do the route-cache counters).
         self.neighbors = NeighborTables::new();
         self.topology = TopologyBase::new();
         self.duplicates = DuplicateSet::new();
         self.mprs = BTreeSet::new();
         self.last_ans = Vec::new();
+        self.invalidate_routes();
     }
 }
 
@@ -416,5 +515,17 @@ mod tests {
         assert!(node.advertised().is_empty());
         assert_eq!(node.next_seq(), 42, "msg_seq survives reboot");
         assert_eq!(node.ansn, 7, "ansn survives reboot");
+    }
+
+    #[test]
+    fn empty_node_routes_hit_cache_on_repeat_queries() {
+        let node = OlsrNode::new(NodeId(0), OlsrConfig::default(), MprSelectorPolicy);
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        assert!(node.routes(t).is_empty());
+        assert!(node.routes(t).is_empty());
+        assert_eq!(node.route_to(NodeId(5), t), None);
+        let stats = node.stats();
+        assert_eq!(stats.routes_recomputed, 1, "one compute of the empty table");
+        assert_eq!(stats.route_cache_hits, 2);
     }
 }

@@ -1,11 +1,33 @@
 //! RFC 3626 §10-style routing-table calculation: hop-count shortest paths
 //! over the node's symmetric links, 2-hop knowledge and TC-learned
 //! topology links (treated bidirectionally, per the paper's link model).
+//!
+//! Two layers live here:
+//!
+//! * [`compute_routes`] / [`compute_routes_keys_into`] — the from-scratch
+//!   BFS, rewritten over dense `NodeId → index` interning with CSR
+//!   adjacency in reusable [`RouteScratch`] buffers (the original
+//!   `BTreeMap`-per-call formulation survives as [`reference_routes`],
+//!   the oracle the differential suites compare against);
+//! * [`RouteCache`] — the incremental layer [`OlsrNode`] owns: routes
+//!   are recomputed only when the route-relevant table content actually
+//!   changed (dirty flag from HELLO/TC integration, expiry horizon from
+//!   the tables' min-expiry accessors, and a cheap key comparison when
+//!   the horizon passes), otherwise served from the cached table.
+//!
+//! Determinism: BFS over adjacency sorted by node id, so equal-length
+//! routes resolve to the smallest-id next hop — identical in every
+//! layer, proven by proptest.
+//!
+//! [`OlsrNode`]: crate::node::OlsrNode
 
 use std::collections::{BTreeMap, VecDeque};
 
 use qolsr_graph::NodeId;
 use qolsr_metrics::LinkQos;
+use qolsr_sim::SimTime;
+
+use crate::tables::{NeighborTables, TopologyBase};
 
 /// One routing-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +40,132 @@ pub struct RouteEntry {
     pub hops: u32,
 }
 
+/// Reusable buffers for [`compute_routes_keys_into`]: interning table,
+/// CSR adjacency and BFS state. One instance amortizes every allocation
+/// of repeated route computations to zero.
+#[derive(Debug, Default, Clone)]
+pub struct RouteScratch {
+    /// Sorted unique node ids; the dense index of an id is its position.
+    ids: Vec<NodeId>,
+    /// Directed edge list as dense index pairs.
+    edges: Vec<(u32, u32)>,
+    /// CSR row offsets into `edges` (len = ids.len() + 1).
+    offsets: Vec<u32>,
+    /// BFS hop count per index (`u32::MAX` = unreached).
+    dist: Vec<u32>,
+    /// First-hop index per reached index.
+    next: Vec<u32>,
+    /// BFS queue of dense indices.
+    queue: Vec<u32>,
+}
+
+impl RouteScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn index_of(&self, id: NodeId) -> u32 {
+        self.ids.binary_search(&id).expect("id was interned") as u32
+    }
+}
+
+/// From-scratch hop-count BFS over the route-relevant *link pairs*
+/// (QoS labels never influence hop-count routes), writing the resulting
+/// table — ascending by destination — into `out` without allocating
+/// (steady state) thanks to `scratch`.
+///
+/// Inputs: `sym` are the symmetric neighbor ids, `reported` the
+/// `(reporter, other end)` pairs from HELLOs, `advertised` the
+/// `(originator, advertised)` pairs from TCs. All edges are treated
+/// bidirectionally.
+pub fn compute_routes_keys_into(
+    me: NodeId,
+    sym: &[NodeId],
+    reported: &[(NodeId, NodeId)],
+    advertised: &[(NodeId, NodeId)],
+    scratch: &mut RouteScratch,
+    out: &mut Vec<RouteEntry>,
+) {
+    // Intern every mentioned id; sorted order makes dense-index order
+    // equal id order, which keeps the BFS tie-break identical to the
+    // reference formulation.
+    scratch.ids.clear();
+    scratch.ids.push(me);
+    scratch.ids.extend_from_slice(sym);
+    for &(a, b) in reported.iter().chain(advertised) {
+        scratch.ids.push(a);
+        scratch.ids.push(b);
+    }
+    scratch.ids.sort_unstable();
+    scratch.ids.dedup();
+    let n = scratch.ids.len();
+
+    // Directed edge list, sorted + deduped, then CSR rows: each row's
+    // neighbors come out ascending by id.
+    scratch.edges.clear();
+    let me_idx = scratch.index_of(me);
+    for &nbr in sym {
+        let i = scratch.index_of(nbr);
+        scratch.edges.push((me_idx, i));
+        scratch.edges.push((i, me_idx));
+    }
+    for &(a, b) in reported.iter().chain(advertised) {
+        let (ia, ib) = (scratch.index_of(a), scratch.index_of(b));
+        scratch.edges.push((ia, ib));
+        scratch.edges.push((ib, ia));
+    }
+    scratch.edges.sort_unstable();
+    scratch.edges.dedup();
+
+    scratch.offsets.clear();
+    scratch.offsets.resize(n + 1, 0);
+    for &(src, _) in &scratch.edges {
+        scratch.offsets[src as usize + 1] += 1;
+    }
+    for i in 0..n {
+        scratch.offsets[i + 1] += scratch.offsets[i];
+    }
+
+    // BFS from `me`, remembering the first hop.
+    scratch.dist.clear();
+    scratch.dist.resize(n, u32::MAX);
+    scratch.next.clear();
+    scratch.next.resize(n, u32::MAX);
+    scratch.queue.clear();
+    scratch.dist[me_idx as usize] = 0;
+    scratch.next[me_idx as usize] = me_idx;
+    scratch.queue.push(me_idx);
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let x = scratch.queue[head];
+        head += 1;
+        let d = scratch.dist[x as usize];
+        let nh = scratch.next[x as usize];
+        let row = scratch.offsets[x as usize] as usize..scratch.offsets[x as usize + 1] as usize;
+        for &(_, y) in &scratch.edges[row] {
+            if scratch.dist[y as usize] != u32::MAX {
+                continue;
+            }
+            scratch.dist[y as usize] = d + 1;
+            scratch.next[y as usize] = if x == me_idx { y } else { nh };
+            scratch.queue.push(y);
+        }
+    }
+
+    out.clear();
+    for i in 0..n {
+        if i as u32 == me_idx || scratch.dist[i] == u32::MAX {
+            continue;
+        }
+        out.push(RouteEntry {
+            dest: scratch.ids[i],
+            next_hop: scratch.ids[scratch.next[i] as usize],
+            hops: scratch.dist[i],
+        });
+    }
+}
+
 /// Computes hop-count routes from `me` given its symmetric neighbors, the
 /// links its neighbors reported, and the advertised links learned from
 /// TCs. Returns a map keyed by destination.
@@ -25,6 +173,26 @@ pub struct RouteEntry {
 /// Determinism: BFS over adjacency sorted by node id, so equal-length
 /// routes resolve to the smallest-id next hop.
 pub fn compute_routes(
+    me: NodeId,
+    sym_neighbors: &[(NodeId, LinkQos)],
+    reported_links: &[(NodeId, NodeId, LinkQos)],
+    advertised_links: &[(NodeId, NodeId, LinkQos)],
+) -> BTreeMap<NodeId, RouteEntry> {
+    let sym: Vec<NodeId> = sym_neighbors.iter().map(|&(n, _)| n).collect();
+    let reported: Vec<(NodeId, NodeId)> = reported_links.iter().map(|&(a, b, _)| (a, b)).collect();
+    let advertised: Vec<(NodeId, NodeId)> =
+        advertised_links.iter().map(|&(a, b, _)| (a, b)).collect();
+    let mut scratch = RouteScratch::new();
+    let mut out = Vec::new();
+    compute_routes_keys_into(me, &sym, &reported, &advertised, &mut scratch, &mut out);
+    out.into_iter().map(|e| (e.dest, e)).collect()
+}
+
+/// The original `BTreeMap`-based formulation, kept verbatim as the
+/// reference oracle for the differential suites: the interned
+/// [`compute_routes_keys_into`] and the cached [`RouteCache`] path must
+/// both reproduce it exactly.
+pub fn reference_routes(
     me: NodeId,
     sym_neighbors: &[(NodeId, LinkQos)],
     reported_links: &[(NodeId, NodeId, LinkQos)],
@@ -76,6 +244,133 @@ pub fn compute_routes(
         }
     }
     routes
+}
+
+/// The incremental routing layer: a cached route table plus the
+/// bookkeeping deciding when the cache is still exact.
+///
+/// Freshness has three tiers, checked in order on every query:
+///
+/// 1. **window hit** — nothing route-relevant was integrated since the
+///    last compute (`valid`), and `now` lies inside
+///    `[cached_at, valid_until)`, the span in which no contributing
+///    tuple can expire. Zero work.
+/// 2. **revalidation hit** — the window lapsed, the dirty flag was set,
+///    or time moved non-monotonically, but re-gathering the live input
+///    *keys* shows the topology content still equals the cached table's
+///    (lifetime refreshes and QoS drift don't alter hop routes). Costs
+///    one allocation-free table scan and comparison, no BFS.
+/// 3. **recompute** — the keys differ from the cached table's, or no
+///    table was ever computed: full BFS through [`RouteScratch`].
+#[derive(Debug, Default)]
+pub struct RouteCache {
+    /// No route-relevant table change was flagged since the last
+    /// compute/revalidation.
+    valid: bool,
+    /// A table has ever been computed (so `key_*`/`routes` are a
+    /// consistent pair and key equality implies route equality).
+    computed: bool,
+    cached_at: SimTime,
+    valid_until: SimTime,
+    /// Input keys of the cached table.
+    key_sym: Vec<NodeId>,
+    key_reported: Vec<(NodeId, NodeId)>,
+    key_topo: Vec<(NodeId, NodeId)>,
+    /// Gather buffers for the current query's live keys.
+    gather_sym: Vec<NodeId>,
+    gather_reported: Vec<(NodeId, NodeId)>,
+    gather_topo: Vec<(NodeId, NodeId)>,
+    routes: Vec<RouteEntry>,
+    scratch: RouteScratch,
+    recomputes: u64,
+    hits: u64,
+}
+
+impl RouteCache {
+    /// Creates an empty, invalid cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the cached table stale (route-relevant table content
+    /// changed).
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// `(recomputes, cache_hits)` since construction.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.recomputes, self.hits)
+    }
+
+    /// Brings the cached table up to date for a query at `now` against
+    /// the given information bases.
+    pub fn ensure(
+        &mut self,
+        me: NodeId,
+        neighbors: &NeighborTables,
+        topology: &TopologyBase,
+        now: SimTime,
+    ) {
+        if self.valid && self.cached_at <= now && now < self.valid_until {
+            self.hits += 1;
+            return;
+        }
+        // Gather the live input keys (and the earliest instant any of
+        // them can expire) without allocating in steady state. Keys
+        // only: hop-count routing never reads the QoS labels, so QoS
+        // drift neither enters the comparison nor gets copied.
+        let sym_exp = neighbors.symmetric_keys_into(now, &mut self.gather_sym);
+        let rep_exp = neighbors.reported_keys_into(now, &mut self.gather_reported);
+        let topo_exp = topology.link_keys_into(now, &mut self.gather_topo);
+        let valid_until = sym_exp.min(rep_exp).min(topo_exp);
+
+        if self.computed
+            && self.gather_sym == self.key_sym
+            && self.gather_reported == self.key_reported
+            && self.gather_topo == self.key_topo
+        {
+            // Same topology content as the cached table — whether the
+            // window merely lapsed or a dirty flag turned out to be a
+            // no-op — so the routes are already exact: revalidate.
+            self.valid = true;
+            self.cached_at = now;
+            self.valid_until = valid_until;
+            self.hits += 1;
+            return;
+        }
+
+        compute_routes_keys_into(
+            me,
+            &self.gather_sym,
+            &self.gather_reported,
+            &self.gather_topo,
+            &mut self.scratch,
+            &mut self.routes,
+        );
+        std::mem::swap(&mut self.key_sym, &mut self.gather_sym);
+        std::mem::swap(&mut self.key_reported, &mut self.gather_reported);
+        std::mem::swap(&mut self.key_topo, &mut self.gather_topo);
+        self.valid = true;
+        self.computed = true;
+        self.cached_at = now;
+        self.valid_until = valid_until;
+        self.recomputes += 1;
+    }
+
+    /// The cached route table, ascending by destination. Only valid
+    /// right after [`RouteCache::ensure`].
+    pub fn entries(&self) -> &[RouteEntry] {
+        &self.routes
+    }
+
+    /// Looks up the cached route to `dest`.
+    pub fn lookup(&self, dest: NodeId) -> Option<RouteEntry> {
+        self.routes
+            .binary_search_by_key(&dest, |e| e.dest)
+            .ok()
+            .map(|i| self.routes[i])
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +435,89 @@ mod tests {
     fn self_is_not_a_destination() {
         let routes = compute_routes(NodeId(0), &[(NodeId(1), q())], &[], &[]);
         assert!(!routes.contains_key(&NodeId(0)));
+    }
+
+    type Weighted = Vec<(NodeId, LinkQos)>;
+    type Labeled = Vec<(NodeId, NodeId, LinkQos)>;
+    type Case = (Weighted, Labeled, Labeled);
+
+    #[test]
+    fn interned_bfs_matches_reference_on_fixed_cases() {
+        let cases: &[Case] = &[
+            (vec![], vec![], vec![]),
+            (
+                vec![(NodeId(1), q()), (NodeId(2), q())],
+                vec![(NodeId(1), NodeId(3), q()), (NodeId(2), NodeId(3), q())],
+                vec![(NodeId(3), NodeId(4), q()), (NodeId(9), NodeId(8), q())],
+            ),
+            (
+                // Duplicate edges and self-overlap between sources.
+                vec![(NodeId(1), q())],
+                vec![(NodeId(0), NodeId(1), q()), (NodeId(1), NodeId(0), q())],
+                vec![(NodeId(1), NodeId(2), q()), (NodeId(1), NodeId(2), q())],
+            ),
+        ];
+        for (sym, rep, adv) in cases {
+            assert_eq!(
+                compute_routes(NodeId(0), sym, rep, adv),
+                reference_routes(NodeId(0), sym, rep, adv),
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_but_unchanged_keys_revalidate_without_recompute() {
+        use crate::messages::{Hello, HelloNeighbor, LinkState};
+        use qolsr_sim::SimDuration;
+
+        let me = NodeId(0);
+        let t = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+        let mut nt = NeighborTables::new();
+        let hello = Hello {
+            neighbors: vec![HelloNeighbor {
+                id: me,
+                state: LinkState::Symmetric,
+                qos: q(),
+            }],
+        };
+        nt.process_hello(me, NodeId(1), q(), &hello, t(0), t(6));
+        let tb = TopologyBase::new();
+
+        let mut cache = RouteCache::new();
+        cache.ensure(me, &nt, &tb, t(1));
+        assert_eq!(cache.counters(), (1, 0));
+        // A no-op invalidation (content unchanged) must downgrade to a
+        // revalidation hit, not a recompute.
+        cache.invalidate();
+        cache.ensure(me, &nt, &tb, t(2));
+        assert_eq!(cache.counters(), (1, 1));
+        assert_eq!(cache.entries().len(), 1);
+        // A real content change still recomputes.
+        nt.process_hello(me, NodeId(2), q(), &hello, t(2), t(8));
+        cache.invalidate();
+        cache.ensure(me, &nt, &tb, t(3));
+        assert_eq!(cache.counters(), (2, 1));
+        assert_eq!(cache.entries().len(), 2);
+    }
+
+    #[test]
+    fn scratch_reuse_across_different_graphs() {
+        let mut scratch = RouteScratch::new();
+        let mut out = Vec::new();
+        compute_routes_keys_into(
+            NodeId(0),
+            &[NodeId(1)],
+            &[(NodeId(1), NodeId(2))],
+            &[],
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out.len(), 2);
+        // Smaller, unrelated graph afterwards: stale scratch state must
+        // not leak.
+        compute_routes_keys_into(NodeId(5), &[NodeId(7)], &[], &[], &mut scratch, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dest, NodeId(7));
+        assert_eq!(out[0].hops, 1);
     }
 }

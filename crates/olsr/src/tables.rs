@@ -1,14 +1,25 @@
 //! Protocol information bases: link set, neighbor set, 2-hop set,
 //! MPR-selector set, topology base and duplicate set — all with RFC-style
 //! validity times.
-
-use std::collections::BTreeMap;
+//!
+//! Storage is id-sorted flat vectors (binary-search point lookups,
+//! in-order scans) rather than `BTreeMap`s: the per-message hot path
+//! (HELLO/TC processing at every delivery) touches a handful of entries
+//! in tables that are small per node, where contiguous storage wins, and
+//! the `*_into` accessors fill caller-owned scratch buffers so the
+//! per-tick read paths allocate nothing. The allocating accessors remain
+//! for convenience and are pinned ≡ the flat storage by differential
+//! tests against the original `BTreeMap` model.
 
 use qolsr_graph::{LocalView, NodeId};
 use qolsr_metrics::LinkQos;
 use qolsr_sim::SimTime;
 
 use crate::messages::Hello;
+
+/// "Never expires" sentinel returned by min-expiry accessors when no
+/// tuple bounds the horizon.
+pub(crate) const FAR_FUTURE: SimTime = SimTime::from_micros(u64::MAX);
 
 /// One sensed link (RFC 3626 link tuple, condensed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,15 +46,25 @@ impl LinkTuple {
     }
 }
 
+/// A link reported by a symmetric neighbor:
+/// `via —qos→ node`, valid until `until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReportedLink {
+    via: NodeId,
+    node: NodeId,
+    qos: LinkQos,
+    until: SimTime,
+}
+
 /// Link sensing plus neighborhood knowledge learned from HELLOs.
 #[derive(Debug, Default, Clone)]
 pub struct NeighborTables {
-    links: BTreeMap<NodeId, LinkTuple>,
-    /// `(via, node) → (qos(via,node), expiry)` for links reported by
-    /// symmetric neighbors.
-    reported: BTreeMap<(NodeId, NodeId), (LinkQos, SimTime)>,
-    /// Neighbors that currently select us as MPR.
-    mpr_selectors: BTreeMap<NodeId, SimTime>,
+    /// Link tuples, ascending by neighbor id.
+    links: Vec<LinkTuple>,
+    /// Links reported by symmetric neighbors, ascending by `(via, node)`.
+    reported: Vec<ReportedLink>,
+    /// Neighbors that currently select us as MPR, ascending by id.
+    mpr_selectors: Vec<(NodeId, SimTime)>,
 }
 
 impl NeighborTables {
@@ -60,6 +81,12 @@ impl NeighborTables {
     /// symmetric lifetime; being listed with the MPR code refreshes the
     /// MPR-selector tuple. Links the announcer reports as symmetric are
     /// recorded for 2-hop neighborhood and `G_u` construction.
+    ///
+    /// Returns `true` when the *route-relevant* content changed at
+    /// `now` — the symmetric-neighbor set gained a member, or a reported
+    /// link appeared that was absent or expired — so callers can
+    /// invalidate derived state (the routing cache) only when needed.
+    /// Pure lifetime refreshes return `false`.
     pub fn process_hello(
         &mut self,
         me: NodeId,
@@ -68,83 +95,245 @@ impl NeighborTables {
         hello: &Hello,
         now: SimTime,
         hold_until: SimTime,
-    ) {
-        let tuple = self.links.entry(from).or_insert(LinkTuple {
-            neighbor: from,
-            qos: measured_qos,
-            asym_until: hold_until,
-            sym_until: now,
-        });
+    ) -> bool {
+        let mut changed = false;
+        let i = match self.links.binary_search_by_key(&from, |t| t.neighbor) {
+            Ok(i) => i,
+            Err(i) => {
+                self.links.insert(
+                    i,
+                    LinkTuple {
+                        neighbor: from,
+                        qos: measured_qos,
+                        asym_until: hold_until,
+                        sym_until: now,
+                    },
+                );
+                i
+            }
+        };
+        let tuple = &mut self.links[i];
+        let was_symmetric = tuple.is_symmetric(now);
         tuple.qos = measured_qos;
         tuple.asym_until = hold_until;
         if let Some(entry) = hello.entry(me) {
             // The neighbor hears us: the link is bidirectional.
             tuple.sym_until = hold_until;
             if entry.state == crate::messages::LinkState::Mpr {
-                self.mpr_selectors.insert(from, hold_until);
+                match self.mpr_selectors.binary_search_by_key(&from, |s| s.0) {
+                    Ok(j) => self.mpr_selectors[j].1 = hold_until,
+                    Err(j) => self.mpr_selectors.insert(j, (from, hold_until)),
+                }
             }
         }
+        changed |= self.links[i].is_symmetric(now) != was_symmetric;
+        // Reported links only enter route inputs while their reporter is
+        // a symmetric neighbor, so inserts from a still-asymmetric
+        // reporter are not a route-relevant change yet — the later
+        // asym→sym transition flags one (and is detected above even when
+        // it happens within this same HELLO, since the link tuple is
+        // updated first).
+        let reporter_symmetric = self.links[i].is_symmetric(now);
         for n in &hello.neighbors {
             if n.state.is_symmetric() && n.id != me {
-                self.reported.insert((from, n.id), (n.qos, hold_until));
+                match self
+                    .reported
+                    .binary_search_by_key(&(from, n.id), |r| (r.via, r.node))
+                {
+                    Ok(j) => {
+                        let r = &mut self.reported[j];
+                        // Was expired: reappears.
+                        changed |= reporter_symmetric && r.until <= now;
+                        r.qos = n.qos;
+                        r.until = hold_until;
+                    }
+                    Err(j) => {
+                        self.reported.insert(
+                            j,
+                            ReportedLink {
+                                via: from,
+                                node: n.id,
+                                qos: n.qos,
+                                until: hold_until,
+                            },
+                        );
+                        changed |= reporter_symmetric;
+                    }
+                }
             }
         }
+        changed
     }
 
     /// Discards every tuple that expired at `now`.
     pub fn sweep(&mut self, now: SimTime) {
-        self.links.retain(|_, t| t.is_alive(now));
+        self.links.retain(|t| t.is_alive(now));
         // Reported links are only meaningful while the reporter is a live
         // symmetric neighbor.
-        let live: Vec<NodeId> = self
-            .links
-            .values()
-            .filter(|t| t.is_symmetric(now))
-            .map(|t| t.neighbor)
-            .collect();
-        self.reported
-            .retain(|(via, _), (_, until)| *until > now && live.contains(via));
-        self.mpr_selectors.retain(|_, until| *until > now);
+        let links = &self.links;
+        self.reported.retain(|r| {
+            r.until > now
+                && links
+                    .binary_search_by_key(&r.via, |t| t.neighbor)
+                    .is_ok_and(|i| links[i].is_symmetric(now))
+        });
+        self.mpr_selectors.retain(|&(_, until)| until > now);
+    }
+
+    /// Returns `true` when `n` is currently a symmetric neighbor.
+    pub fn is_symmetric(&self, n: NodeId, now: SimTime) -> bool {
+        self.links
+            .binary_search_by_key(&n, |t| t.neighbor)
+            .is_ok_and(|i| self.links[i].is_symmetric(now))
+    }
+
+    /// Returns `true` when `n` currently selects us as MPR.
+    pub fn is_mpr_selector(&self, n: NodeId, now: SimTime) -> bool {
+        self.mpr_selectors
+            .binary_search_by_key(&n, |s| s.0)
+            .is_ok_and(|i| self.mpr_selectors[i].1 > now)
+    }
+
+    /// Shared scan behind the symmetric-neighbor accessors: pushes
+    /// `map(tuple)` for every currently-symmetric link, ascending by id,
+    /// and returns the earliest instant the set could shrink (the
+    /// minimum `sym_until` among members, or far-future when empty).
+    fn symmetric_scan<T>(
+        &self,
+        now: SimTime,
+        out: &mut Vec<T>,
+        mut map: impl FnMut(&LinkTuple) -> T,
+    ) -> SimTime {
+        out.clear();
+        let mut min_expiry = FAR_FUTURE;
+        for t in &self.links {
+            if t.is_symmetric(now) {
+                out.push(map(t));
+                min_expiry = min_expiry.min(t.sym_until);
+            }
+        }
+        min_expiry
+    }
+
+    /// Fills `out` with the current symmetric neighbors and link QoS,
+    /// ascending by id; returns the earliest instant at which the set
+    /// could shrink.
+    pub fn symmetric_into(&self, now: SimTime, out: &mut Vec<(NodeId, LinkQos)>) -> SimTime {
+        self.symmetric_scan(now, out, |t| (t.neighbor, t.qos))
+    }
+
+    /// Key-only variant of [`NeighborTables::symmetric_into`]: fills
+    /// `out` with the symmetric neighbor ids alone (the route-relevant
+    /// content — hop-count routing ignores QoS labels), same order and
+    /// min-expiry return.
+    pub fn symmetric_keys_into(&self, now: SimTime, out: &mut Vec<NodeId>) -> SimTime {
+        self.symmetric_scan(now, out, |t| t.neighbor)
+    }
+
+    /// Fills `out` with neighbors heard but not (yet) verified
+    /// bidirectional, ascending by id. These must be announced with the
+    /// asymmetric link code so the other side can complete the symmetry
+    /// handshake.
+    pub fn asymmetric_into(&self, now: SimTime, out: &mut Vec<(NodeId, LinkQos)>) {
+        out.clear();
+        for t in &self.links {
+            if t.is_alive(now) && !t.is_symmetric(now) {
+                out.push((t.neighbor, t.qos));
+            }
+        }
+    }
+
+    /// Shared scan behind the reported-link accessors: pushes `map(r)`
+    /// for every live link reported by a currently-symmetric neighbor,
+    /// ascending by `(reporter, other end)`, and returns the earliest
+    /// instant the set could shrink (a tuple expiry or its reporter's
+    /// symmetry expiry, whichever is sooner).
+    fn reported_scan<T>(
+        &self,
+        now: SimTime,
+        out: &mut Vec<T>,
+        mut map: impl FnMut(&ReportedLink) -> T,
+    ) -> SimTime {
+        out.clear();
+        let mut min_expiry = FAR_FUTURE;
+        // `reported` is sorted by (via, node): resolve each reporter's
+        // link tuple once per `via` group.
+        let mut cur_via = None;
+        let mut cur_sym: Option<SimTime> = None; // sym_until when symmetric now
+        for r in &self.reported {
+            if cur_via != Some(r.via) {
+                cur_via = Some(r.via);
+                cur_sym = self
+                    .links
+                    .binary_search_by_key(&r.via, |t| t.neighbor)
+                    .ok()
+                    .map(|i| &self.links[i])
+                    .filter(|t| t.is_symmetric(now))
+                    .map(|t| t.sym_until);
+            }
+            let Some(sym_until) = cur_sym else { continue };
+            if r.until > now {
+                out.push(map(r));
+                min_expiry = min_expiry.min(r.until).min(sym_until);
+            }
+        }
+        min_expiry
+    }
+
+    /// Fills `out` with the links reported by current symmetric
+    /// neighbors as `(reporter, other end, qos)`, ascending by
+    /// `(reporter, other end)`; returns the earliest instant at which
+    /// the set could shrink.
+    pub fn reported_into(&self, now: SimTime, out: &mut Vec<(NodeId, NodeId, LinkQos)>) -> SimTime {
+        self.reported_scan(now, out, |r| (r.via, r.node, r.qos))
+    }
+
+    /// Key-only variant of [`NeighborTables::reported_into`]: the
+    /// `(reporter, other end)` pairs alone, same order and min-expiry
+    /// return.
+    pub fn reported_keys_into(&self, now: SimTime, out: &mut Vec<(NodeId, NodeId)>) -> SimTime {
+        self.reported_scan(now, out, |r| (r.via, r.node))
+    }
+
+    /// Fills `out` with the neighbors currently selecting us as MPR,
+    /// ascending.
+    pub fn selectors_into(&self, now: SimTime, out: &mut Vec<NodeId>) {
+        out.clear();
+        for &(n, until) in &self.mpr_selectors {
+            if until > now {
+                out.push(n);
+            }
+        }
     }
 
     /// Current symmetric neighbors with link QoS, ascending by id.
     pub fn symmetric_neighbors(&self, now: SimTime) -> Vec<(NodeId, LinkQos)> {
-        self.links
-            .values()
-            .filter(|t| t.is_symmetric(now))
-            .map(|t| (t.neighbor, t.qos))
-            .collect()
+        let mut out = Vec::new();
+        self.symmetric_into(now, &mut out);
+        out
     }
 
     /// Neighbors heard but not (yet) verified bidirectional, ascending by
-    /// id. These must be announced with the asymmetric link code so the
-    /// other side can complete the symmetry handshake.
+    /// id.
     pub fn asymmetric_neighbors(&self, now: SimTime) -> Vec<(NodeId, LinkQos)> {
-        self.links
-            .values()
-            .filter(|t| t.is_alive(now) && !t.is_symmetric(now))
-            .map(|t| (t.neighbor, t.qos))
-            .collect()
+        let mut out = Vec::new();
+        self.asymmetric_into(now, &mut out);
+        out
     }
 
     /// Links reported by current symmetric neighbors, as
     /// `(reporter, other end, qos)`.
     pub fn reported_links(&self, now: SimTime) -> Vec<(NodeId, NodeId, LinkQos)> {
-        self.reported
-            .iter()
-            .filter(|(_, (_, until))| *until > now)
-            .filter(|((via, _), _)| self.links.get(via).is_some_and(|t| t.is_symmetric(now)))
-            .map(|(&(via, node), &(qos, _))| (via, node, qos))
-            .collect()
+        let mut out = Vec::new();
+        self.reported_into(now, &mut out);
+        out
     }
 
     /// Neighbors currently selecting us as MPR, ascending.
     pub fn mpr_selectors(&self, now: SimTime) -> Vec<NodeId> {
-        self.mpr_selectors
-            .iter()
-            .filter(|(_, until)| **until > now)
-            .map(|(&n, _)| n)
-            .collect()
+        let mut out = Vec::new();
+        self.selectors_into(now, &mut out);
+        out
     }
 
     /// Builds the node's current partial view `G_u` from its tables.
@@ -163,13 +352,44 @@ pub fn seq_newer(a: u16, b: u16) -> bool {
     a != b && a.wrapping_sub(b) < 0x8000
 }
 
+/// One advertised link inside an originator's topology set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TopoLink {
+    adv: NodeId,
+    qos: LinkQos,
+    until: SimTime,
+}
+
+/// Outcome of integrating a TC message into the [`TopologyBase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcUpdate {
+    /// The message was fresh (not discarded by the ANSN check) and its
+    /// advertised set replaced the originator's stored set.
+    pub applied: bool,
+    /// The *live link pairs* contributed by the originator actually
+    /// changed — a pure refresh (same pairs, new lifetimes/QoS) leaves
+    /// this `false`, so route caches are invalidated only on genuine
+    /// topology change.
+    pub links_changed: bool,
+}
+
 /// Topology knowledge learned from flooded TCs.
+///
+/// Stored as one id-sorted advertised set per originator (outer vec
+/// ascending by originator, inner ascending by advertised id): a fresh
+/// TC replaces its originator's set in place, reusing the inner buffer,
+/// without disturbing the rest of the base.
 #[derive(Debug, Default, Clone)]
 pub struct TopologyBase {
-    /// `(originator, advertised) → (qos, expiry)`.
-    tuples: BTreeMap<(NodeId, NodeId), (LinkQos, SimTime)>,
-    /// Latest ANSN seen per originator.
-    ansn: BTreeMap<NodeId, u16>,
+    /// Per-originator advertised sets; empty inner vecs are retained
+    /// for buffer reuse.
+    sets: Vec<(NodeId, Vec<TopoLink>)>,
+    /// Latest ANSN seen per originator, ascending by originator.
+    ansn: Vec<(NodeId, u16)>,
+    /// Stored tuples across all sets (including expired-but-unswept).
+    count: usize,
+    /// Scratch for sorting/deduplicating an incoming advertised list.
+    scratch: Vec<(NodeId, LinkQos)>,
 }
 
 impl TopologyBase {
@@ -188,48 +408,156 @@ impl TopologyBase {
         advertised: &[(NodeId, LinkQos)],
         hold_until: SimTime,
     ) -> bool {
-        if let Some(&stored) = self.ansn.get(&originator) {
-            if seq_newer(stored, ansn) {
-                return false; // stale
+        self.process_tc_tracked(originator, ansn, advertised, SimTime::ZERO, hold_until)
+            .applied
+    }
+
+    /// Like [`TopologyBase::process_tc`], additionally reporting whether
+    /// the originator's set of *live* (at `now`) advertised link pairs
+    /// changed — the signal route caches invalidate on.
+    pub fn process_tc_tracked(
+        &mut self,
+        originator: NodeId,
+        ansn: u16,
+        advertised: &[(NodeId, LinkQos)],
+        now: SimTime,
+        hold_until: SimTime,
+    ) -> TcUpdate {
+        match self.ansn.binary_search_by_key(&originator, |a| a.0) {
+            Ok(i) => {
+                if seq_newer(self.ansn[i].1, ansn) {
+                    return TcUpdate {
+                        applied: false,
+                        links_changed: false,
+                    };
+                }
+                self.ansn[i].1 = ansn;
             }
+            Err(i) => self.ansn.insert(i, (originator, ansn)),
         }
-        self.ansn.insert(originator, ansn);
-        self.tuples.retain(|(orig, _), _| *orig != originator);
-        for &(adv, qos) in advertised {
-            self.tuples.insert((originator, adv), (qos, hold_until));
+        // Sort the incoming list by advertised id, keeping the *last*
+        // occurrence of duplicate ids (map-insert semantics).
+        self.scratch.clear();
+        self.scratch.extend_from_slice(advertised);
+        self.scratch.sort_by_key(|&(n, _)| n);
+        self.scratch.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                *earlier = *later;
+                true
+            } else {
+                false
+            }
+        });
+
+        let set = match self.sets.binary_search_by_key(&originator, |s| s.0) {
+            Ok(i) => &mut self.sets[i].1,
+            Err(i) => {
+                self.sets.insert(i, (originator, Vec::new()));
+                &mut self.sets[i].1
+            }
+        };
+        let links_changed = {
+            let mut old_live = set.iter().filter(|l| l.until > now).map(|l| l.adv);
+            let mut new_ids = self.scratch.iter().map(|&(n, _)| n);
+            !old_live.by_ref().eq(new_ids.by_ref())
+        };
+        self.count -= set.len();
+        self.count += self.scratch.len();
+        set.clear();
+        set.extend(self.scratch.iter().map(|&(adv, qos)| TopoLink {
+            adv,
+            qos,
+            until: hold_until,
+        }));
+        TcUpdate {
+            applied: true,
+            links_changed,
         }
-        true
     }
 
     /// Discards expired tuples.
     pub fn sweep(&mut self, now: SimTime) {
-        self.tuples.retain(|_, (_, until)| *until > now);
+        for (_, set) in &mut self.sets {
+            let before = set.len();
+            set.retain(|l| l.until > now);
+            self.count -= before - set.len();
+        }
+    }
+
+    /// Shared scan behind the advertised-link accessors: pushes
+    /// `map(originator, link)` for every live tuple, ascending by
+    /// `(originator, advertised)`, and returns the earliest expiry among
+    /// them (far-future when empty).
+    fn links_scan<T>(
+        &self,
+        now: SimTime,
+        out: &mut Vec<T>,
+        mut map: impl FnMut(NodeId, &TopoLink) -> T,
+    ) -> SimTime {
+        out.clear();
+        let mut min_expiry = FAR_FUTURE;
+        for (orig, set) in &self.sets {
+            for l in set {
+                if l.until > now {
+                    out.push(map(*orig, l));
+                    min_expiry = min_expiry.min(l.until);
+                }
+            }
+        }
+        min_expiry
+    }
+
+    /// Fills `out` with all live advertised links as
+    /// `(originator, advertised, qos)`, ascending by
+    /// `(originator, advertised)`; returns the earliest expiry among
+    /// them (far-future when empty).
+    pub fn links_into(&self, now: SimTime, out: &mut Vec<(NodeId, NodeId, LinkQos)>) -> SimTime {
+        self.links_scan(now, out, |orig, l| (orig, l.adv, l.qos))
+    }
+
+    /// Key-only variant of [`TopologyBase::links_into`]: the
+    /// `(originator, advertised)` pairs alone, same order and min-expiry
+    /// return.
+    pub fn link_keys_into(&self, now: SimTime, out: &mut Vec<(NodeId, NodeId)>) -> SimTime {
+        self.links_scan(now, out, |orig, l| (orig, l.adv))
     }
 
     /// All live advertised links as `(originator, advertised, qos)`.
     pub fn links(&self, now: SimTime) -> Vec<(NodeId, NodeId, LinkQos)> {
-        self.tuples
-            .iter()
-            .filter(|(_, (_, until))| *until > now)
-            .map(|(&(a, b), &(qos, _))| (a, b, qos))
-            .collect()
+        let mut out = Vec::new();
+        self.links_into(now, &mut out);
+        out
     }
 
     /// Number of live tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.count
     }
 
     /// Returns `true` when no tuples are stored.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.count == 0
     }
 }
 
+/// One remembered `(seq → lifetime, forwarded?)` entry of an originator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SeqEntry {
+    seq: u16,
+    until: SimTime,
+    forwarded: bool,
+}
+
 /// Duplicate suppression for flooded messages (RFC 3626 §3.4).
+///
+/// Stored as one seq-sorted entry list per originator so the per-message
+/// lookup — the hottest query in a TC flood — is two small binary
+/// searches over contiguous memory.
 #[derive(Debug, Default, Clone)]
 pub struct DuplicateSet {
-    seen: BTreeMap<(NodeId, u16), (SimTime, bool)>,
+    /// Per-originator entries, outer ascending by originator, inner by
+    /// raw sequence number. Empty inner vecs are retained for reuse.
+    seen: Vec<(NodeId, Vec<SeqEntry>)>,
 }
 
 impl DuplicateSet {
@@ -238,16 +566,41 @@ impl DuplicateSet {
         Self::default()
     }
 
+    fn entry(
+        &mut self,
+        originator: NodeId,
+        seq: u16,
+    ) -> (&mut Vec<SeqEntry>, Result<usize, usize>) {
+        let i = match self.seen.binary_search_by_key(&originator, |s| s.0) {
+            Ok(i) => i,
+            Err(i) => {
+                self.seen.insert(i, (originator, Vec::new()));
+                i
+            }
+        };
+        let list = &mut self.seen[i].1;
+        let pos = list.binary_search_by_key(&seq, |e| e.seq);
+        (list, pos)
+    }
+
     /// Records `(originator, seq)`; returns `true` if it was not already
     /// known (i.e. the message content should be processed).
     pub fn fresh(&mut self, originator: NodeId, seq: u16, hold_until: SimTime) -> bool {
-        match self.seen.entry((originator, seq)) {
-            std::collections::btree_map::Entry::Occupied(mut e) => {
-                e.get_mut().0 = hold_until;
+        let (list, pos) = self.entry(originator, seq);
+        match pos {
+            Ok(j) => {
+                list[j].until = hold_until;
                 false
             }
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert((hold_until, false));
+            Err(j) => {
+                list.insert(
+                    j,
+                    SeqEntry {
+                        seq,
+                        until: hold_until,
+                        forwarded: false,
+                    },
+                );
                 true
             }
         }
@@ -256,18 +609,31 @@ impl DuplicateSet {
     /// Marks `(originator, seq)` as forwarded; returns `true` if it had
     /// not been forwarded before (i.e. this node should retransmit now).
     pub fn mark_forwarded(&mut self, originator: NodeId, seq: u16, hold_until: SimTime) -> bool {
-        let entry = self
-            .seen
-            .entry((originator, seq))
-            .or_insert((hold_until, false));
-        let first = !entry.1;
-        entry.1 = true;
+        let (list, pos) = self.entry(originator, seq);
+        let j = match pos {
+            Ok(j) => j,
+            Err(j) => {
+                list.insert(
+                    j,
+                    SeqEntry {
+                        seq,
+                        until: hold_until,
+                        forwarded: false,
+                    },
+                );
+                j
+            }
+        };
+        let first = !list[j].forwarded;
+        list[j].forwarded = true;
         first
     }
 
     /// Discards expired entries.
     pub fn sweep(&mut self, now: SimTime) {
-        self.seen.retain(|_, (until, _)| *until > now);
+        for (_, list) in &mut self.seen {
+            list.retain(|e| e.until > now);
+        }
     }
 }
 
@@ -321,6 +687,8 @@ mod tests {
             nt.symmetric_neighbors(t(3)),
             vec![(NodeId(1), LinkQos::uniform(5))]
         );
+        assert!(nt.is_symmetric(NodeId(1), t(3)));
+        assert!(!nt.is_symmetric(NodeId(2), t(3)));
     }
 
     #[test]
@@ -354,7 +722,9 @@ mod tests {
             t(6),
         );
         assert_eq!(nt.mpr_selectors(t(1)), vec![NodeId(2)]);
+        assert!(nt.is_mpr_selector(NodeId(2), t(1)));
         assert!(nt.mpr_selectors(t(7)).is_empty());
+        assert!(!nt.is_mpr_selector(NodeId(2), t(7)));
     }
 
     #[test]
@@ -391,6 +761,92 @@ mod tests {
     }
 
     #[test]
+    fn process_hello_reports_route_relevant_changes_only() {
+        let mut nt = NeighborTables::new();
+        let me = NodeId(0);
+        // Asymmetric link appears, even with reported links: not
+        // route-relevant (an asymmetric reporter's links never enter
+        // route inputs).
+        assert!(!nt.process_hello(
+            me,
+            NodeId(1),
+            LinkQos::uniform(5),
+            &hello_listing(&[(2, LinkState::Symmetric)]),
+            t(0),
+            t(6),
+        ));
+        // Link turns symmetric and reports a new link: change.
+        assert!(nt.process_hello(
+            me,
+            NodeId(1),
+            LinkQos::uniform(5),
+            &hello_listing(&[(0, LinkState::Symmetric), (2, LinkState::Symmetric)]),
+            t(1),
+            t(7),
+        ));
+        // Pure refresh of the same knowledge: no change.
+        assert!(!nt.process_hello(
+            me,
+            NodeId(1),
+            LinkQos::uniform(5),
+            &hello_listing(&[(0, LinkState::Symmetric), (2, LinkState::Symmetric)]),
+            t(2),
+            t(8),
+        ));
+        // The reported link expired in the meantime: its refresh is a
+        // reappearance, hence a change.
+        assert!(nt.process_hello(
+            me,
+            NodeId(1),
+            LinkQos::uniform(5),
+            &hello_listing(&[(0, LinkState::Symmetric), (2, LinkState::Symmetric)]),
+            t(9),
+            t(15),
+        ));
+    }
+
+    #[test]
+    fn scratch_accessors_match_allocating_accessors() {
+        let mut nt = NeighborTables::new();
+        let me = NodeId(0);
+        for (from, listed) in [
+            (
+                1u32,
+                vec![(0, LinkState::Symmetric), (2, LinkState::Symmetric)],
+            ),
+            (3, vec![(4, LinkState::Symmetric)]),
+            (5, vec![(0, LinkState::Mpr), (1, LinkState::Symmetric)]),
+        ] {
+            nt.process_hello(
+                me,
+                NodeId(from),
+                LinkQos::uniform(u64::from(from)),
+                &hello_listing(&listed),
+                t(0),
+                t(6),
+            );
+        }
+        let now = t(2);
+        let mut sym = Vec::new();
+        let mut asym = Vec::new();
+        let mut rep = Vec::new();
+        let mut sel = Vec::new();
+        let sym_exp = nt.symmetric_into(now, &mut sym);
+        nt.asymmetric_into(now, &mut asym);
+        let rep_exp = nt.reported_into(now, &mut rep);
+        nt.selectors_into(now, &mut sel);
+        assert_eq!(sym, nt.symmetric_neighbors(now));
+        assert_eq!(asym, nt.asymmetric_neighbors(now));
+        assert_eq!(rep, nt.reported_links(now));
+        assert_eq!(sel, nt.mpr_selectors(now));
+        assert_eq!(sym_exp, t(6), "symmetric links all expire at hold");
+        assert_eq!(rep_exp, t(6));
+        // After everything expires the minima go to far-future.
+        assert_eq!(nt.symmetric_into(t(10), &mut sym), FAR_FUTURE);
+        assert!(sym.is_empty());
+    }
+
+    #[test]
     fn seq_newer_wraps() {
         assert!(seq_newer(1, 0));
         assert!(!seq_newer(0, 1));
@@ -422,6 +878,56 @@ mod tests {
         assert!(tb.links(t(6)).is_empty());
         tb.sweep(t(6));
         assert!(tb.is_empty());
+    }
+
+    #[test]
+    fn tracked_tc_distinguishes_refresh_from_change() {
+        let mut tb = TopologyBase::new();
+        let adv = [
+            (NodeId(2), LinkQos::uniform(1)),
+            (NodeId(3), LinkQos::uniform(2)),
+        ];
+        let up = tb.process_tc_tracked(NodeId(1), 1, &adv, t(0), t(10));
+        assert!(up.applied && up.links_changed);
+        // Same pairs, refreshed lifetimes and different QoS: applied but
+        // not a link change.
+        let adv_q = [
+            (NodeId(2), LinkQos::uniform(9)),
+            (NodeId(3), LinkQos::uniform(9)),
+        ];
+        let up = tb.process_tc_tracked(NodeId(1), 2, &adv_q, t(1), t(11));
+        assert!(up.applied && !up.links_changed);
+        // Dropped member: change.
+        let up = tb.process_tc_tracked(NodeId(1), 3, &[adv[0]], t(2), t(12));
+        assert!(up.applied && up.links_changed);
+        // Stale: neither.
+        let up = tb.process_tc_tracked(NodeId(1), 1, &adv, t(3), t(13));
+        assert!(!up.applied && !up.links_changed);
+        // An unsorted list with duplicate ids keeps the last occurrence.
+        let dup = [
+            (NodeId(5), LinkQos::uniform(1)),
+            (NodeId(4), LinkQos::uniform(1)),
+            (NodeId(5), LinkQos::uniform(7)),
+        ];
+        let up = tb.process_tc_tracked(NodeId(2), 1, &dup, t(0), t(10));
+        assert!(up.applied && up.links_changed);
+        let links = tb.links(t(0));
+        assert!(links.contains(&(NodeId(2), NodeId(5), LinkQos::uniform(7))));
+        assert_eq!(links.iter().filter(|l| l.0 == NodeId(2)).count(), 2);
+    }
+
+    #[test]
+    fn links_into_reports_min_expiry() {
+        let mut tb = TopologyBase::new();
+        tb.process_tc(NodeId(1), 1, &[(NodeId(2), LinkQos::uniform(1))], t(5));
+        tb.process_tc(NodeId(3), 1, &[(NodeId(4), LinkQos::uniform(1))], t(9));
+        let mut out = Vec::new();
+        assert_eq!(tb.links_into(t(0), &mut out), t(5));
+        assert_eq!(out.len(), 2);
+        assert_eq!(tb.links_into(t(6), &mut out), t(9));
+        assert_eq!(out.len(), 1);
+        assert_eq!(tb.links_into(t(10), &mut out), FAR_FUTURE);
+        assert!(out.is_empty());
     }
 
     #[test]

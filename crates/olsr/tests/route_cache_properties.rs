@@ -1,0 +1,217 @@
+//! Differential proofs of the incremental routing layer: after *any*
+//! history of HELLO integrations, TC integrations, sweeps and time
+//! advances, a [`RouteCache`] wired exactly like [`OlsrNode`] wires it
+//! (invalidate on the tables' change flags, nothing else) must answer
+//! every query identically to [`reference_routes`] — the original
+//! `BTreeMap` BFS — recomputed from scratch on the live table contents.
+//! The interned [`compute_routes`] is pinned to the reference on the
+//! same inputs.
+//!
+//! [`OlsrNode`]: qolsr_proto::OlsrNode
+//! [`RouteCache`]: qolsr_proto::RouteCache
+//! [`compute_routes`]: qolsr_proto::routing::compute_routes
+//! [`reference_routes`]: qolsr_proto::routing::reference_routes
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use qolsr_graph::NodeId;
+use qolsr_metrics::LinkQos;
+use qolsr_proto::messages::{Hello, HelloNeighbor, LinkState};
+use qolsr_proto::routing::{compute_routes, reference_routes};
+use qolsr_proto::tables::{NeighborTables, TopologyBase};
+use qolsr_proto::{RouteCache, RouteEntry};
+use qolsr_sim::{SimDuration, SimTime};
+
+const ME: NodeId = NodeId(0);
+
+/// One step of a protocol history against node 0's tables.
+#[derive(Debug, Clone)]
+enum Op {
+    /// HELLO from `from`: `lists_me` (with or without the MPR code)
+    /// completes the symmetry handshake; `reports` are the neighbors the
+    /// sender lists as symmetric. `hold_s` is the validity horizon.
+    Hello {
+        from: u32,
+        lists_me: bool,
+        mpr: bool,
+        reports: Vec<u32>,
+        hold_s: u64,
+    },
+    /// TC from `orig` advertising `advertised` under `ansn`.
+    Tc {
+        orig: u32,
+        ansn: u16,
+        advertised: Vec<u32>,
+        hold_s: u64,
+    },
+    /// Expire tuples out of all tables.
+    Sweep,
+    /// Let virtual time pass (seconds).
+    Advance(u64),
+    /// Query the routing table and compare cached vs from-scratch.
+    Query,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let node = 1u32..8;
+    prop_oneof![
+        (
+            node.clone(),
+            any::<bool>(),
+            any::<bool>(),
+            proptest::collection::vec(0u32..8, 0..4),
+            4u64..10,
+        )
+            .prop_map(|(from, lists_me, mpr, reports, hold_s)| Op::Hello {
+                from,
+                lists_me,
+                mpr,
+                reports,
+                hold_s,
+            }),
+        (
+            node,
+            0u16..4,
+            proptest::collection::vec(1u32..10, 0..4),
+            4u64..12
+        )
+            .prop_map(|(orig, ansn, advertised, hold_s)| Op::Tc {
+                orig,
+                ansn,
+                advertised,
+                hold_s,
+            }),
+        Just(Op::Sweep),
+        (1u64..5).prop_map(Op::Advance),
+        Just(Op::Query),
+        Just(Op::Query),
+    ]
+}
+
+fn hello_message(lists_me: bool, mpr: bool, reports: &[u32]) -> Hello {
+    let mut neighbors = Vec::new();
+    if lists_me {
+        neighbors.push(HelloNeighbor {
+            id: ME,
+            state: if mpr {
+                LinkState::Mpr
+            } else {
+                LinkState::Symmetric
+            },
+            qos: LinkQos::uniform(2),
+        });
+    }
+    for &r in reports {
+        neighbors.push(HelloNeighbor {
+            id: NodeId(r),
+            state: LinkState::Symmetric,
+            qos: LinkQos::uniform(3),
+        });
+    }
+    Hello { neighbors }
+}
+
+fn from_scratch(
+    nt: &NeighborTables,
+    tb: &TopologyBase,
+    now: SimTime,
+) -> BTreeMap<NodeId, RouteEntry> {
+    reference_routes(
+        ME,
+        &nt.symmetric_neighbors(now),
+        &nt.reported_links(now),
+        &tb.links(now),
+    )
+}
+
+proptest! {
+    /// Cached/incremental `routes()` ≡ from-scratch `compute_routes` ≡
+    /// the original reference, after arbitrary HELLO/TC/sweep histories.
+    #[test]
+    fn cache_equals_scratch_after_arbitrary_histories(
+        ops in proptest::collection::vec(op(), 1..60)
+    ) {
+        let mut nt = NeighborTables::new();
+        let mut tb = TopologyBase::new();
+        let mut cache = RouteCache::new();
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            match op {
+                Op::Hello { from, lists_me, mpr, reports, hold_s } => {
+                    let hello = hello_message(lists_me, mpr, &reports);
+                    let hold = now + SimDuration::from_secs(hold_s);
+                    if nt.process_hello(ME, NodeId(from), LinkQos::uniform(5), &hello, now, hold) {
+                        cache.invalidate();
+                    }
+                }
+                Op::Tc { orig, ansn, advertised, hold_s } => {
+                    let advertised: Vec<(NodeId, LinkQos)> = advertised
+                        .iter()
+                        .map(|&n| (NodeId(n), LinkQos::uniform(1)))
+                        .collect();
+                    let hold = now + SimDuration::from_secs(hold_s);
+                    let update = tb.process_tc_tracked(NodeId(orig), ansn, &advertised, now, hold);
+                    if update.links_changed {
+                        cache.invalidate();
+                    }
+                }
+                Op::Sweep => {
+                    // Sweeps only drop already-expired tuples; the cache
+                    // must stay exact *without* an invalidation here —
+                    // exactly how `OlsrNode`'s sweep timer behaves.
+                    nt.sweep(now);
+                    tb.sweep(now);
+                }
+                Op::Advance(secs) => now += SimDuration::from_secs(secs),
+                Op::Query => {
+                    cache.ensure(ME, &nt, &tb, now);
+                    let cached: BTreeMap<NodeId, RouteEntry> =
+                        cache.entries().iter().map(|&e| (e.dest, e)).collect();
+                    let scratch = compute_routes(
+                        ME,
+                        &nt.symmetric_neighbors(now),
+                        &nt.reported_links(now),
+                        &tb.links(now),
+                    );
+                    let reference = from_scratch(&nt, &tb, now);
+                    prop_assert_eq!(&cached, &reference, "cache diverged at {}", now);
+                    prop_assert_eq!(&scratch, &reference, "interned BFS diverged at {}", now);
+                    // Point lookups agree with the full table.
+                    for (&dest, entry) in &reference {
+                        prop_assert_eq!(cache.lookup(dest), Some(*entry));
+                    }
+                    prop_assert_eq!(cache.lookup(NodeId(99)), None);
+                }
+            }
+        }
+        // Final query so every history ends verified.
+        cache.ensure(ME, &nt, &tb, now);
+        let cached: BTreeMap<NodeId, RouteEntry> =
+            cache.entries().iter().map(|&e| (e.dest, e)).collect();
+        prop_assert_eq!(cached, from_scratch(&nt, &tb, now));
+    }
+
+    /// The interned CSR BFS matches the reference formulation on raw
+    /// input lists (duplicates, self-loop-free arbitrary pairs).
+    #[test]
+    fn interned_bfs_equals_reference(
+        sym in proptest::collection::vec(1u32..12, 0..6),
+        reported in proptest::collection::vec((0u32..12, 0u32..12), 0..10),
+        advertised in proptest::collection::vec((0u32..12, 0u32..12), 0..10),
+    ) {
+        let sym: Vec<(NodeId, LinkQos)> =
+            sym.iter().map(|&n| (NodeId(n), LinkQos::uniform(1))).collect();
+        let pairs = |v: &[(u32, u32)]| -> Vec<(NodeId, NodeId, LinkQos)> {
+            v.iter()
+                .map(|&(a, b)| (NodeId(a), NodeId(b), LinkQos::uniform(1)))
+                .collect()
+        };
+        let reported = pairs(&reported);
+        let advertised = pairs(&advertised);
+        prop_assert_eq!(
+            compute_routes(ME, &sym, &reported, &advertised),
+            reference_routes(ME, &sym, &reported, &advertised),
+        );
+    }
+}

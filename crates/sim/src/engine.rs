@@ -7,11 +7,11 @@
 //! replay identically from a seed.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 use qolsr_graph::{DynamicTopology, NodeId, Topology, WorldEvent};
 use qolsr_metrics::LinkQos;
 
+use crate::queue::{EventQueue, QueueItem, SchedulerKind};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
@@ -177,8 +177,14 @@ impl<M> PartialOrd for Scheduled<M> {
 }
 impl<M> Ord for Scheduled<M> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap via Reverse at the call sites: order by (time, seq).
+        // Min-queue order: (time, seq), unique per event.
         (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<M> QueueItem for Scheduled<M> {
+    fn due_micros(&self) -> u64 {
+        self.time.as_micros()
     }
 }
 
@@ -224,7 +230,7 @@ pub struct Simulator<A: Actor> {
     generations: Vec<u32>,
     rngs: Vec<SimRng>,
     engine_rng: SimRng,
-    queue: BinaryHeap<std::cmp::Reverse<Scheduled<A::Msg>>>,
+    queue: EventQueue<Scheduled<A::Msg>>,
     now: SimTime,
     seq: u64,
     stats: SimStats,
@@ -239,6 +245,21 @@ impl<A: Actor> Simulator<A> {
         topology: Topology,
         radio: RadioConfig,
         seed: u64,
+        build: impl FnMut(NodeId) -> A,
+    ) -> Self {
+        Self::with_scheduler(topology, radio, seed, SchedulerKind::default(), build)
+    }
+
+    /// Like [`Simulator::new`], but with an explicit event-queue
+    /// scheduler. The timer wheel (default) and the binary heap pop in
+    /// exactly the same `(time, seq)` order, so runs replay identically
+    /// under either — the differential suites pin this; the heap exists
+    /// as the reference to test the wheel against.
+    pub fn with_scheduler(
+        topology: Topology,
+        radio: RadioConfig,
+        seed: u64,
+        scheduler: SchedulerKind,
         mut build: impl FnMut(NodeId) -> A,
     ) -> Self {
         let mut engine_rng = SimRng::seed_from_u64(seed);
@@ -252,7 +273,7 @@ impl<A: Actor> Simulator<A> {
             generations: vec![0; n],
             rngs,
             engine_rng,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(scheduler),
             now: SimTime::ZERO,
             seq: 0,
             stats: SimStats::default(),
@@ -272,13 +293,13 @@ impl<A: Actor> Simulator<A> {
         };
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(std::cmp::Reverse(Scheduled {
+        self.queue.push(Scheduled {
             time,
             seq,
             node,
             generation,
             kind,
-        }));
+        });
     }
 
     /// Schedules a world event for application at virtual time `at`
@@ -365,7 +386,7 @@ impl<A: Actor> Simulator<A> {
         if self.stop {
             return false;
         }
-        let Some(std::cmp::Reverse(ev)) = self.queue.pop() else {
+        let Some(ev) = self.queue.pop() else {
             return false;
         };
         debug_assert!(ev.time >= self.now, "time must be monotone");
@@ -511,8 +532,8 @@ impl<A: Actor> Simulator<A> {
     pub fn run_until(&mut self, deadline: SimTime) {
         let deadline = deadline.max(self.now);
         loop {
-            match self.queue.peek() {
-                Some(std::cmp::Reverse(ev)) if ev.time <= deadline => {
+            match self.queue.next_due() {
+                Some(due) if due <= deadline.as_micros() => {
                     if !self.step() {
                         return;
                     }
@@ -824,6 +845,50 @@ mod tests {
         let now = sim.now();
         sim.run_until(SimTime::from_micros(5));
         assert_eq!(sim.now(), now, "past deadline must be a no-op");
+    }
+
+    #[test]
+    fn wheel_and_heap_schedulers_replay_identically() {
+        let run = |kind: SchedulerKind| {
+            let mut sim = Simulator::with_scheduler(
+                line3(),
+                RadioConfig {
+                    latency: SimDuration::from_millis(1),
+                    jitter: SimDuration::from_millis(3),
+                },
+                11,
+                kind,
+                |_| Flood::default(),
+            );
+            sim.schedule_world(
+                SimTime::from_micros(400_000),
+                WorldEvent::LinkDown {
+                    a: NodeId(0),
+                    b: NodeId(1),
+                },
+            );
+            // A far-future world event exercises the wheel's overflow
+            // heap fallback.
+            sim.schedule_world(
+                SimTime::ZERO + SimDuration::from_secs(120),
+                WorldEvent::LinkUp {
+                    a: NodeId(0),
+                    b: NodeId(2),
+                    qos: LinkQos::uniform(3),
+                },
+            );
+            sim.run_for(SimDuration::from_secs(200));
+            (
+                sim.stats(),
+                sim.now(),
+                sim.world().link_count(),
+                sim.actor(NodeId(1)).heard_from.clone(),
+            )
+        };
+        assert_eq!(
+            run(SchedulerKind::TimerWheel),
+            run(SchedulerKind::BinaryHeap)
+        );
     }
 
     #[test]

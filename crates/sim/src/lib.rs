@@ -69,6 +69,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod queue;
 mod rng;
 pub mod scenario;
 pub mod stats;
@@ -76,6 +77,7 @@ mod time;
 pub mod trace;
 
 pub use engine::{Actor, Context, RadioConfig, SimStats, Simulator, TimerId};
+pub use queue::SchedulerKind;
 pub use rng::SimRng;
 pub use scenario::{apply_recorded, MobilityModel, NeighborScan, Scenario, ScenarioBuilder};
 pub use time::{SimDuration, SimTime};

@@ -142,6 +142,59 @@ impl fmt::Display for OnlineStats {
     }
 }
 
+/// Cheap hot-path counters aggregated by the live-protocol experiments:
+/// engine-side event/timer pops plus protocol-side routing-cache
+/// activity. All counting happens with plain `u64` increments on state
+/// the hot path already owns — no atomics, no allocation.
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_sim::stats::HotPathCounters;
+///
+/// let mut total = HotPathCounters::default();
+/// total.merge(&HotPathCounters {
+///     events_popped: 10,
+///     timers_fired: 4,
+///     routes_recomputed: 1,
+///     route_cache_hits: 3,
+/// });
+/// assert_eq!(total.events_popped, 10);
+/// assert_eq!(total.route_cache_hits, 3);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HotPathCounters {
+    /// Events dispatched by the engine (timer + delivery + start + world).
+    pub events_popped: u64,
+    /// Timer firings dispatched.
+    pub timers_fired: u64,
+    /// Routing tables recomputed from scratch (cache miss or dirty).
+    pub routes_recomputed: u64,
+    /// Routing-table queries served from the incremental cache.
+    pub route_cache_hits: u64,
+}
+
+impl HotPathCounters {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &HotPathCounters) {
+        self.events_popped += other.events_popped;
+        self.timers_fired += other.timers_fired;
+        self.routes_recomputed += other.routes_recomputed;
+        self.route_cache_hits += other.route_cache_hits;
+    }
+
+    /// Fraction of routing-table queries served from cache (0 when no
+    /// queries happened).
+    pub fn route_cache_hit_rate(&self) -> f64 {
+        let total = self.routes_recomputed + self.route_cache_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.route_cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// A histogram over `u64` observations with power-of-two buckets
 /// (bucket `k` holds values whose bit length is `k`).
 ///

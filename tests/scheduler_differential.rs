@@ -1,0 +1,154 @@
+//! Cross-crate differential suites for the allocation-lean hot path:
+//!
+//! * **timer wheel ≡ binary heap** — a full OLSR protocol run (HELLO/TC
+//!   exchange, MPR flooding, scheduled world events, rejoin resets) must
+//!   produce byte-identical engine statistics, event traces and routing
+//!   tables whichever scheduler backs the event queue;
+//! * **route cache ≡ from-scratch recompute** — during a live dynamic
+//!   run, every node's cached `routes()` must equal the reference
+//!   recomputation at every sampled instant.
+
+mod common;
+
+use std::collections::BTreeMap;
+
+use qolsr_graph::{NodeId, WorldEvent};
+use qolsr_metrics::LinkQos;
+use qolsr_proto::network::OlsrNetwork;
+use qolsr_proto::{OlsrConfig, RouteEntry};
+use qolsr_sim::trace::TraceEvent;
+use qolsr_sim::{RadioConfig, SchedulerKind, SimDuration, SimTime};
+
+/// Scripted world events exercising link churn, QoS drift and a node
+/// power cycle, all within and beyond the wheel's ring horizon.
+fn world_events() -> Vec<(SimTime, WorldEvent)> {
+    let at = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+    vec![
+        (
+            at(6),
+            WorldEvent::LinkDown {
+                a: NodeId(1),
+                b: NodeId(2),
+            },
+        ),
+        (
+            at(9),
+            WorldEvent::QosChange {
+                a: NodeId(0),
+                b: NodeId(1),
+                qos: LinkQos::uniform(9),
+            },
+        ),
+        (at(12), WorldEvent::Leave { node: NodeId(3) }),
+        (
+            at(14),
+            WorldEvent::LinkUp {
+                a: NodeId(1),
+                b: NodeId(2),
+                qos: LinkQos::uniform(4),
+            },
+        ),
+        (at(20), WorldEvent::Join { node: NodeId(3) }),
+        (
+            at(22),
+            WorldEvent::LinkUp {
+                a: NodeId(2),
+                b: NodeId(3),
+                qos: LinkQos::uniform(6),
+            },
+        ),
+    ]
+}
+
+fn run_protocol(
+    kind: SchedulerKind,
+    seed: u64,
+) -> (
+    qolsr_sim::SimStats,
+    Vec<TraceEvent>,
+    Vec<BTreeMap<NodeId, RouteEntry>>,
+    qolsr_proto::NodeStats,
+) {
+    let topo = common::small_random_topology(17);
+    let mut net = OlsrNetwork::with_scheduler(
+        topo,
+        OlsrConfig::default(),
+        RadioConfig {
+            latency: SimDuration::from_millis(1),
+            jitter: SimDuration::from_millis(2),
+        },
+        seed,
+        kind,
+        |_| qolsr_proto::MprSelectorPolicy,
+    );
+    net.sim_mut().enable_trace(4096);
+    for (t, ev) in world_events() {
+        net.sim_mut().schedule_world(t, ev);
+    }
+    net.run_for(SimDuration::from_secs(35));
+    let routes: Vec<BTreeMap<NodeId, RouteEntry>> = net
+        .world()
+        .nodes()
+        .map(|n| net.node(n).routes(net.now()))
+        .collect();
+    let trace: Vec<TraceEvent> = net
+        .sim()
+        .trace()
+        .expect("trace enabled")
+        .iter()
+        .copied()
+        .collect();
+    (net.sim().stats(), trace, routes, net.total_stats())
+}
+
+/// The wheel must replay the heap byte for byte: engine statistics, the
+/// dispatched-event trace, every node's routing table and the protocol
+/// counters (including route-cache activity).
+#[test]
+fn timer_wheel_replays_binary_heap_exactly() {
+    for seed in [1, 7, 0x51C0_2010] {
+        let wheel = run_protocol(SchedulerKind::TimerWheel, seed);
+        let heap = run_protocol(SchedulerKind::BinaryHeap, seed);
+        assert_eq!(wheel.0, heap.0, "engine stats diverge (seed {seed})");
+        assert_eq!(wheel.1, heap.1, "event traces diverge (seed {seed})");
+        assert_eq!(wheel.2, heap.2, "routing tables diverge (seed {seed})");
+        assert_eq!(wheel.3, heap.3, "node stats diverge (seed {seed})");
+    }
+}
+
+/// During a live dynamic run, cached `routes()` must equal the reference
+/// from-scratch recomputation at every sampled instant, on every node —
+/// and repeated queries must be served from the cache.
+#[test]
+fn cached_routes_match_reference_during_dynamic_run() {
+    let topo = common::small_random_topology(29);
+    let mut net = OlsrNetwork::with_defaults(topo, 5);
+    for (t, ev) in world_events() {
+        net.sim_mut().schedule_world(t, ev);
+    }
+    for _ in 0..12 {
+        net.run_for(SimDuration::from_secs(3));
+        let now = net.now();
+        for n in net.world().nodes() {
+            let node = net.node(n);
+            assert_eq!(
+                node.routes(now),
+                node.routes_uncached(now),
+                "node {n} cache diverged at {now}"
+            );
+        }
+    }
+    let stats = net.total_stats();
+    let queries = stats.routes_recomputed + stats.route_cache_hits;
+    assert!(queries > 0);
+    assert!(
+        stats.route_cache_hits > 0,
+        "quiet stretches must serve routes from cache \
+         (recomputed {} of {queries})",
+        stats.routes_recomputed
+    );
+    assert!(
+        stats.routes_recomputed < queries,
+        "not every query may recompute"
+    );
+}
