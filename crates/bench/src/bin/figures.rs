@@ -24,6 +24,11 @@
 //!               runs the full HELLO/TC protocol at each size instead
 //!               and reports wall-clock per simulated second plus
 //!               engine/routing-cache counters
+//!   overhead    control-overhead comparison: TC scoping policy
+//!               (RFC-uniform vs fisheye rings) × network size, full
+//!               protocol on shared seeded deployments, reporting TC
+//!               deliveries, control bytes, peek-decode savings, route
+//!               validity and wall-clock (--runs capped at 5)
 //!
 //! Options:
 //!   --runs N     topologies per density (default 100; paper: 100)
@@ -31,9 +36,10 @@
 //!   --threads T  worker threads (default: all cores)
 //!   --metric M   churn metric: bandwidth (default) or delay
 //!   --live       scale only: live-protocol phase (--runs capped at 5)
-//!   --sizes L    scale only: comma-separated node counts
+//!   --sizes L    scale/overhead: comma-separated node counts
 //!                (default 250,1000,4000; lets CI smoke at small n —
-//!                the n=4000 live phase needs ~5 GB and ~25 min/run)
+//!                the n=4000 live phases need ~5 GB and tens of
+//!                minutes per run)
 //!   --quick      shorthand for --runs 10
 //!   --out DIR    also write CSV files into DIR (default: results/)
 //!   --no-csv     print to stdout only
@@ -122,8 +128,10 @@ fn parse_args() -> Result<Args, String> {
     if live && command != "scale" {
         return Err(format!("--live only applies to scale, not {command}"));
     }
-    if sizes.is_some() && command != "scale" {
-        return Err(format!("--sizes only applies to scale, not {command}"));
+    if sizes.is_some() && command != "scale" && command != "overhead" {
+        return Err(format!(
+            "--sizes only applies to scale and overhead, not {command}"
+        ));
     }
     Ok(Args {
         command,
@@ -175,7 +183,7 @@ fn main() -> ExitCode {
     match args.command.as_str() {
         "help" => {
             println!(
-                "commands: fig6 fig7 fig8 fig9 all ablations robustness churn scale; \
+                "commands: fig6 fig7 fig8 fig9 all ablations robustness churn scale overhead; \
                  options: --runs N --seed S --threads T --metric bandwidth|delay \
                  --live --sizes L --quick --out DIR --no-csv"
             );
@@ -348,6 +356,84 @@ fn main() -> ExitCode {
                     &format!("Churn — selection drift vs current ground truth (δ=10, {m} metric)"),
                 ),
                 &format!("churn_selection_drift_{m}"),
+                &args.out_dir,
+            );
+        }
+        "overhead" => {
+            use qolsr::eval::overhead::{
+                deliveries_figure, overhead_sweep, validity_figure, OverheadConfig,
+            };
+            let mut cfg = OverheadConfig::new(opts.runs.min(5));
+            cfg.seed = opts.seed;
+            if let Some(sizes) = args.sizes.clone() {
+                cfg.sizes = sizes;
+            }
+            let points = overhead_sweep(&cfg);
+            println!(
+                "# control overhead: {} s warm-up (unmeasured) + {} s measured \
+                 (one full fisheye ring rotation), {} probe pairs validated per \
+                 simulated second\n",
+                cfg.warmup_seconds, cfg.sim_seconds, cfg.probes
+            );
+            println!(
+                "# {:>5}  {:>8}  {:>10}  {:>13}  {:>13}  {:>13}  {:>12}  {:>16}  {:>8}",
+                "n",
+                "policy",
+                "ms/sim-s",
+                "TC deliveries",
+                "ctrl bytes",
+                "bytes decoded",
+                "dup-peek hits",
+                "TC/ring",
+                "validity"
+            );
+            for p in &points {
+                let rings = if p.tc_ring_emissions == [0; 4] {
+                    "-".to_owned()
+                } else {
+                    // Trim only *trailing* zero slots: a mid-table ring
+                    // that never fired (e.g. shadowed by an outer ring
+                    // with the same multiplier) must still show as 0.
+                    let last = p
+                        .tc_ring_emissions
+                        .iter()
+                        .rposition(|&r| r > 0)
+                        .unwrap_or(0);
+                    let used: Vec<String> = p.tc_ring_emissions[..=last]
+                        .iter()
+                        .map(u64::to_string)
+                        .collect();
+                    used.join("/")
+                };
+                println!(
+                    "# {:>5}  {:>8}  {:>10.1}  {:>13.0}  {:>13.0}  {:>13.0}  {:>12.0}  {:>16}  {:>7.3}",
+                    p.nodes,
+                    p.policy,
+                    p.wall_ms_per_sim_s.mean(),
+                    p.tc_deliveries.mean(),
+                    p.control_bytes.mean(),
+                    p.bytes_decoded.mean(),
+                    p.dup_peek_hits.mean(),
+                    rings,
+                    p.validity.mean(),
+                );
+            }
+            println!();
+            emit(
+                &deliveries_figure(
+                    &points,
+                    "Control overhead — TC-flood deliveries per measured run, \
+                     by scoping policy",
+                ),
+                "overhead_tc_deliveries",
+                &args.out_dir,
+            );
+            emit(
+                &validity_figure(
+                    &points,
+                    "Control overhead — route validity under scoped TC dissemination",
+                ),
+                "overhead_route_validity",
                 &args.out_dir,
             );
         }

@@ -83,15 +83,17 @@ impl ScaleConfig {
 }
 
 /// Field side holding `n` nodes at mean degree `density` with
-/// communication radius `radius`: `area = n · πR²/δ`. Shared by both
-/// sweep phases so the paper's field model has one definition.
-fn field_side(n: usize, radius: f64, density: f64) -> f64 {
+/// communication radius `radius`: `area = n · πR²/δ`. Shared by the
+/// sweep phases and the overhead experiment so the paper's field model
+/// has one definition.
+pub(crate) fn field_side(n: usize, radius: f64, density: f64) -> f64 {
     (n as f64 * PI * radius * radius / density).sqrt()
 }
 
 /// Seed-deterministic uniform deployment in a `side × side` field —
-/// the shared topology construction of both sweep phases.
-fn deploy_field(
+/// the shared topology construction of the sweep phases and the
+/// overhead experiment.
+pub(crate) fn deploy_field(
     n: usize,
     side: f64,
     radius: f64,
@@ -337,11 +339,21 @@ pub fn live_sweep(cfg: &LiveConfig) -> Vec<LivePoint> {
 
                 let engine = net.sim().stats();
                 let nodes = net.total_stats();
+                let mut tc_ring_emissions = [0u64; 4];
+                for (delta, (after, before)) in tc_ring_emissions
+                    .iter_mut()
+                    .zip(nodes.tc_sent_ring.iter().zip(nodes0.tc_sent_ring))
+                {
+                    *delta = after - before;
+                }
                 let counters = HotPathCounters {
                     events_popped: engine.events - engine0.events,
                     timers_fired: engine.timers - engine0.timers,
                     routes_recomputed: nodes.routes_recomputed - nodes0.routes_recomputed,
                     route_cache_hits: nodes.route_cache_hits - nodes0.route_cache_hits,
+                    tc_ring_emissions,
+                    dup_peek_hits: nodes.dup_peek_hits - nodes0.dup_peek_hits,
+                    bytes_decoded: nodes.bytes_decoded - nodes0.bytes_decoded,
                 };
                 point.events.push(counters.events_popped as f64);
                 point.timers.push(counters.timers_fired as f64);

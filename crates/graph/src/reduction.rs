@@ -1,8 +1,9 @@
 //! QoS-weighted relative neighborhood graph (RNG) reduction.
 //!
-//! The topology-filtering comparator of Moraru & Simplot-Ryl ([7] in the
-//! paper) advertises neighbors selected on a *reduced* local view: the
-//! relative neighborhood graph (Toussaint, [10]) with the QoS metric as
+//! The topology-filtering comparator of Moraru & Simplot-Ryl (\[7\] in
+//! the paper) advertises neighbors selected on a *reduced* local view:
+//! the relative neighborhood graph (Toussaint, \[10\]) with the QoS
+//! metric as
 //! weight function. Toussaint's witness rule — drop `(v, w)` iff some
 //! common neighbor `z` satisfies `max(d(v,z), d(z,w)) < d(v,w)` — becomes,
 //! with a general QoS order, "**both** witness links are strictly better

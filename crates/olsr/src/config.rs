@@ -1,18 +1,175 @@
-//! Protocol timing parameters.
+//! Protocol configuration: RFC 3626 timing parameters plus the TC
+//! dissemination scope policy and the wire decode path.
 
+use qolsr_sim::stats::TC_RING_SLOTS;
 use qolsr_sim::SimDuration;
 
-/// OLSR timing configuration (RFC 3626 §18 defaults).
+/// One fisheye scope ring: messages aimed at this ring are emitted with
+/// `ttl` as their initial TTL, every `every`-th TC-timer firing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FisheyeRing {
+    /// Initial TTL of TCs emitted into this ring — the ring's hop radius
+    /// (the outermost ring of a configuration should use 255 so topology
+    /// knowledge still reaches the whole network).
+    pub ttl: u8,
+    /// Interval multiplier: the ring is served every `every`-th firing of
+    /// the TC timer (which keeps running at `tc_interval`). `1` means
+    /// every firing.
+    pub every: u32,
+}
+
+/// A validated fisheye ring table: up to [`TC_RING_SLOTS`] rings,
+/// innermost first, with strictly increasing TTL bounds and
+/// non-decreasing interval multipliers (the innermost ring fires on
+/// every TC tick).
+///
+/// On each TC-timer firing the *outermost due* ring is served: tick 0
+/// (and every tick divisible by the outer multipliers) floods full
+/// radius, ticks in between emit cheap near-scope TCs. Nearby nodes
+/// therefore see topology refreshes at the base `tc_interval` while
+/// far-reaching floods — the dominant control cost at scale — happen
+/// only every `every`-th interval.
 ///
 /// # Examples
 ///
 /// ```
-/// use qolsr_proto::OlsrConfig;
+/// use qolsr_proto::FisheyeRings;
+///
+/// let rings = FisheyeRings::default();
+/// // Tick 0 serves the outermost (full-radius) ring …
+/// assert_eq!(rings.ring_for_tick(0), (2, 255));
+/// // … ticks in between serve the cheap near rings.
+/// assert_eq!(rings.ring_for_tick(1), (0, 2));
+/// assert_eq!(rings.ring_for_tick(2), (1, 8));
+/// assert_eq!(rings.ring_for_tick(3), (2, 255));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FisheyeRings {
+    rings: [FisheyeRing; TC_RING_SLOTS],
+    len: u8,
+}
+
+impl FisheyeRings {
+    /// Builds a validated ring table.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty tables, more than [`TC_RING_SLOTS`] rings, TTLs that
+    /// are zero or not strictly increasing, a first ring that does not
+    /// fire on every tick (`every != 1`), and interval multipliers that
+    /// are zero or decrease outward.
+    pub fn new(rings: &[FisheyeRing]) -> Result<Self, String> {
+        if rings.is_empty() {
+            return Err("fisheye scoping needs at least one ring".into());
+        }
+        if rings.len() > TC_RING_SLOTS {
+            return Err(format!("at most {TC_RING_SLOTS} rings supported"));
+        }
+        if rings[0].every != 1 {
+            return Err("the innermost ring must fire on every TC tick".into());
+        }
+        for (i, r) in rings.iter().enumerate() {
+            if r.ttl == 0 {
+                return Err("ring TTL must be at least 1".into());
+            }
+            if r.every == 0 {
+                return Err("ring interval multiplier must be at least 1".into());
+            }
+            if i > 0 {
+                if r.ttl <= rings[i - 1].ttl {
+                    return Err("ring TTLs must be strictly increasing".into());
+                }
+                if r.every < rings[i - 1].every {
+                    return Err("ring interval multipliers must not decrease".into());
+                }
+            }
+        }
+        let mut table = [rings[0]; TC_RING_SLOTS];
+        table[..rings.len()].copy_from_slice(rings);
+        Ok(Self {
+            rings: table,
+            len: rings.len() as u8,
+        })
+    }
+
+    /// The configured rings, innermost first.
+    pub fn rings(&self) -> &[FisheyeRing] {
+        &self.rings[..self.len as usize]
+    }
+
+    /// The ring served on TC tick `tick` as `(ring index, initial TTL)`:
+    /// the outermost ring whose interval multiplier divides the tick.
+    /// Tick 0 always serves the outermost ring (a node's first TC floods
+    /// full radius, so bootstrap convergence is not delayed).
+    pub fn ring_for_tick(&self, tick: u32) -> (usize, u8) {
+        let rings = self.rings();
+        let i = rings
+            .iter()
+            .rposition(|r| tick.is_multiple_of(r.every))
+            .expect("ring 0 fires every tick");
+        (i, rings[i].ttl)
+    }
+}
+
+impl Default for FisheyeRings {
+    /// Three rings tuned to RFC-default hold times: 2-hop TCs every TC
+    /// interval, 8-hop TCs every 2nd, full-radius floods every 3rd.
+    /// With the default `validity_multiplier` of 3 the spacing between
+    /// full floods (`3 × tc_interval` minus jitter) stays within the
+    /// receivers' `topology_hold_time`, so far entries keep refreshing
+    /// before they expire.
+    fn default() -> Self {
+        Self::new(&[
+            FisheyeRing { ttl: 2, every: 1 },
+            FisheyeRing { ttl: 8, every: 2 },
+            FisheyeRing { ttl: 255, every: 3 },
+        ])
+        .expect("default rings are valid")
+    }
+}
+
+/// TC dissemination scope policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TcScoping {
+    /// RFC 3626 behaviour: every TC is emitted with TTL 255 at
+    /// `tc_interval`. This is the differential reference the fisheye
+    /// path is pinned against — under `Uniform` the protocol replays
+    /// byte-identically to the pre-scoping implementation.
+    #[default]
+    Uniform,
+    /// Fisheye-style scoped dissemination: the TC timer keeps firing at
+    /// `tc_interval`, but each firing serves the outermost *due* ring of
+    /// the table, so near-scope TCs go out at the base rate while
+    /// full-radius floods are emitted only every `every`-th interval.
+    Fisheye(FisheyeRings),
+}
+
+/// Which wire decode path the TC receive hot path uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecodePath {
+    /// Peek the fixed header ([`crate::wire::peek`]) and consult the
+    /// duplicate table and ANSN record *before* full decode, so the
+    /// dominant duplicate-drop path never parses or allocates the body.
+    #[default]
+    Peek,
+    /// Always decode the full message first — the original formulation,
+    /// kept alive as the differential reference for the peek path.
+    Full,
+}
+
+/// OLSR protocol configuration (RFC 3626 §18 timing defaults plus the
+/// TC scoping and decode-path knobs of this implementation).
+///
+/// # Examples
+///
+/// ```
+/// use qolsr_proto::{OlsrConfig, TcScoping};
 /// use qolsr_sim::SimDuration;
 ///
 /// let cfg = OlsrConfig::default();
 /// assert_eq!(cfg.hello_interval, SimDuration::from_secs(2));
 /// assert_eq!(cfg.neighbor_hold_time(), SimDuration::from_secs(6));
+/// assert_eq!(cfg.tc_scoping, TcScoping::Uniform);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OlsrConfig {
@@ -28,6 +185,11 @@ pub struct OlsrConfig {
     pub max_jitter: SimDuration,
     /// Interval of the table-expiry sweep.
     pub sweep_interval: SimDuration,
+    /// TC dissemination scope policy (RFC-uniform by default).
+    pub tc_scoping: TcScoping,
+    /// Wire decode path of the TC receive hot path (header peek by
+    /// default; [`DecodePath::Full`] is the differential reference).
+    pub decode: DecodePath,
 }
 
 impl Default for OlsrConfig {
@@ -38,6 +200,8 @@ impl Default for OlsrConfig {
             validity_multiplier: 3,
             max_jitter: SimDuration::from_millis(500),
             sweep_interval: SimDuration::from_secs(1),
+            tc_scoping: TcScoping::Uniform,
+            decode: DecodePath::Peek,
         }
     }
 }
@@ -69,6 +233,8 @@ mod tests {
         assert_eq!(c.tc_interval, SimDuration::from_secs(5));
         assert_eq!(c.topology_hold_time(), SimDuration::from_secs(15));
         assert_eq!(c.duplicate_hold_time(), SimDuration::from_secs(30));
+        assert_eq!(c.tc_scoping, TcScoping::Uniform);
+        assert_eq!(c.decode, DecodePath::Peek);
     }
 
     #[test]
@@ -78,5 +244,56 @@ mod tests {
             ..OlsrConfig::default()
         };
         assert_eq!(c.neighbor_hold_time(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn fisheye_default_spacing_fits_default_hold_time() {
+        let cfg = OlsrConfig::default();
+        let rings = FisheyeRings::default();
+        let outer = *rings.rings().last().unwrap();
+        assert_eq!(outer.ttl, 255, "outermost ring floods full radius");
+        let spacing = cfg.tc_interval.saturating_mul(u64::from(outer.every));
+        assert!(
+            spacing <= cfg.topology_hold_time(),
+            "full floods must refresh far entries before they expire"
+        );
+    }
+
+    #[test]
+    fn ring_for_tick_picks_outermost_due_ring() {
+        let rings = FisheyeRings::new(&[
+            FisheyeRing { ttl: 2, every: 1 },
+            FisheyeRing { ttl: 16, every: 2 },
+            FisheyeRing { ttl: 255, every: 4 },
+        ])
+        .unwrap();
+        let ttls: Vec<u8> = (0..8).map(|t| rings.ring_for_tick(t).1).collect();
+        assert_eq!(ttls, vec![255, 2, 16, 2, 255, 2, 16, 2]);
+        assert_eq!(rings.rings().len(), 3);
+    }
+
+    #[test]
+    fn ring_validation_rejects_bad_tables() {
+        let ok = |r: &[FisheyeRing]| FisheyeRings::new(r).is_ok();
+        assert!(!ok(&[]));
+        assert!(!ok(&[FisheyeRing { ttl: 0, every: 1 }]));
+        assert!(!ok(&[FisheyeRing { ttl: 2, every: 2 }])); // inner must be every=1
+        assert!(!ok(&[
+            FisheyeRing { ttl: 5, every: 1 },
+            FisheyeRing { ttl: 5, every: 2 }, // ttl not increasing
+        ]));
+        assert!(!ok(&[
+            FisheyeRing { ttl: 2, every: 1 },
+            FisheyeRing { ttl: 8, every: 3 },
+            FisheyeRing { ttl: 255, every: 2 }, // multiplier decreases
+        ]));
+        assert!(!ok(&[
+            FisheyeRing { ttl: 1, every: 1 },
+            FisheyeRing { ttl: 2, every: 1 },
+            FisheyeRing { ttl: 3, every: 1 },
+            FisheyeRing { ttl: 4, every: 1 },
+            FisheyeRing { ttl: 5, every: 1 }, // too many rings
+        ]));
+        assert!(ok(&[FisheyeRing { ttl: 255, every: 1 }]));
     }
 }

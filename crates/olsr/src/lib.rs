@@ -22,6 +22,49 @@
 //! * [`network`] — a harness that runs a whole OLSR network over
 //!   `qolsr-sim` and extracts converged state.
 //!
+//! # The HELLO/TC lifecycle
+//!
+//! Each node runs three periodic timers (intervals in [`OlsrConfig`],
+//! jittered per RFC 3626 §18.1):
+//!
+//! 1. **HELLO** (default every 2 s): the node broadcasts its current
+//!    link table — every heard neighbor with an asymmetric, symmetric or
+//!    MPR link code plus the measured link QoS. Receivers run link
+//!    sensing over it: hearing a HELLO refreshes the asymmetric
+//!    lifetime, being *listed* in one proves bidirectionality, and the
+//!    MPR code registers the sender in the receiver's MPR-selector set.
+//!    Links age out when `neighbor_hold_time` passes without refresh.
+//! 2. **TC** (default every 5 s): the node floods its advertised
+//!    neighbor set (chosen by the [`AdvertisePolicy`] — the paper's
+//!    ANS/QANS) under an ANSN sequence number. Only MPRs retransmit
+//!    (checked per sender against the MPR-selector set), the duplicate
+//!    set suppresses re-floods, and retransmission patches the received
+//!    buffer's TTL/hop bytes ([`wire::forward`]) instead of re-encoding.
+//!    With [`TcScoping::Fisheye`], emissions rotate through TTL-bounded
+//!    scope rings so near neighborhoods see frequent refreshes while
+//!    expensive full-radius floods happen only every few intervals. On
+//!    the receive side, [`DecodePath::Peek`] resolves duplicate
+//!    deliveries from the peeked header ([`wire::peek`]) without ever
+//!    parsing the body.
+//! 3. **Sweep** (default every 1 s): expired link, topology, and
+//!    duplicate tuples are evicted.
+//!
+//! Routing tables derive on demand from the swept tables through an
+//! incremental [`RouteCache`] that only recomputes when route-relevant
+//! content changed.
+//!
+//! # Determinism contract
+//!
+//! Protocol behaviour is a pure function of `(topology, config, seed)`:
+//! all randomness (emission jitter, delivery jitter) flows from the
+//! engine's seeded per-node streams, so two runs with equal inputs
+//! replay byte-identically — stats, traces and routing tables. The
+//! differential suites lean on this: `TcScoping::Uniform`,
+//! `DecodePath::Full` and `SchedulerKind::BinaryHeap` keep the
+//! reference formulations alive, and seeded replays pin the optimized
+//! paths against them (`tests/tc_scoping_differential.rs`,
+//! `tests/scheduler_differential.rs`).
+//!
 //! # Examples
 //!
 //! Run a three-node line network until HELLO/TC convergence and inspect
@@ -44,6 +87,46 @@
 //! net.run_for(SimDuration::from_secs(12));
 //! assert_eq!(net.symmetric_neighbors(n1), vec![n0, n2]);
 //! ```
+//!
+//! Fisheye-scoped dissemination cuts TC-flood traffic — here on a line,
+//! where most full-radius forwards are replaced by 2-hop floods — while
+//! the duplicate-peek decode path resolves repeat deliveries without
+//! parsing:
+//!
+//! ```
+//! use qolsr_graph::{NodeId, Point2, TopologyBuilder};
+//! use qolsr_metrics::LinkQos;
+//! use qolsr_proto::network::OlsrNetwork;
+//! use qolsr_proto::{OlsrConfig, TcScoping};
+//! use qolsr_sim::{RadioConfig, SimDuration};
+//!
+//! let line = || {
+//!     let mut b = TopologyBuilder::new(15.0);
+//!     let ids: Vec<_> = (0..8)
+//!         .map(|i| b.add_node(Point2::new(10.0 * i as f64, 0.0)))
+//!         .collect();
+//!     for w in ids.windows(2) {
+//!         b.link(w[0], w[1], LinkQos::uniform(3)).unwrap();
+//!     }
+//!     b.build()
+//! };
+//! let run = |scoping| {
+//!     let cfg = OlsrConfig {
+//!         tc_scoping: scoping,
+//!         ..OlsrConfig::default()
+//!     };
+//!     let mut net =
+//!         OlsrNetwork::new(line(), cfg, RadioConfig::default(), 7, |_| {
+//!             qolsr_proto::MprSelectorPolicy
+//!         });
+//!     net.run_for(SimDuration::from_secs(60));
+//!     net.total_stats()
+//! };
+//! let uniform = run(TcScoping::Uniform);
+//! let fisheye = run(TcScoping::Fisheye(Default::default()));
+//! assert!(fisheye.tc_forwarded < uniform.tc_forwarded);
+//! assert!(fisheye.dup_peek_hits > 0, "duplicates resolved without decode");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +140,6 @@ pub mod routing;
 pub mod tables;
 pub mod wire;
 
-pub use config::OlsrConfig;
+pub use config::{DecodePath, FisheyeRing, FisheyeRings, OlsrConfig, TcScoping};
 pub use node::{AdvertisePolicy, MprSelectorPolicy, NodeStats, OlsrNode};
 pub use routing::{RouteCache, RouteEntry, RouteScratch};

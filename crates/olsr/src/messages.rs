@@ -102,10 +102,17 @@ impl Message {
 
     /// Creates a TC message with the RFC default TTL of 255.
     pub fn tc(originator: NodeId, seq: u16, tc: Tc) -> Self {
+        Self::tc_with_ttl(originator, seq, 255, tc)
+    }
+
+    /// Creates a TC message with an explicit initial TTL — the scope
+    /// class of fisheye dissemination: a TTL-`t` TC floods at most `t`
+    /// hops from its originator.
+    pub fn tc_with_ttl(originator: NodeId, seq: u16, ttl: u8, tc: Tc) -> Self {
         Self {
             originator,
             seq,
-            ttl: 255,
+            ttl,
             hop_count: 0,
             body: Body::Tc(tc),
         }
@@ -149,5 +156,8 @@ mod tests {
         let t = Message::tc(NodeId(1), 8, Tc::default());
         assert_eq!(t.ttl, 255);
         assert_eq!(t.seq, 8);
+        let scoped = Message::tc_with_ttl(NodeId(1), 9, 2, Tc::default());
+        assert_eq!(scoped.ttl, 2, "scope class is the initial TTL");
+        assert_eq!(scoped.hop_count, 0);
     }
 }

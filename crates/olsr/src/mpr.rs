@@ -16,7 +16,7 @@ use qolsr_graph::{LocalView, NodeId};
 ///
 /// Determinism: ties on coverage are broken by total 2-hop reachability,
 /// then by smallest node id (the RFC leaves this open; the paper's
-/// analysis in [3] notes ~75% of MPRs come from the mandatory first
+/// analysis in \[3\] notes ~75% of MPRs come from the mandatory first
 /// phase, so tie-breaking barely matters — but it must be stable for
 /// reproducible experiments).
 ///

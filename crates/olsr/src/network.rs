@@ -163,6 +163,11 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
             total.decode_errors += s.decode_errors;
             total.routes_recomputed += s.routes_recomputed;
             total.route_cache_hits += s.route_cache_hits;
+            for (sum, ring) in total.tc_sent_ring.iter_mut().zip(s.tc_sent_ring) {
+                *sum += ring;
+            }
+            total.dup_peek_hits += s.dup_peek_hits;
+            total.bytes_decoded += s.bytes_decoded;
         }
         total
     }

@@ -6,14 +6,16 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use bytes::Bytes;
 use qolsr_graph::{LocalView, NodeId};
 use qolsr_metrics::LinkQos;
+use qolsr_sim::stats::TC_RING_SLOTS;
 use qolsr_sim::{Actor, Context, SimDuration, SimTime, TimerId};
 
-use crate::config::OlsrConfig;
+use crate::config::{DecodePath, OlsrConfig, TcScoping};
 use crate::messages::{Body, Hello, HelloNeighbor, LinkState, Message, Tc};
 use crate::mpr::select_mprs;
 use crate::routing::{reference_routes, RouteCache, RouteEntry};
 use crate::tables::{DuplicateSet, NeighborTables, TopologyBase};
 use crate::wire;
+use crate::wire::{Peek, TcPeek};
 
 const HELLO_TIMER: TimerId = TimerId(1);
 const TC_TIMER: TimerId = TimerId(2);
@@ -69,6 +71,17 @@ pub struct NodeStats {
     pub routes_recomputed: u64,
     /// Routing-table queries served from the incremental cache.
     pub route_cache_hits: u64,
+    /// TC emissions per fisheye scope ring (index = ring, innermost
+    /// first). All zero under [`TcScoping::Uniform`].
+    pub tc_sent_ring: [u64; TC_RING_SLOTS],
+    /// TC deliveries resolved from the peeked header alone — duplicates
+    /// and stale-ANSN refreshes whose body was never parsed. Zero under
+    /// [`DecodePath::Full`]; decode-path-dependent by design.
+    pub dup_peek_hits: u64,
+    /// Payload bytes run through the full wire decoder. Under
+    /// [`DecodePath::Peek`] this is what the peek fast path saved
+    /// relative to the bytes received; decode-path-dependent by design.
+    pub bytes_decoded: u64,
 }
 
 /// An OLSR node: link sensing, MPR selection, MPR flooding of TCs, and a
@@ -97,6 +110,9 @@ pub struct OlsrNode<P> {
     last_ans: Vec<(NodeId, LinkQos)>,
     ansn: u16,
     msg_seq: u16,
+    /// TC-timer firing counter driving the fisheye ring rotation
+    /// (unused under [`TcScoping::Uniform`]).
+    tc_tick: u32,
     policy: P,
     stats: NodeStats,
     /// Incremental routing cache. Behind a mutex (not a `RefCell`) so
@@ -127,6 +143,7 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
             last_ans: Vec::new(),
             ansn: 0,
             msg_seq: 0,
+            tc_tick: 0,
             policy,
             stats: NodeStats::default(),
             routes: Mutex::new(RouteCache::new()),
@@ -330,20 +347,109 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
             self.last_ans.extend_from_slice(&self.adv_buf);
         }
 
+        // Fisheye scope rotation: the timer cadence never changes, but
+        // each firing serves the outermost *due* ring — full-radius
+        // floods every `every`-th tick, cheap near-scope TCs in between.
+        let (ring, ttl) = match self.config.tc_scoping {
+            TcScoping::Uniform => (None, 255),
+            TcScoping::Fisheye(rings) => {
+                let (i, ttl) = rings.ring_for_tick(self.tc_tick);
+                (Some(i), ttl)
+            }
+        };
+        self.tc_tick = self.tc_tick.wrapping_add(1);
+
         let seq = self.next_seq();
         let advertised = std::mem::take(&mut self.adv_buf);
-        let msg = Message::tc(
+        let msg = Message::tc_with_ttl(
             self.id,
             seq,
+            ttl,
             Tc {
                 ansn: self.ansn,
                 advertised,
             },
         );
         self.stats.tc_sent += 1;
+        if let Some(i) = ring {
+            self.stats.tc_sent_ring[i] += 1;
+        }
         self.transmit(ctx, &msg);
         if let Body::Tc(tc) = msg.body {
             self.adv_buf = tc.advertised;
+        }
+    }
+
+    /// The peek-first TC receive path: every decision on the
+    /// duplicate-heavy flooding hot path — drop, integrate, forward —
+    /// is made from the peeked header, and the advertised list is only
+    /// parsed when the message is fresh *and* its ANSN is acceptable.
+    /// Table mutations happen in exactly the order of the full-decode
+    /// reference path ([`DecodePath::Full`]), which the differential
+    /// suites pin byte-identical.
+    fn handle_tc_peeked(
+        &mut self,
+        ctx: &mut Context<'_, Bytes>,
+        from: NodeId,
+        raw: &Bytes,
+        peek: TcPeek,
+    ) {
+        let now = ctx.now();
+        self.stats.tc_received += 1;
+        if peek.originator == self.id {
+            return;
+        }
+        // RFC: process/forward only messages arriving over a symmetric
+        // link.
+        if !self.neighbors.is_symmetric(from, now) {
+            return;
+        }
+        let dup_hold = now + self.config.duplicate_hold_time();
+        let mut decoded = false;
+        if self.duplicates.fresh(peek.originator, peek.seq, dup_hold)
+            && self.topology.accepts_ansn(peek.originator, peek.ansn)
+        {
+            // Fresh and acceptable: the body is actually needed. A
+            // successful TC peek length-validates the whole buffer, so
+            // this decode cannot fail.
+            decoded = true;
+            self.stats.bytes_decoded += raw.len() as u64;
+            let Ok(Message {
+                body: Body::Tc(tc), ..
+            }) = wire::decode(raw.clone())
+            else {
+                debug_assert!(false, "peek-validated TC must decode");
+                self.stats.decode_errors += 1;
+                return;
+            };
+            let hold = now + self.config.topology_hold_time();
+            let update = self.topology.process_tc_tracked(
+                peek.originator,
+                tc.ansn,
+                &tc.advertised,
+                now,
+                hold,
+            );
+            if update.links_changed {
+                self.invalidate_routes();
+            }
+        }
+        if !decoded {
+            self.stats.dup_peek_hits += 1;
+        }
+        // MPR forwarding needs no body either: the retransmission
+        // patches the received buffer (ttl−1, hops+1).
+        if peek.ttl > 1
+            && self.neighbors.is_mpr_selector(from, now)
+            && self
+                .duplicates
+                .mark_forwarded(peek.originator, peek.seq, dup_hold)
+        {
+            if let Some(fwd) = wire::forward(raw) {
+                self.stats.tc_forwarded += 1;
+                self.stats.bytes_sent += fwd.len() as u64;
+                ctx.broadcast(fwd);
+            }
         }
     }
 
@@ -458,11 +564,36 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Bytes>, from: NodeId, bytes: Bytes) {
-        match wire::decode(bytes.clone()) {
-            Ok(msg) => self.handle_message(ctx, from, &bytes, msg),
-            Err(_) => {
-                self.stats.decode_errors += 1;
-            }
+        match self.config.decode {
+            DecodePath::Peek => match wire::peek(&bytes) {
+                // The dominant path at scale: TC-flood deliveries whose
+                // fate is decided from the header alone.
+                Ok(Peek::Tc(peek)) => self.handle_tc_peeked(ctx, from, &bytes, peek),
+                // HELLOs are 1-hop and processed on every delivery, so
+                // they always need the body.
+                Ok(Peek::Hello) => match wire::decode(bytes.clone()) {
+                    Ok(msg) => {
+                        self.stats.bytes_decoded += bytes.len() as u64;
+                        self.handle_message(ctx, from, &bytes, msg);
+                    }
+                    Err(_) => {
+                        self.stats.decode_errors += 1;
+                    }
+                },
+                Err(_) => {
+                    self.stats.decode_errors += 1;
+                }
+            },
+            // Reference formulation: decode everything first.
+            DecodePath::Full => match wire::decode(bytes.clone()) {
+                Ok(msg) => {
+                    self.stats.bytes_decoded += bytes.len() as u64;
+                    self.handle_message(ctx, from, &bytes, msg);
+                }
+                Err(_) => {
+                    self.stats.decode_errors += 1;
+                }
+            },
         }
     }
 
@@ -477,6 +608,9 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
         self.duplicates = DuplicateSet::new();
         self.mprs = BTreeSet::new();
         self.last_ans = Vec::new();
+        // Restart the fisheye rotation at the full-radius ring: a
+        // rejoining node should re-announce itself network-wide first.
+        self.tc_tick = 0;
         self.invalidate_routes();
     }
 }

@@ -412,6 +412,18 @@ impl TopologyBase {
             .applied
     }
 
+    /// Returns `true` when a TC from `originator` carrying `ansn` would
+    /// be accepted (RFC 3626 §9.5: not older than the recorded ANSN) —
+    /// the non-mutating query the peek-decode fast path asks before
+    /// parsing a TC body. Equal ANSNs are accepted: the refresh carries
+    /// renewed lifetimes.
+    pub fn accepts_ansn(&self, originator: NodeId, ansn: u16) -> bool {
+        match self.ansn.binary_search_by_key(&originator, |a| a.0) {
+            Ok(i) => !seq_newer(self.ansn[i].1, ansn),
+            Err(_) => true,
+        }
+    }
+
     /// Like [`TopologyBase::process_tc`], additionally reporting whether
     /// the originator's set of *live* (at `now`) advertised link pairs
     /// changed — the signal route caches invalidate on.
@@ -868,6 +880,21 @@ mod tests {
         assert!(tb.process_tc(NodeId(1), 6, &adv2, t(10)));
         let links = tb.links(t(0));
         assert_eq!(links, vec![(NodeId(1), NodeId(3), LinkQos::uniform(2))]);
+    }
+
+    #[test]
+    fn accepts_ansn_mirrors_process_tc() {
+        let mut tb = TopologyBase::new();
+        assert!(tb.accepts_ansn(NodeId(1), 0), "unknown originator accepts");
+        tb.process_tc(NodeId(1), 5, &[(NodeId(2), LinkQos::uniform(1))], t(10));
+        assert!(tb.accepts_ansn(NodeId(1), 5), "equal ANSN is a refresh");
+        assert!(tb.accepts_ansn(NodeId(1), 6));
+        assert!(!tb.accepts_ansn(NodeId(1), 4), "stale ANSN rejected");
+        assert!(tb.accepts_ansn(NodeId(1), 5u16.wrapping_add(0x7FFF)));
+        assert!(!tb.accepts_ansn(NodeId(1), 5u16.wrapping_add(0x8001)));
+        // The query must agree with what process_tc actually does.
+        assert!(!tb.process_tc(NodeId(1), 4, &[], t(10)));
+        assert!(tb.process_tc(NodeId(1), 5, &[], t(10)));
     }
 
     #[test]

@@ -126,6 +126,90 @@ pub fn forward(bytes: &Bytes) -> Option<Bytes> {
     Some(copy.freeze())
 }
 
+/// TC header fields readable without decoding the advertised list: what
+/// the duplicate table ([`crate::tables::DuplicateSet`]) and the ANSN
+/// record ([`crate::tables::TopologyBase`]) need to decide whether the
+/// body is worth parsing at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcPeek {
+    /// The node that created the message.
+    pub originator: NodeId,
+    /// Per-originator message sequence number.
+    pub seq: u16,
+    /// Remaining hops the message may travel.
+    pub ttl: u8,
+    /// Hops travelled so far.
+    pub hop_count: u8,
+    /// Advertised-neighbor sequence number of the carried TC.
+    pub ansn: u16,
+}
+
+/// Outcome of [`peek`]: the message kind, with the TC header fields when
+/// the message is a TC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Peek {
+    /// A HELLO message. Only the kind is peeked — HELLOs are processed
+    /// on every delivery, so they always go through the full decoder.
+    Hello,
+    /// A TC message with its fully length-validated header fields.
+    Tc(TcPeek),
+}
+
+/// Byte offset of the TC body (`ansn`) after the fixed message header.
+const TC_BODY_OFFSET: usize = HOP_OFFSET + 1;
+
+/// Incrementally reads the message kind — and, for TCs, the
+/// originator/seq/TTL/ANSN header — from an encoded buffer without
+/// materializing the body.
+///
+/// This is the duplicate-heavy flooding fast path: an MPR flood delivers
+/// every TC to every radio neighbor of every forwarder, so most
+/// deliveries are duplicates whose fate (drop, or re-forward the raw
+/// buffer via [`forward`]) is decided entirely by header fields. `peek`
+/// lets the receive path consult its duplicate table *before* full
+/// decode; the body is only parsed when the message is fresh.
+///
+/// For TC messages the buffer length is validated exactly against the
+/// advertised count, so a successful TC peek guarantees [`decode`]
+/// succeeds (the TC body has no invalid bit patterns) — and a failed one
+/// returns the same [`WireError`] `decode` would.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation, an unknown kind byte, or (for
+/// TCs) trailing bytes.
+pub fn peek(bytes: &Bytes) -> Result<Peek, WireError> {
+    if bytes.len() < TC_BODY_OFFSET {
+        return Err(WireError::Truncated);
+    }
+    match bytes[0] {
+        KIND_HELLO => Ok(Peek::Hello),
+        KIND_TC => {
+            if bytes.len() < TC_BODY_OFFSET + 4 {
+                return Err(WireError::Truncated);
+            }
+            let u16_at =
+                |i: usize| u16::from_le_bytes(bytes[i..i + 2].try_into().expect("2 bytes"));
+            let count = u16_at(TC_BODY_OFFSET + 2) as usize;
+            let expected = TC_BODY_OFFSET + 4 + count * (4 + 24);
+            if bytes.len() < expected {
+                return Err(WireError::Truncated);
+            }
+            if bytes.len() > expected {
+                return Err(WireError::TrailingBytes(bytes.len() - expected));
+            }
+            Ok(Peek::Tc(TcPeek {
+                originator: NodeId(u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes"))),
+                seq: u16_at(5),
+                ttl: bytes[TTL_OFFSET],
+                hop_count: bytes[HOP_OFFSET],
+                ansn: u16_at(TC_BODY_OFFSET),
+            }))
+        }
+        other => Err(WireError::UnknownKind(other)),
+    }
+}
+
 /// Decodes a message from bytes.
 ///
 /// # Errors
@@ -293,6 +377,112 @@ mod tests {
         msg.ttl = 1;
         assert_eq!(forward(&encode(&msg)), None);
         assert_eq!(forward(&Bytes::from(&[1u8, 2][..])), None);
+    }
+
+    #[test]
+    fn forward_drops_ttl_zero() {
+        // A TTL of 0 should never be on the wire (originators start ≥ 1
+        // and forwarding stops at 1), but a hostile or buggy buffer must
+        // still be dropped, not wrapped around to 255.
+        let mut msg = sample_tc();
+        msg.ttl = 0;
+        assert_eq!(forward(&encode(&msg)), None);
+    }
+
+    #[test]
+    fn forward_exhausts_any_starting_ttl() {
+        // Repeated forwarding must consume the TTL down to exhaustion in
+        // exactly ttl-1 hops, for scoped (small-TTL) and full floods.
+        for start in [2u8, 5, 255] {
+            let mut msg = sample_tc();
+            msg.ttl = start;
+            let mut bytes = encode(&msg);
+            let mut hops = 0u32;
+            while let Some(fwd) = forward(&bytes) {
+                bytes = fwd;
+                hops += 1;
+            }
+            assert_eq!(hops, u32::from(start) - 1, "start ttl {start}");
+            let last = decode(bytes).unwrap();
+            assert_eq!(last.ttl, 1);
+        }
+    }
+
+    #[test]
+    fn forward_saturates_hop_count() {
+        // hop_count is diagnostic; at 255 it must saturate, not wrap.
+        let mut msg = sample_tc();
+        msg.ttl = 200;
+        msg.hop_count = 255;
+        let fwd = forward(&encode(&msg)).expect("ttl 200 forwards");
+        let decoded = decode(fwd).unwrap();
+        assert_eq!(decoded.hop_count, 255, "hop count saturates");
+        assert_eq!(decoded.ttl, 199);
+    }
+
+    #[test]
+    fn peek_reads_tc_header_without_decoding() {
+        let msg = sample_tc();
+        let bytes = encode(&msg);
+        let Ok(Peek::Tc(p)) = peek(&bytes) else {
+            panic!("expected a TC peek");
+        };
+        assert_eq!(p.originator, msg.originator);
+        assert_eq!(p.seq, msg.seq);
+        assert_eq!(p.ttl, msg.ttl);
+        assert_eq!(p.hop_count, msg.hop_count);
+        let Body::Tc(tc) = &msg.body else {
+            unreachable!()
+        };
+        assert_eq!(p.ansn, tc.ansn);
+    }
+
+    #[test]
+    fn peek_classifies_hello() {
+        assert_eq!(peek(&encode(&sample_hello())), Ok(Peek::Hello));
+    }
+
+    #[test]
+    fn peek_errors_match_decode_errors_on_tc_buffers() {
+        let bytes = encode(&sample_tc());
+        for cut in 0..bytes.len() {
+            let truncated = bytes.slice(..cut);
+            assert_eq!(
+                peek(&truncated).err(),
+                decode(truncated.clone()).err(),
+                "cut at {cut}"
+            );
+            assert!(peek(&truncated).is_err());
+        }
+        let mut trailing = BytesMut::from(bytes.as_ref());
+        trailing.put_u8(0xAB);
+        let trailing = trailing.freeze();
+        assert_eq!(peek(&trailing), Err(WireError::TrailingBytes(1)));
+        assert_eq!(peek(&trailing).err(), decode(trailing).err());
+    }
+
+    #[test]
+    fn peek_rejects_unknown_kind() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(42);
+        raw.put_slice(&[0; 12]);
+        assert_eq!(peek(&raw.freeze()), Err(WireError::UnknownKind(42)));
+    }
+
+    #[test]
+    fn peek_survives_forwarding() {
+        // forward() patches ttl/hops in place; peek must see the patched
+        // values on the forwarded buffer.
+        let bytes = encode(&sample_tc());
+        let fwd = forward(&bytes).unwrap();
+        let (Ok(Peek::Tc(before)), Ok(Peek::Tc(after))) = (peek(&bytes), peek(&fwd)) else {
+            panic!("both peeks must succeed");
+        };
+        assert_eq!(after.ttl, before.ttl - 1);
+        assert_eq!(after.hop_count, before.hop_count + 1);
+        assert_eq!(after.originator, before.originator);
+        assert_eq!(after.seq, before.seq);
+        assert_eq!(after.ansn, before.ansn);
     }
 
     #[test]

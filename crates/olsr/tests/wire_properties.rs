@@ -1,5 +1,8 @@
-//! Property tests for the wire codec: arbitrary messages roundtrip, and
-//! arbitrary byte noise never panics the decoder.
+//! Property tests for the wire codec: arbitrary messages roundtrip,
+//! arbitrary byte noise never panics the decoder, and the incremental
+//! header peek ([`wire::peek`]) agrees with the full decoder on every
+//! buffer — the equivalence the duplicate-peek receive fast path rests
+//! on.
 
 use proptest::prelude::*;
 use qolsr_graph::NodeId;
@@ -118,6 +121,72 @@ proptest! {
         let cut = ((bytes.len() as f64) * cut_fraction) as usize;
         if cut < bytes.len() {
             prop_assert!(wire::decode(bytes.slice(..cut)).is_err());
+        }
+    }
+
+    /// The header peek extracts exactly the fields the full decoder
+    /// yields — so every decision the hot path bases on a peek
+    /// (duplicate lookup by originator/seq, ANSN acceptance, TTL
+    /// forwarding) equals the decision it would have based on the
+    /// decoded message.
+    #[test]
+    fn peek_agrees_with_decode_on_valid_messages(msg in arb_message()) {
+        let bytes = wire::encode(&msg);
+        match (wire::peek(&bytes).unwrap(), &msg.body) {
+            (wire::Peek::Hello, Body::Hello(_)) => {}
+            (wire::Peek::Tc(p), Body::Tc(tc)) => {
+                prop_assert_eq!(p.originator, msg.originator);
+                prop_assert_eq!(p.seq, msg.seq);
+                prop_assert_eq!(p.ttl, msg.ttl);
+                prop_assert_eq!(p.hop_count, msg.hop_count);
+                prop_assert_eq!(p.ansn, tc.ansn);
+            }
+            (peeked, _) => prop_assert!(false, "kind mismatch: {:?}", peeked),
+        }
+    }
+
+    /// On arbitrary prefixes of a valid TC buffer (the flooding wire
+    /// unit), peek and decode agree error-for-error: a successful peek
+    /// guarantees a successful decode, and a failed peek reports the
+    /// same `WireError` the decoder would.
+    #[test]
+    fn peek_matches_decode_errors_on_tc_prefixes(
+        tc in arb_tc(),
+        orig in any::<u32>(),
+        seq in any::<u16>(),
+        ttl in any::<u8>(),
+        cut_fraction in 0.0f64..1.01,
+    ) {
+        let msg = Message::tc_with_ttl(NodeId(orig), seq, ttl, tc);
+        let bytes = wire::encode(&msg);
+        let cut = (((bytes.len() + 1) as f64) * cut_fraction) as usize;
+        let slice = bytes.slice(..cut.min(bytes.len()));
+        match wire::peek(&slice) {
+            Ok(wire::Peek::Tc(_)) => {
+                prop_assert!(wire::decode(slice).is_ok(), "peek Ok but decode failed");
+            }
+            Ok(wire::Peek::Hello) => prop_assert!(false, "a TC buffer cannot peek as HELLO"),
+            Err(e) => {
+                prop_assert_eq!(Some(e), wire::decode(slice).err());
+            }
+        }
+    }
+
+    /// Peek never panics on noise, and whenever it accepts a TC, the
+    /// full decoder accepts the same buffer with matching header fields
+    /// — even on adversarial bytes.
+    #[test]
+    fn peek_never_panics_and_never_overclaims(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let bytes = bytes::Bytes::from(noise);
+        if let Ok(wire::Peek::Tc(p)) = wire::peek(&bytes) {
+            let decoded = wire::decode(bytes).expect("peek-accepted TC must decode");
+            prop_assert_eq!(decoded.originator, p.originator);
+            prop_assert_eq!(decoded.seq, p.seq);
+            prop_assert_eq!(decoded.ttl, p.ttl);
+            match decoded.body {
+                Body::Tc(tc) => prop_assert_eq!(tc.ansn, p.ansn),
+                Body::Hello(_) => prop_assert!(false, "kind byte said TC"),
+            }
         }
     }
 }

@@ -28,7 +28,68 @@
 //! * [`stats`] / [`trace`] — counters, histograms and an event trace ring
 //!   buffer for debugging protocol behaviour.
 //!
+//! # Timer-wheel semantics
+//!
+//! The event queue behind [`Simulator`] is a slotted timer wheel
+//! ([`queue`]): a small *due heap* for the slot window currently being
+//! consumed, a ring of 1 ms buckets with `O(1)` hash-by-time inserts
+//! covering the next ~8 s (the dominant horizon: periodic HELLO/TC and
+//! sweep timers, millisecond radio deliveries), and an overflow heap for
+//! anything beyond the ring. Pop order is **exactly** `(time, sequence)`
+//! — identical to a plain binary heap — which is why the wheel can be
+//! the default without perturbing a single seeded replay.
+//! [`SchedulerKind::BinaryHeap`] keeps the reference implementation
+//! alive; `tests/scheduler_differential.rs` and the crate's own
+//! `queue_properties` suite pin byte-identical behaviour across both.
+//!
+//! # Determinism contract
+//!
+//! Every run is a pure function of its inputs: the construction seed
+//! feeds one [`SimRng`] that splits into per-node streams (and an engine
+//! stream for radio jitter), world events apply at fixed scheduled
+//! instants, and simultaneous events dispatch in schedule order. Two
+//! simulators built with equal `(topology, radio, seed, scheduler)`
+//! therefore replay byte-identically — same stats, same traces, same end
+//! state — on any machine. Experiment harnesses extend the contract to
+//! *thread-count invariance*: runs are sharded, but per-run results are
+//! merged in run order, so aggregates never depend on worker count.
+//!
 //! # Examples
+//!
+//! Seeded replays are exact — the engine's statistics (and everything
+//! else) are a pure function of the seed:
+//!
+//! ```
+//! use qolsr_graph::{NodeId, Point2, TopologyBuilder};
+//! use qolsr_metrics::LinkQos;
+//! use qolsr_sim::{Actor, Context, RadioConfig, SimDuration, Simulator, TimerId};
+//!
+//! struct Echo;
+//! impl Actor for Echo {
+//!     type Msg = u8;
+//!     fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+//!         ctx.set_timer(SimDuration::from_millis(10), TimerId(1));
+//!     }
+//!     fn on_timer(&mut self, ctx: &mut Context<'_, u8>, _t: TimerId) {
+//!         ctx.broadcast(1);
+//!     }
+//!     fn on_message(&mut self, _ctx: &mut Context<'_, u8>, _from: NodeId, _m: u8) {}
+//! }
+//!
+//! let topo = || {
+//!     let mut b = TopologyBuilder::new(10.0);
+//!     let a = b.add_node(Point2::new(0.0, 0.0));
+//!     let c = b.add_node(Point2::new(5.0, 0.0));
+//!     b.link(a, c, LinkQos::uniform(1)).unwrap();
+//!     b.build()
+//! };
+//! let run = |seed: u64| {
+//!     let mut sim = Simulator::new(topo(), RadioConfig::default(), seed, |_| Echo);
+//!     sim.run_for(SimDuration::from_secs(1));
+//!     sim.stats()
+//! };
+//! assert_eq!(run(9), run(9), "equal seeds replay byte-identically");
+//! ```
 //!
 //! A two-node ping/pong:
 //!

@@ -22,10 +22,10 @@
 //!   the slot window currently being consumed. It is tiny (one slot's
 //!   worth of items plus same-window inserts), so its `log` cost is
 //!   negligible;
-//! * a **ring** of [`N_SLOTS`] buckets, each [`SLOT_US`] µs wide,
-//!   covering the next [`SPAN_US`] µs after `due_end`. Inserts hash by
-//!   time, `O(1)`; an occupancy bitmap lets the consumer skip empty
-//!   slots word-at-a-time;
+//! * a **ring** of `N_SLOTS` buckets, each `SLOT_US` µs wide, covering
+//!   the next `SPAN_US` µs after `due_end`. Inserts hash by time,
+//!   `O(1)`; an occupancy bitmap lets the consumer skip empty slots
+//!   word-at-a-time;
 //! * an **overflow heap** for items beyond the ring horizon. Whenever
 //!   the window advances, matured overflow items are re-filed into the
 //!   ring.

@@ -142,10 +142,16 @@ impl fmt::Display for OnlineStats {
     }
 }
 
+/// Maximum number of fisheye TC scope rings a protocol configuration may
+/// define — sized so per-ring emission counters can live in fixed
+/// arrays on the hot path (no allocation, `Copy` stats structs).
+pub const TC_RING_SLOTS: usize = 4;
+
 /// Cheap hot-path counters aggregated by the live-protocol experiments:
-/// engine-side event/timer pops plus protocol-side routing-cache
-/// activity. All counting happens with plain `u64` increments on state
-/// the hot path already owns — no atomics, no allocation.
+/// engine-side event/timer pops plus protocol-side routing-cache,
+/// TC-dissemination and wire-decode activity. All counting happens with
+/// plain `u64` increments on state the hot path already owns — no
+/// atomics, no allocation.
 ///
 /// # Examples
 ///
@@ -158,6 +164,7 @@ impl fmt::Display for OnlineStats {
 ///     timers_fired: 4,
 ///     routes_recomputed: 1,
 ///     route_cache_hits: 3,
+///     ..HotPathCounters::default()
 /// });
 /// assert_eq!(total.events_popped, 10);
 /// assert_eq!(total.route_cache_hits, 3);
@@ -172,6 +179,14 @@ pub struct HotPathCounters {
     pub routes_recomputed: u64,
     /// Routing-table queries served from the incremental cache.
     pub route_cache_hits: u64,
+    /// TC emissions per fisheye scope ring (index = ring, innermost
+    /// first). All zero under uniform (RFC 3626) scoping.
+    pub tc_ring_emissions: [u64; TC_RING_SLOTS],
+    /// TC deliveries resolved from the peeked header alone (duplicate or
+    /// stale-ANSN messages whose body was never parsed).
+    pub dup_peek_hits: u64,
+    /// Payload bytes run through the full wire decoder.
+    pub bytes_decoded: u64,
 }
 
 impl HotPathCounters {
@@ -181,6 +196,15 @@ impl HotPathCounters {
         self.timers_fired += other.timers_fired;
         self.routes_recomputed += other.routes_recomputed;
         self.route_cache_hits += other.route_cache_hits;
+        for (mine, theirs) in self
+            .tc_ring_emissions
+            .iter_mut()
+            .zip(other.tc_ring_emissions)
+        {
+            *mine += theirs;
+        }
+        self.dup_peek_hits += other.dup_peek_hits;
+        self.bytes_decoded += other.bytes_decoded;
     }
 
     /// Fraction of routing-table queries served from cache (0 when no
@@ -369,6 +393,26 @@ mod tests {
         assert_eq!(h.quantile_bound(0.5), Some(1));
         assert!(h.quantile_bound(1.0).unwrap() >= 1_000_000);
         assert_eq!(Log2Histogram::new().quantile_bound(0.5), None);
+    }
+
+    #[test]
+    fn hot_path_counters_merge_all_fields() {
+        let mut total = HotPathCounters::default();
+        let part = HotPathCounters {
+            events_popped: 5,
+            timers_fired: 2,
+            routes_recomputed: 1,
+            route_cache_hits: 4,
+            tc_ring_emissions: [3, 2, 1, 0],
+            dup_peek_hits: 7,
+            bytes_decoded: 900,
+        };
+        total.merge(&part);
+        total.merge(&part);
+        assert_eq!(total.tc_ring_emissions, [6, 4, 2, 0]);
+        assert_eq!(total.dup_peek_hits, 14);
+        assert_eq!(total.bytes_decoded, 1800);
+        assert_eq!(total.route_cache_hit_rate(), 8.0 / 10.0);
     }
 
     #[test]

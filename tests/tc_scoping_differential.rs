@@ -1,0 +1,334 @@
+//! Differential suites for the fisheye-scoped TC dissemination and the
+//! duplicate-peek decode path:
+//!
+//! * **uniform scoping ≡ PR 4** — the default configuration
+//!   (`TcScoping::Uniform`, whichever decode path) must replay the
+//!   *golden* seeded end state captured from the pre-scoping
+//!   implementation, byte for byte. The literals below were recorded
+//!   from the PR 4 build of this repository; any drift in RNG draw
+//!   order, emission cadence or table semantics trips this pin.
+//! * **peek decode ≡ full decode** — for both scoping policies, a full
+//!   protocol run under `DecodePath::Peek` must produce identical
+//!   engine statistics, event traces, routing tables and protocol
+//!   counters (minus the decode-path-dependent peek metrics) as the
+//!   reference `DecodePath::Full` formulation.
+//! * **fisheye semantics** — scoped TCs really are TTL-bounded, really
+//!   reduce flood traffic, and still converge network-wide routes.
+
+mod common;
+
+use std::collections::BTreeMap;
+
+use qolsr_graph::{NodeId, Topology, WorldEvent};
+use qolsr_metrics::LinkQos;
+use qolsr_proto::network::OlsrNetwork;
+use qolsr_proto::{
+    DecodePath, FisheyeRing, FisheyeRings, NodeStats, OlsrConfig, RouteEntry, TcScoping,
+};
+use qolsr_sim::trace::TraceEvent;
+use qolsr_sim::{RadioConfig, SimDuration, SimStats, SimTime};
+
+/// Scripted world events of the golden scenario: link churn and a node
+/// power cycle, identical to what the PR 4 capture ran.
+fn world_events() -> Vec<(SimTime, WorldEvent)> {
+    let at = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+    vec![
+        (
+            at(6),
+            WorldEvent::LinkDown {
+                a: NodeId(1),
+                b: NodeId(2),
+            },
+        ),
+        (at(12), WorldEvent::Leave { node: NodeId(3) }),
+        (at(20), WorldEvent::Join { node: NodeId(3) }),
+        (
+            at(22),
+            WorldEvent::LinkUp {
+                a: NodeId(2),
+                b: NodeId(3),
+                qos: LinkQos::uniform(6),
+            },
+        ),
+    ]
+}
+
+struct RunOutcome {
+    node_stats: NodeStats,
+    engine: SimStats,
+    trace: Vec<TraceEvent>,
+    routes: Vec<BTreeMap<NodeId, RouteEntry>>,
+    route_sum: usize,
+}
+
+fn run_protocol(scoping: TcScoping, decode: DecodePath, seed: u64) -> RunOutcome {
+    let topo = common::small_random_topology(17);
+    let config = OlsrConfig {
+        tc_scoping: scoping,
+        decode,
+        ..OlsrConfig::default()
+    };
+    let mut net = OlsrNetwork::new(
+        topo,
+        config,
+        RadioConfig {
+            latency: SimDuration::from_millis(1),
+            jitter: SimDuration::from_millis(2),
+        },
+        seed,
+        |_| qolsr_proto::MprSelectorPolicy,
+    );
+    net.sim_mut().enable_trace(4096);
+    for (t, ev) in world_events() {
+        net.sim_mut().schedule_world(t, ev);
+    }
+    net.run_for(SimDuration::from_secs(30));
+    let node_stats = net.total_stats();
+    let engine = net.sim().stats();
+    let trace: Vec<TraceEvent> = net
+        .sim()
+        .trace()
+        .expect("trace enabled")
+        .iter()
+        .copied()
+        .collect();
+    let routes: Vec<BTreeMap<NodeId, RouteEntry>> = net
+        .world()
+        .nodes()
+        .map(|n| net.node(n).routes(net.now()))
+        .collect();
+    let route_sum = routes.iter().map(BTreeMap::len).sum();
+    RunOutcome {
+        node_stats,
+        engine,
+        trace,
+        routes,
+        route_sum,
+    }
+}
+
+/// Zeroes the counters that are decode-path-dependent *by design* (the
+/// peek path's whole point is decoding less), leaving every
+/// protocol-semantic counter in place for exact comparison.
+fn semantic_stats(mut s: NodeStats) -> NodeStats {
+    s.dup_peek_hits = 0;
+    s.bytes_decoded = 0;
+    s
+}
+
+/// Golden end states captured from the PR 4 build (pre-scoping,
+/// pre-peek). Row layout: `[seed, hello_sent, tc_sent, tc_forwarded,
+/// hello_received, tc_received, bytes_sent, events, broadcasts,
+/// deliveries, timers, world_changes, stale_dropped, route_sum]`.
+const GOLDEN: [[u64; 14]; 3] = [
+    [
+        1, 606, 223, 1618, 3291, 12_790, 218_260, 18_025, 2447, 16_081, 1900, 3, 3, 826,
+    ],
+    [
+        7, 610, 229, 1733, 3291, 13_726, 224_361, 18_971, 2572, 17_017, 1910, 3, 3, 830,
+    ],
+    [
+        0x51C0_2010,
+        612,
+        226,
+        1616,
+        3295,
+        12_850,
+        214_705,
+        18_098,
+        2454,
+        16_145,
+        1909,
+        3,
+        3,
+        830,
+    ],
+];
+
+/// The default configuration must replay the PR 4 golden traces byte
+/// for byte — under both decode paths, since the decode path may not
+/// change protocol behaviour at all.
+#[test]
+fn uniform_scoping_replays_pr4_golden_traces() {
+    for want in &GOLDEN {
+        let seed = want[0];
+        for decode in [DecodePath::Peek, DecodePath::Full] {
+            let r = run_protocol(TcScoping::Uniform, decode, seed);
+            let s = r.node_stats;
+            let e = r.engine;
+            let got = [
+                seed,
+                s.hello_sent,
+                s.tc_sent,
+                s.tc_forwarded,
+                s.hello_received,
+                s.tc_received,
+                s.bytes_sent,
+                e.events,
+                e.broadcasts,
+                e.deliveries,
+                e.timers,
+                e.world_changes,
+                e.stale_dropped,
+                r.route_sum as u64,
+            ];
+            assert_eq!(&got, want, "golden drift (seed {seed}, {decode:?})");
+            assert_eq!(s.decode_errors, 0);
+            assert_eq!(
+                s.tc_sent_ring, [0; 4],
+                "uniform scoping uses no rings (seed {seed})"
+            );
+        }
+    }
+}
+
+/// Under either scoping policy, the peek path must be observably
+/// indistinguishable from the full-decode reference: engine stats,
+/// dispatched-event traces, every node's routing table and the semantic
+/// protocol counters all byte-identical.
+#[test]
+fn peek_decode_replays_full_decode_exactly() {
+    for scoping in [
+        TcScoping::Uniform,
+        TcScoping::Fisheye(FisheyeRings::default()),
+    ] {
+        for seed in [1, 7, 0x51C0_2010] {
+            let peek = run_protocol(scoping, DecodePath::Peek, seed);
+            let full = run_protocol(scoping, DecodePath::Full, seed);
+            assert_eq!(
+                peek.engine, full.engine,
+                "engine stats diverge ({scoping:?}, seed {seed})"
+            );
+            assert_eq!(
+                peek.trace, full.trace,
+                "event traces diverge ({scoping:?}, seed {seed})"
+            );
+            assert_eq!(
+                peek.routes, full.routes,
+                "routing tables diverge ({scoping:?}, seed {seed})"
+            );
+            assert_eq!(
+                semantic_stats(peek.node_stats),
+                semantic_stats(full.node_stats),
+                "protocol counters diverge ({scoping:?}, seed {seed})"
+            );
+            // The decode-path metrics must show the peek path working:
+            // duplicates resolved headers-only, fewer bytes parsed.
+            assert_eq!(full.node_stats.dup_peek_hits, 0);
+            assert!(
+                peek.node_stats.dup_peek_hits > 0,
+                "peek path saw no duplicates ({scoping:?}, seed {seed})"
+            );
+            assert!(
+                peek.node_stats.bytes_decoded < full.node_stats.bytes_decoded,
+                "peek path must decode fewer bytes ({scoping:?}, seed {seed})"
+            );
+        }
+    }
+}
+
+/// An `n`-node line with uniform QoS (hop diameter `n - 1`).
+fn line(n: usize) -> Topology {
+    common::line_topology(n, 3)
+}
+
+fn run_line(
+    n: usize,
+    scoping: TcScoping,
+    secs: u64,
+    seed: u64,
+) -> (OlsrNetwork<qolsr_proto::MprSelectorPolicy>, NodeStats) {
+    let config = OlsrConfig {
+        tc_scoping: scoping,
+        ..OlsrConfig::default()
+    };
+    let mut net = OlsrNetwork::new(line(n), config, RadioConfig::default(), seed, |_| {
+        qolsr_proto::MprSelectorPolicy
+    });
+    net.run_for(SimDuration::from_secs(secs));
+    let stats = net.total_stats();
+    (net, stats)
+}
+
+/// Fisheye scoping must cut TC flood traffic on a multi-hop topology
+/// while full-radius refreshes keep network-wide routes converged.
+#[test]
+fn fisheye_reduces_tc_floods_and_keeps_far_routes() {
+    let n = 12;
+    let (uni_net, uniform) = run_line(n, TcScoping::Uniform, 90, 5);
+    let (fe_net, fisheye) = run_line(n, TcScoping::Fisheye(FisheyeRings::default()), 90, 5);
+
+    assert!(
+        (fisheye.tc_received as f64) < 0.75 * uniform.tc_received as f64,
+        "fisheye should cut TC deliveries meaningfully: {} vs {}",
+        fisheye.tc_received,
+        uniform.tc_received
+    );
+    assert!(
+        fisheye.bytes_sent < uniform.bytes_sent,
+        "control bytes must shrink too"
+    );
+
+    // Per-ring accounting: every default ring fired, totals add up, and
+    // expensive full-radius floods are a strict minority of emissions
+    // (the outermost ring only fires every 3rd tick).
+    let rings = fisheye.tc_sent_ring;
+    assert!(
+        rings[..3].iter().all(|&r| r > 0),
+        "all rings fire: {rings:?}"
+    );
+    assert_eq!(rings[3], 0, "default table has three rings");
+    assert_eq!(rings.iter().sum::<u64>(), fisheye.tc_sent);
+    assert!(
+        rings[2] * 2 < fisheye.tc_sent,
+        "full floods must be a minority: {rings:?}"
+    );
+
+    // Both ends still route to each other across the full diameter.
+    for net in [&uni_net, &fe_net] {
+        let now = net.now();
+        let far = NodeId(n as u32 - 1);
+        let r = net
+            .node(NodeId(0))
+            .route_to(far, now)
+            .expect("route across the whole line");
+        assert_eq!(r.hops, n as u32 - 1);
+        assert_eq!(r.next_hop, NodeId(1));
+    }
+}
+
+/// A near-only ring table really bounds dissemination: with a 2-hop
+/// scope and no full-radius ring, far ends of a long line never learn
+/// routes to each other, while the local neighborhood still converges.
+#[test]
+fn scoped_ttl_bounds_dissemination() {
+    let n = 10;
+    let near_only = TcScoping::Fisheye(
+        FisheyeRings::new(&[FisheyeRing { ttl: 2, every: 1 }]).expect("valid single ring"),
+    );
+    let (net, stats) = run_line(n, near_only, 60, 11);
+    let now = net.now();
+    let node0 = net.node(NodeId(0));
+    assert!(
+        node0.route_to(NodeId(n as u32 - 1), now).is_none(),
+        "2-hop-scoped TCs must not reach the far end of a {n}-line"
+    );
+    // HELLO sensing plus 2-hop TCs still cover the local neighborhood.
+    let near = node0
+        .route_to(NodeId(3), now)
+        .expect("3-hop route from HELLO-reported + near-TC knowledge");
+    assert_eq!(near.hops, 3);
+    assert_eq!(stats.tc_sent_ring[0], stats.tc_sent);
+    assert_eq!(stats.decode_errors, 0);
+}
+
+/// Seeded fisheye runs replay identically — scoping changes what is
+/// sent, never determinism.
+#[test]
+fn fisheye_runs_are_deterministic() {
+    let run = |seed| {
+        let (_, stats) = run_line(9, TcScoping::Fisheye(FisheyeRings::default()), 45, seed);
+        stats
+    };
+    assert_eq!(run(23), run(23));
+}

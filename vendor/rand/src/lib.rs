@@ -2,7 +2,7 @@
 //! registry access). Exposes the trait surface this workspace uses:
 //!
 //! * [`rand_core::TryRng`] — fallible core generator; implementing it
-//!   with an [`Infallible`](std::convert::Infallible) error grants
+//!   with an [`Infallible`] error grants
 //!   [`Rng`] through a blanket impl (how `qolsr_sim::SimRng` plugs in);
 //! * [`Rng`] — infallible 32/64-bit and byte generation;
 //! * [`RngExt`] — `random()` / `random_range()` helpers, blanket
