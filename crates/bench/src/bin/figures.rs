@@ -38,8 +38,19 @@
 //!   --live       scale only: live-protocol phase (--runs capped at 5)
 //!   --sizes L    scale/overhead: comma-separated node counts
 //!                (default 250,1000,4000; lets CI smoke at small n —
-//!                the n=4000 live phases need ~5 GB and tens of
-//!                minutes per run)
+//!                the n=4000 live phases need tens of minutes per run)
+//!   --store S    scale --live only: topology-base formulation,
+//!                shared (default) or per-node (the pre-store
+//!                reference — use one process per formulation when
+//!                comparing RSS)
+//!   --warmup N   scale --live only: unmeasured warm-up seconds
+//!                (default 15)
+//!   --seconds N  scale --live only: measured simulated seconds
+//!                (default 10)
+//!   --max-resident-bytes B
+//!                scale --live only: exit non-zero if any size's mean
+//!                resident protocol-table bytes exceed B (CI memory
+//!                budget)
 //!   --quick      shorthand for --runs 10
 //!   --out DIR    also write CSV files into DIR (default: results/)
 //!   --no-csv     print to stdout only
@@ -53,6 +64,7 @@ use qolsr::eval::figures::{
     bandwidth_experiment, delay_experiment, FigureOptions,
 };
 use qolsr::report::Figure;
+use qolsr_proto::TopologyStore;
 
 struct Args {
     command: String,
@@ -60,6 +72,10 @@ struct Args {
     metric: qolsr::eval::churn::ChurnMetric,
     live: bool,
     sizes: Option<Vec<usize>>,
+    store: Option<TopologyStore>,
+    warmup: Option<u64>,
+    seconds: Option<u64>,
+    max_resident_bytes: Option<u64>,
     out_dir: Option<PathBuf>,
 }
 
@@ -70,6 +86,10 @@ fn parse_args() -> Result<Args, String> {
     let mut metric_set = false;
     let mut live = false;
     let mut sizes: Option<Vec<usize>> = None;
+    let mut store: Option<TopologyStore> = None;
+    let mut warmup: Option<u64> = None;
+    let mut seconds: Option<u64> = None;
+    let mut max_resident_bytes: Option<u64> = None;
     let mut out_dir = Some(PathBuf::from("results"));
     let mut it = std::env::args().skip(1);
     let mut command_set = false;
@@ -103,6 +123,33 @@ fn parse_args() -> Result<Args, String> {
                 }
                 sizes = Some(parsed);
             }
+            "--store" => {
+                let v = it.next().ok_or("--store needs a value")?;
+                store = Some(match v.as_str() {
+                    "shared" => TopologyStore::Shared,
+                    "per-node" | "pernode" => TopologyStore::PerNode,
+                    _ => return Err(format!("bad --store value: {v} (shared|per-node)")),
+                });
+            }
+            "--warmup" => {
+                let v = it.next().ok_or("--warmup needs a value")?;
+                warmup = Some(v.parse().map_err(|_| format!("bad --warmup value: {v}"))?);
+            }
+            "--seconds" => {
+                let v = it.next().ok_or("--seconds needs a value")?;
+                let parsed: u64 = v.parse().map_err(|_| format!("bad --seconds value: {v}"))?;
+                if parsed == 0 {
+                    return Err("--seconds must be at least 1".into());
+                }
+                seconds = Some(parsed);
+            }
+            "--max-resident-bytes" => {
+                let v = it.next().ok_or("--max-resident-bytes needs a value")?;
+                max_resident_bytes = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --max-resident-bytes value: {v}"))?,
+                );
+            }
             "--quick" => opts.runs = 10,
             "--out" => {
                 let v = it.next().ok_or("--out needs a value")?;
@@ -133,12 +180,27 @@ fn parse_args() -> Result<Args, String> {
             "--sizes only applies to scale and overhead, not {command}"
         ));
     }
+    let live_scale = command == "scale" && live;
+    for (set, flag) in [
+        (store.is_some(), "--store"),
+        (warmup.is_some(), "--warmup"),
+        (seconds.is_some(), "--seconds"),
+        (max_resident_bytes.is_some(), "--max-resident-bytes"),
+    ] {
+        if set && !live_scale {
+            return Err(format!("{flag} only applies to scale --live"));
+        }
+    }
     Ok(Args {
         command,
         opts,
         metric,
         live,
         sizes,
+        store,
+        warmup,
+        seconds,
+        max_resident_bytes,
         out_dir,
     })
 }
@@ -185,7 +247,8 @@ fn main() -> ExitCode {
             println!(
                 "commands: fig6 fig7 fig8 fig9 all ablations robustness churn scale overhead; \
                  options: --runs N --seed S --threads T --metric bandwidth|delay \
-                 --live --sizes L --quick --out DIR --no-csv"
+                 --live --sizes L --store shared|per-node --warmup N --seconds N \
+                 --max-resident-bytes B --quick --out DIR --no-csv"
             );
         }
         "fig6" => {
@@ -444,14 +507,23 @@ fn main() -> ExitCode {
             if let Some(sizes) = args.sizes.clone() {
                 cfg.sizes = sizes;
             }
+            if let Some(store) = args.store {
+                cfg.store = store;
+            }
+            if let Some(warmup) = args.warmup {
+                cfg.warmup_seconds = warmup;
+            }
+            if let Some(seconds) = args.seconds {
+                cfg.sim_seconds = seconds;
+            }
             let points = live_sweep(&cfg);
             println!(
-                "# live protocol: {} s warm-up (unmeasured) + {} s measured, \
-                 {} probe nodes sampled per simulated second\n",
-                cfg.warmup_seconds, cfg.sim_seconds, cfg.probes
+                "# live protocol ({:?} topology store): {} s warm-up (unmeasured) \
+                 + {} s measured, {} probe nodes sampled per simulated second\n",
+                cfg.store, cfg.warmup_seconds, cfg.sim_seconds, cfg.probes
             );
             println!(
-                "# {:>5}  {:>10}  {:>12}  {:>12}  {:>12}  {:>10}  {:>10}  {:>8}",
+                "# {:>5}  {:>10}  {:>12}  {:>12}  {:>12}  {:>10}  {:>10}  {:>8}  {:>12}  {:>10}  {:>9}",
                 "n",
                 "ms/sim-s",
                 "events",
@@ -459,11 +531,20 @@ fn main() -> ExitCode {
                 "deliveries",
                 "recomputes",
                 "cache-hits",
-                "hit-rate"
+                "hit-rate",
+                "res-entries",
+                "res-MiB",
+                "rss-MiB"
             );
+            const MIB: f64 = 1024.0 * 1024.0;
             for p in &points {
+                let rss = if p.rss_bytes.count() == 0 {
+                    "-".to_owned()
+                } else {
+                    format!("{:.1}", p.rss_bytes.mean() / MIB)
+                };
                 println!(
-                    "# {:>5}  {:>10.1}  {:>12.0}  {:>12.0}  {:>12.0}  {:>10.1}  {:>10.1}  {:>7.1}%",
+                    "# {:>5}  {:>10.1}  {:>12.0}  {:>12.0}  {:>12.0}  {:>10.1}  {:>10.1}  {:>7.1}%  {:>12.0}  {:>10.2}  {:>9}",
                     p.nodes,
                     p.wall_ms_per_sim_s.mean(),
                     p.events.mean(),
@@ -472,6 +553,9 @@ fn main() -> ExitCode {
                     p.routes_recomputed.mean(),
                     p.route_cache_hits.mean(),
                     p.totals.route_cache_hit_rate() * 100.0,
+                    p.resident_entries.mean(),
+                    p.resident_bytes.mean() / MIB,
+                    rss,
                 );
             }
             println!();
@@ -483,6 +567,20 @@ fn main() -> ExitCode {
                 "scale_live",
                 &args.out_dir,
             );
+            if let Some(budget) = args.max_resident_bytes {
+                for p in &points {
+                    let mean = p.resident_bytes.mean();
+                    if mean > budget as f64 {
+                        eprintln!(
+                            "error: n={} mean resident protocol-table bytes {:.0} exceed \
+                             the --max-resident-bytes budget {budget}",
+                            p.nodes, mean
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                println!("# resident budget ok: all sizes under {budget} bytes\n");
+            }
         }
         "scale" => {
             use qolsr::eval::scale::{scale_figure, scale_sweep, ScaleConfig};

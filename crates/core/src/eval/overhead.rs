@@ -237,6 +237,7 @@ fn single_run(
     {
         *delta = after - before;
     }
+    let (resident_entries, resident_bytes) = net.resident_memory();
     let counters = HotPathCounters {
         events_popped: engine.events - engine0.events,
         timers_fired: engine.timers - engine0.timers,
@@ -245,6 +246,8 @@ fn single_run(
         tc_ring_emissions,
         dup_peek_hits: nodes.dup_peek_hits - nodes0.dup_peek_hits,
         bytes_decoded: nodes.bytes_decoded - nodes0.bytes_decoded,
+        resident_entries,
+        resident_bytes,
     };
     point
         .tc_deliveries

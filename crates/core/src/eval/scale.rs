@@ -26,7 +26,7 @@ use qolsr_graph::deploy::{deploy_at, Deployment, UniformWeights};
 use qolsr_graph::{NodeId, Point2, Topology};
 use qolsr_metrics::BandwidthMetric;
 use qolsr_proto::network::OlsrNetwork;
-use qolsr_proto::OlsrConfig;
+use qolsr_proto::{OlsrConfig, TopologyStore};
 use qolsr_sim::scenario::{RandomWaypoint, ScenarioBuilder};
 use qolsr_sim::stats::{HotPathCounters, OnlineStats};
 use qolsr_sim::{RadioConfig, SimDuration, SimRng};
@@ -234,6 +234,10 @@ pub struct LiveConfig {
     /// Nodes whose routing tables are queried after every simulated
     /// second (exercises the incremental route cache under load).
     pub probes: usize,
+    /// Topology-base formulation the nodes run (shared interned store
+    /// by default; [`TopologyStore::PerNode`] is the pre-store
+    /// reference, for memory comparisons).
+    pub store: TopologyStore,
 }
 
 impl LiveConfig {
@@ -252,6 +256,7 @@ impl LiveConfig {
             warmup_seconds: 15,
             sim_seconds: 10,
             probes: 64,
+            store: TopologyStore::default(),
         }
     }
 
@@ -281,8 +286,33 @@ pub struct LivePoint {
     pub routes_recomputed: OnlineStats,
     /// Route queries served from cache per measured run.
     pub route_cache_hits: OnlineStats,
-    /// Counter totals over all runs of this size.
+    /// Resident protocol-table entries (per-node tables plus shared
+    /// store) at the end of each run — the deterministic memory gauge.
+    pub resident_entries: OnlineStats,
+    /// Approximate resident heap bytes of the protocol tables plus the
+    /// shared store at the end of each run.
+    pub resident_bytes: OnlineStats,
+    /// Process RSS (VmRSS) in bytes after each run, when the platform
+    /// exposes it. **Cumulative across everything the process ran
+    /// before** — comparable between store formulations only via
+    /// separate process invocations.
+    pub rss_bytes: OnlineStats,
+    /// Counter totals over all runs of this size (the resident gauge
+    /// fields accumulate per-run end gauges; divide by `runs` for the
+    /// mean).
     pub totals: HotPathCounters,
+}
+
+/// Current process resident set size in bytes (`VmRSS` from
+/// `/proc/self/status`); `None` where procfs is unavailable. RSS is
+/// process-cumulative — allocator high-water marks from earlier work in
+/// the same process inflate it — so cross-configuration comparisons
+/// need one process per configuration.
+pub fn process_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 /// Runs the live-protocol sweep; points come back in `sizes` order.
@@ -308,18 +338,22 @@ pub fn live_sweep(cfg: &LiveConfig) -> Vec<LivePoint> {
                 deliveries: OnlineStats::new(),
                 routes_recomputed: OnlineStats::new(),
                 route_cache_hits: OnlineStats::new(),
+                resident_entries: OnlineStats::new(),
+                resident_bytes: OnlineStats::new(),
+                rss_bytes: OnlineStats::new(),
                 totals: HotPathCounters::default(),
             };
             for run in 0..cfg.runs {
                 let seed = derive_seed(cfg.seed ^ 0x11FE, si, run);
                 let topo = deploy_field(n, side, cfg.radius, cfg.density, &cfg.weights, seed);
-                let mut net = OlsrNetwork::new(
-                    topo,
-                    OlsrConfig::default(),
-                    RadioConfig::default(),
-                    seed,
-                    |_| SelectorPolicy::new(Fnbp::<BandwidthMetric>::new()),
-                );
+                let proto_cfg = OlsrConfig {
+                    topology_store: cfg.store,
+                    ..OlsrConfig::default()
+                };
+                let mut net =
+                    OlsrNetwork::new(topo, proto_cfg, RadioConfig::default(), seed, |_| {
+                        SelectorPolicy::new(Fnbp::<BandwidthMetric>::new())
+                    });
                 net.run_for(SimDuration::from_secs(cfg.warmup_seconds));
                 let engine0 = net.sim().stats();
                 let nodes0 = net.total_stats();
@@ -346,6 +380,7 @@ pub fn live_sweep(cfg: &LiveConfig) -> Vec<LivePoint> {
                 {
                     *delta = after - before;
                 }
+                let (res_entries, res_bytes) = net.resident_memory();
                 let counters = HotPathCounters {
                     events_popped: engine.events - engine0.events,
                     timers_fired: engine.timers - engine0.timers,
@@ -354,6 +389,8 @@ pub fn live_sweep(cfg: &LiveConfig) -> Vec<LivePoint> {
                     tc_ring_emissions,
                     dup_peek_hits: nodes.dup_peek_hits - nodes0.dup_peek_hits,
                     bytes_decoded: nodes.bytes_decoded - nodes0.bytes_decoded,
+                    resident_entries: res_entries,
+                    resident_bytes: res_bytes,
                 };
                 point.events.push(counters.events_popped as f64);
                 point.timers.push(counters.timers_fired as f64);
@@ -366,6 +403,11 @@ pub fn live_sweep(cfg: &LiveConfig) -> Vec<LivePoint> {
                 point
                     .route_cache_hits
                     .push(counters.route_cache_hits as f64);
+                point.resident_entries.push(res_entries as f64);
+                point.resident_bytes.push(res_bytes as f64);
+                if let Some(rss) = process_rss_bytes() {
+                    point.rss_bytes.push(rss as f64);
+                }
                 point.totals.merge(&counters);
             }
             point

@@ -157,6 +157,21 @@ pub enum DecodePath {
     Full,
 }
 
+/// Which topology-base formulation nodes use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopologyStore {
+    /// Per-originator overlays over a network-shared interned link-set
+    /// store ([`crate::store::SharedLinkStore`]): each advertised set
+    /// is held once per network instead of once per receiver, breaking
+    /// the `O(n²)` memory wall.
+    #[default]
+    Shared,
+    /// Every node stores every originator's advertised set privately —
+    /// the original formulation, kept alive as the differential
+    /// reference the shared store is pinned against.
+    PerNode,
+}
+
 /// OLSR protocol configuration (RFC 3626 §18 timing defaults plus the
 /// TC scoping and decode-path knobs of this implementation).
 ///
@@ -190,6 +205,9 @@ pub struct OlsrConfig {
     /// Wire decode path of the TC receive hot path (header peek by
     /// default; [`DecodePath::Full`] is the differential reference).
     pub decode: DecodePath,
+    /// Topology-base formulation (shared interned store by default;
+    /// [`TopologyStore::PerNode`] is the differential reference).
+    pub topology_store: TopologyStore,
 }
 
 impl Default for OlsrConfig {
@@ -202,6 +220,7 @@ impl Default for OlsrConfig {
             sweep_interval: SimDuration::from_secs(1),
             tc_scoping: TcScoping::Uniform,
             decode: DecodePath::Peek,
+            topology_store: TopologyStore::Shared,
         }
     }
 }
@@ -235,6 +254,7 @@ mod tests {
         assert_eq!(c.duplicate_hold_time(), SimDuration::from_secs(30));
         assert_eq!(c.tc_scoping, TcScoping::Uniform);
         assert_eq!(c.decode, DecodePath::Peek);
+        assert_eq!(c.topology_store, TopologyStore::Shared);
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   set every variant keeps);
 //! * [`routing`] — RFC-style hop-count routing-table calculation from
 //!   local links plus TC-learned topology;
+//! * [`intern`] / [`store`] — dense id interning and the network-shared
+//!   interned link-set store: each originator's advertised set is held
+//!   once per network (delta-compressed, refcounted) instead of once
+//!   per receiver, with nodes keeping only `(ansn, expiry, set)`
+//!   overlays — the city-scale memory subsystem;
 //! * [`node`] — [`OlsrNode`]: the protocol state machine as a
 //!   [`qolsr_sim::Actor`], generic over an [`AdvertisePolicy`] so the core
 //!   crate can plug in QANS selection (FNBP, topology filtering, QOLSR
@@ -132,14 +137,17 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod intern;
 pub mod messages;
 pub mod mpr;
 pub mod network;
 pub mod node;
 pub mod routing;
+pub mod store;
 pub mod tables;
 pub mod wire;
 
-pub use config::{DecodePath, FisheyeRing, FisheyeRings, OlsrConfig, TcScoping};
-pub use node::{AdvertisePolicy, MprSelectorPolicy, NodeStats, OlsrNode};
+pub use config::{DecodePath, FisheyeRing, FisheyeRings, OlsrConfig, TcScoping, TopologyStore};
+pub use node::{AdvertisePolicy, MprSelectorPolicy, NodeStats, OlsrNode, TableFootprint};
 pub use routing::{RouteCache, RouteEntry, RouteScratch};
+pub use store::{SharedLinkStore, StoreGauges};

@@ -7,12 +7,16 @@ use qolsr_graph::{DynamicTopology, LocalView, NodeId, Topology};
 use qolsr_metrics::LinkQos;
 use qolsr_sim::{RadioConfig, Scenario, SchedulerKind, SimDuration, SimTime, Simulator};
 
-use crate::config::OlsrConfig;
-use crate::node::{AdvertisePolicy, MprSelectorPolicy, NodeStats, OlsrNode};
+use crate::config::{OlsrConfig, TopologyStore};
+use crate::node::{AdvertisePolicy, MprSelectorPolicy, NodeStats, OlsrNode, TableFootprint};
+use crate::store::{SharedLinkStore, StoreGauges};
 
 /// An OLSR network simulation: one [`OlsrNode`] per topology node.
 pub struct OlsrNetwork<P: AdvertisePolicy> {
     sim: Simulator<OlsrNode<P>>,
+    /// The network-wide interned link-set store all nodes share under
+    /// [`TopologyStore::Shared`]; absent under the per-node reference.
+    store: Option<SharedLinkStore>,
 }
 
 impl OlsrNetwork<MprSelectorPolicy> {
@@ -63,10 +67,15 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
         scheduler: SchedulerKind,
         mut policy: impl FnMut(NodeId) -> P,
     ) -> Self {
-        let sim = Simulator::with_scheduler(topology, radio, seed, scheduler, |id| {
-            OlsrNode::new(id, config, policy(id))
+        let store = match config.topology_store {
+            TopologyStore::Shared => Some(SharedLinkStore::new()),
+            TopologyStore::PerNode => None,
+        };
+        let sim = Simulator::with_scheduler(topology, radio, seed, scheduler, |id| match &store {
+            Some(store) => OlsrNode::with_store(id, config, policy(id), store.clone()),
+            None => OlsrNode::new(id, config, policy(id)),
         });
-        Self { sim }
+        Self { sim, store }
     }
 
     /// Schedules a generated mobility/churn scenario into the engine's
@@ -170,6 +179,41 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
             total.bytes_decoded += s.bytes_decoded;
         }
         total
+    }
+
+    /// The shared store's resident-memory and dedup statistics, or the
+    /// zero gauges under [`TopologyStore::PerNode`] (nothing is shared
+    /// there — the per-node bytes show up in
+    /// [`OlsrNetwork::total_footprint`] instead).
+    pub fn store_gauges(&self) -> StoreGauges {
+        self.store
+            .as_ref()
+            .map(SharedLinkStore::gauges)
+            .unwrap_or_default()
+    }
+
+    /// Sum of per-node resident table footprints. Together with
+    /// [`OlsrNetwork::store_gauges`] (counted once, not per node) this
+    /// is the network's deterministic resident-memory figure:
+    /// `total_footprint().bytes + store_gauges().resident_bytes`.
+    pub fn total_footprint(&self) -> TableFootprint {
+        let mut total = TableFootprint::default();
+        for (_, node) in self.sim.actors() {
+            total.merge(&node.table_footprint());
+        }
+        total
+    }
+
+    /// Resident protocol-state summary: `(entries, approximate bytes)`
+    /// across all per-node tables plus the shared store — the gauges
+    /// the scale experiments report and CI budgets.
+    pub fn resident_memory(&self) -> (u64, u64) {
+        let f = self.total_footprint();
+        let g = self.store_gauges();
+        (
+            f.topology_entries + f.duplicate_entries + g.resident_links,
+            f.topology_bytes + f.duplicate_bytes + g.resident_bytes,
+        )
     }
 }
 

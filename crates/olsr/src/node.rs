@@ -9,11 +9,12 @@ use qolsr_metrics::LinkQos;
 use qolsr_sim::stats::TC_RING_SLOTS;
 use qolsr_sim::{Actor, Context, SimDuration, SimTime, TimerId};
 
-use crate::config::{DecodePath, OlsrConfig, TcScoping};
+use crate::config::{DecodePath, OlsrConfig, TcScoping, TopologyStore};
 use crate::messages::{Body, Hello, HelloNeighbor, LinkState, Message, Tc};
 use crate::mpr::select_mprs;
 use crate::routing::{reference_routes, RouteCache, RouteEntry};
-use crate::tables::{DuplicateSet, NeighborTables, TopologyBase};
+use crate::store::{SharedLinkStore, SharedTopology};
+use crate::tables::{DuplicateSet, NeighborTables, NodeTopology, TopologyBase};
 use crate::wire;
 use crate::wire::{Peek, TcPeek};
 
@@ -84,6 +85,30 @@ pub struct NodeStats {
     pub bytes_decoded: u64,
 }
 
+/// A node's resident protocol-table footprint (see
+/// [`OlsrNode::table_footprint`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TableFootprint {
+    /// Stored topology entries (tuples or overlays).
+    pub topology_entries: u64,
+    /// Approximate heap bytes of the topology base.
+    pub topology_bytes: u64,
+    /// Stored duplicate-set entries.
+    pub duplicate_entries: u64,
+    /// Approximate heap bytes of the duplicate set.
+    pub duplicate_bytes: u64,
+}
+
+impl TableFootprint {
+    /// Field-wise sum (network-level aggregation).
+    pub fn merge(&mut self, other: &TableFootprint) {
+        self.topology_entries += other.topology_entries;
+        self.topology_bytes += other.topology_bytes;
+        self.duplicate_entries += other.duplicate_entries;
+        self.duplicate_bytes += other.duplicate_bytes;
+    }
+}
+
 /// An OLSR node: link sensing, MPR selection, MPR flooding of TCs, and a
 /// pluggable [`AdvertisePolicy`] for the TC content.
 ///
@@ -104,7 +129,7 @@ pub struct OlsrNode<P> {
     id: NodeId,
     config: OlsrConfig,
     neighbors: NeighborTables,
-    topology: TopologyBase,
+    topology: NodeTopology,
     duplicates: DuplicateSet,
     mprs: BTreeSet<NodeId>,
     last_ans: Vec<(NodeId, LinkQos)>,
@@ -132,12 +157,27 @@ pub struct OlsrNode<P> {
 
 impl<P: AdvertisePolicy> OlsrNode<P> {
     /// Creates a node with the given identity and advertise policy.
+    /// Under [`TopologyStore::Shared`] the node gets a *private* store;
+    /// nodes meant to share sets must be built through
+    /// [`OlsrNode::with_store`] (as [`crate::network::OlsrNetwork`]
+    /// does).
     pub fn new(id: NodeId, config: OlsrConfig, policy: P) -> Self {
+        Self::with_store(id, config, policy, SharedLinkStore::new())
+    }
+
+    /// Creates a node whose shared-formulation topology base feeds the
+    /// given network-wide store. The store is unused (not retained)
+    /// under [`TopologyStore::PerNode`].
+    pub fn with_store(id: NodeId, config: OlsrConfig, policy: P, store: SharedLinkStore) -> Self {
+        let topology = match config.topology_store {
+            TopologyStore::Shared => NodeTopology::Shared(SharedTopology::new(store)),
+            TopologyStore::PerNode => NodeTopology::PerNode(TopologyBase::new()),
+        };
         Self {
             id,
             config,
             neighbors: NeighborTables::new(),
-            topology: TopologyBase::new(),
+            topology,
             duplicates: DuplicateSet::new(),
             mprs: BTreeSet::new(),
             last_ans: Vec::new(),
@@ -207,6 +247,21 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
     /// Advertised links this node has learned from TC flooding.
     pub fn topology_links(&self, now: SimTime) -> Vec<(NodeId, NodeId, LinkQos)> {
         self.topology.links(now)
+    }
+
+    /// Node-local resident footprint of the protocol tables. Under the
+    /// shared formulation this counts the node's overlays only — the
+    /// deduplicated sets are network-level state reported once through
+    /// [`SharedLinkStore::gauges`].
+    pub fn table_footprint(&self) -> TableFootprint {
+        let (topology_entries, topology_bytes) = self.topology.footprint();
+        let (duplicate_entries, duplicate_bytes) = self.duplicates.footprint();
+        TableFootprint {
+            topology_entries: topology_entries as u64,
+            topology_bytes: topology_bytes as u64,
+            duplicate_entries: duplicate_entries as u64,
+            duplicate_bytes: duplicate_bytes as u64,
+        }
     }
 
     fn route_cache(&self) -> MutexGuard<'_, RouteCache> {
@@ -407,7 +462,7 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
         let dup_hold = now + self.config.duplicate_hold_time();
         let mut decoded = false;
         if self.duplicates.fresh(peek.originator, peek.seq, dup_hold)
-            && self.topology.accepts_ansn(peek.originator, peek.ansn)
+            && self.topology.accepts_ansn(peek.originator, peek.ansn, now)
         {
             // Fresh and acceptable: the body is actually needed. A
             // successful TC peek length-validates the whole buffer, so
@@ -425,6 +480,7 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
             let hold = now + self.config.topology_hold_time();
             let update = self.topology.process_tc_tracked(
                 peek.originator,
+                peek.seq,
                 tc.ansn,
                 &tc.advertised,
                 now,
@@ -492,6 +548,7 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
                     let hold = now + self.config.topology_hold_time();
                     let update = self.topology.process_tc_tracked(
                         msg.originator,
+                        msg.seq,
                         tc.ansn,
                         &tc.advertised,
                         now,
@@ -604,7 +661,7 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
         // discard the new one's messages; `stats` stays cumulative (and
         // so do the route-cache counters).
         self.neighbors = NeighborTables::new();
-        self.topology = TopologyBase::new();
+        self.topology.clear();
         self.duplicates = DuplicateSet::new();
         self.mprs = BTreeSet::new();
         self.last_ans = Vec::new();

@@ -27,7 +27,8 @@ use qolsr_graph::NodeId;
 use qolsr_metrics::LinkQos;
 use qolsr_sim::SimTime;
 
-use crate::tables::{NeighborTables, TopologyBase};
+use crate::intern::DenseIds;
+use crate::tables::{NeighborTables, TopologyLinks};
 
 /// One routing-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,8 +46,9 @@ pub struct RouteEntry {
 /// of repeated route computations to zero.
 #[derive(Debug, Default, Clone)]
 pub struct RouteScratch {
-    /// Sorted unique node ids; the dense index of an id is its position.
-    ids: Vec<NodeId>,
+    /// Sorted interner: the dense index of an id is its rank (see
+    /// [`DenseIds`]).
+    ids: DenseIds,
     /// Directed edge list as dense index pairs.
     edges: Vec<(u32, u32)>,
     /// CSR row offsets into `edges` (len = ids.len() + 1).
@@ -63,10 +65,6 @@ impl RouteScratch {
     /// Creates empty scratch buffers.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    fn index_of(&self, id: NodeId) -> u32 {
-        self.ids.binary_search(&id).expect("id was interned") as u32
     }
 }
 
@@ -97,21 +95,20 @@ pub fn compute_routes_keys_into(
         scratch.ids.push(a);
         scratch.ids.push(b);
     }
-    scratch.ids.sort_unstable();
-    scratch.ids.dedup();
+    scratch.ids.seal();
     let n = scratch.ids.len();
 
     // Directed edge list, sorted + deduped, then CSR rows: each row's
     // neighbors come out ascending by id.
     scratch.edges.clear();
-    let me_idx = scratch.index_of(me);
+    let me_idx = scratch.ids.index_of(me);
     for &nbr in sym {
-        let i = scratch.index_of(nbr);
+        let i = scratch.ids.index_of(nbr);
         scratch.edges.push((me_idx, i));
         scratch.edges.push((i, me_idx));
     }
     for &(a, b) in reported.iter().chain(advertised) {
-        let (ia, ib) = (scratch.index_of(a), scratch.index_of(b));
+        let (ia, ib) = (scratch.ids.index_of(a), scratch.ids.index_of(b));
         scratch.edges.push((ia, ib));
         scratch.edges.push((ib, ia));
     }
@@ -159,8 +156,8 @@ pub fn compute_routes_keys_into(
             continue;
         }
         out.push(RouteEntry {
-            dest: scratch.ids[i],
-            next_hop: scratch.ids[scratch.next[i] as usize],
+            dest: scratch.ids.resolve(i as u32),
+            next_hop: scratch.ids.resolve(scratch.next[i]),
             hops: scratch.dist[i],
         });
     }
@@ -304,12 +301,14 @@ impl RouteCache {
     }
 
     /// Brings the cached table up to date for a query at `now` against
-    /// the given information bases.
-    pub fn ensure(
+    /// the given information bases. Generic over the topology-base
+    /// formulation (per-node, shared-store, or the dispatching
+    /// [`crate::tables::NodeTopology`]).
+    pub fn ensure<T: TopologyLinks>(
         &mut self,
         me: NodeId,
         neighbors: &NeighborTables,
-        topology: &TopologyBase,
+        topology: &T,
         now: SimTime,
     ) {
         if self.valid && self.cached_at <= now && now < self.valid_until {
@@ -468,6 +467,7 @@ mod tests {
     #[test]
     fn dirty_but_unchanged_keys_revalidate_without_recompute() {
         use crate::messages::{Hello, HelloNeighbor, LinkState};
+        use crate::tables::TopologyBase;
         use qolsr_sim::SimDuration;
 
         let me = NodeId(0);

@@ -16,6 +16,7 @@ use qolsr_metrics::LinkQos;
 use qolsr_sim::SimTime;
 
 use crate::messages::Hello;
+use crate::store::SharedTopology;
 
 /// "Never expires" sentinel returned by min-expiry accessors when no
 /// tuple bounds the horizon.
@@ -381,11 +382,12 @@ pub struct TcUpdate {
 /// without disturbing the rest of the base.
 #[derive(Debug, Default, Clone)]
 pub struct TopologyBase {
-    /// Per-originator advertised sets; empty inner vecs are retained
-    /// for buffer reuse.
+    /// Per-originator advertised sets, ascending by originator.
     sets: Vec<(NodeId, Vec<TopoLink>)>,
-    /// Latest ANSN seen per originator, ascending by originator.
-    ansn: Vec<(NodeId, u16)>,
+    /// Latest ANSN seen per originator with its validity horizon
+    /// (the hold time of the TC that set it — the same instant the
+    /// whole advertised set expires), ascending by originator.
+    ansn: Vec<(NodeId, u16, SimTime)>,
     /// Stored tuples across all sets (including expired-but-unswept).
     count: usize,
     /// Scratch for sorting/deduplicating an incoming advertised list.
@@ -413,13 +415,17 @@ impl TopologyBase {
     }
 
     /// Returns `true` when a TC from `originator` carrying `ansn` would
-    /// be accepted (RFC 3626 §9.5: not older than the recorded ANSN) —
-    /// the non-mutating query the peek-decode fast path asks before
-    /// parsing a TC body. Equal ANSNs are accepted: the refresh carries
-    /// renewed lifetimes.
-    pub fn accepts_ansn(&self, originator: NodeId, ansn: u16) -> bool {
+    /// be accepted at `now` (RFC 3626 §9.5: not older than the recorded
+    /// ANSN) — the non-mutating query the peek-decode fast path asks
+    /// before parsing a TC body. Equal ANSNs are accepted: the refresh
+    /// carries renewed lifetimes. An *expired* ANSN record is treated
+    /// as absent: once an originator's advertised set has fully aged
+    /// out, nothing it announced is held against it, so a rebooted
+    /// originator whose ANSN reset to 0 is re-learned immediately
+    /// instead of being rejected until 16-bit wraparound.
+    pub fn accepts_ansn(&self, originator: NodeId, ansn: u16, now: SimTime) -> bool {
         match self.ansn.binary_search_by_key(&originator, |a| a.0) {
-            Ok(i) => !seq_newer(self.ansn[i].1, ansn),
+            Ok(i) => self.ansn[i].2 <= now || !seq_newer(self.ansn[i].1, ansn),
             Err(_) => true,
         }
     }
@@ -437,15 +443,19 @@ impl TopologyBase {
     ) -> TcUpdate {
         match self.ansn.binary_search_by_key(&originator, |a| a.0) {
             Ok(i) => {
-                if seq_newer(self.ansn[i].1, ansn) {
+                // A live record enforces the ordering; an expired one is
+                // as if the originator was never heard (see
+                // [`TopologyBase::accepts_ansn`]).
+                if self.ansn[i].2 > now && seq_newer(self.ansn[i].1, ansn) {
                     return TcUpdate {
                         applied: false,
                         links_changed: false,
                     };
                 }
                 self.ansn[i].1 = ansn;
+                self.ansn[i].2 = hold_until;
             }
-            Err(i) => self.ansn.insert(i, (originator, ansn)),
+            Err(i) => self.ansn.insert(i, (originator, ansn, hold_until)),
         }
         // Sort the incoming list by advertised id, keeping the *last*
         // occurrence of duplicate ids (map-insert semantics).
@@ -487,13 +497,26 @@ impl TopologyBase {
         }
     }
 
-    /// Discards expired tuples.
+    /// Discards expired tuples — and, once an originator's every tuple
+    /// and its ANSN record have expired, the originator's entries
+    /// themselves. Without that second step departed originators leak
+    /// empty set vecs and ANSN records forever under churn.
     pub fn sweep(&mut self, now: SimTime) {
-        for (_, set) in &mut self.sets {
+        let count = &mut self.count;
+        self.sets.retain_mut(|(_, set)| {
             let before = set.len();
             set.retain(|l| l.until > now);
-            self.count -= before - set.len();
-        }
+            *count -= before - set.len();
+            !set.is_empty()
+        });
+        self.ansn.retain(|&(_, _, until)| until > now);
+    }
+
+    /// Drops all stored state, keeping allocations.
+    pub fn clear(&mut self) {
+        self.sets.clear();
+        self.ansn.clear();
+        self.count = 0;
     }
 
     /// Shared scan behind the advertised-link accessors: pushes
@@ -550,26 +573,224 @@ impl TopologyBase {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// Originator entries currently held (sets plus ANSN records —
+    /// the quantity the churn-GC bound is asserted on).
+    pub fn originators(&self) -> usize {
+        self.sets.len().max(self.ansn.len())
+    }
+
+    /// Resident footprint as `(stored tuples, approximate heap bytes)`.
+    pub fn footprint(&self) -> (usize, usize) {
+        let bytes = self.sets.capacity() * std::mem::size_of::<(NodeId, Vec<TopoLink>)>()
+            + self
+                .sets
+                .iter()
+                .map(|(_, s)| s.capacity() * std::mem::size_of::<TopoLink>())
+                .sum::<usize>()
+            + self.ansn.capacity() * std::mem::size_of::<(NodeId, u16, SimTime)>()
+            + self.scratch.capacity() * std::mem::size_of::<(NodeId, LinkQos)>();
+        (self.count, bytes)
+    }
 }
 
-/// One remembered `(seq → lifetime, forwarded?)` entry of an originator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct SeqEntry {
-    seq: u16,
-    until: SimTime,
-    forwarded: bool,
+/// Read access to the live advertised-link content of a topology base —
+/// what the route computation consumes. Implemented by the per-node
+/// [`TopologyBase`], the store-backed [`SharedTopology`] and the
+/// [`NodeTopology`] dispatcher so the route cache works against any of
+/// them.
+pub trait TopologyLinks {
+    /// Fills `out` with all live advertised links as
+    /// `(originator, advertised, qos)`, ascending by
+    /// `(originator, advertised)`; returns the earliest expiry among
+    /// them (far-future when empty).
+    fn links_into(&self, now: SimTime, out: &mut Vec<(NodeId, NodeId, LinkQos)>) -> SimTime;
+
+    /// Key-only variant of [`TopologyLinks::links_into`]: the
+    /// `(originator, advertised)` pairs alone, same order and
+    /// min-expiry return.
+    fn link_keys_into(&self, now: SimTime, out: &mut Vec<(NodeId, NodeId)>) -> SimTime;
+}
+
+impl TopologyLinks for TopologyBase {
+    fn links_into(&self, now: SimTime, out: &mut Vec<(NodeId, NodeId, LinkQos)>) -> SimTime {
+        TopologyBase::links_into(self, now, out)
+    }
+
+    fn link_keys_into(&self, now: SimTime, out: &mut Vec<(NodeId, NodeId)>) -> SimTime {
+        TopologyBase::link_keys_into(self, now, out)
+    }
+}
+
+impl TopologyLinks for SharedTopology {
+    fn links_into(&self, now: SimTime, out: &mut Vec<(NodeId, NodeId, LinkQos)>) -> SimTime {
+        SharedTopology::links_into(self, now, out)
+    }
+
+    fn link_keys_into(&self, now: SimTime, out: &mut Vec<(NodeId, NodeId)>) -> SimTime {
+        SharedTopology::link_keys_into(self, now, out)
+    }
+}
+
+/// A node's topology base in either formulation, selected by
+/// [`TopologyStore`]: the store-backed [`SharedTopology`] (default) or
+/// the per-node [`TopologyBase`] kept as the living reference the
+/// differential suites pin the shared store against.
+///
+/// [`TopologyStore`]: crate::OlsrConfig
+#[derive(Debug)]
+pub enum NodeTopology {
+    /// Every node stores every originator's set privately (the PR 4
+    /// formulation — `O(n²)` tuples network-wide).
+    PerNode(TopologyBase),
+    /// Per-originator overlays over the network's shared interned
+    /// store.
+    Shared(SharedTopology),
+}
+
+impl NodeTopology {
+    /// See [`TopologyBase::accepts_ansn`].
+    pub fn accepts_ansn(&self, originator: NodeId, ansn: u16, now: SimTime) -> bool {
+        match self {
+            Self::PerNode(t) => t.accepts_ansn(originator, ansn, now),
+            Self::Shared(t) => t.accepts_ansn(originator, ansn, now),
+        }
+    }
+
+    /// See [`TopologyBase::process_tc_tracked`]; `seq` (the TC's
+    /// message sequence number) keys the shared store's content dedup
+    /// and is ignored by the per-node formulation.
+    pub fn process_tc_tracked(
+        &mut self,
+        originator: NodeId,
+        seq: u16,
+        ansn: u16,
+        advertised: &[(NodeId, LinkQos)],
+        now: SimTime,
+        hold_until: SimTime,
+    ) -> TcUpdate {
+        match self {
+            Self::PerNode(t) => t.process_tc_tracked(originator, ansn, advertised, now, hold_until),
+            Self::Shared(t) => {
+                t.process_tc_tracked(originator, seq, ansn, advertised, now, hold_until)
+            }
+        }
+    }
+
+    /// See [`TopologyBase::sweep`].
+    pub fn sweep(&mut self, now: SimTime) {
+        match self {
+            Self::PerNode(t) => t.sweep(now),
+            Self::Shared(t) => t.sweep(now),
+        }
+    }
+
+    /// See [`TopologyBase::clear`].
+    pub fn clear(&mut self) {
+        match self {
+            Self::PerNode(t) => t.clear(),
+            Self::Shared(t) => t.clear(),
+        }
+    }
+
+    /// See [`TopologyBase::links`].
+    pub fn links(&self, now: SimTime) -> Vec<(NodeId, NodeId, LinkQos)> {
+        match self {
+            Self::PerNode(t) => t.links(now),
+            Self::Shared(t) => t.links(now),
+        }
+    }
+
+    /// See [`TopologyBase::len`].
+    pub fn len(&self) -> usize {
+        match self {
+            Self::PerNode(t) => t.len(),
+            Self::Shared(t) => t.len(),
+        }
+    }
+
+    /// Returns `true` when no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Node-local resident footprint as `(entries, approximate heap
+    /// bytes)`. For the shared formulation this counts the node's
+    /// overlays only; the deduplicated sets are network-level state
+    /// reported once per store.
+    pub fn footprint(&self) -> (usize, usize) {
+        match self {
+            Self::PerNode(t) => t.footprint(),
+            Self::Shared(t) => t.footprint(),
+        }
+    }
+}
+
+impl TopologyLinks for NodeTopology {
+    fn links_into(&self, now: SimTime, out: &mut Vec<(NodeId, NodeId, LinkQos)>) -> SimTime {
+        match self {
+            Self::PerNode(t) => t.links_into(now, out),
+            Self::Shared(t) => t.links_into(now, out),
+        }
+    }
+
+    fn link_keys_into(&self, now: SimTime, out: &mut Vec<(NodeId, NodeId)>) -> SimTime {
+        match self {
+            Self::PerNode(t) => t.link_keys_into(now, out),
+            Self::Shared(t) => t.link_keys_into(now, out),
+        }
+    }
+}
+
+/// A duplicate-set entry packed into one `u64`:
+/// `(until_micros << 17) | (forwarded << 16) | seq`.
+///
+/// The 47 until-bits cover ~4.4 simulated years — far beyond any run,
+/// and `debug_assert`ed at pack time. Packing cuts the per-entry cost
+/// from a 24-byte padded struct to 8 bytes, which matters because the
+/// duplicate set is the second-largest table at scale (one entry per
+/// `(originator, seq)` heard within the 30 s hold).
+///
+/// # Ordering under wraparound
+///
+/// Entry lists sort ascending by the **raw 16-bit seq** (the low bits),
+/// and every lookup is an *exact-match* binary search keyed on
+/// [`entry_seq`] — never on the whole packed word, whose high until-bits
+/// would dominate, and never a range query, which raw-u16 order would
+/// misanswer when an originator's seq space wraps mid-hold (…65535, 0…
+/// stores as 0 < … < 65535). Exact-match lookups are insensitive to
+/// where the wrap falls, so raw order is correct here; the wraparound
+/// proptest in `dup_wraparound` pins this against a naive map.
+fn pack_entry(seq: u16, until: SimTime, forwarded: bool) -> u64 {
+    let micros = until.as_micros();
+    debug_assert!(micros < 1 << 47, "duplicate hold beyond packable range");
+    (micros << 17) | (u64::from(forwarded) << 16) | u64::from(seq)
+}
+
+/// The raw sequence number of a packed entry — the binary-search key.
+fn entry_seq(e: u64) -> u16 {
+    (e & 0xFFFF) as u16
+}
+
+fn entry_forwarded(e: u64) -> bool {
+    e & (1 << 16) != 0
+}
+
+fn entry_until(e: u64) -> SimTime {
+    SimTime::from_micros(e >> 17)
 }
 
 /// Duplicate suppression for flooded messages (RFC 3626 §3.4).
 ///
-/// Stored as one seq-sorted entry list per originator so the per-message
-/// lookup — the hottest query in a TC flood — is two small binary
-/// searches over contiguous memory.
+/// Stored as one seq-sorted packed-entry list per originator so the
+/// per-message lookup — the hottest query in a TC flood — is two small
+/// binary searches over contiguous memory. See `pack_entry` above for
+/// the 8-byte entry layout and why raw-seq order is wraparound-safe.
 #[derive(Debug, Default, Clone)]
 pub struct DuplicateSet {
-    /// Per-originator entries, outer ascending by originator, inner by
-    /// raw sequence number. Empty inner vecs are retained for reuse.
-    seen: Vec<(NodeId, Vec<SeqEntry>)>,
+    /// Per-originator packed entries, outer ascending by originator,
+    /// inner by raw sequence number.
+    seen: Vec<(NodeId, Vec<u64>)>,
 }
 
 impl DuplicateSet {
@@ -578,11 +799,7 @@ impl DuplicateSet {
         Self::default()
     }
 
-    fn entry(
-        &mut self,
-        originator: NodeId,
-        seq: u16,
-    ) -> (&mut Vec<SeqEntry>, Result<usize, usize>) {
+    fn entry(&mut self, originator: NodeId, seq: u16) -> (&mut Vec<u64>, Result<usize, usize>) {
         let i = match self.seen.binary_search_by_key(&originator, |s| s.0) {
             Ok(i) => i,
             Err(i) => {
@@ -591,7 +808,7 @@ impl DuplicateSet {
             }
         };
         let list = &mut self.seen[i].1;
-        let pos = list.binary_search_by_key(&seq, |e| e.seq);
+        let pos = list.binary_search_by_key(&seq, |&e| entry_seq(e));
         (list, pos)
     }
 
@@ -601,18 +818,11 @@ impl DuplicateSet {
         let (list, pos) = self.entry(originator, seq);
         match pos {
             Ok(j) => {
-                list[j].until = hold_until;
+                list[j] = pack_entry(seq, hold_until, entry_forwarded(list[j]));
                 false
             }
             Err(j) => {
-                list.insert(
-                    j,
-                    SeqEntry {
-                        seq,
-                        until: hold_until,
-                        forwarded: false,
-                    },
-                );
+                list.insert(j, pack_entry(seq, hold_until, false));
                 true
             }
         }
@@ -625,27 +835,39 @@ impl DuplicateSet {
         let j = match pos {
             Ok(j) => j,
             Err(j) => {
-                list.insert(
-                    j,
-                    SeqEntry {
-                        seq,
-                        until: hold_until,
-                        forwarded: false,
-                    },
-                );
+                list.insert(j, pack_entry(seq, hold_until, false));
                 j
             }
         };
-        let first = !list[j].forwarded;
-        list[j].forwarded = true;
+        let first = !entry_forwarded(list[j]);
+        list[j] |= 1 << 16;
         first
     }
 
-    /// Discards expired entries.
+    /// Discards expired entries — and originators whose every entry
+    /// expired, so departed nodes stop costing memory (the churn-leak
+    /// fix; empty lists used to be retained forever).
     pub fn sweep(&mut self, now: SimTime) {
-        for (_, list) in &mut self.seen {
-            list.retain(|e| e.until > now);
+        self.seen.retain_mut(|(_, list)| {
+            list.retain(|&e| entry_until(e) > now);
+            !list.is_empty()
+        });
+    }
+
+    /// Originator entries currently held.
+    pub fn originators(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Resident footprint as `(entries, approximate heap bytes)`.
+    pub fn footprint(&self) -> (usize, usize) {
+        let mut entries = 0;
+        let mut bytes = self.seen.capacity() * std::mem::size_of::<(NodeId, Vec<u64>)>();
+        for (_, list) in &self.seen {
+            entries += list.len();
+            bytes += list.capacity() * std::mem::size_of::<u64>();
         }
+        (entries, bytes)
     }
 }
 
@@ -885,16 +1107,84 @@ mod tests {
     #[test]
     fn accepts_ansn_mirrors_process_tc() {
         let mut tb = TopologyBase::new();
-        assert!(tb.accepts_ansn(NodeId(1), 0), "unknown originator accepts");
+        let now = t(0);
+        assert!(
+            tb.accepts_ansn(NodeId(1), 0, now),
+            "unknown originator accepts"
+        );
         tb.process_tc(NodeId(1), 5, &[(NodeId(2), LinkQos::uniform(1))], t(10));
-        assert!(tb.accepts_ansn(NodeId(1), 5), "equal ANSN is a refresh");
-        assert!(tb.accepts_ansn(NodeId(1), 6));
-        assert!(!tb.accepts_ansn(NodeId(1), 4), "stale ANSN rejected");
-        assert!(tb.accepts_ansn(NodeId(1), 5u16.wrapping_add(0x7FFF)));
-        assert!(!tb.accepts_ansn(NodeId(1), 5u16.wrapping_add(0x8001)));
+        assert!(
+            tb.accepts_ansn(NodeId(1), 5, now),
+            "equal ANSN is a refresh"
+        );
+        assert!(tb.accepts_ansn(NodeId(1), 6, now));
+        assert!(!tb.accepts_ansn(NodeId(1), 4, now), "stale ANSN rejected");
+        assert!(tb.accepts_ansn(NodeId(1), 5u16.wrapping_add(0x7FFF), now));
+        assert!(!tb.accepts_ansn(NodeId(1), 5u16.wrapping_add(0x8001), now));
         // The query must agree with what process_tc actually does.
-        assert!(!tb.process_tc(NodeId(1), 4, &[], t(10)));
-        assert!(tb.process_tc(NodeId(1), 5, &[], t(10)));
+        assert!(!tb.process_tc_tracked(NodeId(1), 4, &[], now, t(10)).applied);
+        assert!(tb.process_tc_tracked(NodeId(1), 5, &[], now, t(10)).applied);
+    }
+
+    /// The power-cycle regression: an originator that reboots resets
+    /// its ANSN to 0. Once its old advertised set has fully expired, a
+    /// TC with the reset ANSN must be accepted immediately — before
+    /// this fix `accepts_ansn` rejected the reborn originator until
+    /// 16-bit wraparound.
+    #[test]
+    fn expired_ansn_record_relearns_rebooted_originator() {
+        let mut tb = TopologyBase::new();
+        let adv = [(NodeId(2), LinkQos::uniform(1))];
+        // Long-lived originator with a high ANSN, holding until t=10.
+        assert!(tb.process_tc(NodeId(1), 50, &adv, t(10)));
+        // While the record lives, the reset ANSN is (correctly) stale.
+        assert!(!tb.accepts_ansn(NodeId(1), 0, t(5)));
+        assert!(
+            !tb.process_tc_tracked(NodeId(1), 0, &adv, t(5), t(20))
+                .applied
+        );
+        // Power cycle: silence past the hold time, tuples expire.
+        tb.sweep(t(11));
+        // The reborn originator announces ANSN 0 and is re-learned at
+        // once.
+        assert!(tb.accepts_ansn(NodeId(1), 0, t(12)));
+        let up = tb.process_tc_tracked(NodeId(1), 0, &adv, t(12), t(27));
+        assert!(up.applied && up.links_changed);
+        assert_eq!(tb.links(t(13)).len(), 1);
+        // Even without an intervening sweep, expiry alone suffices.
+        let mut tb2 = TopologyBase::new();
+        assert!(tb2.process_tc(NodeId(1), 50, &adv, t(10)));
+        assert!(tb2.accepts_ansn(NodeId(1), 0, t(11)));
+        assert!(
+            tb2.process_tc_tracked(NodeId(1), 0, &adv, t(11), t(26))
+                .applied
+        );
+    }
+
+    /// The churn-leak regression: sweeps must reclaim per-originator
+    /// entries (set vecs, ANSN records, duplicate lists) once every
+    /// tuple expired, not just the tuples inside them.
+    #[test]
+    fn sweep_reclaims_departed_originators() {
+        let mut tb = TopologyBase::new();
+        let mut ds = DuplicateSet::new();
+        for orig in 0..100u32 {
+            tb.process_tc(
+                NodeId(orig),
+                1,
+                &[(NodeId(orig + 1), LinkQos::uniform(1))],
+                t(10),
+            );
+            ds.fresh(NodeId(orig), 1, t(10));
+        }
+        assert_eq!(tb.originators(), 100);
+        assert_eq!(ds.originators(), 100);
+        tb.sweep(t(11));
+        ds.sweep(t(11));
+        assert_eq!(tb.originators(), 0, "departed originators reclaimed");
+        assert_eq!(ds.originators(), 0, "departed originators reclaimed");
+        assert_eq!(tb.footprint().0, 0);
+        assert_eq!(ds.footprint().0, 0);
     }
 
     #[test]
@@ -967,5 +1257,53 @@ mod tests {
         assert!(!ds.mark_forwarded(NodeId(1), 10, t(30)));
         ds.sweep(t(31));
         assert!(ds.fresh(NodeId(1), 10, t(60)));
+    }
+
+    /// A refresh of a known duplicate must extend the lifetime while
+    /// preserving the forwarded flag — regressions here would reflood.
+    #[test]
+    fn duplicate_refresh_preserves_forwarded_flag() {
+        let mut ds = DuplicateSet::new();
+        assert!(ds.fresh(NodeId(1), 10, t(30)));
+        assert!(ds.mark_forwarded(NodeId(1), 10, t(30)));
+        // A re-heard copy refreshes the hold...
+        assert!(!ds.fresh(NodeId(1), 10, t(45)));
+        // ...but the entry still remembers it was forwarded.
+        assert!(!ds.mark_forwarded(NodeId(1), 10, t(45)));
+        // And the refreshed lifetime took effect.
+        ds.sweep(t(40));
+        assert!(!ds.fresh(NodeId(1), 10, t(50)), "entry survived to t=45");
+    }
+
+    #[test]
+    fn packed_entry_roundtrip() {
+        for (seq, until, fwd) in [
+            (0u16, t(0), false),
+            (u16::MAX, t(30), true),
+            (1, SimTime::from_micros((1 << 47) - 1), false),
+            (0x8000, t(12345), true),
+        ] {
+            let e = pack_entry(seq, until, fwd);
+            assert_eq!(entry_seq(e), seq);
+            assert_eq!(entry_until(e), until);
+            assert_eq!(entry_forwarded(e), fwd);
+        }
+    }
+
+    /// Wrapped sequence spaces stay exact: entries on both sides of the
+    /// u16 wrap coexist and resolve independently.
+    #[test]
+    fn duplicate_set_survives_seq_wraparound() {
+        let mut ds = DuplicateSet::new();
+        for seq in [65534u16, 65535, 0, 1] {
+            assert!(ds.fresh(NodeId(1), seq, t(30)), "seq {seq} fresh");
+        }
+        for seq in [65534u16, 65535, 0, 1] {
+            assert!(!ds.fresh(NodeId(1), seq, t(30)), "seq {seq} known");
+        }
+        assert!(ds.mark_forwarded(NodeId(1), 65535, t(30)));
+        assert!(ds.mark_forwarded(NodeId(1), 0, t(30)));
+        assert!(!ds.mark_forwarded(NodeId(1), 65535, t(30)));
+        assert_eq!(ds.footprint().0, 4);
     }
 }

@@ -1,0 +1,294 @@
+//! Differential proofs of the shared interned topology store: after
+//! *any* history of TC integrations, sweeps, reboots and time advances
+//! — including ANSN/seq wraparound and seq reuse across reboots — a
+//! [`SharedTopology`] over a network-shared [`SharedLinkStore`] must
+//! answer every query identically to the per-node [`TopologyBase`]
+//! reference (the PR 4 formulation `TopologyStore::PerNode` keeps
+//! alive). The ANSN accept/reject rule and the packed [`DuplicateSet`]
+//! are additionally pinned against naive map formulations.
+//!
+//! [`DuplicateSet`]: qolsr_proto::tables::DuplicateSet
+//! [`SharedLinkStore`]: qolsr_proto::SharedLinkStore
+//! [`SharedTopology`]: qolsr_proto::store::SharedTopology
+//! [`TopologyBase`]: qolsr_proto::tables::TopologyBase
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use qolsr_graph::NodeId;
+use qolsr_metrics::LinkQos;
+use qolsr_proto::store::SharedTopology;
+use qolsr_proto::tables::{seq_newer, DuplicateSet, TopologyBase};
+use qolsr_proto::SharedLinkStore;
+use qolsr_sim::{SimDuration, SimTime};
+
+/// One step of a topology-base history.
+#[derive(Debug, Clone)]
+enum Op {
+    /// TC from `orig`: message seq `seq` (keys the store's content
+    /// dedup), advertising `advertised` under `ansn`, valid `hold_s`.
+    Tc {
+        orig: u32,
+        seq: u16,
+        ansn: u16,
+        advertised: Vec<u32>,
+        hold_s: u64,
+    },
+    /// Expire tuples (per-node) / overlays (shared) out of the tables.
+    Sweep,
+    /// Let virtual time pass (seconds).
+    Advance(u64),
+    /// Node power cycle: both formulations drop all topology state.
+    Reboot,
+}
+
+/// ANSN values biased to straddle the u16 wrap (RFC 3626 §19 sequence
+/// comparison), so histories routinely cross 65535 → 0.
+fn ansn_value() -> impl Strategy<Value = u16> {
+    prop_oneof![0u16..6, 65532u16..=65535]
+}
+
+fn tc_op() -> impl Strategy<Value = Op> {
+    (
+        1u32..6,
+        0u16..4,
+        ansn_value(),
+        proptest::collection::vec(1u32..10, 0..4),
+        4u64..12,
+    )
+        .prop_map(|(orig, seq, ansn, advertised, hold_s)| Op::Tc {
+            orig,
+            seq,
+            ansn,
+            advertised,
+            hold_s,
+        })
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // TC arms repeated: integrations dominate real histories.
+    prop_oneof![
+        tc_op(),
+        tc_op(),
+        tc_op(),
+        tc_op(),
+        Just(Op::Sweep),
+        (1u64..5).prop_map(Op::Advance),
+        Just(Op::Reboot),
+    ]
+}
+
+fn advertised_links(ids: &[u32]) -> Vec<(NodeId, LinkQos)> {
+    ids.iter()
+        .enumerate()
+        .map(|(i, &n)| (NodeId(n), LinkQos::uniform(1 + (i as u64 % 5))))
+        .collect()
+}
+
+fn sorted_links(mut links: Vec<(NodeId, NodeId, LinkQos)>) -> Vec<(NodeId, NodeId, LinkQos)> {
+    links.sort_by_key(|&(a, b, _)| (a, b));
+    links
+}
+
+proptest! {
+    /// Shared-store topology ≡ per-node reference after arbitrary
+    /// TC/sweep/reboot histories — per-op return values, the ANSN
+    /// accept predicate, and the full link view all byte-identical.
+    /// A second receiver rides the same store to prove sharing does
+    /// not leak state between overlays.
+    #[test]
+    fn shared_store_equals_per_node_after_arbitrary_histories(
+        ops in proptest::collection::vec(op(), 1..50)
+    ) {
+        let store = SharedLinkStore::new();
+        let mut shared_a = SharedTopology::new(store.clone());
+        let mut shared_b = SharedTopology::new(store.clone());
+        let mut per_node_a = TopologyBase::new();
+        let mut per_node_b = TopologyBase::new();
+        let mut now = SimTime::ZERO;
+        for op in &ops {
+            match *op {
+                Op::Tc { orig, seq, ansn, ref advertised, hold_s } => {
+                    let adv = advertised_links(advertised);
+                    let hold = now + SimDuration::from_secs(hold_s);
+                    let o = NodeId(orig);
+                    prop_assert_eq!(
+                        shared_a.accepts_ansn(o, ansn, now),
+                        per_node_a.accepts_ansn(o, ansn, now),
+                        "accept predicate diverged at {}", now
+                    );
+                    let su = shared_a.process_tc_tracked(o, seq, ansn, &adv, now, hold);
+                    let pu = per_node_a.process_tc_tracked(o, ansn, &adv, now, hold);
+                    prop_assert_eq!(su, pu, "TcUpdate diverged at {}", now);
+                    // Receiver B sees the same flood one delivery later.
+                    let su_b = shared_b.process_tc_tracked(o, seq, ansn, &adv, now, hold);
+                    let pu_b = per_node_b.process_tc_tracked(o, ansn, &adv, now, hold);
+                    prop_assert_eq!(su_b, pu_b, "receiver B diverged at {}", now);
+                }
+                Op::Sweep => {
+                    shared_a.sweep(now);
+                    shared_b.sweep(now);
+                    per_node_a.sweep(now);
+                    per_node_b.sweep(now);
+                }
+                Op::Advance(secs) => now += SimDuration::from_secs(secs),
+                Op::Reboot => {
+                    shared_a.clear();
+                    per_node_a.clear();
+                }
+            }
+            prop_assert_eq!(
+                sorted_links(shared_a.links(now)),
+                sorted_links(per_node_a.links(now)),
+                "link views diverged at {}", now
+            );
+            prop_assert_eq!(shared_a.len(), per_node_a.len());
+            prop_assert_eq!(shared_a.is_empty(), per_node_a.is_empty());
+            prop_assert_eq!(
+                sorted_links(shared_b.links(now)),
+                sorted_links(per_node_b.links(now)),
+                "receiver B link views diverged at {}", now
+            );
+        }
+        // Releasing every overlay must drain the store completely.
+        shared_a.clear();
+        shared_b.clear();
+        prop_assert_eq!(store.gauges().live_slots, 0, "store leaked slots");
+    }
+
+    /// The ANSN accept/reject rule (with the reboot fix: an *expired*
+    /// record is as if the originator was never heard) matches a naive
+    /// map of the last live `(ansn, until)` per originator — in both
+    /// formulations.
+    #[test]
+    fn ansn_rule_matches_naive_map(
+        steps in proptest::collection::vec(
+            (1u32..5, ansn_value(), 4u64..12, 0u64..6),
+            1..40,
+        )
+    ) {
+        let store = SharedLinkStore::new();
+        let mut shared = SharedTopology::new(store);
+        let mut per_node = TopologyBase::new();
+        let mut naive: BTreeMap<u32, (u16, SimTime)> = BTreeMap::new();
+        let mut now = SimTime::ZERO;
+        let adv = advertised_links(&[9]);
+        for (i, &(orig, ansn, hold_s, advance)) in steps.iter().enumerate() {
+            now += SimDuration::from_secs(advance);
+            let hold = now + SimDuration::from_secs(hold_s);
+            let o = NodeId(orig);
+            let expect = match naive.get(&orig) {
+                None => true,
+                Some(&(rec, until)) => until <= now || !seq_newer(rec, ansn),
+            };
+            prop_assert_eq!(shared.accepts_ansn(o, ansn, now), expect, "shared step {}", i);
+            prop_assert_eq!(per_node.accepts_ansn(o, ansn, now), expect, "per-node step {}", i);
+            let su = shared.process_tc_tracked(o, i as u16, ansn, &adv, now, hold);
+            let pu = per_node.process_tc_tracked(o, ansn, &adv, now, hold);
+            prop_assert_eq!(su.applied, expect);
+            prop_assert_eq!(pu.applied, expect);
+            if expect {
+                naive.insert(orig, (ansn, hold));
+            }
+        }
+    }
+
+    /// The packed `(seq, until, forwarded)` duplicate-set entries match
+    /// a naive `BTreeMap` keyed `(originator, seq)` — with sequence
+    /// numbers drawn to straddle both u16 wrap points, pinning the
+    /// raw-seq binary-search order as wraparound-safe.
+    #[test]
+    fn duplicate_set_matches_naive_map_across_wraparound(
+        steps in proptest::collection::vec(
+            (
+                0u32..4,
+                prop_oneof![0u16..3, 0x7FFE_u16..=0x8001, 0xFFFD_u16..=0xFFFF],
+                any::<bool>(),
+                2u64..8,
+                0u64..4,
+                any::<bool>(),
+            ),
+            1..60,
+        )
+    ) {
+        let mut dup = DuplicateSet::new();
+        let mut naive: BTreeMap<(u32, u16), (SimTime, bool)> = BTreeMap::new();
+        let mut now = SimTime::ZERO;
+        for &(orig, seq, forward, hold_s, advance, sweep) in &steps {
+            now += SimDuration::from_secs(advance);
+            let hold = now + SimDuration::from_secs(hold_s);
+            let o = NodeId(orig);
+            if forward {
+                let entry = naive.entry((orig, seq)).or_insert((hold, false));
+                let expect_first = !entry.1;
+                entry.1 = true;
+                prop_assert_eq!(dup.mark_forwarded(o, seq, hold), expect_first);
+            } else {
+                let expect_fresh = !naive.contains_key(&(orig, seq));
+                let entry = naive.entry((orig, seq)).or_insert((hold, false));
+                entry.0 = hold;
+                prop_assert_eq!(dup.fresh(o, seq, hold), expect_fresh);
+            }
+            if sweep {
+                dup.sweep(now);
+                naive.retain(|_, &mut (until, _)| until > now);
+            }
+            prop_assert_eq!(dup.footprint().0, naive.len(), "entry counts diverged at {}", now);
+        }
+    }
+}
+
+/// Sustained churn — a stream of originators that each advertise once
+/// and then vanish — must leave every table bounded by the *live*
+/// population, not the historical one: sweeps reclaim departed
+/// originators from the topology bases, the duplicate set, and the
+/// shared store alike.
+#[test]
+fn long_churn_keeps_tables_and_store_bounded() {
+    const HOLD_S: u64 = 4;
+    let store = SharedLinkStore::new();
+    let mut shared = SharedTopology::new(store.clone());
+    let mut per_node = TopologyBase::new();
+    let mut dup = DuplicateSet::new();
+    let mut now = SimTime::ZERO;
+    for round in 0..500u32 {
+        let orig = NodeId(round);
+        let adv = advertised_links(&[round + 1, round + 2]);
+        let hold = now + SimDuration::from_secs(HOLD_S);
+        let seq = round as u16;
+        shared.process_tc_tracked(orig, seq, 0, &adv, now, hold);
+        per_node.process_tc_tracked(orig, 0, &adv, now, hold);
+        dup.fresh(orig, seq, hold);
+        now += SimDuration::from_secs(1);
+        shared.sweep(now);
+        per_node.sweep(now);
+        dup.sweep(now);
+    }
+    // Only originators inside the hold window may remain resident.
+    let bound = HOLD_S as usize;
+    assert!(
+        shared.originators() <= bound,
+        "shared overlays leak: {}",
+        shared.originators()
+    );
+    assert!(
+        per_node.originators() <= bound,
+        "per-node originators leak: {}",
+        per_node.originators()
+    );
+    assert!(
+        dup.originators() <= bound,
+        "duplicate-set originators leak: {}",
+        dup.originators()
+    );
+    let gauges = store.gauges();
+    assert!(
+        gauges.live_slots <= bound as u64,
+        "store slots leak: {}",
+        gauges.live_slots
+    );
+    // The footprints track the live population too (entries, not just
+    // originator counts).
+    assert!(shared.footprint().0 <= 2 * bound);
+    assert!(per_node.footprint().0 <= 2 * bound);
+}

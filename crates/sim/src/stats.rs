@@ -187,6 +187,15 @@ pub struct HotPathCounters {
     pub dup_peek_hits: u64,
     /// Payload bytes run through the full wire decoder.
     pub bytes_decoded: u64,
+    /// Resident protocol-table entries (topology tuples/overlays,
+    /// duplicate records, shared-store links) at sampling time — an
+    /// end-of-run *gauge*, not a monotone counter, surfaced by the
+    /// live-scale experiments and budgeted in CI.
+    pub resident_entries: u64,
+    /// Approximate resident heap bytes of the protocol tables plus the
+    /// shared store at sampling time (gauge, like
+    /// [`HotPathCounters::resident_entries`]).
+    pub resident_bytes: u64,
 }
 
 impl HotPathCounters {
@@ -205,6 +214,8 @@ impl HotPathCounters {
         }
         self.dup_peek_hits += other.dup_peek_hits;
         self.bytes_decoded += other.bytes_decoded;
+        self.resident_entries += other.resident_entries;
+        self.resident_bytes += other.resident_bytes;
     }
 
     /// Fraction of routing-table queries served from cache (0 when no
@@ -406,12 +417,16 @@ mod tests {
             tc_ring_emissions: [3, 2, 1, 0],
             dup_peek_hits: 7,
             bytes_decoded: 900,
+            resident_entries: 11,
+            resident_bytes: 256,
         };
         total.merge(&part);
         total.merge(&part);
         assert_eq!(total.tc_ring_emissions, [6, 4, 2, 0]);
         assert_eq!(total.dup_peek_hits, 14);
         assert_eq!(total.bytes_decoded, 1800);
+        assert_eq!(total.resident_entries, 22);
+        assert_eq!(total.resident_bytes, 512);
         assert_eq!(total.route_cache_hit_rate(), 8.0 / 10.0);
     }
 
