@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the region-sharded executor: the same
+//! n = 1000 live HELLO/TC protocol run executed on the single-queue
+//! reference engine and on the sharded engine at 1, 2 and 4 shards.
+//!
+//! `sharded/1` vs `single_queue` isolates the pure cost of the
+//! window/barrier machinery (provisional sequencing, record logs, the
+//! k-way merge) with zero cross-shard traffic; 2 and 4 shards add the
+//! cross-shard frame hand-off. On a single-core host the sharded runs
+//! cannot win wall-clock — the point of the group is to price the
+//! barrier/merge overhead that a multi-core host would have to amortize.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qolsr::policy::SelectorPolicy;
+use qolsr::selector::Fnbp;
+use qolsr_graph::deploy::{deploy_at, Deployment, UniformWeights};
+use qolsr_graph::{Point2, Topology};
+use qolsr_metrics::BandwidthMetric;
+use qolsr_proto::network::OlsrNetwork;
+use qolsr_proto::OlsrConfig;
+use qolsr_sim::{ExecMode, RadioConfig, SchedulerKind, SimDuration, SimRng};
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+/// Uniform deployment of `n` nodes at the paper's density 10 / radius
+/// 100, field grown with `n` — the same construction as the live scale
+/// sweep, so numbers line up with `figures scale --live`.
+fn field_topology(n: usize, seed: u64) -> Topology {
+    let (radius, density) = (100.0, 10.0);
+    let side = (n as f64 * PI * radius * radius / density).sqrt();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let positions: Vec<Point2> = (0..n)
+        .map(|_| Point2::new(rng.next_f64() * side, rng.next_f64() * side))
+        .collect();
+    let deployment = Deployment {
+        width: side,
+        height: side,
+        radius,
+        mean_degree: density,
+    };
+    deploy_at(
+        &deployment,
+        &UniformWeights::paper_defaults(),
+        positions,
+        &mut rng,
+    )
+}
+
+fn run(topo: &Topology, exec: ExecMode, secs: u64) -> u64 {
+    let mut net = OlsrNetwork::with_exec(
+        topo.clone(),
+        OlsrConfig::default(),
+        RadioConfig::default(),
+        1,
+        SchedulerKind::default(),
+        exec,
+        |_| SelectorPolicy::new(Fnbp::<BandwidthMetric>::new()),
+    );
+    net.run_for(SimDuration::from_secs(secs));
+    net.engine_stats().events
+}
+
+fn bench_sharded_engine(c: &mut Criterion) {
+    let topo = field_topology(1000, 0x0150);
+    let secs = 3;
+    let mut group = c.benchmark_group("sharded_engine_n1000");
+    group.sample_size(10);
+    group.bench_function("single_queue", |b| {
+        b.iter(|| black_box(run(&topo, ExecMode::SingleShard, secs)))
+    });
+    for shards in [1u32, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", shards),
+            &shards,
+            |b, &shards| b.iter(|| black_box(run(&topo, ExecMode::Sharded { shards }, secs))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_engine);
+criterion_main!(benches);

@@ -43,6 +43,17 @@
 //!                shared (default) or per-node (the pre-store
 //!                reference — use one process per formulation when
 //!                comparing RSS)
+//!   --dup-store S
+//!                scale --live only: duplicate-set formulation, ring
+//!                (default) or per-originator (the pre-ring reference)
+//!   --shards K   scale --live / overhead / churn: engine shard count
+//!                (default 1 = single-queue reference engine; K >= 2
+//!                runs the region-sharded parallel engine, which must
+//!                produce identical counters)
+//!   --verify-shards
+//!                scale --live only: run the sharded sweep AND a
+//!                --shards 1 reference in lockstep, exiting non-zero on
+//!                any hot-path counter divergence (CI determinism gate)
 //!   --warmup N   scale --live only: unmeasured warm-up seconds
 //!                (default 15)
 //!   --seconds N  scale --live only: measured simulated seconds
@@ -64,7 +75,7 @@ use qolsr::eval::figures::{
     bandwidth_experiment, delay_experiment, FigureOptions,
 };
 use qolsr::report::Figure;
-use qolsr_proto::TopologyStore;
+use qolsr_proto::{DuplicateStore, TopologyStore};
 
 struct Args {
     command: String,
@@ -73,6 +84,9 @@ struct Args {
     live: bool,
     sizes: Option<Vec<usize>>,
     store: Option<TopologyStore>,
+    dup_store: Option<DuplicateStore>,
+    shards: Option<u32>,
+    verify_shards: bool,
     warmup: Option<u64>,
     seconds: Option<u64>,
     max_resident_bytes: Option<u64>,
@@ -87,6 +101,9 @@ fn parse_args() -> Result<Args, String> {
     let mut live = false;
     let mut sizes: Option<Vec<usize>> = None;
     let mut store: Option<TopologyStore> = None;
+    let mut dup_store: Option<DuplicateStore> = None;
+    let mut shards: Option<u32> = None;
+    let mut verify_shards = false;
     let mut warmup: Option<u64> = None;
     let mut seconds: Option<u64> = None;
     let mut max_resident_bytes: Option<u64> = None;
@@ -131,6 +148,23 @@ fn parse_args() -> Result<Args, String> {
                     _ => return Err(format!("bad --store value: {v} (shared|per-node)")),
                 });
             }
+            "--dup-store" => {
+                let v = it.next().ok_or("--dup-store needs a value")?;
+                dup_store = Some(match v.as_str() {
+                    "ring" => DuplicateStore::Ring,
+                    "per-originator" | "per-orig" => DuplicateStore::PerOriginator,
+                    _ => return Err(format!("bad --dup-store value: {v} (ring|per-originator)")),
+                });
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                let parsed: u32 = v.parse().map_err(|_| format!("bad --shards value: {v}"))?;
+                if parsed == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                shards = Some(parsed);
+            }
+            "--verify-shards" => verify_shards = true,
             "--warmup" => {
                 let v = it.next().ok_or("--warmup needs a value")?;
                 warmup = Some(v.parse().map_err(|_| format!("bad --warmup value: {v}"))?);
@@ -183,6 +217,8 @@ fn parse_args() -> Result<Args, String> {
     let live_scale = command == "scale" && live;
     for (set, flag) in [
         (store.is_some(), "--store"),
+        (dup_store.is_some(), "--dup-store"),
+        (verify_shards, "--verify-shards"),
         (warmup.is_some(), "--warmup"),
         (seconds.is_some(), "--seconds"),
         (max_resident_bytes.is_some(), "--max-resident-bytes"),
@@ -191,6 +227,11 @@ fn parse_args() -> Result<Args, String> {
             return Err(format!("{flag} only applies to scale --live"));
         }
     }
+    if shards.is_some() && !live_scale && command != "overhead" && command != "churn" {
+        return Err(format!(
+            "--shards only applies to scale --live, overhead and churn, not {command}"
+        ));
+    }
     Ok(Args {
         command,
         opts,
@@ -198,6 +239,9 @@ fn parse_args() -> Result<Args, String> {
         live,
         sizes,
         store,
+        dup_store,
+        shards,
+        verify_shards,
         warmup,
         seconds,
         max_resident_bytes,
@@ -247,7 +291,8 @@ fn main() -> ExitCode {
             println!(
                 "commands: fig6 fig7 fig8 fig9 all ablations robustness churn scale overhead; \
                  options: --runs N --seed S --threads T --metric bandwidth|delay \
-                 --live --sizes L --store shared|per-node --warmup N --seconds N \
+                 --live --sizes L --store shared|per-node --dup-store ring|per-originator \
+                 --shards K --verify-shards --warmup N --seconds N \
                  --max-resident-bytes B --quick --out DIR --no-csv"
             );
         }
@@ -391,6 +436,9 @@ fn main() -> ExitCode {
             let mut cfg = ChurnConfig::new(opts.runs);
             cfg.seed = opts.seed;
             cfg.threads = opts.threads;
+            if let Some(shards) = args.shards {
+                cfg.shards = shards;
+            }
             let metric = args.metric;
             let results = churn_experiment_with(metric, &cfg, &SelectorKind::PAPER);
             let m = metric.name();
@@ -430,6 +478,9 @@ fn main() -> ExitCode {
             cfg.seed = opts.seed;
             if let Some(sizes) = args.sizes.clone() {
                 cfg.sizes = sizes;
+            }
+            if let Some(shards) = args.shards {
+                cfg.shards = shards;
             }
             let points = overhead_sweep(&cfg);
             println!(
@@ -501,7 +552,7 @@ fn main() -> ExitCode {
             );
         }
         "scale" if args.live => {
-            use qolsr::eval::scale::{live_figure, live_sweep, LiveConfig};
+            use qolsr::eval::scale::{live_figure, live_sweep, live_sweep_verified, LiveConfig};
             let mut cfg = LiveConfig::new(opts.runs.min(5));
             cfg.seed = opts.seed;
             if let Some(sizes) = args.sizes.clone() {
@@ -510,18 +561,42 @@ fn main() -> ExitCode {
             if let Some(store) = args.store {
                 cfg.store = store;
             }
+            if let Some(dup_store) = args.dup_store {
+                cfg.dup_store = dup_store;
+            }
+            if let Some(shards) = args.shards {
+                cfg.shards = shards;
+            }
             if let Some(warmup) = args.warmup {
                 cfg.warmup_seconds = warmup;
             }
             if let Some(seconds) = args.seconds {
                 cfg.sim_seconds = seconds;
             }
-            let points = live_sweep(&cfg);
+            let points = if args.verify_shards {
+                // Panics (non-zero exit) on any counter divergence between
+                // the sharded engine and the single-queue reference.
+                live_sweep_verified(&cfg)
+            } else {
+                live_sweep(&cfg)
+            };
             println!(
-                "# live protocol ({:?} topology store): {} s warm-up (unmeasured) \
+                "# live protocol ({:?} topology store, {:?} duplicate set, {} shard(s)): \
+                 {} s warm-up (unmeasured) \
                  + {} s measured, {} probe nodes sampled per simulated second\n",
-                cfg.store, cfg.warmup_seconds, cfg.sim_seconds, cfg.probes
+                cfg.store,
+                cfg.dup_store,
+                cfg.shards,
+                cfg.warmup_seconds,
+                cfg.sim_seconds,
+                cfg.probes
             );
+            if args.verify_shards {
+                println!(
+                    "# shard verification ok: counters identical to the \
+                     single-queue reference at every size\n"
+                );
+            }
             println!(
                 "# {:>5}  {:>10}  {:>12}  {:>12}  {:>12}  {:>10}  {:>10}  {:>8}  {:>12}  {:>10}  {:>9}",
                 "n",

@@ -36,10 +36,10 @@ use qolsr_proto::network::OlsrNetwork;
 use qolsr_proto::{AdvertisePolicy, OlsrConfig};
 use qolsr_sim::scenario::{GaussMarkovDrift, PoissonChurn, RandomWaypoint, ScenarioBuilder};
 use qolsr_sim::stats::OnlineStats;
-use qolsr_sim::{RadioConfig, Scenario, SimDuration, SimRng, SimTime};
+use qolsr_sim::{RadioConfig, Scenario, SchedulerKind, SimDuration, SimRng, SimTime};
 
 use crate::advertised::select_on_views;
-use crate::eval::{derive_seed, sharded_runs, EvalMetric, SelectorKind, ShardPlan};
+use crate::eval::{derive_seed, exec_mode, sharded_runs, EvalMetric, SelectorKind, ShardPlan};
 use crate::policy::SelectorPolicy;
 use crate::report::{Figure, Point, Series};
 use crate::selector::AnsSelector;
@@ -140,6 +140,10 @@ pub struct ChurnConfig {
     /// churn experiment under non-default timing, TC scoping
     /// ([`qolsr_proto::TcScoping`]) or decode-path settings.
     pub olsr: OlsrConfig,
+    /// Engine shard count: `1` runs the single-queue reference engine,
+    /// `k >= 2` the region-sharded parallel engine (identical counters
+    /// either way — see [`crate::eval::exec_mode`]).
+    pub shards: u32,
 }
 
 impl ChurnConfig {
@@ -160,6 +164,7 @@ impl ChurnConfig {
             threads: 0,
             scenario: ChurnScenario::default(),
             olsr: OlsrConfig::default(),
+            shards: 1,
         }
     }
 
@@ -328,10 +333,15 @@ fn single_churn_run<M: EvalMetric>(
     let times = cfg.sample_times();
 
     for (si, &kind) in kinds.iter().enumerate() {
-        let mut net =
-            OlsrNetwork::new(topo.clone(), cfg.olsr, RadioConfig::default(), seed, |_| {
-                SelectorPolicy::new(kind.instantiate::<M>())
-            });
+        let mut net = OlsrNetwork::with_exec(
+            topo.clone(),
+            cfg.olsr,
+            RadioConfig::default(),
+            seed,
+            SchedulerKind::default(),
+            exec_mode(cfg.shards),
+            |_| SelectorPolicy::new(kind.instantiate::<M>()),
+        );
         // The world stays static through warm-up; dynamics start after.
         net.install_scenario_at(&scenario, SimTime::ZERO + cfg.warmup);
 

@@ -24,11 +24,11 @@ use qolsr_metrics::BandwidthMetric;
 use qolsr_proto::network::OlsrNetwork;
 use qolsr_proto::{FisheyeRings, OlsrConfig, TcScoping};
 use qolsr_sim::stats::{HotPathCounters, OnlineStats};
-use qolsr_sim::{RadioConfig, SimDuration, SimRng};
+use qolsr_sim::{RadioConfig, SchedulerKind, SimDuration, SimRng};
 
 use crate::eval::churn::{probe_route, ProbeOutcome};
-use crate::eval::derive_seed;
 use crate::eval::scale::{deploy_field, field_side};
+use crate::eval::{derive_seed, exec_mode};
 use crate::policy::SelectorPolicy;
 use crate::report::{Figure, Point, Series};
 use crate::selector::Fnbp;
@@ -57,6 +57,10 @@ pub struct OverheadConfig {
     pub probes: usize,
     /// The scoping policies to compare, with their table labels.
     pub policies: Vec<(String, TcScoping)>,
+    /// Engine shard count: `1` runs the single-queue reference engine,
+    /// `k >= 2` the region-sharded parallel engine (identical counters
+    /// either way — see [`crate::eval::exec_mode`]).
+    pub shards: u32,
 }
 
 impl OverheadConfig {
@@ -78,6 +82,7 @@ impl OverheadConfig {
             sim_seconds: 30,
             probes: 64,
             policies: default_policies(),
+            shards: 1,
         }
     }
 
@@ -201,11 +206,17 @@ fn single_run(
         tc_scoping: scoping,
         ..OlsrConfig::default()
     };
-    let mut net = OlsrNetwork::new(topo.clone(), config, RadioConfig::default(), seed, |_| {
-        SelectorPolicy::new(Fnbp::<BandwidthMetric>::new())
-    });
+    let mut net = OlsrNetwork::with_exec(
+        topo.clone(),
+        config,
+        RadioConfig::default(),
+        seed,
+        SchedulerKind::default(),
+        exec_mode(cfg.shards),
+        |_| SelectorPolicy::new(Fnbp::<BandwidthMetric>::new()),
+    );
     net.run_for(SimDuration::from_secs(cfg.warmup_seconds));
-    let engine0 = net.sim().stats();
+    let engine0 = net.engine_stats();
     let nodes0 = net.total_stats();
 
     let started = Instant::now();
@@ -228,7 +239,7 @@ fn single_run(
         .wall_ms_per_sim_s
         .push(elapsed_ms / cfg.sim_seconds as f64);
 
-    let engine = net.sim().stats();
+    let engine = net.engine_stats();
     let nodes = net.total_stats();
     let mut tc_ring_emissions = [0u64; 4];
     for (delta, (after, before)) in tc_ring_emissions

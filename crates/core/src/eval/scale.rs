@@ -26,13 +26,13 @@ use qolsr_graph::deploy::{deploy_at, Deployment, UniformWeights};
 use qolsr_graph::{NodeId, Point2, Topology};
 use qolsr_metrics::BandwidthMetric;
 use qolsr_proto::network::OlsrNetwork;
-use qolsr_proto::{OlsrConfig, TopologyStore};
+use qolsr_proto::{DuplicateStore, OlsrConfig, TopologyStore};
 use qolsr_sim::scenario::{RandomWaypoint, ScenarioBuilder};
 use qolsr_sim::stats::{HotPathCounters, OnlineStats};
-use qolsr_sim::{RadioConfig, SimDuration, SimRng};
+use qolsr_sim::{RadioConfig, SchedulerKind, SimDuration, SimRng};
 
 use crate::advertised::build_advertised;
-use crate::eval::{derive_seed, resolve_workers};
+use crate::eval::{derive_seed, exec_mode, resolve_workers};
 use crate::policy::SelectorPolicy;
 use crate::report::{Figure, Point, Series};
 use crate::selector::Fnbp;
@@ -238,6 +238,14 @@ pub struct LiveConfig {
     /// by default; [`TopologyStore::PerNode`] is the pre-store
     /// reference, for memory comparisons).
     pub store: TopologyStore,
+    /// Duplicate-set representation the nodes run (expiry-ordered ring
+    /// by default; [`DuplicateStore::PerOriginator`] is the reference,
+    /// for memory comparisons).
+    pub dup_store: DuplicateStore,
+    /// Engine shard count: `1` runs the single-queue reference engine,
+    /// `k >= 2` the region-sharded parallel engine (identical counters
+    /// either way — see [`crate::eval::exec_mode`]).
+    pub shards: u32,
 }
 
 impl LiveConfig {
@@ -257,6 +265,8 @@ impl LiveConfig {
             sim_seconds: 10,
             probes: 64,
             store: TopologyStore::default(),
+            dup_store: DuplicateStore::default(),
+            shards: 1,
         }
     }
 
@@ -348,14 +358,20 @@ pub fn live_sweep(cfg: &LiveConfig) -> Vec<LivePoint> {
                 let topo = deploy_field(n, side, cfg.radius, cfg.density, &cfg.weights, seed);
                 let proto_cfg = OlsrConfig {
                     topology_store: cfg.store,
+                    duplicate_store: cfg.dup_store,
                     ..OlsrConfig::default()
                 };
-                let mut net =
-                    OlsrNetwork::new(topo, proto_cfg, RadioConfig::default(), seed, |_| {
-                        SelectorPolicy::new(Fnbp::<BandwidthMetric>::new())
-                    });
+                let mut net = OlsrNetwork::with_exec(
+                    topo,
+                    proto_cfg,
+                    RadioConfig::default(),
+                    seed,
+                    SchedulerKind::default(),
+                    exec_mode(cfg.shards),
+                    |_| SelectorPolicy::new(Fnbp::<BandwidthMetric>::new()),
+                );
                 net.run_for(SimDuration::from_secs(cfg.warmup_seconds));
-                let engine0 = net.sim().stats();
+                let engine0 = net.engine_stats();
                 let nodes0 = net.total_stats();
 
                 let started = Instant::now();
@@ -371,7 +387,7 @@ pub fn live_sweep(cfg: &LiveConfig) -> Vec<LivePoint> {
                     .wall_ms_per_sim_s
                     .push(elapsed_ms / cfg.sim_seconds as f64);
 
-                let engine = net.sim().stats();
+                let engine = net.engine_stats();
                 let nodes = net.total_stats();
                 let mut tc_ring_emissions = [0u64; 4];
                 for (delta, (after, before)) in tc_ring_emissions
@@ -413,6 +429,53 @@ pub fn live_sweep(cfg: &LiveConfig) -> Vec<LivePoint> {
             point
         })
         .collect()
+}
+
+/// Runs the live sweep on the configured engine **and** on the
+/// single-queue reference, asserting that every protocol and engine
+/// counter matches exactly — the shard-invariance smoke CI runs with
+/// `--shards 2 --verify-shards`. The resident-memory gauges are the
+/// one legitimate difference (per-shard intern arenas aggregate
+/// differently), so they are excluded from the comparison. Returns the
+/// configured engine's points.
+///
+/// # Panics
+///
+/// Panics if any compared counter differs between the two engines.
+pub fn live_sweep_verified(cfg: &LiveConfig) -> Vec<LivePoint> {
+    let sharded = live_sweep(cfg);
+    let reference = live_sweep(&LiveConfig {
+        shards: 1,
+        ..cfg.clone()
+    });
+    // Everything except the store-dependent residency gauges.
+    let comparable = |c: &HotPathCounters| {
+        (
+            c.events_popped,
+            c.timers_fired,
+            c.routes_recomputed,
+            c.route_cache_hits,
+            c.tc_ring_emissions,
+            c.dup_peek_hits,
+            c.bytes_decoded,
+        )
+    };
+    for (s, r) in sharded.iter().zip(&reference) {
+        assert_eq!(
+            comparable(&s.totals),
+            comparable(&r.totals),
+            "n={}: sharded engine (shards={}) diverged from the single-queue reference",
+            s.nodes,
+            cfg.shards,
+        );
+        assert_eq!(
+            s.deliveries.mean(),
+            r.deliveries.mean(),
+            "n={}: delivery counts diverged",
+            s.nodes
+        );
+    }
+    sharded
 }
 
 /// Renders the live sweep as a figure (x = node count).
@@ -511,6 +574,52 @@ mod tests {
         assert_eq!(a[0].totals, b[0].totals);
         assert_eq!(a[0].events.mean(), b[0].events.mean());
         assert_eq!(a[0].deliveries.mean(), b[0].deliveries.mean());
+    }
+
+    #[test]
+    fn sharded_live_sweep_matches_single_queue() {
+        let cfg = LiveConfig {
+            sizes: vec![40],
+            warmup_seconds: 3,
+            sim_seconds: 2,
+            probes: 4,
+            shards: 2,
+            ..LiveConfig::new(1)
+        };
+        // `live_sweep_verified` asserts counter parity internally.
+        let points = live_sweep_verified(&cfg);
+        assert_eq!(points.len(), 1);
+        assert!(points[0].totals.events_popped > 0);
+    }
+
+    #[test]
+    fn duplicate_store_is_counter_invisible() {
+        let run = |dup_store| {
+            let cfg = LiveConfig {
+                sizes: vec![30],
+                warmup_seconds: 2,
+                sim_seconds: 2,
+                probes: 4,
+                dup_store,
+                ..LiveConfig::new(1)
+            };
+            let p = live_sweep(&cfg);
+            let t = p[0].totals;
+            // Everything except the representation-dependent residency
+            // gauges must match across duplicate-store formulations.
+            (
+                t.events_popped,
+                t.timers_fired,
+                t.routes_recomputed,
+                t.route_cache_hits,
+                t.dup_peek_hits,
+                t.bytes_decoded,
+            )
+        };
+        assert_eq!(
+            run(DuplicateStore::Ring),
+            run(DuplicateStore::PerOriginator)
+        );
     }
 
     #[test]

@@ -36,9 +36,8 @@
 //! # Ok::<(), qolsr_graph::TopologyError>(())
 //! ```
 
-use std::cell::RefCell;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use qolsr_metrics::LinkQos;
 
@@ -128,7 +127,11 @@ pub struct DynamicTopology {
     active: Vec<bool>,
     radius: f64,
     epoch: u64,
-    views: RefCell<Vec<CachedView>>,
+    /// Epoch-keyed per-node view cache. A `Mutex` (not `RefCell`) so the
+    /// world is `Sync` and can be shared read-only across shard worker
+    /// threads; it is uncontended in practice — view extraction happens
+    /// between engine steps, not inside parallel windows.
+    views: Mutex<Vec<CachedView>>,
     /// Spatial index over `positions` (inactive nodes included — they
     /// keep travelling while powered off). Maintained incrementally by
     /// `Move` events so every scenario model shares one up-to-date grid
@@ -149,7 +152,7 @@ impl Clone for DynamicTopology {
             active: self.active.clone(),
             radius: self.radius,
             epoch: self.epoch,
-            views: RefCell::new(vec![None; self.positions.len()]),
+            views: Mutex::new(vec![None; self.positions.len()]),
             grid: self.grid.clone(),
             position_epochs: self.position_epochs.clone(),
         }
@@ -186,7 +189,7 @@ impl DynamicTopology {
             active: vec![true; n],
             radius: initial.radius(),
             epoch: 0,
-            views: RefCell::new(vec![None; n]),
+            views: Mutex::new(vec![None; n]),
             grid,
             position_epochs: vec![0; n],
         }
@@ -375,7 +378,7 @@ impl DynamicTopology {
     /// truth and cached per `(node, epoch)`: repeated calls between world
     /// changes return the same `Arc` without re-extraction.
     pub fn local_view(&self, u: NodeId) -> Arc<LocalView> {
-        let mut views = self.views.borrow_mut();
+        let mut views = self.views.lock().unwrap_or_else(PoisonError::into_inner);
         let slot = &mut views[u.index()];
         if let Some((epoch, view)) = slot {
             if *epoch == self.epoch {

@@ -172,6 +172,22 @@ pub enum TopologyStore {
     PerNode,
 }
 
+/// Which duplicate-set representation nodes use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplicateStore {
+    /// A single expiry-ordered ring buffer with a hashed position index
+    /// ([`crate::tables::DuplicateRing`]): inserts append at the back,
+    /// the sweep pops expired entries off the front in O(expired), and
+    /// lookups are one hash probe instead of two binary searches.
+    #[default]
+    Ring,
+    /// Per-originator seq-sorted entry lists
+    /// ([`crate::tables::DuplicateSet`]) — the original formulation,
+    /// kept alive as the differential reference the ring is pinned
+    /// against.
+    PerOriginator,
+}
+
 /// OLSR protocol configuration (RFC 3626 §18 timing defaults plus the
 /// TC scoping and decode-path knobs of this implementation).
 ///
@@ -208,6 +224,9 @@ pub struct OlsrConfig {
     /// Topology-base formulation (shared interned store by default;
     /// [`TopologyStore::PerNode`] is the differential reference).
     pub topology_store: TopologyStore,
+    /// Duplicate-set representation (expiry-ordered ring by default;
+    /// [`DuplicateStore::PerOriginator`] is the differential reference).
+    pub duplicate_store: DuplicateStore,
 }
 
 impl Default for OlsrConfig {
@@ -221,6 +240,7 @@ impl Default for OlsrConfig {
             tc_scoping: TcScoping::Uniform,
             decode: DecodePath::Peek,
             topology_store: TopologyStore::Shared,
+            duplicate_store: DuplicateStore::Ring,
         }
     }
 }
@@ -255,6 +275,7 @@ mod tests {
         assert_eq!(c.tc_scoping, TcScoping::Uniform);
         assert_eq!(c.decode, DecodePath::Peek);
         assert_eq!(c.topology_store, TopologyStore::Shared);
+        assert_eq!(c.duplicate_store, DuplicateStore::Ring);
     }
 
     #[test]

@@ -147,7 +147,9 @@ pub mod store;
 pub mod tables;
 pub mod wire;
 
-pub use config::{DecodePath, FisheyeRing, FisheyeRings, OlsrConfig, TcScoping, TopologyStore};
+pub use config::{
+    DecodePath, DuplicateStore, FisheyeRing, FisheyeRings, OlsrConfig, TcScoping, TopologyStore,
+};
 pub use node::{AdvertisePolicy, MprSelectorPolicy, NodeStats, OlsrNode, TableFootprint};
 pub use routing::{RouteCache, RouteEntry, RouteScratch};
 pub use store::{SharedLinkStore, StoreGauges};

@@ -2,21 +2,41 @@
 //! engine — optionally under a mobility/churn scenario — and extract
 //! converged protocol state.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
-use qolsr_graph::{DynamicTopology, LocalView, NodeId, Topology};
+use qolsr_graph::{DynamicTopology, LocalView, NodeId, Topology, WorldEvent};
 use qolsr_metrics::LinkQos;
-use qolsr_sim::{RadioConfig, Scenario, SchedulerKind, SimDuration, SimTime, Simulator};
+use qolsr_sim::trace::TraceBuffer;
+use qolsr_sim::{
+    ExecMode, RadioConfig, Scenario, SchedulerKind, ShardedSimulator, SimDuration, SimStats,
+    SimTime, Simulator,
+};
 
 use crate::config::{OlsrConfig, TopologyStore};
 use crate::node::{AdvertisePolicy, MprSelectorPolicy, NodeStats, OlsrNode, TableFootprint};
 use crate::store::{SharedLinkStore, StoreGauges};
 
+/// The execution engine behind an [`OlsrNetwork`]: the single-queue
+/// reference loop, or the region-sharded parallel loop. With zero radio
+/// jitter the two replay byte-identically (the sharded engine's
+/// determinism contract), so every protocol-level observable is
+/// engine-independent.
+enum Engine<P: AdvertisePolicy> {
+    Single(Simulator<OlsrNode<P>>),
+    Sharded(ShardedSimulator<OlsrNode<P>>),
+}
+
 /// An OLSR network simulation: one [`OlsrNode`] per topology node.
 pub struct OlsrNetwork<P: AdvertisePolicy> {
-    sim: Simulator<OlsrNode<P>>,
-    /// The network-wide interned link-set store all nodes share under
-    /// [`TopologyStore::Shared`]; absent under the per-node reference.
-    store: Option<SharedLinkStore>,
+    engine: Engine<P>,
+    /// The interned link-set arenas nodes share under
+    /// [`TopologyStore::Shared`]: one network-wide store on the
+    /// single-queue engine, one arena *per shard* on the sharded engine
+    /// (nodes only ever intern into their home shard's arena, keeping
+    /// the store lock uncontended across shard threads). Empty under
+    /// the per-node reference.
+    stores: Vec<SharedLinkStore>,
 }
 
 impl OlsrNetwork<MprSelectorPolicy> {
@@ -65,65 +85,224 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
         radio: RadioConfig,
         seed: u64,
         scheduler: SchedulerKind,
+        policy: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        Self::with_exec(
+            topology,
+            config,
+            radio,
+            seed,
+            scheduler,
+            ExecMode::SingleShard,
+            policy,
+        )
+    }
+
+    /// Like [`OlsrNetwork::with_scheduler`], but with an explicit
+    /// execution mode. Under [`ExecMode::Sharded`] the network runs on
+    /// the region-sharded parallel engine; with the default zero radio
+    /// jitter every observable (stats, traces, tables, routes) is
+    /// byte-identical to [`ExecMode::SingleShard`] for any shard count.
+    ///
+    /// Under [`TopologyStore::Shared`] the sharded network builds one
+    /// intern arena per shard and each node feeds its home shard's
+    /// arena (re-binding when churn re-homes it), so shard threads
+    /// never contend on a store lock. Store gauges therefore aggregate
+    /// differently across shard counts — they are the one observable
+    /// excluded from the shard-invariance contract.
+    pub fn with_exec(
+        topology: Topology,
+        config: OlsrConfig,
+        radio: RadioConfig,
+        seed: u64,
+        scheduler: SchedulerKind,
+        exec: ExecMode,
         mut policy: impl FnMut(NodeId) -> P,
     ) -> Self {
-        let store = match config.topology_store {
-            TopologyStore::Shared => Some(SharedLinkStore::new()),
-            TopologyStore::PerNode => None,
-        };
-        let sim = Simulator::with_scheduler(topology, radio, seed, scheduler, |id| match &store {
-            Some(store) => OlsrNode::with_store(id, config, policy(id), store.clone()),
-            None => OlsrNode::new(id, config, policy(id)),
-        });
-        Self { sim, store }
+        match exec {
+            ExecMode::SingleShard => {
+                let store = match config.topology_store {
+                    TopologyStore::Shared => Some(SharedLinkStore::new()),
+                    TopologyStore::PerNode => None,
+                };
+                let sim =
+                    Simulator::with_scheduler(
+                        topology,
+                        radio,
+                        seed,
+                        scheduler,
+                        |id| match &store {
+                            Some(store) => {
+                                OlsrNode::with_store(id, config, policy(id), store.clone())
+                            }
+                            None => OlsrNode::new(id, config, policy(id)),
+                        },
+                    );
+                Self {
+                    engine: Engine::Single(sim),
+                    stores: store.into_iter().collect(),
+                }
+            }
+            ExecMode::Sharded { shards } => {
+                // Mirror the engine's shard-count clamp so the arena
+                // table and the shard map always agree.
+                let k = (shards.max(1) as usize).min(topology.len().max(1));
+                let arenas: Option<Arc<[SharedLinkStore]>> = match config.topology_store {
+                    TopologyStore::Shared => Some((0..k).map(|_| SharedLinkStore::new()).collect()),
+                    TopologyStore::PerNode => None,
+                };
+                let sim = ShardedSimulator::with_scheduler(
+                    topology,
+                    radio,
+                    seed,
+                    scheduler,
+                    shards,
+                    |id, shard| match &arenas {
+                        Some(arenas) => OlsrNode::with_store_table(
+                            id,
+                            config,
+                            policy(id),
+                            arenas.clone(),
+                            shard,
+                        ),
+                        None => OlsrNode::new(id, config, policy(id)),
+                    },
+                );
+                Self {
+                    engine: Engine::Sharded(sim),
+                    stores: arenas.map(|a| a.to_vec()).unwrap_or_default(),
+                }
+            }
+        }
     }
 
     /// Schedules a generated mobility/churn scenario into the engine's
     /// world-event stream, starting at virtual time zero.
     pub fn install_scenario(&mut self, scenario: &Scenario) {
-        scenario.install(&mut self.sim);
+        self.install_scenario_at(scenario, SimTime::ZERO);
     }
 
     /// Schedules a scenario shifted to begin at `start` (warm up the
     /// protocol on the static world first, then let it move).
     pub fn install_scenario_at(&mut self, scenario: &Scenario, start: SimTime) {
-        scenario.install_at(&mut self.sim, start);
+        match &mut self.engine {
+            Engine::Single(sim) => scenario.install_at(sim, start),
+            Engine::Sharded(sim) => {
+                let offset = start - SimTime::ZERO;
+                sim.schedule_world_events(
+                    scenario
+                        .events()
+                        .iter()
+                        .map(|te| (te.at + offset, te.event)),
+                );
+            }
+        }
+    }
+
+    /// Schedules a single world event, engine-independently.
+    pub fn schedule_world(&mut self, at: SimTime, event: WorldEvent) {
+        match &mut self.engine {
+            Engine::Single(sim) => sim.schedule_world(at, event),
+            Engine::Sharded(sim) => sim.schedule_world(at, event),
+        }
     }
 
     /// Advances the simulation by `d`.
     pub fn run_for(&mut self, d: SimDuration) {
-        self.sim.run_for(d);
+        match &mut self.engine {
+            Engine::Single(sim) => sim.run_for(d),
+            Engine::Sharded(sim) => sim.run_for(d),
+        }
     }
 
     /// Advances the simulation up to the absolute instant `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        self.sim.run_until(t);
+        match &mut self.engine {
+            Engine::Single(sim) => sim.run_until(t),
+            Engine::Sharded(sim) => sim.run_until(t),
+        }
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.sim.now()
+        match &self.engine {
+            Engine::Single(sim) => sim.now(),
+            Engine::Sharded(sim) => sim.now(),
+        }
     }
 
-    /// The underlying simulator.
+    /// Engine statistics so far (events dispatched, deliveries, world
+    /// changes, …) — engine-independent, unlike [`OlsrNetwork::sim`].
+    pub fn engine_stats(&self) -> SimStats {
+        match &self.engine {
+            Engine::Single(sim) => sim.stats(),
+            Engine::Sharded(sim) => sim.stats(),
+        }
+    }
+
+    /// Enables the engine event-trace ring buffer.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        match &mut self.engine {
+            Engine::Single(sim) => sim.enable_trace(capacity),
+            Engine::Sharded(sim) => sim.enable_trace(capacity),
+        }
+    }
+
+    /// The engine trace buffer, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        match &self.engine {
+            Engine::Single(sim) => sim.trace(),
+            Engine::Sharded(sim) => sim.trace(),
+        }
+    }
+
+    /// The underlying single-queue simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`ExecMode::Sharded`] — use the engine-independent
+    /// facade ([`OlsrNetwork::engine_stats`],
+    /// [`OlsrNetwork::schedule_world`], [`OlsrNetwork::trace`], …)
+    /// in code that must run on both engines.
     pub fn sim(&self) -> &Simulator<OlsrNode<P>> {
-        &self.sim
+        match &self.engine {
+            Engine::Single(sim) => sim,
+            Engine::Sharded(_) => panic!("OlsrNetwork::sim on a sharded network"),
+        }
     }
 
-    /// Mutable access to the underlying simulator (e.g. to schedule world
-    /// events directly).
+    /// Mutable access to the underlying single-queue simulator (e.g. to
+    /// schedule world events directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`ExecMode::Sharded`]; see [`OlsrNetwork::sim`].
     pub fn sim_mut(&mut self) -> &mut Simulator<OlsrNode<P>> {
-        &mut self.sim
+        match &mut self.engine {
+            Engine::Single(sim) => sim,
+            Engine::Sharded(_) => panic!("OlsrNetwork::sim_mut on a sharded network"),
+        }
+    }
+
+    /// The underlying sharded simulator, if running sharded.
+    pub fn sharded(&self) -> Option<&ShardedSimulator<OlsrNode<P>>> {
+        match &self.engine {
+            Engine::Single(_) => None,
+            Engine::Sharded(sim) => Some(sim),
+        }
     }
 
     /// The current ground-truth world.
     pub fn world(&self) -> &DynamicTopology {
-        self.sim.world()
+        match &self.engine {
+            Engine::Single(sim) => sim.world(),
+            Engine::Sharded(sim) => sim.world(),
+        }
     }
 
     /// An immutable snapshot of the current ground-truth topology.
     pub fn topology(&self) -> Topology {
-        self.sim.world().snapshot()
+        self.world().snapshot()
     }
 
     /// The protocol node of `n`.
@@ -132,7 +311,19 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
     ///
     /// Panics if `n` is out of range.
     pub fn node(&self, n: NodeId) -> &OlsrNode<P> {
-        self.sim.actor(n)
+        match &self.engine {
+            Engine::Single(sim) => sim.actor(n),
+            Engine::Sharded(sim) => sim.actor(n),
+        }
+    }
+
+    /// Iterates every protocol node in ascending node-id order,
+    /// engine-independently.
+    fn actors(&self) -> Box<dyn Iterator<Item = (NodeId, &OlsrNode<P>)> + '_> {
+        match &self.engine {
+            Engine::Single(sim) => Box::new(sim.actors()),
+            Engine::Sharded(sim) => Box::new(sim.actors()),
+        }
     }
 
     /// Symmetric neighbors of `n` at the current time, ascending.
@@ -150,7 +341,7 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
     /// topology remote nodes route over.
     pub fn advertised_topology(&self) -> Vec<(NodeId, NodeId, LinkQos)> {
         let mut links = Vec::new();
-        for (id, node) in self.sim.actors() {
+        for (id, node) in self.actors() {
             for &(n, qos) in node.advertised() {
                 links.push((id, n, qos));
             }
@@ -161,7 +352,7 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
     /// Sum of per-node statistics.
     pub fn total_stats(&self) -> NodeStats {
         let mut total = NodeStats::default();
-        for (_, node) in self.sim.actors() {
+        for (_, node) in self.actors() {
             let s = node.stats();
             total.hello_sent += s.hello_sent;
             total.tc_sent += s.tc_sent;
@@ -181,15 +372,25 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
         total
     }
 
-    /// The shared store's resident-memory and dedup statistics, or the
+    /// The shared stores' resident-memory and dedup statistics (summed
+    /// over the per-shard arenas under [`ExecMode::Sharded`]), or the
     /// zero gauges under [`TopologyStore::PerNode`] (nothing is shared
     /// there — the per-node bytes show up in
-    /// [`OlsrNetwork::total_footprint`] instead).
+    /// [`OlsrNetwork::total_footprint`] instead). Because arena
+    /// boundaries follow shard boundaries, these gauges — unlike every
+    /// protocol observable — legitimately vary with the shard count
+    /// (a link set advertised in two shards is interned twice).
     pub fn store_gauges(&self) -> StoreGauges {
-        self.store
-            .as_ref()
-            .map(SharedLinkStore::gauges)
-            .unwrap_or_default()
+        let mut total = StoreGauges::default();
+        for store in &self.stores {
+            let g = store.gauges();
+            total.live_slots += g.live_slots;
+            total.resident_links += g.resident_links;
+            total.resident_bytes += g.resident_bytes;
+            total.dedup_hits += g.dedup_hits;
+            total.slots_interned += g.slots_interned;
+        }
+        total
     }
 
     /// Sum of per-node resident table footprints. Together with
@@ -198,7 +399,7 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
     /// `total_footprint().bytes + store_gauges().resident_bytes`.
     pub fn total_footprint(&self) -> TableFootprint {
         let mut total = TableFootprint::default();
-        for (_, node) in self.sim.actors() {
+        for (_, node) in self.actors() {
             total.merge(&node.table_footprint());
         }
         total
@@ -313,7 +514,7 @@ mod tests {
         assert_eq!(routes.get(&NodeId(4)).expect("route").hops, 3); // 0-1-3-4
 
         // The detour dies: routing must fall back to the 4-hop line.
-        net.sim.schedule_world(
+        net.schedule_world(
             net.now(),
             WorldEvent::LinkDown {
                 a: NodeId(1),
@@ -340,7 +541,7 @@ mod tests {
         net.run_for(SimDuration::from_secs(5));
         assert!(net.symmetric_neighbors(a).is_empty());
 
-        net.sim.schedule_world(
+        net.schedule_world(
             net.now(),
             WorldEvent::LinkUp {
                 a,
@@ -353,6 +554,30 @@ mod tests {
         let view = net.local_view(a);
         let lc = view.local_index(c).expect("c in view");
         assert_eq!(view.direct_qos(lc), Some(LinkQos::uniform(6)));
+    }
+
+    #[test]
+    fn duplicate_ring_is_protocol_invisible() {
+        use crate::config::DuplicateStore;
+
+        // The duplicate-set representation must not change a single
+        // protocol answer: identical stats and advertised topology
+        // under the ring and the per-originator reference.
+        let run = |dup| {
+            let cfg = OlsrConfig {
+                duplicate_store: dup,
+                ..OlsrConfig::default()
+            };
+            let mut net = OlsrNetwork::new(line5(), cfg, RadioConfig::default(), 21, |_| {
+                MprSelectorPolicy
+            });
+            net.run_for(SimDuration::from_secs(40));
+            (net.total_stats(), net.advertised_topology())
+        };
+        assert_eq!(
+            run(DuplicateStore::Ring),
+            run(DuplicateStore::PerOriginator)
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The OLSR protocol state machine as a simulation actor.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use bytes::Bytes;
 use qolsr_graph::{LocalView, NodeId};
@@ -14,7 +14,7 @@ use crate::messages::{Body, Hello, HelloNeighbor, LinkState, Message, Tc};
 use crate::mpr::select_mprs;
 use crate::routing::{reference_routes, RouteCache, RouteEntry};
 use crate::store::{SharedLinkStore, SharedTopology};
-use crate::tables::{DuplicateSet, NeighborTables, NodeTopology, TopologyBase};
+use crate::tables::{Duplicates, NeighborTables, NodeTopology, TopologyBase};
 use crate::wire;
 use crate::wire::{Peek, TcPeek};
 
@@ -130,7 +130,14 @@ pub struct OlsrNode<P> {
     config: OlsrConfig,
     neighbors: NeighborTables,
     topology: NodeTopology,
-    duplicates: DuplicateSet,
+    /// The per-shard intern-arena table under the sharded engine with
+    /// [`TopologyStore::Shared`]: [`Actor::on_rehome`] re-binds
+    /// `topology` to the destination shard's arena when churn moves
+    /// this node across shards. `None` on the single-queue engine (one
+    /// network-wide arena, never re-bound) and under
+    /// [`TopologyStore::PerNode`].
+    stores: Option<Arc<[SharedLinkStore]>>,
+    duplicates: Duplicates,
     mprs: BTreeSet<NodeId>,
     last_ans: Vec<(NodeId, LinkQos)>,
     ansn: u16,
@@ -178,7 +185,8 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
             config,
             neighbors: NeighborTables::new(),
             topology,
-            duplicates: DuplicateSet::new(),
+            stores: None,
+            duplicates: Duplicates::new(config.duplicate_store),
             mprs: BTreeSet::new(),
             last_ans: Vec::new(),
             ansn: 0,
@@ -194,6 +202,30 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
             hello_buf: Vec::new(),
             adv_buf: Vec::new(),
         }
+    }
+
+    /// Creates a node for the sharded engine: under
+    /// [`TopologyStore::Shared`] it interns into the arena of its home
+    /// `shard` and re-binds to the destination shard's arena whenever
+    /// the engine re-homes it after a churn rejoin
+    /// ([`Actor::on_rehome`]). Under [`TopologyStore::PerNode`] the
+    /// arena table is unused (not retained).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range for `stores`.
+    pub fn with_store_table(
+        id: NodeId,
+        config: OlsrConfig,
+        policy: P,
+        stores: Arc<[SharedLinkStore]>,
+        shard: usize,
+    ) -> Self {
+        let mut node = Self::with_store(id, config, policy, stores[shard].clone());
+        if matches!(config.topology_store, TopologyStore::Shared) {
+            node.stores = Some(stores);
+        }
+        node
     }
 
     /// This node's id.
@@ -662,13 +694,23 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
         // so do the route-cache counters).
         self.neighbors = NeighborTables::new();
         self.topology.clear();
-        self.duplicates = DuplicateSet::new();
+        self.duplicates = Duplicates::new(self.config.duplicate_store);
         self.mprs = BTreeSet::new();
         self.last_ans = Vec::new();
         // Restart the fisheye rotation at the full-radius ring: a
         // rejoining node should re-announce itself network-wide first.
         self.tc_tick = 0;
         self.invalidate_routes();
+    }
+
+    fn on_rehome(&mut self, shard: usize) {
+        // The sharded engine re-homed this node after a rejoin reset:
+        // re-bind the shared topology base to the destination shard's
+        // intern arena. `on_reset` already ran, so `topology.clear()`
+        // has released every handle into the old shard's arena.
+        if let Some(stores) = &self.stores {
+            self.topology = NodeTopology::Shared(SharedTopology::new(stores[shard].clone()));
+        }
     }
 }
 

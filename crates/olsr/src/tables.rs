@@ -11,10 +11,13 @@
 //! for convenience and are pinned ≡ the flat storage by differential
 //! tests against the original `BTreeMap` model.
 
+use std::collections::VecDeque;
+
 use qolsr_graph::{LocalView, NodeId};
 use qolsr_metrics::LinkQos;
 use qolsr_sim::SimTime;
 
+use crate::config::DuplicateStore;
 use crate::messages::Hello;
 use crate::store::SharedTopology;
 
@@ -871,6 +874,370 @@ impl DuplicateSet {
     }
 }
 
+/// Empty slot sentinel in the [`DuplicateRing`] position index. The
+/// compaction rebase keeps every stored absolute position strictly
+/// below it.
+const EMPTY_POS: u32 = u32::MAX;
+
+/// Tombstone marker for ring slots vacated by a refresh re-push.
+const RING_TOMB: u64 = u64::MAX;
+
+fn ring_key(originator: NodeId, seq: u16) -> u64 {
+    (u64::from(originator.0) << 16) | u64::from(seq)
+}
+
+/// Duplicate suppression over a single expiry-ordered ring buffer — the
+/// default representation [`DuplicateSet`] is the differential
+/// reference for.
+///
+/// Entries live in one insertion-ordered ring shared by all
+/// originators, with a small open-addressed index mapping
+/// `(originator, seq)` to the entry's position. The protocol always
+/// calls with non-decreasing hold horizons (`now + DUP_HOLD_TIME` with
+/// a constant hold), so ring order **is** expiry order: a refresh
+/// tombstones the old slot and re-pushes at the back, keeping the
+/// invariant, and the sweep just pops expired entries off the front —
+/// `O(expired)` instead of a full retain scan over every originator
+/// list. Lookups are one hash probe instead of two binary searches,
+/// and inserts never shift list tails.
+///
+/// The index stores only 4-byte *absolute* ring positions (`popped`
+/// front removals + relative index) — the key itself lives in the ring
+/// slot the position points at, so a probe verifies candidates by
+/// reading the ring. Deterministic multiplicative hashing with linear
+/// probing and backward-shift deletion; compaction (triggered when
+/// refresh tombstones pile up) drops tombstoned slots, rebases
+/// `popped` to zero, and shrinks both the ring and the index back to
+/// the live population, so a refresh-heavy workload cannot pin peak
+/// capacities forever. Everything is seed-free and iteration-order
+/// deterministic, so runs replay byte-identically —
+/// `duplicate_ring_matches_reference` differentially pins
+/// `fresh`/`mark_forwarded`/`sweep` answers and entry counts against
+/// [`DuplicateSet`].
+#[derive(Debug, Default, Clone)]
+pub struct DuplicateRing {
+    /// `(key, packed entry)` in insertion (= expiry) order; slots a
+    /// refresh vacated carry [`RING_TOMB`] keys until compaction.
+    ring: VecDeque<(u64, u64)>,
+    /// Lifetime count of slots popped off the front: an index entry's
+    /// relative position is `abs - popped`.
+    popped: u64,
+    /// Live (non-tombstone) ring entries; equals the indexed key count.
+    live: usize,
+    /// Tombstoned ring slots awaiting compaction.
+    tombs: usize,
+    /// Open-addressed index of absolute ring positions (power-of-two
+    /// capacity, [`EMPTY_POS`] marks free slots). A slot's key is read
+    /// from the ring entry it points at, keeping slots to 4 bytes.
+    index: Vec<u32>,
+    /// Largest hold horizon accepted so far — monotonicity guard for
+    /// the expiry-order invariant (`debug_assert`ed on insert).
+    last_until: SimTime,
+}
+
+impl DuplicateRing {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn hash(&self, key: u64) -> usize {
+        // Fibonacci multiplicative hash onto the power-of-two index —
+        // deterministic (no std `RandomState`), so replays are exact.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - self.index.len().trailing_zeros()))
+            as usize
+    }
+
+    /// The key stored in the ring slot an index position points at.
+    /// Index entries always track their entry's current position, so
+    /// the slot is live (never a tombstone).
+    fn key_at(&self, abs: u32) -> u64 {
+        self.ring[(u64::from(abs) - self.popped) as usize].0
+    }
+
+    /// The index slot holding `key`, if present. Candidate slots are
+    /// verified by reading the key back from the ring.
+    fn find(&self, key: u64) -> Option<usize> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let mask = self.index.len() - 1;
+        let mut i = self.hash(key);
+        loop {
+            let abs = self.index[i];
+            if abs == EMPTY_POS {
+                return None;
+            }
+            if self.key_at(abs) == key {
+                return Some(i);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts a position for a key known to be absent into the
+    /// (pre-sized) index.
+    fn index_insert(&mut self, key: u64, abs: u32) {
+        let mask = self.index.len() - 1;
+        let mut i = self.hash(key);
+        while self.index[i] != EMPTY_POS {
+            i = (i + 1) & mask;
+        }
+        self.index[i] = abs;
+    }
+
+    /// Removes the entry at index slot `i` by backward-shift deletion:
+    /// later entries of the probe chain move up into the hole, so no
+    /// index tombstones are needed.
+    fn index_delete(&mut self, mut i: usize) {
+        let mask = self.index.len() - 1;
+        let mut j = i;
+        loop {
+            self.index[i] = EMPTY_POS;
+            loop {
+                j = (j + 1) & mask;
+                let abs = self.index[j];
+                if abs == EMPTY_POS {
+                    return;
+                }
+                // The entry at `j` may slide into the hole at `i` only
+                // if `i` lies on its probe path from its home slot.
+                let h = self.hash(self.key_at(abs));
+                if (i.wrapping_sub(h) & mask) < (j.wrapping_sub(h) & mask) {
+                    self.index[i] = abs;
+                    i = j;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the index at capacity `cap` from the live ring entries
+    /// (in ring order — deterministic).
+    fn rebuild_index(&mut self, cap: usize) {
+        debug_assert!(cap.is_power_of_two() && self.live * 3 <= cap * 2);
+        self.index.clear();
+        self.index.shrink_to(cap);
+        self.index.resize(cap, EMPTY_POS);
+        let mask = cap - 1;
+        for (rel, &(k, _)) in self.ring.iter().enumerate() {
+            if k == RING_TOMB {
+                continue;
+            }
+            let mut i = self.hash(k);
+            while self.index[i] != EMPTY_POS {
+                i = (i + 1) & mask;
+            }
+            self.index[i] = (self.popped + rel as u64) as u32;
+        }
+    }
+
+    /// Drops tombstoned slots, rebases `popped` to zero, and shrinks
+    /// the ring and index back to the live population — a refresh storm
+    /// cannot pin the peak capacities it forced.
+    fn compact(&mut self) {
+        self.ring.retain(|&(k, _)| k != RING_TOMB);
+        self.tombs = 0;
+        self.popped = 0;
+        // Leave exactly the headroom the next storm can use before
+        // compaction re-triggers (`maybe_compact` fires at live/2 + 9
+        // tombstones), so the steady state never reallocates between
+        // compaction cycles.
+        self.ring.shrink_to(self.live + self.live / 2 + 16);
+        let cap = (self.live + self.live / 2 + 16).next_power_of_two();
+        self.rebuild_index(cap);
+    }
+
+    /// Compacts once refresh tombstones reach half the live count, so
+    /// a refresh-heavy workload cannot grow the ring unboundedly
+    /// between sweeps (amortized `O(1)` per refresh).
+    fn maybe_compact(&mut self) {
+        if self.tombs > self.live / 2 + 8 {
+            self.compact();
+        }
+    }
+
+    fn push_new(&mut self, key: u64, packed: u64, hold_until: SimTime) {
+        debug_assert!(
+            hold_until >= self.last_until,
+            "duplicate hold horizons must be non-decreasing"
+        );
+        self.last_until = hold_until;
+        if self.popped + self.ring.len() as u64 >= u64::from(EMPTY_POS) {
+            // Rebase before an absolute position could overflow the
+            // 4-byte index slots (compaction resets `popped`).
+            self.compact();
+        }
+        let abs = (self.popped + self.ring.len() as u64) as u32;
+        self.ring.push_back((key, packed));
+        self.live += 1;
+        if self.live * 3 > self.index.len() * 2 {
+            // Keep the index at most two-thirds full (probe chains stay
+            // short under linear probing, and the 4-byte slots stay
+            // cheap). The rebuild walks the ring, which already holds
+            // the new entry, so it is indexed by the rebuild itself.
+            let cap = (self.index.len() * 2).max(8);
+            self.rebuild_index(cap);
+        } else {
+            self.index_insert(key, abs);
+        }
+    }
+
+    /// Records `(originator, seq)`; returns `true` if it was not already
+    /// known (i.e. the message content should be processed). A known
+    /// entry is refreshed to the new hold horizon by re-pushing it at
+    /// the back of the ring (preserving expiry order).
+    pub fn fresh(&mut self, originator: NodeId, seq: u16, hold_until: SimTime) -> bool {
+        let key = ring_key(originator, seq);
+        if self.popped + self.ring.len() as u64 + 1 >= u64::from(EMPTY_POS) {
+            // Rebase before a refresh could store an absolute position
+            // that collides with the 4-byte index sentinel.
+            self.compact();
+        }
+        match self.find(key) {
+            Some(i) => {
+                debug_assert!(
+                    hold_until >= self.last_until,
+                    "duplicate hold horizons must be non-decreasing"
+                );
+                self.last_until = hold_until;
+                let rel = (u64::from(self.index[i]) - self.popped) as usize;
+                let forwarded = entry_forwarded(self.ring[rel].1);
+                self.ring[rel].0 = RING_TOMB;
+                self.tombs += 1;
+                self.ring
+                    .push_back((key, pack_entry(seq, hold_until, forwarded)));
+                self.index[i] = (self.popped + self.ring.len() as u64 - 1) as u32;
+                self.maybe_compact();
+                false
+            }
+            None => {
+                self.push_new(key, pack_entry(seq, hold_until, false), hold_until);
+                true
+            }
+        }
+    }
+
+    /// Marks `(originator, seq)` as forwarded; returns `true` if it had
+    /// not been forwarded before (i.e. this node should retransmit now).
+    /// An existing entry keeps its hold horizon (only [`Self::fresh`]
+    /// refreshes), so the in-place bit set cannot break expiry order.
+    pub fn mark_forwarded(&mut self, originator: NodeId, seq: u16, hold_until: SimTime) -> bool {
+        let key = ring_key(originator, seq);
+        match self.find(key) {
+            Some(i) => {
+                let rel = (u64::from(self.index[i]) - self.popped) as usize;
+                let first = !entry_forwarded(self.ring[rel].1);
+                self.ring[rel].1 |= 1 << 16;
+                first
+            }
+            None => {
+                self.push_new(key, pack_entry(seq, hold_until, true), hold_until);
+                true
+            }
+        }
+    }
+
+    /// Discards expired entries by popping off the front — `O(expired)`
+    /// thanks to the expiry-order invariant, against the reference's
+    /// full retain scan.
+    pub fn sweep(&mut self, now: SimTime) {
+        while let Some(&(k, e)) = self.ring.front() {
+            if k == RING_TOMB {
+                self.tombs -= 1;
+            } else if entry_until(e) <= now {
+                let i = self.find(k).expect("live ring entry is indexed");
+                self.index_delete(i);
+                self.live -= 1;
+            } else {
+                break;
+            }
+            self.ring.pop_front();
+            self.popped += 1;
+        }
+        if self.ring.capacity() > 4 * (self.ring.len() + 16) {
+            // Mass expiry (e.g. departed originators under churn) can
+            // leave the capacity far above the survivors — release it
+            // rather than pin the peak (the churn-leak story extends
+            // to capacities, not just entries).
+            self.compact();
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` when no live entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Resident footprint as `(entries, approximate heap bytes)`.
+    pub fn footprint(&self) -> (usize, usize) {
+        let ring_slot = std::mem::size_of::<(u64, u64)>();
+        let index_slot = std::mem::size_of::<u32>();
+        (
+            self.live,
+            self.ring.capacity() * ring_slot + self.index.capacity() * index_slot,
+        )
+    }
+}
+
+/// A node's duplicate table behind the [`DuplicateStore`] knob: the
+/// ring (default) or the per-originator reference, answering
+/// identically (`duplicate_ring_matches_reference` pins this).
+#[derive(Debug, Clone)]
+pub enum Duplicates {
+    /// Expiry-ordered ring buffer (the default).
+    Ring(DuplicateRing),
+    /// Per-originator seq-sorted lists (the differential reference).
+    PerOriginator(DuplicateSet),
+}
+
+impl Duplicates {
+    /// Creates an empty table of the configured representation.
+    pub fn new(kind: DuplicateStore) -> Self {
+        match kind {
+            DuplicateStore::Ring => Self::Ring(DuplicateRing::new()),
+            DuplicateStore::PerOriginator => Self::PerOriginator(DuplicateSet::new()),
+        }
+    }
+
+    /// See [`DuplicateSet::fresh`].
+    pub fn fresh(&mut self, originator: NodeId, seq: u16, hold_until: SimTime) -> bool {
+        match self {
+            Self::Ring(r) => r.fresh(originator, seq, hold_until),
+            Self::PerOriginator(s) => s.fresh(originator, seq, hold_until),
+        }
+    }
+
+    /// See [`DuplicateSet::mark_forwarded`].
+    pub fn mark_forwarded(&mut self, originator: NodeId, seq: u16, hold_until: SimTime) -> bool {
+        match self {
+            Self::Ring(r) => r.mark_forwarded(originator, seq, hold_until),
+            Self::PerOriginator(s) => s.mark_forwarded(originator, seq, hold_until),
+        }
+    }
+
+    /// See [`DuplicateSet::sweep`].
+    pub fn sweep(&mut self, now: SimTime) {
+        match self {
+            Self::Ring(r) => r.sweep(now),
+            Self::PerOriginator(s) => s.sweep(now),
+        }
+    }
+
+    /// Resident footprint as `(entries, approximate heap bytes)`.
+    pub fn footprint(&self) -> (usize, usize) {
+        match self {
+            Self::Ring(r) => r.footprint(),
+            Self::PerOriginator(s) => s.footprint(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1185,6 +1552,77 @@ mod tests {
         assert_eq!(ds.originators(), 0, "departed originators reclaimed");
         assert_eq!(tb.footprint().0, 0);
         assert_eq!(ds.footprint().0, 0);
+    }
+
+    /// A refresh storm on a small key set tombstones ring slots far
+    /// faster than entries expire — the compaction path must keep the
+    /// ring bounded while every answer stays identical to the
+    /// reference. A trickle of unique keys drives index growth and the
+    /// front-pop sweep at the same time, and seqs straddle the u16
+    /// wrap.
+    #[test]
+    fn duplicate_ring_survives_refresh_storm() {
+        let mut ring = DuplicateRing::new();
+        let mut reference = DuplicateSet::new();
+        for round in 0..200u64 {
+            let now = t(round);
+            let hold = now + SimDuration::from_secs(30);
+            for k in 0..8u16 {
+                let seq = (u16::MAX - 3).wrapping_add(k);
+                assert_eq!(
+                    ring.fresh(NodeId(1), seq, hold),
+                    reference.fresh(NodeId(1), seq, hold),
+                    "fresh diverged in round {round}"
+                );
+                assert_eq!(
+                    ring.mark_forwarded(NodeId(1), seq, hold),
+                    reference.mark_forwarded(NodeId(1), seq, hold),
+                    "mark_forwarded diverged in round {round}"
+                );
+            }
+            assert_eq!(
+                ring.fresh(NodeId(2), round as u16, hold),
+                reference.fresh(NodeId(2), round as u16, hold)
+            );
+            ring.sweep(now);
+            reference.sweep(now);
+            assert_eq!(
+                ring.len(),
+                reference.footprint().0,
+                "sizes diverged in round {round}"
+            );
+        }
+        // 200 rounds × 8 refreshed keys: without compaction the ring
+        // would hold ~1600 tombstoned slots. The hold window is 30 s,
+        // so at most ~30 unique-key entries plus the 8 hot keys are
+        // live — the ring must be within a small factor of that.
+        let (entries, _) = ring.footprint();
+        assert!(entries <= 40, "live entries bounded: {entries}");
+        assert!(
+            ring.ring.len() <= 4 * entries.max(16) + 1,
+            "tombstones compacted: {} slots for {} live",
+            ring.ring.len(),
+            entries
+        );
+    }
+
+    /// The [`Duplicates`] dispatch constructs the representation the
+    /// config asks for and forwards every call.
+    #[test]
+    fn duplicates_dispatch_follows_config() {
+        let mut ring = Duplicates::new(DuplicateStore::Ring);
+        let mut per_orig = Duplicates::new(DuplicateStore::PerOriginator);
+        assert!(matches!(ring, Duplicates::Ring(_)));
+        assert!(matches!(per_orig, Duplicates::PerOriginator(_)));
+        for d in [&mut ring, &mut per_orig] {
+            assert!(d.fresh(NodeId(7), 3, t(10)));
+            assert!(!d.fresh(NodeId(7), 3, t(10)));
+            assert!(d.mark_forwarded(NodeId(7), 3, t(10)));
+            assert!(!d.mark_forwarded(NodeId(7), 3, t(10)));
+            assert_eq!(d.footprint().0, 1);
+            d.sweep(t(11));
+            assert_eq!(d.footprint().0, 0);
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ use proptest::prelude::*;
 use qolsr_graph::NodeId;
 use qolsr_metrics::LinkQos;
 use qolsr_proto::store::SharedTopology;
-use qolsr_proto::tables::{seq_newer, DuplicateSet, TopologyBase};
+use qolsr_proto::tables::{seq_newer, DuplicateRing, DuplicateSet, TopologyBase};
 use qolsr_proto::SharedLinkStore;
 use qolsr_sim::{SimDuration, SimTime};
 
@@ -236,6 +236,57 @@ proptest! {
             prop_assert_eq!(dup.footprint().0, naive.len(), "entry counts diverged at {}", now);
         }
     }
+
+    /// The expiry-ordered [`DuplicateRing`] answers `fresh` and
+    /// `mark_forwarded` byte-identically to the per-originator
+    /// [`DuplicateSet`] reference under the protocol's calling
+    /// convention — one constant hold duration over non-decreasing
+    /// `now` (what makes ring order expiry order) — and its front-pop
+    /// sweep retains exactly the reference's entries. Sequence numbers
+    /// straddle both u16 wrap points; dense key reuse drives the
+    /// refresh-tombstone compaction path.
+    #[test]
+    fn duplicate_ring_matches_reference(
+        steps in proptest::collection::vec(
+            (
+                0u32..6,
+                prop_oneof![0u16..4, 0x7FFE_u16..=0x8001, 0xFFFD_u16..=0xFFFF],
+                any::<bool>(),
+                0u64..3,
+                any::<bool>(),
+            ),
+            1..150,
+        )
+    ) {
+        let mut ring = DuplicateRing::new();
+        let mut reference = DuplicateSet::new();
+        let mut now = SimTime::ZERO;
+        for &(orig, seq, forward, advance, sweep) in &steps {
+            now += SimDuration::from_secs(advance);
+            let hold = now + SimDuration::from_secs(4);
+            let o = NodeId(orig);
+            if forward {
+                prop_assert_eq!(
+                    ring.mark_forwarded(o, seq, hold),
+                    reference.mark_forwarded(o, seq, hold),
+                    "mark_forwarded diverged at {}",
+                    now
+                );
+            } else {
+                prop_assert_eq!(
+                    ring.fresh(o, seq, hold),
+                    reference.fresh(o, seq, hold),
+                    "fresh diverged at {}",
+                    now
+                );
+            }
+            if sweep {
+                ring.sweep(now);
+                reference.sweep(now);
+            }
+            prop_assert_eq!(ring.len(), reference.footprint().0, "entry counts diverged at {}", now);
+        }
+    }
 }
 
 /// Sustained churn — a stream of originators that each advertise once
@@ -250,6 +301,7 @@ fn long_churn_keeps_tables_and_store_bounded() {
     let mut shared = SharedTopology::new(store.clone());
     let mut per_node = TopologyBase::new();
     let mut dup = DuplicateSet::new();
+    let mut ring = DuplicateRing::new();
     let mut now = SimTime::ZERO;
     for round in 0..500u32 {
         let orig = NodeId(round);
@@ -259,10 +311,12 @@ fn long_churn_keeps_tables_and_store_bounded() {
         shared.process_tc_tracked(orig, seq, 0, &adv, now, hold);
         per_node.process_tc_tracked(orig, 0, &adv, now, hold);
         dup.fresh(orig, seq, hold);
+        ring.fresh(orig, seq, hold);
         now += SimDuration::from_secs(1);
         shared.sweep(now);
         per_node.sweep(now);
         dup.sweep(now);
+        ring.sweep(now);
     }
     // Only originators inside the hold window may remain resident.
     let bound = HOLD_S as usize;
@@ -280,6 +334,11 @@ fn long_churn_keeps_tables_and_store_bounded() {
         dup.originators() <= bound,
         "duplicate-set originators leak: {}",
         dup.originators()
+    );
+    assert!(
+        ring.len() <= bound,
+        "duplicate-ring entries leak: {}",
+        ring.len()
     );
     let gauges = store.gauges();
     assert!(

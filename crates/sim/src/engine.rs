@@ -48,6 +48,16 @@ pub trait Actor {
     /// Implementations should drop protocol state here; [`Actor::on_start`]
     /// runs again immediately afterwards.
     fn on_reset(&mut self) {}
+
+    /// Called by the sharded engine ([`crate::ShardedSimulator`]) right
+    /// after [`Actor::on_reset`] when a rejoining node is re-homed to the
+    /// shard covering its current position; `shard` is the destination
+    /// shard index. Actors holding shard-affine resources (e.g. a handle
+    /// into a per-shard store arena) rebind them here. The single-queue
+    /// engine never calls this; the default is a no-op.
+    fn on_rehome(&mut self, shard: usize) {
+        let _ = shard;
+    }
 }
 
 /// Ideal-MAC radio parameters: every transmission reaches its
@@ -74,20 +84,22 @@ impl Default for RadioConfig {
 }
 
 /// Effects an actor can request during a handler invocation.
-enum Effect<M> {
+pub(crate) enum Effect<M> {
     Broadcast(M),
     Unicast(NodeId, M),
     Timer(SimDuration, TimerId),
 }
 
-/// Handler-side interface to the engine.
+/// Handler-side interface to the engine. Fields are crate-visible so the
+/// sharded engine ([`crate::ShardedSimulator`]) can construct contexts for
+/// the same handlers.
 pub struct Context<'a, M> {
-    now: SimTime,
-    node: NodeId,
-    world: &'a DynamicTopology,
-    rng: &'a mut SimRng,
-    effects: &'a mut Vec<Effect<M>>,
-    stop: &'a mut bool,
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) world: &'a DynamicTopology,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) effects: &'a mut Vec<Effect<M>>,
+    pub(crate) stop: &'a mut bool,
 }
 
 impl<M> Context<'_, M> {
@@ -146,22 +158,22 @@ impl<M> Context<'_, M> {
     }
 }
 
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     Start,
     Timer(TimerId),
     Deliver { from: NodeId, msg: M },
     World(WorldEvent),
 }
 
-struct Scheduled<M> {
-    time: SimTime,
-    seq: u64,
-    node: NodeId,
+pub(crate) struct Scheduled<M> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) node: NodeId,
     /// The node generation this event belongs to; events from a previous
     /// life (before a `Leave`) are dropped at dispatch. World events
     /// always dispatch (`u32::MAX` sentinel, never compared).
-    generation: u32,
-    kind: EventKind<M>,
+    pub(crate) generation: u32,
+    pub(crate) kind: EventKind<M>,
 }
 
 impl<M> PartialEq for Scheduled<M> {

@@ -19,6 +19,12 @@
 //!   `(time, sequence)` order. A node that leaves the network loses its
 //!   pending timers and in-flight frames; on rejoin its actor is reset
 //!   ([`Actor::on_reset`]) and restarted;
+//! * [`ShardedSimulator`] / [`ExecMode`] — region-sharded parallel
+//!   execution: nodes partition into spatial shards, each with its own
+//!   timer wheel, stepping in bounded windows with a deterministic
+//!   barrier merge; with zero radio jitter the observable schedule is
+//!   byte-identical to [`Simulator`] for any shard count (see
+//!   [`shard`]);
 //! * [`scenario`] — reusable mobility/churn models (random waypoint,
 //!   Poisson churn, Gauss–Markov weight drift) that pre-generate a
 //!   seed-deterministic world-event schedule for the engine;
@@ -133,6 +139,7 @@ mod engine;
 pub mod queue;
 mod rng;
 pub mod scenario;
+pub mod shard;
 pub mod stats;
 mod time;
 pub mod trace;
@@ -141,4 +148,5 @@ pub use engine::{Actor, Context, RadioConfig, SimStats, Simulator, TimerId};
 pub use queue::SchedulerKind;
 pub use rng::SimRng;
 pub use scenario::{apply_recorded, MobilityModel, NeighborScan, Scenario, ScenarioBuilder};
+pub use shard::{ExecMode, ShardedSimulator};
 pub use time::{SimDuration, SimTime};
