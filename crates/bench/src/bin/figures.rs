@@ -29,12 +29,18 @@
 //!               protocol on shared seeded deployments, reporting TC
 //!               deliveries, control bytes, peek-decode savings, route
 //!               validity and wall-clock (--runs capped at 5)
+//!   loss        lossy-radio sweep: full protocol per selector under
+//!               PhyModel::Lossy as the edge drop probability rises,
+//!               reporting frame delivery ratio, route validity and
+//!               MPR-set churn (static worlds — loss is the only
+//!               stressor); --hysteresis / --etx enable the
+//!               quality-aware link sensing knobs
 //!
 //! Options:
 //!   --runs N     topologies per density (default 100; paper: 100)
 //!   --seed S     master seed (default 0x51C02010)
 //!   --threads T  worker threads (default: all cores)
-//!   --metric M   churn metric: bandwidth (default) or delay
+//!   --metric M   churn/loss metric: bandwidth (default) or delay
 //!   --live       scale only: live-protocol phase (--runs capped at 5)
 //!   --sizes L    scale/overhead: comma-separated node counts
 //!                (default 250,1000,4000; lets CI smoke at small n —
@@ -46,10 +52,24 @@
 //!   --dup-store S
 //!                scale --live only: duplicate-set formulation, ring
 //!                (default) or per-originator (the pre-ring reference)
-//!   --shards K   scale --live / overhead / churn: engine shard count
-//!                (default 1 = single-queue reference engine; K >= 2
-//!                runs the region-sharded parallel engine, which must
-//!                produce identical counters)
+//!   --shards K   scale --live / overhead / churn / loss: engine shard
+//!                count (default 1 = single-queue reference engine;
+//!                K >= 2 runs the region-sharded parallel engine, which
+//!                must produce identical counters)
+//!   --lossy      scale --live only: run the radio under
+//!                PhyModel::Lossy (40% edge drop) instead of Ideal —
+//!                combined with --verify-shards this is the CI gate
+//!                that loss sampling commutes with the barrier merge
+//!   --nodes N    loss only: nodes per world (default 250)
+//!   --levels L   loss only: comma-separated edge drop probabilities in
+//!                ppm (default 0,100000,200000,400000,600000,800000)
+//!   --hysteresis loss only: enable RFC 3626 §14 link hysteresis
+//!   --etx        loss only: advertise ETX/InvETX-reshaped link QoS
+//!   --capture-us W
+//!                loss only: collision capture window in microseconds
+//!                (default 0 = collisions off, so the x = 0 baseline is
+//!                lossless; a non-zero window adds a level-independent
+//!                collision floor)
 //!   --verify-shards
 //!                scale --live only: run the sharded sweep AND a
 //!                --shards 1 reference in lockstep, exiting non-zero on
@@ -90,6 +110,12 @@ struct Args {
     warmup: Option<u64>,
     seconds: Option<u64>,
     max_resident_bytes: Option<u64>,
+    lossy: bool,
+    nodes: Option<usize>,
+    levels: Option<Vec<u32>>,
+    hysteresis: bool,
+    etx: bool,
+    capture_us: Option<u64>,
     out_dir: Option<PathBuf>,
 }
 
@@ -107,6 +133,12 @@ fn parse_args() -> Result<Args, String> {
     let mut warmup: Option<u64> = None;
     let mut seconds: Option<u64> = None;
     let mut max_resident_bytes: Option<u64> = None;
+    let mut lossy = false;
+    let mut nodes: Option<usize> = None;
+    let mut levels: Option<Vec<u32>> = None;
+    let mut hysteresis = false;
+    let mut etx = false;
+    let mut capture_us: Option<u64> = None;
     let mut out_dir = Some(PathBuf::from("results"));
     let mut it = std::env::args().skip(1);
     let mut command_set = false;
@@ -184,6 +216,36 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("bad --max-resident-bytes value: {v}"))?,
                 );
             }
+            "--lossy" => lossy = true,
+            "--nodes" => {
+                let v = it.next().ok_or("--nodes needs a value")?;
+                let parsed: usize = v.parse().map_err(|_| format!("bad --nodes value: {v}"))?;
+                if parsed == 0 {
+                    return Err("--nodes must be at least 1".into());
+                }
+                nodes = Some(parsed);
+            }
+            "--levels" => {
+                let v = it.next().ok_or("--levels needs a value")?;
+                let parsed: Result<Vec<u32>, _> = v.split(',').map(|s| s.trim().parse()).collect();
+                let parsed = parsed.map_err(|_| format!("bad --levels value: {v}"))?;
+                if parsed.is_empty() {
+                    return Err("--levels needs at least one ppm value".into());
+                }
+                if let Some(&bad) = parsed.iter().find(|&&p| p > 1_000_000) {
+                    return Err(format!("--levels value {bad} exceeds 1000000 ppm"));
+                }
+                levels = Some(parsed);
+            }
+            "--hysteresis" => hysteresis = true,
+            "--etx" => etx = true,
+            "--capture-us" => {
+                let v = it.next().ok_or("--capture-us needs a value")?;
+                let parsed: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --capture-us value: {v}"))?;
+                capture_us = Some(parsed);
+            }
             "--quick" => opts.runs = 10,
             "--out" => {
                 let v = it.next().ok_or("--out needs a value")?;
@@ -203,8 +265,10 @@ fn parse_args() -> Result<Args, String> {
     }
     // Only the churn experiment is metric-parameterized; silently
     // ignoring the flag elsewhere would mislabel results.
-    if metric_set && command != "churn" {
-        return Err(format!("--metric only applies to churn, not {command}"));
+    if metric_set && command != "churn" && command != "loss" {
+        return Err(format!(
+            "--metric only applies to churn and loss, not {command}"
+        ));
     }
     if live && command != "scale" {
         return Err(format!("--live only applies to scale, not {command}"));
@@ -227,10 +291,29 @@ fn parse_args() -> Result<Args, String> {
             return Err(format!("{flag} only applies to scale --live"));
         }
     }
-    if shards.is_some() && !live_scale && command != "overhead" && command != "churn" {
+    if shards.is_some()
+        && !live_scale
+        && command != "overhead"
+        && command != "churn"
+        && command != "loss"
+    {
         return Err(format!(
-            "--shards only applies to scale --live, overhead and churn, not {command}"
+            "--shards only applies to scale --live, overhead, churn and loss, not {command}"
         ));
+    }
+    if lossy && !live_scale {
+        return Err("--lossy only applies to scale --live".into());
+    }
+    for (set, flag) in [
+        (nodes.is_some(), "--nodes"),
+        (levels.is_some(), "--levels"),
+        (hysteresis, "--hysteresis"),
+        (etx, "--etx"),
+        (capture_us.is_some(), "--capture-us"),
+    ] {
+        if set && command != "loss" {
+            return Err(format!("{flag} only applies to loss"));
+        }
     }
     Ok(Args {
         command,
@@ -245,6 +328,12 @@ fn parse_args() -> Result<Args, String> {
         warmup,
         seconds,
         max_resident_bytes,
+        lossy,
+        nodes,
+        levels,
+        hysteresis,
+        etx,
+        capture_us,
         out_dir,
     })
 }
@@ -289,11 +378,13 @@ fn main() -> ExitCode {
     match args.command.as_str() {
         "help" => {
             println!(
-                "commands: fig6 fig7 fig8 fig9 all ablations robustness churn scale overhead; \
+                "commands: fig6 fig7 fig8 fig9 all ablations robustness churn scale overhead \
+                 loss; \
                  options: --runs N --seed S --threads T --metric bandwidth|delay \
                  --live --sizes L --store shared|per-node --dup-store ring|per-originator \
                  --shards K --verify-shards --warmup N --seconds N \
-                 --max-resident-bytes B --quick --out DIR --no-csv"
+                 --max-resident-bytes B --lossy --nodes N --levels L \
+                 --hysteresis --etx --capture-us W --quick --out DIR --no-csv"
             );
         }
         "fig6" => {
@@ -551,6 +642,92 @@ fn main() -> ExitCode {
                 &args.out_dir,
             );
         }
+        "loss" => {
+            use qolsr::eval::loss::{
+                delivery_figure, loss_experiment_with, mpr_churn_figure, validity_figure,
+                LossConfig,
+            };
+            use qolsr::eval::SelectorKind;
+            use qolsr_proto::{EtxParams, HysteresisParams, LinkHysteresis, LinkMetric};
+            use qolsr_sim::SimDuration;
+            let mut cfg = LossConfig::new(opts.runs);
+            cfg.seed = opts.seed;
+            cfg.threads = opts.threads;
+            if let Some(nodes) = args.nodes {
+                cfg.nodes = nodes;
+            }
+            if let Some(levels) = args.levels.clone() {
+                cfg.levels = levels;
+            }
+            if let Some(shards) = args.shards {
+                cfg.shards = shards;
+            }
+            if args.hysteresis {
+                cfg.olsr.link_hysteresis = LinkHysteresis::On(HysteresisParams::default());
+            }
+            if args.etx {
+                cfg.olsr.link_metric = LinkMetric::Etx(EtxParams::default());
+            }
+            if let Some(us) = args.capture_us {
+                cfg.capture_window = SimDuration::from_micros(us);
+            }
+            let metric = args.metric;
+            let results = loss_experiment_with(metric, &cfg, &SelectorKind::PAPER);
+            println!(
+                "# lossy radio: n={}, quadratic falloff, {} µs capture window, \
+                 hysteresis={}, etx={}; {} probe pairs sampled every {} s over \
+                 {} s measured\n",
+                cfg.nodes,
+                cfg.capture_window.as_micros(),
+                args.hysteresis,
+                args.etx,
+                cfg.probes,
+                cfg.sample_every.as_secs_f64(),
+                cfg.measure.as_secs_f64(),
+            );
+            println!(
+                "# {:>9}  {:>32}  {:>9}  {:>9}  {:>10}",
+                "edge-drop", "selector", "delivery", "validity", "MPR-churn"
+            );
+            for r in &results {
+                for level in &r.per_level {
+                    println!(
+                        "# {:>8.2}%  {:>32}  {:>9.3}  {:>9.3}  {:>10.3}",
+                        f64::from(level.edge_drop_ppm) / 1e4,
+                        r.kind.label(),
+                        level.delivery.mean(),
+                        level.validity.mean(),
+                        level.mpr_churn.mean(),
+                    );
+                }
+            }
+            println!();
+            let m = metric.name();
+            emit(
+                &delivery_figure(
+                    &results,
+                    &format!("Loss — frame delivery ratio vs edge drop probability ({m} metric)"),
+                ),
+                &format!("loss_delivery_{m}"),
+                &args.out_dir,
+            );
+            emit(
+                &validity_figure(
+                    &results,
+                    &format!("Loss — route validity vs edge drop probability ({m} metric)"),
+                ),
+                &format!("loss_route_validity_{m}"),
+                &args.out_dir,
+            );
+            emit(
+                &mpr_churn_figure(
+                    &results,
+                    &format!("Loss — MPR-set churn vs edge drop probability ({m} metric)"),
+                ),
+                &format!("loss_mpr_churn_{m}"),
+                &args.out_dir,
+            );
+        }
         "scale" if args.live => {
             use qolsr::eval::scale::{live_figure, live_sweep, live_sweep_verified, LiveConfig};
             let mut cfg = LiveConfig::new(opts.runs.min(5));
@@ -573,6 +750,14 @@ fn main() -> ExitCode {
             if let Some(seconds) = args.seconds {
                 cfg.sim_seconds = seconds;
             }
+            if args.lossy {
+                use qolsr_sim::{LossyPhy, PhyModel, SimDuration};
+                cfg.phy = PhyModel::Lossy(LossyPhy {
+                    edge_drop_ppm: 400_000,
+                    exponent: 2,
+                    capture_window: SimDuration::from_micros(150),
+                });
+            }
             let points = if args.verify_shards {
                 // Panics (non-zero exit) on any counter divergence between
                 // the sharded engine and the single-queue reference.
@@ -581,12 +766,13 @@ fn main() -> ExitCode {
                 live_sweep(&cfg)
             };
             println!(
-                "# live protocol ({:?} topology store, {:?} duplicate set, {} shard(s)): \
-                 {} s warm-up (unmeasured) \
+                "# live protocol ({:?} topology store, {:?} duplicate set, {} shard(s), \
+                 {} radio): {} s warm-up (unmeasured) \
                  + {} s measured, {} probe nodes sampled per simulated second\n",
                 cfg.store,
                 cfg.dup_store,
                 cfg.shards,
+                if args.lossy { "lossy" } else { "ideal" },
                 cfg.warmup_seconds,
                 cfg.sim_seconds,
                 cfg.probes

@@ -1,0 +1,482 @@
+//! Loss-sweep experiment: the live OLSR protocol over the lossy PHY,
+//! per selector, as the radio loss level rises.
+//!
+//! Where [`churn`](crate::eval::churn) stresses the protocol with a
+//! *moving world*, this experiment keeps the world static and turns the
+//! only remaining knob: the channel. Each sweep level runs the full
+//! HELLO/TC protocol under [`PhyModel::Lossy`] with a given edge drop
+//! probability (distance-quadratic falloff, optional capture-window
+//! collisions), and measures per selector:
+//!
+//! * **delivery ratio** — frames delivered over frames attempted
+//!   (`deliveries / (deliveries + phy_drops + collisions)`) in the
+//!   measured window — the channel actually experienced;
+//! * **route validity** — the fraction of probe pairs whose packets
+//!   reach the destination hop by hop over the nodes' current tables
+//!   (the shared [`probe_route`] semantics);
+//! * **MPR-set churn** — the mean Jaccard distance between consecutive
+//!   samples of each node's advertised (MPR-selected) set: lost HELLOs
+//!   flap link tuples, which flap MPR selection, which churns TC
+//!   content. Selectors differ in how much tie-breaking stability they
+//!   have, so this is a per-selector property.
+//!
+//! Every selector replays the *same* deployments at every loss level
+//! (deployment seeds are level-independent), so curves differ only by
+//! selection policy and loss. The protocol configuration is a hook: the
+//! same sweep runs with RFC §14 link hysteresis and/or the ETX metric
+//! enabled ([`qolsr_proto::LinkHysteresis`], [`qolsr_proto::LinkMetric`])
+//! to measure how quality-aware sensing changes the curves.
+
+use std::collections::BTreeSet;
+
+use qolsr_graph::deploy::UniformWeights;
+use qolsr_graph::{NodeId, Topology};
+use qolsr_metrics::{BandwidthMetric, DelayMetric};
+use qolsr_proto::network::OlsrNetwork;
+use qolsr_proto::OlsrConfig;
+use qolsr_sim::stats::OnlineStats;
+use qolsr_sim::{LossyPhy, PhyModel, RadioConfig, SchedulerKind, SimDuration, SimRng, SimTime};
+
+use crate::eval::churn::{probe_route, ChurnMetric, ProbeOutcome};
+use crate::eval::scale::{deploy_field, field_side};
+use crate::eval::{derive_seed, exec_mode, EvalMetric, SelectorKind, ShardPlan};
+use crate::policy::SelectorPolicy;
+use crate::report::{Figure, Point, Series};
+
+/// Configuration of the loss sweep.
+#[derive(Debug, Clone)]
+pub struct LossConfig {
+    /// Edge drop probabilities to sweep, in parts per million (the
+    /// figures' x-axis, as a fraction).
+    pub levels: Vec<u32>,
+    /// Distance falloff exponent of the drop curve.
+    pub exponent: u32,
+    /// Collision capture window (zero disables collisions).
+    pub capture_window: SimDuration,
+    /// Nodes per world (the field grows to hold them at `density`).
+    pub nodes: usize,
+    /// Independent worlds per level.
+    pub runs: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Mean node degree.
+    pub density: f64,
+    /// Communication radius `R`.
+    pub radius: f64,
+    /// Link-weight interval.
+    pub weights: UniformWeights,
+    /// Unmeasured protocol warm-up (convergence) before sampling.
+    pub warmup: SimDuration,
+    /// Measured window length.
+    pub measure: SimDuration,
+    /// Interval between measurement samples.
+    pub sample_every: SimDuration,
+    /// Probe source/destination pairs per world.
+    pub probes: usize,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Protocol configuration of every node — the hook for sweeping
+    /// under link hysteresis and/or the ETX metric.
+    pub olsr: OlsrConfig,
+    /// Engine shard count (1 = single-queue reference; loss sampling is
+    /// shard-count-invariant, pinned by `tests/phy_differential.rs`).
+    pub shards: u32,
+}
+
+impl LossConfig {
+    /// Defaults: 250 nodes at the paper's density 10 and radius 100,
+    /// edge drop 0 → 80 %, quadratic falloff, 30 s warm-up + 30 s
+    /// measured sampled every 5 s. The capture window defaults to zero
+    /// (collisions off) so the x = 0 baseline is genuinely lossless and
+    /// the sweep isolates the drop axis; a non-zero window adds a
+    /// level-independent collision floor on top.
+    pub fn new(runs: u32) -> Self {
+        Self {
+            levels: vec![0, 100_000, 200_000, 400_000, 600_000, 800_000],
+            exponent: 2,
+            capture_window: SimDuration::ZERO,
+            nodes: 250,
+            runs,
+            seed: 0x51C0_2010,
+            density: 10.0,
+            radius: 100.0,
+            weights: UniformWeights::new(1, 100),
+            warmup: SimDuration::from_secs(30),
+            measure: SimDuration::from_secs(30),
+            sample_every: SimDuration::from_secs(5),
+            probes: 16,
+            threads: 0,
+            olsr: OlsrConfig::default(),
+            shards: 1,
+        }
+    }
+
+    fn radio(&self, edge_drop_ppm: u32) -> RadioConfig {
+        RadioConfig {
+            phy: PhyModel::Lossy(LossyPhy {
+                edge_drop_ppm,
+                exponent: self.exponent,
+                capture_window: self.capture_window,
+            }),
+            ..RadioConfig::default()
+        }
+    }
+
+    /// Sample instants: warm-up end, then every `sample_every` through
+    /// the measured window.
+    fn sample_times(&self) -> Vec<SimTime> {
+        let mut times = Vec::new();
+        let mut t = SimTime::ZERO + self.warmup;
+        let end = SimTime::ZERO + self.warmup + self.measure;
+        while t <= end {
+            times.push(t);
+            t += self.sample_every;
+        }
+        times
+    }
+}
+
+/// Aggregates of one selector at one loss level.
+#[derive(Debug, Clone)]
+pub struct LossLevelMeasures {
+    /// The swept edge drop probability, ppm.
+    pub edge_drop_ppm: u32,
+    /// Frame delivery ratio over the measured window (one sample per
+    /// run).
+    pub delivery: OnlineStats,
+    /// Route validity over the probe pairs at the sample instants.
+    pub validity: OnlineStats,
+    /// Jaccard distance between consecutive advertised (MPR-selected)
+    /// sets, per node per sample interval.
+    pub mpr_churn: OnlineStats,
+}
+
+/// All measurements of one selector across the loss sweep.
+#[derive(Debug, Clone)]
+pub struct LossMeasures {
+    /// Which selector.
+    pub kind: SelectorKind,
+    /// One aggregate per swept level, in sweep order.
+    pub per_level: Vec<LossLevelMeasures>,
+}
+
+impl LossMeasures {
+    fn empty(kind: SelectorKind, levels: &[u32]) -> Self {
+        Self {
+            kind,
+            per_level: levels
+                .iter()
+                .map(|&edge_drop_ppm| LossLevelMeasures {
+                    edge_drop_ppm,
+                    delivery: OnlineStats::new(),
+                    validity: OnlineStats::new(),
+                    mpr_churn: OnlineStats::new(),
+                })
+                .collect(),
+        }
+    }
+
+    fn merge(&mut self, other: &LossMeasures) {
+        for (mine, theirs) in self.per_level.iter_mut().zip(&other.per_level) {
+            mine.delivery.merge(&theirs.delivery);
+            mine.validity.merge(&theirs.validity);
+            mine.mpr_churn.merge(&theirs.mpr_churn);
+        }
+    }
+}
+
+/// Runs the loss sweep under metric `M` for the given selectors.
+///
+/// Per run one deployment is generated (identical across levels and
+/// selectors — the deployment seed depends only on the run index), then
+/// every (level, selector) pair runs a live network on it. Runs shard
+/// over worker threads; per-run results merge in run order, so output
+/// is independent of thread count.
+pub fn loss_experiment<M: EvalMetric>(
+    cfg: &LossConfig,
+    kinds: &[SelectorKind],
+) -> Vec<LossMeasures> {
+    let plan = ShardPlan::new(cfg.threads, cfg.runs);
+    let per_run = crate::eval::sharded_runs(cfg.runs, plan.workers, |run| {
+        let mut local: Vec<LossMeasures> = kinds
+            .iter()
+            .map(|&k| LossMeasures::empty(k, &cfg.levels))
+            .collect();
+        single_loss_run::<M>(cfg, run, kinds, &mut local);
+        local
+    });
+    let mut totals: Vec<LossMeasures> = kinds
+        .iter()
+        .map(|&k| LossMeasures::empty(k, &cfg.levels))
+        .collect();
+    for run_measures in per_run {
+        for (total, m) in totals.iter_mut().zip(&run_measures) {
+            total.merge(m);
+        }
+    }
+    totals
+}
+
+/// Runs the loss sweep with the metric chosen at runtime — the dispatch
+/// point behind the `figures loss --metric` flag.
+pub fn loss_experiment_with(
+    metric: ChurnMetric,
+    cfg: &LossConfig,
+    kinds: &[SelectorKind],
+) -> Vec<LossMeasures> {
+    match metric {
+        ChurnMetric::Bandwidth => loss_experiment::<BandwidthMetric>(cfg, kinds),
+        ChurnMetric::Delay => loss_experiment::<DelayMetric>(cfg, kinds),
+    }
+}
+
+fn single_loss_run<M: EvalMetric>(
+    cfg: &LossConfig,
+    run: u32,
+    kinds: &[SelectorKind],
+    accum: &mut [LossMeasures],
+) {
+    let deploy_seed = derive_seed(cfg.seed, 0, run);
+    let side = field_side(cfg.nodes, cfg.radius, cfg.density);
+    let topo = deploy_field(
+        cfg.nodes,
+        side,
+        cfg.radius,
+        cfg.density,
+        &cfg.weights,
+        deploy_seed,
+    );
+    if topo.len() < 4 {
+        return;
+    }
+    let mut rng = SimRng::seed_from_u64(deploy_seed ^ 0x4c05_5e3d);
+    let probes = probe_pairs(&topo, cfg.probes, &mut rng);
+    if probes.is_empty() {
+        return;
+    }
+    let times = cfg.sample_times();
+
+    for (li, &level) in cfg.levels.iter().enumerate() {
+        for (si, &kind) in kinds.iter().enumerate() {
+            let mut net = OlsrNetwork::with_exec(
+                topo.clone(),
+                cfg.olsr,
+                cfg.radio(level),
+                derive_seed(cfg.seed, 1 + li, run),
+                SchedulerKind::default(),
+                exec_mode(cfg.shards),
+                |_| SelectorPolicy::new(kind.instantiate::<M>()),
+            );
+            let out = &mut accum[si].per_level[li];
+
+            net.run_until(times[0]);
+            let engine0 = net.engine_stats();
+            let mut prev_adv: Vec<BTreeSet<NodeId>> = advertised_sets(&net);
+            for &at in &times {
+                net.run_until(at);
+                for &(s, t) in &probes {
+                    match probe_route(&net, s, t) {
+                        ProbeOutcome::Delivered(_) => out.validity.push(1.0),
+                        ProbeOutcome::Dropped => out.validity.push(0.0),
+                        ProbeOutcome::EndpointDown => {}
+                    }
+                }
+                if at > times[0] {
+                    let cur = advertised_sets(&net);
+                    for (p, c) in prev_adv.iter().zip(&cur) {
+                        let union = p.union(c).count();
+                        if union > 0 {
+                            let common = p.intersection(c).count();
+                            out.mpr_churn.push((union - common) as f64 / union as f64);
+                        }
+                    }
+                    prev_adv = cur;
+                }
+            }
+            let engine = net.engine_stats();
+            let delivered = engine.deliveries - engine0.deliveries;
+            let lost =
+                (engine.phy_drops - engine0.phy_drops) + (engine.collisions - engine0.collisions);
+            let attempted = delivered + lost;
+            if attempted > 0 {
+                out.delivery.push(delivered as f64 / attempted as f64);
+            }
+        }
+    }
+}
+
+fn advertised_sets<P: qolsr_proto::AdvertisePolicy>(net: &OlsrNetwork<P>) -> Vec<BTreeSet<NodeId>> {
+    net.world()
+        .nodes()
+        .map(|u| net.node(u).advertised().iter().map(|&(w, _)| w).collect())
+        .collect()
+}
+
+/// Uniform distinct probe pairs (loss worlds stay static, so plain
+/// distinctness suffices — unreachable pairs show up as validity 0 at
+/// *every* level, including the lossless baseline, and difference
+/// across levels is the measurand).
+fn probe_pairs(topo: &Topology, count: usize, rng: &mut SimRng) -> Vec<(NodeId, NodeId)> {
+    use qolsr_graph::connectivity::Components;
+    let components = Components::compute(topo);
+    let n = topo.len() as u64;
+    let mut pairs = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while pairs.len() < count && attempts < 4096 {
+        attempts += 1;
+        let s = NodeId(rng.next_below(n) as u32);
+        let t = NodeId(rng.next_below(n) as u32);
+        if s != t && components.connected(s, t) {
+            pairs.push((s, t));
+        }
+    }
+    pairs
+}
+
+fn curve_figure(
+    results: &[LossMeasures],
+    title: &str,
+    ylabel: &str,
+    extract: impl Fn(&LossLevelMeasures) -> &OnlineStats,
+) -> Figure {
+    Figure {
+        title: title.to_owned(),
+        xlabel: "edge drop probability".to_owned(),
+        ylabel: ylabel.to_owned(),
+        series: results
+            .iter()
+            .map(|r| Series {
+                label: r.kind.label().to_owned(),
+                points: r
+                    .per_level
+                    .iter()
+                    .map(|level| {
+                        let s = extract(level);
+                        Point {
+                            x: f64::from(level.edge_drop_ppm) / 1e6,
+                            mean: s.mean(),
+                            ci95: s.ci95_half_width(),
+                            n: s.count(),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Frame-delivery-ratio figure.
+pub fn delivery_figure(results: &[LossMeasures], title: &str) -> Figure {
+    curve_figure(results, title, "frame delivery ratio", |l| &l.delivery)
+}
+
+/// Route-validity figure.
+pub fn validity_figure(results: &[LossMeasures], title: &str) -> Figure {
+    curve_figure(
+        results,
+        title,
+        "route validity (hop-by-hop delivery)",
+        |l| &l.validity,
+    )
+}
+
+/// MPR-set-churn figure.
+pub fn mpr_churn_figure(results: &[LossMeasures], title: &str) -> Figure {
+    curve_figure(
+        results,
+        title,
+        "MPR-set churn (Jaccard per sample interval)",
+        |l| &l.mpr_churn,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qolsr_proto::{HysteresisParams, LinkHysteresis};
+
+    fn tiny_cfg() -> LossConfig {
+        LossConfig {
+            levels: vec![0, 600_000],
+            nodes: 40,
+            warmup: SimDuration::from_secs(15),
+            measure: SimDuration::from_secs(10),
+            sample_every: SimDuration::from_secs(5),
+            probes: 4,
+            threads: 2,
+            seed: 3,
+            ..LossConfig::new(2)
+        }
+    }
+
+    #[test]
+    fn produces_curves_and_loss_degrades_delivery() {
+        let cfg = tiny_cfg();
+        let kinds = [SelectorKind::Fnbp, SelectorKind::QolsrMpr2];
+        let results = loss_experiment::<BandwidthMetric>(&cfg, &kinds);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.per_level.len(), 2);
+            let clean = &r.per_level[0];
+            let lossy = &r.per_level[1];
+            assert!(clean.delivery.count() > 0);
+            assert!(
+                clean.delivery.mean() > 0.999,
+                "{:?}: zero edge drop must deliver everything, got {}",
+                r.kind,
+                clean.delivery.mean()
+            );
+            assert!(
+                lossy.delivery.mean() < clean.delivery.mean(),
+                "{:?}: loss must reduce the delivery ratio",
+                r.kind
+            );
+            assert!(clean.validity.count() > 0, "{:?} sampled no probes", r.kind);
+            assert!(lossy.mpr_churn.count() > 0);
+        }
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let mut one = tiny_cfg();
+        one.threads = 1;
+        let mut many = tiny_cfg();
+        many.threads = 3;
+        let a = loss_experiment::<BandwidthMetric>(&one, &[SelectorKind::Fnbp]);
+        let b = loss_experiment::<BandwidthMetric>(&many, &[SelectorKind::Fnbp]);
+        for (x, y) in a[0].per_level.iter().zip(&b[0].per_level) {
+            assert_eq!(x.delivery.mean(), y.delivery.mean());
+            assert_eq!(x.validity.mean(), y.validity.mean());
+            assert_eq!(x.mpr_churn.mean(), y.mpr_churn.mean());
+        }
+    }
+
+    #[test]
+    fn hysteresis_config_plumbs_through() {
+        let mut cfg = tiny_cfg();
+        cfg.levels = vec![600_000];
+        cfg.olsr = OlsrConfig {
+            link_hysteresis: LinkHysteresis::On(HysteresisParams::default()),
+            ..OlsrConfig::default()
+        };
+        let gated = loss_experiment::<BandwidthMetric>(&cfg, &[SelectorKind::Fnbp]);
+        let mut plain_cfg = tiny_cfg();
+        plain_cfg.levels = vec![600_000];
+        let plain = loss_experiment::<BandwidthMetric>(&plain_cfg, &[SelectorKind::Fnbp]);
+        // The knob must actually reach the nodes: quality gating changes
+        // which links are admitted, hence the measured curves.
+        let render = |rs: &[LossMeasures]| mpr_churn_figure(rs, "c").render_csv();
+        assert_ne!(render(&gated), render(&plain));
+    }
+
+    #[test]
+    fn figures_render() {
+        let cfg = tiny_cfg();
+        let results = loss_experiment::<BandwidthMetric>(&cfg, &[SelectorKind::Fnbp]);
+        let d = delivery_figure(&results, "loss delivery");
+        assert_eq!(d.series.len(), 1);
+        assert!(d.render_text().contains("loss delivery"));
+        assert!(validity_figure(&results, "v").render_csv().lines().count() >= 2);
+        assert!(mpr_churn_figure(&results, "m").render_csv().lines().count() >= 2);
+    }
+}

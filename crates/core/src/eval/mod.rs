@@ -10,6 +10,7 @@
 
 pub mod churn;
 pub mod figures;
+pub mod loss;
 pub mod overhead;
 pub mod robustness;
 pub mod scale;

@@ -29,7 +29,7 @@ use qolsr_proto::network::OlsrNetwork;
 use qolsr_proto::{DuplicateStore, OlsrConfig, TopologyStore};
 use qolsr_sim::scenario::{RandomWaypoint, ScenarioBuilder};
 use qolsr_sim::stats::{HotPathCounters, OnlineStats};
-use qolsr_sim::{RadioConfig, SchedulerKind, SimDuration, SimRng};
+use qolsr_sim::{PhyModel, RadioConfig, SchedulerKind, SimDuration, SimRng};
 
 use crate::advertised::build_advertised;
 use crate::eval::{derive_seed, exec_mode, resolve_workers};
@@ -246,6 +246,11 @@ pub struct LiveConfig {
     /// `k >= 2` the region-sharded parallel engine (identical counters
     /// either way — see [`crate::eval::exec_mode`]).
     pub shards: u32,
+    /// PHY model of the radio ([`PhyModel::Ideal`] by default;
+    /// [`PhyModel::Lossy`] exercises the drop/collision paths — loss
+    /// sampling is shard-count-invariant, so `--verify-shards` holds
+    /// under it too).
+    pub phy: PhyModel,
 }
 
 impl LiveConfig {
@@ -267,6 +272,7 @@ impl LiveConfig {
             store: TopologyStore::default(),
             dup_store: DuplicateStore::default(),
             shards: 1,
+            phy: PhyModel::Ideal,
         }
     }
 
@@ -364,7 +370,10 @@ pub fn live_sweep(cfg: &LiveConfig) -> Vec<LivePoint> {
                 let mut net = OlsrNetwork::with_exec(
                     topo,
                     proto_cfg,
-                    RadioConfig::default(),
+                    RadioConfig {
+                        phy: cfg.phy,
+                        ..RadioConfig::default()
+                    },
                     seed,
                     SchedulerKind::default(),
                     exec_mode(cfg.shards),
@@ -589,6 +598,24 @@ mod tests {
         // `live_sweep_verified` asserts counter parity internally.
         let points = live_sweep_verified(&cfg);
         assert_eq!(points.len(), 1);
+        assert!(points[0].totals.events_popped > 0);
+    }
+
+    #[test]
+    fn lossy_live_sweep_stays_shard_invariant() {
+        use qolsr_sim::LossyPhy;
+        let cfg = LiveConfig {
+            sizes: vec![40],
+            warmup_seconds: 3,
+            sim_seconds: 2,
+            probes: 4,
+            shards: 2,
+            phy: PhyModel::Lossy(LossyPhy::with_edge_drop_ppm(400_000)),
+            ..LiveConfig::new(1)
+        };
+        // `live_sweep_verified` asserts counter parity internally — the
+        // lossy channel must commute with the barrier merge.
+        let points = live_sweep_verified(&cfg);
         assert!(points[0].totals.events_popped > 0);
     }
 

@@ -188,6 +188,119 @@ pub enum DuplicateStore {
     PerOriginator,
 }
 
+/// RFC 3626 §14 link-hysteresis parameters, in parts per million so the
+/// config stays `Eq`. The shared per-link quality EWMA `q` is updated on
+/// every HELLO arrival: one decay step `q ← q·(1−scaling)` per HELLO
+/// inferred lost since the previous arrival (truncated observations —
+/// only arrivals are seen, so misses are derived from the elapsed time),
+/// then one gain step `q ← q·(1−scaling) + scaling` for the arrival
+/// itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HysteresisParams {
+    /// EWMA gain (RFC `HYST_SCALING`, default 0.5 → `500_000`).
+    pub scaling_ppm: u32,
+    /// A pending link becomes usable when its quality exceeds this
+    /// threshold (RFC `HYST_THRESHOLD_HIGH`, default 0.8 → `800_000`).
+    pub accept_ppm: u32,
+    /// A usable link turns pending again when its quality falls below
+    /// this threshold (RFC `HYST_THRESHOLD_LOW`, default 0.3 →
+    /// `300_000`).
+    pub reject_ppm: u32,
+}
+
+impl Default for HysteresisParams {
+    fn default() -> Self {
+        Self {
+            scaling_ppm: 500_000,
+            accept_ppm: 800_000,
+            reject_ppm: 300_000,
+        }
+    }
+}
+
+/// RFC 3626 §14 link hysteresis: a pending→usable→pending state machine
+/// over the per-link quality estimate, keeping flapping lossy links out
+/// of the symmetric set (and therefore out of MPR selection, HELLO
+/// symmetric listings, TC advertisements and routing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkHysteresis {
+    /// No hysteresis (the differential reference): a link is usable as
+    /// soon as the symmetry handshake completes — the protocol replays
+    /// byte-identically to the pre-hysteresis implementation.
+    #[default]
+    Off,
+    /// Quality-gated link admission with the given thresholds.
+    On(HysteresisParams),
+}
+
+/// Parameters of the ETX-style link metric mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EtxParams {
+    /// EWMA gain of the arrival estimator when hysteresis is `Off`
+    /// (default 0.3 → `300_000`); when hysteresis is `On` its
+    /// `scaling_ppm` drives the shared estimator instead, so the two
+    /// features never disagree about a link's quality.
+    pub scaling_ppm: u32,
+}
+
+impl Default for EtxParams {
+    fn default() -> Self {
+        Self {
+            scaling_ppm: 300_000,
+        }
+    }
+}
+
+/// How measured link QoS is turned into the QoS the protocol advertises
+/// and routes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkMetric {
+    /// Ground-truth measured QoS, verbatim (the differential reference —
+    /// pre-PHY behaviour).
+    #[default]
+    Measured,
+    /// ETX/InvETX reshaping by the online delivery-probability estimate
+    /// `q` (the same per-link EWMA hysteresis uses): bandwidth is scaled
+    /// by `q²` (InvETX — the concave metric shrinks with the probability
+    /// that a frame and its reverse traverse the link), delay is scaled
+    /// by `1/q²` (ETX — the additive metric counts expected
+    /// transmissions). Energy is left untouched.
+    Etx(EtxParams),
+}
+
+/// The link-sensing knobs [`crate::tables::NeighborTables::process_hello`]
+/// needs from the node configuration, bundled so the tables crate does
+/// not depend on the full [`OlsrConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SensingParams {
+    /// The HELLO interval arrivals are expected at — the yardstick for
+    /// inferring missed HELLOs from inter-arrival gaps.
+    pub expected_interval: SimDuration,
+    /// Hysteresis policy.
+    pub hysteresis: LinkHysteresis,
+    /// Link metric mapping.
+    pub metric: LinkMetric,
+}
+
+impl Default for SensingParams {
+    fn default() -> Self {
+        OlsrConfig::default().sensing()
+    }
+}
+
+impl SensingParams {
+    /// The EWMA gain of the shared quality estimator: hysteresis's when
+    /// on, otherwise ETX's, otherwise the RFC default (the estimate is
+    /// then tracked but unused).
+    pub fn quality_scaling_ppm(&self) -> u32 {
+        match (self.hysteresis, self.metric) {
+            (LinkHysteresis::On(h), _) => h.scaling_ppm,
+            (LinkHysteresis::Off, LinkMetric::Etx(e)) => e.scaling_ppm,
+            (LinkHysteresis::Off, LinkMetric::Measured) => HysteresisParams::default().scaling_ppm,
+        }
+    }
+}
+
 /// OLSR protocol configuration (RFC 3626 §18 timing defaults plus the
 /// TC scoping and decode-path knobs of this implementation).
 ///
@@ -227,6 +340,12 @@ pub struct OlsrConfig {
     /// Duplicate-set representation (expiry-ordered ring by default;
     /// [`DuplicateStore::PerOriginator`] is the differential reference).
     pub duplicate_store: DuplicateStore,
+    /// RFC 3626 §14 link hysteresis (off by default — the differential
+    /// reference admits links on the raw symmetry handshake).
+    pub link_hysteresis: LinkHysteresis,
+    /// Link metric mapping (measured QoS verbatim by default;
+    /// [`LinkMetric::Etx`] reshapes it by the online delivery estimate).
+    pub link_metric: LinkMetric,
 }
 
 impl Default for OlsrConfig {
@@ -241,6 +360,8 @@ impl Default for OlsrConfig {
             decode: DecodePath::Peek,
             topology_store: TopologyStore::Shared,
             duplicate_store: DuplicateStore::Ring,
+            link_hysteresis: LinkHysteresis::Off,
+            link_metric: LinkMetric::Measured,
         }
     }
 }
@@ -259,6 +380,17 @@ impl OlsrConfig {
     /// How long duplicate-set entries are retained (RFC default 30 s).
     pub fn duplicate_hold_time(&self) -> SimDuration {
         SimDuration::from_secs(30)
+    }
+
+    /// The link-sensing knobs
+    /// [`crate::tables::NeighborTables::process_hello_sensed`] needs,
+    /// bundled as one `Copy` value.
+    pub fn sensing(&self) -> SensingParams {
+        SensingParams {
+            expected_interval: self.hello_interval,
+            hysteresis: self.link_hysteresis,
+            metric: self.link_metric,
+        }
     }
 }
 

@@ -558,10 +558,15 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
                     return; // not a radio neighbor right now
                 };
                 let hold = now + self.config.neighbor_hold_time();
-                if self
-                    .neighbors
-                    .process_hello(self.id, from, qos, hello, now, hold)
-                {
+                if self.neighbors.process_hello_sensed(
+                    self.id,
+                    from,
+                    qos,
+                    hello,
+                    now,
+                    hold,
+                    self.config.sensing(),
+                ) {
                     self.invalidate_routes();
                 }
             }

@@ -17,7 +17,7 @@ use qolsr_graph::{LocalView, NodeId};
 use qolsr_metrics::LinkQos;
 use qolsr_sim::SimTime;
 
-use crate::config::DuplicateStore;
+use crate::config::{DuplicateStore, LinkHysteresis, LinkMetric, SensingParams};
 use crate::messages::Hello;
 use crate::store::SharedTopology;
 
@@ -30,23 +30,92 @@ pub(crate) const FAR_FUTURE: SimTime = SimTime::from_micros(u64::MAX);
 pub struct LinkTuple {
     /// The neighbor on the other end.
     pub neighbor: NodeId,
-    /// Measured link QoS.
+    /// Effective link QoS: the measured value under
+    /// [`LinkMetric::Measured`], the ETX-reshaped value under
+    /// [`LinkMetric::Etx`].
     pub qos: LinkQos,
     /// The link is heard (asymmetric) until this time.
     pub asym_until: SimTime,
     /// The link is verified bidirectional until this time.
     pub sym_until: SimTime,
+    /// Online delivery-probability estimate in parts per million: an
+    /// EWMA over HELLO arrivals, with misses inferred from inter-arrival
+    /// gaps (observations are truncated — only arrivals are seen).
+    pub quality_ppm: u32,
+    /// When the last HELLO arrived over this link (the baseline for
+    /// inferring missed HELLOs).
+    pub last_heard: SimTime,
+    /// RFC 3626 §14 hysteresis state: while pending, the link is kept
+    /// out of the symmetric set (and thus MPR selection and routing)
+    /// even if the symmetry handshake has completed. Always `false`
+    /// under [`LinkHysteresis::Off`].
+    pub pending: bool,
 }
 
 impl LinkTuple {
-    /// Returns `true` if the link currently counts as symmetric.
+    /// Returns `true` if the link currently counts as symmetric (the
+    /// handshake holds and hysteresis, when enabled, admits the link).
     pub fn is_symmetric(&self, now: SimTime) -> bool {
-        self.sym_until > now
+        self.sym_until > now && !self.pending
     }
 
     /// Returns `true` if the tuple is still alive at all.
     pub fn is_alive(&self, now: SimTime) -> bool {
         self.asym_until > now || self.sym_until > now
+    }
+
+    /// Folds one HELLO arrival at `now` into the quality EWMA and the
+    /// hysteresis state: one decay step per HELLO inferred lost since
+    /// `last_heard`, one gain step for the arrival itself, then the
+    /// RFC §14 threshold comparison.
+    fn update_quality(&mut self, now: SimTime, sensing: &SensingParams) {
+        const UNIT: u64 = 1_000_000;
+        let scaling = u64::from(sensing.quality_scaling_ppm()).min(UNIT);
+        let expected = sensing.expected_interval.as_micros().max(1);
+        let elapsed = now.as_micros().saturating_sub(self.last_heard.as_micros());
+        // Rounded inter-arrival slot count; one slot is a loss-free
+        // cadence. The cap bounds the decay loop — past it the estimate
+        // has decayed to irrelevance anyway.
+        let missed = ((elapsed + expected / 2) / expected)
+            .saturating_sub(1)
+            .min(16);
+        let mut q = u64::from(self.quality_ppm);
+        for _ in 0..missed {
+            q = q * (UNIT - scaling) / UNIT;
+        }
+        q = q * (UNIT - scaling) / UNIT + scaling;
+        self.quality_ppm = q.min(UNIT) as u32;
+        self.last_heard = now;
+        if let LinkHysteresis::On(h) = sensing.hysteresis {
+            if self.quality_ppm >= h.accept_ppm {
+                self.pending = false;
+            } else if self.quality_ppm <= h.reject_ppm {
+                self.pending = true;
+            }
+        }
+    }
+}
+
+/// Maps measured QoS to the effective QoS the protocol advertises:
+/// under ETX the delivery estimate `q` scales bandwidth by `q²`
+/// (InvETX — both a frame and its reverse must survive the link) and
+/// delay by `1/q²` (ETX — expected transmission count); energy is left
+/// untouched. `q = 0` pins the link to the worst representable QoS
+/// rather than dividing by zero.
+fn effective_qos(measured: LinkQos, quality_ppm: u32, metric: LinkMetric) -> LinkQos {
+    use qolsr_metrics::{Bandwidth, Delay};
+    match metric {
+        LinkMetric::Measured => measured,
+        LinkMetric::Etx(_) => {
+            const UNIT: u64 = 1_000_000;
+            let q = u64::from(quality_ppm).min(UNIT);
+            let q2 = (q * q / UNIT).max(1);
+            LinkQos {
+                bandwidth: Bandwidth(measured.bandwidth.0 * q2 / UNIT),
+                delay: Delay(measured.delay.0.saturating_mul(UNIT) / q2),
+                energy: measured.energy,
+            }
+        }
     }
 }
 
@@ -100,6 +169,32 @@ impl NeighborTables {
         now: SimTime,
         hold_until: SimTime,
     ) -> bool {
+        self.process_hello_sensed(
+            me,
+            from,
+            measured_qos,
+            hello,
+            now,
+            hold_until,
+            SensingParams::default(),
+        )
+    }
+
+    /// [`NeighborTables::process_hello`] with explicit link-sensing
+    /// parameters: the quality EWMA, RFC §14 hysteresis gating and the
+    /// ETX metric mapping all live here. The default parameters (no
+    /// hysteresis, measured metric) reproduce the plain variant exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn process_hello_sensed(
+        &mut self,
+        me: NodeId,
+        from: NodeId,
+        measured_qos: LinkQos,
+        hello: &Hello,
+        now: SimTime,
+        hold_until: SimTime,
+        sensing: SensingParams,
+    ) -> bool {
         let mut changed = false;
         let i = match self.links.binary_search_by_key(&from, |t| t.neighbor) {
             Ok(i) => i,
@@ -111,6 +206,12 @@ impl NeighborTables {
                         qos: measured_qos,
                         asym_until: hold_until,
                         sym_until: now,
+                        quality_ppm: 0,
+                        // `update_quality` below sees zero elapsed time,
+                        // so the first arrival applies exactly one gain
+                        // step from zero.
+                        last_heard: now,
+                        pending: matches!(sensing.hysteresis, LinkHysteresis::On(_)),
                     },
                 );
                 i
@@ -118,7 +219,8 @@ impl NeighborTables {
         };
         let tuple = &mut self.links[i];
         let was_symmetric = tuple.is_symmetric(now);
-        tuple.qos = measured_qos;
+        tuple.update_quality(now, &sensing);
+        tuple.qos = effective_qos(measured_qos, tuple.quality_ppm, sensing.metric);
         tuple.asym_until = hold_until;
         if let Some(entry) = hello.entry(me) {
             // The neighbor hears us: the link is bidirectional.
@@ -1241,6 +1343,7 @@ impl Duplicates {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{EtxParams, HysteresisParams};
     use crate::messages::{HelloNeighbor, LinkState};
     use qolsr_sim::SimDuration;
 
@@ -1359,6 +1462,154 @@ mod tests {
         );
         let view = nt.local_view(me, t(1));
         assert_eq!(view.two_hop().count(), 0);
+    }
+
+    /// 2 s HELLO cadence with the given hysteresis/metric pair.
+    fn sensing(hysteresis: LinkHysteresis, metric: LinkMetric) -> SensingParams {
+        SensingParams {
+            expected_interval: SimDuration::from_secs(2),
+            hysteresis,
+            metric,
+        }
+    }
+
+    /// One mutual HELLO from `NodeId(1)` at `now` held for `hold_secs`,
+    /// sensed.
+    fn mutual_hello_held(
+        nt: &mut NeighborTables,
+        now: SimTime,
+        hold_secs: u64,
+        s: SensingParams,
+    ) -> bool {
+        nt.process_hello_sensed(
+            NodeId(0),
+            NodeId(1),
+            LinkQos::uniform(5),
+            &hello_listing(&[(0, LinkState::Symmetric)]),
+            now,
+            now + SimDuration::from_secs(hold_secs),
+            s,
+        )
+    }
+
+    /// One mutual HELLO from `NodeId(1)` at `now`, sensed, RFC hold.
+    fn mutual_hello(nt: &mut NeighborTables, now: SimTime, s: SensingParams) -> bool {
+        mutual_hello_held(nt, now, 6, s)
+    }
+
+    #[test]
+    fn hysteresis_delays_link_admission() {
+        // RFC §14 defaults: scaling 0.5, accept 0.8. Quality climbs
+        // 0.5 → 0.75 → 0.875 over perfect arrivals, so the link stays
+        // pending (excluded from the symmetric set) until the third
+        // mutual HELLO despite the handshake completing on the first.
+        let s = sensing(
+            LinkHysteresis::On(HysteresisParams::default()),
+            LinkMetric::Measured,
+        );
+        let mut nt = NeighborTables::new();
+        mutual_hello(&mut nt, t(0), s);
+        assert!(!nt.is_symmetric(NodeId(1), t(1)), "q=0.5 < accept");
+        mutual_hello(&mut nt, t(2), s);
+        assert!(!nt.is_symmetric(NodeId(1), t(3)), "q=0.75 < accept");
+        let changed = mutual_hello(&mut nt, t(4), s);
+        assert!(nt.is_symmetric(NodeId(1), t(5)), "q=0.875 ≥ accept");
+        assert!(changed, "pending→usable is a route-relevant change");
+    }
+
+    #[test]
+    fn hysteresis_demotes_a_link_after_a_silence() {
+        // Gentle gain so a long gap outweighs the single arrival that
+        // reports it: accept after eight clean HELLOs, then a 32 s
+        // silence (15 inferred losses) drives quality under the reject
+        // threshold. A generous 60 s hold keeps the handshake timer
+        // alive across the gap, so hysteresis — not expiry — is what
+        // demotes the link.
+        let s = sensing(
+            LinkHysteresis::On(HysteresisParams {
+                scaling_ppm: 200_000,
+                accept_ppm: 800_000,
+                reject_ppm: 300_000,
+            }),
+            LinkMetric::Measured,
+        );
+        let mut nt = NeighborTables::new();
+        for k in 0..8 {
+            mutual_hello_held(&mut nt, t(2 * k), 60, s);
+        }
+        assert!(nt.is_symmetric(NodeId(1), t(15)), "eight clean arrivals");
+        let changed = mutual_hello_held(&mut nt, t(46), 60, s);
+        assert!(
+            nt.links[0].sym_until > t(47),
+            "handshake still held — hysteresis is doing the gating"
+        );
+        assert!(
+            !nt.is_symmetric(NodeId(1), t(47)),
+            "quality collapsed below reject: pending again"
+        );
+        assert!(changed, "usable→pending is a route-relevant change");
+    }
+
+    #[test]
+    fn hysteresis_off_never_pends() {
+        let s = sensing(LinkHysteresis::Off, LinkMetric::Measured);
+        let mut nt = NeighborTables::new();
+        mutual_hello(&mut nt, t(0), s);
+        assert!(nt.is_symmetric(NodeId(1), t(1)), "admitted immediately");
+        mutual_hello(&mut nt, t(60), s); // arbitrarily long silence
+        assert!(nt.is_symmetric(NodeId(1), t(61)));
+        assert!(!nt.links[0].pending);
+    }
+
+    #[test]
+    fn etx_reshapes_advertised_qos() {
+        use qolsr_metrics::{Bandwidth, Delay, Energy};
+        let s = sensing(LinkHysteresis::Off, LinkMetric::Etx(EtxParams::default()));
+        let measured = LinkQos::with_energy(Bandwidth(100), Delay(10), Energy(7));
+        let mut nt = NeighborTables::new();
+        let hello = hello_listing(&[(0, LinkState::Symmetric)]);
+        nt.process_hello_sensed(NodeId(0), NodeId(1), measured, &hello, t(0), t(6), s);
+        // First arrival: q = 0.3, q² = 0.09 → bandwidth 100·0.09 = 9,
+        // delay 10/0.09 = 111; energy untouched.
+        let first = nt.symmetric_neighbors(t(1));
+        assert_eq!(
+            first,
+            vec![(
+                NodeId(1),
+                LinkQos::with_energy(Bandwidth(9), Delay(111), Energy(7))
+            )]
+        );
+        // Second clean arrival: q = 0.51, q² = 0.2601 → the estimate
+        // improves and so does the effective QoS.
+        nt.process_hello_sensed(NodeId(0), NodeId(1), measured, &hello, t(2), t(8), s);
+        let second = nt.symmetric_neighbors(t(3));
+        assert_eq!(
+            second,
+            vec![(
+                NodeId(1),
+                LinkQos::with_energy(Bandwidth(26), Delay(38), Energy(7))
+            )]
+        );
+    }
+
+    #[test]
+    fn default_sensing_tracks_quality_without_behavior_change() {
+        // The plain `process_hello` wrapper (default sensing: Off /
+        // Measured) must advertise the measured QoS verbatim and never
+        // pend a link — the quality estimate ticks along unused.
+        let mut nt = NeighborTables::new();
+        nt.process_hello(
+            NodeId(0),
+            NodeId(1),
+            LinkQos::uniform(5),
+            &hello_listing(&[(0, LinkState::Symmetric)]),
+            t(0),
+            t(6),
+        );
+        assert!(nt.is_symmetric(NodeId(1), t(1)));
+        assert_eq!(nt.links[0].qos, LinkQos::uniform(5));
+        assert!(!nt.links[0].pending);
+        assert_eq!(nt.links[0].quality_ppm, 500_000, "EWMA still tracked");
     }
 
     #[test]
@@ -1604,6 +1855,69 @@ mod tests {
             ring.ring.len(),
             entries
         );
+    }
+
+    /// The nastiest index interleaving: a key is refreshed (its old
+    /// ring slot becomes a tombstone, its index entry is repointed at
+    /// the back), then a *mass expiry* sweep pops the whole front of
+    /// the ring AND triggers the capacity-shrink compaction — which
+    /// rebases `popped` to zero and rebuilds the whole position index —
+    /// and in the *same tick* the survivor is refreshed again and
+    /// marked forwarded. Any stale absolute position left behind by the
+    /// rebase would make `find` read the wrong ring slot and misreport
+    /// the key as unseen (re-processing a duplicate flood) or lose its
+    /// forwarded bit (re-flooding). The reference representation pins
+    /// every answer.
+    #[test]
+    fn duplicate_ring_refresh_survives_same_tick_mass_expiry_compaction() {
+        let mut ring = DuplicateRing::new();
+        let mut reference = DuplicateSet::new();
+        let survivor = NodeId(9);
+        // 300 short-hold entries build up front mass and ring capacity.
+        for seq in 0..300u16 {
+            assert_eq!(
+                ring.fresh(NodeId(seq as u32 % 7), seq, t(4)),
+                reference.fresh(NodeId(seq as u32 % 7), seq, t(4))
+            );
+        }
+        // The survivor arrives, is forwarded, and is refreshed once —
+        // tombstoning its original slot mid-ring.
+        assert!(ring.fresh(survivor, 42, t(4)) && reference.fresh(survivor, 42, t(4)));
+        assert!(
+            ring.mark_forwarded(survivor, 42, t(4)) && reference.mark_forwarded(survivor, 42, t(4))
+        );
+        assert!(
+            !ring.fresh(survivor, 42, t(6)) && !reference.fresh(survivor, 42, t(6)),
+            "refresh must report the key as already known"
+        );
+        let capacity_before = ring.ring.capacity();
+        // Mass expiry: all 301 short-hold entries (including the
+        // survivor's tombstoned slot) age out at t(4); only the
+        // survivor's refreshed slot outlives the sweep. The capacity
+        // guard must fire and compact + rebase.
+        ring.sweep(t(4));
+        reference.sweep(t(4));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(reference.footprint().0, 1);
+        assert_eq!(ring.popped, 0, "compaction must have rebased positions");
+        assert!(
+            ring.ring.capacity() < capacity_before,
+            "mass expiry must trigger the capacity-shrink compaction"
+        );
+        // Same tick, post-rebase: the survivor must still be found at
+        // its rebased position with its forwarded bit intact.
+        assert!(
+            !ring.fresh(survivor, 42, t(9)) && !reference.fresh(survivor, 42, t(9)),
+            "post-compaction lookup lost the survivor"
+        );
+        assert!(
+            !ring.mark_forwarded(survivor, 42, t(9))
+                && !reference.mark_forwarded(survivor, 42, t(9)),
+            "forwarded bit lost across tombstone refresh + compaction"
+        );
+        // And a fresh key keeps agreeing afterwards.
+        assert!(ring.fresh(NodeId(11), 7, t(9)) && reference.fresh(NodeId(11), 7, t(9)));
+        assert_eq!(ring.len(), reference.footprint().0);
     }
 
     /// The [`Duplicates`] dispatch constructs the representation the

@@ -193,6 +193,73 @@ proptest! {
         }
     }
 
+    /// The non-mutating accept predicate IS the mutating path's accept
+    /// decision: for every TC in any history, `accepts_ansn` queried
+    /// immediately before `process_tc_tracked` equals the returned
+    /// `applied` — in both formulations. The peek-decode fast path
+    /// drops TC bodies on the strength of `accepts_ansn` alone, so any
+    /// daylight between the two is a lost (or phantom) topology update.
+    /// Histories are adversarial on exactly the two axes where the
+    /// predicates could drift apart: the `Jump` arm lands arrivals on
+    /// the *exact expiry instant* of a previously recorded hold
+    /// (`until == now`, where `<=` vs `<` disagreements live), and
+    /// ANSNs straddle the u16 wrap (where `seq_newer` asymmetry lives).
+    #[test]
+    fn accept_predicate_equals_applied_at_boundaries(
+        steps in proptest::collection::vec(
+            (
+                1u32..4,
+                ansn_value(),
+                1u64..6,
+                prop_oneof![
+                    (0u64..3).prop_map(Some), // step forward
+                    Just(None),               // jump to a recorded expiry
+                ],
+                0usize..8,
+                any::<bool>(),
+            ),
+            1..60,
+        )
+    ) {
+        let store = SharedLinkStore::new();
+        let mut shared = SharedTopology::new(store);
+        let mut per_node = TopologyBase::new();
+        let mut horizons: Vec<SimTime> = Vec::new();
+        let mut now = SimTime::ZERO;
+        let adv = advertised_links(&[7, 8]);
+        for (i, &(orig, ansn, hold_s, advance, pick, sweep)) in steps.iter().enumerate() {
+            now = match advance {
+                Some(secs) => now + SimDuration::from_secs(secs),
+                // Land exactly on a previously recorded hold horizon —
+                // the expiry boundary — whenever one is still ahead.
+                None => horizons
+                    .get(pick % horizons.len().max(1))
+                    .copied()
+                    .map_or(now, |h| h.max(now)),
+            };
+            let hold = now + SimDuration::from_secs(hold_s);
+            horizons.push(hold);
+            let o = NodeId(orig);
+            let shared_accepts = shared.accepts_ansn(o, ansn, now);
+            let per_node_accepts = per_node.accepts_ansn(o, ansn, now);
+            let su = shared.process_tc_tracked(o, i as u16, ansn, &adv, now, hold);
+            let pu = per_node.process_tc_tracked(o, ansn, &adv, now, hold);
+            prop_assert_eq!(
+                shared_accepts, su.applied,
+                "shared accepts_ansn lied about apply at {} (step {})", now, i
+            );
+            prop_assert_eq!(
+                per_node_accepts, pu.applied,
+                "per-node accepts_ansn lied about apply at {} (step {})", now, i
+            );
+            prop_assert_eq!(su.applied, pu.applied, "formulations diverged at {}", now);
+            if sweep {
+                shared.sweep(now);
+                per_node.sweep(now);
+            }
+        }
+    }
+
     /// The packed `(seq, until, forwarded)` duplicate-set entries match
     /// a naive `BTreeMap` keyed `(originator, seq)` — with sequence
     /// numbers drawn to straddle both u16 wrap points, pinning the

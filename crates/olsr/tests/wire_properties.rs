@@ -172,6 +172,61 @@ proptest! {
         }
     }
 
+    /// Bit-corrupted (and optionally truncated) TC buffers keep peek
+    /// and decode coherent. A corrupted buffer is *not* noise: most of
+    /// it is still a well-formed TC, so this drives the near-valid
+    /// boundary where a length-check divergence would hide — e.g. a
+    /// flipped bit in the count field moves the expected length, and
+    /// peek's arithmetic must classify the buffer (Truncated vs
+    /// TrailingBytes, with the same byte count) exactly like the
+    /// decoder's entry loop. The contract:
+    /// * peek errors ⇒ decode fails with the *same* `WireError`;
+    /// * peek says TC ⇒ decode succeeds and every peeked header field
+    ///   matches the decoded message (corrupted ids/QoS are fine — the
+    ///   codec has no checksum — but the fast path's duplicate/ANSN
+    ///   decisions must be the ones full decode would have made);
+    /// * peek says HELLO (kind byte corrupted to 1) ⇒ no TC claim is
+    ///   made; the receive path full-decodes, which must not panic.
+    #[test]
+    fn peek_matches_decode_on_bit_corrupted_tc_buffers(
+        tc in arb_tc(),
+        orig in any::<u32>(),
+        seq in any::<u16>(),
+        flips in proptest::collection::vec(any::<usize>(), 1..4),
+        cut_fraction in 0.0f64..1.01,
+    ) {
+        let msg = Message::tc(NodeId(orig), seq, tc);
+        let encoded = wire::encode(&msg);
+        let mut raw = encoded.to_vec();
+        for &f in &flips {
+            let bit = f % (raw.len() * 8);
+            raw[bit / 8] ^= 1 << (bit % 8);
+        }
+        let cut = (((raw.len() + 1) as f64) * cut_fraction) as usize;
+        raw.truncate(cut.min(raw.len()));
+        let bytes = bytes::Bytes::from(raw);
+        match wire::peek(&bytes) {
+            Err(e) => prop_assert_eq!(Some(e), wire::decode(bytes).err()),
+            Ok(wire::Peek::Tc(p)) => {
+                let decoded = wire::decode(bytes).expect("peek-accepted TC must decode");
+                prop_assert_eq!(decoded.originator, p.originator);
+                prop_assert_eq!(decoded.seq, p.seq);
+                prop_assert_eq!(decoded.ttl, p.ttl);
+                prop_assert_eq!(decoded.hop_count, p.hop_count);
+                match decoded.body {
+                    Body::Tc(tc) => prop_assert_eq!(tc.ansn, p.ansn),
+                    Body::Hello(_) => prop_assert!(false, "kind byte said TC"),
+                }
+            }
+            Ok(wire::Peek::Hello) => {
+                // Kind byte corrupted into a HELLO: peek makes no TC
+                // claim and the slow path takes over; it may accept or
+                // reject the reinterpreted body but must do so cleanly.
+                let _ = wire::decode(bytes);
+            }
+        }
+    }
+
     /// Peek never panics on noise, and whenever it accepts a TC, the
     /// full decoder accepts the same buffer with matching header fields
     /// — even on adversarial bytes.

@@ -60,10 +60,12 @@ pub trait Actor {
     }
 }
 
-/// Ideal-MAC radio parameters: every transmission reaches its
-/// destination(s) after `latency` plus a uniform jitter in `[0, jitter)`;
-/// there is no loss, interference or collision (per the paper's §IV.A
-/// simulation assumptions).
+/// Radio parameters: every transmission reaches its destination(s)
+/// after `latency` plus a uniform jitter in `[0, jitter)`, subject to
+/// the [`PhyModel`]. Under the default [`PhyModel::Ideal`] there is no
+/// loss, interference or collision (per the paper's §IV.A simulation
+/// assumptions); [`PhyModel::Lossy`] samples per-delivery drops from a
+/// distance-derived error curve and optionally models receiver capture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RadioConfig {
     /// Fixed per-hop latency.
@@ -72,6 +74,8 @@ pub struct RadioConfig {
     /// disables jitter and makes delivery order a pure function of send
     /// order.
     pub jitter: SimDuration,
+    /// The physical-layer channel model.
+    pub phy: PhyModel,
 }
 
 impl Default for RadioConfig {
@@ -79,7 +83,136 @@ impl Default for RadioConfig {
         Self {
             latency: SimDuration::from_millis(1),
             jitter: SimDuration::ZERO,
+            phy: PhyModel::Ideal,
         }
+    }
+}
+
+/// The physical-layer channel behaviour of the radio.
+///
+/// `Ideal` is the living reference formulation every lossy run is
+/// differentially pinned against (the same pattern as
+/// [`SchedulerKind`]'s heap or `TcScoping::Uniform`): it performs **no
+/// PHY randomness at all**, so `Ideal` runs are byte-identical to the
+/// engine as it existed before the PHY layer landed. `Lossy` draws its
+/// randomness from dedicated per-sender streams split from
+/// `seed ^ LOSS_STREAM_SALT` — never from the engine or actor streams —
+/// so switching models cannot perturb protocol jitter or actor draws,
+/// and drop decisions are identical across [`Simulator`] and
+/// [`crate::ShardedSimulator`] at every shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PhyModel {
+    /// Perfect channel: every frame within radio range is delivered.
+    #[default]
+    Ideal,
+    /// Probabilistic channel with distance-dependent loss and optional
+    /// receiver capture.
+    Lossy(LossyPhy),
+}
+
+/// Parameters of [`PhyModel::Lossy`]. All integer-valued so the radio
+/// config stays `Eq`/hashable.
+///
+/// The drop curve is `p(d) = (edge_drop_ppm / 10⁶) · (d / R)^exponent`
+/// for sender–receiver distance `d` and radio range `R` — zero loss at
+/// zero distance rising to `edge_drop_ppm` at the range edge, the usual
+/// shape of a path-loss-driven frame-error curve. Links created without
+/// geometry (distance beyond `R`, e.g. scenario `LinkUp` overrides) are
+/// clamped to the edge probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossyPhy {
+    /// Drop probability at the radio-range edge, in parts per million
+    /// (`1_000_000` = certain loss at the edge).
+    pub edge_drop_ppm: u32,
+    /// Distance exponent of the drop curve (2 ≈ free-space path loss;
+    /// higher values concentrate loss at the fringe).
+    pub exponent: u32,
+    /// Receiver-capture window: after a frame is received, further
+    /// frames arriving at the same receiver within this window collide
+    /// and are lost (first-frame capture). `ZERO` disables collision
+    /// modelling.
+    pub capture_window: SimDuration,
+}
+
+impl LossyPhy {
+    /// A lossy channel with the given edge drop rate, quadratic distance
+    /// falloff and no collision modelling.
+    pub fn with_edge_drop_ppm(edge_drop_ppm: u32) -> Self {
+        Self {
+            edge_drop_ppm,
+            exponent: 2,
+            capture_window: SimDuration::ZERO,
+        }
+    }
+
+    /// The drop probability for a frame travelling distance `d` under
+    /// radio range `radius`, in `[0, 1]`.
+    pub fn drop_probability(&self, d: f64, radius: f64) -> f64 {
+        let frac = if radius > 0.0 {
+            (d / radius).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        f64::from(self.edge_drop_ppm) / 1e6 * frac.powi(self.exponent as i32)
+    }
+}
+
+/// Salt separating the PHY loss streams from the engine seed: the loss
+/// master RNG is `seed ^ LOSS_STREAM_SALT`, split once per node in node
+/// order. Both engines derive the streams identically, and `Ideal` runs
+/// never touch them.
+pub(crate) const LOSS_STREAM_SALT: u64 = 0x4c4f_5353_5048_5921; // "LOSSPHY!"
+
+/// Builds the per-sender PHY loss streams for `n` nodes — empty under
+/// [`PhyModel::Ideal`] (no PHY randomness exists to track).
+pub(crate) fn loss_streams(seed: u64, n: usize, phy: PhyModel) -> Vec<SimRng> {
+    match phy {
+        PhyModel::Ideal => Vec::new(),
+        PhyModel::Lossy(_) => {
+            let mut master = SimRng::seed_from_u64(seed ^ LOSS_STREAM_SALT);
+            (0..n).map(|_| master.split()).collect()
+        }
+    }
+}
+
+/// Samples the PHY for one delivery attempt from `from` to `to`:
+/// `true` when the frame is dropped in flight. `Ideal` never drops and
+/// consumes no randomness; `Lossy` draws exactly one value from the
+/// sender's loss stream per attempt (even at probability zero), so the
+/// stream position is a pure function of the sender's send history —
+/// identical across engines and shard counts.
+pub(crate) fn phy_drops_frame(
+    phy: PhyModel,
+    world: &DynamicTopology,
+    from: NodeId,
+    to: NodeId,
+    loss_rng: &mut SimRng,
+) -> bool {
+    let PhyModel::Lossy(lossy) = phy else {
+        return false;
+    };
+    let d = world.position(from).distance(world.position(to));
+    loss_rng.next_f64() < lossy.drop_probability(d, world.radius())
+}
+
+/// First-frame-capture collision check at delivery dispatch: a frame
+/// arriving while the receiver is still busy with a previous frame is
+/// lost; otherwise it is received and occupies the receiver for the
+/// capture window. Deterministic (no randomness) and shard-invariant,
+/// because a receiver's deliveries dispatch in the same global
+/// `(time, seq)` order in every engine.
+pub(crate) fn phy_collides(phy: PhyModel, now: SimTime, busy_until: &mut SimTime) -> bool {
+    let PhyModel::Lossy(lossy) = phy else {
+        return false;
+    };
+    if lossy.capture_window == SimDuration::ZERO {
+        return false;
+    }
+    if now < *busy_until {
+        true
+    } else {
+        *busy_until = now + lossy.capture_window;
+        false
     }
 }
 
@@ -222,6 +355,12 @@ pub struct SimStats {
     /// meantime (stale timers and in-flight deliveries of a previous
     /// life).
     pub stale_dropped: u64,
+    /// Deliveries dropped in flight by the probabilistic PHY
+    /// ([`PhyModel::Lossy`]); always zero under [`PhyModel::Ideal`].
+    pub phy_drops: u64,
+    /// Deliveries lost to receiver collision: the frame arrived while a
+    /// previously captured frame still occupied the receiver.
+    pub collisions: u64,
 }
 
 /// The discrete-event simulator: one [`Actor`] per topology node, an
@@ -242,6 +381,12 @@ pub struct Simulator<A: Actor> {
     generations: Vec<u32>,
     rngs: Vec<SimRng>,
     engine_rng: SimRng,
+    /// Per-sender PHY loss streams (see [`loss_streams`]); empty under
+    /// [`PhyModel::Ideal`].
+    loss_rngs: Vec<SimRng>,
+    /// Per-receiver capture state for the collision model; empty unless
+    /// the PHY is lossy.
+    busy_until: Vec<SimTime>,
     queue: EventQueue<Scheduled<A::Msg>>,
     now: SimTime,
     seq: u64,
@@ -278,6 +423,12 @@ impl<A: Actor> Simulator<A> {
         let n = topology.len();
         let actors: Vec<A> = topology.nodes().map(&mut build).collect();
         let rngs: Vec<SimRng> = (0..n).map(|_| engine_rng.split()).collect();
+        let loss_rngs = loss_streams(seed, n, radio.phy);
+        let busy_until = if loss_rngs.is_empty() {
+            Vec::new()
+        } else {
+            vec![SimTime::ZERO; n]
+        };
         let mut sim = Self {
             world: DynamicTopology::new(&topology),
             radio,
@@ -285,6 +436,8 @@ impl<A: Actor> Simulator<A> {
             generations: vec![0; n],
             rngs,
             engine_rng,
+            loss_rngs,
+            busy_until,
             queue: EventQueue::new(scheduler),
             now: SimTime::ZERO,
             seq: 0,
@@ -417,6 +570,16 @@ impl<A: Actor> Simulator<A> {
             self.stats.stale_dropped += 1;
             return true;
         }
+        // Receiver capture: a frame landing inside the busy window of a
+        // previously received frame collides and is lost before the
+        // actor sees it (like a stale drop, it leaves no trace record).
+        if matches!(ev.kind, EventKind::Deliver { .. })
+            && !self.busy_until.is_empty()
+            && phy_collides(self.radio.phy, self.now, &mut self.busy_until[node.index()])
+        {
+            self.stats.collisions += 1;
+            return true;
+        }
 
         let mut effects: Vec<Effect<A::Msg>> = Vec::new();
         {
@@ -482,12 +645,39 @@ impl<A: Actor> Simulator<A> {
             WorldEvent::Join { node } if changed => {
                 // The node boots fresh: protocol state resets and the
                 // start handler runs again (in the *current* generation,
-                // so its new timers are live).
+                // so its new timers are live). The radio front-end is
+                // new hardware too — no capture window survives a
+                // power cycle.
                 self.actors[node.index()].on_reset();
+                if let Some(busy) = self.busy_until.get_mut(node.index()) {
+                    *busy = SimTime::ZERO;
+                }
                 self.push(self.now, node, EventKind::Start);
             }
             _ => {}
         }
+    }
+
+    /// Samples the PHY for one send from `from` to `to`; counts and
+    /// reports an in-flight drop. Dropped frames never become delivery
+    /// events (and consume no jitter draw — under zero jitter none
+    /// exists, and with jitter the per-draw schedule is already a
+    /// documented divergence between the engines).
+    fn phy_drops(&mut self, from: NodeId, to: NodeId) -> bool {
+        if self.loss_rngs.is_empty() {
+            return false;
+        }
+        let dropped = phy_drops_frame(
+            self.radio.phy,
+            &self.world,
+            from,
+            to,
+            &mut self.loss_rngs[from.index()],
+        );
+        if dropped {
+            self.stats.phy_drops += 1;
+        }
+        dropped
     }
 
     fn delivery_delay(&mut self) -> SimDuration {
@@ -507,6 +697,9 @@ impl<A: Actor> Simulator<A> {
                     let neighbors: Vec<NodeId> =
                         self.world.neighbors(node).map(|(n, _)| n).collect();
                     for to in neighbors {
+                        if self.phy_drops(node, to) {
+                            continue;
+                        }
                         let delay = self.delivery_delay();
                         let at = self.now + delay;
                         self.push(
@@ -522,6 +715,9 @@ impl<A: Actor> Simulator<A> {
                 Effect::Unicast(to, msg) => {
                     self.stats.unicasts += 1;
                     if self.world.has_link(node, to) {
+                        if self.phy_drops(node, to) {
+                            continue;
+                        }
                         let delay = self.delivery_delay();
                         let at = self.now + delay;
                         self.push(at, to, EventKind::Deliver { from: node, msg });
@@ -709,6 +905,7 @@ mod tests {
         let radio = RadioConfig {
             latency: SimDuration::from_millis(1),
             jitter: SimDuration::from_millis(5),
+            ..RadioConfig::default()
         };
         let run = |seed: u64| {
             let mut sim = Simulator::new(line3(), radio, seed, |_| Flood::default());
@@ -824,6 +1021,66 @@ mod tests {
         sim.run_for(SimDuration::from_secs(1));
     }
 
+    /// A world mutation landing while a frame is in flight must be
+    /// visible to the delivery handler: `Context::link_qos` reads the
+    /// world at *receive* time, never a snapshot taken at broadcast.
+    /// The measured-QoS protocol path stamps link tuples from exactly
+    /// this call, so a stale read would poison neighbor tables for a
+    /// full HELLO interval.
+    #[test]
+    fn delivery_handler_sees_world_at_receive_time() {
+        #[derive(Default)]
+        struct QosProbe {
+            seen: Vec<Option<LinkQos>>,
+        }
+        impl Actor for QosProbe {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                if ctx.node_id() == NodeId(0) {
+                    ctx.broadcast(());
+                }
+            }
+            fn on_timer(&mut self, _c: &mut Context<'_, ()>, _t: TimerId) {}
+            fn on_message(&mut self, ctx: &mut Context<'_, ()>, from: NodeId, _m: ()) {
+                self.seen.push(ctx.link_qos(from));
+            }
+        }
+        // Broadcast leaves node 0 at t = 0; the frame lands at t = 1 ms
+        // (default latency). The 0—1 QoS drifts at 0.5 ms, mid-flight.
+        let mut sim = Simulator::new(line3(), RadioConfig::default(), 1, |_| QosProbe::default());
+        sim.schedule_world(
+            SimTime::from_micros(500),
+            WorldEvent::QosChange {
+                a: NodeId(0),
+                b: NodeId(1),
+                qos: LinkQos::uniform(7),
+            },
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(
+            sim.actor(NodeId(1)).seen,
+            vec![Some(LinkQos::uniform(7))],
+            "handler must measure the drifted QoS, not the broadcast-time value"
+        );
+        // Same flight, but the carrying link is gone by receive time:
+        // the handler must see its absence (the in-flight frame itself
+        // still arrives — only Leave cancels deliveries).
+        let mut sim = Simulator::new(line3(), RadioConfig::default(), 1, |_| QosProbe::default());
+        sim.schedule_world(
+            SimTime::from_micros(500),
+            WorldEvent::LinkDown {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(
+            sim.actor(NodeId(1)).seen,
+            vec![None],
+            "handler must see the mid-flight link loss"
+        );
+    }
+
     #[test]
     fn world_events_replay_identically() {
         let run = |seed: u64| {
@@ -867,6 +1124,7 @@ mod tests {
                 RadioConfig {
                     latency: SimDuration::from_millis(1),
                     jitter: SimDuration::from_millis(3),
+                    ..RadioConfig::default()
                 },
                 11,
                 kind,
@@ -901,6 +1159,101 @@ mod tests {
             run(SchedulerKind::TimerWheel),
             run(SchedulerKind::BinaryHeap)
         );
+    }
+
+    fn lossy(edge_drop_ppm: u32) -> RadioConfig {
+        RadioConfig {
+            phy: PhyModel::Lossy(LossyPhy::with_edge_drop_ppm(edge_drop_ppm)),
+            ..RadioConfig::default()
+        }
+    }
+
+    #[test]
+    fn drop_probability_curve_shape() {
+        let phy = LossyPhy::with_edge_drop_ppm(400_000);
+        assert_eq!(phy.drop_probability(0.0, 10.0), 0.0);
+        assert_eq!(phy.drop_probability(10.0, 10.0), 0.4);
+        assert_eq!(phy.drop_probability(5.0, 10.0), 0.1); // (1/2)² of the edge
+        assert_eq!(phy.drop_probability(25.0, 10.0), 0.4, "clamped past range");
+        assert_eq!(phy.drop_probability(3.0, 0.0), 0.4, "degenerate radius");
+    }
+
+    #[test]
+    fn ideal_phy_draws_no_randomness() {
+        // An Ideal run and a Lossy run at drop probability zero must
+        // leave the actor-visible world identical: loss sampling comes
+        // from dedicated streams, never the engine or actor streams.
+        let run = |radio: RadioConfig| {
+            let mut sim = Simulator::new(line3(), radio, 9, |_| Flood::default());
+            sim.run_for(SimDuration::from_secs(1));
+            (sim.stats(), sim.actor(NodeId(1)).heard_from.clone())
+        };
+        let ideal = run(RadioConfig::default());
+        let zero_loss = run(lossy(0));
+        assert_eq!(ideal.1, zero_loss.1);
+        assert_eq!(ideal.0.deliveries, zero_loss.0.deliveries);
+        assert_eq!(zero_loss.0.phy_drops, 0);
+    }
+
+    #[test]
+    fn certain_edge_loss_silences_the_channel() {
+        // Two nodes exactly one radio range apart: edge_drop = 1e6 puts
+        // the hop at drop probability 1, so nothing ever arrives.
+        let mut b = TopologyBuilder::new(10.0);
+        let n0 = b.add_node(Point2::new(0.0, 0.0));
+        let n1 = b.add_node(Point2::new(10.0, 0.0));
+        b.link(n0, n1, LinkQos::uniform(1)).unwrap();
+        let mut sim = Simulator::new(b.build(), lossy(1_000_000), 5, |_| Flood::default());
+        sim.run_for(SimDuration::from_secs(1));
+        let stats = sim.stats();
+        assert_eq!(stats.deliveries, 0, "edge hop must always drop");
+        assert_eq!(stats.phy_drops, 1);
+        assert!(!sim.actor(NodeId(1)).seen);
+    }
+
+    #[test]
+    fn lossy_runs_replay_identically_per_seed() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(line3(), lossy(500_000), seed, |_| Flood::default());
+            sim.run_for(SimDuration::from_secs(1));
+            (sim.stats(), sim.actor(NodeId(1)).heard_from.clone())
+        };
+        assert_eq!(run(21), run(21));
+    }
+
+    #[test]
+    fn capture_window_collides_overlapping_deliveries() {
+        // Both 0 and 2 broadcast at t=0; node 1 receives two frames at
+        // the same instant. With a capture window the second collides.
+        struct TwoTalkers;
+        impl Actor for TwoTalkers {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                if ctx.node_id() != NodeId(1) {
+                    ctx.broadcast(());
+                }
+            }
+            fn on_timer(&mut self, _c: &mut Context<'_, ()>, _t: TimerId) {}
+            fn on_message(&mut self, _c: &mut Context<'_, ()>, _f: NodeId, _m: ()) {}
+        }
+        let radio = RadioConfig {
+            phy: PhyModel::Lossy(LossyPhy {
+                edge_drop_ppm: 0,
+                exponent: 2,
+                capture_window: SimDuration::from_micros(200),
+            }),
+            ..RadioConfig::default()
+        };
+        let mut sim = Simulator::new(line3(), radio, 1, |_| TwoTalkers);
+        sim.run_for(SimDuration::from_secs(1));
+        let stats = sim.stats();
+        assert_eq!(stats.collisions, 1, "second frame at node 1 collides");
+        assert_eq!(stats.deliveries, 1);
+        // Without the window both frames arrive.
+        let mut sim = Simulator::new(line3(), lossy(0), 1, |_| TwoTalkers);
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.stats().collisions, 0);
+        assert_eq!(sim.stats().deliveries, 2);
     }
 
     #[test]

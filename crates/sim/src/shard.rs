@@ -49,7 +49,10 @@ use std::iter::Peekable;
 
 use qolsr_graph::{DynamicTopology, NodeId, Point2, Topology, WorldEvent};
 
-use crate::engine::{Actor, Context, Effect, EventKind, RadioConfig, Scheduled, SimStats, TimerId};
+use crate::engine::{
+    loss_streams, phy_collides, phy_drops_frame, Actor, Context, Effect, EventKind, PhyModel,
+    RadioConfig, Scheduled, SimStats, TimerId,
+};
 use crate::queue::{EventQueue, SchedulerKind};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -233,6 +236,13 @@ struct Shard<A: Actor> {
     /// Per-node delivery-jitter streams (split from the engine seed in
     /// node order). Unused when the radio has zero jitter.
     jitter_rngs: Vec<SimRng>,
+    /// Per-node PHY loss streams (split from `seed ^ LOSS_STREAM_SALT`
+    /// in node order, exactly as in the single-queue engine). Empty
+    /// under [`PhyModel::Ideal`].
+    loss_rngs: Vec<SimRng>,
+    /// Per-node receiver-capture state for the collision model; empty
+    /// unless the PHY is lossy.
+    busy_until: Vec<SimTime>,
     /// Window dispatch log, in local dispatch order.
     records: Vec<DispatchRecord>,
     /// Flat per-record child log (see [`DispatchRecord::children_end`]).
@@ -259,6 +269,8 @@ impl<A: Actor> Shard<A> {
             actors: Vec::new(),
             rngs: Vec::new(),
             jitter_rngs: Vec::new(),
+            loss_rngs: Vec::new(),
+            busy_until: Vec::new(),
             records: Vec::new(),
             children: Vec::new(),
             prov_map: Vec::new(),
@@ -332,6 +344,18 @@ fn run_window<A: Actor>(
         }
         let slot = locs[node.index()].1 as usize;
         debug_assert_eq!(shard.members[slot], node);
+        // Receiver capture, exactly as in `Simulator::step`: a frame
+        // landing inside the busy window collides before the actor sees
+        // it. Receiver state is shard-local, so this commutes with the
+        // barrier (a node's deliveries always dispatch on its home
+        // shard, in global `(time, seq)` order).
+        if matches!(ev.kind, EventKind::Deliver { .. })
+            && !shard.busy_until.is_empty()
+            && phy_collides(radio.phy, ev.time, &mut shard.busy_until[slot])
+        {
+            shard.window_stats.collisions += 1;
+            continue;
+        }
         shard.effects.clear();
         {
             let mut ctx = Context {
@@ -361,6 +385,18 @@ fn run_window<A: Actor>(
                 Effect::Broadcast(msg) => {
                     shard.window_stats.broadcasts += 1;
                     for (to, _) in world.neighbors(node) {
+                        if !shard.loss_rngs.is_empty()
+                            && phy_drops_frame(
+                                radio.phy,
+                                world,
+                                node,
+                                to,
+                                &mut shard.loss_rngs[slot],
+                            )
+                        {
+                            shard.window_stats.phy_drops += 1;
+                            continue;
+                        }
                         let delay = delivery_delay(radio, &mut shard.jitter_rngs[slot]);
                         shard.children.push(Child::Deliver {
                             at: ev.time + delay,
@@ -374,14 +410,26 @@ fn run_window<A: Actor>(
                 Effect::Unicast(to, msg) => {
                     shard.window_stats.unicasts += 1;
                     if world.has_link(node, to) {
-                        let delay = delivery_delay(radio, &mut shard.jitter_rngs[slot]);
-                        shard.children.push(Child::Deliver {
-                            at: ev.time + delay,
-                            to,
-                            from: node,
-                            msg,
-                            generation: generations[to.index()],
-                        });
+                        if !shard.loss_rngs.is_empty()
+                            && phy_drops_frame(
+                                radio.phy,
+                                world,
+                                node,
+                                to,
+                                &mut shard.loss_rngs[slot],
+                            )
+                        {
+                            shard.window_stats.phy_drops += 1;
+                        } else {
+                            let delay = delivery_delay(radio, &mut shard.jitter_rngs[slot]);
+                            shard.children.push(Child::Deliver {
+                                at: ev.time + delay,
+                                to,
+                                from: node,
+                                msg,
+                                generation: generations[to.index()],
+                            });
+                        }
                     } else {
                         shard.window_stats.dropped_unicasts += 1;
                     }
@@ -495,6 +543,11 @@ where
             .collect();
         let rngs: Vec<SimRng> = (0..n).map(|_| engine_rng.split()).collect();
         let jitter_rngs: Vec<SimRng> = (0..n).map(|_| engine_rng.split()).collect();
+        // Same derivation as the single-queue engine: one loss stream
+        // per node in node order, from the salted loss master. Empty
+        // (and never consulted) under the ideal PHY.
+        let mut loss_iter = loss_streams(seed, n, radio.phy).into_iter();
+        let lossy = matches!(radio.phy, PhyModel::Lossy(_));
 
         let mut shard_vec: Vec<Shard<A>> = (0..k).map(|_| Shard::new(scheduler)).collect();
         let mut locs = vec![(0u32, 0u32); n];
@@ -508,6 +561,12 @@ where
             shard.actors.push(actor);
             shard.rngs.push(rng);
             shard.jitter_rngs.push(jitter);
+            if lossy {
+                shard
+                    .loss_rngs
+                    .push(loss_iter.next().expect("one loss stream per node"));
+                shard.busy_until.push(SimTime::ZERO);
+            }
         }
 
         let window_micros = radio.latency.as_micros();
@@ -858,6 +917,8 @@ where
             self.stats.timers += w.timers;
             self.stats.world_changes += w.world_changes;
             self.stats.stale_dropped += w.stale_dropped;
+            self.stats.phy_drops += w.phy_drops;
+            self.stats.collisions += w.collisions;
             shard.window_stats = SimStats::default();
             self.stop |= shard.stop;
             shard.records.clear();
@@ -948,6 +1009,15 @@ where
         }
         let (shard_ix, slot) = self.locs[node.index()];
         let (shard_ix, slot) = (shard_ix as usize, slot as usize);
+        if matches!(ev.kind, EventKind::Deliver { .. }) {
+            let shard = &mut self.shards[shard_ix];
+            if !shard.busy_until.is_empty()
+                && phy_collides(self.radio.phy, ev.time, &mut shard.busy_until[slot])
+            {
+                self.stats.collisions += 1;
+                return;
+            }
+        }
         let mut effects: Vec<Effect<A::Msg>> = Vec::new();
         {
             let shard = &mut self.shards[shard_ix];
@@ -987,6 +1057,9 @@ where
                     let neighbors: Vec<NodeId> =
                         self.world.neighbors(node).map(|(n, _)| n).collect();
                     for to in neighbors {
+                        if self.phy_drops_serial(shard_ix, slot, node, to) {
+                            continue;
+                        }
                         let delay = delivery_delay(
                             self.radio,
                             &mut self.shards[shard_ix].jitter_rngs[slot],
@@ -1004,6 +1077,9 @@ where
                 Effect::Unicast(to, msg) => {
                     self.stats.unicasts += 1;
                     if self.world.has_link(node, to) {
+                        if self.phy_drops_serial(shard_ix, slot, node, to) {
+                            continue;
+                        }
                         let delay = delivery_delay(
                             self.radio,
                             &mut self.shards[shard_ix].jitter_rngs[slot],
@@ -1022,6 +1098,27 @@ where
                 }
             }
         }
+    }
+
+    /// Serial-instant counterpart of the in-window drop sampling: one
+    /// draw from the sender's loss stream per delivery attempt, counted
+    /// into the global stats directly.
+    fn phy_drops_serial(&mut self, shard_ix: usize, slot: usize, from: NodeId, to: NodeId) -> bool {
+        let shard = &mut self.shards[shard_ix];
+        if shard.loss_rngs.is_empty() {
+            return false;
+        }
+        let dropped = phy_drops_frame(
+            self.radio.phy,
+            &self.world,
+            from,
+            to,
+            &mut shard.loss_rngs[slot],
+        );
+        if dropped {
+            self.stats.phy_drops += 1;
+        }
+        dropped
     }
 
     /// Applies one world event at a barrier: mutates the world, bumps
@@ -1061,6 +1158,14 @@ where
                 self.rehome(node, dest);
                 let (shard_ix, slot) = self.locs[node.index()];
                 self.shards[shard_ix as usize].actors[slot as usize].on_rehome(shard_ix as usize);
+                // No capture window survives a power cycle (mirrors the
+                // single-queue engine's Join handling).
+                if let Some(busy) = self.shards[shard_ix as usize]
+                    .busy_until
+                    .get_mut(slot as usize)
+                {
+                    *busy = SimTime::ZERO;
+                }
                 self.push_exact(self.now, node, EventKind::Start);
             }
             _ => {}
@@ -1082,6 +1187,10 @@ where
         let actor = shard.actors.swap_remove(slot);
         let rng = shard.rngs.swap_remove(slot);
         let jitter = shard.jitter_rngs.swap_remove(slot);
+        let loss = (!shard.loss_rngs.is_empty()).then(|| {
+            shard.busy_until.swap_remove(slot);
+            shard.loss_rngs.swap_remove(slot)
+        });
         shard.members.swap_remove(slot);
         if slot < shard.members.len() {
             let moved = shard.members[slot];
@@ -1093,6 +1202,10 @@ where
         shard.actors.push(actor);
         shard.rngs.push(rng);
         shard.jitter_rngs.push(jitter);
+        if let Some(loss) = loss {
+            shard.loss_rngs.push(loss);
+            shard.busy_until.push(SimTime::ZERO);
+        }
     }
 }
 
@@ -1214,6 +1327,59 @@ mod tests {
         )
     }
 
+    /// The sharded engine's delivery handlers must also see the world
+    /// as of *receive* time when a QoS drift lands mid-flight — across
+    /// a shard boundary, where the frame crosses via the barrier merge
+    /// and the world mutation is applied by the coordinator between
+    /// windows. A stale read here would make the quality of a link
+    /// depend on the shard count.
+    #[test]
+    fn cross_shard_delivery_sees_world_at_receive_time() {
+        #[derive(Default, Clone)]
+        struct QosProbe {
+            seen: Vec<(NodeId, Option<LinkQos>)>,
+        }
+        impl Actor for QosProbe {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                if ctx.node_id() == NodeId(2) {
+                    ctx.broadcast(());
+                }
+            }
+            fn on_timer(&mut self, _c: &mut Context<'_, ()>, _t: TimerId) {}
+            fn on_message(&mut self, ctx: &mut Context<'_, ()>, from: NodeId, _m: ()) {
+                self.seen.push((from, ctx.link_qos(from)));
+            }
+        }
+        for shards in [1u32, 2, 4] {
+            let mut sim =
+                ShardedSimulator::new(strip5(), RadioConfig::default(), 9, shards, |_, _| {
+                    QosProbe::default()
+                });
+            // Node 2 broadcasts at t = 0; delivery lands at t = 1 ms.
+            // The 2—3 QoS drifts at 0.5 ms, while the frame is in
+            // flight (at 4 shards, crossing a shard boundary).
+            sim.schedule_world(
+                SimTime::from_micros(500),
+                WorldEvent::QosChange {
+                    a: NodeId(2),
+                    b: NodeId(3),
+                    qos: LinkQos::uniform(7),
+                },
+            );
+            sim.run_for(SimDuration::from_secs(1));
+            let (_, probe) = sim
+                .actors()
+                .find(|&(n, _)| n == NodeId(3))
+                .expect("node 3 exists");
+            assert_eq!(
+                probe.seen,
+                vec![(NodeId(2), Some(LinkQos::uniform(7)))],
+                "{shards} shards: handler must measure the drifted QoS"
+            );
+        }
+    }
+
     #[test]
     fn sharded_replays_single_queue_exactly() {
         let reference = run_single(42, &[]);
@@ -1319,6 +1485,67 @@ mod tests {
         assert!(reference.0 > 0);
         for shards in [1, 2, 4] {
             assert_eq!(run(Some(shards)), reference, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn lossy_phy_replays_single_queue_exactly() {
+        use crate::engine::{LossyPhy, PhyModel};
+        let radio = RadioConfig {
+            phy: PhyModel::Lossy(LossyPhy {
+                edge_drop_ppm: 600_000,
+                exponent: 2,
+                capture_window: SimDuration::from_micros(150),
+            }),
+            ..RadioConfig::default()
+        };
+        // Churn so rehoming must migrate the loss streams and capture
+        // state along with the actor.
+        let events = [
+            (300_000, WorldEvent::Leave { node: NodeId(4) }),
+            (
+                350_000,
+                WorldEvent::Move {
+                    node: NodeId(4),
+                    to: Point2::new(1.0, 1.0),
+                },
+            ),
+            (600_000, WorldEvent::Join { node: NodeId(4) }),
+            (
+                600_000,
+                WorldEvent::LinkUp {
+                    a: NodeId(4),
+                    b: NodeId(0),
+                    qos: LinkQos::uniform(1),
+                },
+            ),
+        ];
+        let reference = {
+            let mut sim = Simulator::new(strip5(), radio, 13, |_| Chatty::default());
+            for &(at, ev) in &events {
+                sim.schedule_world(SimTime::from_micros(at), ev);
+            }
+            sim.run_for(SimDuration::from_secs(2));
+            fingerprint(
+                sim.stats(),
+                sim.actors().map(|(n, a)| (n, a.clone())).collect(),
+                sim.now(),
+            )
+        };
+        assert!(reference.0.phy_drops > 0, "the loss model must bite");
+        for shards in [1, 2, 4] {
+            let mut sim =
+                ShardedSimulator::new(strip5(), radio, 13, shards, |_, _| Chatty::default());
+            for &(at, ev) in &events {
+                sim.schedule_world(SimTime::from_micros(at), ev);
+            }
+            sim.run_for(SimDuration::from_secs(2));
+            let got = fingerprint(
+                sim.stats(),
+                sim.actors().map(|(n, a)| (n, a.clone())).collect(),
+                sim.now(),
+            );
+            assert_eq!(got, reference, "{shards} shards");
         }
     }
 

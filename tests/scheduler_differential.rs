@@ -76,6 +76,7 @@ fn run_protocol(
         RadioConfig {
             latency: SimDuration::from_millis(1),
             jitter: SimDuration::from_millis(2),
+            ..RadioConfig::default()
         },
         seed,
         kind,

@@ -67,6 +67,7 @@ fn run_protocol(store: TopologyStore, seed: u64) -> RunOutcome {
         RadioConfig {
             latency: SimDuration::from_millis(1),
             jitter: SimDuration::from_millis(2),
+            ..RadioConfig::default()
         },
         seed,
         |_| qolsr_proto::MprSelectorPolicy,

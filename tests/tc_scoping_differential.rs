@@ -74,6 +74,7 @@ fn run_protocol(scoping: TcScoping, decode: DecodePath, seed: u64) -> RunOutcome
         RadioConfig {
             latency: SimDuration::from_millis(1),
             jitter: SimDuration::from_millis(2),
+            ..RadioConfig::default()
         },
         seed,
         |_| qolsr_proto::MprSelectorPolicy,
