@@ -35,6 +35,11 @@
 //!               MPR-set churn (static worlds — loss is the only
 //!               stressor); --hysteresis / --etx enable the
 //!               quality-aware link sensing knobs
+//!   faults      route-recovery experiment: inject a partition,
+//!               regional blackout or crash-reboot storm into a
+//!               converged static network, heal it, and report
+//!               per-selector time-to-reconvergence, residual stale
+//!               exposure and control-byte recovery cost
 //!
 //! Options:
 //!   --runs N     topologies per density (default 100; paper: 100)
@@ -60,7 +65,8 @@
 //!                PhyModel::Lossy (40% edge drop) instead of Ideal —
 //!                combined with --verify-shards this is the CI gate
 //!                that loss sampling commutes with the barrier merge
-//!   --nodes N    loss only: nodes per world (default 250)
+//!   --nodes N    loss/faults: nodes per world (default 250; faults
+//!                sizes the field for ~N at density 10)
 //!   --levels L   loss only: comma-separated edge drop probabilities in
 //!                ppm (default 0,100000,200000,400000,600000,800000)
 //!   --hysteresis loss only: enable RFC 3626 §14 link hysteresis
@@ -70,10 +76,17 @@
 //!                (default 0 = collisions off, so the x = 0 baseline is
 //!                lossless; a non-zero window adds a level-independent
 //!                collision floor)
+//!   --fault F    faults only: comma-separated fault kinds to inject
+//!                (partition|blackout|crash-storm; default partition)
+//!   --corrupt    faults only: also corrupt frames on the radio path
+//!                (seeded bit-flips/truncation, 2% of deliveries)
+//!   --leave-rate L
+//!                churn only: comma-separated departure rates; sweeps
+//!                churn intensity as the x-axis instead of time
 //!   --verify-shards
-//!                scale --live only: run the sharded sweep AND a
-//!                --shards 1 reference in lockstep, exiting non-zero on
-//!                any hot-path counter divergence (CI determinism gate)
+//!                scale --live / faults: run the sharded experiment AND
+//!                a --shards 1 reference in lockstep, exiting non-zero
+//!                on any divergence (CI determinism gate)
 //!   --warmup N   scale --live only: unmeasured warm-up seconds
 //!                (default 15)
 //!   --seconds N  scale --live only: measured simulated seconds
@@ -116,6 +129,9 @@ struct Args {
     hysteresis: bool,
     etx: bool,
     capture_us: Option<u64>,
+    faults: Option<Vec<qolsr::eval::faults::FaultKind>>,
+    corrupt: bool,
+    leave_rates: Option<Vec<f64>>,
     out_dir: Option<PathBuf>,
 }
 
@@ -139,6 +155,9 @@ fn parse_args() -> Result<Args, String> {
     let mut hysteresis = false;
     let mut etx = false;
     let mut capture_us: Option<u64> = None;
+    let mut faults: Option<Vec<qolsr::eval::faults::FaultKind>> = None;
+    let mut corrupt = false;
+    let mut leave_rates: Option<Vec<f64>> = None;
     let mut out_dir = Some(PathBuf::from("results"));
     let mut it = std::env::args().skip(1);
     let mut command_set = false;
@@ -239,6 +258,31 @@ fn parse_args() -> Result<Args, String> {
             }
             "--hysteresis" => hysteresis = true,
             "--etx" => etx = true,
+            "--fault" => {
+                let v = it.next().ok_or("--fault needs a value")?;
+                let parsed: Result<Vec<_>, _> = v.split(',').map(|s| s.trim().parse()).collect();
+                let parsed = parsed?;
+                if parsed.is_empty() {
+                    return Err("--fault needs at least one fault kind".into());
+                }
+                faults = Some(parsed);
+            }
+            "--corrupt" => corrupt = true,
+            "--leave-rate" => {
+                let v = it.next().ok_or("--leave-rate needs a value")?;
+                let parsed: Result<Vec<f64>, _> = v.split(',').map(|s| s.trim().parse()).collect();
+                let parsed = parsed.map_err(|_| format!("bad --leave-rate value: {v}"))?;
+                if parsed.is_empty() {
+                    return Err("--leave-rate needs at least one rate".into());
+                }
+                if let Some(&bad) = parsed
+                    .iter()
+                    .find(|&&r| !r.is_finite() || !(0.0..=1e4).contains(&r))
+                {
+                    return Err(format!("--leave-rate value {bad} must be in [0, 1e4]"));
+                }
+                leave_rates = Some(parsed);
+            }
             "--capture-us" => {
                 let v = it.next().ok_or("--capture-us needs a value")?;
                 let parsed: u64 = v
@@ -265,9 +309,9 @@ fn parse_args() -> Result<Args, String> {
     }
     // Only the churn experiment is metric-parameterized; silently
     // ignoring the flag elsewhere would mislabel results.
-    if metric_set && command != "churn" && command != "loss" {
+    if metric_set && command != "churn" && command != "loss" && command != "faults" {
         return Err(format!(
-            "--metric only applies to churn and loss, not {command}"
+            "--metric only applies to churn, loss and faults, not {command}"
         ));
     }
     if live && command != "scale" {
@@ -282,7 +326,6 @@ fn parse_args() -> Result<Args, String> {
     for (set, flag) in [
         (store.is_some(), "--store"),
         (dup_store.is_some(), "--dup-store"),
-        (verify_shards, "--verify-shards"),
         (warmup.is_some(), "--warmup"),
         (seconds.is_some(), "--seconds"),
         (max_resident_bytes.is_some(), "--max-resident-bytes"),
@@ -291,21 +334,30 @@ fn parse_args() -> Result<Args, String> {
             return Err(format!("{flag} only applies to scale --live"));
         }
     }
+    if verify_shards && !live_scale && command != "faults" {
+        return Err("--verify-shards only applies to scale --live and faults".into());
+    }
     if shards.is_some()
         && !live_scale
         && command != "overhead"
         && command != "churn"
         && command != "loss"
+        && command != "faults"
     {
         return Err(format!(
-            "--shards only applies to scale --live, overhead, churn and loss, not {command}"
+            "--shards only applies to scale --live, overhead, churn, loss and faults, \
+             not {command}"
         ));
     }
     if lossy && !live_scale {
         return Err("--lossy only applies to scale --live".into());
     }
+    if nodes.is_some() && command != "loss" && command != "faults" {
+        return Err(format!(
+            "--nodes only applies to loss and faults, not {command}"
+        ));
+    }
     for (set, flag) in [
-        (nodes.is_some(), "--nodes"),
         (levels.is_some(), "--levels"),
         (hysteresis, "--hysteresis"),
         (etx, "--etx"),
@@ -314,6 +366,14 @@ fn parse_args() -> Result<Args, String> {
         if set && command != "loss" {
             return Err(format!("{flag} only applies to loss"));
         }
+    }
+    for (set, flag) in [(faults.is_some(), "--fault"), (corrupt, "--corrupt")] {
+        if set && command != "faults" {
+            return Err(format!("{flag} only applies to faults"));
+        }
+    }
+    if leave_rates.is_some() && command != "churn" {
+        return Err(format!("--leave-rate only applies to churn, not {command}"));
     }
     Ok(Args {
         command,
@@ -334,6 +394,9 @@ fn parse_args() -> Result<Args, String> {
         hysteresis,
         etx,
         capture_us,
+        faults,
+        corrupt,
+        leave_rates,
         out_dir,
     })
 }
@@ -379,12 +442,13 @@ fn main() -> ExitCode {
         "help" => {
             println!(
                 "commands: fig6 fig7 fig8 fig9 all ablations robustness churn scale overhead \
-                 loss; \
+                 loss faults; \
                  options: --runs N --seed S --threads T --metric bandwidth|delay \
                  --live --sizes L --store shared|per-node --dup-store ring|per-originator \
                  --shards K --verify-shards --warmup N --seconds N \
                  --max-resident-bytes B --lossy --nodes N --levels L \
-                 --hysteresis --etx --capture-us W --quick --out DIR --no-csv"
+                 --hysteresis --etx --capture-us W --fault F --corrupt --leave-rate L \
+                 --quick --out DIR --no-csv"
             );
         }
         "fig6" => {
@@ -531,8 +595,36 @@ fn main() -> ExitCode {
                 cfg.shards = shards;
             }
             let metric = args.metric;
-            let results = churn_experiment_with(metric, &cfg, &SelectorKind::PAPER);
             let m = metric.name();
+            if let Some(rates) = args.leave_rates.clone() {
+                use qolsr::eval::churn::{
+                    leave_rate_staleness_figure, leave_rate_sweep_with, leave_rate_validity_figure,
+                };
+                let results = leave_rate_sweep_with(metric, &cfg, &rates, &SelectorKind::PAPER);
+                emit(
+                    &leave_rate_validity_figure(
+                        &results,
+                        &format!(
+                            "Churn — route validity vs departure rate \
+                             (waypoint + churn + drift, δ=10, {m} metric)"
+                        ),
+                    ),
+                    &format!("churn_leave_rate_validity_{m}"),
+                    &args.out_dir,
+                );
+                emit(
+                    &leave_rate_staleness_figure(
+                        &results,
+                        &format!(
+                            "Churn — advertised-set staleness vs departure rate (δ=10, {m} metric)"
+                        ),
+                    ),
+                    &format!("churn_leave_rate_staleness_{m}"),
+                    &args.out_dir,
+                );
+                return ExitCode::SUCCESS;
+            }
+            let results = churn_experiment_with(metric, &cfg, &SelectorKind::PAPER);
             emit(
                 &validity_figure(
                     &results,
@@ -727,6 +819,79 @@ fn main() -> ExitCode {
                 &format!("loss_mpr_churn_{m}"),
                 &args.out_dir,
             );
+        }
+        "faults" => {
+            use qolsr::eval::faults::{
+                fault_experiment_verified_with, fault_experiment_with, fault_staleness_figure,
+                fault_validity_figure, recovery_report, FaultConfig, FaultKind,
+            };
+            use qolsr::eval::SelectorKind;
+            use qolsr_sim::{CorruptionParams, FrameCorruption};
+            let metric = args.metric;
+            let m = metric.name();
+            let kinds = args
+                .faults
+                .clone()
+                .unwrap_or_else(|| vec![FaultKind::Partition]);
+            for fault in kinds {
+                let mut cfg = FaultConfig::new(opts.runs);
+                cfg.seed = opts.seed;
+                cfg.threads = opts.threads;
+                cfg.kind = fault;
+                if let Some(n) = args.nodes {
+                    cfg = cfg.with_nodes(n);
+                }
+                if let Some(shards) = args.shards {
+                    cfg.shards = shards;
+                }
+                if args.corrupt {
+                    cfg.corruption = FrameCorruption::On(CorruptionParams::default());
+                }
+                let results = if args.verify_shards {
+                    // Panics (non-zero exit) on any divergence between the
+                    // sharded engine and the single-queue reference.
+                    fault_experiment_verified_with(metric, &cfg, &SelectorKind::PAPER)
+                } else {
+                    fault_experiment_with(metric, &cfg, &SelectorKind::PAPER)
+                };
+                if args.verify_shards {
+                    println!(
+                        "# shard verification ok ({}): curves and recovery aggregates \
+                         identical to the single-queue reference\n",
+                        fault.name()
+                    );
+                }
+                for line in recovery_report(&cfg, &results).lines() {
+                    println!("# {line}");
+                }
+                println!();
+                let slug = fault.name().replace('-', "_");
+                emit(
+                    &fault_validity_figure(
+                        &results,
+                        &format!(
+                            "Faults — route validity through a {} (fault at {:.0} s, \
+                             heal at {:.0} s, {m} metric)",
+                            fault.name(),
+                            cfg.fault_at().as_secs_f64(),
+                            cfg.heal_at().as_secs_f64(),
+                        ),
+                    ),
+                    &format!("faults_{slug}_validity_{m}"),
+                    &args.out_dir,
+                );
+                emit(
+                    &fault_staleness_figure(
+                        &results,
+                        &format!(
+                            "Faults — advertised staleness through a {} ({m} metric)",
+                            fault.name()
+                        ),
+                    ),
+                    &format!("faults_{slug}_staleness_{m}"),
+                    &args.out_dir,
+                );
+            }
         }
         "scale" if args.live => {
             use qolsr::eval::scale::{live_figure, live_sweep, live_sweep_verified, LiveConfig};

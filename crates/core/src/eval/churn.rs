@@ -181,19 +181,22 @@ impl ChurnConfig {
     }
 
     fn build_scenario(&self, topo: &Topology, seed: u64) -> Scenario {
-        let mut builder = ScenarioBuilder::new(topo, seed)
-            .with(RandomWaypoint::new(
-                self.field,
-                self.scenario.tick,
-                self.scenario.speed,
-                self.scenario.pause,
-                self.weights,
-            ))
-            .with(PoissonChurn::new(
+        let mut builder = ScenarioBuilder::new(topo, seed).with(RandomWaypoint::new(
+            self.field,
+            self.scenario.tick,
+            self.scenario.speed,
+            self.scenario.pause,
+            self.weights,
+        ));
+        // Rate zero means "no churn at all" (the leave-rate sweep's
+        // baseline point); [`PoissonChurn`] itself rejects it.
+        if self.scenario.leave_rate > 0.0 {
+            builder = builder.with(PoissonChurn::new(
                 self.scenario.leave_rate,
                 self.scenario.mean_downtime,
                 self.weights,
             ));
+        }
         if let Some((alpha, sigma)) = self.scenario.drift {
             builder = builder.with(GaussMarkovDrift::new(
                 self.scenario.tick,
@@ -453,13 +456,21 @@ pub fn probe_route<P: AdvertisePolicy>(net: &OlsrNetwork<P>, s: NodeId, t: NodeI
         if !world.has_link(cur, entry.next_hop) {
             return ProbeOutcome::Dropped; // next hop died under the table
         }
+        if world.partitioned(cur, entry.next_hop) {
+            return ProbeOutcome::Dropped; // hop crosses an active partition
+        }
         cur = entry.next_hop;
     }
     ProbeOutcome::Delivered(hops)
 }
 
-/// Uniform connected probe pairs from the initial topology.
-fn sample_probe_pairs(topo: &Topology, count: usize, rng: &mut SimRng) -> Vec<(NodeId, NodeId)> {
+/// Uniform connected probe pairs from the initial topology. Shared with
+/// the fault-recovery experiment ([`crate::eval::faults`]).
+pub(crate) fn sample_probe_pairs(
+    topo: &Topology,
+    count: usize,
+    rng: &mut SimRng,
+) -> Vec<(NodeId, NodeId)> {
     let components = Components::compute(topo);
     let n = topo.len() as u64;
     let mut pairs = Vec::with_capacity(count);
@@ -532,6 +543,132 @@ pub fn drift_figure(results: &[ChurnMeasures], title: &str) -> Figure {
         "selection drift vs current ground truth (Jaccard)",
         |s| &s.drift,
     )
+}
+
+/// One x-axis point of the leave-rate sweep: every sample instant of
+/// every run at that rate, pooled.
+#[derive(Debug, Clone)]
+pub struct LeaveRatePoint {
+    /// Network-wide node departures per second.
+    pub leave_rate: f64,
+    /// Route validity pooled over the dynamic phase.
+    pub validity: OnlineStats,
+    /// Stale advertised-link fraction pooled over the dynamic phase.
+    pub staleness: OnlineStats,
+    /// Selection drift pooled over the dynamic phase.
+    pub drift: OnlineStats,
+}
+
+/// Leave-rate curves of one selector.
+#[derive(Debug, Clone)]
+pub struct LeaveRateMeasures {
+    /// Which selector.
+    pub kind: SelectorKind,
+    /// One pooled aggregate per swept leave rate.
+    pub per_rate: Vec<LeaveRatePoint>,
+}
+
+/// Sweeps the churn experiment over departure rates: the x-axis becomes
+/// churn *intensity* instead of time. Each rate runs the full experiment
+/// (same seeds, same worlds — only the scenario's leave rate differs)
+/// and pools every sample instant of every run into one aggregate, so a
+/// point answers "how does this selector hold up, on average, while the
+/// network churns at this rate".
+pub fn leave_rate_sweep<M: EvalMetric>(
+    cfg: &ChurnConfig,
+    rates: &[f64],
+    kinds: &[SelectorKind],
+) -> Vec<LeaveRateMeasures> {
+    let mut out: Vec<LeaveRateMeasures> = kinds
+        .iter()
+        .map(|&k| LeaveRateMeasures {
+            kind: k,
+            per_rate: Vec::with_capacity(rates.len()),
+        })
+        .collect();
+    for &leave_rate in rates {
+        let mut swept = cfg.clone();
+        swept.scenario.leave_rate = leave_rate;
+        let results = churn_experiment::<M>(&swept, kinds);
+        for (m, r) in out.iter_mut().zip(&results) {
+            let mut point = LeaveRatePoint {
+                leave_rate,
+                validity: OnlineStats::new(),
+                staleness: OnlineStats::new(),
+                drift: OnlineStats::new(),
+            };
+            for sample in &r.per_sample {
+                point.validity.merge(&sample.validity);
+                point.staleness.merge(&sample.staleness);
+                point.drift.merge(&sample.drift);
+            }
+            m.per_rate.push(point);
+        }
+    }
+    out
+}
+
+/// Runs the leave-rate sweep with the metric chosen at runtime — the
+/// dispatch point behind the `figures churn --leave-rate` flag.
+pub fn leave_rate_sweep_with(
+    metric: ChurnMetric,
+    cfg: &ChurnConfig,
+    rates: &[f64],
+    kinds: &[SelectorKind],
+) -> Vec<LeaveRateMeasures> {
+    match metric {
+        ChurnMetric::Bandwidth => leave_rate_sweep::<BandwidthMetric>(cfg, rates, kinds),
+        ChurnMetric::Delay => leave_rate_sweep::<DelayMetric>(cfg, rates, kinds),
+    }
+}
+
+fn rate_figure(
+    results: &[LeaveRateMeasures],
+    title: &str,
+    ylabel: &str,
+    extract: impl Fn(&LeaveRatePoint) -> &OnlineStats,
+) -> Figure {
+    Figure {
+        title: title.to_owned(),
+        xlabel: "departures per second".to_owned(),
+        ylabel: ylabel.to_owned(),
+        series: results
+            .iter()
+            .map(|r| Series {
+                label: r.kind.label().to_owned(),
+                points: r
+                    .per_rate
+                    .iter()
+                    .map(|point| {
+                        let s = extract(point);
+                        Point {
+                            x: point.leave_rate,
+                            mean: s.mean(),
+                            ci95: s.ci95_half_width(),
+                            n: s.count(),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Route-validity-vs-leave-rate figure.
+pub fn leave_rate_validity_figure(results: &[LeaveRateMeasures], title: &str) -> Figure {
+    rate_figure(
+        results,
+        title,
+        "route validity (hop-by-hop delivery)",
+        |p| &p.validity,
+    )
+}
+
+/// Advertised-staleness-vs-leave-rate figure.
+pub fn leave_rate_staleness_figure(results: &[LeaveRateMeasures], title: &str) -> Figure {
+    rate_figure(results, title, "stale advertised-link fraction", |p| {
+        &p.staleness
+    })
 }
 
 #[cfg(test)]
@@ -647,6 +784,30 @@ mod tests {
             assert_eq!(x.staleness.mean(), y.staleness.mean());
             assert_eq!(x.drift.mean(), y.drift.mean());
         }
+    }
+
+    #[test]
+    fn leave_rate_sweep_pools_samples_per_rate() {
+        let cfg = tiny_cfg();
+        let rates = [0.0, 0.4];
+        let results = leave_rate_sweep::<BandwidthMetric>(&cfg, &rates, &[SelectorKind::Fnbp]);
+        assert_eq!(results.len(), 1);
+        let per_rate = &results[0].per_rate;
+        assert_eq!(per_rate.len(), rates.len());
+        for (point, &rate) in per_rate.iter().zip(&rates) {
+            assert_eq!(point.leave_rate, rate);
+            // Pooled over every sample instant of every run.
+            assert!(point.validity.count() >= cfg.sample_times().len() as u64);
+        }
+        // The rate really reaches the scenario generator: distinct rates
+        // must produce distinct pooled curves on the same worlds.
+        let fig = leave_rate_validity_figure(&results, "validity vs leave rate");
+        assert_eq!(fig.series[0].points.len(), 2);
+        assert_ne!(
+            (per_rate[0].validity.mean(), per_rate[0].staleness.mean()),
+            (per_rate[1].validity.mean(), per_rate[1].staleness.mean()),
+            "leave rate 0.0 and 0.4 produced identical aggregates"
+        );
     }
 
     #[test]

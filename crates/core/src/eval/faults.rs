@@ -1,0 +1,760 @@
+//! Route-recovery experiment under injected faults: partition windows,
+//! regional blackouts and crash-reboot storms.
+//!
+//! The churn experiment ([`crate::eval::churn`]) measures selectors under
+//! *continuous* stress; this module measures them under *acute* stress.
+//! One fault is injected at a known instant `t₀` into an otherwise static,
+//! converged network, removed (or exhausted) at `t₁`, and the network is
+//! then sampled densely while it re-converges. Three recovery figures of
+//! merit come out per selector:
+//!
+//! - **Time to reconvergence** — seconds from the heal instant to the
+//!   first sample at which hop-by-hop route validity over the probe set
+//!   stays at or above [`FaultConfig::threshold`] for
+//!   [`FaultConfig::sustain`] consecutive samples. Runs that never get
+//!   there within the observation window are reported as *censored*, not
+//!   silently dropped.
+//! - **Residual stale exposure** — the mean stale advertised-link
+//!   fraction over every post-heal sample: how long invalidated topology
+//!   keeps circulating after the fault is gone.
+//! - **Control-byte recovery cost** — the network-wide `bytes_sent`
+//!   delta between the heal sample and the reconvergence sample: what the
+//!   repair itself costs in control traffic.
+//!
+//! Faults are injected through the seed-deterministic scenario models in
+//! [`qolsr_sim::scenario`] ([`PartitionWindow`], [`RegionalBlackout`],
+//! [`CrashStorm`]), optionally on top of a corrupting radio
+//! ([`FrameCorruption`]), and the whole experiment runs unchanged on the
+//! single-queue or the region-sharded engine —
+//! [`fault_experiment_verified`] pins the two against each other.
+
+use qolsr_graph::connectivity::Components;
+use qolsr_graph::deploy::{deploy, Deployment, UniformWeights};
+use qolsr_graph::NodeId;
+use qolsr_metrics::{BandwidthMetric, DelayMetric};
+use qolsr_proto::network::OlsrNetwork;
+use qolsr_proto::OlsrConfig;
+use qolsr_sim::scenario::{CrashStorm, PartitionWindow, RegionalBlackout, ScenarioBuilder};
+use qolsr_sim::stats::OnlineStats;
+use qolsr_sim::{
+    FrameCorruption, RadioConfig, Scenario, SchedulerKind, SimDuration, SimRng, SimTime,
+};
+
+use crate::eval::churn::{probe_route, sample_probe_pairs, ChurnMetric, ProbeOutcome};
+use crate::eval::{derive_seed, exec_mode, sharded_runs, EvalMetric, SelectorKind, ShardPlan};
+use crate::policy::SelectorPolicy;
+use crate::report::{Figure, Point, Series};
+
+/// Which fault the experiment injects at `t₀`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultKind {
+    /// A clean bisection: nodes west and east of the field's vertical
+    /// midline cannot exchange frames for [`FaultConfig::outage`], then
+    /// the cut heals atomically ([`PartitionWindow`]).
+    #[default]
+    Partition,
+    /// Every node west of the midline crash-reboots at `t₀` with wiped
+    /// protocol state and sequence numbers ([`RegionalBlackout`]). The
+    /// "heal" instant coincides with the fault: recovery starts
+    /// immediately.
+    Blackout,
+    /// A Poisson storm of correlated crash-reboots raging for
+    /// [`FaultConfig::outage`] ([`CrashStorm`]); the heal instant is the
+    /// end of the storm window.
+    CrashStorm,
+}
+
+impl FaultKind {
+    /// Lower-case name used in figure slugs and CLI parsing.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Partition => "partition",
+            FaultKind::Blackout => "blackout",
+            FaultKind::CrashStorm => "crash-storm",
+        }
+    }
+}
+
+impl std::str::FromStr for FaultKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "partition" => Ok(FaultKind::Partition),
+            "blackout" => Ok(FaultKind::Blackout),
+            "crash-storm" | "crashstorm" | "storm" => Ok(FaultKind::CrashStorm),
+            other => Err(format!(
+                "unknown fault: {other} (partition|blackout|crash-storm)"
+            )),
+        }
+    }
+}
+
+/// Configuration of the fault-recovery experiment.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Mean node degree of the deployment.
+    pub density: f64,
+    /// Independent worlds.
+    pub runs: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Link-weight interval.
+    pub weights: UniformWeights,
+    /// Field width and height. The partition/blackout cut runs at
+    /// `field.0 / 2`.
+    pub field: (f64, f64),
+    /// Communication radius `R`.
+    pub radius: f64,
+    /// Static warm-up before sampling starts (protocol convergence).
+    pub warmup: SimDuration,
+    /// Pre-fault baseline sampling: the fault lands at `warmup + lead`.
+    pub lead: SimDuration,
+    /// Fault duration — partition width, or crash-storm window. Ignored
+    /// by [`FaultKind::Blackout`] (a one-shot fault).
+    pub outage: SimDuration,
+    /// Post-heal observation window.
+    pub observe: SimDuration,
+    /// Interval between measurement samples (dense: the recovery-time
+    /// resolution).
+    pub sample_every: SimDuration,
+    /// Probe source/destination pairs per world.
+    pub probes: usize,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Which fault to inject.
+    pub kind: FaultKind,
+    /// Crash-storm arrival rate (storms per second).
+    pub storm_rate: f64,
+    /// Per-node crash probability per storm, in parts per million.
+    pub crash_ppm: u32,
+    /// Radio-path frame corruption riding along with the fault.
+    pub corruption: FrameCorruption,
+    /// Route validity a sample must reach to count toward reconvergence.
+    pub threshold: f64,
+    /// Consecutive samples at or above [`Self::threshold`] required to
+    /// declare reconvergence (guards against transient flaps).
+    pub sustain: usize,
+    /// Protocol configuration of every node.
+    pub olsr: OlsrConfig,
+    /// Engine shard count: `1` runs the single-queue reference engine,
+    /// `k >= 2` the region-sharded parallel engine (identical results
+    /// either way — see [`fault_experiment_verified`]).
+    pub shards: u32,
+}
+
+impl FaultConfig {
+    /// Defaults: a `500 × 500` field at density 10, 30 s warm-up, 5 s
+    /// baseline, a 20 s partition, 60 s of post-heal observation sampled
+    /// every second, reconvergence at validity ≥ 0.99 sustained for 3
+    /// samples.
+    pub fn new(runs: u32) -> Self {
+        Self {
+            density: 10.0,
+            runs,
+            seed: 0xFA01_2026,
+            weights: UniformWeights::new(1, 100),
+            field: (500.0, 500.0),
+            radius: 100.0,
+            warmup: SimDuration::from_secs(30),
+            lead: SimDuration::from_secs(5),
+            outage: SimDuration::from_secs(20),
+            observe: SimDuration::from_secs(60),
+            sample_every: SimDuration::from_secs(1),
+            probes: 8,
+            threads: 0,
+            kind: FaultKind::Partition,
+            storm_rate: 0.5,
+            crash_ppm: 80_000,
+            corruption: FrameCorruption::Off,
+            threshold: 0.99,
+            sustain: 3,
+            olsr: OlsrConfig::default(),
+            shards: 1,
+        }
+    }
+
+    /// Sizes the (square) field so a density-`δ` Poisson deployment hits
+    /// ~`n` nodes: `side = sqrt(n · π R² / δ)` — the same sizing rule as
+    /// the scale sweep. The hook behind `figures faults --nodes`.
+    pub fn with_nodes(mut self, n: usize) -> Self {
+        let side =
+            (n as f64 * std::f64::consts::PI * self.radius * self.radius / self.density).sqrt();
+        self.field = (side, side);
+        self
+    }
+
+    /// The instant the fault lands.
+    pub fn fault_at(&self) -> SimTime {
+        SimTime::ZERO + self.warmup + self.lead
+    }
+
+    /// The instant the fault is gone and recovery officially begins:
+    /// the heal for a partition, the end of the storm window for a
+    /// crash-storm, the fault instant itself for a one-shot blackout.
+    pub fn heal_at(&self) -> SimTime {
+        match self.kind {
+            FaultKind::Partition | FaultKind::CrashStorm => self.fault_at() + self.outage,
+            FaultKind::Blackout => self.fault_at(),
+        }
+    }
+
+    /// Sample instants (absolute virtual time), warm-up end included.
+    fn sample_times(&self) -> Vec<SimTime> {
+        let mut times = Vec::new();
+        let mut t = SimTime::ZERO + self.warmup;
+        let end = self.heal_at() + self.observe;
+        while t <= end {
+            times.push(t);
+            t += self.sample_every;
+        }
+        times
+    }
+
+    /// The fault schedule, relative to the fault instant (the caller
+    /// installs it at [`Self::fault_at`]). Only the crash-storm draws
+    /// randomness; all three are pure functions of `seed`.
+    fn build_scenario(&self, topo: &qolsr_graph::Topology, seed: u64) -> Scenario {
+        let cut = self.field.0 / 2.0;
+        let builder = ScenarioBuilder::new(topo, seed);
+        match self.kind {
+            FaultKind::Partition => builder
+                .with(PartitionWindow::new(SimDuration::ZERO, cut, self.outage))
+                .generate(self.outage),
+            FaultKind::Blackout => builder
+                .with(RegionalBlackout::new(SimDuration::ZERO, cut))
+                .generate(SimDuration::ZERO),
+            FaultKind::CrashStorm => builder
+                .with(CrashStorm::new(self.storm_rate, self.crash_ppm))
+                .generate(self.outage),
+        }
+    }
+}
+
+/// Aggregates of one sample instant.
+#[derive(Debug, Clone)]
+pub struct FaultSample {
+    /// Seconds since simulation start.
+    pub at_secs: f64,
+    /// Route validity over the probe pairs.
+    pub validity: OnlineStats,
+    /// Stale advertised-link fraction over the nodes.
+    pub staleness: OnlineStats,
+}
+
+/// Recovery measures of one selector.
+#[derive(Debug, Clone)]
+pub struct FaultMeasures {
+    /// Which selector.
+    pub kind: SelectorKind,
+    /// One aggregate per sample instant.
+    pub per_sample: Vec<FaultSample>,
+    /// Seconds from heal to sustained reconvergence, over the runs that
+    /// reconverged.
+    pub recovery_secs: OnlineStats,
+    /// Network-wide control bytes sent between the heal sample and the
+    /// reconvergence sample, over the runs that reconverged.
+    pub recovery_bytes: OnlineStats,
+    /// Mean stale advertised-link fraction over the post-heal samples,
+    /// one value per run.
+    pub residual_staleness: OnlineStats,
+    /// Runs that reached sustained validity within the window.
+    pub recovered_runs: u64,
+    /// Runs that did not — their recovery time is right-censored at the
+    /// observation window, not averaged in.
+    pub censored_runs: u64,
+}
+
+impl FaultMeasures {
+    fn empty(kind: SelectorKind, times: &[SimTime]) -> Self {
+        Self {
+            kind,
+            per_sample: times
+                .iter()
+                .map(|t| FaultSample {
+                    at_secs: t.as_secs_f64(),
+                    validity: OnlineStats::new(),
+                    staleness: OnlineStats::new(),
+                })
+                .collect(),
+            recovery_secs: OnlineStats::new(),
+            recovery_bytes: OnlineStats::new(),
+            residual_staleness: OnlineStats::new(),
+            recovered_runs: 0,
+            censored_runs: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &FaultMeasures) {
+        for (mine, theirs) in self.per_sample.iter_mut().zip(&other.per_sample) {
+            mine.validity.merge(&theirs.validity);
+            mine.staleness.merge(&theirs.staleness);
+        }
+        self.recovery_secs.merge(&other.recovery_secs);
+        self.recovery_bytes.merge(&other.recovery_bytes);
+        self.residual_staleness.merge(&other.residual_staleness);
+        self.recovered_runs += other.recovered_runs;
+        self.censored_runs += other.censored_runs;
+    }
+}
+
+/// Runs the fault-recovery experiment under metric `M` for the given
+/// selectors.
+///
+/// Per run: one Poisson deployment, one fault schedule (identical for
+/// every selector), one live OLSR network per selector, sampled densely
+/// across baseline → fault → heal → recovery. Runs shard over worker
+/// threads; per-run results merge in run order, so output is independent
+/// of thread count.
+pub fn fault_experiment<M: EvalMetric>(
+    cfg: &FaultConfig,
+    kinds: &[SelectorKind],
+) -> Vec<FaultMeasures> {
+    let times = cfg.sample_times();
+    let plan = ShardPlan::new(cfg.threads, cfg.runs);
+    let per_run = sharded_runs(cfg.runs, plan.workers, |run| {
+        let mut local: Vec<FaultMeasures> = kinds
+            .iter()
+            .map(|&k| FaultMeasures::empty(k, &times))
+            .collect();
+        single_fault_run::<M>(cfg, derive_seed(cfg.seed, 0, run), kinds, &mut local);
+        local
+    });
+
+    let mut totals: Vec<FaultMeasures> = kinds
+        .iter()
+        .map(|&k| FaultMeasures::empty(k, &times))
+        .collect();
+    for run_measures in per_run {
+        for (total, m) in totals.iter_mut().zip(&run_measures) {
+            total.merge(m);
+        }
+    }
+    totals
+}
+
+/// Runs the fault-recovery experiment with the metric chosen at runtime —
+/// the dispatch point behind the `figures faults --metric` flag.
+pub fn fault_experiment_with(
+    metric: ChurnMetric,
+    cfg: &FaultConfig,
+    kinds: &[SelectorKind],
+) -> Vec<FaultMeasures> {
+    match metric {
+        ChurnMetric::Bandwidth => fault_experiment::<BandwidthMetric>(cfg, kinds),
+        ChurnMetric::Delay => fault_experiment::<DelayMetric>(cfg, kinds),
+    }
+}
+
+/// Runs the experiment on the configured shard count *and* on the
+/// single-queue reference engine, and asserts every aggregate — validity
+/// and staleness curves, recovery times, byte costs, censoring counts —
+/// is identical before returning the sharded result. The fault-injection
+/// analogue of [`crate::eval::scale::live_sweep_verified`]: partitions,
+/// crashes and frame corruption must all commute with the barrier merge.
+///
+/// # Panics
+///
+/// Panics if the two engines diverge anywhere.
+pub fn fault_experiment_verified<M: EvalMetric>(
+    cfg: &FaultConfig,
+    kinds: &[SelectorKind],
+) -> Vec<FaultMeasures> {
+    let sharded = fault_experiment::<M>(cfg, kinds);
+    let reference = fault_experiment::<M>(
+        &FaultConfig {
+            shards: 1,
+            ..cfg.clone()
+        },
+        kinds,
+    );
+    let stats = |s: &OnlineStats| (s.count(), s.mean().to_bits());
+    for (s, r) in sharded.iter().zip(&reference) {
+        for (a, b) in s.per_sample.iter().zip(&r.per_sample) {
+            assert_eq!(
+                stats(&a.validity),
+                stats(&b.validity),
+                "{} t={}: sharded engine (shards={}) diverged from the single-queue reference",
+                s.kind.label(),
+                a.at_secs,
+                cfg.shards,
+            );
+            assert_eq!(
+                stats(&a.staleness),
+                stats(&b.staleness),
+                "{} t={}: staleness diverged",
+                s.kind.label(),
+                a.at_secs,
+            );
+        }
+        assert_eq!(
+            (
+                stats(&s.recovery_secs),
+                stats(&s.recovery_bytes),
+                stats(&s.residual_staleness),
+                s.recovered_runs,
+                s.censored_runs,
+            ),
+            (
+                stats(&r.recovery_secs),
+                stats(&r.recovery_bytes),
+                stats(&r.residual_staleness),
+                r.recovered_runs,
+                r.censored_runs,
+            ),
+            "{}: recovery aggregates diverged",
+            s.kind.label(),
+        );
+    }
+    sharded
+}
+
+/// Runtime-metric dispatch of [`fault_experiment_verified`].
+pub fn fault_experiment_verified_with(
+    metric: ChurnMetric,
+    cfg: &FaultConfig,
+    kinds: &[SelectorKind],
+) -> Vec<FaultMeasures> {
+    match metric {
+        ChurnMetric::Bandwidth => fault_experiment_verified::<BandwidthMetric>(cfg, kinds),
+        ChurnMetric::Delay => fault_experiment_verified::<DelayMetric>(cfg, kinds),
+    }
+}
+
+fn single_fault_run<M: EvalMetric>(
+    cfg: &FaultConfig,
+    seed: u64,
+    kinds: &[SelectorKind],
+    accum: &mut [FaultMeasures],
+) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let deployment = Deployment {
+        width: cfg.field.0,
+        height: cfg.field.1,
+        radius: cfg.radius,
+        mean_degree: cfg.density,
+    };
+    let topo = deploy(&deployment, &cfg.weights, &mut rng);
+    if topo.len() < 4 {
+        return;
+    }
+    // The fault experiment probes recovery of routes that *can* recover:
+    // only pairs connected in the (static) ground truth qualify.
+    if Components::compute(&topo).count() != 1 {
+        // A world that is partitioned before the fault would censor every
+        // selector identically; skip it rather than pollute the curves.
+        return;
+    }
+    // One fault schedule per world, shared verbatim by every selector.
+    let scenario = cfg.build_scenario(&topo, seed ^ 0xFA17_0CE2);
+    let probes = sample_probe_pairs(&topo, cfg.probes, &mut rng);
+    if probes.is_empty() {
+        return;
+    }
+    let times = cfg.sample_times();
+    let heal_idx = times
+        .iter()
+        .position(|&t| t >= cfg.heal_at())
+        .unwrap_or(times.len().saturating_sub(1));
+
+    let radio = RadioConfig {
+        corruption: cfg.corruption,
+        ..RadioConfig::default()
+    };
+    for (si, &kind) in kinds.iter().enumerate() {
+        let mut net = OlsrNetwork::with_exec(
+            topo.clone(),
+            cfg.olsr,
+            radio,
+            seed,
+            SchedulerKind::default(),
+            exec_mode(cfg.shards),
+            |_| SelectorPolicy::new(kind.instantiate::<M>()),
+        );
+        // The world stays static through warm-up and baseline; the fault
+        // schedule starts at the fault instant.
+        net.install_scenario_at(&scenario, cfg.fault_at());
+
+        let mut validity = Vec::with_capacity(times.len());
+        let mut staleness = Vec::with_capacity(times.len());
+        let mut bytes = Vec::with_capacity(times.len());
+        for &at in &times {
+            net.run_until(at);
+            let (v, s) = sample_instant(&net, &probes);
+            validity.push(v);
+            staleness.push(s);
+            bytes.push(net.total_stats().bytes_sent);
+        }
+
+        let m = &mut accum[si];
+        for (ti, (&v, &s)) in validity.iter().zip(&staleness).enumerate() {
+            m.per_sample[ti].validity.push(v);
+            m.per_sample[ti].staleness.push(s);
+        }
+        for &s in &staleness[heal_idx..] {
+            m.residual_staleness.push(s);
+        }
+        match reconvergence_index(&validity, heal_idx, cfg.threshold, cfg.sustain) {
+            Some(ri) => {
+                m.recovered_runs += 1;
+                m.recovery_secs
+                    .push(times[ri].as_secs_f64() - cfg.heal_at().as_secs_f64());
+                m.recovery_bytes.push((bytes[ri] - bytes[heal_idx]) as f64);
+            }
+            None => m.censored_runs += 1,
+        }
+    }
+}
+
+/// Instant route validity (delivered fraction over live probes) and mean
+/// advertised staleness at the network's current virtual time.
+fn sample_instant(
+    net: &OlsrNetwork<SelectorPolicy<Box<dyn crate::selector::AnsSelector>>>,
+    probes: &[(NodeId, NodeId)],
+) -> (f64, f64) {
+    let world = net.world();
+    let mut delivered = 0u32;
+    let mut live = 0u32;
+    for &(s, t) in probes {
+        match probe_route(net, s, t) {
+            ProbeOutcome::Delivered(_) => {
+                delivered += 1;
+                live += 1;
+            }
+            ProbeOutcome::Dropped => live += 1,
+            // Both endpoints stay powered on under crash faults (a crash
+            // reboots in place), so this only skips mid-churn corpses.
+            ProbeOutcome::EndpointDown => {}
+        }
+    }
+    let validity = if live == 0 {
+        0.0
+    } else {
+        f64::from(delivered) / f64::from(live)
+    };
+
+    let mut stale_sum = 0.0;
+    let mut advertisers = 0u32;
+    for u in world.nodes().filter(|&u| world.is_active(u)) {
+        let advertised = net.node(u).advertised();
+        if advertised.is_empty() {
+            continue;
+        }
+        let stale = advertised
+            .iter()
+            .filter(|&&(w, _)| !world.has_link(u, w))
+            .count();
+        stale_sum += stale as f64 / advertised.len() as f64;
+        advertisers += 1;
+    }
+    let staleness = if advertisers == 0 {
+        0.0
+    } else {
+        stale_sum / f64::from(advertisers)
+    };
+    (validity, staleness)
+}
+
+/// First index `i >= heal_idx` at which `validity[i..i + sustain]` all
+/// reach `threshold` — the sustained-reconvergence instant, or `None`
+/// when the run is censored.
+fn reconvergence_index(
+    validity: &[f64],
+    heal_idx: usize,
+    threshold: f64,
+    sustain: usize,
+) -> Option<usize> {
+    let sustain = sustain.max(1);
+    (heal_idx..validity.len().checked_sub(sustain - 1)?.max(heal_idx))
+        .find(|&i| validity[i..i + sustain].iter().all(|&v| v >= threshold))
+}
+
+fn curve_figure(
+    results: &[FaultMeasures],
+    title: &str,
+    ylabel: &str,
+    extract: impl Fn(&FaultSample) -> &OnlineStats,
+) -> Figure {
+    Figure {
+        title: title.to_owned(),
+        xlabel: "time (s)".to_owned(),
+        ylabel: ylabel.to_owned(),
+        series: results
+            .iter()
+            .map(|r| Series {
+                label: r.kind.label().to_owned(),
+                points: r
+                    .per_sample
+                    .iter()
+                    .map(|sample| {
+                        let s = extract(sample);
+                        Point {
+                            x: sample.at_secs,
+                            mean: s.mean(),
+                            ci95: s.ci95_half_width(),
+                            n: s.count(),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Route-validity-through-the-fault figure.
+pub fn fault_validity_figure(results: &[FaultMeasures], title: &str) -> Figure {
+    curve_figure(
+        results,
+        title,
+        "route validity (hop-by-hop delivery)",
+        |s| &s.validity,
+    )
+}
+
+/// Advertised-staleness-through-the-fault figure.
+pub fn fault_staleness_figure(results: &[FaultMeasures], title: &str) -> Figure {
+    curve_figure(results, title, "stale advertised-link fraction", |s| {
+        &s.staleness
+    })
+}
+
+/// Plain-text recovery table (one row per selector) for reports.
+pub fn recovery_report(cfg: &FaultConfig, results: &[FaultMeasures]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fault={} t0={:.0}s heal={:.0}s threshold={} sustain={}",
+        cfg.kind.name(),
+        cfg.fault_at().as_secs_f64(),
+        cfg.heal_at().as_secs_f64(),
+        cfg.threshold,
+        cfg.sustain,
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12} {:>12} {:>14} {:>14} {:>10}",
+        "selector", "recovery(s)", "±ci95", "bytes", "resid-stale", "censored"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12.2} {:>12.2} {:>14.0} {:>14.4} {:>7}/{:<3}",
+            r.kind.label(),
+            r.recovery_secs.mean(),
+            r.recovery_secs.ci95_half_width(),
+            r.recovery_bytes.mean(),
+            r.residual_staleness.mean(),
+            r.censored_runs,
+            r.recovered_runs + r.censored_runs,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(kind: FaultKind) -> FaultConfig {
+        FaultConfig {
+            density: 8.0,
+            field: (300.0, 300.0),
+            warmup: SimDuration::from_secs(15),
+            lead: SimDuration::from_secs(2),
+            outage: SimDuration::from_secs(8),
+            observe: SimDuration::from_secs(25),
+            sample_every: SimDuration::from_secs(1),
+            probes: 6,
+            kind,
+            ..FaultConfig::new(2)
+        }
+    }
+
+    #[test]
+    fn reconvergence_index_respects_sustain() {
+        let v = [1.0, 0.2, 0.5, 1.0, 0.98, 1.0, 1.0, 1.0];
+        // From heal at 1: the lone 1.0 at 3 is not sustained (0.98 next);
+        // the first sustained window of 3 starts at 5.
+        assert_eq!(reconvergence_index(&v, 1, 0.99, 3), Some(5));
+        // sustain = 1 takes the first qualifying sample.
+        assert_eq!(reconvergence_index(&v, 1, 0.99, 1), Some(3));
+        // Unreachable threshold censors.
+        assert_eq!(reconvergence_index(&v, 1, 1.1, 1), None);
+        // Window longer than the tail censors.
+        assert_eq!(reconvergence_index(&v, 6, 0.99, 5), None);
+        // Degenerate sustain = 0 is clamped to 1.
+        assert_eq!(reconvergence_index(&v, 0, 0.99, 0), Some(0));
+    }
+
+    #[test]
+    fn partition_dips_validity_then_recovers() {
+        let cfg = tiny_cfg(FaultKind::Partition);
+        let kinds = [SelectorKind::QolsrMpr2];
+        let results = fault_experiment::<BandwidthMetric>(&cfg, &kinds);
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.per_sample.len(), cfg.sample_times().len());
+        assert_eq!(
+            r.recovered_runs + r.censored_runs,
+            u64::from(cfg.runs),
+            "every world must resolve to recovered or censored"
+        );
+        // Baseline (pre-fault) validity must beat mid-outage validity:
+        // a bisected field cannot route across the cut.
+        let baseline = r.per_sample[0].validity.mean();
+        let mid_outage_at = cfg.fault_at().as_secs_f64() + cfg.outage.as_secs_f64() / 2.0;
+        let mid = r
+            .per_sample
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.at_secs - mid_outage_at).abs();
+                let db = (b.at_secs - mid_outage_at).abs();
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap();
+        assert!(
+            mid.validity.mean() < baseline,
+            "partition should dent validity: baseline {} vs mid-outage {}",
+            baseline,
+            mid.validity.mean(),
+        );
+    }
+
+    #[test]
+    fn blackout_recovery_is_shard_invariant() {
+        let cfg = FaultConfig {
+            shards: 2,
+            threads: 2,
+            ..tiny_cfg(FaultKind::Blackout)
+        };
+        // `fault_experiment_verified` asserts curve and recovery parity
+        // between the sharded and single-queue engines internally.
+        let results = fault_experiment_verified::<BandwidthMetric>(&cfg, &[SelectorKind::Fnbp]);
+        assert_eq!(results[0].recovered_runs + results[0].censored_runs, 2);
+    }
+
+    #[test]
+    fn crash_storm_with_corruption_stays_deterministic() {
+        let cfg = FaultConfig {
+            corruption: FrameCorruption::On(qolsr_sim::CorruptionParams::default()),
+            observe: SimDuration::from_secs(15),
+            ..tiny_cfg(FaultKind::CrashStorm)
+        };
+        let kinds = [SelectorKind::TopologyFiltering];
+        let a = fault_experiment::<BandwidthMetric>(&cfg, &kinds);
+        let b = fault_experiment::<BandwidthMetric>(&cfg, &kinds);
+        let render = |rs: &[FaultMeasures]| {
+            rs.iter()
+                .flat_map(|r| {
+                    r.per_sample
+                        .iter()
+                        .map(|s| (s.validity.mean().to_bits(), s.staleness.mean().to_bits()))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&a), render(&b), "same seed must replay exactly");
+        let report = recovery_report(&cfg, &a);
+        assert!(report.contains("crash-storm"));
+    }
+}

@@ -9,6 +9,7 @@
 //! Dijkstra optimum.
 
 pub mod churn;
+pub mod faults;
 pub mod figures;
 pub mod loss;
 pub mod overhead;

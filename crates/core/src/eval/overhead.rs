@@ -259,6 +259,7 @@ fn single_run(
         bytes_decoded: nodes.bytes_decoded - nodes0.bytes_decoded,
         resident_entries,
         resident_bytes,
+        malformed_frames: nodes.malformed_frames - nodes0.malformed_frames,
     };
     point
         .tc_deliveries

@@ -416,6 +416,7 @@ pub fn live_sweep(cfg: &LiveConfig) -> Vec<LivePoint> {
                     bytes_decoded: nodes.bytes_decoded - nodes0.bytes_decoded,
                     resident_entries: res_entries,
                     resident_bytes: res_bytes,
+                    malformed_frames: nodes.malformed_frames - nodes0.malformed_frames,
                 };
                 point.events.push(counters.events_popped as f64);
                 point.timers.push(counters.timers_fired as f64);
@@ -467,6 +468,7 @@ pub fn live_sweep_verified(cfg: &LiveConfig) -> Vec<LivePoint> {
             c.tc_ring_emissions,
             c.dup_peek_hits,
             c.bytes_decoded,
+            c.malformed_frames,
         )
     };
     for (s, r) in sharded.iter().zip(&reference) {

@@ -102,6 +102,50 @@ pub enum WorldEvent {
         /// The leaving node.
         node: NodeId,
     },
+    /// The network partitions along the vertical line `x = cut`: while
+    /// active, the radio drops every frame whose sender and receiver sit
+    /// on opposite sides of the cut. Ground-truth links are untouched —
+    /// a partition is a radio-level fault, not a topology change — so
+    /// healed worlds need no relink events. At most one partition is
+    /// active at a time; applying a second cut replaces the first.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qolsr_graph::{DynamicTopology, NodeId, Point2, TopologyBuilder, WorldEvent};
+    /// use qolsr_metrics::LinkQos;
+    ///
+    /// let mut b = TopologyBuilder::new(10.0);
+    /// let west = b.add_node(Point2::new(0.0, 0.0));
+    /// let east = b.add_node(Point2::new(8.0, 0.0));
+    /// b.link(west, east, LinkQos::uniform(1))?;
+    /// let mut world = DynamicTopology::new(&b.build());
+    ///
+    /// assert!(world.apply(&WorldEvent::Partition { cut: 4.0 }));
+    /// assert!(world.partitioned(west, east));
+    /// assert!(world.has_link(west, east), "the link itself survives");
+    /// assert!(world.apply(&WorldEvent::Heal));
+    /// assert!(!world.partitioned(west, east));
+    /// # Ok::<(), qolsr_graph::TopologyError>(())
+    /// ```
+    Partition {
+        /// x-coordinate of the cut line.
+        cut: f64,
+    },
+    /// The active partition (if any) heals: cross-cut frames flow again.
+    /// Ignored when no partition is active.
+    Heal,
+    /// Node `node` crashes and instantly reboots: unlike the graceful
+    /// [`WorldEvent::Leave`]/[`WorldEvent::Join`] cycle the node never
+    /// deactivates and keeps its ground-truth links, but the engines
+    /// wipe its entire protocol state — including message sequence
+    /// numbers and the ANSN, which a graceful rejoin deliberately keeps.
+    /// Ignored if the node is inactive (a powered-off node cannot
+    /// crash).
+    Crash {
+        /// The crashing node.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for WorldEvent {
@@ -113,6 +157,9 @@ impl fmt::Display for WorldEvent {
             WorldEvent::Move { node, to } => write!(f, "move {node} -> {to}"),
             WorldEvent::Join { node } => write!(f, "join {node}"),
             WorldEvent::Leave { node } => write!(f, "leave {node}"),
+            WorldEvent::Partition { cut } => write!(f, "partition x={cut}"),
+            WorldEvent::Heal => write!(f, "heal"),
+            WorldEvent::Crash { node } => write!(f, "crash {node}"),
         }
     }
 }
@@ -142,6 +189,10 @@ pub struct DynamicTopology {
     /// detect position changes made by *other* actors between their
     /// activations.
     position_epochs: Vec<u64>,
+    /// x-coordinate of the active partition cut, if one is in force.
+    /// Read-only for the engines (via [`DynamicTopology::partitioned`])
+    /// so the cross-cut drop check commutes with parallel windows.
+    partition_cut: Option<f64>,
 }
 
 impl Clone for DynamicTopology {
@@ -155,6 +206,7 @@ impl Clone for DynamicTopology {
             views: Mutex::new(vec![None; self.positions.len()]),
             grid: self.grid.clone(),
             position_epochs: self.position_epochs.clone(),
+            partition_cut: self.partition_cut,
         }
     }
 }
@@ -192,6 +244,7 @@ impl DynamicTopology {
             views: Mutex::new(vec![None; n]),
             grid,
             position_epochs: vec![0; n],
+            partition_cut: None,
         }
     }
 
@@ -288,6 +341,22 @@ impl DynamicTopology {
         self.graph.has_edge(a.0, b.0)
     }
 
+    /// x-coordinate of the active partition cut, if one is in force.
+    pub fn partition_cut(&self) -> Option<f64> {
+        self.partition_cut
+    }
+
+    /// Returns `true` when an active partition separates `a` and `b`
+    /// (their current positions sit on opposite sides of the cut): the
+    /// radio must drop frames between them. Always `false` with no
+    /// partition in force.
+    pub fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        match self.partition_cut {
+            Some(cut) => (self.positions[a.index()].x < cut) != (self.positions[b.index()].x < cut),
+            None => false,
+        }
+    }
+
     /// Current number of undirected links.
     pub fn link_count(&self) -> usize {
         self.graph.edge_count()
@@ -362,6 +431,27 @@ impl DynamicTopology {
                     true
                 }
             }
+            WorldEvent::Partition { cut } => {
+                if self.partition_cut == Some(cut) {
+                    false
+                } else {
+                    self.partition_cut = Some(cut);
+                    true
+                }
+            }
+            WorldEvent::Heal => {
+                if self.partition_cut.is_none() {
+                    false
+                } else {
+                    self.partition_cut = None;
+                    true
+                }
+            }
+            // The graph is untouched by a crash — the node keeps its id,
+            // links and position — but the epoch still advances (below)
+            // so cached views and world-change counters register the
+            // fault. The engines own the protocol-state wipe.
+            WorldEvent::Crash { node } => self.active[node.index()],
         };
         if changed {
             self.epoch += 1;
@@ -596,6 +686,46 @@ mod tests {
         assert_eq!(snap.graph(), world.graph());
         assert_eq!(snap.radius(), world.radius());
         assert_eq!(snap.position(NodeId(2)), world.position(NodeId(2)));
+    }
+
+    #[test]
+    fn partition_gates_cross_cut_pairs_without_touching_links() {
+        let mut world = triangle();
+        let e0 = world.epoch();
+        assert!(world.apply(&WorldEvent::Partition { cut: 2.5 }));
+        assert_eq!(world.epoch(), e0 + 1);
+        assert_eq!(world.partition_cut(), Some(2.5));
+        // Node 1 sits at x = 5, nodes 0 and 2 at x = 0.
+        assert!(world.partitioned(NodeId(0), NodeId(1)));
+        assert!(world.partitioned(NodeId(1), NodeId(2)));
+        assert!(!world.partitioned(NodeId(0), NodeId(2)));
+        assert_eq!(world.link_count(), 3, "partitions never touch links");
+        // Re-applying the same cut is a no-op; a new cut replaces it.
+        assert!(!world.apply(&WorldEvent::Partition { cut: 2.5 }));
+        assert!(world.apply(&WorldEvent::Partition { cut: 100.0 }));
+        assert!(!world.partitioned(NodeId(0), NodeId(1)));
+        // Moves re-evaluate sides: node 0 crosses the new cut.
+        world.apply(&WorldEvent::Move {
+            node: NodeId(0),
+            to: Point2::new(200.0, 0.0),
+        });
+        assert!(world.partitioned(NodeId(0), NodeId(1)));
+        assert!(world.apply(&WorldEvent::Heal));
+        assert!(!world.partitioned(NodeId(0), NodeId(1)));
+        assert!(!world.apply(&WorldEvent::Heal), "healed twice is a no-op");
+    }
+
+    #[test]
+    fn crash_changes_nothing_in_the_graph_but_registers() {
+        let mut world = triangle();
+        let e0 = world.epoch();
+        assert!(world.apply(&WorldEvent::Crash { node: NodeId(1) }));
+        assert_eq!(world.epoch(), e0 + 1, "a crash is still a world change");
+        assert!(world.is_active(NodeId(1)), "crashed nodes reboot instantly");
+        assert_eq!(world.link_count(), 3, "crashes keep ground-truth links");
+        // A powered-off node cannot crash.
+        world.apply(&WorldEvent::Leave { node: NodeId(1) });
+        assert!(!world.apply(&WorldEvent::Crash { node: NodeId(1) }));
     }
 
     #[test]

@@ -15,6 +15,7 @@ struct ReferenceWorld {
     links: BTreeMap<(u32, u32), LinkQos>,
     active: Vec<bool>,
     positions: Vec<Point2>,
+    partition_cut: Option<f64>,
 }
 
 impl ReferenceWorld {
@@ -26,6 +27,7 @@ impl ReferenceWorld {
                 .collect(),
             active: vec![true; n],
             positions: (0..n).map(|i| Point2::new(i as f64, 0.0)).collect(),
+            partition_cut: None,
         }
     }
 
@@ -55,6 +57,19 @@ impl ReferenceWorld {
                 self.active[node.index()] = false;
                 self.links.retain(|&(a, b), _| a != node.0 && b != node.0);
             }
+            WorldEvent::Partition { cut } => self.partition_cut = Some(cut),
+            WorldEvent::Heal => self.partition_cut = None,
+            // A crash touches no ground truth: the node keeps its id,
+            // links and position (the engines own the protocol wipe).
+            WorldEvent::Crash { .. } => {}
+        }
+    }
+
+    /// Reference partition gate: positions on opposite sides of the cut.
+    fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        match self.partition_cut {
+            Some(cut) => (self.positions[a.index()].x < cut) != (self.positions[b.index()].x < cut),
+            None => false,
         }
     }
 
@@ -113,6 +128,9 @@ fn event(n: u32) -> impl Strategy<Value = WorldEvent> {
         }),
         (0..n).prop_map(|node| WorldEvent::Join { node: NodeId(node) }),
         (0..n).prop_map(|node| WorldEvent::Leave { node: NodeId(node) }),
+        (-5.0..55.0f64).prop_map(|cut| WorldEvent::Partition { cut }),
+        Just(WorldEvent::Heal),
+        (0..n).prop_map(|node| WorldEvent::Crash { node: NodeId(node) }),
     ]
 }
 
@@ -158,6 +176,13 @@ proptest! {
                 "position of {} diverges", node);
             prop_assert_eq!(world.is_active(node), reference.active[node.index()],
                 "activity of {} diverges", node);
+        }
+        prop_assert_eq!(world.partition_cut(), reference.partition_cut);
+        for a in world.nodes() {
+            for b in world.nodes() {
+                prop_assert_eq!(world.partitioned(a, b), reference.partitioned(a, b),
+                    "partition gate for {}–{} diverges", a, b);
+            }
         }
     }
 

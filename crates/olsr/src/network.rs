@@ -368,6 +368,7 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
             }
             total.dup_peek_hits += s.dup_peek_hits;
             total.bytes_decoded += s.bytes_decoded;
+            total.malformed_frames += s.malformed_frames;
         }
         total
     }

@@ -7,7 +7,7 @@ use bytes::Bytes;
 use qolsr_graph::{LocalView, NodeId};
 use qolsr_metrics::LinkQos;
 use qolsr_sim::stats::TC_RING_SLOTS;
-use qolsr_sim::{Actor, Context, SimDuration, SimTime, TimerId};
+use qolsr_sim::{Actor, Context, FrameDamage, SimDuration, SimTime, TimerId};
 
 use crate::config::{DecodePath, OlsrConfig, TcScoping, TopologyStore};
 use crate::messages::{Body, Hello, HelloNeighbor, LinkState, Message, Tc};
@@ -83,6 +83,11 @@ pub struct NodeStats {
     /// [`DecodePath::Peek`] this is what the peek fast path saved
     /// relative to the bytes received; decode-path-dependent by design.
     pub bytes_decoded: u64,
+    /// Received frames dropped as undecodable garbage (corrupted or
+    /// arbitrary bytes rejected by `wire::peek`/`wire::decode`). Always
+    /// counted alongside [`NodeStats::decode_errors`]; zero unless the
+    /// radio corrupts frames or a fault suite injects garbage.
+    pub malformed_frames: u64,
 }
 
 /// A node's resident protocol-table footprint (see
@@ -496,17 +501,18 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
         if self.duplicates.fresh(peek.originator, peek.seq, dup_hold)
             && self.topology.accepts_ansn(peek.originator, peek.ansn, now)
         {
-            // Fresh and acceptable: the body is actually needed. A
-            // successful TC peek length-validates the whole buffer, so
-            // this decode cannot fail.
+            // Fresh and acceptable: the body is actually needed. The
+            // peek length-validates the buffer, but a corrupted frame
+            // can still fail content validation here — drop it like any
+            // other garbage.
             decoded = true;
             self.stats.bytes_decoded += raw.len() as u64;
             let Ok(Message {
                 body: Body::Tc(tc), ..
             }) = wire::decode(raw.clone())
             else {
-                debug_assert!(false, "peek-validated TC must decode");
                 self.stats.decode_errors += 1;
+                self.stats.malformed_frames += 1;
                 return;
             };
             let hold = now + self.config.topology_hold_time();
@@ -672,10 +678,12 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
                     }
                     Err(_) => {
                         self.stats.decode_errors += 1;
+                        self.stats.malformed_frames += 1;
                     }
                 },
                 Err(_) => {
                     self.stats.decode_errors += 1;
+                    self.stats.malformed_frames += 1;
                 }
             },
             // Reference formulation: decode everything first.
@@ -686,6 +694,7 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
                 }
                 Err(_) => {
                     self.stats.decode_errors += 1;
+                    self.stats.malformed_frames += 1;
                 }
             },
         }
@@ -706,6 +715,25 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
         // rejoining node should re-announce itself network-wide first.
         self.tc_tick = 0;
         self.invalidate_routes();
+    }
+
+    fn on_crash(&mut self) {
+        // A crash-reboot is harsher than a graceful leave/rejoin:
+        // volatile memory is gone, *including* the sequence counters
+        // `on_reset` deliberately preserves. Peers still holding
+        // duplicate-set or ANSN entries from the previous life suppress
+        // the restarted node's messages until those entries expire —
+        // bounded by the duplicate/topology hold times, which the fault
+        // suites pin as the recovery horizon.
+        self.on_reset();
+        self.msg_seq = 0;
+        self.ansn = 0;
+    }
+
+    fn corrupt_frame(msg: &Bytes, damage: &FrameDamage) -> Option<Bytes> {
+        let mut bytes = msg.to_vec();
+        damage.apply_to_bytes(&mut bytes);
+        Some(Bytes::from(bytes))
     }
 
     fn on_rehome(&mut self, shard: usize) {
@@ -753,6 +781,31 @@ mod tests {
         assert!(node.advertised().is_empty());
         assert_eq!(node.next_seq(), 42, "msg_seq survives reboot");
         assert_eq!(node.ansn, 7, "ansn survives reboot");
+    }
+
+    #[test]
+    fn crash_wipes_sequence_numbers_unlike_graceful_reset() {
+        let mut node = OlsrNode::new(NodeId(1), OlsrConfig::default(), MprSelectorPolicy);
+        node.msg_seq = 41;
+        node.ansn = 7;
+        node.mprs.insert(NodeId(2));
+        node.on_crash();
+        assert!(node.mpr_set().is_empty());
+        assert_eq!(node.next_seq(), 1, "msg_seq restarts at zero");
+        assert_eq!(node.ansn, 0, "ansn restarts at zero");
+    }
+
+    #[test]
+    fn corrupt_frame_applies_damage_mechanically() {
+        let damage = FrameDamage {
+            truncate_keep_ppm: None,
+            flip_points_ppm: vec![0],
+        };
+        let original = Bytes::from(vec![0xFF, 0x00]);
+        let mangled =
+            OlsrNode::<MprSelectorPolicy>::corrupt_frame(&original, &damage).expect("opt-in");
+        assert_ne!(mangled, original, "a bit flip must change the frame");
+        assert_eq!(mangled.len(), original.len());
     }
 
     #[test]

@@ -241,7 +241,11 @@ impl NeighborTables {
         // updated first).
         let reporter_symmetric = self.links[i].is_symmetric(now);
         for n in &hello.neighbors {
-            if n.state.is_symmetric() && n.id != me {
+            // `n.id != from` discards a neighbor listing itself — no valid
+            // HELLO carries one, but a bit-flipped frame that evades the
+            // FCS can, and recording the (from, from) self-loop would
+            // panic `LocalView::from_parts` at the next TC emission.
+            if n.state.is_symmetric() && n.id != me && n.id != from {
                 match self
                     .reported
                     .binary_search_by_key(&(from, n.id), |r| (r.via, r.node))

@@ -1,0 +1,227 @@
+//! No-panic fuzz of the live receive path: a warmed-up [`OlsrNode`]
+//! inside the real engine is fed fully arbitrary bytes through
+//! [`Simulator::inject_frame`] — the same dispatch path a corrupted
+//! radio frame takes. The node must never panic, and whenever the wire
+//! codec rejects the buffer the frame must be dropped whole: decode
+//! counters tick exactly once and routes/advertised state stay
+//! byte-identical.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use qolsr_graph::{NodeId, Point2, TopologyBuilder};
+use qolsr_metrics::{Bandwidth, Delay, Energy, LinkQos};
+use qolsr_proto::messages::{Body, Hello, HelloNeighbor, LinkState, Message, Tc};
+use qolsr_proto::wire;
+use qolsr_proto::{MprSelectorPolicy, OlsrConfig, OlsrNode};
+use qolsr_sim::{RadioConfig, SimDuration, SimTime, Simulator};
+
+/// Warm-up horizon: several HELLO/TC rounds so the target node holds
+/// non-trivial neighbor, topology, and route state before injection.
+const WARMUP: SimDuration = SimDuration::from_secs(10);
+
+/// Builds a 3-node line `0 — 1 — 2` and runs it to a quiet instant.
+///
+/// Jitter is zeroed (protocol and radio) so every engine event lands on
+/// a deterministic grid: after `run_until(WARMUP + 500ms)` the queue
+/// holds nothing before the next second boundary, and an injected frame
+/// at `+1µs` is the only event in its window.
+fn warmed_line() -> Simulator<OlsrNode<MprSelectorPolicy>> {
+    let mut b = TopologyBuilder::new(15.0);
+    let n0 = b.add_node(Point2::new(0.0, 0.0));
+    let n1 = b.add_node(Point2::new(10.0, 0.0));
+    let n2 = b.add_node(Point2::new(20.0, 0.0));
+    b.link(n0, n1, LinkQos::uniform(5)).unwrap();
+    b.link(n1, n2, LinkQos::uniform(5)).unwrap();
+    let cfg = OlsrConfig {
+        max_jitter: SimDuration::ZERO,
+        ..OlsrConfig::default()
+    };
+    let radio = RadioConfig {
+        jitter: SimDuration::ZERO,
+        ..RadioConfig::default()
+    };
+    let mut sim = Simulator::new(b.build(), radio, 7, |id| {
+        OlsrNode::new(id, cfg, MprSelectorPolicy)
+    });
+    sim.run_until(SimTime::ZERO + WARMUP + SimDuration::from_millis(500));
+    sim
+}
+
+/// Delivers `payload` from node 0 to node 1 in an otherwise-quiet
+/// window and reports whether the node's observable state changed.
+///
+/// Returns `(state_changed, decode_errors_delta, malformed_delta)`.
+fn ingest(payload: Vec<u8>) -> (bool, u64, u64) {
+    let mut sim = warmed_line();
+    let target = NodeId(1);
+    let at = sim.now();
+
+    let before_stats = sim.actor(target).stats();
+    let before_routes = format!("{:?}", sim.actor(target).routes(at));
+    let before_adv = sim.actor(target).advertised().to_vec();
+
+    sim.inject_frame(
+        SimDuration::from_micros(1),
+        NodeId(0),
+        target,
+        Bytes::from(payload),
+    );
+    sim.run_until(at + SimDuration::from_micros(2));
+
+    let after_stats = sim.actor(target).stats();
+    let after_routes = format!("{:?}", sim.actor(target).routes(at));
+    let after_adv = sim.actor(target).advertised().to_vec();
+
+    let changed = before_routes != after_routes
+        || before_adv != after_adv
+        || before_stats.hello_received != after_stats.hello_received
+        || before_stats.tc_received != after_stats.tc_received;
+    (
+        changed,
+        after_stats.decode_errors - before_stats.decode_errors,
+        after_stats.malformed_frames - before_stats.malformed_frames,
+    )
+}
+
+fn arb_qos() -> impl Strategy<Value = LinkQos> {
+    (any::<u64>(), any::<u64>(), any::<u64>())
+        .prop_map(|(b, d, e)| LinkQos::with_energy(Bandwidth(b), Delay(d), Energy(e)))
+}
+
+fn arb_link_state() -> impl Strategy<Value = LinkState> {
+    prop_oneof![
+        Just(LinkState::Asymmetric),
+        Just(LinkState::Symmetric),
+        Just(LinkState::Mpr),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let hello = proptest::collection::vec((any::<u32>(), arb_link_state(), arb_qos()), 0..8)
+        .prop_map(|entries| {
+            Body::Hello(Hello {
+                neighbors: entries
+                    .into_iter()
+                    .map(|(id, state, qos)| HelloNeighbor {
+                        id: NodeId(id),
+                        state,
+                        qos,
+                    })
+                    .collect(),
+            })
+        });
+    let tc = (
+        proptest::collection::vec((any::<u32>(), arb_qos()), 0..8),
+        any::<u16>(),
+    )
+        .prop_map(|(adv, ansn)| {
+            Body::Tc(Tc {
+                ansn,
+                advertised: adv.into_iter().map(|(id, qos)| (NodeId(id), qos)).collect(),
+            })
+        });
+    (
+        any::<u32>(),
+        any::<u16>(),
+        any::<u8>(),
+        any::<u8>(),
+        prop_oneof![hello, tc],
+    )
+        .prop_map(|(orig, seq, ttl, hop_count, body)| Message {
+            originator: NodeId(orig),
+            seq,
+            ttl,
+            hop_count,
+            body,
+        })
+}
+
+/// Regression: a decodable HELLO whose neighbor list names the *sender
+/// itself* (only a bit-flipped frame that slips the FCS can produce
+/// one) must not plant a `(from, from)` self-loop in the reported-link
+/// table — `LocalView::from_parts` would panic on it at the receiver's
+/// next TC emission, long after the frame was "successfully" ingested.
+#[test]
+fn self_listing_hello_does_not_poison_tc_emission() {
+    let mut sim = warmed_line();
+    let at = sim.now();
+    let qos = LinkQos::uniform(5);
+    let evil = Message::hello(
+        NodeId(0),
+        9000,
+        Hello {
+            neighbors: vec![
+                // The sender lists itself — the self-loop trigger.
+                HelloNeighbor {
+                    id: NodeId(0),
+                    state: LinkState::Symmetric,
+                    qos,
+                },
+                // And its real neighbor, so the frame otherwise looks sane.
+                HelloNeighbor {
+                    id: NodeId(1),
+                    state: LinkState::Symmetric,
+                    qos,
+                },
+            ],
+        },
+    );
+    let before = sim.actor(NodeId(1)).stats();
+    sim.inject_frame(
+        SimDuration::from_micros(1),
+        NodeId(0),
+        NodeId(1),
+        wire::encode(&evil),
+    );
+    // Run well past the receiver's next TC emission: the panic fired in
+    // `emit_tc`, not at ingestion.
+    sim.run_until(at + SimDuration::from_secs(12));
+    let after = sim.actor(NodeId(1)).stats();
+    assert!(
+        after.hello_received > before.hello_received,
+        "the frame itself is well-formed and must be ingested"
+    );
+    assert!(after.tc_sent > before.tc_sent, "TC emission must survive");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pure noise through the live dispatch path: never a panic, and on
+    /// codec rejection the node is untouched — the garbage is absorbed
+    /// by the `decode_errors`/`malformed_frames` counters alone.
+    #[test]
+    fn node_ingestion_survives_arbitrary_bytes(
+        noise in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let rejected = wire::decode(Bytes::from(noise.clone())).is_err();
+        let (changed, decode_delta, malformed_delta) = ingest(noise);
+        if rejected {
+            prop_assert_eq!(decode_delta, 1, "one rejected frame, one decode error");
+            prop_assert_eq!(malformed_delta, 1, "rejection must count as malformed");
+            prop_assert!(!changed, "a rejected frame must not perturb node state");
+        }
+    }
+
+    /// Bit-corrupted real frames — the adversarial middle ground between
+    /// valid traffic and noise. Whatever the codec decides, the node
+    /// never panics; rejections leave it untouched.
+    #[test]
+    fn node_ingestion_survives_corrupted_frames(
+        msg in arb_message(),
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..6),
+    ) {
+        let mut buf = wire::encode(&msg).to_vec();
+        for (pos, bit) in flips {
+            let i = pos as usize % buf.len();
+            buf[i] ^= 1 << bit;
+        }
+        let rejected = wire::decode(Bytes::from(buf.clone())).is_err();
+        let (changed, decode_delta, malformed_delta) = ingest(buf);
+        if rejected {
+            prop_assert_eq!(decode_delta, 1);
+            prop_assert_eq!(malformed_delta, 1);
+            prop_assert!(!changed, "a rejected frame must not perturb node state");
+        }
+    }
+}

@@ -43,9 +43,13 @@ enum Op {
 }
 
 /// ANSN values biased to straddle the u16 wrap (RFC 3626 §19 sequence
-/// comparison), so histories routinely cross 65535 → 0.
+/// comparison), so histories routinely cross 65535 → 0. The mid-range
+/// arm sets up the crash-reboot wedge: a recorded mid-range ANSN makes
+/// a post-crash ANSN 0 look *older* under `seq_newer` (20 000 − 0 is
+/// under the 32 768 half-window), so acceptance must come from record
+/// expiry, not wraparound.
 fn ansn_value() -> impl Strategy<Value = u16> {
-    prop_oneof![0u16..6, 65532u16..=65535]
+    prop_oneof![0u16..6, 20_000u16..20_004, 65532u16..=65535]
 }
 
 fn tc_op() -> impl Strategy<Value = Op> {
@@ -65,6 +69,22 @@ fn tc_op() -> impl Strategy<Value = Op> {
         })
 }
 
+/// TCs as emitted by a freshly crash-rebooted *originator*: the wire
+/// sequence and ANSN both restart at zero (what `Actor::on_crash` does
+/// to `OlsrNode`), landing reborn numbers on receivers that may still
+/// hold the pre-crash records.
+fn crashed_tc_op() -> impl Strategy<Value = Op> {
+    (1u32..6, proptest::collection::vec(1u32..10, 0..4), 4u64..12).prop_map(
+        |(orig, advertised, hold_s)| Op::Tc {
+            orig,
+            seq: 0,
+            ansn: 0,
+            advertised,
+            hold_s,
+        },
+    )
+}
+
 fn op() -> impl Strategy<Value = Op> {
     // TC arms repeated: integrations dominate real histories.
     prop_oneof![
@@ -72,6 +92,7 @@ fn op() -> impl Strategy<Value = Op> {
         tc_op(),
         tc_op(),
         tc_op(),
+        crashed_tc_op(),
         Just(Op::Sweep),
         (1u64..5).prop_map(Op::Advance),
         Just(Op::Reboot),
@@ -417,4 +438,102 @@ fn long_churn_keeps_tables_and_store_bounded() {
     // originator counts).
     assert!(shared.footprint().0 <= 2 * bound);
     assert!(per_node.footprint().0 <= 2 * bound);
+}
+
+/// A crash-rebooted originator restarts its wire sequence and ANSN at
+/// zero (`Actor::on_crash`), while every receiver still holds the
+/// pre-crash records. The reborn numbers must be suppressed only while
+/// those records live: the duplicate stores free the reused seq once
+/// the duplicate hold sweeps out, and the ANSN rule treats an expired
+/// record as never-heard — so a crashed node is locked out of the
+/// flood for at most the hold windows, never wedged network-wide until
+/// the u16 half-window wraps. Pinned in both topology formulations and
+/// both duplicate-set representations.
+#[test]
+fn crash_reboot_at_seq_zero_recovers_within_the_holds() {
+    const TOPOLOGY_HOLD_S: u64 = 15;
+    const DUPLICATE_HOLD_S: u64 = 30;
+    let store = SharedLinkStore::new();
+    let mut shared = SharedTopology::new(store);
+    let mut per_node = TopologyBase::new();
+    let mut dup_set = DuplicateSet::new();
+    let mut ring = DuplicateRing::new();
+    let o = NodeId(3);
+    let pre_crash = advertised_links(&[1, 2]);
+    let post_crash = advertised_links(&[5]);
+
+    // Pre-crash life: a mid-range ANSN and wire seqs 0..3 all recorded.
+    let t0 = SimTime::ZERO;
+    let dup_hold = |now: SimTime| now + SimDuration::from_secs(DUPLICATE_HOLD_S);
+    let topo_hold = |now: SimTime| now + SimDuration::from_secs(TOPOLOGY_HOLD_S);
+    for seq in 0u16..3 {
+        assert!(dup_set.fresh(o, seq, dup_hold(t0)));
+        assert!(ring.fresh(o, seq, dup_hold(t0)));
+    }
+    assert!(
+        shared
+            .process_tc_tracked(o, 2, 20_000, &pre_crash, t0, topo_hold(t0))
+            .applied
+    );
+    assert!(
+        per_node
+            .process_tc_tracked(o, 20_000, &pre_crash, t0, topo_hold(t0))
+            .applied
+    );
+
+    // Crash + reboot one second later: the reborn node floods seq 0 /
+    // ANSN 0. Every store must suppress it — the old records live on.
+    let t1 = t0 + SimDuration::from_secs(1);
+    assert!(!dup_set.fresh(o, 0, dup_hold(t1)), "seq 0 is still held");
+    assert!(!ring.fresh(o, 0, dup_hold(t1)), "seq 0 is still held");
+    assert!(!shared.accepts_ansn(o, 0, t1), "ANSN 0 looks stale");
+    assert!(!per_node.accepts_ansn(o, 0, t1), "ANSN 0 looks stale");
+    assert!(
+        !shared
+            .process_tc_tracked(o, 0, 0, &post_crash, t1, topo_hold(t1))
+            .applied
+    );
+    assert!(
+        !per_node
+            .process_tc_tracked(o, 0, &post_crash, t1, topo_hold(t1))
+            .applied
+    );
+
+    // The topology record expires first: at exactly `t0 + hold` the
+    // expired entry counts as never-heard (no sweep required) and the
+    // post-crash advertisement replaces the pre-crash links.
+    let t2 = t0 + SimDuration::from_secs(TOPOLOGY_HOLD_S);
+    assert!(
+        shared.accepts_ansn(o, 0, t2),
+        "expired record = never heard"
+    );
+    assert!(per_node.accepts_ansn(o, 0, t2));
+    assert!(
+        shared
+            .process_tc_tracked(o, 1, 0, &post_crash, t2, topo_hold(t2))
+            .applied
+    );
+    assert!(
+        per_node
+            .process_tc_tracked(o, 0, &post_crash, t2, topo_hold(t2))
+            .applied
+    );
+    assert_eq!(
+        sorted_links(shared.links(t2)),
+        sorted_links(per_node.links(t2)),
+        "formulations diverged after the crash recovery"
+    );
+    assert_eq!(shared.links(t2).len(), post_crash.len());
+
+    // The reused wire seq frees once the duplicate hold drains. The
+    // refresh at t1 extended it, so the lockout runs from the last
+    // suppressed attempt — bounded, not forever.
+    let t3 = t1 + SimDuration::from_secs(DUPLICATE_HOLD_S + 1);
+    dup_set.sweep(t3);
+    ring.sweep(t3);
+    assert!(
+        dup_set.fresh(o, 0, dup_hold(t3)),
+        "seq 0 reusable post-hold"
+    );
+    assert!(ring.fresh(o, 0, dup_hold(t3)), "seq 0 reusable post-hold");
 }

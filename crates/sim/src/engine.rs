@@ -58,6 +58,30 @@ pub trait Actor {
     fn on_rehome(&mut self, shard: usize) {
         let _ = shard;
     }
+
+    /// Called when the node crashes and instantly reboots
+    /// ([`WorldEvent::Crash`]): pending timers and in-flight deliveries
+    /// of the previous life are cancelled and [`Actor::on_start`] runs
+    /// again immediately. Unlike the graceful [`Actor::on_reset`] (whose
+    /// contract lets implementations preserve identity that survives an
+    /// orderly power cycle, e.g. message sequence numbers), a crash
+    /// must wipe *everything* — the rebooted node remembers nothing.
+    /// The default forwards to [`Actor::on_reset`].
+    fn on_crash(&mut self) {
+        self.on_reset();
+    }
+
+    /// Produces the radio-corrupted copy of an in-flight frame, or
+    /// `None` when the message type is opaque to the corruption injector
+    /// (the default): the engine then delivers the frame intact. The
+    /// damage description is fully decided by the engine's dedicated
+    /// corruption RNG stream — implementations apply it mechanically
+    /// (e.g. via [`FrameDamage::apply_to_bytes`]) and must not draw
+    /// randomness of their own.
+    fn corrupt_frame(msg: &Self::Msg, damage: &FrameDamage) -> Option<Self::Msg> {
+        let _ = (msg, damage);
+        None
+    }
 }
 
 /// Radio parameters: every transmission reaches its destination(s)
@@ -76,6 +100,9 @@ pub struct RadioConfig {
     pub jitter: SimDuration,
     /// The physical-layer channel model.
     pub phy: PhyModel,
+    /// The frame-corruption injector (default [`FrameCorruption::Off`]:
+    /// no corruption randomness exists at all).
+    pub corruption: FrameCorruption,
 }
 
 impl Default for RadioConfig {
@@ -84,6 +111,7 @@ impl Default for RadioConfig {
             latency: SimDuration::from_millis(1),
             jitter: SimDuration::ZERO,
             phy: PhyModel::Ideal,
+            corruption: FrameCorruption::Off,
         }
     }
 }
@@ -157,11 +185,191 @@ impl LossyPhy {
     }
 }
 
+/// The radio-path frame-corruption injector: seeded bit-flips and
+/// truncation applied per delivery.
+///
+/// `Off` is the living reference formulation in the
+/// [`PhyModel::Ideal`]/`SchedulerKind` mold: it performs **no corruption
+/// randomness at all**, so default runs are byte-identical to the engine
+/// as it existed before the injector landed. `On` draws from dedicated
+/// per-sender streams split from `seed ^ CORRUPT_STREAM_SALT` — never
+/// from the engine, actor or PHY-loss streams — with exactly one gate
+/// draw per surviving delivery attempt, so corruption decisions are a
+/// pure function of the sender's send history: identical across
+/// [`Simulator`] and [`crate::ShardedSimulator`] at every shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrameCorruption {
+    /// No corruption (the reference default).
+    #[default]
+    Off,
+    /// Seeded per-delivery corruption.
+    On(CorruptionParams),
+}
+
+/// Parameters of [`FrameCorruption::On`]. All integer-valued so the
+/// radio config stays `Eq`/hashable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionParams {
+    /// Probability a delivered frame is corrupted, in parts per million.
+    pub corrupt_ppm: u32,
+    /// Probability a corruption event truncates the frame instead of
+    /// flipping bits, in parts per million.
+    pub truncate_ppm: u32,
+    /// Upper bound on bit flips per corrupted frame (the count is drawn
+    /// uniformly from `1..=max_bit_flips`; 0 behaves as 1).
+    pub max_bit_flips: u8,
+    /// Probability a damaged frame *evades* the link-layer frame check
+    /// (FCS/CRC) and reaches the protocol, in parts per million. The
+    /// rest are detected and dropped at the radio
+    /// ([`SimStats::fcs_drops`]) — which is what a real link layer does
+    /// to virtually all corrupted frames. Without this gate a flooding
+    /// protocol goes supercritical under bit flips: every flip landing
+    /// in an originator/seq field mints a fresh flood identity that
+    /// duplicate suppression cannot stop, and each re-flood breeds more
+    /// mutants than it took to create it.
+    pub fcs_evade_ppm: u32,
+}
+
+impl Default for CorruptionParams {
+    fn default() -> Self {
+        Self {
+            corrupt_ppm: 20_000, // 2% of delivered frames
+            truncate_ppm: 250_000,
+            max_bit_flips: 4,
+            fcs_evade_ppm: 30_000, // 3% slip past the frame check
+        }
+    }
+}
+
+/// The damage the corruption injector decided to inflict on one frame
+/// copy, described length-independently (the engine never sees the wire
+/// bytes): truncation keeps a fraction of the frame, and each bit flip
+/// targets a fraction of the frame's bit length. [`Actor::corrupt_frame`]
+/// implementations apply it via [`FrameDamage::apply_to_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameDamage {
+    /// `Some(keep_ppm)`: truncate the frame to `len·keep_ppm/10⁶` bytes
+    /// (rounded down). `None`: no truncation.
+    pub truncate_keep_ppm: Option<u32>,
+    /// Bit positions to flip, each as a fraction of the (post-truncation)
+    /// frame bit length in parts per million.
+    pub flip_points_ppm: Vec<u32>,
+}
+
+impl FrameDamage {
+    /// Draws one damage description from a corruption stream (called by
+    /// the engines after the per-delivery gate draw hits).
+    pub(crate) fn sample(params: &CorruptionParams, rng: &mut SimRng) -> Self {
+        if rng.next_f64() < f64::from(params.truncate_ppm) / 1e6 {
+            Self {
+                truncate_keep_ppm: Some(rng.next_below(1_000_000) as u32),
+                flip_points_ppm: Vec::new(),
+            }
+        } else {
+            let flips = 1 + rng.next_below(u64::from(params.max_bit_flips.max(1)));
+            Self {
+                truncate_keep_ppm: None,
+                flip_points_ppm: (0..flips)
+                    .map(|_| rng.next_below(1_000_000) as u32)
+                    .collect(),
+            }
+        }
+    }
+
+    /// Applies the damage to a wire buffer in place: truncation first,
+    /// then bit flips over whatever remains. Flips on an empty buffer
+    /// are no-ops.
+    pub fn apply_to_bytes(&self, bytes: &mut Vec<u8>) {
+        if let Some(keep) = self.truncate_keep_ppm {
+            let keep_len = (bytes.len() as u64 * u64::from(keep) / 1_000_000) as usize;
+            bytes.truncate(keep_len);
+        }
+        let bits = bytes.len() as u64 * 8;
+        if bits == 0 {
+            return;
+        }
+        for &point in &self.flip_points_ppm {
+            let bit = (u64::from(point) * bits / 1_000_000).min(bits - 1);
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+    }
+}
+
 /// Salt separating the PHY loss streams from the engine seed: the loss
 /// master RNG is `seed ^ LOSS_STREAM_SALT`, split once per node in node
 /// order. Both engines derive the streams identically, and `Ideal` runs
 /// never touch them.
 pub(crate) const LOSS_STREAM_SALT: u64 = 0x4c4f_5353_5048_5921; // "LOSSPHY!"
+
+/// Salt separating the frame-corruption streams from the engine seed
+/// (and from the loss streams): the corruption master RNG is
+/// `seed ^ CORRUPT_STREAM_SALT`, split once per node in node order.
+/// [`FrameCorruption::Off`] runs never touch them.
+pub(crate) const CORRUPT_STREAM_SALT: u64 = 0x4252_4954_464c_4950; // "BRITFLIP"
+
+/// Builds the per-sender corruption streams for `n` nodes — empty under
+/// [`FrameCorruption::Off`] (no corruption randomness exists to track).
+pub(crate) fn corrupt_streams(seed: u64, n: usize, corruption: FrameCorruption) -> Vec<SimRng> {
+    match corruption {
+        FrameCorruption::Off => Vec::new(),
+        FrameCorruption::On(_) => {
+            let mut master = SimRng::seed_from_u64(seed ^ CORRUPT_STREAM_SALT);
+            (0..n).map(|_| master.split()).collect()
+        }
+    }
+}
+
+/// The fate the corruption injector decided for one in-flight frame
+/// copy.
+pub(crate) enum InFlight<M> {
+    /// Deliver the original frame untouched.
+    Intact,
+    /// Deliver this damaged copy instead.
+    Damaged(M),
+    /// The damage was caught by the link-layer frame check: no delivery.
+    DroppedByFcs,
+}
+
+/// Samples the corruption injector for one surviving delivery attempt
+/// from the sender's stream (`corrupt_rngs[slot]`) and asks the actor
+/// type for the damaged copy. Exactly one gate draw per call (even when
+/// the corruption probability is zero); when the gate hits, the damage
+/// draws and one FCS draw follow — the stream position stays a pure
+/// function of the sender's send history, identical across engines and
+/// shard counts. Counts `fcs_drops` for detected damage and
+/// `corrupted_frames` only when a mangled frame will actually arrive
+/// (opaque message types opt out via the `corrupt_frame` default and
+/// pass intact).
+pub(crate) fn corrupt_in_flight<A: Actor>(
+    corruption: FrameCorruption,
+    corrupt_rngs: &mut [SimRng],
+    slot: usize,
+    msg: &A::Msg,
+    stats: &mut SimStats,
+) -> InFlight<A::Msg> {
+    if corrupt_rngs.is_empty() {
+        return InFlight::Intact;
+    }
+    let FrameCorruption::On(params) = corruption else {
+        return InFlight::Intact;
+    };
+    let rng = &mut corrupt_rngs[slot];
+    if rng.next_f64() >= f64::from(params.corrupt_ppm) / 1e6 {
+        return InFlight::Intact;
+    }
+    let damage = FrameDamage::sample(&params, rng);
+    if rng.next_f64() >= f64::from(params.fcs_evade_ppm) / 1e6 {
+        stats.fcs_drops += 1;
+        return InFlight::DroppedByFcs;
+    }
+    match A::corrupt_frame(msg, &damage) {
+        Some(damaged) => {
+            stats.corrupted_frames += 1;
+            InFlight::Damaged(damaged)
+        }
+        None => InFlight::Intact,
+    }
+}
 
 /// Builds the per-sender PHY loss streams for `n` nodes — empty under
 /// [`PhyModel::Ideal`] (no PHY randomness exists to track).
@@ -361,6 +569,17 @@ pub struct SimStats {
     /// Deliveries lost to receiver collision: the frame arrived while a
     /// previously captured frame still occupied the receiver.
     pub collisions: u64,
+    /// Deliveries dropped at dispatch because an active
+    /// [`WorldEvent::Partition`] separated sender and receiver.
+    pub partition_drops: u64,
+    /// Deliveries whose frame the corruption injector damaged in flight
+    /// ([`FrameCorruption::On`]) *and* which evaded the link-layer frame
+    /// check; the mangled frame still arrives.
+    pub corrupted_frames: u64,
+    /// Damaged frames the link-layer frame check (FCS) detected and
+    /// dropped at the radio — the fate of almost all corrupted frames on
+    /// a real link (see [`CorruptionParams::fcs_evade_ppm`]).
+    pub fcs_drops: u64,
 }
 
 /// The discrete-event simulator: one [`Actor`] per topology node, an
@@ -384,6 +603,9 @@ pub struct Simulator<A: Actor> {
     /// Per-sender PHY loss streams (see [`loss_streams`]); empty under
     /// [`PhyModel::Ideal`].
     loss_rngs: Vec<SimRng>,
+    /// Per-sender corruption streams (see [`corrupt_streams`]); empty
+    /// under [`FrameCorruption::Off`].
+    corrupt_rngs: Vec<SimRng>,
     /// Per-receiver capture state for the collision model; empty unless
     /// the PHY is lossy.
     busy_until: Vec<SimTime>,
@@ -424,6 +646,7 @@ impl<A: Actor> Simulator<A> {
         let actors: Vec<A> = topology.nodes().map(&mut build).collect();
         let rngs: Vec<SimRng> = (0..n).map(|_| engine_rng.split()).collect();
         let loss_rngs = loss_streams(seed, n, radio.phy);
+        let corrupt_rngs = corrupt_streams(seed, n, radio.corruption);
         let busy_until = if loss_rngs.is_empty() {
             Vec::new()
         } else {
@@ -437,6 +660,7 @@ impl<A: Actor> Simulator<A> {
             rngs,
             engine_rng,
             loss_rngs,
+            corrupt_rngs,
             busy_until,
             queue: EventQueue::new(scheduler),
             now: SimTime::ZERO,
@@ -473,6 +697,16 @@ impl<A: Actor> Simulator<A> {
     pub fn schedule_world(&mut self, at: SimTime, event: WorldEvent) {
         let at = at.max(self.now);
         self.push(at, NodeId(0), EventKind::World(event));
+    }
+
+    /// Schedules delivery of a raw frame from `from` to `to` after
+    /// `after`, bypassing the radio (no neighbor check, no PHY sampling).
+    /// A fault-injection/test hook: robustness suites use it to feed a
+    /// node arbitrary — including garbage — frames through the real
+    /// dispatch path.
+    pub fn inject_frame(&mut self, after: SimDuration, from: NodeId, to: NodeId, msg: A::Msg) {
+        let at = self.now + after;
+        self.push(at, to, EventKind::Deliver { from, msg });
     }
 
     /// Schedules a whole stream of timed world events (e.g. a generated
@@ -570,6 +804,16 @@ impl<A: Actor> Simulator<A> {
             self.stats.stale_dropped += 1;
             return true;
         }
+        // An active partition drops cross-cut frames at dispatch —
+        // including frames already in flight when the cut landed — and
+        // leaves no mark on the receiver (checked before the capture
+        // window, which a never-received frame cannot occupy).
+        if let EventKind::Deliver { from, .. } = &ev.kind {
+            if self.world.partitioned(*from, node) {
+                self.stats.partition_drops += 1;
+                return true;
+            }
+        }
         // Receiver capture: a frame landing inside the busy window of a
         // previously received frame collides and is lost before the
         // actor sees it (like a stale drop, it leaves no trace record).
@@ -631,7 +875,10 @@ impl<A: Actor> Simulator<A> {
                         | WorldEvent::QosChange { a, .. } => a,
                         WorldEvent::Move { node, .. }
                         | WorldEvent::Join { node }
-                        | WorldEvent::Leave { node } => node,
+                        | WorldEvent::Leave { node }
+                        | WorldEvent::Crash { node } => node,
+                        // Network-level faults have no single subject.
+                        WorldEvent::Partition { .. } | WorldEvent::Heal => NodeId(0),
                     },
                     kind: TraceKind::WorldChanged,
                 });
@@ -649,6 +896,20 @@ impl<A: Actor> Simulator<A> {
                 // new hardware too — no capture window survives a
                 // power cycle.
                 self.actors[node.index()].on_reset();
+                if let Some(busy) = self.busy_until.get_mut(node.index()) {
+                    *busy = SimTime::ZERO;
+                }
+                self.push(self.now, node, EventKind::Start);
+            }
+            WorldEvent::Crash { node } if changed => {
+                // Instant reboot: the node never deactivates and keeps
+                // its links, but the old life's timers and in-flight
+                // deliveries die with the crash, the actor wipes
+                // everything (including sequence numbers — see
+                // `Actor::on_crash`), and the start handler runs again
+                // in the new generation.
+                self.generations[node.index()] += 1;
+                self.actors[node.index()].on_crash();
                 if let Some(busy) = self.busy_until.get_mut(node.index()) {
                     *busy = SimTime::ZERO;
                 }
@@ -680,6 +941,19 @@ impl<A: Actor> Simulator<A> {
         dropped
     }
 
+    /// Samples the corruption injector for one surviving send from
+    /// `from` and decides the frame copy's fate: intact, damaged, or
+    /// caught by the link-layer frame check and dropped at the radio.
+    fn corrupt_one(&mut self, from: NodeId, msg: &A::Msg) -> InFlight<A::Msg> {
+        corrupt_in_flight::<A>(
+            self.radio.corruption,
+            &mut self.corrupt_rngs,
+            from.index(),
+            msg,
+            &mut self.stats,
+        )
+    }
+
     fn delivery_delay(&mut self) -> SimDuration {
         let jitter_us = self.radio.jitter.as_micros();
         if jitter_us == 0 {
@@ -700,6 +974,11 @@ impl<A: Actor> Simulator<A> {
                         if self.phy_drops(node, to) {
                             continue;
                         }
+                        let payload = match self.corrupt_one(node, &msg) {
+                            InFlight::Intact => msg.clone(),
+                            InFlight::Damaged(damaged) => damaged,
+                            InFlight::DroppedByFcs => continue,
+                        };
                         let delay = self.delivery_delay();
                         let at = self.now + delay;
                         self.push(
@@ -707,7 +986,7 @@ impl<A: Actor> Simulator<A> {
                             to,
                             EventKind::Deliver {
                                 from: node,
-                                msg: msg.clone(),
+                                msg: payload,
                             },
                         );
                     }
@@ -718,9 +997,21 @@ impl<A: Actor> Simulator<A> {
                         if self.phy_drops(node, to) {
                             continue;
                         }
+                        let payload = match self.corrupt_one(node, &msg) {
+                            InFlight::Intact => msg,
+                            InFlight::Damaged(damaged) => damaged,
+                            InFlight::DroppedByFcs => continue,
+                        };
                         let delay = self.delivery_delay();
                         let at = self.now + delay;
-                        self.push(at, to, EventKind::Deliver { from: node, msg });
+                        self.push(
+                            at,
+                            to,
+                            EventKind::Deliver {
+                                from: node,
+                                msg: payload,
+                            },
+                        );
                     } else {
                         self.stats.dropped_unicasts += 1;
                     }

@@ -144,7 +144,10 @@ pub mod stats;
 mod time;
 pub mod trace;
 
-pub use engine::{Actor, Context, LossyPhy, PhyModel, RadioConfig, SimStats, Simulator, TimerId};
+pub use engine::{
+    Actor, Context, CorruptionParams, FrameCorruption, FrameDamage, LossyPhy, PhyModel,
+    RadioConfig, SimStats, Simulator, TimerId,
+};
 pub use queue::SchedulerKind;
 pub use rng::SimRng;
 pub use scenario::{apply_recorded, MobilityModel, NeighborScan, Scenario, ScenarioBuilder};

@@ -54,10 +54,12 @@
 
 mod churn;
 mod drift;
+mod faults;
 mod waypoint;
 
 pub use churn::PoissonChurn;
 pub use drift::GaussMarkovDrift;
+pub use faults::{CrashStorm, PartitionWindow, RegionalBlackout};
 pub use waypoint::{RandomWaypoint, WaypointSampling};
 
 use qolsr_graph::{DynamicTopology, Topology, WorldEvent};
@@ -90,6 +92,12 @@ pub struct ScenarioSummary {
     pub joins: u64,
     /// Node departures.
     pub leaves: u64,
+    /// Crash-reboot faults.
+    pub crashes: u64,
+    /// Partition cuts activated.
+    pub partitions: u64,
+    /// Partition heals.
+    pub heals: u64,
 }
 
 /// A generated, immutable schedule of world events over a horizon.
@@ -131,6 +139,9 @@ impl Scenario {
                 WorldEvent::Move { .. } => s.moves += 1,
                 WorldEvent::Join { .. } => s.joins += 1,
                 WorldEvent::Leave { .. } => s.leaves += 1,
+                WorldEvent::Crash { .. } => s.crashes += 1,
+                WorldEvent::Partition { .. } => s.partitions += 1,
+                WorldEvent::Heal => s.heals += 1,
             }
         }
         s

@@ -50,8 +50,9 @@ use std::iter::Peekable;
 use qolsr_graph::{DynamicTopology, NodeId, Point2, Topology, WorldEvent};
 
 use crate::engine::{
-    loss_streams, phy_collides, phy_drops_frame, Actor, Context, Effect, EventKind, PhyModel,
-    RadioConfig, Scheduled, SimStats, TimerId,
+    corrupt_in_flight, corrupt_streams, loss_streams, phy_collides, phy_drops_frame, Actor,
+    Context, Effect, EventKind, FrameCorruption, InFlight, PhyModel, RadioConfig, Scheduled,
+    SimStats, TimerId,
 };
 use crate::queue::{EventQueue, SchedulerKind};
 use crate::rng::SimRng;
@@ -240,6 +241,10 @@ struct Shard<A: Actor> {
     /// in node order, exactly as in the single-queue engine). Empty
     /// under [`PhyModel::Ideal`].
     loss_rngs: Vec<SimRng>,
+    /// Per-node frame-corruption streams (split from
+    /// `seed ^ CORRUPT_STREAM_SALT` in node order, exactly as in the
+    /// single-queue engine). Empty under [`FrameCorruption::Off`].
+    corrupt_rngs: Vec<SimRng>,
     /// Per-node receiver-capture state for the collision model; empty
     /// unless the PHY is lossy.
     busy_until: Vec<SimTime>,
@@ -270,6 +275,7 @@ impl<A: Actor> Shard<A> {
             rngs: Vec::new(),
             jitter_rngs: Vec::new(),
             loss_rngs: Vec::new(),
+            corrupt_rngs: Vec::new(),
             busy_until: Vec::new(),
             records: Vec::new(),
             children: Vec::new(),
@@ -344,6 +350,16 @@ fn run_window<A: Actor>(
         }
         let slot = locs[node.index()].1 as usize;
         debug_assert_eq!(shard.members[slot], node);
+        // An active partition drops cross-cut frames at dispatch, before
+        // the capture window — exactly as in `Simulator::step`. World
+        // events are barriers, so the cut is frozen for the whole
+        // window and this check commutes with the merge.
+        if let EventKind::Deliver { from, .. } = &ev.kind {
+            if world.partitioned(*from, node) {
+                shard.window_stats.partition_drops += 1;
+                continue;
+            }
+        }
         // Receiver capture, exactly as in `Simulator::step`: a frame
         // landing inside the busy window collides before the actor sees
         // it. Receiver state is shard-local, so this commutes with the
@@ -397,12 +413,23 @@ fn run_window<A: Actor>(
                             shard.window_stats.phy_drops += 1;
                             continue;
                         }
+                        let payload = match corrupt_in_flight::<A>(
+                            radio.corruption,
+                            &mut shard.corrupt_rngs,
+                            slot,
+                            &msg,
+                            &mut shard.window_stats,
+                        ) {
+                            InFlight::Intact => msg.clone(),
+                            InFlight::Damaged(damaged) => damaged,
+                            InFlight::DroppedByFcs => continue,
+                        };
                         let delay = delivery_delay(radio, &mut shard.jitter_rngs[slot]);
                         shard.children.push(Child::Deliver {
                             at: ev.time + delay,
                             to,
                             from: node,
-                            msg: msg.clone(),
+                            msg: payload,
                             generation: generations[to.index()],
                         });
                     }
@@ -421,12 +448,23 @@ fn run_window<A: Actor>(
                         {
                             shard.window_stats.phy_drops += 1;
                         } else {
+                            let payload = match corrupt_in_flight::<A>(
+                                radio.corruption,
+                                &mut shard.corrupt_rngs,
+                                slot,
+                                &msg,
+                                &mut shard.window_stats,
+                            ) {
+                                InFlight::Intact => msg,
+                                InFlight::Damaged(damaged) => damaged,
+                                InFlight::DroppedByFcs => continue,
+                            };
                             let delay = delivery_delay(radio, &mut shard.jitter_rngs[slot]);
                             shard.children.push(Child::Deliver {
                                 at: ev.time + delay,
                                 to,
                                 from: node,
-                                msg,
+                                msg: payload,
                                 generation: generations[to.index()],
                             });
                         }
@@ -548,6 +586,11 @@ where
         // (and never consulted) under the ideal PHY.
         let mut loss_iter = loss_streams(seed, n, radio.phy).into_iter();
         let lossy = matches!(radio.phy, PhyModel::Lossy(_));
+        // Likewise for the corruption streams: same salted master, same
+        // per-node split order as the single-queue engine. Empty (and
+        // never consulted) under `FrameCorruption::Off`.
+        let mut corrupt_iter = corrupt_streams(seed, n, radio.corruption).into_iter();
+        let corrupting = matches!(radio.corruption, FrameCorruption::On(_));
 
         let mut shard_vec: Vec<Shard<A>> = (0..k).map(|_| Shard::new(scheduler)).collect();
         let mut locs = vec![(0u32, 0u32); n];
@@ -566,6 +609,11 @@ where
                     .loss_rngs
                     .push(loss_iter.next().expect("one loss stream per node"));
                 shard.busy_until.push(SimTime::ZERO);
+            }
+            if corrupting {
+                shard
+                    .corrupt_rngs
+                    .push(corrupt_iter.next().expect("one corruption stream per node"));
             }
         }
 
@@ -919,6 +967,9 @@ where
             self.stats.stale_dropped += w.stale_dropped;
             self.stats.phy_drops += w.phy_drops;
             self.stats.collisions += w.collisions;
+            self.stats.partition_drops += w.partition_drops;
+            self.stats.corrupted_frames += w.corrupted_frames;
+            self.stats.fcs_drops += w.fcs_drops;
             shard.window_stats = SimStats::default();
             self.stop |= shard.stop;
             shard.records.clear();
@@ -1009,6 +1060,14 @@ where
         }
         let (shard_ix, slot) = self.locs[node.index()];
         let (shard_ix, slot) = (shard_ix as usize, slot as usize);
+        // Active partitions drop cross-cut frames at dispatch, before
+        // the capture window — same order as `Simulator::step`.
+        if let EventKind::Deliver { from, .. } = &ev.kind {
+            if self.world.partitioned(*from, node) {
+                self.stats.partition_drops += 1;
+                return;
+            }
+        }
         if matches!(ev.kind, EventKind::Deliver { .. }) {
             let shard = &mut self.shards[shard_ix];
             if !shard.busy_until.is_empty()
@@ -1060,6 +1119,11 @@ where
                         if self.phy_drops_serial(shard_ix, slot, node, to) {
                             continue;
                         }
+                        let payload = match self.corrupt_serial(shard_ix, slot, &msg) {
+                            InFlight::Intact => msg.clone(),
+                            InFlight::Damaged(damaged) => damaged,
+                            InFlight::DroppedByFcs => continue,
+                        };
                         let delay = delivery_delay(
                             self.radio,
                             &mut self.shards[shard_ix].jitter_rngs[slot],
@@ -1069,7 +1133,7 @@ where
                             to,
                             EventKind::Deliver {
                                 from: node,
-                                msg: msg.clone(),
+                                msg: payload,
                             },
                         );
                     }
@@ -1080,6 +1144,11 @@ where
                         if self.phy_drops_serial(shard_ix, slot, node, to) {
                             continue;
                         }
+                        let payload = match self.corrupt_serial(shard_ix, slot, &msg) {
+                            InFlight::Intact => msg,
+                            InFlight::Damaged(damaged) => damaged,
+                            InFlight::DroppedByFcs => continue,
+                        };
                         let delay = delivery_delay(
                             self.radio,
                             &mut self.shards[shard_ix].jitter_rngs[slot],
@@ -1087,7 +1156,10 @@ where
                         self.push_exact(
                             ev.time + delay,
                             to,
-                            EventKind::Deliver { from: node, msg },
+                            EventKind::Deliver {
+                                from: node,
+                                msg: payload,
+                            },
                         );
                     } else {
                         self.stats.dropped_unicasts += 1;
@@ -1121,6 +1193,20 @@ where
         dropped
     }
 
+    /// Serial-instant counterpart of the in-window corruption sampling:
+    /// one gate draw from the sender's corruption stream per surviving
+    /// delivery attempt, counted into the global stats directly.
+    fn corrupt_serial(&mut self, shard_ix: usize, slot: usize, msg: &A::Msg) -> InFlight<A::Msg> {
+        let shard = &mut self.shards[shard_ix];
+        corrupt_in_flight::<A>(
+            self.radio.corruption,
+            &mut shard.corrupt_rngs,
+            slot,
+            msg,
+            &mut self.stats,
+        )
+    }
+
     /// Applies one world event at a barrier: mutates the world, bumps
     /// generations on `Leave`, and on `Join` resets the actor, re-homes
     /// it to the shard covering its current position and restarts it —
@@ -1138,7 +1224,10 @@ where
                         | WorldEvent::QosChange { a, .. } => a,
                         WorldEvent::Move { node, .. }
                         | WorldEvent::Join { node }
-                        | WorldEvent::Leave { node } => node,
+                        | WorldEvent::Leave { node }
+                        | WorldEvent::Crash { node } => node,
+                        // Network-level faults have no single subject.
+                        WorldEvent::Partition { .. } | WorldEvent::Heal => NodeId(0),
                     },
                     kind: TraceKind::WorldChanged,
                 });
@@ -1160,6 +1249,23 @@ where
                 self.shards[shard_ix as usize].actors[slot as usize].on_rehome(shard_ix as usize);
                 // No capture window survives a power cycle (mirrors the
                 // single-queue engine's Join handling).
+                if let Some(busy) = self.shards[shard_ix as usize]
+                    .busy_until
+                    .get_mut(slot as usize)
+                {
+                    *busy = SimTime::ZERO;
+                }
+                self.push_exact(self.now, node, EventKind::Start);
+            }
+            WorldEvent::Crash { node } if changed => {
+                // Instant reboot, mirroring the single-queue engine: the
+                // node keeps its position and links (no re-homing), but
+                // the old life's events die by generation, the actor
+                // wipes everything including sequence numbers, and the
+                // start handler runs again in the new generation.
+                self.generations[node.index()] += 1;
+                let (shard_ix, slot) = self.locs[node.index()];
+                self.shards[shard_ix as usize].actors[slot as usize].on_crash();
                 if let Some(busy) = self.shards[shard_ix as usize]
                     .busy_until
                     .get_mut(slot as usize)
@@ -1191,6 +1297,8 @@ where
             shard.busy_until.swap_remove(slot);
             shard.loss_rngs.swap_remove(slot)
         });
+        let corrupt =
+            (!shard.corrupt_rngs.is_empty()).then(|| shard.corrupt_rngs.swap_remove(slot));
         shard.members.swap_remove(slot);
         if slot < shard.members.len() {
             let moved = shard.members[slot];
@@ -1205,6 +1313,9 @@ where
         if let Some(loss) = loss {
             shard.loss_rngs.push(loss);
             shard.busy_until.push(SimTime::ZERO);
+        }
+        if let Some(corrupt) = corrupt {
+            shard.corrupt_rngs.push(corrupt);
         }
     }
 }

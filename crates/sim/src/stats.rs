@@ -196,6 +196,9 @@ pub struct HotPathCounters {
     /// shared store at sampling time (gauge, like
     /// [`HotPathCounters::resident_entries`]).
     pub resident_bytes: u64,
+    /// Received frames dropped as undecodable garbage (corrupted in
+    /// flight or injected by a fault suite). Zero in fault-free runs.
+    pub malformed_frames: u64,
 }
 
 impl HotPathCounters {
@@ -216,6 +219,7 @@ impl HotPathCounters {
         self.bytes_decoded += other.bytes_decoded;
         self.resident_entries += other.resident_entries;
         self.resident_bytes += other.resident_bytes;
+        self.malformed_frames += other.malformed_frames;
     }
 
     /// Fraction of routing-table queries served from cache (0 when no
@@ -419,6 +423,7 @@ mod tests {
             bytes_decoded: 900,
             resident_entries: 11,
             resident_bytes: 256,
+            malformed_frames: 3,
         };
         total.merge(&part);
         total.merge(&part);
@@ -427,6 +432,7 @@ mod tests {
         assert_eq!(total.bytes_decoded, 1800);
         assert_eq!(total.resident_entries, 22);
         assert_eq!(total.resident_bytes, 512);
+        assert_eq!(total.malformed_frames, 6);
         assert_eq!(total.route_cache_hit_rate(), 8.0 / 10.0);
     }
 
