@@ -1,0 +1,148 @@
+//! Criterion benchmarks pricing the data plane: the per-hop forwarding
+//! primitives (data-frame encode, peek, header patch, queue churn) and
+//! the integrated cost of running seeded flows through a live network —
+//! what one forwarded payload packet adds on top of the control plane.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qolsr_bench::paper_topology;
+use qolsr_graph::NodeId;
+use qolsr_proto::messages::{DataBody, Message};
+use qolsr_proto::network::OlsrNetwork;
+use qolsr_proto::wire;
+use qolsr_sim::{FlowModel, FlowSpec, SimDuration, SimTime, TxQueue};
+use std::hint::black_box;
+
+fn data_frame(payload_len: u16) -> Bytes {
+    wire::encode(&Message::data(
+        NodeId(3),
+        41,
+        32,
+        DataBody {
+            dest: NodeId(250),
+            flow: 7,
+            injected_us: 1_234_567,
+            payload_len,
+        },
+    ))
+}
+
+fn bench_data_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_codec");
+    for payload in [64u16, 1024] {
+        let msg = Message::data(
+            NodeId(3),
+            41,
+            32,
+            DataBody {
+                dest: NodeId(250),
+                flow: 7,
+                injected_us: 1_234_567,
+                payload_len: payload,
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("encode", payload), &msg, |b, msg| {
+            b.iter(|| black_box(wire::encode(msg)));
+        });
+        let frame = data_frame(payload);
+        // The receive fast path: classify + header-only peek, no body
+        // materialization.
+        group.bench_with_input(BenchmarkId::new("peek", payload), &frame, |b, frame| {
+            b.iter(|| black_box(wire::peek(frame).unwrap()));
+        });
+        // The relay hot path: one header patch (TTL down, hop up) on the
+        // shared buffer — no re-encode of the payload.
+        group.bench_with_input(BenchmarkId::new("forward", payload), &frame, |b, frame| {
+            b.iter(|| black_box(wire::forward(frame).unwrap()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("decode_full", payload),
+            &frame,
+            |b, frame| {
+                b.iter(|| black_box(wire::decode(frame.clone()).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tx_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tx_queue");
+    let frame = data_frame(256);
+    // Steady-state store-and-forward churn at half occupancy: one push +
+    // one pop per iteration, the queue work of one relayed packet.
+    group.bench_function("push_pop_half_full_cap64", |b| {
+        let mut q: TxQueue<Bytes> = TxQueue::new(64);
+        for _ in 0..32 {
+            q.push(frame.clone()).unwrap();
+        }
+        b.iter(|| {
+            q.push(frame.clone()).unwrap();
+            black_box(q.pop())
+        });
+    });
+    // Tail-drop path: rejection cost at capacity.
+    group.bench_function("push_rejected_at_capacity", |b| {
+        let mut q: TxQueue<Bytes> = TxQueue::new(64);
+        while q.push(frame.clone()).is_ok() {}
+        b.iter(|| black_box(q.push(frame.clone()).is_err()));
+    });
+    group.finish();
+}
+
+fn bench_live_forwarding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("live_forwarding");
+    group.sample_size(10);
+    let topo = paper_topology(10.0, 0x0150);
+    let n = topo.len();
+    // Flows between fixed far-apart endpoints; CBR at 20 ms so the run
+    // is dominated by per-hop data forwarding, not flow bookkeeping.
+    let start = SimTime::ZERO + SimDuration::from_secs(10);
+    let flows: Vec<FlowSpec> = (0..8u16)
+        .map(|i| FlowSpec {
+            id: i,
+            src: NodeId(u32::from(i)),
+            dst: NodeId((n as u32) - 1 - u32::from(i)),
+            model: FlowModel::Cbr {
+                interval: SimDuration::from_millis(20),
+            },
+            payload: 256,
+            start,
+        })
+        .collect();
+    // Control plane alone vs control plane + flows over the same seeded
+    // world: the delta prices the data plane per simulated second.
+    group.bench_with_input(
+        BenchmarkId::new("control_only_15s", format!("n{n}")),
+        &topo,
+        |b, topo| {
+            b.iter(|| {
+                let mut net = OlsrNetwork::with_defaults(topo.clone(), 1);
+                net.run_for(SimDuration::from_secs(15));
+                black_box(net.engine_stats().deliveries)
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("with_8_cbr_flows_15s", format!("n{n}")),
+        &topo,
+        |b, topo| {
+            b.iter(|| {
+                let mut net = OlsrNetwork::with_defaults(topo.clone(), 1);
+                net.install_flows(&flows, 1);
+                net.run_for(SimDuration::from_secs(15));
+                let t = net.total_traffic();
+                black_box((t.injected, t.delivered, t.data_tx))
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_data_codec,
+    bench_tx_queue,
+    bench_live_forwarding
+);
+criterion_main!(benches);

@@ -40,12 +40,19 @@
 //!               converged static network, heal it, and report
 //!               per-selector time-to-reconvergence, residual stale
 //!               exposure and control-byte recovery cost
+//!   traffic     data-plane QoS experiment: seeded CBR + bursty-video
+//!               flows forwarded hop by hop over the live route caches
+//!               (bounded transmit queues, lossy PHY, mobility/churn),
+//!               reporting per-selector end-to-end delivery ratio,
+//!               mean/p99 delay, jitter and a drop-cause breakdown per
+//!               loss level
 //!
 //! Options:
 //!   --runs N     topologies per density (default 100; paper: 100)
 //!   --seed S     master seed (default 0x51C02010)
 //!   --threads T  worker threads (default: all cores)
-//!   --metric M   churn/loss metric: bandwidth (default) or delay
+//!   --metric M   churn/loss/faults/traffic metric: bandwidth (default)
+//!                or delay
 //!   --live       scale only: live-protocol phase (--runs capped at 5)
 //!   --sizes L    scale/overhead: comma-separated node counts
 //!                (default 250,1000,4000; lets CI smoke at small n —
@@ -57,18 +64,25 @@
 //!   --dup-store S
 //!                scale --live only: duplicate-set formulation, ring
 //!                (default) or per-originator (the pre-ring reference)
-//!   --shards K   scale --live / overhead / churn / loss: engine shard
-//!                count (default 1 = single-queue reference engine;
-//!                K >= 2 runs the region-sharded parallel engine, which
-//!                must produce identical counters)
+//!   --shards K   scale --live / overhead / churn / loss / faults /
+//!                traffic: engine shard count (default 1 = single-queue
+//!                reference engine; K >= 2 runs the region-sharded
+//!                parallel engine, which must produce identical
+//!                counters)
 //!   --lossy      scale --live only: run the radio under
 //!                PhyModel::Lossy (40% edge drop) instead of Ideal —
 //!                combined with --verify-shards this is the CI gate
 //!                that loss sampling commutes with the barrier merge
-//!   --nodes N    loss/faults: nodes per world (default 250; faults
-//!                sizes the field for ~N at density 10)
-//!   --levels L   loss only: comma-separated edge drop probabilities in
-//!                ppm (default 0,100000,200000,400000,600000,800000)
+//!   --nodes N    loss/faults/traffic: nodes per world (default 250;
+//!                faults sizes the field for ~N at density 10)
+//!   --levels L   loss/traffic: comma-separated edge drop probabilities
+//!                in ppm (loss default
+//!                0,100000,200000,400000,600000,800000; traffic default
+//!                0,200000,400000)
+//!   --flows N    traffic only: concurrent flows per world (default 16;
+//!                odd-indexed flows are bursty video, the rest CBR)
+//!   --static     traffic only: keep the world static (no mobility or
+//!                churn) so loss is the only stressor
 //!   --hysteresis loss only: enable RFC 3626 §14 link hysteresis
 //!   --etx        loss only: advertise ETX/InvETX-reshaped link QoS
 //!   --capture-us W
@@ -84,9 +98,10 @@
 //!                churn only: comma-separated departure rates; sweeps
 //!                churn intensity as the x-axis instead of time
 //!   --verify-shards
-//!                scale --live / faults: run the sharded experiment AND
-//!                a --shards 1 reference in lockstep, exiting non-zero
-//!                on any divergence (CI determinism gate)
+//!                scale --live / faults / traffic: run the sharded
+//!                experiment AND a --shards 1 reference in lockstep,
+//!                exiting non-zero on any divergence (CI determinism
+//!                gate)
 //!   --warmup N   scale --live only: unmeasured warm-up seconds
 //!                (default 15)
 //!   --seconds N  scale --live only: measured simulated seconds
@@ -132,6 +147,8 @@ struct Args {
     faults: Option<Vec<qolsr::eval::faults::FaultKind>>,
     corrupt: bool,
     leave_rates: Option<Vec<f64>>,
+    flows: Option<usize>,
+    static_world: bool,
     out_dir: Option<PathBuf>,
 }
 
@@ -158,6 +175,8 @@ fn parse_args() -> Result<Args, String> {
     let mut faults: Option<Vec<qolsr::eval::faults::FaultKind>> = None;
     let mut corrupt = false;
     let mut leave_rates: Option<Vec<f64>> = None;
+    let mut flows: Option<usize> = None;
+    let mut static_world = false;
     let mut out_dir = Some(PathBuf::from("results"));
     let mut it = std::env::args().skip(1);
     let mut command_set = false;
@@ -283,6 +302,15 @@ fn parse_args() -> Result<Args, String> {
                 }
                 leave_rates = Some(parsed);
             }
+            "--flows" => {
+                let v = it.next().ok_or("--flows needs a value")?;
+                let parsed: usize = v.parse().map_err(|_| format!("bad --flows value: {v}"))?;
+                if parsed == 0 {
+                    return Err("--flows must be at least 1".into());
+                }
+                flows = Some(parsed);
+            }
+            "--static" => static_world = true,
             "--capture-us" => {
                 let v = it.next().ok_or("--capture-us needs a value")?;
                 let parsed: u64 = v
@@ -309,9 +337,14 @@ fn parse_args() -> Result<Args, String> {
     }
     // Only the churn experiment is metric-parameterized; silently
     // ignoring the flag elsewhere would mislabel results.
-    if metric_set && command != "churn" && command != "loss" && command != "faults" {
+    if metric_set
+        && command != "churn"
+        && command != "loss"
+        && command != "faults"
+        && command != "traffic"
+    {
         return Err(format!(
-            "--metric only applies to churn, loss and faults, not {command}"
+            "--metric only applies to churn, loss, faults and traffic, not {command}"
         ));
     }
     if live && command != "scale" {
@@ -334,8 +367,8 @@ fn parse_args() -> Result<Args, String> {
             return Err(format!("{flag} only applies to scale --live"));
         }
     }
-    if verify_shards && !live_scale && command != "faults" {
-        return Err("--verify-shards only applies to scale --live and faults".into());
+    if verify_shards && !live_scale && command != "faults" && command != "traffic" {
+        return Err("--verify-shards only applies to scale --live, faults and traffic".into());
     }
     if shards.is_some()
         && !live_scale
@@ -343,28 +376,38 @@ fn parse_args() -> Result<Args, String> {
         && command != "churn"
         && command != "loss"
         && command != "faults"
+        && command != "traffic"
     {
         return Err(format!(
-            "--shards only applies to scale --live, overhead, churn, loss and faults, \
-             not {command}"
+            "--shards only applies to scale --live, overhead, churn, loss, faults and \
+             traffic, not {command}"
         ));
     }
     if lossy && !live_scale {
         return Err("--lossy only applies to scale --live".into());
     }
-    if nodes.is_some() && command != "loss" && command != "faults" {
+    if nodes.is_some() && command != "loss" && command != "faults" && command != "traffic" {
         return Err(format!(
-            "--nodes only applies to loss and faults, not {command}"
+            "--nodes only applies to loss, faults and traffic, not {command}"
+        ));
+    }
+    if levels.is_some() && command != "loss" && command != "traffic" {
+        return Err(format!(
+            "--levels only applies to loss and traffic, not {command}"
         ));
     }
     for (set, flag) in [
-        (levels.is_some(), "--levels"),
         (hysteresis, "--hysteresis"),
         (etx, "--etx"),
         (capture_us.is_some(), "--capture-us"),
     ] {
         if set && command != "loss" {
             return Err(format!("{flag} only applies to loss"));
+        }
+    }
+    for (set, flag) in [(flows.is_some(), "--flows"), (static_world, "--static")] {
+        if set && command != "traffic" {
+            return Err(format!("{flag} only applies to traffic"));
         }
     }
     for (set, flag) in [(faults.is_some(), "--fault"), (corrupt, "--corrupt")] {
@@ -397,6 +440,8 @@ fn parse_args() -> Result<Args, String> {
         faults,
         corrupt,
         leave_rates,
+        flows,
+        static_world,
         out_dir,
     })
 }
@@ -442,13 +487,13 @@ fn main() -> ExitCode {
         "help" => {
             println!(
                 "commands: fig6 fig7 fig8 fig9 all ablations robustness churn scale overhead \
-                 loss faults; \
+                 loss faults traffic; \
                  options: --runs N --seed S --threads T --metric bandwidth|delay \
                  --live --sizes L --store shared|per-node --dup-store ring|per-originator \
                  --shards K --verify-shards --warmup N --seconds N \
                  --max-resident-bytes B --lossy --nodes N --levels L \
                  --hysteresis --etx --capture-us W --fault F --corrupt --leave-rate L \
-                 --quick --out DIR --no-csv"
+                 --flows N --static --quick --out DIR --no-csv"
             );
         }
         "fig6" => {
@@ -892,6 +937,123 @@ fn main() -> ExitCode {
                     &args.out_dir,
                 );
             }
+        }
+        "traffic" => {
+            use qolsr::eval::traffic::{
+                drop_report, traffic_delay_figure, traffic_delivery_figure,
+                traffic_experiment_verified_with, traffic_experiment_with, traffic_jitter_figure,
+                traffic_p99_figure, TrafficConfig,
+            };
+            use qolsr::eval::SelectorKind;
+            let mut cfg = TrafficConfig::new(opts.runs);
+            cfg.seed = opts.seed;
+            cfg.threads = opts.threads;
+            if let Some(nodes) = args.nodes {
+                cfg.nodes = nodes;
+            }
+            if let Some(levels) = args.levels.clone() {
+                cfg.levels = levels;
+            }
+            if let Some(shards) = args.shards {
+                cfg.shards = shards;
+            }
+            if let Some(flows) = args.flows {
+                cfg.flows = flows;
+            }
+            if args.static_world {
+                cfg.mobility = None;
+            }
+            let metric = args.metric;
+            let m = metric.name();
+            let results = if args.verify_shards {
+                // Panics (non-zero exit) on any divergence between the
+                // sharded engine and the single-queue reference.
+                traffic_experiment_verified_with(metric, &cfg, &SelectorKind::PAPER)
+            } else {
+                traffic_experiment_with(metric, &cfg, &SelectorKind::PAPER)
+            };
+            if args.verify_shards {
+                println!(
+                    "# shard verification ok: QoS curves and drop-cause totals \
+                     identical to the single-queue reference\n"
+                );
+            }
+            println!(
+                "# data plane: n={}, {} flows/world ({} B payload, CBR every {} ms \
+                 interleaved with {}-{}-packet bursts every {} ms), mobility={}, \
+                 {} s warm-up + {} s measured\n",
+                cfg.nodes,
+                cfg.flows,
+                cfg.payload,
+                cfg.cbr_interval.as_micros() / 1_000,
+                cfg.burst.0,
+                cfg.burst.1,
+                cfg.frame_interval.as_micros() / 1_000,
+                cfg.mobility.is_some(),
+                cfg.warmup.as_secs_f64(),
+                cfg.measure.as_secs_f64(),
+            );
+            println!(
+                "# {:>9}  {:>32}  {:>9}  {:>10}  {:>10}  {:>10}",
+                "edge-drop", "selector", "delivery", "delay(ms)", "p99(ms)", "jitter(ms)"
+            );
+            for r in &results {
+                for level in &r.per_level {
+                    println!(
+                        "# {:>8.2}%  {:>32}  {:>9.3}  {:>10.2}  {:>10.2}  {:>10.2}",
+                        f64::from(level.edge_drop_ppm) / 1e4,
+                        r.kind.label(),
+                        level.delivery.mean(),
+                        level.delay_ms.mean(),
+                        level.p99_delay_ms.mean(),
+                        level.jitter_ms.mean(),
+                    );
+                }
+            }
+            println!();
+            for line in drop_report(&results).lines() {
+                println!("# {line}");
+            }
+            println!();
+            emit(
+                &traffic_delivery_figure(
+                    &results,
+                    &format!(
+                        "Traffic — end-to-end delivery ratio vs edge drop probability \
+                         ({m} metric)"
+                    ),
+                ),
+                &format!("traffic_delivery_{m}"),
+                &args.out_dir,
+            );
+            emit(
+                &traffic_delay_figure(
+                    &results,
+                    &format!(
+                        "Traffic — mean end-to-end delay vs edge drop probability ({m} metric)"
+                    ),
+                ),
+                &format!("traffic_delay_{m}"),
+                &args.out_dir,
+            );
+            emit(
+                &traffic_p99_figure(
+                    &results,
+                    &format!(
+                        "Traffic — p99 end-to-end delay vs edge drop probability ({m} metric)"
+                    ),
+                ),
+                &format!("traffic_p99_delay_{m}"),
+                &args.out_dir,
+            );
+            emit(
+                &traffic_jitter_figure(
+                    &results,
+                    &format!("Traffic — mean jitter vs edge drop probability ({m} metric)"),
+                ),
+                &format!("traffic_jitter_{m}"),
+                &args.out_dir,
+            );
         }
         "scale" if args.live => {
             use qolsr::eval::scale::{live_figure, live_sweep, live_sweep_verified, LiveConfig};

@@ -757,4 +757,77 @@ mod tests {
         let report = recovery_report(&cfg, &a);
         assert!(report.contains("crash-storm"));
     }
+
+    /// An unreachable validity threshold right-censors every world: no
+    /// run can ever sustain `validity >= 1.1`, so the recovery
+    /// distribution stays empty and each run lands in `censored_runs` —
+    /// while the validity curves themselves keep sampling normally.
+    #[test]
+    fn unreachable_threshold_censors_every_run() {
+        let cfg = FaultConfig {
+            threshold: 1.1,
+            ..tiny_cfg(FaultKind::Partition)
+        };
+        let results = fault_experiment::<BandwidthMetric>(&cfg, &[SelectorKind::Fnbp]);
+        let r = &results[0];
+        assert_eq!(r.recovered_runs, 0, "nothing can clear threshold 1.1");
+        assert_eq!(
+            r.censored_runs,
+            u64::from(cfg.runs),
+            "every world must be censored, none silently dropped"
+        );
+        assert_eq!(
+            r.recovery_secs.count(),
+            0,
+            "censored runs must not contribute recovery samples"
+        );
+        assert!(
+            r.per_sample.iter().all(|s| s.validity.count() > 0),
+            "censoring is a recovery verdict, not a sampling gap"
+        );
+    }
+
+    /// A deployment that is partitioned *before* the fault fires would
+    /// censor every selector identically, so `single_fault_run` skips it
+    /// outright: no recovery verdicts and no curve samples. The test
+    /// re-derives the experiment's own deployments to prove the crafted
+    /// config really produces disconnected worlds.
+    #[test]
+    fn disconnected_deployments_are_skipped() {
+        let cfg = FaultConfig {
+            density: 1.0,
+            field: (1200.0, 1200.0),
+            ..tiny_cfg(FaultKind::Partition)
+        };
+        for run in 0..cfg.runs {
+            let mut rng = SimRng::seed_from_u64(derive_seed(cfg.seed, 0, run));
+            let deployment = Deployment {
+                width: cfg.field.0,
+                height: cfg.field.1,
+                radius: cfg.radius,
+                mean_degree: cfg.density,
+            };
+            let topo = deploy(&deployment, &cfg.weights, &mut rng);
+            assert!(
+                topo.len() >= 4,
+                "the crafted field must not be trivially tiny"
+            );
+            assert!(
+                Components::compute(&topo).count() > 1,
+                "the crafted field must actually deploy disconnected (run {run})"
+            );
+        }
+        let results = fault_experiment::<BandwidthMetric>(&cfg, &[SelectorKind::Fnbp]);
+        let r = &results[0];
+        assert_eq!(
+            r.recovered_runs + r.censored_runs,
+            0,
+            "no world may resolve"
+        );
+        assert_eq!(r.recovery_secs.count(), 0);
+        assert!(
+            r.per_sample.iter().all(|s| s.validity.count() == 0),
+            "skipped worlds must not pollute the curves"
+        );
+    }
 }

@@ -479,4 +479,41 @@ mod tests {
         assert!(validity_figure(&results, "v").render_csv().lines().count() >= 2);
         assert!(mpr_churn_figure(&results, "m").render_csv().lines().count() >= 2);
     }
+
+    /// A deployment too small to probe (`< 4` nodes) is skipped outright
+    /// by `single_loss_run`: the sweep still returns one measure row per
+    /// level, but with zero samples everywhere — no fabricated curves.
+    /// The test re-derives the experiment's own deployments to prove the
+    /// crafted config really produces degenerate worlds.
+    #[test]
+    fn degenerate_deployments_are_skipped() {
+        let cfg = LossConfig {
+            nodes: 2,
+            ..tiny_cfg()
+        };
+        for run in 0..cfg.runs {
+            let deploy_seed = derive_seed(cfg.seed, 0, run);
+            let side = field_side(cfg.nodes, cfg.radius, cfg.density);
+            let topo = deploy_field(
+                cfg.nodes,
+                side,
+                cfg.radius,
+                cfg.density,
+                &cfg.weights,
+                deploy_seed,
+            );
+            assert!(
+                topo.len() < 4,
+                "the crafted field must actually deploy degenerate (run {run})"
+            );
+        }
+        let results = loss_experiment::<BandwidthMetric>(&cfg, &[SelectorKind::Fnbp]);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].per_level.len(), cfg.levels.len());
+        for level in &results[0].per_level {
+            assert_eq!(level.delivery.count(), 0, "no delivery samples may appear");
+            assert_eq!(level.validity.count(), 0);
+            assert_eq!(level.mpr_churn.count(), 0);
+        }
+    }
 }

@@ -15,6 +15,7 @@ pub mod loss;
 pub mod overhead;
 pub mod robustness;
 pub mod scale;
+pub mod traffic;
 
 use std::sync::atomic::{AtomicU32, Ordering};
 

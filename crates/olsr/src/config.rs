@@ -2,7 +2,7 @@
 //! dissemination scope policy and the wire decode path.
 
 use qolsr_sim::stats::TC_RING_SLOTS;
-use qolsr_sim::SimDuration;
+use qolsr_sim::{SimDuration, TxQueueConfig};
 
 /// One fisheye scope ring: messages aimed at this ring are emitted with
 /// `ttl` as their initial TTL, every `every`-th TC-timer firing.
@@ -346,6 +346,9 @@ pub struct OlsrConfig {
     /// Link metric mapping (measured QoS verbatim by default;
     /// [`LinkMetric::Etx`] reshapes it by the online delivery estimate).
     pub link_metric: LinkMetric,
+    /// Data-plane transmit-queue parameters (capacity, service rate,
+    /// initial data TTL). Inert until flows are installed on the node.
+    pub traffic: TxQueueConfig,
 }
 
 impl Default for OlsrConfig {
@@ -362,6 +365,7 @@ impl Default for OlsrConfig {
             duplicate_store: DuplicateStore::Ring,
             link_hysteresis: LinkHysteresis::Off,
             link_metric: LinkMetric::Measured,
+            traffic: TxQueueConfig::default(),
         }
     }
 }

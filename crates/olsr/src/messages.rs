@@ -64,6 +64,24 @@ pub struct Tc {
     pub advertised: Vec<(NodeId, LinkQos)>,
 }
 
+/// A unicast data frame riding the control plane's routes: the payload a
+/// flow generator injects at its source, relayed hop by hop along the
+/// route-cache next hops. The payload itself is opaque filler — only its
+/// length matters for byte accounting — while the header carries what the
+/// destination needs to compute end-to-end delivery, delay and jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataBody {
+    /// Final destination of the packet (next hops come from each relay's
+    /// route cache, not from the frame).
+    pub dest: NodeId,
+    /// Flow identifier, unique across the deployment.
+    pub flow: u16,
+    /// Injection timestamp at the source, in simulated microseconds.
+    pub injected_us: u64,
+    /// Length of the opaque payload carried after the header.
+    pub payload_len: u16,
+}
+
 /// Message body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Body {
@@ -71,6 +89,8 @@ pub enum Body {
     Hello(Hello),
     /// Topology control (flooded through MPRs).
     Tc(Tc),
+    /// Application payload (unicast, forwarded along route-cache hops).
+    Data(DataBody),
 }
 
 /// A full OLSR message.
@@ -115,6 +135,18 @@ impl Message {
             ttl,
             hop_count: 0,
             body: Body::Tc(tc),
+        }
+    }
+
+    /// Creates a data frame with an explicit initial TTL (the data plane's
+    /// hop budget; relays stop forwarding when it exhausts).
+    pub fn data(originator: NodeId, seq: u16, ttl: u8, body: DataBody) -> Self {
+        Self {
+            originator,
+            seq,
+            ttl,
+            hop_count: 0,
+            body: Body::Data(body),
         }
     }
 }

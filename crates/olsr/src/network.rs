@@ -7,10 +7,13 @@ use std::sync::Arc;
 use bytes::Bytes;
 use qolsr_graph::{DynamicTopology, LocalView, NodeId, Topology, WorldEvent};
 use qolsr_metrics::LinkQos;
+use std::collections::BTreeMap;
+
 use qolsr_sim::trace::TraceBuffer;
 use qolsr_sim::{
-    ExecMode, RadioConfig, Scenario, SchedulerKind, ShardedSimulator, SimDuration, SimStats,
-    SimTime, Simulator,
+    ExecMode, FlowRecord, FlowSpec, FlowState, RadioConfig, Scenario, SchedulerKind,
+    ShardedSimulator, SimDuration, SimRng, SimStats, SimTime, Simulator, TrafficStats,
+    TRAFFIC_STREAM_SALT,
 };
 
 use crate::config::{OlsrConfig, TopologyStore};
@@ -174,6 +177,76 @@ impl<P: AdvertisePolicy> OlsrNetwork<P> {
                 }
             }
         }
+    }
+
+    /// Installs seeded application flows across the network: every node
+    /// receives a dedicated traffic RNG stream (master
+    /// `seed ^ `[`TRAFFIC_STREAM_SALT`], split once per node in id
+    /// order — relays need service-jitter draws even when they source
+    /// nothing), and each flow's arrival state lands on its source node.
+    ///
+    /// The streams are disjoint from every engine and protocol stream,
+    /// and arming the arrival clock draws nothing, so a run with an
+    /// empty `flows` slice replays byte-identically to one that never
+    /// called this method. Per-node split order is node order, which
+    /// makes the installation shard-count invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow names a source node outside the topology.
+    pub fn install_flows(&mut self, flows: &[FlowSpec], seed: u64) {
+        let mut master = SimRng::seed_from_u64(seed ^ TRAFFIC_STREAM_SALT);
+        let n = self.world().len();
+        for f in flows {
+            assert!(
+                (f.src.index()) < n,
+                "flow {} sources at {:?}, outside the {n}-node topology",
+                f.id,
+                f.src
+            );
+        }
+        for i in 0..n {
+            let id = NodeId(i as u32);
+            let rng = master.split();
+            let node_flows: Vec<FlowState> = flows
+                .iter()
+                .filter(|f| f.src == id)
+                .map(|f| FlowState::new(*f))
+                .collect();
+            match &mut self.engine {
+                Engine::Single(sim) => sim.actor_mut(id).install_traffic(node_flows, rng),
+                Engine::Sharded(sim) => sim.actor_mut(id).install_traffic(node_flows, rng),
+            }
+        }
+    }
+
+    /// Sum of per-node data-plane counters.
+    pub fn total_traffic(&self) -> TrafficStats {
+        let mut total = TrafficStats::default();
+        for (_, node) in self.actors() {
+            total.merge(&node.traffic_stats());
+        }
+        total
+    }
+
+    /// Per-flow end-to-end delivery records, collected from every
+    /// destination, keyed by flow id.
+    pub fn flow_records(&self) -> BTreeMap<u16, FlowRecord> {
+        let mut records = BTreeMap::new();
+        for (_, node) in self.actors() {
+            for (&flow, record) in node.flow_records() {
+                records
+                    .entry(flow)
+                    .and_modify(|r: &mut FlowRecord| r.merge(record))
+                    .or_insert_with(|| record.clone());
+            }
+        }
+        records
+    }
+
+    /// Data frames currently parked in transmit queues network-wide.
+    pub fn queued_data(&self) -> u64 {
+        self.actors().map(|(_, node)| node.queued_data()).sum()
     }
 
     /// Schedules a generated mobility/churn scenario into the engine's

@@ -7,20 +7,28 @@ use bytes::Bytes;
 use qolsr_graph::{LocalView, NodeId};
 use qolsr_metrics::LinkQos;
 use qolsr_sim::stats::TC_RING_SLOTS;
-use qolsr_sim::{Actor, Context, FrameDamage, SimDuration, SimTime, TimerId};
+use qolsr_sim::{
+    Actor, Context, DropCause, FlowRecord, FlowState, FrameDamage, SimDuration, SimRng, SimTime,
+    TimerId, TrafficStats, TxQueue,
+};
 
 use crate::config::{DecodePath, OlsrConfig, TcScoping, TopologyStore};
-use crate::messages::{Body, Hello, HelloNeighbor, LinkState, Message, Tc};
+use crate::messages::{Body, DataBody, Hello, HelloNeighbor, LinkState, Message, Tc};
 use crate::mpr::select_mprs;
 use crate::routing::{reference_routes, RouteCache, RouteEntry};
 use crate::store::{SharedLinkStore, SharedTopology};
 use crate::tables::{Duplicates, NeighborTables, NodeTopology, TopologyBase};
 use crate::wire;
-use crate::wire::{Peek, TcPeek};
+use crate::wire::{DataPeek, Peek, TcPeek};
 
 const HELLO_TIMER: TimerId = TimerId(1);
 const TC_TIMER: TimerId = TimerId(2);
 const SWEEP_TIMER: TimerId = TimerId(3);
+/// Flow arrival clock — armed only on nodes with installed flows.
+const DATA_TIMER: TimerId = TimerId(4);
+/// Transmit-queue service clock — armed only while the queue is
+/// non-empty.
+const SERVICE_TIMER: TimerId = TimerId(5);
 
 /// Strategy deciding which neighbors a node advertises in its TC messages
 /// (the paper's ANS / QANS).
@@ -165,6 +173,23 @@ pub struct OlsrNode<P> {
     selectors_buf: Vec<NodeId>,
     hello_buf: Vec<HelloNeighbor>,
     adv_buf: Vec<(NodeId, LinkQos)>,
+    // --- Data plane (inert until `install_traffic`) ---
+    /// Dedicated traffic stream (flow bursts, queue service jitter).
+    /// `None` until flows are installed, and never drawn from while
+    /// `None` — control-plane-only runs replay byte-identically.
+    traffic_rng: Option<SimRng>,
+    /// Flows originating at this node.
+    flows: Vec<FlowState>,
+    /// Store-and-forward transmit queue of already-encoded data frames.
+    tx_queue: TxQueue<Bytes>,
+    /// Whether a [`SERVICE_TIMER`] is currently pending (the queue is
+    /// served by exactly one self-re-arming timer).
+    service_armed: bool,
+    /// Data-plane counters for this node.
+    traffic_stats: TrafficStats,
+    /// Per-flow delivery records, keyed by flow id, for flows whose
+    /// destination is this node.
+    flow_records: BTreeMap<u16, FlowRecord>,
 }
 
 impl<P: AdvertisePolicy> OlsrNode<P> {
@@ -206,6 +231,12 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
             selectors_buf: Vec::new(),
             hello_buf: Vec::new(),
             adv_buf: Vec::new(),
+            traffic_rng: None,
+            flows: Vec::new(),
+            tx_queue: TxQueue::new(config.traffic.capacity as usize),
+            service_armed: false,
+            traffic_stats: TrafficStats::default(),
+            flow_records: BTreeMap::new(),
         }
     }
 
@@ -351,6 +382,164 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
             .get_mut()
             .unwrap_or_else(PoisonError::into_inner)
             .invalidate();
+    }
+
+    /// Installs this node's originating flows and its dedicated traffic
+    /// RNG stream (split from `seed ^ TRAFFIC_STREAM_SALT` by the
+    /// network facade). Nodes without installed traffic never arm the
+    /// data timer and never draw from a traffic stream, so
+    /// control-plane-only runs replay byte-identically.
+    pub fn install_traffic(&mut self, flows: Vec<FlowState>, rng: SimRng) {
+        self.flows = flows;
+        self.traffic_rng = Some(rng);
+    }
+
+    /// This node's data-plane counters.
+    pub fn traffic_stats(&self) -> TrafficStats {
+        self.traffic_stats
+    }
+
+    /// Delivery records of the flows terminating at this node, keyed by
+    /// flow id.
+    pub fn flow_records(&self) -> &BTreeMap<u16, FlowRecord> {
+        &self.flow_records
+    }
+
+    /// Data frames currently parked in the transmit queue.
+    pub fn queued_data(&self) -> u64 {
+        self.tx_queue.len() as u64
+    }
+
+    /// One service-time draw from the traffic stream (plain base
+    /// interval when no traffic was installed — a relay-only node on a
+    /// hand-built simulator still services deterministically).
+    fn service_delay(&mut self) -> SimDuration {
+        match self.traffic_rng.as_mut() {
+            Some(rng) => self.config.traffic.service_delay(rng),
+            None => self.config.traffic.service_interval,
+        }
+    }
+
+    /// Enqueues an encoded data frame for store-and-forward service,
+    /// arming the service clock when the queue was idle. Returns `false`
+    /// when the bounded queue sheds the frame.
+    fn enqueue_data(&mut self, ctx: &mut Context<'_, Bytes>, frame: Bytes) -> bool {
+        match self.tx_queue.push(frame) {
+            Ok(()) => {
+                if !self.service_armed {
+                    self.service_armed = true;
+                    let delay = self.service_delay();
+                    ctx.set_timer(delay, SERVICE_TIMER);
+                }
+                true
+            }
+            Err(_) => {
+                self.traffic_stats.count_drop(DropCause::QueueFull);
+                false
+            }
+        }
+    }
+
+    /// Re-arms the flow arrival clock at the earliest pending tick.
+    /// Draws no randomness — arrival instants are fixed by the specs and
+    /// the clock stepping in [`FlowState::take_due`].
+    fn arm_data_timer(&mut self, ctx: &mut Context<'_, Bytes>) {
+        let Some(at) = self.flows.iter().map(|f| f.next_at).min() else {
+            return;
+        };
+        let now = ctx.now();
+        let delay = if at > now {
+            at - now
+        } else {
+            SimDuration::from_micros(0)
+        };
+        ctx.set_timer(delay, DATA_TIMER);
+    }
+
+    /// Flow arrival tick: injects every packet due at or before now
+    /// (including catch-up bursts after a reboot gap) and re-arms the
+    /// clock.
+    fn data_tick(&mut self, ctx: &mut Context<'_, Bytes>) {
+        let now = ctx.now();
+        for i in 0..self.flows.len() {
+            let Some(rng) = self.traffic_rng.as_mut() else {
+                break;
+            };
+            let packets = self.flows[i].take_due(now, rng);
+            let spec = self.flows[i].spec;
+            for _ in 0..packets {
+                let seq = self.flows[i].next_seq;
+                self.flows[i].next_seq = seq.wrapping_add(1);
+                self.traffic_stats.injected += 1;
+                let msg = Message::data(
+                    self.id,
+                    seq,
+                    self.config.traffic.data_ttl,
+                    DataBody {
+                        dest: spec.dst,
+                        flow: spec.id,
+                        injected_us: now.as_micros(),
+                        payload_len: spec.payload,
+                    },
+                );
+                self.enqueue_data(ctx, wire::encode(&msg));
+            }
+        }
+        self.arm_data_timer(ctx);
+    }
+
+    /// Queue service tick: looks up the next hop for the head-of-line
+    /// frame in the live route cache and hands it to the radio, then
+    /// re-arms while the queue is non-empty. Routing happens at
+    /// *service* time, so a packet enqueued before a route change uses
+    /// the freshest table.
+    fn service_tick(&mut self, ctx: &mut Context<'_, Bytes>) {
+        let now = ctx.now();
+        if let Some(frame) = self.tx_queue.pop() {
+            if let Ok(Peek::Data(p)) = wire::peek(&frame) {
+                match self.route_to(p.dest, now) {
+                    Some(route) => {
+                        self.traffic_stats.data_tx += 1;
+                        self.traffic_stats.data_bytes_sent += frame.len() as u64;
+                        ctx.unicast(route.next_hop, frame);
+                    }
+                    None => self.traffic_stats.count_drop(DropCause::NoRoute),
+                }
+            } else {
+                debug_assert!(false, "non-data frame in the tx queue");
+            }
+        }
+        if self.tx_queue.is_empty() {
+            self.service_armed = false;
+        } else {
+            let delay = self.service_delay();
+            ctx.set_timer(delay, SERVICE_TIMER);
+        }
+    }
+
+    /// Receive path shared by both decode paths: deliver if this node is
+    /// the destination, else patch the header ([`wire::forward`]) and
+    /// queue the *same* buffer for the next hop — data payloads are
+    /// never re-encoded at relays.
+    fn handle_data(&mut self, ctx: &mut Context<'_, Bytes>, raw: &Bytes, peek: DataPeek) {
+        self.traffic_stats.data_rx += 1;
+        if peek.dest == self.id {
+            self.traffic_stats.delivered += 1;
+            let delay_us = ctx.now().as_micros().saturating_sub(peek.injected_us);
+            self.flow_records
+                .entry(peek.flow)
+                .or_default()
+                .record_delivery(delay_us, u64::from(peek.hop_count) + 1);
+            return;
+        }
+        match wire::forward(raw) {
+            Some(fwd) => {
+                if self.enqueue_data(ctx, fwd) {
+                    self.traffic_stats.forwarded += 1;
+                }
+            }
+            None => self.traffic_stats.count_drop(DropCause::TtlExpired),
+        }
     }
 
     fn next_seq(&mut self) -> u16 {
@@ -618,6 +807,22 @@ impl<P: AdvertisePolicy> OlsrNode<P> {
                     }
                 }
             }
+            Body::Data(d) => {
+                self.handle_data(
+                    ctx,
+                    raw,
+                    DataPeek {
+                        originator: msg.originator,
+                        seq: msg.seq,
+                        ttl: msg.ttl,
+                        hop_count: msg.hop_count,
+                        dest: d.dest,
+                        flow: d.flow,
+                        injected_us: d.injected_us,
+                        payload_len: d.payload_len,
+                    },
+                );
+            }
         }
     }
 }
@@ -635,6 +840,10 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
         ctx.set_timer(hello_at, HELLO_TIMER);
         ctx.set_timer(tc_at, TC_TIMER);
         ctx.set_timer(self.config.sweep_interval, SWEEP_TIMER);
+        // Arrival instants are spec-fixed: arming draws nothing, and
+        // nodes without flows skip the timer entirely, so
+        // control-plane-only runs replay byte-identically.
+        self.arm_data_timer(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Bytes>, timer: TimerId) {
@@ -659,6 +868,8 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
                 self.duplicates.sweep(now);
                 ctx.set_timer(self.config.sweep_interval, SWEEP_TIMER);
             }
+            DATA_TIMER => self.data_tick(ctx),
+            SERVICE_TIMER => self.service_tick(ctx),
             other => debug_assert!(false, "unknown timer {other:?}"),
         }
     }
@@ -669,6 +880,9 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
                 // The dominant path at scale: TC-flood deliveries whose
                 // fate is decided from the header alone.
                 Ok(Peek::Tc(peek)) => self.handle_tc_peeked(ctx, from, &bytes, peek),
+                // Data frames never need the body (opaque filler): the
+                // deliver/forward decision reads the peeked header only.
+                Ok(Peek::Data(peek)) => self.handle_data(ctx, &bytes, peek),
                 // HELLOs are 1-hop and processed on every delivery, so
                 // they always need the body.
                 Ok(Peek::Hello) => match wire::decode(bytes.clone()) {
@@ -714,6 +928,12 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
         // Restart the fisheye rotation at the full-radius ring: a
         // rejoining node should re-announce itself network-wide first.
         self.tc_tick = 0;
+        // A reboot loses the volatile transmit queue; the parked frames
+        // are accounted as wiped. Flow specs and the traffic stream are
+        // durable (re-read from "disk"), so arrivals resume — the missed
+        // ticks burst out at the first post-restart data tick.
+        self.traffic_stats.drop_queue_wiped += self.tx_queue.clear() as u64;
+        self.service_armed = false;
         self.invalidate_routes();
     }
 
@@ -734,6 +954,10 @@ impl<P: AdvertisePolicy> Actor for OlsrNode<P> {
         let mut bytes = msg.to_vec();
         damage.apply_to_bytes(&mut bytes);
         Some(Bytes::from(bytes))
+    }
+
+    fn is_data(msg: &Bytes) -> bool {
+        wire::is_data_frame(msg)
     }
 
     fn on_rehome(&mut self, shard: usize) {

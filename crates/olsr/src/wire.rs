@@ -11,8 +11,15 @@
 //! message   := kind:u8 originator:u32 seq:u16 ttl:u8 hop_count:u8 body
 //! hello     := count:u16 { id:u32 state:u8 qos }*
 //! tc        := ansn:u16 count:u16 { id:u32 qos }*
+//! data      := dest:u32 flow:u16 injected_us:u64 payload_len:u16 filler*
 //! qos       := bandwidth:u64 delay:u64 energy:u64
 //! ```
+//!
+//! Data frames carry `payload_len` bytes of zero filler after the header:
+//! the simulation only needs payload *size* for byte accounting, but the
+//! filler keeps on-air frame lengths honest so PHY corruption and byte
+//! counters see realistic data frames. Like TCs, a data frame is relayed
+//! via [`forward`] — two header bytes patched, no re-encode.
 
 use std::fmt;
 
@@ -20,10 +27,11 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use qolsr_graph::NodeId;
 use qolsr_metrics::{Bandwidth, Delay, Energy, LinkQos};
 
-use crate::messages::{Body, Hello, HelloNeighbor, LinkState, Message, Tc};
+use crate::messages::{Body, DataBody, Hello, HelloNeighbor, LinkState, Message, Tc};
 
 const KIND_HELLO: u8 = 1;
 const KIND_TC: u8 = 2;
+const KIND_DATA: u8 = 3;
 
 /// Decoding error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +65,7 @@ pub fn encode(msg: &Message) -> Bytes {
     let kind = match msg.body {
         Body::Hello(_) => KIND_HELLO,
         Body::Tc(_) => KIND_TC,
+        Body::Data(_) => KIND_DATA,
     };
     buf.put_u8(kind);
     buf.put_u32_le(msg.originator.0);
@@ -84,6 +93,13 @@ pub fn encode(msg: &Message) -> Bytes {
                 put_qos(&mut buf, qos);
             }
         }
+        Body::Data(d) => {
+            buf.put_u32_le(d.dest.0);
+            buf.put_u16_le(d.flow);
+            buf.put_u64_le(d.injected_us);
+            buf.put_u16_le(d.payload_len);
+            buf.put_bytes(0, d.payload_len as usize);
+        }
     }
     buf.freeze()
 }
@@ -96,6 +112,7 @@ pub fn encoded_len(msg: &Message) -> usize {
     match &msg.body {
         Body::Hello(h) => HEADER + 2 + h.neighbors.len() * (4 + 1 + QOS),
         Body::Tc(t) => HEADER + 2 + 2 + t.advertised.len() * (4 + QOS),
+        Body::Data(d) => HEADER + DATA_HEADER + d.payload_len as usize,
     }
 }
 
@@ -144,6 +161,29 @@ pub struct TcPeek {
     pub ansn: u16,
 }
 
+/// Data-frame header fields readable without decoding — everything a
+/// relay or destination needs: where the packet is going, which flow it
+/// belongs to, and when it left the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataPeek {
+    /// The source that injected the packet.
+    pub originator: NodeId,
+    /// Per-flow packet sequence number.
+    pub seq: u16,
+    /// Remaining hop budget.
+    pub ttl: u8,
+    /// Hops travelled so far.
+    pub hop_count: u8,
+    /// Final destination.
+    pub dest: NodeId,
+    /// Flow identifier.
+    pub flow: u16,
+    /// Injection timestamp at the source, simulated microseconds.
+    pub injected_us: u64,
+    /// Opaque payload length in bytes.
+    pub payload_len: u16,
+}
+
 /// Outcome of [`peek`]: the message kind, with the TC header fields when
 /// the message is a TC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,10 +193,21 @@ pub enum Peek {
     Hello,
     /// A TC message with its fully length-validated header fields.
     Tc(TcPeek),
+    /// A data frame with its fully length-validated header fields.
+    Data(DataPeek),
 }
 
 /// Byte offset of the TC body (`ansn`) after the fixed message header.
 const TC_BODY_OFFSET: usize = HOP_OFFSET + 1;
+/// Data body header: dest:u32 flow:u16 injected_us:u64 payload_len:u16.
+const DATA_HEADER: usize = 4 + 2 + 8 + 2;
+
+/// Returns `true` when an encoded buffer carries a data frame — the
+/// engine-side classifier behind `Actor::is_data`. Pure and cheap (one
+/// byte), valid on any buffer including corrupted or truncated ones.
+pub fn is_data_frame(bytes: &[u8]) -> bool {
+    bytes.first() == Some(&KIND_DATA)
+}
 
 /// Incrementally reads the message kind — and, for TCs, the
 /// originator/seq/TTL/ANSN header — from an encoded buffer without
@@ -204,6 +255,37 @@ pub fn peek(bytes: &Bytes) -> Result<Peek, WireError> {
                 ttl: bytes[TTL_OFFSET],
                 hop_count: bytes[HOP_OFFSET],
                 ansn: u16_at(TC_BODY_OFFSET),
+            }))
+        }
+        KIND_DATA => {
+            if bytes.len() < TC_BODY_OFFSET + DATA_HEADER {
+                return Err(WireError::Truncated);
+            }
+            let u16_at =
+                |i: usize| u16::from_le_bytes(bytes[i..i + 2].try_into().expect("2 bytes"));
+            let u32_at =
+                |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
+            let payload_len = u16_at(TC_BODY_OFFSET + 14);
+            let expected = TC_BODY_OFFSET + DATA_HEADER + payload_len as usize;
+            if bytes.len() < expected {
+                return Err(WireError::Truncated);
+            }
+            if bytes.len() > expected {
+                return Err(WireError::TrailingBytes(bytes.len() - expected));
+            }
+            Ok(Peek::Data(DataPeek {
+                originator: NodeId(u32_at(1)),
+                seq: u16_at(5),
+                ttl: bytes[TTL_OFFSET],
+                hop_count: bytes[HOP_OFFSET],
+                dest: NodeId(u32_at(TC_BODY_OFFSET)),
+                flow: u16_at(TC_BODY_OFFSET + 4),
+                injected_us: u64::from_le_bytes(
+                    bytes[TC_BODY_OFFSET + 6..TC_BODY_OFFSET + 14]
+                        .try_into()
+                        .expect("8 bytes"),
+                ),
+                payload_len,
             }))
         }
         other => Err(WireError::UnknownKind(other)),
@@ -272,6 +354,25 @@ fn decode_inner(buf: &mut Bytes) -> Result<Message, WireError> {
                 advertised.push((id, qos));
             }
             Body::Tc(Tc { ansn, advertised })
+        }
+        KIND_DATA => {
+            if buf.remaining() < DATA_HEADER {
+                return Err(WireError::Truncated);
+            }
+            let dest = NodeId(buf.get_u32_le());
+            let flow = buf.get_u16_le();
+            let injected_us = buf.get_u64_le();
+            let payload_len = buf.get_u16_le();
+            if buf.remaining() < payload_len as usize {
+                return Err(WireError::Truncated);
+            }
+            buf.advance(payload_len as usize);
+            Body::Data(DataBody {
+                dest,
+                flow,
+                injected_us,
+                payload_len,
+            })
         }
         other => return Err(WireError::UnknownKind(other)),
     };
@@ -418,6 +519,102 @@ mod tests {
         let decoded = decode(fwd).unwrap();
         assert_eq!(decoded.hop_count, 255, "hop count saturates");
         assert_eq!(decoded.ttl, 199);
+    }
+
+    fn sample_data() -> Message {
+        Message::data(
+            NodeId(5),
+            120,
+            32,
+            DataBody {
+                dest: NodeId(9),
+                flow: 3,
+                injected_us: 1_234_567,
+                payload_len: 48,
+            },
+        )
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let msg = sample_data();
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), encoded_len(&msg));
+        assert_eq!(bytes.len(), 9 + 16 + 48);
+        assert_eq!(decode(bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn data_frames_forward_like_control_frames() {
+        // The whole point of reusing the header layout: relays patch two
+        // bytes instead of re-encoding the payload at every hop.
+        let msg = sample_data();
+        let bytes = encode(&msg);
+        let fwd = forward(&bytes).expect("ttl 32 forwards");
+        let decoded = decode(fwd).unwrap();
+        assert_eq!(decoded.ttl, msg.ttl - 1);
+        assert_eq!(decoded.hop_count, msg.hop_count + 1);
+        assert_eq!(decoded.body, msg.body, "payload untouched by forward");
+    }
+
+    #[test]
+    fn peek_reads_data_header_without_decoding() {
+        let msg = sample_data();
+        let Ok(Peek::Data(p)) = peek(&encode(&msg)) else {
+            panic!("expected a data peek");
+        };
+        assert_eq!(p.originator, msg.originator);
+        assert_eq!(p.seq, msg.seq);
+        assert_eq!(p.ttl, msg.ttl);
+        assert_eq!(p.hop_count, msg.hop_count);
+        let Body::Data(d) = &msg.body else {
+            unreachable!()
+        };
+        assert_eq!(p.dest, d.dest);
+        assert_eq!(p.flow, d.flow);
+        assert_eq!(p.injected_us, d.injected_us);
+        assert_eq!(p.payload_len, d.payload_len);
+    }
+
+    #[test]
+    fn peek_errors_match_decode_errors_on_data_buffers() {
+        let bytes = encode(&sample_data());
+        for cut in 0..bytes.len() {
+            let truncated = bytes.slice(..cut);
+            assert_eq!(
+                peek(&truncated).err(),
+                decode(truncated.clone()).err(),
+                "cut at {cut}"
+            );
+            assert!(peek(&truncated).is_err());
+        }
+        let mut trailing = BytesMut::from(bytes.as_ref());
+        trailing.put_u8(0xAB);
+        let trailing = trailing.freeze();
+        assert_eq!(peek(&trailing), Err(WireError::TrailingBytes(1)));
+        assert_eq!(peek(&trailing).err(), decode(trailing).err());
+    }
+
+    #[test]
+    fn is_data_frame_classifies_by_kind_byte() {
+        assert!(is_data_frame(&encode(&sample_data())));
+        assert!(!is_data_frame(&encode(&sample_tc())));
+        assert!(!is_data_frame(&encode(&sample_hello())));
+        assert!(!is_data_frame(&[]));
+        // Classification survives forwarding (same first byte).
+        assert!(is_data_frame(&forward(&encode(&sample_data())).unwrap()));
+    }
+
+    #[test]
+    fn zero_payload_data_frame_is_header_only() {
+        let mut msg = sample_data();
+        let Body::Data(d) = &mut msg.body else {
+            unreachable!()
+        };
+        d.payload_len = 0;
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), 9 + 16);
+        assert_eq!(decode(bytes).unwrap(), msg);
     }
 
     #[test]

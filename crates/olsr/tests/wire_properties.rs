@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use qolsr_graph::NodeId;
 use qolsr_metrics::{Bandwidth, Delay, Energy, LinkQos};
-use qolsr_proto::messages::{Body, Hello, HelloNeighbor, LinkState, Message, Tc};
+use qolsr_proto::messages::{Body, DataBody, Hello, HelloNeighbor, LinkState, Message, Tc};
 use qolsr_proto::wire;
 
 fn arb_qos() -> impl Strategy<Value = LinkQos> {
@@ -52,6 +52,17 @@ fn arb_tc() -> impl Strategy<Value = Tc> {
         })
 }
 
+fn arb_data() -> impl Strategy<Value = DataBody> {
+    (any::<u32>(), any::<u16>(), any::<u64>(), 0u16..512).prop_map(
+        |(dest, flow, injected_us, payload_len)| DataBody {
+            dest: NodeId(dest),
+            flow,
+            injected_us,
+            payload_len,
+        },
+    )
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     (
         any::<u32>(),
@@ -60,7 +71,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
         any::<u8>(),
         prop_oneof![
             arb_hello().prop_map(Body::Hello),
-            arb_tc().prop_map(Body::Tc)
+            arb_tc().prop_map(Body::Tc),
+            arb_data().prop_map(Body::Data)
         ],
     )
         .prop_map(|(orig, seq, ttl, hop_count, body)| Message {
@@ -141,6 +153,16 @@ proptest! {
                 prop_assert_eq!(p.hop_count, msg.hop_count);
                 prop_assert_eq!(p.ansn, tc.ansn);
             }
+            (wire::Peek::Data(p), Body::Data(d)) => {
+                prop_assert_eq!(p.originator, msg.originator);
+                prop_assert_eq!(p.seq, msg.seq);
+                prop_assert_eq!(p.ttl, msg.ttl);
+                prop_assert_eq!(p.hop_count, msg.hop_count);
+                prop_assert_eq!(p.dest, d.dest);
+                prop_assert_eq!(p.flow, d.flow);
+                prop_assert_eq!(p.injected_us, d.injected_us);
+                prop_assert_eq!(p.payload_len, d.payload_len);
+            }
             (peeked, _) => prop_assert!(false, "kind mismatch: {:?}", peeked),
         }
     }
@@ -165,7 +187,7 @@ proptest! {
             Ok(wire::Peek::Tc(_)) => {
                 prop_assert!(wire::decode(slice).is_ok(), "peek Ok but decode failed");
             }
-            Ok(wire::Peek::Hello) => prop_assert!(false, "a TC buffer cannot peek as HELLO"),
+            Ok(other) => prop_assert!(false, "a TC buffer cannot peek as {:?}", other),
             Err(e) => {
                 prop_assert_eq!(Some(e), wire::decode(slice).err());
             }
@@ -215,13 +237,14 @@ proptest! {
                 prop_assert_eq!(decoded.hop_count, p.hop_count);
                 match decoded.body {
                     Body::Tc(tc) => prop_assert_eq!(tc.ansn, p.ansn),
-                    Body::Hello(_) => prop_assert!(false, "kind byte said TC"),
+                    _ => prop_assert!(false, "kind byte said TC"),
                 }
             }
-            Ok(wire::Peek::Hello) => {
-                // Kind byte corrupted into a HELLO: peek makes no TC
-                // claim and the slow path takes over; it may accept or
-                // reject the reinterpreted body but must do so cleanly.
+            Ok(wire::Peek::Hello) | Ok(wire::Peek::Data(_)) => {
+                // Kind byte corrupted into another kind: peek makes no
+                // TC claim and the receive path re-classifies; it may
+                // accept or reject the reinterpreted body but must do
+                // so cleanly.
                 let _ = wire::decode(bytes);
             }
         }
@@ -240,7 +263,35 @@ proptest! {
             prop_assert_eq!(decoded.ttl, p.ttl);
             match decoded.body {
                 Body::Tc(tc) => prop_assert_eq!(tc.ansn, p.ansn),
-                Body::Hello(_) => prop_assert!(false, "kind byte said TC"),
+                _ => prop_assert!(false, "kind byte said TC"),
+            }
+        }
+    }
+
+    /// Data frames roundtrip exactly, and the peeked header agrees with
+    /// the decoder on arbitrary prefixes — the same error-for-error
+    /// parity the TC fast path rests on, for the data receive path.
+    #[test]
+    fn data_peek_matches_decode_errors_on_prefixes(
+        data in arb_data(),
+        orig in any::<u32>(),
+        seq in any::<u16>(),
+        ttl in any::<u8>(),
+        cut_fraction in 0.0f64..1.01,
+    ) {
+        let msg = Message::data(NodeId(orig), seq, ttl, data);
+        let bytes = wire::encode(&msg);
+        prop_assert_eq!(bytes.len(), wire::encoded_len(&msg));
+        prop_assert_eq!(wire::decode(bytes.clone()).unwrap(), msg.clone());
+        let cut = (((bytes.len() + 1) as f64) * cut_fraction) as usize;
+        let slice = bytes.slice(..cut.min(bytes.len()));
+        match wire::peek(&slice) {
+            Ok(wire::Peek::Data(_)) => {
+                prop_assert!(wire::decode(slice).is_ok(), "peek Ok but decode failed");
+            }
+            Ok(other) => prop_assert!(false, "a data buffer cannot peek as {:?}", other),
+            Err(e) => {
+                prop_assert_eq!(Some(e), wire::decode(slice).err());
             }
         }
     }

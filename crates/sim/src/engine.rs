@@ -82,6 +82,19 @@ pub trait Actor {
         let _ = (msg, damage);
         None
     }
+
+    /// Classifies a message as a data-plane frame so the engines can
+    /// account for it in the [`SimStats`] `data_*` counters (sent,
+    /// delivered, and every in-flight drop cause) without understanding
+    /// the payload. Pure classification: implementations must not draw
+    /// randomness or mutate anything, and the engines never branch on
+    /// the answer — event order, RNG streams and delivery schedules are
+    /// identical whether a frame is data or control. The default (`false`
+    /// for everything) keeps control-plane-only protocols untouched.
+    fn is_data(msg: &Self::Msg) -> bool {
+        let _ = msg;
+        false
+    }
 }
 
 /// Radio parameters: every transmission reaches its destination(s)
@@ -580,6 +593,49 @@ pub struct SimStats {
     /// dropped at the radio — the fate of almost all corrupted frames on
     /// a real link (see [`CorruptionParams::fcs_evade_ppm`]).
     pub fcs_drops: u64,
+    /// Unicast transmissions of data-plane frames ([`Actor::is_data`]);
+    /// a subset of [`SimStats::unicasts`]. Zero unless a data plane is
+    /// installed.
+    pub data_unicasts: u64,
+    /// Point-to-point deliveries of data frames; a subset of
+    /// [`SimStats::deliveries`].
+    pub data_deliveries: u64,
+    /// Data unicasts dropped because the destination was not a neighbor
+    /// (the route cache pointed at a link the world no longer has); a
+    /// subset of [`SimStats::dropped_unicasts`].
+    pub data_no_link_drops: u64,
+    /// Data deliveries dropped in flight by the probabilistic PHY; a
+    /// subset of [`SimStats::phy_drops`].
+    pub data_phy_drops: u64,
+    /// Data frames the link-layer frame check dropped at the radio; a
+    /// subset of [`SimStats::fcs_drops`].
+    pub data_fcs_drops: u64,
+    /// Data deliveries dropped at dispatch by an active partition; a
+    /// subset of [`SimStats::partition_drops`].
+    pub data_partition_drops: u64,
+    /// Data deliveries lost to receiver collision; a subset of
+    /// [`SimStats::collisions`].
+    pub data_collisions: u64,
+    /// Data deliveries dropped because the receiver's node life ended
+    /// while the frame was in flight; a subset of
+    /// [`SimStats::stale_dropped`].
+    pub data_stale_drops: u64,
+}
+
+impl SimStats {
+    /// Data frames that left a sender but reached no receiver: the
+    /// in-flight loss the engine (not a node) is responsible for. After
+    /// the event queue quiesces this equals
+    /// `data_unicasts − data_deliveries`; mid-run the difference also
+    /// includes frames still in flight.
+    pub fn data_in_flight_drops(&self) -> u64 {
+        self.data_no_link_drops
+            + self.data_phy_drops
+            + self.data_fcs_drops
+            + self.data_partition_drops
+            + self.data_collisions
+            + self.data_stale_drops
+    }
 }
 
 /// The discrete-event simulator: one [`Actor`] per topology node, an
@@ -802,27 +858,39 @@ impl<A: Actor> Simulator<A> {
         // have no receiver.
         if ev.generation != self.generations[node.index()] {
             self.stats.stale_dropped += 1;
+            if let EventKind::Deliver { msg, .. } = &ev.kind {
+                if A::is_data(msg) {
+                    self.stats.data_stale_drops += 1;
+                }
+            }
             return true;
         }
         // An active partition drops cross-cut frames at dispatch —
         // including frames already in flight when the cut landed — and
         // leaves no mark on the receiver (checked before the capture
         // window, which a never-received frame cannot occupy).
-        if let EventKind::Deliver { from, .. } = &ev.kind {
+        if let EventKind::Deliver { from, msg } = &ev.kind {
             if self.world.partitioned(*from, node) {
                 self.stats.partition_drops += 1;
+                if A::is_data(msg) {
+                    self.stats.data_partition_drops += 1;
+                }
                 return true;
             }
         }
         // Receiver capture: a frame landing inside the busy window of a
         // previously received frame collides and is lost before the
         // actor sees it (like a stale drop, it leaves no trace record).
-        if matches!(ev.kind, EventKind::Deliver { .. })
-            && !self.busy_until.is_empty()
-            && phy_collides(self.radio.phy, self.now, &mut self.busy_until[node.index()])
-        {
-            self.stats.collisions += 1;
-            return true;
+        if let EventKind::Deliver { msg, .. } = &ev.kind {
+            if !self.busy_until.is_empty()
+                && phy_collides(self.radio.phy, self.now, &mut self.busy_until[node.index()])
+            {
+                self.stats.collisions += 1;
+                if A::is_data(msg) {
+                    self.stats.data_collisions += 1;
+                }
+                return true;
+            }
         }
 
         let mut effects: Vec<Effect<A::Msg>> = Vec::new();
@@ -846,6 +914,9 @@ impl<A: Actor> Simulator<A> {
                 }
                 EventKind::Deliver { from, msg } => {
                     self.stats.deliveries += 1;
+                    if A::is_data(&msg) {
+                        self.stats.data_deliveries += 1;
+                    }
                     actor.on_message(&mut ctx, from, msg);
                 }
                 EventKind::World(_) => unreachable!("world events dispatch above"),
@@ -993,14 +1064,26 @@ impl<A: Actor> Simulator<A> {
                 }
                 Effect::Unicast(to, msg) => {
                     self.stats.unicasts += 1;
+                    let is_data = A::is_data(&msg);
+                    if is_data {
+                        self.stats.data_unicasts += 1;
+                    }
                     if self.world.has_link(node, to) {
                         if self.phy_drops(node, to) {
+                            if is_data {
+                                self.stats.data_phy_drops += 1;
+                            }
                             continue;
                         }
                         let payload = match self.corrupt_one(node, &msg) {
                             InFlight::Intact => msg,
                             InFlight::Damaged(damaged) => damaged,
-                            InFlight::DroppedByFcs => continue,
+                            InFlight::DroppedByFcs => {
+                                if is_data {
+                                    self.stats.data_fcs_drops += 1;
+                                }
+                                continue;
+                            }
                         };
                         let delay = self.delivery_delay();
                         let at = self.now + delay;
@@ -1014,6 +1097,9 @@ impl<A: Actor> Simulator<A> {
                         );
                     } else {
                         self.stats.dropped_unicasts += 1;
+                        if is_data {
+                            self.stats.data_no_link_drops += 1;
+                        }
                     }
                 }
                 Effect::Timer(after, timer) => {

@@ -31,6 +31,11 @@
 //! * [`RadioConfig`] — the ideal-MAC radio: every transmission reaches all
 //!   (or one of) the sender's *current* unit-disk neighbors after a
 //!   configurable per-hop latency plus deterministic jitter, with no loss;
+//! * [`traffic`] — data-plane primitives: seeded CBR/bursty flow
+//!   generators, the bounded per-node transmit queue and per-flow
+//!   delivery records (protocol crates own the actual forwarding; the
+//!   engine counts data frames via [`Actor::is_data`] into the
+//!   [`SimStats`] `data_*` fields);
 //! * [`stats`] / [`trace`] — counters, histograms and an event trace ring
 //!   buffer for debugging protocol behaviour.
 //!
@@ -143,6 +148,7 @@ pub mod shard;
 pub mod stats;
 mod time;
 pub mod trace;
+pub mod traffic;
 
 pub use engine::{
     Actor, Context, CorruptionParams, FrameCorruption, FrameDamage, LossyPhy, PhyModel,
@@ -153,3 +159,7 @@ pub use rng::SimRng;
 pub use scenario::{apply_recorded, MobilityModel, NeighborScan, Scenario, ScenarioBuilder};
 pub use shard::{ExecMode, ShardedSimulator};
 pub use time::{SimDuration, SimTime};
+pub use traffic::{
+    DataPacket, DropCause, FlowModel, FlowRecord, FlowSpec, FlowState, TrafficStats, TxQueue,
+    TxQueueConfig, TRAFFIC_STREAM_SALT,
+};

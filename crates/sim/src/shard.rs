@@ -346,6 +346,11 @@ fn run_window<A: Actor>(
         shard.window_stats.events += 1;
         if ev.generation != generations[node.index()] {
             shard.window_stats.stale_dropped += 1;
+            if let EventKind::Deliver { msg, .. } = &ev.kind {
+                if A::is_data(msg) {
+                    shard.window_stats.data_stale_drops += 1;
+                }
+            }
             continue;
         }
         let slot = locs[node.index()].1 as usize;
@@ -354,9 +359,12 @@ fn run_window<A: Actor>(
         // the capture window — exactly as in `Simulator::step`. World
         // events are barriers, so the cut is frozen for the whole
         // window and this check commutes with the merge.
-        if let EventKind::Deliver { from, .. } = &ev.kind {
+        if let EventKind::Deliver { from, msg } = &ev.kind {
             if world.partitioned(*from, node) {
                 shard.window_stats.partition_drops += 1;
+                if A::is_data(msg) {
+                    shard.window_stats.data_partition_drops += 1;
+                }
                 continue;
             }
         }
@@ -365,12 +373,16 @@ fn run_window<A: Actor>(
         // it. Receiver state is shard-local, so this commutes with the
         // barrier (a node's deliveries always dispatch on its home
         // shard, in global `(time, seq)` order).
-        if matches!(ev.kind, EventKind::Deliver { .. })
-            && !shard.busy_until.is_empty()
-            && phy_collides(radio.phy, ev.time, &mut shard.busy_until[slot])
-        {
-            shard.window_stats.collisions += 1;
-            continue;
+        if let EventKind::Deliver { msg, .. } = &ev.kind {
+            if !shard.busy_until.is_empty()
+                && phy_collides(radio.phy, ev.time, &mut shard.busy_until[slot])
+            {
+                shard.window_stats.collisions += 1;
+                if A::is_data(msg) {
+                    shard.window_stats.data_collisions += 1;
+                }
+                continue;
+            }
         }
         shard.effects.clear();
         {
@@ -391,6 +403,9 @@ fn run_window<A: Actor>(
                 }
                 EventKind::Deliver { from, msg } => {
                     shard.window_stats.deliveries += 1;
+                    if A::is_data(&msg) {
+                        shard.window_stats.data_deliveries += 1;
+                    }
                     actor.on_message(&mut ctx, from, msg);
                 }
                 EventKind::World(_) => unreachable!("world events are barriers"),
@@ -436,6 +451,10 @@ fn run_window<A: Actor>(
                 }
                 Effect::Unicast(to, msg) => {
                     shard.window_stats.unicasts += 1;
+                    let is_data = A::is_data(&msg);
+                    if is_data {
+                        shard.window_stats.data_unicasts += 1;
+                    }
                     if world.has_link(node, to) {
                         if !shard.loss_rngs.is_empty()
                             && phy_drops_frame(
@@ -447,6 +466,9 @@ fn run_window<A: Actor>(
                             )
                         {
                             shard.window_stats.phy_drops += 1;
+                            if is_data {
+                                shard.window_stats.data_phy_drops += 1;
+                            }
                         } else {
                             let payload = match corrupt_in_flight::<A>(
                                 radio.corruption,
@@ -457,7 +479,12 @@ fn run_window<A: Actor>(
                             ) {
                                 InFlight::Intact => msg,
                                 InFlight::Damaged(damaged) => damaged,
-                                InFlight::DroppedByFcs => continue,
+                                InFlight::DroppedByFcs => {
+                                    if is_data {
+                                        shard.window_stats.data_fcs_drops += 1;
+                                    }
+                                    continue;
+                                }
                             };
                             let delay = delivery_delay(radio, &mut shard.jitter_rngs[slot]);
                             shard.children.push(Child::Deliver {
@@ -470,6 +497,9 @@ fn run_window<A: Actor>(
                         }
                     } else {
                         shard.window_stats.dropped_unicasts += 1;
+                        if is_data {
+                            shard.window_stats.data_no_link_drops += 1;
+                        }
                     }
                 }
                 Effect::Timer(after, timer) => {
@@ -970,6 +1000,14 @@ where
             self.stats.partition_drops += w.partition_drops;
             self.stats.corrupted_frames += w.corrupted_frames;
             self.stats.fcs_drops += w.fcs_drops;
+            self.stats.data_unicasts += w.data_unicasts;
+            self.stats.data_deliveries += w.data_deliveries;
+            self.stats.data_no_link_drops += w.data_no_link_drops;
+            self.stats.data_phy_drops += w.data_phy_drops;
+            self.stats.data_fcs_drops += w.data_fcs_drops;
+            self.stats.data_partition_drops += w.data_partition_drops;
+            self.stats.data_collisions += w.data_collisions;
+            self.stats.data_stale_drops += w.data_stale_drops;
             shard.window_stats = SimStats::default();
             self.stop |= shard.stop;
             shard.records.clear();
@@ -1056,24 +1094,35 @@ where
         let node = ev.node;
         if ev.generation != self.generations[node.index()] {
             self.stats.stale_dropped += 1;
+            if let EventKind::Deliver { msg, .. } = &ev.kind {
+                if A::is_data(msg) {
+                    self.stats.data_stale_drops += 1;
+                }
+            }
             return;
         }
         let (shard_ix, slot) = self.locs[node.index()];
         let (shard_ix, slot) = (shard_ix as usize, slot as usize);
         // Active partitions drop cross-cut frames at dispatch, before
         // the capture window — same order as `Simulator::step`.
-        if let EventKind::Deliver { from, .. } = &ev.kind {
+        if let EventKind::Deliver { from, msg } = &ev.kind {
             if self.world.partitioned(*from, node) {
                 self.stats.partition_drops += 1;
+                if A::is_data(msg) {
+                    self.stats.data_partition_drops += 1;
+                }
                 return;
             }
         }
-        if matches!(ev.kind, EventKind::Deliver { .. }) {
+        if let EventKind::Deliver { msg, .. } = &ev.kind {
             let shard = &mut self.shards[shard_ix];
             if !shard.busy_until.is_empty()
                 && phy_collides(self.radio.phy, ev.time, &mut shard.busy_until[slot])
             {
                 self.stats.collisions += 1;
+                if A::is_data(msg) {
+                    self.stats.data_collisions += 1;
+                }
                 return;
             }
         }
@@ -1097,6 +1146,9 @@ where
                 }
                 EventKind::Deliver { from, msg } => {
                     self.stats.deliveries += 1;
+                    if A::is_data(&msg) {
+                        self.stats.data_deliveries += 1;
+                    }
                     actor.on_message(&mut ctx, from, msg);
                 }
                 EventKind::World(_) => unreachable!("world events apply via apply_world_event"),
@@ -1140,14 +1192,26 @@ where
                 }
                 Effect::Unicast(to, msg) => {
                     self.stats.unicasts += 1;
+                    let is_data = A::is_data(&msg);
+                    if is_data {
+                        self.stats.data_unicasts += 1;
+                    }
                     if self.world.has_link(node, to) {
                         if self.phy_drops_serial(shard_ix, slot, node, to) {
+                            if is_data {
+                                self.stats.data_phy_drops += 1;
+                            }
                             continue;
                         }
                         let payload = match self.corrupt_serial(shard_ix, slot, &msg) {
                             InFlight::Intact => msg,
                             InFlight::Damaged(damaged) => damaged,
-                            InFlight::DroppedByFcs => continue,
+                            InFlight::DroppedByFcs => {
+                                if is_data {
+                                    self.stats.data_fcs_drops += 1;
+                                }
+                                continue;
+                            }
                         };
                         let delay = delivery_delay(
                             self.radio,
@@ -1163,6 +1227,9 @@ where
                         );
                     } else {
                         self.stats.dropped_unicasts += 1;
+                        if is_data {
+                            self.stats.data_no_link_drops += 1;
+                        }
                     }
                 }
                 Effect::Timer(after, timer) => {

@@ -1,0 +1,607 @@
+//! Data-plane traffic primitives: seeded flow generators, the per-node
+//! bounded transmit queue, and per-flow delivery records.
+//!
+//! The control plane (HELLO/TC flooding) answers *"does a route exist?"*;
+//! the paper's claim is about *service*: a QoS-aware neighbor selection
+//! should deliver application traffic with better delay/jitter/loss than
+//! hop-count OLSR. This module holds the protocol-agnostic pieces of
+//! that data plane — the workload shapes (CBR and bursty video per the
+//! QoSIP evaluation methodology), the store-and-forward queue model, and
+//! the per-flow statistics — while the protocol crate owns the actual
+//! forwarding (route lookup, wire format, per-hop header patch).
+//!
+//! Determinism: every random decision (bursty frame sizes, queue service
+//! jitter) draws from a *dedicated* per-node stream seeded from
+//! `seed ^ TRAFFIC_STREAM_SALT` — never from the engine or protocol
+//! streams — so enabling traffic cannot perturb a single control-plane
+//! draw, and zero-flow runs replay byte-identically to a build without
+//! this module.
+
+use std::collections::VecDeque;
+
+use qolsr_graph::NodeId;
+
+use crate::rng::SimRng;
+use crate::stats::Log2Histogram;
+use crate::time::{SimDuration, SimTime};
+
+/// Salt separating the per-node traffic streams (flow arrivals, queue
+/// service jitter) from the engine seed: the traffic master RNG is
+/// `seed ^ TRAFFIC_STREAM_SALT`, split once per node in node order.
+/// Runs without installed flows never draw from these streams.
+pub const TRAFFIC_STREAM_SALT: u64 = 0x4441_5441_464c_4f57; // "DATAFLOW"
+
+/// The arrival process of one application flow (per the QoSIP workload
+/// taxonomy: constant-bit-rate sources and bursty multimedia).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowModel {
+    /// Constant bit rate: exactly one packet every `interval`. Draws no
+    /// randomness at all.
+    Cbr {
+        /// Packet spacing (clamped to ≥ 1 µs).
+        interval: SimDuration,
+    },
+    /// Bursty video: every `frame_interval` a frame is emitted as a
+    /// burst of `min_burst..=max_burst` packets, the size drawn from the
+    /// node's traffic stream (one draw per frame).
+    BurstyVideo {
+        /// Frame spacing (clamped to ≥ 1 µs).
+        frame_interval: SimDuration,
+        /// Smallest burst (packets per frame).
+        min_burst: u8,
+        /// Largest burst (packets per frame).
+        max_burst: u8,
+    },
+}
+
+impl FlowModel {
+    /// The arrival-clock step of the model, clamped to ≥ 1 µs so the
+    /// clock always advances.
+    pub fn interval(&self) -> SimDuration {
+        let raw = match self {
+            FlowModel::Cbr { interval } => *interval,
+            FlowModel::BurstyVideo { frame_interval, .. } => *frame_interval,
+        };
+        raw.max(SimDuration::from_micros(1))
+    }
+
+    /// Packets emitted at one arrival tick; bursty sizes draw once from
+    /// `rng`, CBR draws nothing.
+    pub fn packets_per_tick(&self, rng: &mut SimRng) -> u64 {
+        match self {
+            FlowModel::Cbr { .. } => 1,
+            FlowModel::BurstyVideo {
+                min_burst,
+                max_burst,
+                ..
+            } => {
+                let lo = u64::from(*min_burst.min(max_burst));
+                let hi = u64::from(*min_burst.max(max_burst));
+                lo + rng.next_below(hi - lo + 1)
+            }
+        }
+    }
+}
+
+/// One seeded application flow: a source injects packets toward a
+/// destination according to a [`FlowModel`], starting at `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Flow identifier (carried in every data frame; per-flow records
+    /// key on it, so it should be unique across the flow set).
+    pub id: u16,
+    /// Source node (where packets are injected).
+    pub src: NodeId,
+    /// Destination node (where deliveries are recorded).
+    pub dst: NodeId,
+    /// Arrival process.
+    pub model: FlowModel,
+    /// Application payload bytes per packet.
+    pub payload: u16,
+    /// First arrival instant.
+    pub start: SimTime,
+}
+
+/// The live arrival state of one flow at its source node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowState {
+    /// The flow's static description.
+    pub spec: FlowSpec,
+    /// Next packet sequence number (wraps; diagnostic only).
+    pub next_seq: u16,
+    /// Next arrival-clock tick.
+    pub next_at: SimTime,
+}
+
+impl FlowState {
+    /// Fresh state with the arrival clock at the flow's start instant.
+    pub fn new(spec: FlowSpec) -> Self {
+        Self {
+            spec,
+            next_seq: 0,
+            next_at: spec.start,
+        }
+    }
+
+    /// Consumes every arrival tick due at or before `now` and returns
+    /// the number of packets they emit (burst draws come from `rng`).
+    /// After a gap (e.g. a node that was down), all missed ticks fire at
+    /// once — the bounded queue absorbs or sheds the backlog.
+    pub fn take_due(&mut self, now: SimTime, rng: &mut SimRng) -> u64 {
+        let step = self.spec.model.interval();
+        let mut packets = 0;
+        while self.next_at <= now {
+            packets += self.spec.model.packets_per_tick(rng);
+            self.next_at += step;
+        }
+        packets
+    }
+}
+
+/// The logical lifecycle state a data packet carries hop to hop —
+/// the header twin of the wire-level data frame. `forwarded` mirrors the
+/// wire codec's per-hop header patch exactly, so the TTL/hop invariants
+/// proven on this struct hold for the byte path too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataPacket {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Flow identifier.
+    pub flow: u16,
+    /// Per-flow packet sequence number (wraps; diagnostic only).
+    pub seq: u16,
+    /// Injection instant at the source (end-to-end delay reference).
+    pub injected: SimTime,
+    /// Remaining hops the packet may travel.
+    pub ttl: u8,
+    /// Hops travelled so far.
+    pub hop_count: u8,
+    /// Application payload bytes.
+    pub payload_len: u16,
+}
+
+impl DataPacket {
+    /// The packet after one relay hop: TTL down one, hop count up one
+    /// (saturating). `None` when the TTL is exhausted (`ttl <= 1`) —
+    /// the relay must drop instead of forwarding.
+    pub fn forwarded(&self) -> Option<DataPacket> {
+        if self.ttl <= 1 {
+            return None;
+        }
+        Some(DataPacket {
+            ttl: self.ttl - 1,
+            hop_count: self.hop_count.saturating_add(1),
+            ..*self
+        })
+    }
+}
+
+/// Why the data plane dropped a packet at a node (the engine-level radio
+/// causes — PHY loss, FCS, partition, collision, stale — are counted in
+/// [`crate::SimStats`]'s `data_*` fields instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// The serving node had no route to the destination.
+    NoRoute,
+    /// The transmit queue was at capacity.
+    QueueFull,
+    /// The TTL expired at a relay.
+    TtlExpired,
+    /// The packet sat in a queue that a reboot (leave/rejoin or crash)
+    /// wiped.
+    QueueWiped,
+}
+
+/// Per-node data-plane counters. All exact integers so differential
+/// suites can compare them byte-for-byte across engines.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Packets created at this node (it is the flow source).
+    pub injected: u64,
+    /// Packets delivered here (it is the flow destination).
+    pub delivered: u64,
+    /// Relay enqueues (packets accepted for forwarding).
+    pub forwarded: u64,
+    /// Data frames handed to the radio (per-hop transmissions).
+    pub data_tx: u64,
+    /// Data frames received (deliveries + relay arrivals).
+    pub data_rx: u64,
+    /// Data bytes handed to the radio.
+    pub data_bytes_sent: u64,
+    /// Drops: no route to the destination at service time.
+    pub drop_no_route: u64,
+    /// Drops: transmit queue at capacity.
+    pub drop_queue_full: u64,
+    /// Drops: TTL expired at a relay.
+    pub drop_ttl_expired: u64,
+    /// Drops: queued packets wiped by a reboot.
+    pub drop_queue_wiped: u64,
+}
+
+impl TrafficStats {
+    /// Counts one node-level drop.
+    pub fn count_drop(&mut self, cause: DropCause) {
+        match cause {
+            DropCause::NoRoute => self.drop_no_route += 1,
+            DropCause::QueueFull => self.drop_queue_full += 1,
+            DropCause::TtlExpired => self.drop_ttl_expired += 1,
+            DropCause::QueueWiped => self.drop_queue_wiped += 1,
+        }
+    }
+
+    /// Sum of all node-level drop counters.
+    pub fn drops(&self) -> u64 {
+        self.drop_no_route + self.drop_queue_full + self.drop_ttl_expired + self.drop_queue_wiped
+    }
+
+    /// Field-wise sum (network-level aggregation).
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.forwarded += other.forwarded;
+        self.data_tx += other.data_tx;
+        self.data_rx += other.data_rx;
+        self.data_bytes_sent += other.data_bytes_sent;
+        self.drop_no_route += other.drop_no_route;
+        self.drop_queue_full += other.drop_queue_full;
+        self.drop_ttl_expired += other.drop_ttl_expired;
+        self.drop_queue_wiped += other.drop_queue_wiped;
+    }
+}
+
+/// End-to-end delivery record of one flow, kept at its destination.
+/// Exact-integer fields (plus the log₂ delay histogram) so differential
+/// suites can compare records byte-for-byte across engines.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Packets delivered end-to-end.
+    pub delivered: u64,
+    /// Sum of end-to-end delays, µs.
+    pub delay_sum_us: u64,
+    /// Largest end-to-end delay, µs.
+    pub delay_max_us: u64,
+    /// Delay of the most recent delivery, µs (the jitter reference).
+    pub last_delay_us: u64,
+    /// Sum of |delay − previous delay| over consecutive deliveries
+    /// (RFC 3550-style inter-arrival jitter, un-smoothed), µs.
+    pub jitter_sum_us: u64,
+    /// Number of consecutive-delivery jitter samples (`delivered − 1`
+    /// while the record is unmerged).
+    pub jitter_samples: u64,
+    /// Sum of hops travelled by delivered packets.
+    pub hops_sum: u64,
+    /// Log₂ histogram of end-to-end delays (µs) — p99 and friends.
+    pub delay_hist: Log2Histogram,
+}
+
+impl FlowRecord {
+    /// Records one delivery with its end-to-end delay and hop count.
+    pub fn record_delivery(&mut self, delay_us: u64, hops: u64) {
+        if self.delivered > 0 {
+            self.jitter_sum_us += self.last_delay_us.abs_diff(delay_us);
+            self.jitter_samples += 1;
+        }
+        self.delivered += 1;
+        self.delay_sum_us += delay_us;
+        self.delay_max_us = self.delay_max_us.max(delay_us);
+        self.last_delay_us = delay_us;
+        self.hops_sum += hops;
+        self.delay_hist.record(delay_us);
+    }
+
+    /// Mean end-to-end delay, µs (0 when nothing was delivered).
+    pub fn mean_delay_us(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.delay_sum_us as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean inter-arrival jitter, µs (0 with fewer than 2 deliveries).
+    pub fn mean_jitter_us(&self) -> f64 {
+        if self.jitter_samples == 0 {
+            0.0
+        } else {
+            self.jitter_sum_us as f64 / self.jitter_samples as f64
+        }
+    }
+
+    /// Mean hops per delivered packet (0 when nothing was delivered).
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.hops_sum as f64 / self.delivered as f64
+        }
+    }
+
+    /// Upper bound of the delay quantile `q` from the histogram, µs.
+    pub fn delay_quantile_us(&self, q: f64) -> Option<u64> {
+        self.delay_hist.quantile_bound(q)
+    }
+
+    /// Field-wise aggregation (across flows or runs). Jitter sums stay
+    /// additive; `last_delay_us` is meaningless on a merged record and
+    /// no cross-record jitter sample is synthesized.
+    pub fn merge(&mut self, other: &FlowRecord) {
+        self.delivered += other.delivered;
+        self.delay_sum_us += other.delay_sum_us;
+        self.delay_max_us = self.delay_max_us.max(other.delay_max_us);
+        self.last_delay_us = other.last_delay_us;
+        self.jitter_sum_us += other.jitter_sum_us;
+        self.jitter_samples += other.jitter_samples;
+        self.hops_sum += other.hops_sum;
+        self.delay_hist.merge(&other.delay_hist);
+    }
+}
+
+/// Service parameters of the per-node transmit queue, plus the initial
+/// TTL of originated data packets. All integer-valued so protocol
+/// configurations embedding it stay `Copy + Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxQueueConfig {
+    /// Queue capacity in packets (clamped to ≥ 1).
+    pub capacity: u32,
+    /// Base service time per packet (the inverse service rate).
+    pub service_interval: SimDuration,
+    /// Upper bound (exclusive) of the uniform per-packet service jitter,
+    /// drawn from the node's traffic stream; zero draws nothing.
+    pub service_jitter: SimDuration,
+    /// Initial TTL of originated data packets.
+    pub data_ttl: u8,
+}
+
+impl Default for TxQueueConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 64,
+            service_interval: SimDuration::from_millis(2),
+            service_jitter: SimDuration::from_millis(1),
+            data_ttl: 32,
+        }
+    }
+}
+
+impl TxQueueConfig {
+    /// One service-time draw: base interval plus uniform jitter from the
+    /// node's traffic stream. Zero jitter consumes no randomness.
+    pub fn service_delay(&self, rng: &mut SimRng) -> SimDuration {
+        let jitter_us = self.service_jitter.as_micros();
+        if jitter_us == 0 {
+            self.service_interval
+        } else {
+            self.service_interval + SimDuration::from_micros(rng.next_below(jitter_us))
+        }
+    }
+}
+
+/// A bounded FIFO transmit queue: arrivals beyond capacity are rejected
+/// (tail drop), service pops strictly in arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> TxQueue<T> {
+    /// An empty queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            items: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues at the tail; hands the item back when the queue is full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            return Err(item);
+        }
+        self.items.push_back(item);
+        Ok(())
+    }
+
+    /// Dequeues from the head (arrival order).
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops everything (a reboot wiping volatile memory); returns how
+    /// many items were discarded.
+    pub fn clear(&mut self) -> usize {
+        let n = self.items.len();
+        self.items.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_is_fifo_and_bounded() {
+        let mut q = TxQueue::new(2);
+        assert!(q.is_empty());
+        assert_eq!(q.push(1), Ok(()));
+        assert_eq!(q.push(2), Ok(()));
+        assert_eq!(q.push(3), Err(3), "tail drop at capacity");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3), Ok(()), "capacity frees on pop");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_capacity_clamps_to_one() {
+        let mut q = TxQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.push('a'), Ok(()));
+        assert_eq!(q.push('b'), Err('b'));
+        assert_eq!(q.clear(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cbr_arrivals_are_exact_and_draw_nothing() {
+        let spec = FlowSpec {
+            id: 0,
+            src: NodeId(0),
+            dst: NodeId(1),
+            model: FlowModel::Cbr {
+                interval: SimDuration::from_millis(100),
+            },
+            payload: 64,
+            start: SimTime::ZERO + SimDuration::from_secs(1),
+        };
+        let mut state = FlowState::new(spec);
+        let mut rng = SimRng::seed_from_u64(7);
+        let pristine = rng.clone();
+        // Nothing due before the start instant.
+        assert_eq!(state.take_due(SimTime::ZERO, &mut rng), 0);
+        // One second past start: ticks at 1.0, 1.1, …, 2.0 inclusive.
+        let n = state.take_due(SimTime::ZERO + SimDuration::from_secs(2), &mut rng);
+        assert_eq!(n, 11);
+        assert_eq!(rng, pristine, "CBR must not consume randomness");
+        assert_eq!(
+            state.take_due(SimTime::ZERO + SimDuration::from_secs(2), &mut rng),
+            0
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_stay_in_bounds_and_replay_from_seed() {
+        let spec = FlowSpec {
+            id: 1,
+            src: NodeId(0),
+            dst: NodeId(1),
+            model: FlowModel::BurstyVideo {
+                frame_interval: SimDuration::from_millis(40),
+                min_burst: 2,
+                max_burst: 5,
+            },
+            payload: 1200,
+            start: SimTime::ZERO,
+        };
+        let run = |seed| {
+            let mut state = FlowState::new(spec);
+            let mut rng = SimRng::seed_from_u64(seed);
+            state.take_due(SimTime::ZERO + SimDuration::from_secs(1), &mut rng)
+        };
+        // 26 frames (0.0 .. 1.0 inclusive), 2–5 packets each.
+        let n = run(3);
+        assert!((52..=130).contains(&n), "got {n}");
+        assert_eq!(run(3), n, "seeded replay is exact");
+    }
+
+    #[test]
+    fn zero_interval_clamps_instead_of_spinning() {
+        let model = FlowModel::Cbr {
+            interval: SimDuration::ZERO,
+        };
+        assert_eq!(model.interval(), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn forwarded_consumes_ttl_and_saturates_hops() {
+        let mut p = DataPacket {
+            src: NodeId(0),
+            dst: NodeId(9),
+            flow: 4,
+            seq: 1,
+            injected: SimTime::ZERO,
+            ttl: 3,
+            hop_count: 254,
+            payload_len: 100,
+        };
+        p = p.forwarded().expect("ttl 3 forwards");
+        assert_eq!((p.ttl, p.hop_count), (2, 255));
+        p = p.forwarded().expect("ttl 2 forwards");
+        assert_eq!((p.ttl, p.hop_count), (1, 255), "hop count saturates");
+        assert_eq!(p.forwarded(), None, "ttl 1 drops");
+    }
+
+    #[test]
+    fn flow_record_tracks_delay_jitter_and_hops() {
+        let mut r = FlowRecord::default();
+        r.record_delivery(1_000, 2);
+        r.record_delivery(3_000, 3);
+        r.record_delivery(2_000, 2);
+        assert_eq!(r.delivered, 3);
+        assert_eq!(r.delay_max_us, 3_000);
+        assert!((r.mean_delay_us() - 2_000.0).abs() < f64::EPSILON);
+        // |3000-1000| + |2000-3000| over 2 samples.
+        assert_eq!(r.jitter_sum_us, 3_000);
+        assert!((r.mean_jitter_us() - 1_500.0).abs() < f64::EPSILON);
+        assert!((r.mean_hops() - 7.0 / 3.0).abs() < 1e-12);
+        assert!(r.delay_quantile_us(0.99).unwrap() >= 3_000);
+    }
+
+    #[test]
+    fn flow_record_merge_is_additive() {
+        let mut a = FlowRecord::default();
+        a.record_delivery(100, 1);
+        a.record_delivery(200, 1);
+        let mut b = FlowRecord::default();
+        b.record_delivery(400, 2);
+        a.merge(&b);
+        assert_eq!(a.delivered, 3);
+        assert_eq!(a.delay_sum_us, 700);
+        assert_eq!(a.delay_max_us, 400);
+        assert_eq!(a.hops_sum, 4);
+        assert_eq!(a.jitter_samples, 1, "no cross-record jitter sample");
+    }
+
+    #[test]
+    fn traffic_stats_drop_accounting() {
+        let mut s = TrafficStats::default();
+        s.count_drop(DropCause::NoRoute);
+        s.count_drop(DropCause::QueueFull);
+        s.count_drop(DropCause::TtlExpired);
+        s.count_drop(DropCause::QueueWiped);
+        s.count_drop(DropCause::NoRoute);
+        assert_eq!(s.drop_no_route, 2);
+        assert_eq!(s.drops(), 5);
+        let mut t = TrafficStats::default();
+        t.merge(&s);
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn service_delay_draws_only_with_jitter() {
+        let cfg = TxQueueConfig {
+            service_jitter: SimDuration::ZERO,
+            ..TxQueueConfig::default()
+        };
+        let mut rng = SimRng::seed_from_u64(5);
+        let pristine = rng.clone();
+        assert_eq!(cfg.service_delay(&mut rng), cfg.service_interval);
+        assert_eq!(rng, pristine, "zero jitter must not consume randomness");
+
+        let jittered = TxQueueConfig::default();
+        let d = jittered.service_delay(&mut rng);
+        assert!(d >= jittered.service_interval);
+        assert!(d < jittered.service_interval + jittered.service_jitter);
+        assert_ne!(rng, pristine, "jitter consumes exactly the traffic stream");
+    }
+}

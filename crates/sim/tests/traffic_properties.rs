@@ -1,0 +1,240 @@
+//! Property tests for the data-plane traffic primitives: the bounded
+//! transmit queue against a FIFO oracle, the TTL/hop lifecycle of
+//! [`DataPacket`], and the arrival conservation of [`FlowState`] — the
+//! generator-level half of the packet-conservation ledger the eval
+//! harness checks end to end.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use qolsr_graph::NodeId;
+use qolsr_sim::{
+    DataPacket, FlowModel, FlowSpec, FlowState, SimDuration, SimRng, SimTime, TxQueue,
+};
+
+// ---------------------------------------------------------------------
+// TxQueue vs the FIFO oracle
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u32),
+    Pop,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..1_000_000).prop_map(Op::Push),
+        (0u32..1_000_000).prop_map(Op::Push),
+        Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    /// After any interleaving of pushes and pops, the bounded queue
+    /// behaves exactly like a capacity-checked `VecDeque`: same accept /
+    /// reject decisions (rejects hand the value back), same pop order,
+    /// same length — and occupancy never exceeds the configured
+    /// capacity.
+    #[test]
+    fn tx_queue_matches_fifo_oracle(
+        cap in 1usize..32,
+        ops in proptest::collection::vec(op(), 1..400),
+    ) {
+        let mut q: TxQueue<u32> = TxQueue::new(cap);
+        let mut oracle: VecDeque<u32> = VecDeque::new();
+        prop_assert_eq!(q.capacity(), cap);
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    if oracle.len() < cap {
+                        prop_assert_eq!(q.push(v), Ok(()), "accept below capacity");
+                        oracle.push_back(v);
+                    } else {
+                        prop_assert_eq!(q.push(v), Err(v), "tail-drop at capacity");
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(q.pop(), oracle.pop_front(), "FIFO order");
+                }
+            }
+            prop_assert_eq!(q.len(), oracle.len());
+            prop_assert_eq!(q.is_empty(), oracle.is_empty());
+            prop_assert!(q.len() <= q.capacity(), "occupancy bound");
+        }
+        // A wipe reports exactly the packets it sheds, then the queue is
+        // genuinely empty.
+        let before = q.len();
+        prop_assert_eq!(q.clear(), before);
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.pop(), None);
+    }
+
+    /// A zero capacity clamps to one: the queue can always hold at least
+    /// the packet being serviced.
+    #[test]
+    fn capacity_clamps_to_at_least_one(cap in 0usize..4) {
+        let q: TxQueue<u32> = TxQueue::new(cap);
+        prop_assert_eq!(q.capacity(), cap.max(1));
+    }
+}
+
+// ---------------------------------------------------------------------
+// DataPacket TTL / hop lifecycle
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Repeatedly relaying a packet performs exactly `ttl − 1` hops
+    /// before the TTL gate closes: each hop decrements the TTL by one
+    /// and increments the hop count (saturating), `ttl + hop_count` is
+    /// conserved along the chain (absent saturation), and no packet ever
+    /// travels more hops than its initial TTL allows.
+    #[test]
+    fn hop_count_is_bounded_by_ttl(ttl in 0u8..=255, hop0 in 0u8..=8) {
+        let mut p = DataPacket {
+            src: NodeId(0),
+            dst: NodeId(1),
+            flow: 0,
+            seq: 0,
+            injected: SimTime::ZERO,
+            ttl,
+            hop_count: hop0,
+            payload_len: 64,
+        };
+        let budget = u32::from(p.ttl) + u32::from(p.hop_count);
+        let mut hops = 0u32;
+        while let Some(next) = p.forwarded() {
+            prop_assert_eq!(next.ttl, p.ttl - 1, "TTL steps down by one");
+            prop_assert_eq!(
+                next.hop_count,
+                p.hop_count.saturating_add(1),
+                "hop count steps up by one"
+            );
+            if next.hop_count < u8::MAX {
+                prop_assert_eq!(
+                    u32::from(next.ttl) + u32::from(next.hop_count),
+                    budget,
+                    "ttl + hops is conserved"
+                );
+            }
+            p = next;
+            hops += 1;
+            prop_assert!(hops <= u32::from(ttl), "hop budget exceeded");
+        }
+        prop_assert!(p.ttl <= 1, "the chain only ends at TTL exhaustion");
+        prop_assert_eq!(hops, u32::from(ttl.saturating_sub(1)), "exact hop budget");
+    }
+}
+
+// ---------------------------------------------------------------------
+// FlowState arrival conservation
+// ---------------------------------------------------------------------
+
+fn flow_model() -> impl Strategy<Value = FlowModel> {
+    prop_oneof![
+        (0u64..5_000).prop_map(|us| FlowModel::Cbr {
+            interval: SimDuration::from_micros(us),
+        }),
+        (0u64..5_000, 0u8..6, 0u8..6).prop_map(|(us, a, b)| FlowModel::BurstyVideo {
+            frame_interval: SimDuration::from_micros(us),
+            min_burst: a,
+            max_burst: b,
+        }),
+    ]
+}
+
+fn spec(model: FlowModel, start_us: u64) -> FlowSpec {
+    FlowSpec {
+        id: 1,
+        src: NodeId(0),
+        dst: NodeId(1),
+        model,
+        payload: 128,
+        start: SimTime::ZERO + SimDuration::from_micros(start_us),
+    }
+}
+
+proptest! {
+    /// Arrival conservation: sampling the flow clock at any monotone
+    /// sequence of instants emits exactly the packets one sample at the
+    /// final instant would — same total, same RNG stream position, same
+    /// end state. This is the generator-level half of the conservation
+    /// ledger: how often the engine polls a source cannot change the
+    /// workload.
+    #[test]
+    fn take_due_is_sampling_invariant(
+        model in flow_model(),
+        start_us in 0u64..10_000,
+        seed in 0u64..1_000,
+        mut cuts in proptest::collection::vec(0u64..60_000, 1..12),
+    ) {
+        cuts.sort_unstable();
+        let last = *cuts.last().unwrap();
+
+        let mut incremental = FlowState::new(spec(model, start_us));
+        let mut rng_inc = SimRng::seed_from_u64(seed);
+        let mut total_inc = 0u64;
+        for &cut in &cuts {
+            total_inc += incremental.take_due(
+                SimTime::ZERO + SimDuration::from_micros(cut),
+                &mut rng_inc,
+            );
+        }
+
+        let mut oneshot = FlowState::new(spec(model, start_us));
+        let mut rng_one = SimRng::seed_from_u64(seed);
+        let total_one =
+            oneshot.take_due(SimTime::ZERO + SimDuration::from_micros(last), &mut rng_one);
+
+        prop_assert_eq!(total_inc, total_one, "packet totals must agree");
+        prop_assert_eq!(incremental, oneshot, "arrival clocks must agree");
+        prop_assert_eq!(rng_inc, rng_one, "RNG stream positions must agree");
+    }
+
+    /// CBR is closed-form and draw-free: the emitted count is exactly
+    /// the number of arrival ticks in `[start, now]`, and the RNG is
+    /// never touched.
+    #[test]
+    fn cbr_emits_the_closed_form_count(
+        interval_us in 0u64..5_000,
+        start_us in 0u64..10_000,
+        now_us in 0u64..60_000,
+    ) {
+        let model = FlowModel::Cbr {
+            interval: SimDuration::from_micros(interval_us),
+        };
+        let mut state = FlowState::new(spec(model, start_us));
+        let mut rng = SimRng::seed_from_u64(9);
+        let untouched = rng.clone();
+        let got = state.take_due(SimTime::ZERO + SimDuration::from_micros(now_us), &mut rng);
+        let step = interval_us.max(1);
+        let want = if now_us < start_us {
+            0
+        } else {
+            (now_us - start_us) / step + 1
+        };
+        prop_assert_eq!(got, want, "closed-form CBR arrival count");
+        prop_assert_eq!(rng, untouched, "CBR must not consume randomness");
+    }
+
+    /// Bursty frames respect their configured size band even when the
+    /// bounds are given in either order.
+    #[test]
+    fn bursty_frames_stay_in_band(
+        a in 0u8..10,
+        b in 0u8..10,
+        seed in 0u64..1_000,
+    ) {
+        let model = FlowModel::BurstyVideo {
+            frame_interval: SimDuration::from_millis(1),
+            min_burst: a,
+            max_burst: b,
+        };
+        let (lo, hi) = (u64::from(a.min(b)), u64::from(a.max(b)));
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let n = model.packets_per_tick(&mut rng);
+            prop_assert!((lo..=hi).contains(&n), "burst {n} outside [{lo}, {hi}]");
+        }
+    }
+}

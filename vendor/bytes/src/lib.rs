@@ -189,6 +189,11 @@ pub trait Buf {
     /// Reads `n` bytes, advancing the cursor.
     fn copy_bytes(&mut self, n: usize) -> Vec<u8>;
 
+    /// Advances the cursor by `cnt` bytes without reading them.
+    fn advance(&mut self, cnt: usize) {
+        self.copy_bytes(cnt);
+    }
+
     /// Whether any bytes are left.
     fn has_remaining(&self) -> bool {
         self.remaining() > 0
@@ -223,12 +228,23 @@ impl Buf for Bytes {
     fn copy_bytes(&mut self, n: usize) -> Vec<u8> {
         self.take_bytes(n).to_vec()
     }
+
+    fn advance(&mut self, cnt: usize) {
+        self.take_bytes(cnt);
+    }
 }
 
 /// Appends to a byte buffer (little-endian accessors).
 pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends `cnt` copies of the byte `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
 
     /// Appends one byte.
     fn put_u8(&mut self, v: u8) {
@@ -254,6 +270,10 @@ pub trait BufMut {
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.buf.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.buf.resize(self.buf.len() + cnt, val);
     }
 }
 
